@@ -1,0 +1,67 @@
+// Ablation of the compiler's multi-way-intersection rewrite (§2): the
+// closing constraint `u_{k+1} == u_1` of common-neighbor loops compiles
+// to a sorted-adjacency binary probe instead of a scan+filter over the
+// last level. Measured on one-shot TC/LCC, where the rewrite removes the
+// O(deg) scan per enumerated wedge.
+//
+// Also ablates the ordering fast paths indirectly: edges-scanned drops
+// by the probe factor.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace itg {
+namespace {
+
+using bench::CheckOk;
+
+struct Result {
+  double seconds;
+  uint64_t edges_scanned;
+};
+
+Result Run(const std::string& source, int scale, bool multiway) {
+  HarnessOptions options;
+  options.path = bench::TempPath("multiway");
+  options.symmetric = true;
+  options.engine.multiway_intersection = multiway;
+  options.engine.record_history = false;
+  auto harness = CheckOk(Harness::Create(source, RmatVertices(scale),
+                                         GenerateRmat(scale), options));
+  CheckOk(harness->RunOneShot());
+  return {harness->engine().last_stats().seconds,
+          harness->engine().last_stats().edges_scanned};
+}
+
+}  // namespace
+
+int Main() {
+  std::printf("=== Ablation: multi-way intersection rewrite (closing-"
+              "constraint probe) ===\n");
+  std::printf("%-5s %-6s %14s %14s %16s %16s %9s\n", "algo", "scale",
+              "scan+filter[s]", "probe[s]", "scanned(scan)",
+              "scanned(probe)", "speedup");
+  for (int scale : {13, 14, 15}) {
+    for (const auto& [name, source] :
+         {std::pair<const char*, std::string>{"TC",
+                                              TriangleCountProgram()},
+          {"LCC", LccProgram()}}) {
+      Result off = Run(source, scale, false);
+      Result on = Run(source, scale, true);
+      std::printf("%-5s %-6d %14.4f %14.4f %16llu %16llu %8.2fx\n", name,
+                  scale, off.seconds, on.seconds,
+                  static_cast<unsigned long long>(off.edges_scanned),
+                  static_cast<unsigned long long>(on.edges_scanned),
+                  off.seconds / on.seconds);
+    }
+  }
+  std::printf("\nexpected shape: the probe scans a small fraction of the "
+              "edges the scan+filter plan touches at the last level, with "
+              "a corresponding wall-time win that grows with degree "
+              "skew.\n");
+  return 0;
+}
+
+}  // namespace itg
+
+int main() { return itg::Main(); }

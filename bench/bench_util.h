@@ -1,0 +1,78 @@
+#ifndef ITG_BENCH_BENCH_UTIL_H_
+#define ITG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "algos/programs.h"
+#include "algos/reference.h"
+#include "common/logging.h"
+#include "gen/rmat.h"
+#include "harness/harness.h"
+
+namespace itg::bench {
+
+/// Fresh temp path prefix for a store.
+inline std::string TempPath(const std::string& name) {
+  static int counter = 0;
+  auto dir = std::filesystem::temp_directory_path() / "itg_bench";
+  std::filesystem::create_directories(dir);
+  return (dir / (name + "_" + std::to_string(counter++))).string();
+}
+
+/// The paper's default workload mix (§6.1): 75:25 insertions:deletions,
+/// averaged over four consecutive incremental snapshots.
+inline constexpr double kDefaultInsertRatio = 0.75;
+inline constexpr int kDefaultSnapshots = 4;
+
+struct PipelineTimes {
+  double oneshot_seconds = 0;
+  double incremental_avg_seconds = 0;
+  uint64_t oneshot_read_bytes = 0;
+  uint64_t incremental_avg_read_bytes = 0;
+  double speedup() const {
+    return incremental_avg_seconds > 0
+               ? oneshot_seconds / incremental_avg_seconds
+               : 0;
+  }
+};
+
+/// One-shot at G_0 plus `snapshots` incremental steps, averaged.
+inline StatusOr<PipelineTimes> RunPipeline(Harness* harness,
+                                           size_t batch_size,
+                                           double insert_ratio,
+                                           int snapshots = kDefaultSnapshots) {
+  PipelineTimes times;
+  ITG_RETURN_IF_ERROR(harness->RunOneShot());
+  times.oneshot_seconds = harness->engine().last_stats().seconds;
+  times.oneshot_read_bytes = harness->engine().last_stats().read_bytes;
+  for (int i = 0; i < snapshots; ++i) {
+    ITG_RETURN_IF_ERROR(harness->Step(batch_size, insert_ratio));
+    times.incremental_avg_seconds += harness->engine().last_stats().seconds;
+    times.incremental_avg_read_bytes +=
+        harness->engine().last_stats().read_bytes;
+  }
+  times.incremental_avg_seconds /= snapshots;
+  times.incremental_avg_read_bytes /= static_cast<uint64_t>(snapshots);
+  return times;
+}
+
+/// Exits loudly on error (bench binaries are not Status-plumbed).
+inline void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckOk(StatusOr<T> value) {
+  CheckOk(value.status());
+  return std::move(value).value();
+}
+
+}  // namespace itg::bench
+
+#endif  // ITG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// Figure 13: scalability in graph size — PR and TC over an RMAT scale
+// sweep (the paper sweeps RMAT_25..36 on 25 machines; we sweep smaller
+// scales on the simulated single node).
+//
+// Expected shape: DD crashes (O) beyond a scale while iTurboGraph keeps
+// completing; iTurboGraph's incremental speedup grows with the graph
+// (paper: PR 2.8 avg -> 4.1 at the largest; TC 12.5 -> 43.9).
+#include <cstdio>
+
+#include "baselines/ddflow.h"
+#include "bench/bench_util.h"
+#include "common/memory_budget.h"
+#include "gen/workload.h"
+
+namespace itg {
+namespace {
+
+using bench::CheckOk;
+
+constexpr size_t kBatch = 100;
+constexpr uint64_t kDdBudget = 24ull * 1024 * 1024;
+
+void RunPr() {
+  std::printf("\n--- (a) PageRank, RMAT scale sweep ---\n");
+  std::printf("%-6s %10s %12s %12s %10s %12s\n", "scale", "edges",
+              "itg_one[s]", "itg_inc[s]", "speedup", "DD_one[s]");
+  for (int scale = 14; scale <= 19; ++scale) {
+    HarnessOptions options;
+    options.path = bench::TempPath("fig13pr");
+    options.engine.fixed_supersteps = 10;
+    auto harness =
+        CheckOk(Harness::Create(QuantizedPageRankProgram(),
+                                RmatVertices(scale), GenerateRmat(scale),
+                                options));
+    auto times = CheckOk(bench::RunPipeline(harness.get(), kBatch,
+                                            bench::kDefaultInsertRatio));
+
+    MutationWorkload workload(GenerateRmat(scale), 0.9, 42);
+    MemoryBudget budget(kDdBudget);
+    DdRank dd(1, 10, &budget);
+    Stopwatch watch;
+    Status dd_status =
+        dd.RunInitial(RmatVertices(scale), workload.initial_edges());
+    double dd_one = watch.ElapsedSeconds();
+    char dd_text[32];
+    if (dd_status.IsOutOfMemory()) {
+      snprintf(dd_text, sizeof(dd_text), "%12s", "O");
+    } else {
+      CheckOk(dd_status);
+      snprintf(dd_text, sizeof(dd_text), "%12.4f", dd_one);
+    }
+    std::printf("%-6d %10llu %12.4f %12.4f %9.2fx %s\n", scale,
+                1ull << scale, times.oneshot_seconds,
+                times.incremental_avg_seconds, times.speedup(), dd_text);
+  }
+}
+
+void RunTc() {
+  std::printf("\n--- (b) Triangle Counting, RMAT scale sweep ---\n");
+  std::printf("%-6s %10s %12s %12s %10s %12s\n", "scale", "edges",
+              "itg_one[s]", "itg_inc[s]", "speedup", "DD_one[s]");
+  for (int scale = 13; scale <= 17; ++scale) {
+    HarnessOptions options;
+    options.path = bench::TempPath("fig13tc");
+    options.symmetric = true;
+    auto harness = CheckOk(Harness::Create(TriangleCountProgram(),
+                                           RmatVertices(scale),
+                                           GenerateRmat(scale), options));
+    auto times = CheckOk(bench::RunPipeline(harness.get(), kBatch,
+                                            bench::kDefaultInsertRatio));
+
+    auto canonical = GenerateRmat(scale);
+    for (Edge& e : canonical) {
+      if (e.src > e.dst) std::swap(e.src, e.dst);
+    }
+    MutationWorkload workload(canonical, 0.9, 42);
+    MemoryBudget budget(kDdBudget);
+    DdTriangles dd(&budget);
+    Stopwatch watch;
+    Status dd_status = dd.RunInitial(
+        RmatVertices(scale), SymmetrizeEdges(workload.initial_edges()));
+    double dd_one = watch.ElapsedSeconds();
+    char dd_text[32];
+    if (dd_status.IsOutOfMemory()) {
+      snprintf(dd_text, sizeof(dd_text), "%12s", "O");
+    } else {
+      CheckOk(dd_status);
+      snprintf(dd_text, sizeof(dd_text), "%12.4f", dd_one);
+    }
+    std::printf("%-6d %10llu %12.4f %12.4f %9.2fx %s\n", scale,
+                1ull << scale, times.oneshot_seconds,
+                times.incremental_avg_seconds, times.speedup(), dd_text);
+  }
+}
+
+}  // namespace
+
+int Main() {
+  std::printf("=== Figure 13: varying graph size, |dG|=%zu, 75:25, "
+              "DD budget %lluMB ===\n",
+              kBatch, static_cast<unsigned long long>(kDdBudget >> 20));
+  RunPr();
+  RunTc();
+  std::printf("\npaper shape: DD OOMs past a scale; iTbGPP completes the "
+              "whole sweep and its incremental speedup grows with the "
+              "graph (strongly for TC).\n");
+  return 0;
+}
+
+}  // namespace itg
+
+int main() { return itg::Main(); }

@@ -1,0 +1,106 @@
+// Figure 15: sensitivity to the mutation workload.
+//  (a) insert:delete ratio sweep — Abelian-group algorithms (PR, TC) are
+//      flat across ratios; the Min-monoid WCC degrades as deletions grow
+//      (recomputation under deletions, §5.4).
+//  (b) batch size sweep — throughput (mutations/second) grows with the
+//      batch (computation and IO sharing within the batch).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace itg {
+namespace {
+
+using bench::CheckOk;
+
+double AvgIncrementalSeconds(const std::string& source, bool symmetric,
+                             int fixed_supersteps, size_t batch,
+                             double insert_ratio, int snapshots = 4,
+                             int scale = 16) {
+  HarnessOptions options;
+  options.path = bench::TempPath("fig15");
+  options.symmetric = symmetric;
+  options.engine.fixed_supersteps = fixed_supersteps;
+  auto harness = CheckOk(Harness::Create(source, RmatVertices(scale),
+                                         GenerateRmat(scale), options));
+  CheckOk(harness->RunOneShot());
+  double total = 0;
+  for (int i = 0; i < snapshots; ++i) {
+    CheckOk(harness->Step(batch, insert_ratio));
+    total += harness->engine().last_stats().seconds;
+  }
+  return total / snapshots;
+}
+
+void RatioSweep() {
+  std::printf("\n--- (a) normalized time vs insert:delete ratio "
+              "(|dG|=500) ---\n");
+  std::printf("%-8s", "ratio");
+  for (const char* algo : {"PR", "WCC", "TC"}) std::printf(" %10s", algo);
+  std::printf("\n");
+  const double ratios[] = {1.0, 0.75, 0.5, 0.25, 0.0};
+  const char* names[] = {"100:0", "75:25", "50:50", "25:75", "0:100"};
+  double base[3] = {0, 0, 0};
+  for (int r = 0; r < 5; ++r) {
+    double pr = AvgIncrementalSeconds(QuantizedPageRankProgram(), false, 10,
+                                      500, ratios[r], 6);
+    double wcc = AvgIncrementalSeconds(WccProgram(), true, -1, 500,
+                                       ratios[r], 6, 17);
+    double tc = AvgIncrementalSeconds(TriangleCountProgram(), true, -1, 500,
+                                      ratios[r], 6, 15);
+    if (r == 0) {
+      base[0] = pr;
+      base[1] = wcc;
+      base[2] = tc;
+    }
+    std::printf("%-8s %10.2f %10.2f %10.2f\n", names[r], pr / base[0],
+                wcc / base[1], tc / base[2]);
+  }
+  std::printf("(normalized to the insertion-only workload; paper shape: "
+              "PR/TC flat, WCC rising with the deletion share)\n");
+}
+
+void BatchSweep() {
+  std::printf("\n--- (b) normalized throughput vs batch size "
+              "(75:25) ---\n");
+  std::printf("%-8s", "|dG|");
+  for (const char* algo : {"PR", "WCC", "TC"}) std::printf(" %12s", algo);
+  std::printf("\n");
+  const size_t batches[] = {8, 40, 200, 1000, 5000};
+  double base[3] = {0, 0, 0};
+  for (int b = 0; b < 5; ++b) {
+    double thr[3];
+    thr[0] = static_cast<double>(batches[b]) /
+             AvgIncrementalSeconds(QuantizedPageRankProgram(), false, 10,
+                                   batches[b], 0.75, 2);
+    thr[1] = static_cast<double>(batches[b]) /
+             AvgIncrementalSeconds(WccProgram(), true, -1, batches[b], 0.75,
+                                   2);
+    thr[2] = static_cast<double>(batches[b]) /
+             AvgIncrementalSeconds(TriangleCountProgram(), true, -1,
+                                   batches[b], 0.75, 2, 15);
+    if (b == 0) {
+      base[0] = thr[0];
+      base[1] = thr[1];
+      base[2] = thr[2];
+    }
+    std::printf("%-8zu %12.1f %12.1f %12.1f\n", batches[b],
+                thr[0] / base[0], thr[1] / base[1], thr[2] / base[2]);
+  }
+  std::printf("(normalized to the smallest batch; paper shape: throughput "
+              "grows by orders of magnitude with the batch size)\n");
+}
+
+}  // namespace
+
+int Main() {
+  std::printf("=== Figure 15: workload sensitivity (RMAT_16; TC on "
+              "RMAT_15) ===\n");
+  RatioSweep();
+  BatchSweep();
+  return 0;
+}
+
+}  // namespace itg
+
+int main() { return itg::Main(); }

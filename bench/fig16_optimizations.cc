@@ -1,0 +1,126 @@
+// Figure 16: effects of the optimizations.
+//  (a) multi-hop ablation for TC and LCC: BASE (all off) -> +TR -> +TR+NP
+//      -> ALL (+SWS), vs the one-shot baseline. The store pool is sized
+//      below the graph so repeated seeks show up as real IO.
+//  (b) MIN-with-counting (CNT) for WCC and BFS across insert:delete
+//      ratios: speedup of CNT-on over CNT-off.
+#include <cstdio>
+
+#include "algos/reference.h"
+#include "bench/bench_util.h"
+
+namespace itg {
+namespace {
+
+using bench::CheckOk;
+
+struct AblationResult {
+  double oneshot;
+  double base;
+  double tr;
+  double tr_np;
+  double all;
+};
+
+double RunConfig(const std::string& source, int scale, bool tr, bool np,
+                 bool sws, size_t batch) {
+  HarnessOptions options;
+  options.path = bench::TempPath("fig16");
+  options.symmetric = true;
+  options.store.buffer_pool_pages = 4;  // graph >> pool: IO is real
+  options.engine.traversal_reordering = tr;
+  options.engine.neighbor_pruning = np;
+  options.engine.seek_window_sharing = sws;
+  auto harness = CheckOk(Harness::Create(source, RmatVertices(scale),
+                                         GenerateRmat(scale), options));
+  CheckOk(harness->RunOneShot());
+  double total = 0;
+  for (int i = 0; i < 3; ++i) {
+    CheckOk(harness->Step(batch, bench::kDefaultInsertRatio));
+    total += harness->engine().last_stats().seconds;
+  }
+  return total / 3;
+}
+
+double OneShotSeconds(const std::string& source, int scale) {
+  HarnessOptions options;
+  options.path = bench::TempPath("fig16one");
+  options.symmetric = true;
+  options.store.buffer_pool_pages = 4;
+  options.engine.record_history = false;
+  auto harness = CheckOk(Harness::Create(source, RmatVertices(scale),
+                                         GenerateRmat(scale), options));
+  CheckOk(harness->RunOneShot());
+  return harness->engine().last_stats().seconds;
+}
+
+void Ablation(const char* name, const std::string& source, int scale,
+              size_t batch) {
+  AblationResult r;
+  r.oneshot = OneShotSeconds(source, scale);
+  r.base = RunConfig(source, scale, false, false, false, batch);
+  r.tr = RunConfig(source, scale, true, false, false, batch);
+  r.tr_np = RunConfig(source, scale, true, true, false, batch);
+  r.all = RunConfig(source, scale, true, true, true, batch);
+  std::printf("%-5s %12.4f %12.4f %12.4f %12.4f %12.4f\n", name, r.oneshot,
+              r.base, r.tr, r.tr_np, r.all);
+  std::printf("%-5s %12s %11.2fx %11.2fx %11.2fx %11.2fx  (one-shot / "
+              "incremental)\n",
+              "", "-", r.oneshot / r.base, r.oneshot / r.tr,
+              r.oneshot / r.tr_np, r.oneshot / r.all);
+}
+
+double RunCnt(const std::string& source, double ratio, bool cnt) {
+  HarnessOptions options;
+  options.path = bench::TempPath("fig16cnt");
+  options.symmetric = true;
+  options.engine.min_counting = cnt;
+  auto harness = CheckOk(Harness::Create(source, RmatVertices(16),
+                                         GenerateRmat(16), options));
+  CheckOk(harness->RunOneShot());
+  double total = 0;
+  for (int i = 0; i < 4; ++i) {
+    CheckOk(harness->Step(200, ratio));
+    total += harness->engine().last_stats().seconds;
+  }
+  return total / 4;
+}
+
+}  // namespace
+
+int Main() {
+  std::printf("=== Figure 16(a): TR/NP/SWS ablation (RMAT_15, |dG|=100, "
+              "75:25, pool=4 pages) ===\n");
+  std::printf("%-5s %12s %12s %12s %12s %12s\n", "algo", "oneshot[s]",
+              "BASE[s]", "+TR[s]", "+TR+NP[s]", "ALL[s]");
+  Ablation("TC", TriangleCountProgram(), 15, 100);
+  Ablation("LCC", LccProgram(), 15, 100);
+  std::printf("\npaper shape: BASE can be slower than one-shot (TC); TR "
+              "helps modestly, TR+NP strongly (13.1x for TC), SWS adds "
+              "more (28.9x TC, 52.7x LCC).\n");
+
+  std::printf("\n=== Figure 16(b): MIN-with-counting speedup "
+              "(RMAT_16, |dG|=200) ===\n");
+  std::printf("%-8s %10s %10s\n", "ratio", "WCC", "BFS");
+  Csr csr = Csr::FromEdges(RmatVertices(16),
+                           SymmetrizeEdges(GenerateRmat(16)));
+  VertexId root = MaxDegreeVertex(csr);
+  const double ratios[] = {1.0, 0.75, 0.5, 0.25, 0.0};
+  const char* names[] = {"100:0", "75:25", "50:50", "25:75", "0:100"};
+  for (int r = 0; r < 5; ++r) {
+    double wcc_off = RunCnt(WccProgram(), ratios[r], false);
+    double wcc_on = RunCnt(WccProgram(), ratios[r], true);
+    double bfs_off = RunCnt(BfsProgram(root), ratios[r], false);
+    double bfs_on = RunCnt(BfsProgram(root), ratios[r], true);
+    std::printf("%-8s %9.2fx %9.2fx\n", names[r], wcc_off / wcc_on,
+                bfs_off / bfs_on);
+  }
+  std::printf("\npaper shape: CNT speedups grow with the deletion share "
+              "(2.4-10.5x WCC, 1.4-9.5x BFS) and are > 1 even "
+              "insertion-only.\n");
+  return 0;
+}
+
+}  // namespace itg
+
+int main() { return itg::Main(); }

@@ -1,0 +1,89 @@
+// Table 6: single-machine execution times for PageRank (PR) and Label
+// Propagation (LP), one-shot and incremental, iTurboGraph vs. the
+// GraphBolt-style baseline.
+//
+// Paper (TWT, 1.37 B edges): GrB PR 59.9/54.5 s, iTbGPP PR 53.2/23.8 s;
+// GrB LP 133.5/109.5 s, iTbGPP LP 139.6/29.8 s. Expected shape: one-shot
+// comparable; iTurboGraph's incremental far below its one-shot, while
+// GraphBolt's refinement (no value-change cutoff) stays near one-shot.
+#include <cstdio>
+
+#include "baselines/graphbolt.h"
+#include "bench/bench_util.h"
+#include "common/memory_budget.h"
+#include "gen/workload.h"
+
+namespace itg {
+namespace {
+
+using bench::CheckOk;
+
+constexpr int kScale = 16;            // RMAT_16 stands in for TWT
+constexpr int kSupersteps = 10;       // paper: 10 iterations for Group 1
+constexpr size_t kBatch = 100;        // |ΔG| scaled to the graph
+constexpr int kLabels = 8;
+
+struct Row {
+  const char* system;
+  const char* algo;
+  double oneshot;
+  double incremental;
+};
+
+Row RunItg(const char* algo, const std::string& source) {
+  HarnessOptions options;
+  options.path = bench::TempPath(std::string("table6_") + algo);
+  options.engine.fixed_supersteps = kSupersteps;
+  auto harness = CheckOk(Harness::Create(
+      source, RmatVertices(kScale), GenerateRmat(kScale), options));
+  auto times = CheckOk(bench::RunPipeline(harness.get(), kBatch,
+                                          bench::kDefaultInsertRatio));
+  return {"iTbGPP", algo, times.oneshot_seconds,
+          times.incremental_avg_seconds};
+}
+
+Row RunGrb(const char* algo, GraphBoltEngine::Algo kind) {
+  MutationWorkload workload(GenerateRmat(kScale), 0.9, 42);
+  MemoryBudget budget;
+  GraphBoltEngine grb(kind, kLabels, kSupersteps, &budget);
+  Stopwatch watch;
+  CheckOk(grb.RunInitial(RmatVertices(kScale), workload.initial_edges()));
+  double oneshot = watch.ElapsedSeconds();
+  double incremental = 0;
+  for (int i = 0; i < bench::kDefaultSnapshots; ++i) {
+    auto batch = workload.NextBatch(kBatch, bench::kDefaultInsertRatio);
+    watch.Restart();
+    CheckOk(grb.ApplyMutationsAndRefine(batch));
+    incremental += watch.ElapsedSeconds();
+  }
+  return {"GrB", algo, oneshot, incremental / bench::kDefaultSnapshots};
+}
+
+}  // namespace
+
+int Main() {
+  std::printf("=== Table 6: single-machine PR/LP, RMAT_%d, |dG|=%zu, "
+              "%d supersteps ===\n",
+              kScale, kBatch, kSupersteps);
+  std::printf("%-8s %-4s %12s %14s %10s\n", "system", "algo", "oneshot[s]",
+              "incremental[s]", "inc/one");
+  Row rows[] = {
+      RunGrb("PR", GraphBoltEngine::Algo::kPageRank),
+      RunItg("PR", QuantizedPageRankProgram()),
+      RunGrb("LP", GraphBoltEngine::Algo::kLabelProp),
+      RunItg("LP", QuantizedLabelPropProgram(kLabels)),
+  };
+  for (const Row& r : rows) {
+    std::printf("%-8s %-4s %12.4f %14.4f %9.2fx\n", r.system, r.algo,
+                r.oneshot, r.incremental,
+                r.incremental > 0 ? r.oneshot / r.incremental : 0.0);
+  }
+  std::printf("\npaper shape: one-shot comparable between systems; "
+              "iTbGPP incremental speedup (PR ~2.2x, LP ~4.7x over its "
+              "one-shot) well above GrB's (~1.1-1.2x).\n");
+  return 0;
+}
+
+}  // namespace itg
+
+int main() { return itg::Main(); }

@@ -1,0 +1,105 @@
+// Quickstart: write an L_NGA program, compile it, run it one-shot over a
+// graph, apply a mutation batch, and let the engine update the results
+// incrementally — the full iTurboGraph pipeline in ~80 lines.
+//
+//   build/examples/example_quickstart
+#include <cstdio>
+#include <filesystem>
+
+#include "compiler/compiled_program.h"
+#include "engine/engine.h"
+#include "gen/rmat.h"
+#include "storage/graph_store.h"
+
+int main() {
+  using namespace itg;
+
+  // 1. An L_NGA program: PageRank exactly as in Figure 5 of the paper.
+  const std::string source = R"(
+    Vertex (id, active, out_nbrs, out_degree,
+            rank: float, sum: Accm<float, SUM>)
+
+    Initialize (u) {
+      u.rank = 1;
+      u.active = true;
+    }
+
+    Traverse (u) {
+      Let val = u.rank / u.out_degree;
+      For v in u.out_nbrs {
+        v.sum.Accumulate(val);
+      }
+    }
+
+    Update (u) {
+      Let val = 0.15 / V + 0.85 * u.sum;
+      If (Abs(val - u.rank) > 0.001) {
+        u.rank = val;
+        u.active = true;
+      }
+    }
+  )";
+
+  // 2. Compile: parse -> analyze -> GSA plan -> automatic
+  //    incrementalization (Table 4 rules).
+  auto program_or = CompileProgram(source);
+  if (!program_or.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 program_or.status().ToString().c_str());
+    return 1;
+  }
+  auto program = std::move(program_or).value();
+  std::printf("%s\n", program->Explain().c_str());
+
+  // 3. A dynamic graph store over an RMAT graph (CSR base snapshot on
+  //    disk + delta segments for mutations).
+  const int kScale = 14;
+  auto dir = std::filesystem::temp_directory_path() / "itg_quickstart";
+  std::filesystem::create_directories(dir);
+  auto store_or = DynamicGraphStore::Create(
+      (dir / "store").string(), RmatVertices(kScale), GenerateRmat(kScale),
+      {}, &GlobalMetrics());
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "store error: %s\n",
+                 store_or.status().ToString().c_str());
+    return 1;
+  }
+  auto store = std::move(store_or).value();
+
+  // 4. One-shot execution at the initial snapshot.
+  EngineOptions options;
+  options.fixed_supersteps = 10;
+  Engine engine(store.get(), program.get(), options);
+  if (Status s = engine.RunOneShot(0); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  int rank = engine.AttrIndex("rank");
+  std::printf("one-shot:    %.4fs, %d supersteps, %llu walk emissions\n",
+              engine.last_stats().seconds, engine.last_stats().supersteps,
+              static_cast<unsigned long long>(
+                  engine.last_stats().emissions_applied));
+  std::printf("rank(0) = %.6f  rank(1) = %.6f\n", engine.AttrValue(rank, 0),
+              engine.AttrValue(rank, 1));
+
+  // 5. Mutate the graph and update the results incrementally: the engine
+  //    enumerates only Δ-walks instead of re-executing the query.
+  std::vector<EdgeDelta> batch = {
+      {{1, 0}, +1}, {{2, 0}, +1}, {{3, 0}, +1},  // new edges into vertex 0
+  };
+  if (auto t = store->ApplyMutations(batch); !t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = engine.RunIncremental(1); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("incremental: %.4fs, %llu Δ-walk emissions\n",
+              engine.last_stats().seconds,
+              static_cast<unsigned long long>(
+                  engine.last_stats().delta_walk_emissions));
+  std::printf("rank(0) = %.6f  (gained three in-edges)\n",
+              engine.AttrValue(rank, 0));
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "algos/programs.h"
+
+namespace itg {
+
+std::string PageRankProgram() {
+  return R"(
+    Vertex (id, active, out_nbrs, out_degree,
+            rank: float, sum: Accm<float, SUM>)
+
+    Initialize (u) {
+      u.rank = 1;
+      u.active = true;
+    }
+
+    Traverse (u) {
+      Let val = u.rank / u.out_degree;
+      For v in u.out_nbrs {
+        v.sum.Accumulate(val);
+      }
+    }
+
+    Update (u) {
+      Let val = 0.15 / V + 0.85 * u.sum;
+      If (Abs(val - u.rank) > 0.001) {
+        u.rank = val;
+        u.active = true;
+      }
+    }
+  )";
+}
+
+std::string LabelPropProgram(int num_labels) {
+  const std::string l = std::to_string(num_labels);
+  return R"(
+    Vertex (id, active, out_nbrs, out_degree,
+            labels: Array<float, )" + l + R"(>,
+            seed: Array<float, )" + l + R"(>,
+            sum: Accm<Array<float, )" + l + R"(>, SUM>)
+
+    Initialize (u) {
+      u.seed = 0;
+      u.seed[u.id % )" + l + R"(] = 1;
+      u.labels = u.seed;
+      u.active = true;
+    }
+
+    Traverse (u) {
+      Let val = u.labels / u.out_degree;
+      For v in u.out_nbrs {
+        v.sum.Accumulate(val);
+      }
+    }
+
+    Update (u) {
+      Let val = 0.15 * u.seed + 0.85 * u.sum;
+      If (MaxElem(Abs(val - u.labels)) > 0.001) {
+        u.active = true;
+      }
+      u.labels = val;
+    }
+  )";
+}
+
+std::string QuantizedPageRankProgram() {
+  return R"(
+    Vertex (id, active, out_nbrs, out_degree,
+            rank: double, sum: Accm<double, SUM>)
+
+    Initialize (u) {
+      u.rank = 1;
+      u.active = true;
+    }
+
+    Traverse (u) {
+      Let val = u.rank / u.out_degree;
+      For v in u.out_nbrs {
+        v.sum.Accumulate(val);
+      }
+    }
+
+    Update (u) {
+      Let val = Floor((0.15 / V + 0.85 * u.sum) * 1000) / 1000;
+      If (Abs(val - u.rank) > 0.001) {
+        u.rank = val;
+        u.active = true;
+      }
+    }
+  )";
+}
+
+std::string QuantizedLabelPropProgram(int num_labels) {
+  const std::string l = std::to_string(num_labels);
+  return R"(
+    Vertex (id, active, out_nbrs, out_degree,
+            labels: Array<double, )" + l + R"(>,
+            seed: Array<double, )" + l + R"(>,
+            sum: Accm<Array<double, )" + l + R"(>, SUM>)
+
+    Initialize (u) {
+      u.seed = 0;
+      u.seed[u.id % )" + l + R"(] = 1;
+      u.labels = u.seed;
+      u.active = true;
+    }
+
+    Traverse (u) {
+      Let val = u.labels / u.out_degree;
+      For v in u.out_nbrs {
+        v.sum.Accumulate(val);
+      }
+    }
+
+    Update (u) {
+      Let val = Floor((0.15 * u.seed + 0.85 * u.sum) * 1000) / 1000;
+      If (MaxElem(Abs(val - u.labels)) > 0.001) {
+        u.labels = val;
+        u.active = true;
+      }
+    }
+  )";
+}
+
+std::string WccProgram() {
+  return R"(
+    Vertex (id, active, out_nbrs,
+            comp: long, min_comp: Accm<long, MIN>)
+
+    Initialize (u) {
+      u.comp = u.id;
+      u.active = true;
+    }
+
+    Traverse (u) {
+      For v in u.out_nbrs {
+        v.min_comp.Accumulate(u.comp);
+      }
+    }
+
+    Update (u) {
+      If (u.min_comp < u.comp) {
+        u.comp = u.min_comp;
+        u.active = true;
+      }
+    }
+  )";
+}
+
+std::string BfsProgram(VertexId root) {
+  return R"(
+    Vertex (id, active, out_nbrs,
+            dist: double, min_dist: Accm<double, MIN>)
+
+    Initialize (u) {
+      If (u.id == )" + std::to_string(root) + R"() {
+        u.dist = 0;
+        u.active = true;
+      } Else {
+        u.dist = 1e18;
+      }
+    }
+
+    Traverse (u) {
+      Let val = u.dist + 1;
+      For v in u.out_nbrs {
+        v.min_dist.Accumulate(val);
+      }
+    }
+
+    Update (u) {
+      If (u.min_dist < u.dist) {
+        u.dist = u.min_dist;
+        u.active = true;
+      }
+    }
+  )";
+}
+
+std::string TriangleCountProgram() {
+  return R"(
+    Vertex (id, active, nbrs)
+    GlobalVariable (cnts: Accm<long, SUM>)
+
+    Initialize (u1) {
+      u1.active = true;
+    }
+
+    Traverse (u1) {
+      For u2 in u1.nbrs Where (u1 < u2) {
+        For u3 in u2.nbrs Where (u2 < u3) {
+          For u4 in u3.nbrs Where (u4 == u1) {
+            cnts.Accumulate(1);
+          }
+        }
+      }
+    }
+
+    Update (u1) {
+    }
+  )";
+}
+
+std::string LccProgram() {
+  return R"(
+    Vertex (id, active, nbrs, degree,
+            tri: Accm<long, SUM>, lcc: double)
+
+    Initialize (u1) {
+      u1.active = true;
+      u1.lcc = 0;
+    }
+
+    Traverse (u1) {
+      For u2 in u1.nbrs {
+        For u3 in u2.nbrs Where (u2 < u3) {
+          For u4 in u3.nbrs Where (u4 == u1) {
+            u1.tri.Accumulate(1);
+          }
+        }
+      }
+    }
+
+    Update (u1) {
+      If (u1.degree > 1) {
+        u1.lcc = 2 * u1.tri / (u1.degree * (u1.degree - 1));
+      } Else {
+        u1.lcc = 0;
+      }
+    }
+  )";
+}
+
+}  // namespace itg

@@ -1,0 +1,58 @@
+#ifndef ITG_ALGOS_PROGRAMS_H_
+#define ITG_ALGOS_PROGRAMS_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace itg {
+
+/// The paper's six analysis algorithms (§6.1) as L_NGA sources.
+///
+/// Group 1 (matrix-vector style, one-hop): PageRank, Label Propagation.
+/// Group 2 (graph connectivity, one-hop, Min monoid): WCC, BFS.
+/// Group 3 (multi-hop NGA): Triangle Counting, Local Clustering
+/// Coefficient.
+///
+/// WCC / TC / LCC expect a symmetrized edge list (undirected analytics
+/// are modeled as directed edge pairs, §4).
+
+/// Figure 5 (left): PageRank with the 0.001 activation threshold.
+std::string PageRankProgram();
+
+/// Label propagation (Zhu & Ghahramani): per-vertex distributions over
+/// `num_labels` labels, element-wise Sum array accumulator.
+std::string LabelPropProgram(int num_labels);
+
+/// Quantization grid of the Group-1 bench variants. The paper runs PR/LP
+/// with integer attributes scaled by 1000 — "equivalent to rounding the
+/// floating numbers down to three decimal places" (§6.1) — because DD
+/// lacks float support. The rounding is also what gives incremental PR
+/// its change deadband: value movements below one grid step do not
+/// propagate. All systems (engine and baselines) apply the same rule:
+/// rank' = Floor((0.15/V + 0.85·sum) · 1000) / 1000.
+inline constexpr double kQuantScale = 1000.0;
+
+/// PageRank over integers scaled by kQuantUnit (the paper's PR protocol).
+std::string QuantizedPageRankProgram();
+
+/// Label propagation over integers scaled by kQuantUnit.
+std::string QuantizedLabelPropProgram(int num_labels);
+
+/// Weakly connected components via Min-id propagation.
+std::string WccProgram();
+
+/// BFS depth from `root` via Min-dist propagation.
+std::string BfsProgram(VertexId root);
+
+/// Figure 5 (right): Triangle Counting with the u1 < u2 < u3 ordering and
+/// the closing constraint u4 == u1.
+std::string TriangleCountProgram();
+
+/// Local clustering coefficient: per-vertex triangle counts (Sum vertex
+/// accumulator at walk depth 3) plus the 2·tri/(deg·(deg−1)) update.
+std::string LccProgram();
+
+}  // namespace itg
+
+#endif  // ITG_ALGOS_PROGRAMS_H_

@@ -1,0 +1,292 @@
+#include "algos/reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itg {
+
+std::vector<double> RefPageRank(const Csr& graph, int iterations) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> rank(static_cast<size_t>(n), 1.0);
+  std::vector<char> active(static_cast<size_t>(n), 1);
+  std::vector<double> sum(static_cast<size_t>(n));
+  std::vector<char> touched(static_cast<size_t>(n));
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool any_active = std::any_of(active.begin(), active.end(),
+                                  [](char a) { return a != 0; });
+    if (!any_active) break;
+    std::fill(sum.begin(), sum.end(), 0.0);
+    std::fill(touched.begin(), touched.end(), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      auto nbrs = graph.Neighbors(u);
+      if (nbrs.empty()) continue;
+      double val = rank[u] / static_cast<double>(nbrs.size());
+      for (VertexId v : nbrs) {
+        sum[v] += val;
+        touched[v] = 1;
+      }
+    }
+    std::fill(active.begin(), active.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!touched[v]) continue;
+      double val = 0.15 / static_cast<double>(n) + 0.85 * sum[v];
+      if (std::abs(val - rank[v]) > 0.001) {
+        rank[v] = val;
+        active[v] = 1;
+      }
+    }
+  }
+  return rank;
+}
+
+std::vector<std::vector<double>> RefLabelProp(const Csr& graph,
+                                              int num_labels,
+                                              int iterations) {
+  const VertexId n = graph.num_vertices();
+  std::vector<std::vector<double>> labels(static_cast<size_t>(n));
+  for (VertexId u = 0; u < n; ++u) {
+    labels[u].assign(static_cast<size_t>(num_labels), 0.0);
+    labels[u][static_cast<size_t>(u % num_labels)] = 1.0;
+  }
+  std::vector<char> active(static_cast<size_t>(n), 1);
+  std::vector<std::vector<double>> sum(static_cast<size_t>(n));
+  std::vector<char> touched(static_cast<size_t>(n));
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool any_active = std::any_of(active.begin(), active.end(),
+                                  [](char a) { return a != 0; });
+    if (!any_active) break;
+    for (VertexId v = 0; v < n; ++v) {
+      sum[v].assign(static_cast<size_t>(num_labels), 0.0);
+    }
+    std::fill(touched.begin(), touched.end(), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      auto nbrs = graph.Neighbors(u);
+      if (nbrs.empty()) continue;
+      double inv = 1.0 / static_cast<double>(nbrs.size());
+      for (VertexId v : nbrs) {
+        for (int l = 0; l < num_labels; ++l) {
+          sum[v][l] += labels[u][l] * inv;
+        }
+        touched[v] = 1;
+      }
+    }
+    std::fill(active.begin(), active.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!touched[v]) continue;
+      double max_change = 0.0;
+      for (int l = 0; l < num_labels; ++l) {
+        double seed = (v % num_labels == l) ? 1.0 : 0.0;
+        double val = 0.15 * seed + 0.85 * sum[v][l];
+        max_change = std::max(max_change, std::abs(val - labels[v][l]));
+        labels[v][l] = val;
+      }
+      if (max_change > 0.001) active[v] = 1;
+    }
+  }
+  return labels;
+}
+
+std::vector<double> RefQuantizedPageRank(const Csr& graph, int iterations) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> rank(static_cast<size_t>(n), 1.0);
+  std::vector<char> active(static_cast<size_t>(n), 1);
+  std::vector<double> sum(static_cast<size_t>(n));
+  std::vector<char> touched(static_cast<size_t>(n));
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool any_active = std::any_of(active.begin(), active.end(),
+                                  [](char a) { return a != 0; });
+    if (!any_active) break;
+    std::fill(sum.begin(), sum.end(), 0.0);
+    std::fill(touched.begin(), touched.end(), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      auto nbrs = graph.Neighbors(u);
+      if (nbrs.empty()) continue;
+      double val = rank[u] / static_cast<double>(nbrs.size());
+      for (VertexId v : nbrs) {
+        sum[v] += val;
+        touched[v] = 1;
+      }
+    }
+    std::fill(active.begin(), active.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!touched[v]) continue;
+      double val = std::floor((0.15 / static_cast<double>(n) +
+                               0.85 * sum[v]) * 1000.0) / 1000.0;
+      if (std::abs(val - rank[v]) > 0.001) {
+        rank[v] = val;
+        active[v] = 1;
+      }
+    }
+  }
+  return rank;
+}
+
+std::vector<std::vector<double>> RefQuantizedLabelProp(const Csr& graph,
+                                                       int num_labels,
+                                                       int iterations) {
+  const VertexId n = graph.num_vertices();
+  std::vector<std::vector<double>> labels(static_cast<size_t>(n));
+  for (VertexId u = 0; u < n; ++u) {
+    labels[u].assign(static_cast<size_t>(num_labels), 0.0);
+    labels[u][static_cast<size_t>(u % num_labels)] = 1.0;
+  }
+  std::vector<char> active(static_cast<size_t>(n), 1);
+  std::vector<std::vector<double>> sum(static_cast<size_t>(n));
+  std::vector<char> touched(static_cast<size_t>(n));
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool any_active = std::any_of(active.begin(), active.end(),
+                                  [](char a) { return a != 0; });
+    if (!any_active) break;
+    for (VertexId v = 0; v < n; ++v) {
+      sum[v].assign(static_cast<size_t>(num_labels), 0.0);
+    }
+    std::fill(touched.begin(), touched.end(), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      auto nbrs = graph.Neighbors(u);
+      if (nbrs.empty()) continue;
+      double deg = static_cast<double>(nbrs.size());
+      for (VertexId v : nbrs) {
+        for (int l = 0; l < num_labels; ++l) {
+          sum[v][l] += labels[u][l] / deg;
+        }
+        touched[v] = 1;
+      }
+    }
+    std::fill(active.begin(), active.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!touched[v]) continue;
+      double max_change = 0.0;
+      std::vector<double> fresh(static_cast<size_t>(num_labels));
+      for (int l = 0; l < num_labels; ++l) {
+        double seed = (v % num_labels == l) ? 1.0 : 0.0;
+        fresh[l] = std::floor((0.15 * seed + 0.85 * sum[v][l]) * 1000.0) /
+                   1000.0;
+        max_change = std::max(max_change, std::abs(fresh[l] - labels[v][l]));
+      }
+      if (max_change > 0.001) {
+        labels[v] = fresh;
+        active[v] = 1;
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<VertexId> RefWcc(const Csr& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> comp(static_cast<size_t>(n));
+  for (VertexId u = 0; u < n; ++u) comp[u] = u;
+  std::vector<char> active(static_cast<size_t>(n), 1);
+  std::vector<VertexId> best(static_cast<size_t>(n));
+  std::vector<char> touched(static_cast<size_t>(n));
+  bool any = true;
+  while (any) {
+    any = false;
+    std::fill(touched.begin(), touched.end(), 0);
+    std::fill(best.begin(), best.end(), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      for (VertexId v : graph.Neighbors(u)) {
+        if (!touched[v] || comp[u] < best[v]) best[v] = comp[u];
+        touched[v] = 1;
+      }
+    }
+    std::fill(active.begin(), active.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!touched[v]) continue;
+      if (best[v] < comp[v]) {
+        comp[v] = best[v];
+        active[v] = 1;
+        any = true;
+      }
+    }
+  }
+  return comp;
+}
+
+std::vector<double> RefBfs(const Csr& graph, VertexId root) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> dist(static_cast<size_t>(n), kBfsInfinity);
+  dist[root] = 0.0;
+  std::vector<char> active(static_cast<size_t>(n), 0);
+  active[root] = 1;
+  std::vector<double> best(static_cast<size_t>(n));
+  std::vector<char> touched(static_cast<size_t>(n));
+  bool any = true;
+  while (any) {
+    any = false;
+    std::fill(touched.begin(), touched.end(), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      double val = dist[u] + 1.0;
+      for (VertexId v : graph.Neighbors(u)) {
+        if (!touched[v] || val < best[v]) best[v] = val;
+        touched[v] = 1;
+      }
+    }
+    std::fill(active.begin(), active.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!touched[v]) continue;
+      if (best[v] < dist[v]) {
+        dist[v] = best[v];
+        active[v] = 1;
+        any = true;
+      }
+    }
+  }
+  return dist;
+}
+
+uint64_t RefTriangleCount(const Csr& graph) {
+  uint64_t count = 0;
+  for (VertexId u1 = 0; u1 < graph.num_vertices(); ++u1) {
+    for (VertexId u2 : graph.Neighbors(u1)) {
+      if (u2 <= u1) continue;
+      for (VertexId u3 : graph.Neighbors(u2)) {
+        if (u3 <= u2) continue;
+        if (graph.HasEdge(u3, u1)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<uint64_t> RefPerVertexTriangles(const Csr& graph) {
+  std::vector<uint64_t> tri(static_cast<size_t>(graph.num_vertices()), 0);
+  for (VertexId u1 = 0; u1 < graph.num_vertices(); ++u1) {
+    for (VertexId u2 : graph.Neighbors(u1)) {
+      for (VertexId u3 : graph.Neighbors(u2)) {
+        if (u3 <= u2) continue;
+        if (graph.HasEdge(u3, u1)) ++tri[u1];
+      }
+    }
+  }
+  return tri;
+}
+
+std::vector<double> RefLcc(const Csr& graph) {
+  std::vector<uint64_t> tri = RefPerVertexTriangles(graph);
+  std::vector<double> lcc(tri.size(), 0.0);
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    int64_t deg = graph.Degree(u);
+    if (deg > 1) {
+      lcc[u] = 2.0 * static_cast<double>(tri[u]) /
+               (static_cast<double>(deg) * static_cast<double>(deg - 1));
+    }
+  }
+  return lcc;
+}
+
+VertexId MaxDegreeVertex(const Csr& graph) {
+  VertexId best = 0;
+  for (VertexId u = 1; u < graph.num_vertices(); ++u) {
+    if (graph.Degree(u) > graph.Degree(best)) best = u;
+  }
+  return best;
+}
+
+}  // namespace itg

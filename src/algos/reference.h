@@ -1,0 +1,65 @@
+#ifndef ITG_ALGOS_REFERENCE_H_
+#define ITG_ALGOS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/csr.h"
+
+namespace itg {
+
+/// Native single-threaded reference implementations of the paper's six
+/// analysis algorithms (§6.1), with semantics matching the L_NGA programs
+/// in `algos/programs.h` exactly (same BSP activation rules, same
+/// constants). They are the correctness oracles for the engine tests:
+/// engine(DSL program, G) must equal reference(G), and the incremental
+/// engine must equal the reference run on the mutated graph.
+
+/// PageRank with the paper's update rule rank' = 0.15/|V| + 0.85·sum and
+/// 0.001 activation threshold, run for `iterations` supersteps.
+std::vector<double> RefPageRank(const Csr& graph, int iterations);
+
+/// Label propagation (Zhu & Ghahramani style): each vertex carries a
+/// distribution over `num_labels` labels seeded one-hot by (id mod L);
+/// update is 0.15·seed + 0.85·(weighted neighbor average), activation on
+/// L-infinity change > 0.001. Runs `iterations` supersteps.
+std::vector<std::vector<double>> RefLabelProp(const Csr& graph,
+                                              int num_labels, int iterations);
+
+/// Quantized PageRank (the paper's integer-scaled protocol): values in
+/// units of kQuantUnit, contribution = Floor(rank/deg), update rule
+/// rank' = Floor(0.15·kQuantUnit/V + 0.85·sum), activation on any change.
+std::vector<double> RefQuantizedPageRank(const Csr& graph, int iterations);
+
+/// Quantized label propagation (same scaling, element-wise).
+std::vector<std::vector<double>> RefQuantizedLabelProp(const Csr& graph,
+                                                       int num_labels,
+                                                       int iterations);
+
+/// Weakly connected components via min-id propagation until convergence.
+/// The input should be symmetrized (the engine models undirected graphs
+/// as edge pairs).
+std::vector<VertexId> RefWcc(const Csr& graph);
+
+/// BFS depth from `root` via min-dist propagation until convergence.
+/// Unreachable vertices keep kBfsInfinity.
+inline constexpr double kBfsInfinity = 1e18;
+std::vector<double> RefBfs(const Csr& graph, VertexId root);
+
+/// Triangle count with the ordering constraint u1 < u2 < u3 (each
+/// triangle counted once) over a symmetrized simple graph.
+uint64_t RefTriangleCount(const Csr& graph);
+
+/// Per-vertex triangle counts (triangles containing each vertex).
+std::vector<uint64_t> RefPerVertexTriangles(const Csr& graph);
+
+/// Local clustering coefficient: 2·tri(v) / (deg(v)·(deg(v)−1)).
+std::vector<double> RefLcc(const Csr& graph);
+
+/// The vertex with the largest out-degree (the paper's BFS root choice).
+VertexId MaxDegreeVertex(const Csr& graph);
+
+}  // namespace itg
+
+#endif  // ITG_ALGOS_REFERENCE_H_

@@ -1,0 +1,468 @@
+#include "baselines/ddflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "storage/csr.h"
+
+namespace itg {
+
+namespace {
+
+constexpr double kDamping = 0.85;
+// Approximate per-entry overhead of a hash-map arrangement entry.
+constexpr uint64_t kMapEntryBytes = 48;
+
+void BuildAdjacency(VertexId n, const std::vector<Edge>& edges,
+                    std::vector<std::vector<VertexId>>* out,
+                    std::vector<std::vector<VertexId>>* in) {
+  out->assign(static_cast<size_t>(n), {});
+  if (in != nullptr) in->assign(static_cast<size_t>(n), {});
+  Csr csr = Csr::FromEdges(n, edges);
+  for (VertexId u = 0; u < n; ++u) {
+    auto nbrs = csr.Neighbors(u);
+    (*out)[u].assign(nbrs.begin(), nbrs.end());
+    if (in != nullptr) {
+      for (VertexId v : nbrs) (*in)[v].push_back(u);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DdRank (PR / LP)
+// ---------------------------------------------------------------------------
+
+void DdRank::SeedValue(VertexId v, double* out) const {
+  if (width_ == 1) {
+    out[0] = 0.15 / static_cast<double>(n_);
+    return;
+  }
+  for (int l = 0; l < width_; ++l) {
+    out[l] = (v % width_ == l) ? 0.15 : 0.0;
+  }
+}
+
+double DdRank::Contribution(double value, double degree) const {
+  return (degree == 0) ? 0.0 : value / degree;
+}
+
+double DdRank::ValueOf(VertexId v, int l, double agg, double old) const {
+  double seed[64];
+  SeedValue(v, seed);
+  double value = seed[l] + kDamping * agg;
+  if (!quantized_) return value;
+  // Quantized protocol: round down to the 0.001 grid, freeze sub-grid
+  // movements (the shared deadband).
+  double q = std::floor(value * 1000.0) / 1000.0;
+  return (std::abs(q - old) > 0.001) ? q : old;
+}
+
+Status DdRank::RunInitial(VertexId num_vertices,
+                          const std::vector<Edge>& edges) {
+  n_ = num_vertices;
+  BuildAdjacency(n_, edges, &out_, &in_);
+  const size_t width = static_cast<size_t>(width_);
+  const size_t row = static_cast<size_t>(n_) * width;
+
+  values_.assign(static_cast<size_t>(iterations_) + 1,
+                 std::vector<double>(row, 0.0));
+  aggs_.assign(static_cast<size_t>(iterations_),
+               std::vector<double>(row, 0.0));
+  ITG_RETURN_IF_ERROR(
+      Charge((static_cast<uint64_t>(iterations_) * 2 + 1) * row * 8));
+  for (VertexId v = 0; v < n_; ++v) {
+    if (width_ == 1) {
+      values_[0][static_cast<size_t>(v)] = 1.0;
+    } else {
+      values_[0][static_cast<size_t>(v) * width +
+                 static_cast<size_t>(v % width_)] = 1.0;
+    }
+  }
+  messages_.assign(static_cast<size_t>(iterations_), {});
+  std::vector<double> contrib(width);
+  for (int s = 0; s < iterations_; ++s) {
+    std::vector<double>& agg = aggs_[static_cast<size_t>(s)];
+    for (VertexId u = 0; u < n_; ++u) {
+      double deg = static_cast<double>(out_[u].size());
+      if (deg == 0) continue;
+      const double* uv = values_[static_cast<size_t>(s)].data() +
+                         static_cast<size_t>(u) * width;
+      for (size_t l = 0; l < width; ++l) {
+        contrib[l] = Contribution(uv[l], deg);
+      }
+      for (VertexId w : out_[u]) {
+        // The join result (message) is arranged for incremental reuse.
+        ITG_RETURN_IF_ERROR(Charge(kMapEntryBytes + width * 8));
+        messages_[static_cast<size_t>(s)][{u, w}] = contrib;
+        double* wa = agg.data() + static_cast<size_t>(w) * width;
+        for (size_t l = 0; l < width; ++l) wa[l] += contrib[l];
+      }
+    }
+    const std::vector<double>& cur = values_[static_cast<size_t>(s)];
+    std::vector<double>& next = values_[static_cast<size_t>(s) + 1];
+    for (VertexId v = 0; v < n_; ++v) {
+      for (size_t l = 0; l < width; ++l) {
+        size_t i = static_cast<size_t>(v) * width + l;
+        next[i] = ValueOf(v, static_cast<int>(l), agg[i], cur[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DdRank::ApplyMutations(const std::vector<EdgeDelta>& batch) {
+  std::vector<uint8_t> structural(static_cast<size_t>(n_), 0);
+  for (const EdgeDelta& d : batch) {
+    auto& out = out_[d.edge.src];
+    auto& in = in_[d.edge.dst];
+    if (d.mult > 0) {
+      if (std::find(out.begin(), out.end(), d.edge.dst) == out.end()) {
+        out.push_back(d.edge.dst);
+        in.push_back(d.edge.src);
+      }
+    } else {
+      out.erase(std::remove(out.begin(), out.end(), d.edge.dst), out.end());
+      in.erase(std::remove(in.begin(), in.end(), d.edge.src), in.end());
+    }
+    // Degree change invalidates every contribution of the source.
+    structural[static_cast<size_t>(d.edge.src)] = 1;
+  }
+
+  const size_t width = static_cast<size_t>(width_);
+  std::vector<uint8_t> dirty_values(static_cast<size_t>(n_), 0);
+  std::vector<double> contrib(width);
+  for (int s = 0; s < iterations_; ++s) {
+    auto& msgs = messages_[static_cast<size_t>(s)];
+    std::vector<double>& agg = aggs_[static_cast<size_t>(s)];
+    std::vector<double>& next = values_[static_cast<size_t>(s) + 1];
+    std::vector<uint8_t> agg_dirty(static_cast<size_t>(n_), 0);
+    // Retract / assert messages whose source value or adjacency changed;
+    // the additive aggregate arrangement absorbs the deltas.
+    for (VertexId u = 0; u < n_; ++u) {
+      if (!structural[u] && !dirty_values[u]) continue;
+      double deg = static_cast<double>(out_[u].size());
+      const double* uv = values_[static_cast<size_t>(s)].data() +
+                         static_cast<size_t>(u) * width;
+      for (size_t l = 0; l < width; ++l) {
+        contrib[l] = Contribution(uv[l], deg);
+      }
+      for (VertexId w : out_[u]) {
+        auto [it, inserted] = msgs.try_emplace(Edge{u, w});
+        if (inserted) {
+          ITG_RETURN_IF_ERROR(Charge(kMapEntryBytes + width * 8));
+          it->second.assign(width, 0.0);
+        }
+        double* old = it->second.data();
+        double* wa = agg.data() + static_cast<size_t>(w) * width;
+        for (size_t l = 0; l < width; ++l) {
+          wa[l] += contrib[l] - old[l];
+          old[l] = contrib[l];
+        }
+        agg_dirty[static_cast<size_t>(w)] = 1;
+      }
+    }
+    // Deleted edges: retract their arranged messages entirely.
+    for (const EdgeDelta& d : batch) {
+      if (d.mult > 0) continue;
+      auto it = msgs.find(d.edge);
+      if (it == msgs.end()) continue;
+      double* wa = agg.data() + static_cast<size_t>(d.edge.dst) * width;
+      for (size_t l = 0; l < width; ++l) wa[l] -= it->second[l];
+      msgs.erase(it);
+      agg_dirty[static_cast<size_t>(d.edge.dst)] = 1;
+    }
+    // Re-map dirty aggregates to values; the value map also reads the
+    // vertex's own previous-iteration value (deadband), so self-dirty
+    // vertices re-map too. Propagate only actual changes (sub-grid drift
+    // is absorbed here).
+    const std::vector<double>& cur = values_[static_cast<size_t>(s)];
+    std::vector<uint8_t> next_dirty(static_cast<size_t>(n_), 0);
+    for (VertexId w = 0; w < n_; ++w) {
+      if (!agg_dirty[w] && !dirty_values[w]) continue;
+      bool changed = false;
+      for (size_t l = 0; l < width; ++l) {
+        size_t i = static_cast<size_t>(w) * width + l;
+        double fresh = ValueOf(w, static_cast<int>(l), agg[i], cur[i]);
+        if (fresh != next[i]) {
+          next[i] = fresh;
+          changed = true;
+        }
+      }
+      if (changed) next_dirty[w] = 1;
+    }
+    dirty_values.swap(next_dirty);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DdMinPropagation (WCC / BFS)
+// ---------------------------------------------------------------------------
+
+double DdMinPropagation::MinOfImpl(double self,
+                                   const std::vector<double>& msgs) {
+  return msgs.empty() ? self : std::min(self, msgs.front());
+}
+
+Status DdMinPropagation::RunInitial(VertexId num_vertices,
+                                    const std::vector<Edge>& edges) {
+  n_ = num_vertices;
+  BuildAdjacency(n_, edges, &out_, &in_);
+  labels_.clear();
+  labels_.push_back(labels0_);
+  ITG_RETURN_IF_ERROR(Charge(static_cast<uint64_t>(n_) * 8));
+  messages_.push_back({});  // iteration 0 placeholder
+  for (int s = 1; s < 500; ++s) {
+    // Arrange the full sorted message multiset of this iteration.
+    messages_.push_back(
+        std::vector<std::vector<double>>(static_cast<size_t>(n_)));
+    auto& msgs = messages_.back();
+    const auto& prev = labels_.back();
+    for (VertexId v = 0; v < n_; ++v) {
+      auto& mv = msgs[v];
+      mv.reserve(in_[v].size());
+      for (VertexId u : in_[v]) mv.push_back(prev[u] + increment_);
+      std::sort(mv.begin(), mv.end());
+      ITG_RETURN_IF_ERROR(Charge(kMapEntryBytes + mv.size() * 8));
+    }
+    std::vector<double> next(static_cast<size_t>(n_));
+    ITG_RETURN_IF_ERROR(Charge(static_cast<uint64_t>(n_) * 8));
+    bool changed = false;
+    for (VertexId v = 0; v < n_; ++v) {
+      next[v] = MinOfImpl(prev[v], msgs[v]);
+      if (next[v] != prev[v]) changed = true;
+    }
+    labels_.push_back(std::move(next));
+    if (!changed) break;
+  }
+  return Status::OK();
+}
+
+Status DdMinPropagation::ApplyMutations(const std::vector<EdgeDelta>& batch) {
+  for (const EdgeDelta& d : batch) {
+    auto& out = out_[d.edge.src];
+    auto& in = in_[d.edge.dst];
+    if (d.mult > 0) {
+      if (std::find(out.begin(), out.end(), d.edge.dst) == out.end()) {
+        out.push_back(d.edge.dst);
+        in.push_back(d.edge.src);
+      }
+    } else {
+      out.erase(std::remove(out.begin(), out.end(), d.edge.dst), out.end());
+      in.erase(std::remove(in.begin(), in.end(), d.edge.src), in.end());
+    }
+  }
+
+  std::unordered_set<Edge, EdgeHash> inserted_now;
+  for (const EdgeDelta& d : batch) {
+    if (d.mult > 0) inserted_now.insert(d.edge);
+  }
+
+  // changed[v] -> old label at the previous iteration, for message
+  // retraction at the next one.
+  std::unordered_map<VertexId, double> changed_prev;
+  auto update_multiset = [&](std::vector<double>& mv, double old_value,
+                             bool remove_old, double new_value,
+                             bool insert_new) -> Status {
+    if (remove_old) {
+      auto it = std::lower_bound(mv.begin(), mv.end(), old_value);
+      if (it != mv.end() && *it == old_value) mv.erase(it);
+    }
+    if (insert_new) {
+      ITG_RETURN_IF_ERROR(Charge(8));
+      mv.insert(std::lower_bound(mv.begin(), mv.end(), new_value),
+                new_value);
+    }
+    return Status::OK();
+  };
+
+  size_t s = 1;
+  while (true) {
+    if (s >= labels_.size()) {
+      // The fixpoint needs more iterations than before (e.g. a deletion
+      // lengthened shortest paths): extend with full iterations.
+      const auto& prev = labels_.back();
+      messages_.push_back(
+          std::vector<std::vector<double>>(static_cast<size_t>(n_)));
+      auto& msgs = messages_.back();
+      bool changed = false;
+      std::vector<double> next(static_cast<size_t>(n_));
+      for (VertexId v = 0; v < n_; ++v) {
+        auto& mv = msgs[v];
+        for (VertexId u : in_[v]) mv.push_back(prev[u] + increment_);
+        std::sort(mv.begin(), mv.end());
+        ITG_RETURN_IF_ERROR(Charge(kMapEntryBytes + mv.size() * 8));
+        next[v] = MinOfImpl(prev[v], mv);
+        if (next[v] != prev[v]) changed = true;
+      }
+      ITG_RETURN_IF_ERROR(Charge(static_cast<uint64_t>(n_) * 8));
+      labels_.push_back(std::move(next));
+      if (!changed) break;
+      ++s;
+      continue;
+    }
+    auto& msgs = messages_[s];
+    const auto& prev = labels_[s - 1];
+    std::unordered_map<VertexId, double> changed_here;
+    std::unordered_set<VertexId> dirty;
+    // Structural deltas apply at every iteration.
+    for (const EdgeDelta& d : batch) {
+      VertexId u = d.edge.src;
+      VertexId w = d.edge.dst;
+      double value = prev[u] + increment_;
+      if (d.mult > 0) {
+        ITG_RETURN_IF_ERROR(
+            update_multiset(msgs[w], 0, false, value, true));
+      } else {
+        // Retract with the OLD source label this message was built from.
+        double old_label = prev[u];
+        auto it = changed_prev.find(u);
+        if (it != changed_prev.end()) old_label = it->second;
+        ITG_RETURN_IF_ERROR(update_multiset(
+            msgs[w], old_label + increment_, true, 0, false));
+      }
+      dirty.insert(w);
+    }
+    // Sources whose label changed at the previous iteration update all
+    // their outgoing messages. Edges inserted by this batch already carry
+    // the new label (the structural pass built them from it).
+    for (const auto& [u, old_label] : changed_prev) {
+      double old_msg = old_label + increment_;
+      double new_msg = prev[u] + increment_;
+      for (VertexId w : out_[u]) {
+        if (inserted_now.contains({u, w})) continue;
+        ITG_RETURN_IF_ERROR(
+            update_multiset(msgs[w], old_msg, true, new_msg, true));
+        dirty.insert(w);
+      }
+      dirty.insert(u);  // self-min input changed
+    }
+    auto& cur = labels_[s];
+    for (VertexId w : dirty) {
+      double fresh = MinOfImpl(prev[w], msgs[w]);
+      if (fresh != cur[w]) {
+        changed_here[w] = cur[w];
+        cur[w] = fresh;
+      }
+    }
+    if (s + 1 == labels_.size() && changed_here.empty()) break;
+    changed_prev = std::move(changed_here);
+    ++s;
+    if (changed_prev.empty() && s >= labels_.size()) break;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DdTriangles (TC / LCC)
+// ---------------------------------------------------------------------------
+
+Status DdTriangles::AddTwoPath(VertexId a, VertexId b, VertexId c,
+                               int64_t mult) {
+  auto [it, inserted] = two_paths_.try_emplace(Edge{a, c}, 0);
+  if (inserted) ITG_RETURN_IF_ERROR(Charge(kMapEntryBytes));
+  it->second += mult;
+  if (it->second == 0) two_paths_.erase(it);
+  return Status::OK();
+}
+
+Status DdTriangles::UpdateTriangles(VertexId a, VertexId b, VertexId c,
+                                    int64_t mult) {
+  total_ = static_cast<uint64_t>(static_cast<int64_t>(total_) + mult);
+  per_vertex_[a] += mult;
+  per_vertex_[b] += mult;
+  per_vertex_[c] += mult;
+  return Status::OK();
+}
+
+Status DdTriangles::RunInitial(VertexId num_vertices,
+                               const std::vector<Edge>& edges) {
+  n_ = num_vertices;
+  BuildAdjacency(n_, edges, &adj_, nullptr);
+  per_vertex_.assign(static_cast<size_t>(n_), 0);
+  edge_set_.clear();
+  for (VertexId u = 0; u < n_; ++u) {
+    for (VertexId v : adj_[u]) edge_set_.insert({u, v});
+  }
+  ITG_RETURN_IF_ERROR(Charge(edge_set_.size() * kMapEntryBytes));
+  total_ = 0;
+  // Materialize the two-path arrangement edges ⋈ edges — the Σ deg²
+  // intermediate that DD retains for incremental maintenance.
+  for (VertexId a = 0; a < n_; ++a) {
+    for (VertexId b : adj_[a]) {
+      if (b <= a) continue;
+      for (VertexId c : adj_[b]) {
+        if (c <= b) continue;
+        ITG_RETURN_IF_ERROR(AddTwoPath(a, b, c, +1));
+        if (HasEdge(a, c)) ITG_RETURN_IF_ERROR(UpdateTriangles(a, b, c, +1));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DdTriangles::ApplyMutations(const std::vector<EdgeDelta>& batch) {
+  for (const EdgeDelta& d : batch) {
+    VertexId x = d.edge.src;
+    VertexId y = d.edge.dst;
+    if (x >= y) continue;  // symmetric batches: process each edge once
+    int64_t m = d.mult;
+    if (m < 0) {
+      // Retract while the edge is still present.
+      // Triangles through {x, y}: common neighbors.
+      for (VertexId z : adj_[x]) {
+        if (z == y) continue;
+        if (edge_set_.contains({y, z})) {
+          VertexId t[3] = {x, y, z};
+          std::sort(t, t + 3);
+          ITG_RETURN_IF_ERROR(UpdateTriangles(t[0], t[1], t[2], -1));
+        }
+      }
+      // Two-paths with {x,y} as a leg: x→y→c (c>y) and a→x→y (a<x).
+      for (VertexId c : adj_[y]) {
+        if (c > y) ITG_RETURN_IF_ERROR(AddTwoPath(x, y, c, -1));
+      }
+      for (VertexId a : adj_[x]) {
+        if (a < x) ITG_RETURN_IF_ERROR(AddTwoPath(a, x, y, -1));
+      }
+      auto rm = [&](VertexId u, VertexId v) {
+        auto& list = adj_[u];
+        list.erase(std::remove(list.begin(), list.end(), v), list.end());
+        edge_set_.erase({u, v});
+      };
+      rm(x, y);
+      rm(y, x);
+    } else {
+      // Assert against the pre-insertion state, then install.
+      for (VertexId z : adj_[x]) {
+        if (z == y) continue;
+        if (edge_set_.contains({y, z})) {
+          VertexId t[3] = {x, y, z};
+          std::sort(t, t + 3);
+          ITG_RETURN_IF_ERROR(UpdateTriangles(t[0], t[1], t[2], +1));
+        }
+      }
+      for (VertexId c : adj_[y]) {
+        if (c > y) ITG_RETURN_IF_ERROR(AddTwoPath(x, y, c, +1));
+      }
+      for (VertexId a : adj_[x]) {
+        if (a < x) ITG_RETURN_IF_ERROR(AddTwoPath(a, x, y, +1));
+      }
+      auto add = [&](VertexId u, VertexId v) {
+        auto& list = adj_[u];
+        if (std::find(list.begin(), list.end(), v) == list.end()) {
+          list.push_back(v);
+          edge_set_.insert({u, v});
+        }
+      };
+      add(x, y);
+      add(y, x);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace itg

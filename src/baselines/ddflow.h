@@ -1,0 +1,158 @@
+#ifndef ITG_BASELINES_DDFLOW_H_
+#define ITG_BASELINES_DDFLOW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace itg {
+
+/// A Differential-Dataflow-style baseline [McSherry et al., CIDR'13]:
+/// incremental computation by maintaining *arrangements* — materialized,
+/// indexed intermediate collections — for every join/reduce in the
+/// dataflow. Updates are fast (proportional to the delta) but the
+/// arrangements for all iterations stay resident, which is the
+/// scalability ceiling §6.2/§6.3 measures: memory ∝ iterations × (V + E)
+/// for the matrix-vector algorithms, ∝ Σ_v deg(v)² for the NGA joins.
+///
+/// Every arrangement byte is charged to a MemoryBudget; exceeding it
+/// returns OutOfMemory, which the benches print as the paper's "O" marks.
+
+/// PR / LP over DD: per-iteration rank collections plus the join-result
+/// (message) arrangement of every iteration.
+class DdRank {
+ public:
+  /// `quantized`: the paper's integer-scaled protocol (contribution =
+  /// Floor(value/deg), value = Floor(seed + 0.85·agg), unit 1e6).
+  DdRank(int width, int iterations, MemoryBudget* budget,
+         bool quantized = true)
+      : width_(width),
+        iterations_(iterations),
+        budget_(budget),
+        quantized_(quantized) {}
+
+  Status RunInitial(VertexId num_vertices, const std::vector<Edge>& edges);
+  Status ApplyMutations(const std::vector<EdgeDelta>& batch);
+
+  const double* Value(VertexId v) const {
+    return values_.back().data() +
+           static_cast<size_t>(v) * static_cast<size_t>(width_);
+  }
+  uint64_t arranged_bytes() const { return arranged_bytes_; }
+
+ private:
+  Status Charge(uint64_t bytes) {
+    arranged_bytes_ += bytes;
+    return budget_->Charge(bytes);
+  }
+  void SeedValue(VertexId v, double* out) const;
+  Status Propagate(const std::vector<uint8_t>& dirty0);
+
+  double Contribution(double value, double degree) const;
+  double ValueOf(VertexId v, int l, double agg, double old) const;
+
+  int width_;
+  int iterations_;
+  MemoryBudget* budget_;
+  bool quantized_;
+  VertexId n_ = 0;
+  std::vector<std::vector<VertexId>> out_;
+  std::vector<std::vector<VertexId>> in_;
+  // Arrangements, all retained for incremental updates: per-iteration
+  // values, per-iteration additive aggregates (reduce state), and
+  // per-iteration per-edge join results (messages).
+  std::vector<std::vector<double>> values_;            // (S+1) x (n*width)
+  std::vector<std::vector<double>> aggs_;              // S x (n*width)
+  std::vector<std::unordered_map<Edge, std::vector<double>, EdgeHash>>
+      messages_;                                       // S x (edge -> contrib)
+  uint64_t arranged_bytes_ = 0;
+};
+
+/// WCC / BFS over DD: iterate-until-fixpoint min propagation. DD's
+/// reduce keeps, for every vertex and iteration, the full sorted multiset
+/// of input messages so deleted minima can be replaced without
+/// recomputation (the design §6.2.2 describes: 17× the input graph in
+/// heap space, but sub-second deletions).
+class DdMinPropagation {
+ public:
+  /// `labels0[v]`: initial label (own id for WCC; 0 for the BFS root and
+  /// +inf otherwise). Propagates min(label[u] + increment) over edges.
+  DdMinPropagation(std::vector<double> labels0, double increment,
+                   MemoryBudget* budget)
+      : labels0_(std::move(labels0)),
+        increment_(increment),
+        budget_(budget) {}
+
+  Status RunInitial(VertexId num_vertices, const std::vector<Edge>& edges);
+  Status ApplyMutations(const std::vector<EdgeDelta>& batch);
+
+  double Value(VertexId v) const { return labels_.back()[v]; }
+  uint64_t arranged_bytes() const { return arranged_bytes_; }
+  int iterations() const { return static_cast<int>(labels_.size()) - 1; }
+
+ private:
+  Status Charge(uint64_t bytes) {
+    arranged_bytes_ += bytes;
+    return budget_->Charge(bytes);
+  }
+  static double MinOfImpl(double self, const std::vector<double>& msgs);
+
+  std::vector<double> labels0_;
+  double increment_;
+  MemoryBudget* budget_;
+  VertexId n_ = 0;
+  std::vector<std::vector<VertexId>> out_;
+  std::vector<std::vector<VertexId>> in_;
+  // labels_[s][v]: value after iteration s. messages_[s][v]: the sorted
+  // multiset of messages received by v at iteration s (arrangement).
+  std::vector<std::vector<double>> labels_;
+  std::vector<std::vector<std::vector<double>>> messages_;
+  uint64_t arranged_bytes_ = 0;
+};
+
+/// TC / LCC over DD: the triangle join edges ⋈ edges ⋈ edges with the
+/// two-path arrangement materialized — the O(Σ deg²) intermediate result
+/// that makes DD OOM on even the smallest graphs of Figure 12(e,f).
+class DdTriangles {
+ public:
+  explicit DdTriangles(MemoryBudget* budget) : budget_(budget) {}
+
+  /// `edges` must be symmetrized; triangles counted once (a < b < c).
+  Status RunInitial(VertexId num_vertices, const std::vector<Edge>& edges);
+  Status ApplyMutations(const std::vector<EdgeDelta>& batch);
+
+  uint64_t triangle_count() const { return total_; }
+  /// Per-vertex triangle counts (for LCC).
+  const std::vector<int64_t>& per_vertex() const { return per_vertex_; }
+  uint64_t arranged_bytes() const { return arranged_bytes_; }
+
+ private:
+  Status Charge(uint64_t bytes) {
+    arranged_bytes_ += bytes;
+    return budget_->Charge(bytes);
+  }
+  bool HasEdge(VertexId a, VertexId b) const {
+    return edge_set_.contains({a, b});
+  }
+  Status AddTwoPath(VertexId a, VertexId b, VertexId c, int64_t mult);
+  Status UpdateTriangles(VertexId a, VertexId b, VertexId c, int64_t mult);
+
+  MemoryBudget* budget_;
+  VertexId n_ = 0;
+  std::vector<std::vector<VertexId>> adj_;
+  std::unordered_set<Edge, EdgeHash> edge_set_;
+  // The two-path arrangement: (a, c) -> number of b with a<b<c, a→b→c.
+  std::unordered_map<Edge, int64_t, EdgeHash> two_paths_;
+  uint64_t total_ = 0;
+  std::vector<int64_t> per_vertex_;
+  uint64_t arranged_bytes_ = 0;
+};
+
+}  // namespace itg
+
+#endif  // ITG_BASELINES_DDFLOW_H_

@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace itg {
+
+LogLevel& MinLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+}  // namespace itg

@@ -1,0 +1,54 @@
+#ifndef ITG_COMMON_MEMORY_BUDGET_H_
+#define ITG_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace itg {
+
+/// Tracks logical memory consumption against a hard budget. The
+/// Differential-Dataflow-style baseline charges every arrangement byte to
+/// one of these; exceeding the budget turns into the OOM failures the
+/// paper marks with "O" in Figures 12 and 13.
+///
+/// A budget of 0 means unlimited.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t budget_bytes = 0)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Charges `n` bytes. Returns OutOfMemory if the budget would be
+  /// exceeded (the charge is still recorded so callers can report usage).
+  Status Charge(uint64_t n) {
+    uint64_t used = used_bytes_.fetch_add(n) + n;
+    if (used > peak_bytes_.load()) peak_bytes_.store(used);
+    if (budget_bytes_ != 0 && used > budget_bytes_) {
+      return Status::OutOfMemory("memory budget exceeded: used " +
+                                 std::to_string(used) + "B of " +
+                                 std::to_string(budget_bytes_) + "B");
+    }
+    return Status::OK();
+  }
+
+  void Release(uint64_t n) { used_bytes_ -= n; }
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t peak_bytes() const { return peak_bytes_; }
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+  void Reset() {
+    used_bytes_ = 0;
+    peak_bytes_ = 0;
+  }
+
+ private:
+  uint64_t budget_bytes_;
+  std::atomic<uint64_t> used_bytes_{0};
+  std::atomic<uint64_t> peak_bytes_{0};
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_MEMORY_BUDGET_H_

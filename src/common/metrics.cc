@@ -1,0 +1,20 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace itg {
+
+Metrics& GlobalMetrics() {
+  static Metrics* metrics = new Metrics();
+  return *metrics;
+}
+
+std::string Metrics::ToString() const {
+  std::ostringstream os;
+  os << "read=" << read_bytes() << "B write=" << write_bytes()
+     << "B net=" << network_bytes() << "B cpu=" << cpu_nanos()
+     << "ns page_reads=" << page_reads();
+  return os.str();
+}
+
+}  // namespace itg

@@ -1,0 +1,86 @@
+#ifndef ITG_COMMON_METRICS_H_
+#define ITG_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace itg {
+
+/// Counters mirroring the quantities the paper reports: disk IO bytes
+/// (§6.2), network transfer bytes (§6.2.2), CPU time (§6.2 Group 3) and
+/// peak tracked memory (the DD OOM experiments).
+///
+/// One instance per simulated machine; `GlobalMetrics()` is the
+/// process-wide default used by single-machine runs.
+class Metrics {
+ public:
+  void AddReadBytes(uint64_t n) { read_bytes_ += n; }
+  void AddWriteBytes(uint64_t n) { write_bytes_ += n; }
+  void AddNetworkBytes(uint64_t n) { network_bytes_ += n; }
+  void AddCpuNanos(uint64_t n) { cpu_nanos_ += n; }
+  void AddPageReads(uint64_t n) { page_reads_ += n; }
+
+  uint64_t read_bytes() const { return read_bytes_; }
+  uint64_t write_bytes() const { return write_bytes_; }
+  uint64_t network_bytes() const { return network_bytes_; }
+  uint64_t cpu_nanos() const { return cpu_nanos_; }
+  uint64_t page_reads() const { return page_reads_; }
+
+  void Reset() {
+    read_bytes_ = 0;
+    write_bytes_ = 0;
+    network_bytes_ = 0;
+    cpu_nanos_ = 0;
+    page_reads_ = 0;
+  }
+
+  /// Merges another metrics snapshot into this one (used when collapsing
+  /// per-machine meters into a cluster total).
+  void Merge(const Metrics& other) {
+    read_bytes_ += other.read_bytes_;
+    write_bytes_ += other.write_bytes_;
+    network_bytes_ += other.network_bytes_;
+    cpu_nanos_ += other.cpu_nanos_;
+    page_reads_ += other.page_reads_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> read_bytes_{0};
+  std::atomic<uint64_t> write_bytes_{0};
+  std::atomic<uint64_t> network_bytes_{0};
+  std::atomic<uint64_t> cpu_nanos_{0};
+  std::atomic<uint64_t> page_reads_{0};
+};
+
+/// The process-wide metrics sink.
+Metrics& GlobalMetrics();
+
+/// Wall-clock stopwatch used by the bench harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_METRICS_H_

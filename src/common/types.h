@@ -1,0 +1,61 @@
+#ifndef ITG_COMMON_TYPES_H_
+#define ITG_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace itg {
+
+/// Identifier of a vertex. The paper predefines `id:long`; 64-bit ids keep
+/// the model faithful even though laptop-scale graphs fit in 32 bits.
+using VertexId = int64_t;
+
+/// A graph snapshot timestamp `t` (0 = initial graph G_0).
+using Timestamp = int32_t;
+
+/// A BSP superstep index `s` within the execution of one snapshot.
+using Superstep = int32_t;
+
+/// Signed multiplicity of a stream tuple: +1 = insertion, -1 = deletion.
+/// The simple-graph model of the paper restricts multiplicities to ±1.
+using Multiplicity = int8_t;
+
+/// A directed edge (src, dst). Undirected graphs are stored as pairs of
+/// directed edges in both directions, as in the paper (§4).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Edge& e) {
+  return os << "(" << e.src << "->" << e.dst << ")";
+}
+
+/// An edge tagged with a multiplicity: one element of a delta edge stream.
+struct EdgeDelta {
+  Edge edge;
+  Multiplicity mult = 1;
+
+  friend bool operator==(const EdgeDelta&, const EdgeDelta&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const EdgeDelta& d) {
+  return os << d.edge << (d.mult > 0 ? "+" : "-");
+}
+
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    uint64_t x = static_cast<uint64_t>(e.src) * 0x9E3779B97F4A7C15ull;
+    x ^= static_cast<uint64_t>(e.dst) + 0x9E3779B97F4A7C15ull + (x << 6) +
+         (x >> 2);
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_TYPES_H_

@@ -1,0 +1,1182 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/logging.h"
+#include "engine/msbfs.h"
+#include "engine/stmt_interp.h"
+
+namespace itg {
+
+namespace {
+
+/// Attributes that are derived from the graph structure (filled per
+/// snapshot) or purely positional; they are never persisted as deltas.
+bool IsVirtualAttr(const std::string& name) {
+  return name == "id" || name == "nbrs" || name == "in_nbrs" ||
+         name == "out_nbrs" || name == "degree" || name == "in_degree" ||
+         name == "out_degree";
+}
+
+}  // namespace
+
+Engine::Engine(DynamicGraphStore* store, const CompiledProgram* program,
+               const EngineOptions& options)
+    : store_(store),
+      program_(program),
+      options_(options),
+      enumerator_(program, store, store->pool(),
+                  {options.window_vertices, options.multiway_intersection}) {
+  // Column layout: program attrs, then the hidden contribution counter,
+  // then one support column per scalar-monoid accumulator.
+  const int n_attrs = num_program_attrs();
+  support_attr_.assign(static_cast<size_t>(n_attrs), -1);
+  for (int a = 0; a < n_attrs; ++a) {
+    const lang::Type& type = program_->vertex_attrs[a].type;
+    all_widths_.push_back(type.width);
+    if (type.is_accumulator) accm_attrs_.push_back(a);
+  }
+  contribs_attr_ = static_cast<int>(all_widths_.size());
+  all_widths_.push_back(1);
+  for (int a : accm_attrs_) {
+    if (IsMonoidScalar(a)) {
+      support_attr_[a] = static_cast<int>(all_widths_.size());
+      all_widths_.push_back(1);
+    }
+  }
+  // Register the same layout in the vertex store (indices align).
+  VertexStore* vs = store_->vertex_store();
+  if (vs->attribute_count() == 0) {
+    for (int a = 0; a < n_attrs; ++a) {
+      vs->RegisterAttribute(program_->vertex_attrs[a].name, all_widths_[a]);
+    }
+    vs->RegisterAttribute("__contribs", 1);
+    for (int a : accm_attrs_) {
+      if (support_attr_[a] >= 0) {
+        vs->RegisterAttribute("__support_" + program_->vertex_attrs[a].name,
+                              1);
+      }
+    }
+  }
+  recompute_sets_.resize(static_cast<size_t>(n_attrs));
+  monoid_marks_.resize(static_cast<size_t>(n_attrs));
+  adj_stack_.resize(static_cast<size_t>(program_->walk_length()) + 2);
+  InitGlobals(&cur_globals_);
+  if (options_.num_partitions > 1) {
+    for (int m = 0; m < options_.num_partitions; ++m) {
+      machine_pools_.push_back(std::make_unique<BufferPool>(
+          store_->page_store(), options_.partition_pool_pages));
+    }
+  }
+}
+
+void Engine::ResetMachineStats() {
+  machine_stats_.assign(
+      static_cast<size_t>(std::max(1, options_.num_partitions)),
+      MachineStats{});
+  remote_seen_.clear();
+}
+
+double Engine::SimulatedDistributedSeconds() const {
+  double worst = 0;
+  for (const MachineStats& m : machine_stats_) {
+    worst = std::max(worst, m.seconds + static_cast<double>(m.network_bytes) /
+                                            options_.network_bytes_per_second);
+  }
+  return worst;
+}
+
+Status Engine::PartitionedEnumerate(
+    const std::vector<VertexId>& starts,
+    const std::function<Status(const std::vector<VertexId>&)>& enumerate) {
+  if (options_.num_partitions <= 1) {
+    return enumerate(starts);
+  }
+  std::vector<std::vector<VertexId>> by_machine(
+      static_cast<size_t>(options_.num_partitions));
+  for (VertexId v : starts) {
+    by_machine[static_cast<size_t>(OwnerOf(v))].push_back(v);
+  }
+  for (int m = 0; m < options_.num_partitions; ++m) {
+    current_machine_ = m;
+    enumerator_.set_pool(machine_pools_[static_cast<size_t>(m)].get());
+    Stopwatch watch;
+    Status status = enumerate(by_machine[static_cast<size_t>(m)]);
+    machine_stats_[static_cast<size_t>(m)].seconds += watch.ElapsedSeconds();
+    if (!status.ok()) {
+      enumerator_.set_pool(store_->pool());
+      return status;
+    }
+  }
+  current_machine_ = 0;
+  enumerator_.set_pool(store_->pool());
+  return Status::OK();
+}
+
+bool Engine::IsMonoidScalar(int attr) const {
+  const lang::Type& type = program_->vertex_attrs[attr].type;
+  return type.is_accumulator && !lang::IsAbelianGroup(type.accm_op) &&
+         type.width == 1;
+}
+
+int Engine::AttrIndex(const std::string& name) const {
+  for (size_t i = 0; i < program_->vertex_attrs.size(); ++i) {
+    if (program_->vertex_attrs[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Engine::GlobalIndex(const std::string& name) const {
+  for (size_t i = 0; i < program_->globals.size(); ++i) {
+    if (program_->globals[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Engine::FillDegreeColumns(ColumnSet* cols, Timestamp t) {
+  const VertexId n = store_->num_vertices();
+  auto fill = [&](const char* name, Direction dir) {
+    int attr = AttrIndex(name);
+    if (attr < 0) return;
+    double* col = cols->Column(attr).data();
+    for (VertexId v = 0; v < n; ++v) {
+      col[v] = static_cast<double>(store_->Degree(v, t, dir));
+    }
+  };
+  fill("degree", Direction::kOut);
+  fill("out_degree", Direction::kOut);
+  fill("in_degree", Direction::kIn);
+}
+
+void Engine::RunInitialize(ColumnSet* cols,
+                           std::vector<std::vector<double>>* globals,
+                           Timestamp t) {
+  StmtContext ctx;
+  ctx.columns = cols;
+  ctx.globals = globals;
+  ctx.num_vertices = static_cast<double>(store_->num_vertices());
+  ctx.num_edges = static_cast<double>(store_->num_edges(t));
+  for (VertexId v = 0; v < store_->num_vertices(); ++v) {
+    ctx.vertex = v;
+    RunStatements(*program_->init_body, &ctx);
+  }
+}
+
+void Engine::ResetAccumulators(ColumnSet* cols) {
+  for (int a : accm_attrs_) {
+    double identity =
+        lang::AccmIdentity(program_->vertex_attrs[a].type.accm_op);
+    auto& col = cols->Column(a);
+    std::fill(col.begin(), col.end(), identity);
+    if (support_attr_[a] >= 0) {
+      auto& sup = cols->Column(support_attr_[a]);
+      std::fill(sup.begin(), sup.end(), 0.0);
+    }
+  }
+  auto& contribs = cols->Column(contribs_attr_);
+  std::fill(contribs.begin(), contribs.end(), 0.0);
+}
+
+std::vector<VertexId> Engine::ActiveList(const ColumnSet& cols) const {
+  std::vector<VertexId> active;
+  const double* col = cols.Column(program_->active_attr).data();
+  for (VertexId v = 0; v < store_->num_vertices(); ++v) {
+    if (col[v] != 0.0) active.push_back(v);
+  }
+  return active;
+}
+
+void Engine::ApplyEmission(const Emission& emission, const VertexId* row,
+                           int row_len, int mult, const ColumnSet& eval_cols,
+                           const std::vector<std::vector<double>>& eval_globals,
+                           Timestamp t) {
+  EvalContext ctx;
+  ctx.columns = &eval_cols;
+  ctx.globals = &eval_globals;
+  ctx.num_vertices = static_cast<double>(store_->num_vertices());
+  ctx.num_edges = static_cast<double>(store_->num_edges(t));
+  ctx.row = row;
+  ctx.row_len = row_len;
+  for (const auto& [cond, expected] : emission.guards) {
+    if (EvaluateBool(*cond, ctx) != expected) return;
+  }
+  std::array<double, kMaxAttrWidth> value{};
+  Evaluate(*emission.value, ctx, value.data());
+  const int value_width = emission.value->type.width;
+  const lang::AccmOp op = emission.op;
+  ++stats_.emissions_applied;
+
+  auto value_at = [&](int i) {
+    return (value_width == 1) ? value[0] : value[i];
+  };
+
+  if (emission.is_global) {
+    std::vector<double>& g = cur_globals_[emission.target];
+    for (int i = 0; i < emission.width; ++i) {
+      double v = value_at(i);
+      if (mult < 0) {
+        ITG_CHECK(lang::IsAbelianGroup(op))
+            << "deletions over global monoid accumulators are unsupported";
+        v = lang::AccmInverse(op, v);
+      }
+      lang::AccmApply(op, &g[static_cast<size_t>(i)], v);
+    }
+    return;
+  }
+
+  const VertexId target = row[emission.target_depth];
+  if (options_.num_partitions > 1 && OwnerOf(target) != current_machine_) {
+    // Partial pre-aggregation: one shuffled message per distinct
+    // (sender machine, target vertex) per superstep (§6.2.2).
+    uint64_t key = (static_cast<uint64_t>(current_machine_) << 48) |
+                   static_cast<uint64_t>(target);
+    if (remote_seen_.insert(key).second) {
+      machine_stats_[static_cast<size_t>(current_machine_)].network_bytes +=
+          16 + 8 * static_cast<uint64_t>(emission.width);
+    }
+  }
+  double* cell = cur_cols_.Cell(emission.target, target);
+  double* contribs = cur_cols_.Cell(contribs_attr_, target);
+  contribs[0] += mult;
+
+  if (lang::IsAbelianGroup(op)) {
+    for (int i = 0; i < emission.width; ++i) {
+      double v = value_at(i);
+      if (mult < 0) v = lang::AccmInverse(op, v);
+      lang::AccmApply(op, &cell[i], v);
+    }
+    return;
+  }
+
+  // Monoid accumulators (MIN / MAX).
+  const int attr = emission.target;
+  if (emission.width > 1) {
+    // Array monoids: no support counting; any equal-element deletion
+    // falls back to recomputation.
+    if (mult > 0) {
+      for (int i = 0; i < emission.width; ++i) {
+        lang::AccmApply(op, &cell[i], value_at(i));
+      }
+    } else {
+      for (int i = 0; i < emission.width; ++i) {
+        if (value_at(i) == cell[i]) {
+          MarkRecompute(attr, target);
+          break;
+        }
+      }
+    }
+    return;
+  }
+
+  double* support = cur_cols_.Cell(support_attr_[attr], target);
+  const double v = value_at(0);
+  const bool better = (op == lang::AccmOp::kMin) ? (v < cell[0])
+                                                 : (v > cell[0]);
+  if (mult > 0) {
+    if (better) {
+      cell[0] = v;
+      support[0] = 1;
+      UnmarkRecompute(attr, target);
+    } else if (v == cell[0]) {
+      support[0] += 1;
+      UnmarkRecompute(attr, target);
+    }
+    return;
+  }
+  // Deletion of a contribution.
+  if (v == cell[0]) {
+    if (options_.min_counting) {
+      support[0] -= 1;
+      if (support[0] <= 0) MarkRecompute(attr, target);
+    } else {
+      MarkRecompute(attr, target);
+    }
+  }
+  // v worse than the current extremum: no effect on the aggregate.
+}
+
+void Engine::MarkRecompute(int attr, VertexId v) {
+  auto& marks = monoid_marks_[attr];
+  if (marks.empty()) {
+    marks.assign(static_cast<size_t>(store_->num_vertices()), 0);
+  }
+  if (marks[static_cast<size_t>(v)] == 0) {
+    marks[static_cast<size_t>(v)] = 1;
+    recompute_sets_[attr].push_back(v);
+  }
+}
+
+void Engine::UnmarkRecompute(int attr, VertexId v) {
+  auto& marks = monoid_marks_[attr];
+  if (!marks.empty()) marks[static_cast<size_t>(v)] = 0;
+}
+
+void Engine::RunUpdatePhase(ColumnSet* cols,
+                            std::vector<std::vector<double>>* globals,
+                            Timestamp t) {
+  // All vertices deactivate; Update re-activates (vertex-centric
+  // "vote-to-halt" semantics, §3).
+  auto& active = cols->Column(program_->active_attr);
+  std::fill(active.begin(), active.end(), 0.0);
+  const double* contribs = cols->Column(contribs_attr_).data();
+  StmtContext ctx;
+  ctx.columns = cols;
+  ctx.globals = globals;
+  ctx.num_vertices = static_cast<double>(store_->num_vertices());
+  ctx.num_edges = static_cast<double>(store_->num_edges(t));
+  const int machines = std::max(1, options_.num_partitions);
+  for (int m = 0; m < machines; ++m) {
+    Stopwatch watch;
+    for (VertexId v = 0; v < store_->num_vertices(); ++v) {
+      if (contribs[v] <= 0.0) continue;  // Update runs for V_accm only
+      if (machines > 1 && OwnerOf(v) != m) continue;
+      ctx.vertex = v;
+      RunStatements(*program_->update_body, &ctx);
+    }
+    if (machines > 1) {
+      machine_stats_[static_cast<size_t>(m)].seconds +=
+          watch.ElapsedSeconds();
+    }
+  }
+}
+
+void Engine::CollectChanged(const ColumnSet& a, const ColumnSet& b,
+                            const std::vector<int>& attrs,
+                            std::vector<VertexId>* out) const {
+  out->clear();
+  for (VertexId v = 0; v < store_->num_vertices(); ++v) {
+    for (int attr : attrs) {
+      if (ColumnSet::CellDiffers(a, b, attr, v)) {
+        out->push_back(v);
+        break;
+      }
+    }
+  }
+}
+
+Status Engine::WriteDeltaFiles(Timestamp t, Superstep s,
+                               const std::vector<int>& attrs,
+                               const std::vector<VertexId>& candidates,
+                               const ColumnSet& values,
+                               const ColumnSet* reference_a,
+                               const ColumnSet* reference_b) {
+  VertexStore* vs = store_->vertex_store();
+  std::vector<VertexStore::AfterImage> records;
+  for (int attr : attrs) {
+    records.clear();
+    const int width = values.width(attr);
+    for (VertexId v : candidates) {
+      bool changed =
+          (reference_a != nullptr &&
+           ColumnSet::CellDiffers(values, *reference_a, attr, v)) ||
+          (reference_b != nullptr &&
+           ColumnSet::CellDiffers(values, *reference_b, attr, v));
+      if (reference_a == nullptr && reference_b == nullptr) changed = true;
+      if (!changed) continue;
+      const double* cell = values.Cell(attr, v);
+      records.push_back({v, std::vector<double>(cell, cell + width)});
+    }
+    ITG_RETURN_IF_ERROR(vs->WriteDelta(t, s, attr, records));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// One-shot execution
+// ---------------------------------------------------------------------------
+
+Status Engine::RunOneShot(Timestamp t) {
+  Stopwatch watch;
+  Metrics& metrics = *store_->metrics();
+  const uint64_t read0 = metrics.read_bytes();
+  const uint64_t write0 = metrics.write_bytes();
+  stats_ = RunStats{};
+  stats_.timestamp = t;
+  const uint64_t windows0 = enumerator_.windows_loaded();
+  const uint64_t scans0 = enumerator_.edges_scanned();
+
+  const VertexId n = store_->num_vertices();
+  ResetMachineStats();
+  cur_cols_.Init(n, all_widths_);
+  InitGlobals(&cur_globals_);
+  FillDegreeColumns(&cur_cols_, t);
+  RunInitialize(&cur_cols_, &cur_globals_, t);
+
+  const int k = program_->walk_length();
+  std::vector<LevelStream> streams(static_cast<size_t>(k),
+                                   LevelStream::kCurrent);
+  std::vector<const std::vector<uint8_t>*> no_allow(static_cast<size_t>(k),
+                                                    nullptr);
+  ColumnSet snapshot;
+
+  Superstep s = 0;
+  while (s < options_.max_supersteps &&
+         (options_.fixed_supersteps < 0 || s < options_.fixed_supersteps)) {
+    std::vector<VertexId> active = ActiveList(cur_cols_);
+    if (active.empty()) break;
+    ResetAccumulators(&cur_cols_);
+    ClearRecomputeState();
+    remote_seen_.clear();
+
+    enumerator_.SetEvalBase(&cur_cols_, &cur_globals_,
+                            static_cast<double>(n),
+                            static_cast<double>(store_->num_edges(t)));
+    WalkSink sink = [&](const VertexId* row, int depth, int mult) {
+      for (const Emission& e : program_->traverse.emissions) {
+        if (e.stmt_depth != depth) continue;
+        ApplyEmission(e, row, depth + 1, mult, cur_cols_, cur_globals_, t);
+      }
+    };
+    ITG_RETURN_IF_ERROR(PartitionedEnumerate(
+        active, [&](const std::vector<VertexId>& part) {
+          return enumerator_.Enumerate(part, streams, t, t, no_allow, k,
+                                       sink);
+        }));
+
+    if (options_.record_history) {
+      // Accumulator files: after-images of touched vertices (V_accm).
+      std::vector<VertexId> touched;
+      const double* contribs = cur_cols_.Column(contribs_attr_).data();
+      for (VertexId v = 0; v < n; ++v) {
+        if (contribs[v] > 0.0) touched.push_back(v);
+      }
+      ITG_RETURN_IF_ERROR(WriteDeltaFiles(t, s, AccmFileAttrs(), touched,
+                                          cur_cols_, nullptr, nullptr));
+    }
+
+    snapshot = cur_cols_;  // A_{t,s} before Update
+    RunUpdatePhase(&cur_cols_, &cur_globals_, t);
+
+    if (options_.record_history) {
+      std::vector<VertexId> changed;
+      CollectChanged(cur_cols_, snapshot, NonAccmAttrs(), &changed);
+      ITG_RETURN_IF_ERROR(WriteDeltaFiles(t, s + 1, AttrFileAttrs(), changed,
+                                          cur_cols_, &snapshot, nullptr));
+    }
+    ++s;
+  }
+
+  last_run_t_ = t;
+  prev_supersteps_ = s;
+  stats_.supersteps = s;
+  stats_.incremental = false;
+  stats_.windows_loaded = enumerator_.windows_loaded() - windows0;
+  stats_.edges_scanned = enumerator_.edges_scanned() - scans0;
+  stats_.seconds = watch.ElapsedSeconds();
+  stats_.read_bytes = metrics.read_bytes() - read0;
+  stats_.write_bytes = metrics.write_bytes() - write0;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Incremental execution
+// ---------------------------------------------------------------------------
+
+Status Engine::RunIncremental(Timestamp t) {
+  if (last_run_t_ != t - 1) {
+    return Status::InvalidArgument(
+        "RunIncremental(t) requires the previous run at t-1");
+  }
+  for (const auto& g : program_->globals) {
+    if (g.type.is_accumulator && !lang::IsAbelianGroup(g.type.accm_op)) {
+      return Status::Unsupported(
+          "incremental execution with global monoid accumulators");
+    }
+  }
+  Stopwatch watch;
+  Metrics& metrics = *store_->metrics();
+  const uint64_t read0 = metrics.read_bytes();
+  const uint64_t write0 = metrics.write_bytes();
+  uint64_t emissions0 = 0;
+  stats_ = RunStats{};
+  stats_.timestamp = t;
+  stats_.incremental = true;
+  const uint64_t windows0 = enumerator_.windows_loaded();
+  const uint64_t scans0 = enumerator_.edges_scanned();
+
+  const VertexId n = store_->num_vertices();
+  const Timestamp prev_t = t - 1;
+  BufferPool* pool = store_->pool();
+  VertexStore* vs = store_->vertex_store();
+  ResetMachineStats();
+  // Shared store reads (delta-chain overlays) are split evenly over the
+  // simulated machines in the distributed time model.
+  auto charge_shared_seconds = [&](double seconds) {
+    if (options_.num_partitions <= 1) return;
+    for (MachineStats& m : machine_stats_) {
+      m.seconds += seconds / options_.num_partitions;
+    }
+  };
+
+  // Materialize A_{t-1,0} and A_{t,0}: Initialize is deterministic given
+  // the snapshot (it may read degrees), so both sides run it directly.
+  prev_cols_.Init(n, all_widths_);
+  cur_cols_.Init(n, all_widths_);
+  InitGlobals(&prev_globals_);
+  // Global accumulators carry the previous run's totals forward; deltas
+  // are applied onto them. Other globals restart at their defaults.
+  std::vector<std::vector<double>> carried = cur_globals_;
+  InitGlobals(&cur_globals_);
+  for (size_t g = 0; g < program_->globals.size(); ++g) {
+    if (program_->globals[g].type.is_accumulator && g < carried.size()) {
+      cur_globals_[g] = carried[g];
+    }
+  }
+  FillDegreeColumns(&prev_cols_, prev_t);
+  FillDegreeColumns(&cur_cols_, t);
+  RunInitialize(&prev_cols_, &prev_globals_, prev_t);
+  RunInitialize(&cur_cols_, &cur_globals_, t);
+
+  const Superstep s_prev_total = prev_supersteps_;
+  ColumnSet cur_snapshot;
+  std::vector<VertexId> scratch_changed;
+
+  Superstep s = 0;
+  while (s < options_.max_supersteps &&
+         (options_.fixed_supersteps < 0 || s < options_.fixed_supersteps)) {
+    std::vector<VertexId> cur_active = ActiveList(cur_cols_);
+    if (cur_active.empty() && s >= s_prev_total) break;
+
+    // --- ΔTraverse --------------------------------------------------------
+    // Reconstruct A^accm_{t-1,s} from the store (identity + overlay).
+    remote_seen_.clear();
+    Stopwatch overlay_watch;
+    ResetAccumulators(&prev_cols_);
+    for (int attr : AccmFileAttrs()) {
+      ITG_RETURN_IF_ERROR(vs->OverlaySuperstep(
+          pool, prev_t, s, attr, prev_cols_.Column(attr).data()));
+    }
+    charge_shared_seconds(overlay_watch.ElapsedSeconds());
+    // Current accumulators start from the previous snapshot's and are
+    // patched by Δ-walk contributions.
+    for (int attr : AccmFileAttrs()) {
+      cur_cols_.Column(attr) = prev_cols_.Column(attr);
+    }
+    ClearRecomputeState();
+
+    // Δvs starts: vertices whose traverse-visible state changed.
+    std::vector<int> traverse_attrs = program_->traverse_read_attrs;
+    traverse_attrs.push_back(program_->active_attr);
+    std::vector<VertexId> changed_starts;
+    CollectChanged(cur_cols_, prev_cols_, traverse_attrs, &changed_starts);
+
+    emissions0 = stats_.emissions_applied;
+    // ITG_TRACE=1 prints per-superstep Δ diagnostics (changed-start set
+    // sizes, per-phase edge scans) to stderr.
+    static const bool trace = getenv("ITG_TRACE") != nullptr;
+    if (trace) {
+      fprintf(stderr, "[trace] t=%d s=%d changed_starts=%zu cur_active=%zu\n",
+              t, s, changed_starts.size(), cur_active.size());
+    }
+    uint64_t delta_scans0 = enumerator_.edges_scanned();
+    ITG_RETURN_IF_ERROR(RunDeltaTraverse(t, s, changed_starts, cur_active));
+    if (trace) {
+      fprintf(stderr, "[trace]   delta-traverse scans=%llu\n",
+              static_cast<unsigned long long>(enumerator_.edges_scanned() -
+                                              delta_scans0));
+    }
+    ITG_RETURN_IF_ERROR(RunMonoidRecompute(t, s));
+    stats_.delta_walk_emissions += stats_.emissions_applied - emissions0;
+
+    // Persist accumulator deltas: cross-snapshot changes.
+    std::vector<VertexId> accm_changed;
+    CollectChanged(cur_cols_, prev_cols_, AccmFileAttrs(), &accm_changed);
+    if (options_.record_history) {
+      ITG_RETURN_IF_ERROR(WriteDeltaFiles(t, s, AccmFileAttrs(),
+                                          accm_changed, cur_cols_,
+                                          &prev_cols_, nullptr));
+    }
+
+    // --- ΔUpdate ----------------------------------------------------------
+    // Domain: any attribute or accumulator difference vs the previous
+    // snapshot at this superstep.
+    std::vector<VertexId> domain;
+    CollectChanged(cur_cols_, prev_cols_, NonAccmAttrs(), &domain);
+    {
+      std::vector<uint8_t> in_domain(static_cast<size_t>(n), 0);
+      for (VertexId v : domain) in_domain[static_cast<size_t>(v)] = 1;
+      for (VertexId v : accm_changed) {
+        if (!in_domain[static_cast<size_t>(v)]) {
+          in_domain[static_cast<size_t>(v)] = 1;
+          domain.push_back(v);
+        }
+      }
+    }
+    std::sort(domain.begin(), domain.end());
+
+    // Snapshot A_{t,s} (attrs) before advancing.
+    cur_snapshot = cur_cols_;
+
+    // Advance prev to A_{t-1,s+1} by overlaying the stored chains.
+    scratch_changed.clear();
+    overlay_watch.Restart();
+    for (int attr : AttrFileAttrs()) {
+      ITG_RETURN_IF_ERROR(
+          vs->OverlaySuperstep(pool, prev_t, s + 1, attr,
+                               prev_cols_.Column(attr).data(),
+                               &scratch_changed));
+    }
+    charge_shared_seconds(overlay_watch.ElapsedSeconds());
+    std::sort(scratch_changed.begin(), scratch_changed.end());
+    scratch_changed.erase(
+        std::unique(scratch_changed.begin(), scratch_changed.end()),
+        scratch_changed.end());
+
+    // Advance cur: identical to prev everywhere outside the domain.
+    // Virtual attributes (degrees) stay snapshot-bound and are excluded.
+    for (int attr : AttrFileAttrs()) {
+      cur_cols_.Column(attr) = prev_cols_.Column(attr);
+    }
+    {
+      StmtContext ctx;
+      ctx.columns = &cur_cols_;
+      ctx.globals = &cur_globals_;
+      ctx.num_vertices = static_cast<double>(n);
+      ctx.num_edges = static_cast<double>(store_->num_edges(t));
+      const double* contribs = cur_cols_.Column(contribs_attr_).data();
+      const int machines = std::max(1, options_.num_partitions);
+      for (int m = 0; m < machines; ++m) {
+        Stopwatch watch;
+        for (VertexId v : domain) {
+          if (machines > 1 && OwnerOf(v) != m) continue;
+          // Restore this vertex's A_{t,s} values, deactivate, then Update
+          // if it was touched (V_accm membership at snapshot t).
+          for (int attr : AttrFileAttrs()) {
+            const double* src = cur_snapshot.Cell(attr, v);
+            double* dst = cur_cols_.Cell(attr, v);
+            std::copy(src, src + cur_cols_.width(attr), dst);
+          }
+          cur_cols_.Cell(program_->active_attr, v)[0] = 0.0;
+          if (contribs[v] > 0.0) {
+            ctx.vertex = v;
+            RunStatements(*program_->update_body, &ctx);
+          }
+        }
+        if (machines > 1) {
+          machine_stats_[static_cast<size_t>(m)].seconds +=
+              watch.ElapsedSeconds();
+        }
+      }
+    }
+
+    if (options_.record_history) {
+      // File condition (§5.5): changed vs previous superstep OR vs the
+      // previous snapshot at this superstep.
+      std::vector<VertexId> candidates = domain;
+      candidates.insert(candidates.end(), scratch_changed.begin(),
+                        scratch_changed.end());
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      ITG_RETURN_IF_ERROR(WriteDeltaFiles(t, s + 1, AttrFileAttrs(),
+                                          candidates, cur_cols_,
+                                          &prev_cols_, &cur_snapshot));
+    }
+    ++s;
+  }
+
+  if (options_.record_history) {
+    ITG_RETURN_IF_ERROR(vs->MaintainAfterSnapshot(t, pool));
+  }
+
+  last_run_t_ = t;
+  prev_supersteps_ = s;
+  stats_.supersteps = s;
+  stats_.windows_loaded = enumerator_.windows_loaded() - windows0;
+  stats_.edges_scanned = enumerator_.edges_scanned() - scans0;
+  stats_.seconds = watch.ElapsedSeconds();
+  stats_.read_bytes = metrics.read_bytes() - read0;
+  stats_.write_bytes = metrics.write_bytes() - write0;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Δ-walk enumeration (§5.3)
+// ---------------------------------------------------------------------------
+
+Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
+                                const std::vector<VertexId>& changed_starts,
+                                const std::vector<VertexId>& cur_active) {
+  const int k = program_->walk_length();
+  const VertexId n = store_->num_vertices();
+  const Timestamp prev_t = t - 1;
+
+  // ---- q_vs: ω(Δvs, es, …, es) — old edge structure, changed starts. ----
+  {
+    std::vector<LevelStream> streams(static_cast<size_t>(k),
+                                     LevelStream::kPrevious);
+    std::vector<const std::vector<uint8_t>*> no_allow(
+        static_cast<size_t>(k), nullptr);
+    // Pass A: retract the old contributions (old attribute values, old
+    // activation), multiplicity −1.
+    std::vector<VertexId> old_active_starts;
+    std::vector<VertexId> new_active_starts;
+    const double* prev_active =
+        prev_cols_.Column(program_->active_attr).data();
+    const double* cur_active_col =
+        cur_cols_.Column(program_->active_attr).data();
+    for (VertexId v : changed_starts) {
+      if (prev_active[v] != 0.0) old_active_starts.push_back(v);
+      if (cur_active_col[v] != 0.0) new_active_starts.push_back(v);
+    }
+    enumerator_.SetEvalBase(&prev_cols_, &prev_globals_,
+                            static_cast<double>(n),
+                            static_cast<double>(store_->num_edges(prev_t)));
+    WalkSink retract = [&](const VertexId* row, int depth, int mult) {
+      for (const Emission& e : program_->traverse.emissions) {
+        if (e.stmt_depth != depth) continue;
+        ApplyEmission(e, row, depth + 1, -mult, prev_cols_, prev_globals_,
+                      prev_t);
+      }
+    };
+    ITG_RETURN_IF_ERROR(PartitionedEnumerate(
+        old_active_starts, [&](const std::vector<VertexId>& part) {
+          return enumerator_.Enumerate(part, streams, t, prev_t, no_allow,
+                                       k, retract);
+        }));
+    // Pass B: assert the new contributions (new values over the old edge
+    // structure), multiplicity +1.
+    enumerator_.SetEvalBase(&cur_cols_, &cur_globals_,
+                            static_cast<double>(n),
+                            static_cast<double>(store_->num_edges(t)));
+    WalkSink assert_new = [&](const VertexId* row, int depth, int mult) {
+      for (const Emission& e : program_->traverse.emissions) {
+        if (e.stmt_depth != depth) continue;
+        ApplyEmission(e, row, depth + 1, mult, cur_cols_, cur_globals_, t);
+      }
+    };
+    ITG_RETURN_IF_ERROR(PartitionedEnumerate(
+        new_active_starts, [&](const std::vector<VertexId>& part) {
+          return enumerator_.Enumerate(part, streams, t, prev_t, no_allow,
+                                       k, assert_new);
+        }));
+  }
+
+  // ---- q_es_p: ω(vs', es'₁ … es'ₚ₋₁, Δesₚ, esₚ₊₁ … es_k). ---------------
+  if (store_->BatchSize(t) == 0) return Status::OK();
+  enumerator_.SetEvalBase(&cur_cols_, &cur_globals_, static_cast<double>(n),
+                          static_cast<double>(store_->num_edges(t)));
+
+  struct SubqueryPlan {
+    int p;
+    bool anchored = false;
+    std::vector<LevelStream> streams;
+    std::vector<std::vector<uint8_t>> allow;  // neighbor-pruning sets
+    std::vector<VertexId> starts;
+  };
+  std::vector<SubqueryPlan> plans;
+  int max_emit_depth = 0;
+  for (const Emission& e : program_->traverse.emissions) {
+    max_emit_depth = std::max(max_emit_depth, e.stmt_depth);
+  }
+  for (int p = 1; p <= k; ++p) {
+    if (max_emit_depth < p) break;  // no emission can cross this delta
+    SubqueryPlan plan;
+    plan.p = p;
+    plan.streams.resize(static_cast<size_t>(k));
+    for (int j = 1; j <= k; ++j) {
+      plan.streams[j - 1] = (j < p) ? LevelStream::kCurrent
+                            : (j == p) ? LevelStream::kDelta
+                                       : LevelStream::kPrevious;
+    }
+    // Traversal reordering: anchor the enumeration at the delta stream
+    // when the plan allows reaching it first — directly (p == 1) or via
+    // the closing constraint (p == k with u_{k+1} == u_1).
+    if (options_.traversal_reordering && p == k && k >= 2 &&
+        program_->traverse.closes_to_start) {
+      plan.anchored = true;
+      plans.push_back(std::move(plan));
+      continue;
+    }
+    if (options_.traversal_reordering && p == 1) {
+      // Starts restricted to the delta sources.
+      std::vector<VertexId> sources;
+      ITG_RETURN_IF_ERROR(store_->DeltaSources(
+          t, program_->traverse.levels[0].dir, &sources));
+      const double* active = cur_cols_.Column(program_->active_attr).data();
+      for (VertexId v : sources) {
+        if (active[v] != 0.0) plan.starts.push_back(v);
+      }
+      plans.push_back(std::move(plan));
+      continue;
+    }
+    if (options_.neighbor_pruning) {
+      ITG_RETURN_IF_ERROR(ComputeNeighborPruning(*program_, store_,
+                                                 store_->pool(), t, p,
+                                                 &plan.allow));
+      const std::vector<uint8_t>& start_allow = plan.allow[0];
+      const double* active = cur_cols_.Column(program_->active_attr).data();
+      for (VertexId v = 0; v < n; ++v) {
+        if (active[v] != 0.0 && start_allow[static_cast<size_t>(v)]) {
+          plan.starts.push_back(v);
+        }
+      }
+    } else {
+      plan.starts = cur_active;
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  auto run_plan_block = [&](const SubqueryPlan& plan,
+                            const std::vector<VertexId>& starts) -> Status {
+    std::vector<const std::vector<uint8_t>*> level_allow(
+        static_cast<size_t>(k), nullptr);
+    for (int j = 1; j < plan.p && j < static_cast<int>(plan.allow.size());
+         ++j) {
+      level_allow[j - 1] = &plan.allow[j];
+    }
+    const int p = plan.p;
+    WalkSink sink = [&, p](const VertexId* row, int depth, int mult) {
+      if (depth < p) return;  // contribution owned by a smaller sub-query
+      for (const Emission& e : program_->traverse.emissions) {
+        if (e.stmt_depth != depth) continue;
+        ApplyEmission(e, row, depth + 1, mult, cur_cols_, cur_globals_, t);
+      }
+    };
+    return PartitionedEnumerate(
+        starts, [&](const std::vector<VertexId>& part) {
+          return enumerator_.Enumerate(part, plan.streams, t, prev_t,
+                                       level_allow, k, sink);
+        });
+  };
+
+  // Anchored sub-queries first (they are cheap and independent). Their
+  // time is split evenly across the simulated machines.
+  for (const SubqueryPlan& plan : plans) {
+    if (plan.anchored) {
+      Stopwatch watch;
+      ITG_RETURN_IF_ERROR(RunAnchoredClosing(t, plan.p));
+      if (options_.num_partitions > 1) {
+        for (MachineStats& m : machine_stats_) {
+          m.seconds += watch.ElapsedSeconds() / options_.num_partitions;
+        }
+      }
+    }
+  }
+  if (options_.seek_window_sharing && options_.num_partitions <= 1) {
+    // Seek/window sharing: process the sub-queries block-by-block so the
+    // pages a block pulls into the buffer pool serve every sub-query
+    // before eviction (the batch-processed, annotated IO of §5.3).
+    std::vector<uint8_t> in_block(static_cast<size_t>(n), 0);
+    const size_t block = static_cast<size_t>(options_.window_vertices);
+    std::vector<VertexId> all_starts;
+    {
+      std::vector<uint8_t> seen(static_cast<size_t>(n), 0);
+      for (const SubqueryPlan& plan : plans) {
+        if (plan.anchored) continue;
+        for (VertexId v : plan.starts) {
+          if (!seen[static_cast<size_t>(v)]) {
+            seen[static_cast<size_t>(v)] = 1;
+            all_starts.push_back(v);
+          }
+        }
+      }
+      std::sort(all_starts.begin(), all_starts.end());
+    }
+    std::vector<VertexId> block_starts;
+    for (size_t begin = 0; begin < all_starts.size(); begin += block) {
+      size_t end = std::min(all_starts.size(), begin + block);
+      std::fill(in_block.begin(), in_block.end(), 0);
+      for (size_t i = begin; i < end; ++i) {
+        in_block[static_cast<size_t>(all_starts[i])] = 1;
+      }
+      for (const SubqueryPlan& plan : plans) {
+        if (plan.anchored) continue;
+        block_starts.clear();
+        for (VertexId v : plan.starts) {
+          if (in_block[static_cast<size_t>(v)]) block_starts.push_back(v);
+        }
+        if (!block_starts.empty()) {
+          ITG_RETURN_IF_ERROR(run_plan_block(plan, block_starts));
+        }
+      }
+    }
+  } else {
+    for (const SubqueryPlan& plan : plans) {
+      if (plan.anchored) continue;
+      ITG_RETURN_IF_ERROR(run_plan_block(plan, plan.starts));
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::RunAnchoredClosing(Timestamp t, int p) {
+  // Sub-query q_k of a closing walk (u_{k+1} == u_1): the reordered plan
+  // of Figure 11(b). Each delta edge (a, b) fixes positions k and k+1;
+  // the closing constraint fixes the start u_1 = b; forward enumeration
+  // over the current snapshot binds positions 2..k-1 with a final
+  // membership probe against `a`.
+  const int k = program_->walk_length();
+  ITG_CHECK_EQ(p, k);
+  const VertexId n = store_->num_vertices();
+  const double* active = cur_cols_.Column(program_->active_attr).data();
+  const Direction delta_dir = program_->traverse.levels[k - 1].dir;
+
+  EvalContext ctx;
+  ctx.columns = &cur_cols_;
+  ctx.globals = &cur_globals_;
+  ctx.num_vertices = static_cast<double>(n);
+  ctx.num_edges = static_cast<double>(store_->num_edges(t));
+
+  std::vector<VertexId> row(static_cast<size_t>(k) + 1);
+  std::vector<VertexId> adj;
+  Status status = Status::OK();
+  Status scan_status = store_->ScanDeltas(
+      store_->pool(), t, delta_dir, [&](Edge e, Multiplicity m) {
+        if (!status.ok()) return;
+        const VertexId a = e.src;
+        const VertexId b = e.dst;
+        if (b >= n || a >= n) return;
+        if (active[b] == 0.0) return;  // start filter σ_active on u_1 = b
+        // Forward-enumerate positions 1..k-2 from u_1 = b over the
+        // current snapshot, then probe position k-1 == a.
+        std::function<void(int)> extend = [&](int depth) {
+          if (!status.ok()) return;
+          if (depth == k - 1) {
+            // Bind position k-1 (row index k-1) to `a`: it must be a
+            // current-snapshot neighbor of row[k-2] satisfying the
+            // level's predicate; then row[k] = b closes the walk.
+            const LevelSpec& level = program_->traverse.levels[k - 2];
+            row[static_cast<size_t>(k - 1)] = a;
+            row[static_cast<size_t>(k)] = b;
+            ctx.row = row.data();
+            ctx.row_len = k + 1;
+            if (level.gt_pos >= 0 && !(a > row[level.gt_pos])) return;
+            if (level.lt_pos >= 0 && !(a < row[level.lt_pos])) return;
+            if (level.eq_pos >= 0 && a != row[level.eq_pos]) return;
+            for (const lang::Expr* cond : level.general) {
+              if (!EvaluateBool(*cond, ctx)) return;
+            }
+            auto has = store_->HasEdge(store_->pool(), row[k - 2], a, t,
+                                       level.dir);
+            if (!has.ok()) {
+              status = has.status();
+              return;
+            }
+            if (!*has) return;
+            // Remaining conjuncts of the delta level itself.
+            const LevelSpec& last = program_->traverse.levels[k - 1];
+            if (last.gt_pos >= 0 && !(b > row[last.gt_pos])) return;
+            if (last.lt_pos >= 0 && !(b < row[last.lt_pos])) return;
+            for (const lang::Expr* cond : last.general) {
+              if (!EvaluateBool(*cond, ctx)) return;
+            }
+            for (const Emission& em : program_->traverse.emissions) {
+              if (em.stmt_depth != k) continue;
+              ApplyEmission(em, row.data(), k + 1, m, cur_cols_,
+                            cur_globals_, t);
+            }
+            return;
+          }
+          const LevelSpec& level = program_->traverse.levels[depth - 1];
+          Status st = store_->GetAdjacency(store_->pool(),
+                                           row[static_cast<size_t>(depth - 1)],
+                                           t, level.dir, &adj_stack_[depth]);
+          if (!st.ok()) {
+            status = st;
+            return;
+          }
+          for (VertexId v : adj_stack_[depth]) {
+            row[static_cast<size_t>(depth)] = v;
+            ctx.row = row.data();
+            ctx.row_len = depth + 1;
+            if (level.gt_pos >= 0 && !(v > row[level.gt_pos])) continue;
+            if (level.lt_pos >= 0 && !(v < row[level.lt_pos])) continue;
+            if (level.eq_pos >= 0 && v != row[level.eq_pos]) continue;
+            bool ok = true;
+            for (const lang::Expr* cond : level.general) {
+              if (!EvaluateBool(*cond, ctx)) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) extend(depth + 1);
+          }
+        };
+        row[0] = b;
+        extend(1);
+      });
+  ITG_RETURN_IF_ERROR(scan_status);
+  return status;
+}
+
+Status Engine::RunMonoidRecompute(Timestamp t, Superstep s) {
+  const int k = program_->walk_length();
+  const VertexId n = store_->num_vertices();
+  bool any = false;
+  for (int a = 0; a < num_program_attrs(); ++a) {
+    if (!recompute_sets_[a].empty()) any = true;
+  }
+  if (!any) return Status::OK();
+
+  // Re-derive the recompute targets that are still marked.
+  std::vector<std::vector<uint8_t>> target_marks(
+      static_cast<size_t>(num_program_attrs()));
+  std::vector<VertexId> seeds;
+  for (int a = 0; a < num_program_attrs(); ++a) {
+    auto& list = recompute_sets_[a];
+    if (list.empty()) continue;
+    auto& marks = monoid_marks_[a];
+    target_marks[a].assign(static_cast<size_t>(n), 0);
+    for (VertexId v : list) {
+      if (!marks.empty() && marks[static_cast<size_t>(v)]) {
+        target_marks[a][static_cast<size_t>(v)] = 1;
+        seeds.push_back(v);
+        ++stats_.recomputed_vertices;
+        // Reset the aggregate: full re-aggregation from current walks.
+        const lang::Type& type = program_->vertex_attrs[a].type;
+        double* cell = cur_cols_.Cell(a, v);
+        for (int i = 0; i < type.width; ++i) {
+          cell[i] = lang::AccmIdentity(type.accm_op);
+        }
+        if (support_attr_[a] >= 0) {
+          cur_cols_.Cell(support_attr_[a], v)[0] = 0.0;
+        }
+      }
+    }
+  }
+  if (seeds.empty()) return Status::OK();
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  // Candidate starts: backward over the current snapshot from the seeds,
+  // up to the deepest emission's target depth (§5.4's backward MS-BFS to
+  // find V_re).
+  int max_target_depth = 0;
+  for (const Emission& e : program_->traverse.emissions) {
+    if (!e.is_global && IsAccmMonoid(e.target)) {
+      max_target_depth = std::max(max_target_depth, e.target_depth);
+    }
+  }
+  std::vector<uint8_t> start_marks(static_cast<size_t>(n), 0);
+  std::vector<VertexId> frontier = seeds;
+  if (max_target_depth == 0) {
+    for (VertexId v : seeds) start_marks[static_cast<size_t>(v)] = 1;
+  } else {
+    std::vector<VertexId> adj;
+    std::vector<VertexId> next;
+    std::vector<uint8_t> visited(static_cast<size_t>(n), 0);
+    for (VertexId v : frontier) visited[static_cast<size_t>(v)] = 1;
+    for (int hop = max_target_depth; hop >= 1; --hop) {
+      const LevelSpec& level = program_->traverse.levels[hop - 1];
+      Direction back = (level.dir == Direction::kOut) ? Direction::kIn
+                                                      : Direction::kOut;
+      next.clear();
+      for (VertexId x : frontier) {
+        ITG_RETURN_IF_ERROR(
+            store_->GetAdjacency(store_->pool(), x, t, back, &adj));
+        for (VertexId w : adj) {
+          if (hop == 1) {
+            start_marks[static_cast<size_t>(w)] = 1;
+          } else if (!visited[static_cast<size_t>(w)]) {
+            visited[static_cast<size_t>(w)] = 1;
+            next.push_back(w);
+          }
+        }
+      }
+      if (hop > 1) frontier.swap(next);
+    }
+    // Seeds themselves may also be targets at depth 0 emissions.
+  }
+
+  std::vector<VertexId> starts;
+  const double* active = cur_cols_.Column(program_->active_attr).data();
+  for (VertexId v = 0; v < n; ++v) {
+    if (start_marks[static_cast<size_t>(v)] && active[v] != 0.0) {
+      starts.push_back(v);
+    }
+  }
+
+  std::vector<LevelStream> streams(static_cast<size_t>(k),
+                                   LevelStream::kCurrent);
+  std::vector<const std::vector<uint8_t>*> no_allow(static_cast<size_t>(k),
+                                                    nullptr);
+  enumerator_.SetEvalBase(&cur_cols_, &cur_globals_, static_cast<double>(n),
+                          static_cast<double>(store_->num_edges(t)));
+  WalkSink sink = [&](const VertexId* row, int depth, int mult) {
+    for (const Emission& e : program_->traverse.emissions) {
+      if (e.stmt_depth != depth || e.is_global) continue;
+      if (!IsAccmMonoid(e.target)) continue;
+      VertexId target = row[e.target_depth];
+      if (target_marks[e.target].empty() ||
+          !target_marks[e.target][static_cast<size_t>(target)]) {
+        continue;
+      }
+      ApplyEmission(e, row, depth + 1, mult, cur_cols_, cur_globals_, t);
+    }
+  };
+  ITG_RETURN_IF_ERROR(PartitionedEnumerate(
+      starts, [&](const std::vector<VertexId>& part) {
+        return enumerator_.Enumerate(part, streams, t, t, no_allow, k, sink);
+      }));
+  // Re-aggregation resolved the marks.
+  for (int a = 0; a < num_program_attrs(); ++a) {
+    recompute_sets_[a].clear();
+    if (!monoid_marks_[a].empty()) {
+      std::fill(monoid_marks_[a].begin(), monoid_marks_[a].end(), 0);
+    }
+  }
+  return Status::OK();
+}
+
+bool Engine::IsAccmMonoid(int attr) const {
+  const lang::Type& type = program_->vertex_attrs[attr].type;
+  return type.is_accumulator && !lang::IsAbelianGroup(type.accm_op);
+}
+
+void Engine::ClearRecomputeState() {
+  for (int a = 0; a < num_program_attrs(); ++a) {
+    recompute_sets_[a].clear();
+    if (!monoid_marks_[a].empty()) {
+      std::fill(monoid_marks_[a].begin(), monoid_marks_[a].end(), 0);
+    }
+  }
+}
+
+void Engine::InitGlobals(std::vector<std::vector<double>>* globals) {
+  globals->clear();
+  for (const auto& g : program_->globals) {
+    double init = g.type.is_accumulator ? lang::AccmIdentity(g.type.accm_op)
+                                        : 0.0;
+    globals->push_back(
+        std::vector<double>(static_cast<size_t>(g.type.width), init));
+  }
+}
+
+const std::vector<int>& Engine::NonAccmAttrs() const {
+  if (non_accm_attrs_.empty()) {
+    for (int a = 0; a < num_program_attrs(); ++a) {
+      if (!program_->vertex_attrs[a].type.is_accumulator) {
+        non_accm_attrs_.push_back(a);
+      }
+    }
+  }
+  return non_accm_attrs_;
+}
+
+const std::vector<int>& Engine::AttrFileAttrs() const {
+  if (attr_file_attrs_.empty()) {
+    for (int a = 0; a < num_program_attrs(); ++a) {
+      if (!program_->vertex_attrs[a].type.is_accumulator &&
+          !IsVirtualAttr(program_->vertex_attrs[a].name)) {
+        attr_file_attrs_.push_back(a);
+      }
+    }
+  }
+  return attr_file_attrs_;
+}
+
+const std::vector<int>& Engine::AccmFileAttrs() const {
+  if (accm_file_attrs_.empty()) {
+    for (int a : accm_attrs_) {
+      accm_file_attrs_.push_back(a);
+      if (support_attr_[a] >= 0) accm_file_attrs_.push_back(support_attr_[a]);
+    }
+    accm_file_attrs_.push_back(contribs_attr_);
+  }
+  return accm_file_attrs_;
+}
+
+}  // namespace itg

@@ -1,0 +1,225 @@
+#ifndef ITG_ENGINE_ENGINE_H_
+#define ITG_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "compiler/compiled_program.h"
+#include "engine/columns.h"
+#include "engine/walk.h"
+#include "storage/graph_store.h"
+
+namespace itg {
+
+/// Engine knobs. The optimization flags map to the paper's §6.4.2
+/// ablation: traversal reordering (TR), neighbor pruning (NP),
+/// seek/window sharing (SWS), MIN-with-counting (CNT); plus the
+/// multi-way-intersection compiler rewrite (always on in the paper).
+struct EngineOptions {
+  int window_vertices = 256;
+  bool traversal_reordering = true;
+  bool neighbor_pruning = true;
+  bool seek_window_sharing = true;
+  bool min_counting = true;
+  bool multiway_intersection = true;
+  /// Run exactly this many supersteps (paper: 10 for PR/LP); -1 = until
+  /// convergence.
+  int fixed_supersteps = -1;
+  int max_supersteps = 500;
+  /// Write per-superstep history to the vertex store (required before
+  /// RunIncremental; disable for throwaway one-shot comparison runs).
+  bool record_history = true;
+  /// Distributed simulation (§2 of DESIGN.md): hash-partition the work
+  /// over this many simulated machines, each with its own buffer pool and
+  /// meters. 1 = plain single-machine execution.
+  int num_partitions = 1;
+  /// Per-machine buffer pool capacity (pages) in the simulation.
+  size_t partition_pool_pages = 512;
+  /// Simulated interconnect bandwidth for the distributed time model.
+  double network_bytes_per_second = 1.0e9;
+};
+
+/// Per-machine outcome of a partitioned run.
+struct MachineStats {
+  double seconds = 0;          ///< measured compute + IO time of this machine
+  uint64_t network_bytes = 0;  ///< pre-aggregated shuffle volume it sent
+};
+
+/// Statistics of the latest run.
+struct RunStats {
+  Timestamp timestamp = 0;
+  bool incremental = false;
+  int supersteps = 0;
+  uint64_t emissions_applied = 0;
+  uint64_t delta_walk_emissions = 0;
+  uint64_t recomputed_vertices = 0;
+  uint64_t windows_loaded = 0;
+  uint64_t edges_scanned = 0;
+  double seconds = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+};
+
+/// The iTurboGraph runtime engine: executes compiled L_NGA programs over
+/// the dynamic graph store under the BSP model (§5.2), either one-shot
+/// (full enumeration) or incrementally (Δ-walk enumeration with
+/// incremental Accumulate, §5.3–5.4).
+///
+/// Lifecycle: one Engine per (store, program); RunOneShot on the initial
+/// snapshot, then RunIncremental once per mutation batch. The engine
+/// keeps the current snapshot's final attribute values in memory and the
+/// per-superstep history in the vertex store (delta chains).
+class Engine {
+ public:
+  Engine(DynamicGraphStore* store, const CompiledProgram* program,
+         const EngineOptions& options);
+
+  /// Full execution at snapshot `t` (normally 0).
+  Status RunOneShot(Timestamp t);
+
+  /// Incremental execution at snapshot `t`; requires that the previous
+  /// run (one-shot or incremental) executed at `t-1` with history
+  /// recording enabled.
+  Status RunIncremental(Timestamp t);
+
+  /// Final attribute value of `v` (first element for arrays).
+  double AttrValue(int attr, VertexId v) const {
+    return cur_cols_.Cell(attr, v)[0];
+  }
+  const double* AttrCell(int attr, VertexId v) const {
+    return cur_cols_.Cell(attr, v);
+  }
+  /// Final global value (global accumulators total over the whole run —
+  /// documented deviation: not reset per superstep).
+  const std::vector<double>& GlobalValue(int g) const {
+    return cur_globals_[g];
+  }
+
+  int AttrIndex(const std::string& name) const;
+  int GlobalIndex(const std::string& name) const;
+
+  const RunStats& last_stats() const { return stats_; }
+  const EngineOptions& options() const { return options_; }
+  EngineOptions* mutable_options() { return &options_; }
+
+  /// Per-machine stats of the last run (empty unless num_partitions > 1).
+  const std::vector<MachineStats>& machine_stats() const {
+    return machine_stats_;
+  }
+  /// Distributed-time model: max over machines of (measured time +
+  /// shuffle volume / bandwidth). Meaningful when num_partitions > 1.
+  double SimulatedDistributedSeconds() const;
+
+ private:
+  // ---- shared helpers -------------------------------------------------
+  void FillDegreeColumns(ColumnSet* cols, Timestamp t);
+  void RunInitialize(ColumnSet* cols,
+                     std::vector<std::vector<double>>* globals, Timestamp t);
+  void ResetAccumulators(ColumnSet* cols);
+  std::vector<VertexId> ActiveList(const ColumnSet& cols) const;
+  void InitGlobals(std::vector<std::vector<double>>* globals);
+
+  /// Applies one emission occurrence (value evaluated against
+  /// `eval_cols`/`eval_globals`) onto the *current* accumulator state,
+  /// implementing incremental Accumulate (§5.4): Abelian-group inverse on
+  /// deletions, support counting / recompute marking for monoids.
+  void ApplyEmission(const Emission& emission, const VertexId* row,
+                     int row_len, int mult, const ColumnSet& eval_cols,
+                     const std::vector<std::vector<double>>& eval_globals,
+                     Timestamp t);
+
+  void MarkRecompute(int attr, VertexId v);
+  void UnmarkRecompute(int attr, VertexId v);
+  void ClearRecomputeState();
+
+  /// Runs Update for every touched vertex of `cols` in place (clears all
+  /// activations first; Update re-activates).
+  void RunUpdatePhase(ColumnSet* cols,
+                      std::vector<std::vector<double>>* globals, Timestamp t);
+
+  /// Vertices where any of `attrs` differs between two column sets.
+  void CollectChanged(const ColumnSet& a, const ColumnSet& b,
+                      const std::vector<int>& attrs,
+                      std::vector<VertexId>* out) const;
+
+  /// Writes F(t, s) files for `attrs`: after-images of candidate vertices
+  /// whose value differs from either reference (both null = keep all).
+  Status WriteDeltaFiles(Timestamp t, Superstep s,
+                         const std::vector<int>& attrs,
+                         const std::vector<VertexId>& candidates,
+                         const ColumnSet& values, const ColumnSet* reference_a,
+                         const ColumnSet* reference_b);
+
+  // ---- incremental machinery ------------------------------------------
+  Status RunDeltaTraverse(Timestamp t, Superstep s,
+                          const std::vector<VertexId>& changed_starts,
+                          const std::vector<VertexId>& cur_active);
+  Status RunAnchoredClosing(Timestamp t, int p);
+  Status RunMonoidRecompute(Timestamp t, Superstep s);
+
+  // Attribute layout: program attrs [0, num_program_attrs), then hidden
+  // contribs column, then per-monoid support columns.
+  int num_program_attrs() const {
+    return static_cast<int>(program_->vertex_attrs.size());
+  }
+  bool IsMonoidScalar(int attr) const;
+  bool IsAccmMonoid(int attr) const;
+  const std::vector<int>& NonAccmAttrs() const;
+  const std::vector<int>& AttrFileAttrs() const;
+  const std::vector<int>& AccmFileAttrs() const;
+
+  DynamicGraphStore* store_;
+  const CompiledProgram* program_;
+  EngineOptions options_;
+  WalkEnumerator enumerator_;
+
+  std::vector<int> all_widths_;       // program + hidden columns
+  int contribs_attr_ = -1;            // hidden: per-vertex contribution count
+  std::vector<int> support_attr_;     // per program attr: hidden support or -1
+  std::vector<int> accm_attrs_;       // program attrs that are accumulators
+  mutable std::vector<int> non_accm_attrs_;
+  mutable std::vector<int> attr_file_attrs_;
+  mutable std::vector<int> accm_file_attrs_;
+
+  ColumnSet cur_cols_;
+  ColumnSet prev_cols_;
+  std::vector<std::vector<double>> cur_globals_;
+  std::vector<std::vector<double>> prev_globals_;
+
+  // Monoid recompute tracking (per program attr; cleared per superstep).
+  std::vector<std::vector<uint8_t>> monoid_marks_;
+  std::vector<std::vector<VertexId>> recompute_sets_;
+  // Adjacency scratch for the anchored enumeration (indexed by depth).
+  std::vector<std::vector<VertexId>> adj_stack_;
+
+  // ---- distributed simulation ------------------------------------------
+  int OwnerOf(VertexId v) const {
+    return static_cast<int>(v % options_.num_partitions);
+  }
+  /// Runs `enumerate(starts_subset)` once per machine with that machine's
+  /// pool and stopwatch (identity pass-through when num_partitions == 1).
+  Status PartitionedEnumerate(
+      const std::vector<VertexId>& starts,
+      const std::function<Status(const std::vector<VertexId>&)>& enumerate);
+  void ResetMachineStats();
+
+  std::vector<std::unique_ptr<BufferPool>> machine_pools_;
+  std::vector<MachineStats> machine_stats_;
+  int current_machine_ = 0;
+  // Distinct (machine, target) pairs per superstep for pre-aggregated
+  // shuffle accounting.
+  std::unordered_set<uint64_t> remote_seen_;
+
+  Timestamp last_run_t_ = -1;
+  Superstep prev_supersteps_ = 0;
+  RunStats stats_;
+};
+
+}  // namespace itg
+
+#endif  // ITG_ENGINE_ENGINE_H_

@@ -1,0 +1,174 @@
+#include "engine/eval.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace itg {
+
+namespace {
+
+using lang::BinaryOp;
+using lang::Expr;
+using lang::UnaryOp;
+using lang::VarKind;
+
+double EvalBinaryScalar(BinaryOp op, double a, double b) {
+  switch (op) {
+    case BinaryOp::kAdd: return a + b;
+    case BinaryOp::kSub: return a - b;
+    case BinaryOp::kMul: return a * b;
+    // x/0 and x%0 are defined as 0. Besides avoiding inf/nan in user
+    // programs, this makes the Δ-walk decomposition FP-safe: rule ⑦
+    // evaluates new attribute values over old edge structure, where a
+    // vertex whose edges were all deleted would otherwise contribute
+    // ±inf terms that cancel algebraically but not in floating point.
+    case BinaryOp::kDiv: return (b == 0.0) ? 0.0 : a / b;
+    case BinaryOp::kMod: return (b == 0.0) ? 0.0 : std::fmod(a, b);
+    case BinaryOp::kLt: return a < b ? 1.0 : 0.0;
+    case BinaryOp::kLe: return a <= b ? 1.0 : 0.0;
+    case BinaryOp::kGt: return a > b ? 1.0 : 0.0;
+    case BinaryOp::kGe: return a >= b ? 1.0 : 0.0;
+    case BinaryOp::kEq: return a == b ? 1.0 : 0.0;
+    case BinaryOp::kNe: return a != b ? 1.0 : 0.0;
+    case BinaryOp::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void Evaluate(const Expr& expr, const EvalContext& ctx, double* out) {
+  const int width = expr.type.width;
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      out[0] = expr.literal_value;
+      return;
+    case Expr::Kind::kVarRef:
+      switch (expr.var_kind) {
+        case VarKind::kVertexVar:
+          ITG_CHECK_LT(expr.resolved_index, ctx.row_len);
+          out[0] = static_cast<double>(ctx.row[expr.resolved_index]);
+          return;
+        case VarKind::kGlobal: {
+          const std::vector<double>& g = (*ctx.globals)[expr.resolved_index];
+          for (int i = 0; i < width; ++i) out[i] = g[i];
+          return;
+        }
+        case VarKind::kBuiltin:
+          out[0] = (expr.resolved_index == 0) ? ctx.num_vertices
+                                              : ctx.num_edges;
+          return;
+        case VarKind::kLet:
+          // Lets are inlined by the compiler; a surviving reference is a
+          // compiler bug.
+          ITG_CHECK(false) << "un-inlined Let reference";
+          return;
+        case VarKind::kUnresolved:
+          ITG_CHECK(false) << "unresolved variable '" << expr.name << "'";
+          return;
+      }
+      return;
+    case Expr::Kind::kAttrRef: {
+      if (expr.attr == "id") {
+        ITG_CHECK_LT(expr.vertex_depth, ctx.row_len);
+        out[0] = static_cast<double>(ctx.row[expr.vertex_depth]);
+        return;
+      }
+      ITG_CHECK_EQ(expr.vertex_depth, 0);
+      const double* cell = ctx.columns->Cell(expr.resolved_attr, ctx.row[0]);
+      for (int i = 0; i < width; ++i) out[i] = cell[i];
+      return;
+    }
+    case Expr::Kind::kBinary: {
+      const Expr& lhs = *expr.children[0];
+      const Expr& rhs = *expr.children[1];
+      if (width == 1) {
+        // Short-circuit logical operators.
+        if (expr.binary_op == BinaryOp::kAnd) {
+          double a = EvaluateScalar(lhs, ctx);
+          out[0] = (a != 0.0 && EvaluateScalar(rhs, ctx) != 0.0) ? 1.0 : 0.0;
+          return;
+        }
+        if (expr.binary_op == BinaryOp::kOr) {
+          double a = EvaluateScalar(lhs, ctx);
+          out[0] = (a != 0.0 || EvaluateScalar(rhs, ctx) != 0.0) ? 1.0 : 0.0;
+          return;
+        }
+        out[0] = EvalBinaryScalar(expr.binary_op, EvaluateScalar(lhs, ctx),
+                                  EvaluateScalar(rhs, ctx));
+        return;
+      }
+      std::array<double, kMaxAttrWidth> a{};
+      std::array<double, kMaxAttrWidth> b{};
+      Evaluate(lhs, ctx, a.data());
+      Evaluate(rhs, ctx, b.data());
+      // Broadcast scalars across the array width.
+      for (int i = 0; i < width; ++i) {
+        double av = (lhs.type.width == 1) ? a[0] : a[i];
+        double bv = (rhs.type.width == 1) ? b[0] : b[i];
+        out[i] = EvalBinaryScalar(expr.binary_op, av, bv);
+      }
+      return;
+    }
+    case Expr::Kind::kUnary: {
+      std::array<double, kMaxAttrWidth> a{};
+      Evaluate(*expr.children[0], ctx, a.data());
+      for (int i = 0; i < width; ++i) {
+        out[i] = (expr.unary_op == UnaryOp::kNeg)
+                     ? -a[i]
+                     : (a[i] == 0.0 ? 1.0 : 0.0);
+      }
+      return;
+    }
+    case Expr::Kind::kCall: {
+      std::array<double, kMaxAttrWidth> a{};
+      Evaluate(*expr.children[0], ctx, a.data());
+      if (expr.callee == "MaxElem") {
+        double best = a[0];
+        for (int i = 1; i < expr.children[0]->type.width; ++i) {
+          best = std::max(best, a[i]);
+        }
+        out[0] = best;
+        return;
+      }
+      if (expr.callee == "Abs") {
+        for (int i = 0; i < width; ++i) out[i] = std::abs(a[i]);
+        return;
+      }
+      if (expr.callee == "Floor") {
+        for (int i = 0; i < width; ++i) out[i] = std::floor(a[i]);
+        return;
+      }
+      std::array<double, kMaxAttrWidth> b{};
+      Evaluate(*expr.children[1], ctx, b.data());
+      const int rhs_width = expr.children[1]->type.width;
+      for (int i = 0; i < width; ++i) {
+        double bv = (rhs_width == 1) ? b[0] : b[i];
+        out[i] = (expr.callee == "Min") ? std::min(a[i], bv)
+                                        : std::max(a[i], bv);
+      }
+      return;
+    }
+    case Expr::Kind::kIndex: {
+      std::array<double, kMaxAttrWidth> base{};
+      Evaluate(*expr.children[0], ctx, base.data());
+      int idx = static_cast<int>(EvaluateScalar(*expr.children[1], ctx));
+      ITG_CHECK_GE(idx, 0);
+      ITG_CHECK_LT(idx, expr.children[0]->type.width);
+      out[0] = base[static_cast<size_t>(idx)];
+      return;
+    }
+  }
+}
+
+double EvaluateScalar(const Expr& expr, const EvalContext& ctx) {
+  ITG_CHECK_EQ(expr.type.width, 1);
+  double out = 0.0;
+  Evaluate(expr, ctx, &out);
+  return out;
+}
+
+}  // namespace itg

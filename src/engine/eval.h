@@ -1,0 +1,41 @@
+#ifndef ITG_ENGINE_EVAL_H_
+#define ITG_ENGINE_EVAL_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "engine/columns.h"
+#include "lang/ast.h"
+
+namespace itg {
+
+/// Everything an L_NGA expression may reference at runtime. Attribute
+/// reads other than `id` are bound to the walk's start vertex (row[0]);
+/// `columns` selects which version (previous vs. current snapshot) those
+/// reads see — the incremental executor swaps it per delta sub-query.
+struct EvalContext {
+  const ColumnSet* columns = nullptr;
+  const std::vector<std::vector<double>>* globals = nullptr;
+  double num_vertices = 0;
+  double num_edges = 0;
+  /// Walk row: row[d] is the vertex bound at loop depth d (0 = start).
+  const VertexId* row = nullptr;
+  int row_len = 0;
+};
+
+/// Evaluates `expr` into `out` (expr->type.width doubles; callers provide
+/// at least kMaxAttrWidth). Expressions are type-checked by sema, so
+/// evaluation cannot fail; violations are programming errors (checked).
+void Evaluate(const lang::Expr& expr, const EvalContext& ctx, double* out);
+
+/// Scalar fast path (expr must have width 1).
+double EvaluateScalar(const lang::Expr& expr, const EvalContext& ctx);
+
+/// Boolean convenience (expr must be bool-typed).
+inline bool EvaluateBool(const lang::Expr& expr, const EvalContext& ctx) {
+  return EvaluateScalar(expr, ctx) != 0.0;
+}
+
+}  // namespace itg
+
+#endif  // ITG_ENGINE_EVAL_H_

@@ -1,0 +1,49 @@
+#include "engine/msbfs.h"
+
+#include "common/logging.h"
+
+namespace itg {
+
+Status ComputeNeighborPruning(
+    const CompiledProgram& program, DynamicGraphStore* store,
+    BufferPool* pool, Timestamp current_t, int delta_level,
+    std::vector<std::vector<uint8_t>>* allow_by_depth) {
+  const int p = delta_level;
+  ITG_CHECK_GE(p, 1);
+  const VertexId n = store->num_vertices();
+  allow_by_depth->assign(static_cast<size_t>(p),
+                         std::vector<uint8_t>(static_cast<size_t>(n), 0));
+
+  // X^0: traversal origins of the delta edges (walk depth p-1).
+  const Direction delta_dir = program.traverse.levels[p - 1].dir;
+  std::vector<VertexId> frontier;
+  ITG_RETURN_IF_ERROR(store->DeltaSources(current_t, delta_dir, &frontier));
+  std::vector<uint8_t>& x0 = (*allow_by_depth)[p - 1];
+  for (VertexId v : frontier) x0[static_cast<size_t>(v)] = 1;
+
+  // X^i: backward through level (p - i), marking depth p-1-i.
+  std::vector<VertexId> next;
+  std::vector<VertexId> adj;
+  for (int i = 1; i <= p - 1; ++i) {
+    const LevelSpec& level = program.traverse.levels[p - i - 1];
+    Direction back_dir =
+        (level.dir == Direction::kOut) ? Direction::kIn : Direction::kOut;
+    std::vector<uint8_t>& marks = (*allow_by_depth)[p - 1 - i];
+    next.clear();
+    for (VertexId x : frontier) {
+      ITG_RETURN_IF_ERROR(
+          store->GetAdjacency(pool, x, current_t, back_dir, &adj));
+      for (VertexId w : adj) {
+        uint8_t& mark = marks[static_cast<size_t>(w)];
+        if (mark == 0) {
+          mark = 1;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return Status::OK();
+}
+
+}  // namespace itg

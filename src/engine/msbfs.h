@@ -1,0 +1,35 @@
+#ifndef ITG_ENGINE_MSBFS_H_
+#define ITG_ENGINE_MSBFS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "compiler/compiled_program.h"
+#include "storage/graph_store.h"
+
+namespace itg {
+
+/// Neighbor pruning (§5.3): multi-source backward BFS from the vertices
+/// directly affected by the delta stream of sub-query level `p`, yielding
+/// per-depth candidate sets.
+///
+/// X^0 = traversal origins of Δes_p (candidates for walk depth p−1);
+/// X^i = backward neighbors of X^{i−1} through level (p−i) reversed over
+/// the current snapshot (candidates for depth p−1−i). The result
+/// `allow_by_depth[d]` (d in [0, p−1]) is a |V|-sized bitmap restricting
+/// the vertex bound at depth d: starts are restricted by
+/// `allow_by_depth[0]`, level-j extensions (j < p) by `allow_by_depth[j]`.
+///
+/// The MS-BFS "programs" are generated from the compiled walk spec (the
+/// compiler knows each level's direction); selection conditions are not
+/// applied during the BFS, which only makes the candidate sets
+/// conservative supersets — pruning stays sound.
+Status ComputeNeighborPruning(const CompiledProgram& program,
+                              DynamicGraphStore* store, BufferPool* pool,
+                              Timestamp current_t, int delta_level,
+                              std::vector<std::vector<uint8_t>>* allow_by_depth);
+
+}  // namespace itg
+
+#endif  // ITG_ENGINE_MSBFS_H_

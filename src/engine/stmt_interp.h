@@ -1,0 +1,28 @@
+#ifndef ITG_ENGINE_STMT_INTERP_H_
+#define ITG_ENGINE_STMT_INTERP_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "engine/columns.h"
+#include "lang/ast.h"
+
+namespace itg {
+
+/// Per-vertex execution context for Initialize / Update bodies.
+struct StmtContext {
+  ColumnSet* columns = nullptr;
+  std::vector<std::vector<double>>* globals = nullptr;
+  double num_vertices = 0;
+  double num_edges = 0;
+  VertexId vertex = 0;
+};
+
+/// Interprets an Initialize/Update body (Lets inlined; statements are
+/// Assign and If only — guaranteed by sema + compiler) for one vertex.
+/// This is the fused physical form of the UDF's σ/Π/← algebra tree.
+void RunStatements(const std::vector<lang::StmtPtr>& body, StmtContext* ctx);
+
+}  // namespace itg
+
+#endif  // ITG_ENGINE_STMT_INTERP_H_

@@ -1,0 +1,213 @@
+#include "engine/walk.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace itg {
+
+/// One loaded graph window gw_i: the adjacency lists (with multiplicities)
+/// of up to `window_vertices` frontier vertices, resident in memory.
+struct WalkEnumerator::AdjacencyWindow {
+  // Per-vertex range into the backing arrays.
+  std::unordered_map<VertexId, std::pair<uint32_t, uint32_t>> ranges;
+  std::vector<VertexId> dsts;   // sorted within each range
+  std::vector<int8_t> mults;
+};
+
+Status WalkEnumerator::LoadWindow(const std::vector<VertexId>& vertices,
+                                  LevelStream stream, Direction dir,
+                                  Timestamp current_t, Timestamp previous_t,
+                                  AdjacencyWindow* window) {
+  ++windows_loaded_;
+  window->ranges.clear();
+  window->dsts.clear();
+  window->mults.clear();
+  std::vector<VertexId> adj;
+  std::vector<std::pair<VertexId, Multiplicity>> delta_adj;
+  for (VertexId u : vertices) {
+    uint32_t begin = static_cast<uint32_t>(window->dsts.size());
+    switch (stream) {
+      case LevelStream::kCurrent:
+      case LevelStream::kPrevious: {
+        Timestamp t =
+            (stream == LevelStream::kCurrent) ? current_t : previous_t;
+        ITG_RETURN_IF_ERROR(store_->GetAdjacency(pool_, u, t, dir, &adj));
+        for (VertexId v : adj) {
+          window->dsts.push_back(v);
+          window->mults.push_back(1);
+        }
+        break;
+      }
+      case LevelStream::kDelta: {
+        ITG_RETURN_IF_ERROR(
+            store_->GetDeltaAdjacency(pool_, u, current_t, dir, &delta_adj));
+        for (const auto& [v, m] : delta_adj) {
+          window->dsts.push_back(v);
+          window->mults.push_back(m);
+        }
+        break;
+      }
+    }
+    window->ranges.emplace(
+        u, std::make_pair(begin, static_cast<uint32_t>(window->dsts.size())));
+  }
+  return Status::OK();
+}
+
+Status WalkEnumerator::Enumerate(
+    const std::vector<VertexId>& starts,
+    const std::vector<LevelStream>& streams, Timestamp current_t,
+    Timestamp previous_t,
+    const std::vector<const std::vector<uint8_t>*>& level_allow,
+    int max_depth, const WalkSink& sink) {
+  ITG_CHECK_LE(max_depth, program_->walk_length());
+  const size_t block = static_cast<size_t>(options_.window_vertices);
+  for (size_t begin = 0; begin < starts.size(); begin += block) {
+    size_t end = std::min(starts.size(), begin + block);
+    std::vector<VertexId> prefixes(starts.begin() + begin,
+                                   starts.begin() + end);
+    std::vector<int8_t> mults(prefixes.size(), 1);
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+      sink(&prefixes[i], 0, 1);
+    }
+    if (max_depth >= 1) {
+      ITG_RETURN_IF_ERROR(Extend(1, prefixes, mults, 1, streams, current_t,
+                                 previous_t, level_allow, max_depth, sink));
+    }
+  }
+  return Status::OK();
+}
+
+Status WalkEnumerator::Extend(
+    int level, const std::vector<VertexId>& prefixes,
+    const std::vector<int8_t>& mults, int prefix_len,
+    const std::vector<LevelStream>& streams, Timestamp current_t,
+    Timestamp previous_t,
+    const std::vector<const std::vector<uint8_t>*>& level_allow,
+    int max_depth, const WalkSink& sink) {
+  const LevelSpec& spec = program_->traverse.levels[level - 1];
+  const LevelStream stream = streams[level - 1];
+  const std::vector<uint8_t>* allow = level_allow[level - 1];
+  const size_t num_prefixes = prefixes.size() / prefix_len;
+  if (num_prefixes == 0) return Status::OK();
+
+  // Distinct frontier vertices (the W-Seek input).
+  std::vector<VertexId> frontier;
+  frontier.reserve(num_prefixes);
+  for (size_t i = 0; i < num_prefixes; ++i) {
+    frontier.push_back(prefixes[i * prefix_len + (prefix_len - 1)]);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                 frontier.end());
+
+  EvalContext ctx;
+  ctx.columns = columns_;
+  ctx.globals = globals_;
+  ctx.num_vertices = num_vertices_;
+  ctx.num_edges = num_edges_;
+
+  std::vector<VertexId> row(static_cast<size_t>(prefix_len) + 1);
+  AdjacencyWindow window;
+
+  const size_t chunk = static_cast<size_t>(options_.window_vertices);
+  for (size_t cb = 0; cb < frontier.size(); cb += chunk) {
+    size_t ce = std::min(frontier.size(), cb + chunk);
+    std::vector<VertexId> chunk_vertices(frontier.begin() + cb,
+                                         frontier.begin() + ce);
+    ITG_RETURN_IF_ERROR(LoadWindow(chunk_vertices, stream, spec.dir,
+                                   current_t, previous_t, &window));
+
+    std::vector<VertexId> next_prefixes;
+    std::vector<int8_t> next_mults;
+    for (size_t i = 0; i < num_prefixes; ++i) {
+      const VertexId* prefix = prefixes.data() + i * prefix_len;
+      auto rit = window.ranges.find(prefix[prefix_len - 1]);
+      if (rit == window.ranges.end()) continue;
+      uint32_t begin = rit->second.first;
+      uint32_t end = rit->second.second;
+      if (begin == end) continue;
+      std::copy(prefix, prefix + prefix_len, row.begin());
+      ctx.row = row.data();
+      ctx.row_len = prefix_len + 1;
+
+      const VertexId* dsts = window.dsts.data();
+      // Fast paths over the sorted list: lower-bound seek for
+      // `next > row[gt]`, early stop for `next < row[lt]`, binary probe
+      // for the closing constraint `next == row[eq]`.
+      if (spec.eq_pos >= 0 && options_.eq_fast_path) {
+        VertexId want = row[spec.eq_pos];
+        if (spec.gt_pos >= 0 && want <= row[spec.gt_pos]) continue;
+        if (spec.lt_pos >= 0 && want >= row[spec.lt_pos]) continue;
+        const VertexId* lo = dsts + begin;
+        const VertexId* hi = dsts + end;
+        const VertexId* it = std::lower_bound(lo, hi, want);
+        ++edges_scanned_;
+        // Duplicated dsts cannot occur in base lists; delta segments may
+        // repeat a dst across insert/delete of the same batch.
+        for (; it != hi && *it == want; ++it) {
+          uint32_t j = static_cast<uint32_t>(it - dsts);
+          row[prefix_len] = want;
+          if (allow != nullptr && !(*allow)[static_cast<size_t>(want)]) break;
+          bool ok = true;
+          for (const lang::Expr* cond : spec.general) {
+            if (!EvaluateBool(*cond, ctx)) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) continue;
+          int m = mults[i] * window.mults[j];
+          sink(row.data(), prefix_len, m);
+          if (level < max_depth) {
+            next_prefixes.insert(next_prefixes.end(), row.begin(),
+                                 row.begin() + prefix_len + 1);
+            next_mults.push_back(static_cast<int8_t>(m));
+          }
+        }
+        continue;
+      }
+
+      uint32_t j = begin;
+      if (spec.gt_pos >= 0) {
+        const VertexId* lo = dsts + begin;
+        const VertexId* hi = dsts + end;
+        j = static_cast<uint32_t>(
+            std::upper_bound(lo, hi, row[spec.gt_pos]) - dsts);
+      }
+      for (; j < end; ++j) {
+        VertexId v = dsts[j];
+        if (spec.lt_pos >= 0 && v >= row[spec.lt_pos]) break;
+        ++edges_scanned_;
+        if (allow != nullptr && !(*allow)[static_cast<size_t>(v)]) continue;
+        row[prefix_len] = v;
+        if (spec.eq_pos >= 0 && v != row[spec.eq_pos]) continue;
+        bool ok = true;
+        for (const lang::Expr* cond : spec.general) {
+          if (!EvaluateBool(*cond, ctx)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        int m = mults[i] * window.mults[j];
+        sink(row.data(), prefix_len, m);
+        if (level < max_depth) {
+          next_prefixes.insert(next_prefixes.end(), row.begin(),
+                               row.begin() + prefix_len + 1);
+          next_mults.push_back(static_cast<int8_t>(m));
+        }
+      }
+    }
+    if (level < max_depth && !next_prefixes.empty()) {
+      ITG_RETURN_IF_ERROR(Extend(level + 1, next_prefixes, next_mults,
+                                 prefix_len + 1, streams, current_t,
+                                 previous_t, level_allow, max_depth, sink));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace itg

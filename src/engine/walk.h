@@ -1,0 +1,115 @@
+#ifndef ITG_ENGINE_WALK_H_
+#define ITG_ENGINE_WALK_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "compiler/compiled_program.h"
+#include "engine/eval.h"
+#include "storage/graph_store.h"
+
+namespace itg {
+
+/// Which edge stream a traversal level reads (incremental sub-queries mix
+/// versions per rule ⑦: levels left of the delta position read the
+/// current snapshot s'_i = s_i ∪ Δs_i, the delta position reads Δs_p, and
+/// levels right of it read the previous snapshot s_i).
+enum class LevelStream { kCurrent, kPrevious, kDelta };
+
+/// Receives every enumerated walk prefix: `row[0..depth]` are the bound
+/// positions, `mult` is the prefix multiplicity (product of the crossed
+/// stream multiplicities; ±1).
+using WalkSink =
+    std::function<void(const VertexId* row, int depth, int mult)>;
+
+/// Enumerates walks over nested graph windows (§4.2/4.3).
+///
+/// The enumerator is the physical Walk operator: level by level it
+/// W-Seeks the adjacency of a bounded *window* of frontier vertices into
+/// memory (reads go through the buffer pool, so cold windows are real
+/// IO), W-Joins the loaded lists against the current prefixes, applies
+/// the level predicate (with sorted-adjacency fast paths for ordering and
+/// closing constraints), fires the sink at every depth, and recurses.
+/// Memory is bounded by the window sizes; walks stream out without being
+/// materialized — the property that separates the paper's design from
+/// the arrangement-keeping Differential-Dataflow baseline.
+class WalkEnumerator {
+ public:
+  struct Options {
+    /// Window size (vertices whose adjacency is co-resident per level).
+    int window_vertices = 256;
+    /// Use the binary-search closing-constraint probe (the compiler's
+    /// multi-way intersection rewrite). Off = scan + filter.
+    bool eq_fast_path = true;
+  };
+
+  WalkEnumerator(const CompiledProgram* program, DynamicGraphStore* store,
+                 BufferPool* pool, const Options& options)
+      : program_(program), store_(store), pool_(pool), options_(options) {}
+
+  /// Redirects window loads through another buffer pool (the distributed
+  /// simulation gives every machine its own pool).
+  void set_pool(BufferPool* pool) { pool_ = pool; }
+
+  /// Evaluation context for level predicates (start-vertex attribute
+  /// reads use these columns; the incremental executor points them at the
+  /// right snapshot's values).
+  void SetEvalBase(const ColumnSet* columns,
+                   const std::vector<std::vector<double>>* globals,
+                   double num_vertices, double num_edges) {
+    columns_ = columns;
+    globals_ = globals;
+    num_vertices_ = num_vertices;
+    num_edges_ = num_edges;
+  }
+
+  /// Enumerates walks from `starts` (already filtered by the caller).
+  ///
+  /// `streams[j]` selects the graph version of level j+1; `current_t` /
+  /// `previous_t` name the snapshots; kDelta levels read the mutation
+  /// batch of `current_t`. `level_allow[j]`, when non-null, restricts the
+  /// vertex bound at depth j+1 (neighbor pruning's MS-BFS visited sets).
+  /// Enumeration extends to `max_depth` levels (≤ program walk length).
+  Status Enumerate(const std::vector<VertexId>& starts,
+                   const std::vector<LevelStream>& streams,
+                   Timestamp current_t, Timestamp previous_t,
+                   const std::vector<const std::vector<uint8_t>*>& level_allow,
+                   int max_depth, const WalkSink& sink);
+
+  /// Walk-window statistics (for benches/tests).
+  uint64_t windows_loaded() const { return windows_loaded_; }
+  uint64_t edges_scanned() const { return edges_scanned_; }
+
+ private:
+  struct AdjacencyWindow;
+
+  Status Extend(int level, const std::vector<VertexId>& prefixes,
+                const std::vector<int8_t>& mults, int prefix_len,
+                const std::vector<LevelStream>& streams,
+                Timestamp current_t, Timestamp previous_t,
+                const std::vector<const std::vector<uint8_t>*>& level_allow,
+                int max_depth, const WalkSink& sink);
+
+  Status LoadWindow(const std::vector<VertexId>& vertices, LevelStream stream,
+                    Direction dir, Timestamp current_t, Timestamp previous_t,
+                    AdjacencyWindow* window);
+
+  const CompiledProgram* program_;
+  DynamicGraphStore* store_;
+  BufferPool* pool_;
+  Options options_;
+
+  const ColumnSet* columns_ = nullptr;
+  const std::vector<std::vector<double>>* globals_ = nullptr;
+  double num_vertices_ = 0;
+  double num_edges_ = 0;
+
+  uint64_t windows_loaded_ = 0;
+  uint64_t edges_scanned_ = 0;
+};
+
+}  // namespace itg
+
+#endif  // ITG_ENGINE_WALK_H_

@@ -1,0 +1,51 @@
+#include "gen/rmat.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace itg {
+
+std::vector<Edge> GenerateRmatEdges(VertexId num_vertices, size_t num_edges,
+                                    const RmatOptions& options) {
+  ITG_CHECK_GT(num_vertices, 0);
+  ITG_CHECK((num_vertices & (num_vertices - 1)) == 0)
+      << "RMAT needs a power-of-two vertex count";
+  int levels = 0;
+  while ((static_cast<VertexId>(1) << levels) < num_vertices) ++levels;
+
+  Rng rng(options.seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  while (edges.size() < num_edges) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (int level = 0; level < levels; ++level) {
+      double r = rng.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (r < options.a) {
+        // top-left quadrant: no bits set
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (options.drop_self_loops && src == dst) continue;
+    edges.push_back({src, dst});
+  }
+  return edges;
+}
+
+std::vector<Edge> GenerateRmat(int scale, const RmatOptions& options) {
+  ITG_CHECK_GE(scale, 5);
+  return GenerateRmatEdges(RmatVertices(scale),
+                           static_cast<size_t>(1) << scale, options);
+}
+
+}  // namespace itg

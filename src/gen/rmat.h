@@ -1,0 +1,42 @@
+#ifndef ITG_GEN_RMAT_H_
+#define ITG_GEN_RMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace itg {
+
+/// Parameters of the recursive matrix (R-MAT) model [Chakrabarti et al.,
+/// SDM'04], the generator family the paper uses for its synthetic graphs
+/// (via TrillionG). Defaults are the canonical skewed setting.
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  uint64_t seed = 42;
+  /// Drop (u, u) edges; the paper models simple graphs.
+  bool drop_self_loops = true;
+};
+
+/// Generates an RMAT graph at `scale` following the paper's convention:
+/// |E| = 2^scale, |V| = 2^(scale-4) (Table 5: RMAT_X has 2^(X-4) vertices
+/// and 2^X edges). Duplicates may occur and are deduplicated downstream
+/// by CSR construction.
+std::vector<Edge> GenerateRmat(int scale, const RmatOptions& options = {});
+
+/// Generates `num_edges` RMAT edges over `num_vertices` vertices
+/// (num_vertices must be a power of two).
+std::vector<Edge> GenerateRmatEdges(VertexId num_vertices, size_t num_edges,
+                                    const RmatOptions& options = {});
+
+/// Number of vertices implied by an RMAT scale.
+inline VertexId RmatVertices(int scale) {
+  return static_cast<VertexId>(1) << (scale - 4);
+}
+
+}  // namespace itg
+
+#endif  // ITG_GEN_RMAT_H_

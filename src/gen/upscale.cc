@@ -1,0 +1,41 @@
+#include "gen/upscale.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace itg {
+
+std::vector<Edge> UpscaleGraph(const std::vector<Edge>& edges,
+                               VertexId num_vertices, int factor,
+                               uint64_t seed, double cross_fraction) {
+  ITG_CHECK_GE(factor, 1);
+  Rng rng(seed);
+  std::vector<Edge> out;
+  out.reserve(edges.size() * static_cast<size_t>(factor) +
+              static_cast<size_t>(cross_fraction * edges.size()) *
+                  static_cast<size_t>(factor));
+  // Replicas: copy k lives on vertex ids [k*n, (k+1)*n).
+  for (int k = 0; k < factor; ++k) {
+    VertexId offset = static_cast<VertexId>(k) * num_vertices;
+    for (const Edge& e : edges) {
+      out.push_back({e.src + offset, e.dst + offset});
+    }
+  }
+  // Cross edges between consecutive replica pairs. Endpoints are sampled
+  // from the edge list itself so high-degree vertices attract cross edges
+  // proportionally to their degree (preferential stitching).
+  size_t cross_per_pair =
+      static_cast<size_t>(cross_fraction * static_cast<double>(edges.size()));
+  for (int k = 1; k < factor; ++k) {
+    VertexId lo = static_cast<VertexId>(k - 1) * num_vertices;
+    VertexId hi = static_cast<VertexId>(k) * num_vertices;
+    for (size_t i = 0; i < cross_per_pair; ++i) {
+      const Edge& a = edges[rng.Uniform(edges.size())];
+      const Edge& b = edges[rng.Uniform(edges.size())];
+      out.push_back({a.src + lo, b.dst + hi});
+    }
+  }
+  return out;
+}
+
+}  // namespace itg

@@ -1,0 +1,27 @@
+#ifndef ITG_GEN_UPSCALE_H_
+#define ITG_GEN_UPSCALE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace itg {
+
+/// Upscales a graph by an integer factor, in the spirit of EvoGraph
+/// [Park & Kim, KDD'18], which the paper uses to produce TWT_X (the
+/// X-times upscaled Twitter graph).
+///
+/// EvoGraph grows a graph while preserving its degree distribution and
+/// community structure. This reproduction uses its core recipe: replicate
+/// the graph `factor` times and stitch the replicas with cross edges
+/// whose endpoints are sampled from the original edge list (so endpoint
+/// popularity — the degree skew — is preserved). `cross_fraction` is the
+/// number of cross edges per replica pair as a fraction of |E|.
+std::vector<Edge> UpscaleGraph(const std::vector<Edge>& edges,
+                               VertexId num_vertices, int factor,
+                               uint64_t seed, double cross_fraction = 0.1);
+
+}  // namespace itg
+
+#endif  // ITG_GEN_UPSCALE_H_

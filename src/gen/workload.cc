@@ -1,0 +1,94 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace itg {
+
+MutationWorkload::MutationWorkload(std::vector<Edge> all_edges,
+                                   double initial_fraction, uint64_t seed,
+                                   bool canonical)
+    : rng_(seed), canonical_(canonical) {
+  ITG_CHECK(initial_fraction > 0.0 && initial_fraction <= 1.0);
+  if (canonical_) {
+    for (Edge& e : all_edges) {
+      if (e.src > e.dst) std::swap(e.src, e.dst);
+    }
+  }
+  // Deduplicate defensively; the split must partition distinct edges.
+  std::sort(all_edges.begin(), all_edges.end());
+  all_edges.erase(std::unique(all_edges.begin(), all_edges.end()),
+                  all_edges.end());
+  // Fisher-Yates shuffle, then split.
+  for (size_t i = all_edges.size(); i > 1; --i) {
+    size_t j = rng_.Uniform(i);
+    std::swap(all_edges[i - 1], all_edges[j]);
+  }
+  size_t initial_count =
+      static_cast<size_t>(all_edges.size() * initial_fraction);
+  initial_.assign(all_edges.begin(),
+                  all_edges.begin() + static_cast<long>(initial_count));
+  pool_.assign(all_edges.begin() + static_cast<long>(initial_count),
+               all_edges.end());
+  current_ = initial_;
+  current_set_.insert(current_.begin(), current_.end());
+  for (const Edge& e : all_edges) {
+    max_vertex_ = std::max({max_vertex_, e.src, e.dst});
+  }
+}
+
+Edge MutationWorkload::RandomNonEdge() {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Edge e{static_cast<VertexId>(rng_.Uniform(
+               static_cast<uint64_t>(max_vertex_) + 1)),
+           static_cast<VertexId>(
+               rng_.Uniform(static_cast<uint64_t>(max_vertex_) + 1))};
+    if (canonical_ && e.src > e.dst) std::swap(e.src, e.dst);
+    if (e.src != e.dst && !current_set_.contains(e)) return e;
+  }
+  ITG_CHECK(false) << "could not sample a non-edge (graph nearly complete?)";
+  return {};
+}
+
+std::vector<EdgeDelta> MutationWorkload::NextBatch(size_t size,
+                                                   double insert_ratio) {
+  std::vector<EdgeDelta> batch;
+  batch.reserve(size);
+  size_t num_inserts = static_cast<size_t>(
+      static_cast<double>(size) * insert_ratio + 0.5);
+  num_inserts = std::min(num_inserts, size);
+  size_t num_deletes = size - num_inserts;
+
+  // Deletions are sampled before the insertions are applied, so a batch
+  // never deletes an edge it inserted itself: every delete targets an
+  // edge present before the batch and every insert targets an absent one.
+  for (size_t i = 0; i < num_deletes && !current_.empty(); ++i) {
+    size_t j = rng_.Uniform(current_.size());
+    Edge e = current_[j];
+    current_[j] = current_.back();
+    current_.pop_back();
+    current_set_.erase(e);
+    batch.push_back({e, -1});
+  }
+  for (size_t i = 0; i < num_inserts; ++i) {
+    Edge e;
+    // Pool edges removed by an earlier deletion batch may be re-inserted;
+    // skip any that are currently present.
+    while (!pool_.empty() && current_set_.contains(pool_.back())) {
+      pool_.pop_back();
+    }
+    if (!pool_.empty()) {
+      e = pool_.back();
+      pool_.pop_back();
+    } else {
+      e = RandomNonEdge();
+    }
+    batch.push_back({e, +1});
+    current_.push_back(e);
+    current_set_.insert(e);
+  }
+  return batch;
+}
+
+}  // namespace itg

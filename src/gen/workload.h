@@ -1,0 +1,58 @@
+#ifndef ITG_GEN_WORKLOAD_H_
+#define ITG_GEN_WORKLOAD_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace itg {
+
+/// Generates dynamic-graph workloads the way the paper does (§6.1):
+/// sample 90% of the edges uniformly at random as the initial graph G_0;
+/// the remaining 10% become the insertion pool for ΔG⁺; deletions ΔG⁻ are
+/// sampled uniformly from the current edge set. Default mix is
+/// |ΔG⁺| : |ΔG⁻| = 75 : 25 (LinkBench-derived) and |ΔG| = 100k scaled to
+/// the graph at hand.
+class MutationWorkload {
+ public:
+  /// Splits `all_edges` into G_0 (a `initial_fraction` sample) and the
+  /// insertion pool. With `canonical` set (undirected workloads), edges
+  /// are kept in (min, max) form and fresh random insertions are drawn
+  /// canonically too — otherwise a random (b, a) could alias a present
+  /// (a, b).
+  MutationWorkload(std::vector<Edge> all_edges, double initial_fraction,
+                   uint64_t seed, bool canonical = false);
+
+  /// The initial graph edges (G_0).
+  const std::vector<Edge>& initial_edges() const { return initial_; }
+
+  /// Produces the next mutation batch of `size` operations with the given
+  /// insertion share (0..1). Insertions come from the held-out pool (or
+  /// fresh random non-edges once the pool is exhausted); deletions are
+  /// sampled uniformly from edges currently present. The generator keeps
+  /// the running edge set consistent across batches: it never inserts a
+  /// present edge nor deletes an absent one.
+  std::vector<EdgeDelta> NextBatch(size_t size, double insert_ratio);
+
+  /// Number of edges currently present (G_0 plus applied batches).
+  size_t current_edge_count() const { return current_.size(); }
+
+  VertexId max_vertex() const { return max_vertex_; }
+
+ private:
+  Edge RandomNonEdge();
+
+  Rng rng_;
+  bool canonical_ = false;
+  std::vector<Edge> initial_;
+  std::vector<Edge> pool_;   // held-out insertions, consumed from the back
+  std::vector<Edge> current_;  // edges present now (for uniform deletion)
+  std::unordered_set<Edge, EdgeHash> current_set_;
+  VertexId max_vertex_ = 0;
+};
+
+}  // namespace itg
+
+#endif  // ITG_GEN_WORKLOAD_H_

@@ -1,0 +1,68 @@
+#include "gsa/plan.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace itg::gsa {
+
+namespace {
+
+void ExplainRec(const PlanNode& node, int indent, std::ostringstream* os) {
+  for (int i = 0; i < indent; ++i) *os << "  ";
+  *os << node.op;
+  if (!node.detail.empty()) *os << "[" << node.detail << "]";
+  *os << "\n";
+  for (const auto& child : node.children) {
+    ExplainRec(*child, indent + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string Explain(const PlanNode& root) {
+  std::ostringstream os;
+  ExplainRec(root, 0, &os);
+  return os.str();
+}
+
+std::unique_ptr<PlanNode> Incrementalize(const PlanNode& plan) {
+  // Leaf streams: Δ(Stream s) = DeltaStream Δs.
+  if (plan.op == "Stream") {
+    return PlanNode::Make("DeltaStream", "Δ" + plan.detail);
+  }
+  if (plan.op == "DeltaStream") {
+    ITG_CHECK(false) << "cannot incrementalize an already-incremental plan";
+  }
+  // Rule ⑦: Walk(s1..sn) -> ∪_p Walk(s'1, .., s'_{p-1}, Δs_p, s_{p+1}, ..).
+  if (plan.op == "Walk") {
+    auto result = PlanNode::Make("Union", "rule 7");
+    const size_t n = plan.children.size();
+    for (size_t p = 0; p < n; ++p) {
+      auto sub = PlanNode::Make("Walk", plan.detail + " : q" +
+                                            std::to_string(p + 1));
+      for (size_t i = 0; i < n; ++i) {
+        if (i < p) {
+          auto updated = plan.children[i]->Clone();
+          updated->detail += "'";  // s'_i = s_i ∪ Δs_i
+          sub->children.push_back(std::move(updated));
+        } else if (i == p) {
+          sub->children.push_back(Incrementalize(*plan.children[i]));
+        } else {
+          sub->children.push_back(plan.children[i]->Clone());
+        }
+      }
+      result->children.push_back(std::move(sub));
+    }
+    return result;
+  }
+  // Rules ①②⑤⑥ (single-input linear operators) and ③④ (binary):
+  // push Δ through to every child.
+  auto node = PlanNode::Make(plan.op, plan.detail);
+  for (const auto& child : plan.children) {
+    node->children.push_back(Incrementalize(*child));
+  }
+  return node;
+}
+
+}  // namespace itg::gsa

@@ -1,0 +1,55 @@
+#ifndef ITG_GSA_PLAN_H_
+#define ITG_GSA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace itg::gsa {
+
+/// A Graph Streaming Algebra operator tree (Table 3 of the paper). The
+/// compiler produces one for each UDF (the one-shot plan) and derives the
+/// incremental plan by applying the Table-4 incrementalization rules.
+///
+/// The tree is the *logical* plan: the executor interprets a fused
+/// physical form (walk enumeration with inlined filters/maps/accumulates),
+/// but the logical tree is what incrementalization rewrites and what
+/// `Explain()` prints.
+struct PlanNode {
+  /// Operator name: Walk, W-Seek, W-Join, Filter, Map, Union, Difference,
+  /// Assign, Accumulate, Apply, Stream, DeltaStream.
+  std::string op;
+  /// Subscript / annotation (predicates, rename lists, stream names).
+  std::string detail;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  static std::unique_ptr<PlanNode> Make(std::string op, std::string detail) {
+    auto node = std::make_unique<PlanNode>();
+    node->op = std::move(op);
+    node->detail = std::move(detail);
+    return node;
+  }
+
+  std::unique_ptr<PlanNode> Clone() const {
+    auto node = Make(op, detail);
+    for (const auto& child : children) {
+      node->children.push_back(child->Clone());
+    }
+    return node;
+  }
+};
+
+/// Pretty-prints a plan tree, one operator per line, indented.
+std::string Explain(const PlanNode& root);
+
+/// Applies the GSA incrementalization rules (Table 4) to a one-shot plan:
+///   ① Δσ(s) = σ(Δs)        ② ΔΠ(s) = Π(Δs)
+///   ③ Δ(s1 ∪ s2) = Δs1 ∪ Δs2  ④ Δ(s1 ⊖ s2) = Δs1 ⊖ Δs2
+///   ⑤ Δ(←(s)) = ←(Δs)      ⑥ Δ(⊎(s)) = ⊎(Δs)
+///   ⑦ ΔWalk(s1..sn) = ∪_p Walk(s'1.., s'_{p-1}, Δs_p, s_{p+1}, .., s_n)
+/// GSA is closed under incrementalization: the result is again a GSA plan.
+std::unique_ptr<PlanNode> Incrementalize(const PlanNode& plan);
+
+}  // namespace itg::gsa
+
+#endif  // ITG_GSA_PLAN_H_

@@ -1,0 +1,170 @@
+#include "gsa/stream_ops.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace itg::gsa {
+
+int TupleStream::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int64_t TupleStream::MultiplicityOf(
+    const std::vector<double>& values) const {
+  int64_t total = 0;
+  for (const Tuple& t : tuples_) {
+    if (t.values == values) total += t.mult;
+  }
+  return total;
+}
+
+TupleStream Filter(const TupleStream& input,
+                   const std::function<bool(const Tuple&)>& pred) {
+  TupleStream out(input.schema());
+  for (const Tuple& t : input.tuples()) {
+    if (pred(t)) out.Append(t.values, t.mult);
+  }
+  return out;
+}
+
+TupleStream Map(const TupleStream& input, std::vector<std::string> schema,
+                const std::function<std::vector<double>(const Tuple&)>& fn) {
+  TupleStream out(std::move(schema));
+  for (const Tuple& t : input.tuples()) {
+    out.Append(fn(t), t.mult);
+  }
+  return out;
+}
+
+StatusOr<TupleStream> Union(const TupleStream& a, const TupleStream& b) {
+  if (a.schema() != b.schema()) {
+    return Status::InvalidArgument("Union over mismatched schemas");
+  }
+  TupleStream out(a.schema());
+  for (const Tuple& t : a.tuples()) out.Append(t.values, t.mult);
+  for (const Tuple& t : b.tuples()) out.Append(t.values, t.mult);
+  return out;
+}
+
+StatusOr<TupleStream> Difference(const TupleStream& a,
+                                 const TupleStream& b) {
+  if (a.schema() != b.schema()) {
+    return Status::InvalidArgument("Difference over mismatched schemas");
+  }
+  TupleStream out(a.schema());
+  for (const Tuple& t : a.tuples()) out.Append(t.values, t.mult);
+  for (const Tuple& t : b.tuples()) out.Append(t.values, -t.mult);
+  return out;
+}
+
+TupleStream Consolidate(const TupleStream& input) {
+  std::map<std::vector<double>, int64_t> net;
+  for (const Tuple& t : input.tuples()) {
+    net[t.values] += t.mult;
+  }
+  TupleStream out(input.schema());
+  for (const auto& [values, mult] : net) {
+    if (mult != 0) out.Append(values, mult);
+  }
+  return out;
+}
+
+TupleStream AssignOperator::Apply(const TupleStream& input) {
+  TupleStream changes({"id", "value"});
+  for (const Tuple& t : input.tuples()) {
+    ITG_CHECK_EQ(t.values.size(), 2u);
+    double id = t.values[0];
+    double value = t.values[1];
+    auto it = state_.find(id);
+    if (it != state_.end()) {
+      if (it->second == value) continue;
+      changes.Append({id, it->second}, -1);
+      it->second = value;
+    } else {
+      state_[id] = value;
+    }
+    changes.Append({id, value}, +1);
+  }
+  return changes;
+}
+
+double AssignOperator::ValueOf(double id, double absent) const {
+  auto it = state_.find(id);
+  return it == state_.end() ? absent : it->second;
+}
+
+Status AccumulateOperator::Apply(const TupleStream& input) {
+  for (const Tuple& t : input.tuples()) {
+    if (t.values.size() != 2) {
+      return Status::InvalidArgument(
+          "Accumulate expects <key, value> tuples");
+    }
+    double key = t.values[0];
+    double value = t.values[1];
+    if (lang::IsAbelianGroup(op_)) {
+      auto [it, inserted] =
+          group_state_.try_emplace(key, GroupState{lang::AccmIdentity(op_)});
+      double contribution =
+          (t.mult < 0) ? lang::AccmInverse(op_, value) : value;
+      for (int64_t i = 0; i < std::abs(t.mult); ++i) {
+        lang::AccmApply(op_, &it->second.aggregate, contribution);
+      }
+      it->second.count += t.mult;
+      continue;
+    }
+    // Monoid: maintain the support multiset exactly.
+    auto& support = monoid_support_[key];
+    support[value] += t.mult;
+    if (support[value] < 0) {
+      return Status::InvalidArgument(
+          "monoid accumulate: deletion without matching insertion");
+    }
+    if (support[value] == 0) support.erase(value);
+  }
+  return Status::OK();
+}
+
+double AccumulateOperator::AggregateOf(double key) const {
+  if (lang::IsAbelianGroup(op_)) {
+    auto it = group_state_.find(key);
+    return it == group_state_.end() ? lang::AccmIdentity(op_)
+                                    : it->second.aggregate;
+  }
+  auto it = monoid_support_.find(key);
+  if (it == monoid_support_.end() || it->second.empty()) {
+    return lang::AccmIdentity(op_);
+  }
+  // std::map is value-ordered: Min is the first key, Max the last.
+  return (op_ == lang::AccmOp::kMin) ? it->second.begin()->first
+                                     : it->second.rbegin()->first;
+}
+
+int64_t AccumulateOperator::SupportOf(double key) const {
+  if (lang::IsAbelianGroup(op_)) {
+    auto it = group_state_.find(key);
+    return it == group_state_.end() ? 0 : it->second.count;
+  }
+  auto it = monoid_support_.find(key);
+  if (it == monoid_support_.end()) return 0;
+  int64_t total = 0;
+  for (const auto& [value, mult] : it->second) total += mult;
+  return total;
+}
+
+bool Equivalent(const TupleStream& a, const TupleStream& b) {
+  if (a.schema() != b.schema()) return false;
+  TupleStream ca = Consolidate(a);
+  TupleStream cb = Consolidate(b);
+  if (ca.size() != cb.size()) return false;
+  // Consolidate emits rows in map order: element-wise comparison works.
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (!(ca.tuples()[i] == cb.tuples()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace itg::gsa

@@ -1,0 +1,133 @@
+#ifndef ITG_GSA_STREAM_OPS_H_
+#define ITG_GSA_STREAM_OPS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/type.h"
+
+namespace itg::gsa {
+
+/// The stream half of Graph Streaming Algebra (Table 3) as composable
+/// operators over materialized tuple streams.
+///
+/// The engine fuses these into the walk enumeration for performance;
+/// this layer is the reference semantics — the operators the
+/// incrementalization rules (Table 4) are stated over — and is what the
+/// operator unit tests and the algebra property tests exercise. A tuple
+/// carries a signed multiplicity, so insertions and deletions flow
+/// through the same operators (§4.1).
+
+/// One stream element: a row of doubles with multiplicity m ∈ ℤ \ {0}
+/// (the paper's simple-graph model keeps |m| = 1; consolidation can
+/// produce other values transiently before they cancel).
+struct Tuple {
+  std::vector<double> values;
+  int64_t mult = 1;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+/// A finite, materialized stream with a named schema.
+class TupleStream {
+ public:
+  TupleStream() = default;
+  explicit TupleStream(std::vector<std::string> schema)
+      : schema_(std::move(schema)) {}
+
+  void Append(std::vector<double> values, int64_t mult = 1) {
+    tuples_.push_back({std::move(values), mult});
+  }
+
+  const std::vector<std::string>& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  /// Column index of `name` (-1 if absent).
+  int ColumnIndex(const std::string& name) const;
+
+  /// Net multiplicity of a row value (0 if absent after cancellation).
+  int64_t MultiplicityOf(const std::vector<double>& values) const;
+
+ private:
+  std::vector<std::string> schema_;
+  std::vector<Tuple> tuples_;
+};
+
+/// σ_p — keeps tuples satisfying `pred` (multiplicity untouched).
+TupleStream Filter(const TupleStream& input,
+                   const std::function<bool(const Tuple&)>& pred);
+
+/// Π_f — maps each tuple's row through `fn` under a new schema.
+TupleStream Map(const TupleStream& input, std::vector<std::string> schema,
+                const std::function<std::vector<double>(const Tuple&)>& fn);
+
+/// ∪ — multiset union: concatenation of the two streams (schemas must
+/// match).
+StatusOr<TupleStream> Union(const TupleStream& a, const TupleStream& b);
+
+/// ⊖ — difference: b's tuples flow with negated multiplicities.
+StatusOr<TupleStream> Difference(const TupleStream& a,
+                                 const TupleStream& b);
+
+/// Combines equal rows, summing multiplicities and dropping zeros — the
+/// normal form under which two streams are compared for equivalence.
+TupleStream Consolidate(const TupleStream& input);
+
+/// ←_{id,attr} — the Assign operator: a *stateful* sink mapping vertex id
+/// → attribute value. Consuming an input tuple <id, value> emits, per
+/// the paper, a deletion of the old value and an insertion of the new
+/// one; the emitted change stream is returned.
+class AssignOperator {
+ public:
+  /// Applies a stream of <id, value> tuples; returns the change stream
+  /// (<id, old>₋₁, <id, new>₊₁ per modified id).
+  TupleStream Apply(const TupleStream& input);
+
+  /// Current value of `id` (or `absent` when never assigned).
+  double ValueOf(double id, double absent = 0.0) const;
+
+ private:
+  std::map<double, double> state_;
+};
+
+/// ⊎_{id,f(attr)} — the Accumulate operator: maintains one aggregate per
+/// key under signed input. Abelian-group ops absorb deletions via the
+/// inverse; monoid ops keep the full support multiset so deleted minima
+/// are replaced exactly (the arrangement the engine's CNT optimization
+/// approximates with a counter).
+class AccumulateOperator {
+ public:
+  explicit AccumulateOperator(lang::AccmOp op) : op_(op) {}
+
+  /// Applies a stream of <key, value> tuples with multiplicities.
+  Status Apply(const TupleStream& input);
+
+  /// Current aggregate of `key` (identity when no support).
+  double AggregateOf(double key) const;
+
+  /// Number of supporting inputs currently held for `key`.
+  int64_t SupportOf(double key) const;
+
+ private:
+  struct GroupState {
+    double aggregate;
+    int64_t count = 0;
+  };
+
+  lang::AccmOp op_;
+  std::map<double, GroupState> group_state_;
+  // Monoids: value -> net multiplicity per key.
+  std::map<double, std::map<double, int64_t>> monoid_support_;
+};
+
+/// Stream equivalence: equal consolidated multisets. The foundation of
+/// the incrementalization property tests (Q(G ∪ ΔG) = Q(G) ∪ ΔQ).
+bool Equivalent(const TupleStream& a, const TupleStream& b);
+
+}  // namespace itg::gsa
+
+#endif  // ITG_GSA_STREAM_OPS_H_

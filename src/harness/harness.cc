@@ -1,0 +1,75 @@
+#include "harness/harness.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace itg {
+
+StatusOr<std::unique_ptr<Harness>> Harness::Create(
+    const std::string& program_source, VertexId num_vertices,
+    std::vector<Edge> all_edges, const HarnessOptions& options) {
+  auto harness = std::unique_ptr<Harness>(new Harness());
+  harness->options_ = options;
+  harness->source_ = program_source;
+  harness->num_vertices_ = num_vertices;
+  harness->workload_ = std::make_unique<MutationWorkload>(
+      std::move(all_edges), options.initial_fraction, options.seed,
+      /*canonical=*/options.symmetric);
+  harness->current_ = harness->workload_->initial_edges();
+
+  std::vector<Edge> stored = options.symmetric
+                                 ? SymmetrizeEdges(harness->current_)
+                                 : harness->current_;
+  ITG_ASSIGN_OR_RETURN(
+      harness->store_,
+      DynamicGraphStore::Create(options.path, num_vertices, stored,
+                                options.store, &GlobalMetrics()));
+  ITG_ASSIGN_OR_RETURN(harness->program_, CompileProgram(program_source));
+  harness->engine_ = std::make_unique<Engine>(
+      harness->store_.get(), harness->program_.get(), options.engine);
+  return harness;
+}
+
+Status Harness::Step(size_t batch_size, double insert_ratio) {
+  std::vector<EdgeDelta> batch =
+      workload_->NextBatch(batch_size, insert_ratio);
+  std::vector<EdgeDelta> stored_batch;
+  stored_batch.reserve(batch.size() * (options_.symmetric ? 2 : 1));
+  for (const EdgeDelta& d : batch) {
+    stored_batch.push_back(d);
+    if (options_.symmetric) {
+      stored_batch.push_back({{d.edge.dst, d.edge.src}, d.mult});
+    }
+    if (d.mult > 0) {
+      current_.push_back(d.edge);
+    } else {
+      auto it = std::find(current_.begin(), current_.end(), d.edge);
+      ITG_CHECK(it != current_.end());
+      current_.erase(it);
+    }
+  }
+  ITG_ASSIGN_OR_RETURN(Timestamp t, store_->ApplyMutations(stored_batch));
+  timestamp_ = t;
+  return engine_->RunIncremental(t);
+}
+
+std::vector<Edge> Harness::StoredEdges() const {
+  return options_.symmetric ? SymmetrizeEdges(current_) : current_;
+}
+
+StatusOr<RunStats> Harness::FreshOneShot() {
+  HarnessOptions opts = options_;
+  opts.engine.record_history = false;
+  ITG_ASSIGN_OR_RETURN(
+      auto store,
+      DynamicGraphStore::Create(
+          options_.path + ".fresh" + std::to_string(fresh_counter_++),
+          num_vertices_, StoredEdges(), options_.store, &GlobalMetrics()));
+  ITG_ASSIGN_OR_RETURN(auto program, CompileProgram(source_));
+  Engine engine(store.get(), program.get(), opts.engine);
+  ITG_RETURN_IF_ERROR(engine.RunOneShot(0));
+  return engine.last_stats();
+}
+
+}  // namespace itg

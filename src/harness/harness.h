@@ -1,0 +1,77 @@
+#ifndef ITG_HARNESS_HARNESS_H_
+#define ITG_HARNESS_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiled_program.h"
+#include "engine/engine.h"
+#include "gen/workload.h"
+#include "storage/graph_store.h"
+
+namespace itg {
+
+/// Options of an end-to-end experiment (paper protocol, §6.1): sample 90%
+/// of the edges as G_0, run the one-shot query, then apply mutation
+/// batches (75:25 insert:delete by default) and run incremental queries.
+struct HarnessOptions {
+  /// Undirected analytics: mutations operate on canonical (min, max)
+  /// edges and are applied in both directions.
+  bool symmetric = false;
+  double initial_fraction = 0.9;
+  uint64_t seed = 42;
+  EngineOptions engine;
+  DynamicGraphStore::Options store;
+  /// File prefix for the store (temp dir).
+  std::string path;
+};
+
+/// Owns the full pipeline — compiled program, dynamic graph store,
+/// workload generator, engine — and drives the paper's experiment
+/// protocol. Shared by the benches, examples, and end-to-end tests.
+class Harness {
+ public:
+  static StatusOr<std::unique_ptr<Harness>> Create(
+      const std::string& program_source, VertexId num_vertices,
+      std::vector<Edge> all_edges, const HarnessOptions& options);
+
+  /// One-shot execution at G_0 (records history for later increments).
+  Status RunOneShot() { return engine_->RunOneShot(0); }
+
+  /// Applies the next mutation batch and runs the incremental query.
+  Status Step(size_t batch_size, double insert_ratio);
+
+  /// Re-executes the query from scratch on the *current* snapshot with a
+  /// throwaway store + engine, returning the wall seconds and IO bytes —
+  /// the "one-shot re-execution" cost the incremental path avoids.
+  StatusOr<RunStats> FreshOneShot();
+
+  Engine& engine() { return *engine_; }
+  const CompiledProgram& program() const { return *program_; }
+  DynamicGraphStore& store() { return *store_; }
+  Timestamp timestamp() const { return timestamp_; }
+
+  /// Canonical edges of the current snapshot (for oracle checks).
+  const std::vector<Edge>& current_edges() const { return current_; }
+  /// Edges as stored (symmetrized when options.symmetric).
+  std::vector<Edge> StoredEdges() const;
+
+ private:
+  Harness() = default;
+
+  HarnessOptions options_;
+  std::string source_;
+  VertexId num_vertices_ = 0;
+  std::unique_ptr<CompiledProgram> program_;
+  std::unique_ptr<DynamicGraphStore> store_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<MutationWorkload> workload_;
+  std::vector<Edge> current_;
+  Timestamp timestamp_ = 0;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace itg
+
+#endif  // ITG_HARNESS_HARNESS_H_

@@ -1,0 +1,210 @@
+#ifndef ITG_LANG_AST_H_
+#define ITG_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/type.h"
+
+namespace itg::lang {
+
+/// Source location for diagnostics.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+inline bool IsComparison(BinaryOp op) {
+  return op == BinaryOp::kLt || op == BinaryOp::kLe || op == BinaryOp::kGt ||
+         op == BinaryOp::kGe || op == BinaryOp::kEq || op == BinaryOp::kNe;
+}
+inline bool IsLogical(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Categories a VarRef can resolve to during semantic analysis.
+enum class VarKind {
+  kUnresolved,
+  kLet,       ///< a Let-bound local
+  kVertexVar, ///< the UDF parameter or a For loop variable (a vertex)
+  kGlobal,    ///< a GlobalVariable attribute
+  kBuiltin,   ///< V (vertex count) or E (edge count)
+};
+
+/// A unified expression node (tagged union kept simple for a tree-walking
+/// evaluator; the compiler rewrites, the engine interprets).
+struct Expr {
+  enum class Kind { kLiteral, kVarRef, kAttrRef, kBinary, kUnary, kCall,
+                    kIndex };
+
+  Kind kind;
+  SourceLoc loc;
+
+  // kLiteral
+  double literal_value = 0.0;
+  bool literal_is_bool = false;
+
+  // kVarRef: `name` (resolution filled by sema)
+  std::string name;
+  VarKind var_kind = VarKind::kUnresolved;
+  int resolved_index = -1;  ///< global attr index / let slot / loop depth
+
+  // kAttrRef: `name`.`attr` (vertex attribute access)
+  std::string attr;
+  int resolved_attr = -1;   ///< vertex attribute index
+  int vertex_depth = -1;    ///< loop depth of the vertex variable (0 = param)
+
+  // kBinary / kUnary / kCall / kIndex
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNeg;
+  std::string callee;
+  std::vector<ExprPtr> children;
+
+  // Filled by sema: result type (width 1 scalar or array width).
+  Type type;
+
+  static ExprPtr Literal(double v, bool is_bool, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kLiteral;
+    e->literal_value = v;
+    e->literal_is_bool = is_bool;
+    e->loc = loc;
+    return e;
+  }
+  static ExprPtr Var(std::string name, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kVarRef;
+    e->name = std::move(name);
+    e->loc = loc;
+    return e;
+  }
+  static ExprPtr Attr(std::string var, std::string attr, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kAttrRef;
+    e->name = std::move(var);
+    e->attr = std::move(attr);
+    e->loc = loc;
+    return e;
+  }
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                        SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kBinary;
+    e->binary_op = op;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    e->loc = loc;
+    return e;
+  }
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kUnary;
+    e->unary_op = op;
+    e->children.push_back(std::move(operand));
+    e->loc = loc;
+    return e;
+  }
+  static ExprPtr Call(std::string callee, std::vector<ExprPtr> args,
+                      SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kCall;
+    e->callee = std::move(callee);
+    e->children = std::move(args);
+    e->loc = loc;
+    return e;
+  }
+  static ExprPtr Index(ExprPtr base, ExprPtr index, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kIndex;
+    e->children.push_back(std::move(base));
+    e->children.push_back(std::move(index));
+    e->loc = loc;
+    return e;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { kLet, kAssign, kAccumulate, kFor, kIf };
+
+  Kind kind;
+  SourceLoc loc;
+
+  // kLet: `Let name = value;`
+  std::string let_name;
+  int let_slot = -1;  ///< filled by sema
+
+  // kAssign: `target = value;` — target is an Expr of kind kAttrRef,
+  // kVarRef (global) or kIndex over those.
+  // kAccumulate: `target.Accumulate(value);`
+  ExprPtr target;
+  ExprPtr value;
+
+  // kFor: `For var in source.source_attr Where (cond) { body }`
+  std::string for_var;
+  std::string for_source_var;   ///< the vertex variable iterated from
+  std::string for_source_attr;  ///< nbrs / out_nbrs / in_nbrs
+  ExprPtr where;                ///< may be null
+  std::vector<StmtPtr> body;
+
+  // kIf: `If (cond) { body } Else { else_body }`
+  ExprPtr cond;
+  std::vector<StmtPtr> else_body;
+
+  // Filled by sema for kFor: loop depth (1 = outermost loop).
+  int for_depth = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+/// One declared attribute (vertex or global).
+struct AttrDecl {
+  std::string name;
+  Type type;
+  bool predefined = false;  ///< id / active / degree / nbrs families
+  SourceLoc loc;
+};
+
+/// One user-defined function (Initialize / Traverse / Update).
+struct Udf {
+  std::string param;            ///< the vertex parameter name
+  std::vector<StmtPtr> body;
+  bool present = false;
+};
+
+/// A parsed L_NGA program (Figure 4's shape).
+struct Program {
+  std::vector<AttrDecl> vertex_attrs;
+  std::vector<AttrDecl> globals;
+  Udf initialize;
+  Udf traverse;
+  Udf update;
+};
+
+}  // namespace itg::lang
+
+#endif  // ITG_LANG_AST_H_

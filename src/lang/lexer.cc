@@ -1,0 +1,126 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace itg::lang {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(c) != 0 || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(c) != 0 || c == '_'; }
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto peek = [&](size_t ahead = 0) -> char {
+    return (i + ahead < n) ? source[i + ahead] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++i;
+  };
+  auto push = [&](TokenKind kind, std::string text, SourceLoc loc) {
+    tokens.push_back({kind, std::move(text), 0.0, loc});
+  };
+
+  while (i < n) {
+    char c = peek();
+    SourceLoc loc{line, column};
+    if (std::isspace(c) != 0) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (i < n && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i + 1 >= n) {
+        return Status::ParseError("unterminated block comment at line " +
+                                  std::to_string(loc.line));
+      }
+      advance();
+      advance();
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < n && IsIdentChar(peek())) {
+        text.push_back(peek());
+        advance();
+      }
+      push(TokenKind::kIdent, std::move(text), loc);
+      continue;
+    }
+    if (std::isdigit(c) != 0 ||
+        (c == '.' && std::isdigit(peek(1)) != 0)) {
+      std::string text;
+      while (i < n && (std::isdigit(peek()) != 0 || peek() == '.' ||
+                       peek() == 'e' || peek() == 'E' ||
+                       ((peek() == '+' || peek() == '-') &&
+                        (text.ends_with("e") || text.ends_with("E"))))) {
+        text.push_back(peek());
+        advance();
+      }
+      Token tok{TokenKind::kNumber, text, std::strtod(text.c_str(), nullptr),
+                loc};
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('=', '=')) { advance(); advance(); push(TokenKind::kEqEq, "==", loc); continue; }
+    if (two('!', '=')) { advance(); advance(); push(TokenKind::kNe, "!=", loc); continue; }
+    if (two('<', '=')) { advance(); advance(); push(TokenKind::kLe, "<=", loc); continue; }
+    if (two('>', '=')) { advance(); advance(); push(TokenKind::kGe, ">=", loc); continue; }
+    if (two('&', '&')) { advance(); advance(); push(TokenKind::kAndAnd, "&&", loc); continue; }
+    if (two('|', '|')) { advance(); advance(); push(TokenKind::kOrOr, "||", loc); continue; }
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case ',': kind = TokenKind::kComma; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case ':': kind = TokenKind::kColon; break;
+      case '.': kind = TokenKind::kDot; break;
+      case '<': kind = TokenKind::kLt; break;
+      case '>': kind = TokenKind::kGt; break;
+      case '=': kind = TokenKind::kAssign; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '%': kind = TokenKind::kPercent; break;
+      case '!': kind = TokenKind::kBang; break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at line " +
+                                  std::to_string(line) + ":" +
+                                  std::to_string(column));
+    }
+    advance();
+    push(kind, std::string(1, c), loc);
+  }
+  tokens.push_back({TokenKind::kEof, "", 0.0, {line, column}});
+  return tokens;
+}
+
+}  // namespace itg::lang

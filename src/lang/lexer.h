@@ -1,0 +1,39 @@
+#ifndef ITG_LANG_LEXER_H_
+#define ITG_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace itg::lang {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon, kColon, kDot,
+  kLt, kLe, kGt, kGe, kEqEq, kNe, kAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAndAnd, kOrOr, kBang,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;
+  SourceLoc loc;
+};
+
+/// Tokenizes an L_NGA source string. `//` line comments and `/* */` block
+/// comments are skipped. Keywords are returned as kIdent tokens; the
+/// parser distinguishes them (L_NGA keywords are not reserved as
+/// identifiers except where ambiguous).
+StatusOr<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace itg::lang
+
+#endif  // ITG_LANG_LEXER_H_

@@ -1,0 +1,448 @@
+#include "lang/parser.h"
+
+#include <optional>
+
+#include "lang/lexer.h"
+
+namespace itg::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::unique_ptr<Program>> ParseProgram() {
+    auto program = std::make_unique<Program>();
+    ITG_RETURN_IF_ERROR(ExpectIdent("Vertex"));
+    ITG_RETURN_IF_ERROR(ParseAttrList(&program->vertex_attrs));
+    if (PeekIdent("GlobalVariable")) {
+      Next();
+      ITG_RETURN_IF_ERROR(ParseAttrList(&program->globals));
+    }
+    while (!AtEnd()) {
+      const Token& tok = Peek();
+      if (tok.kind != TokenKind::kIdent) {
+        return Error("expected UDF name (Initialize/Traverse/Update)");
+      }
+      Udf* udf = nullptr;
+      if (tok.text == "Initialize") udf = &program->initialize;
+      else if (tok.text == "Traverse") udf = &program->traverse;
+      else if (tok.text == "Update") udf = &program->update;
+      else return Error("unknown UDF '" + tok.text + "'");
+      if (udf->present) return Error("duplicate UDF '" + tok.text + "'");
+      Next();
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      ITG_ASSIGN_OR_RETURN(udf->param, ExpectAnyIdent());
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      // Optional ':' after the header (Figure 5 style).
+      if (Peek().kind == TokenKind::kColon) Next();
+      ITG_RETURN_IF_ERROR(ParseBlock(&udf->body));
+      udf->present = true;
+    }
+    if (!program->initialize.present || !program->traverse.present ||
+        !program->update.present) {
+      return Error("program must define Initialize, Traverse and Update");
+    }
+    return program;
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEof; }
+
+  bool PeekIdent(const std::string& text, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdent && t.text == text;
+  }
+  bool ConsumeIdent(const std::string& text) {
+    if (PeekIdent(text)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool Consume(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::ParseError(msg + " at line " + std::to_string(t.loc.line) +
+                              ":" + std::to_string(t.loc.column) +
+                              (t.text.empty() ? "" : " near '" + t.text + "'"));
+  }
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) return Error("unexpected token");
+    Next();
+    return Status::OK();
+  }
+  Status ExpectIdent(const std::string& text) {
+    if (!PeekIdent(text)) return Error("expected '" + text + "'");
+    Next();
+    return Status::OK();
+  }
+  StatusOr<std::string> ExpectAnyIdent() {
+    if (Peek().kind != TokenKind::kIdent) return Error("expected identifier");
+    return Next().text;
+  }
+
+  // --- declarations ----------------------------------------------------
+  static bool IsPredefinedAttr(const std::string& name) {
+    return name == "id" || name == "active" || name == "degree" ||
+           name == "in_degree" || name == "out_degree" || name == "nbrs" ||
+           name == "in_nbrs" || name == "out_nbrs";
+  }
+
+  static std::optional<ScalarType> ScalarFromName(const std::string& name) {
+    if (name == "bool") return ScalarType::kBool;
+    if (name == "int") return ScalarType::kInt;
+    if (name == "long") return ScalarType::kLong;
+    if (name == "float") return ScalarType::kFloat;
+    if (name == "double") return ScalarType::kDouble;
+    return std::nullopt;
+  }
+  static std::optional<AccmOp> AccmOpFromName(const std::string& name) {
+    if (name == "SUM" || name == "Sum") return AccmOp::kSum;
+    if (name == "MIN" || name == "Min") return AccmOp::kMin;
+    if (name == "MAX" || name == "Max") return AccmOp::kMax;
+    if (name == "PRODUCT" || name == "Product") return AccmOp::kProduct;
+    return std::nullopt;
+  }
+
+  StatusOr<Type> ParseType() {
+    ITG_ASSIGN_OR_RETURN(std::string head, ExpectAnyIdent());
+    if (head == "Accm") {
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kLt));
+      ITG_ASSIGN_OR_RETURN(Type inner, ParseType());
+      if (inner.is_accumulator) return Error("nested Accm types");
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      ITG_ASSIGN_OR_RETURN(std::string op_name, ExpectAnyIdent());
+      auto op = AccmOpFromName(op_name);
+      if (!op) return Error("unknown accumulator op '" + op_name + "'");
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kGt));
+      inner.is_accumulator = true;
+      inner.accm_op = *op;
+      return inner;
+    }
+    if (head == "Array") {
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kLt));
+      ITG_ASSIGN_OR_RETURN(std::string elem, ExpectAnyIdent());
+      auto scalar = ScalarFromName(elem);
+      if (!scalar) return Error("unknown array element type '" + elem + "'");
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      if (Peek().kind != TokenKind::kNumber) return Error("expected size");
+      int width = static_cast<int>(Next().number);
+      if (width < 1) return Error("array size must be >= 1");
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kGt));
+      Type type;
+      type.scalar = *scalar;
+      type.width = width;
+      return type;
+    }
+    auto scalar = ScalarFromName(head);
+    if (!scalar) return Error("unknown type '" + head + "'");
+    Type type;
+    type.scalar = *scalar;
+    return type;
+  }
+
+  Status ParseAttrList(std::vector<AttrDecl>* out) {
+    ITG_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    while (true) {
+      AttrDecl decl;
+      decl.loc = Peek().loc;
+      ITG_ASSIGN_OR_RETURN(decl.name, ExpectAnyIdent());
+      if (Consume(TokenKind::kColon)) {
+        ITG_ASSIGN_OR_RETURN(decl.type, ParseType());
+      } else {
+        if (!IsPredefinedAttr(decl.name)) {
+          return Error("attribute '" + decl.name +
+                       "' needs a type (only predefined attributes may "
+                       "omit one)");
+        }
+        decl.predefined = true;
+      }
+      out->push_back(std::move(decl));
+      if (!Consume(TokenKind::kComma)) break;
+    }
+    return Expect(TokenKind::kRParen);
+  }
+
+  // --- statements ------------------------------------------------------
+  Status ParseBlock(std::vector<StmtPtr>* out) {
+    ITG_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    while (Peek().kind != TokenKind::kRBrace) {
+      if (AtEnd()) return Error("unterminated block");
+      ITG_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStmt());
+      out->push_back(std::move(stmt));
+    }
+    Next();  // consume '}'
+    return Status::OK();
+  }
+
+  StatusOr<StmtPtr> ParseStmt() {
+    if (PeekIdent("Let")) return ParseLet();
+    if (PeekIdent("For")) return ParseFor();
+    if (PeekIdent("If")) return ParseIf();
+    return ParseAssignOrAccumulate();
+  }
+
+  StatusOr<StmtPtr> ParseLet() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kLet;
+    stmt->loc = Peek().loc;
+    Next();  // Let
+    ITG_ASSIGN_OR_RETURN(stmt->let_name, ExpectAnyIdent());
+    ITG_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+    ITG_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+    ITG_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return stmt;
+  }
+
+  StatusOr<StmtPtr> ParseFor() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kFor;
+    stmt->loc = Peek().loc;
+    Next();  // For
+    bool parens = Consume(TokenKind::kLParen);
+    ITG_ASSIGN_OR_RETURN(stmt->for_var, ExpectAnyIdent());
+    if (parens) ITG_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    if (!ConsumeIdent("in") && !ConsumeIdent("In")) {
+      return Error("expected 'in'");
+    }
+    parens = Consume(TokenKind::kLParen);
+    ITG_ASSIGN_OR_RETURN(stmt->for_source_var, ExpectAnyIdent());
+    ITG_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    ITG_ASSIGN_OR_RETURN(stmt->for_source_attr, ExpectAnyIdent());
+    if (parens) ITG_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    if (ConsumeIdent("Where")) {
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      ITG_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    }
+    ITG_RETURN_IF_ERROR(ParseBlock(&stmt->body));
+    return stmt;
+  }
+
+  StatusOr<StmtPtr> ParseIf() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->loc = Peek().loc;
+    Next();  // If
+    ITG_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    ITG_ASSIGN_OR_RETURN(stmt->cond, ParseExpr());
+    ITG_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    ITG_RETURN_IF_ERROR(ParseBlock(&stmt->body));
+    if (ConsumeIdent("Else")) {
+      ITG_RETURN_IF_ERROR(ParseBlock(&stmt->else_body));
+    }
+    return stmt;
+  }
+
+  StatusOr<StmtPtr> ParseAssignOrAccumulate() {
+    SourceLoc loc = Peek().loc;
+    // Parse an lvalue path: ident (.ident)* optionally indexed; the final
+    // `.Accumulate(...)` turns it into an Accumulate statement.
+    ITG_ASSIGN_OR_RETURN(std::string first, ExpectAnyIdent());
+    ExprPtr target;
+    std::string pending_attr;
+    bool have_attr = false;
+    while (Consume(TokenKind::kDot)) {
+      ITG_ASSIGN_OR_RETURN(std::string part, ExpectAnyIdent());
+      if (part == "Accumulate") {
+        // target is either `global` or `vertex.attr`.
+        if (have_attr) {
+          target = Expr::Attr(first, pending_attr, loc);
+        } else {
+          target = Expr::Var(first, loc);
+        }
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kAccumulate;
+        stmt->loc = loc;
+        stmt->target = std::move(target);
+        ITG_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+        ITG_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+        ITG_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        ITG_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+        return stmt;
+      }
+      if (have_attr) return Error("unexpected nested attribute access");
+      pending_attr = part;
+      have_attr = true;
+    }
+    if (have_attr) {
+      target = Expr::Attr(first, pending_attr, loc);
+    } else {
+      target = Expr::Var(first, loc);
+    }
+    if (Consume(TokenKind::kLBracket)) {
+      ITG_ASSIGN_OR_RETURN(ExprPtr index, ParseExpr());
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      target = Expr::Index(std::move(target), std::move(index), loc);
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kAssign;
+    stmt->loc = loc;
+    stmt->target = std::move(target);
+    ITG_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+    ITG_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+    ITG_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return stmt;
+  }
+
+  // --- expressions (precedence climbing) -------------------------------
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ExprPtr> ParseOr() {
+    ITG_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().kind == TokenKind::kOrOr) {
+      SourceLoc loc = Next().loc;
+      ITG_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+  StatusOr<ExprPtr> ParseAnd() {
+    ITG_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (Peek().kind == TokenKind::kAndAnd) {
+      SourceLoc loc = Next().loc;
+      ITG_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+  StatusOr<ExprPtr> ParseComparison() {
+    ITG_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (true) {
+      BinaryOp op;
+      switch (Peek().kind) {
+        case TokenKind::kLt: op = BinaryOp::kLt; break;
+        case TokenKind::kLe: op = BinaryOp::kLe; break;
+        case TokenKind::kGt: op = BinaryOp::kGt; break;
+        case TokenKind::kGe: op = BinaryOp::kGe; break;
+        case TokenKind::kEqEq: op = BinaryOp::kEq; break;
+        case TokenKind::kNe: op = BinaryOp::kNe; break;
+        default: return lhs;
+      }
+      SourceLoc loc = Next().loc;
+      ITG_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+  }
+  StatusOr<ExprPtr> ParseAdditive() {
+    ITG_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      BinaryOp op = (Peek().kind == TokenKind::kPlus) ? BinaryOp::kAdd
+                                                      : BinaryOp::kSub;
+      SourceLoc loc = Next().loc;
+      ITG_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    ITG_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().kind == TokenKind::kStar ||
+           Peek().kind == TokenKind::kSlash ||
+           Peek().kind == TokenKind::kPercent) {
+      BinaryOp op = BinaryOp::kMul;
+      if (Peek().kind == TokenKind::kSlash) op = BinaryOp::kDiv;
+      if (Peek().kind == TokenKind::kPercent) op = BinaryOp::kMod;
+      SourceLoc loc = Next().loc;
+      ITG_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+  StatusOr<ExprPtr> ParseUnary() {
+    if (Peek().kind == TokenKind::kMinus) {
+      SourceLoc loc = Next().loc;
+      ITG_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(operand), loc);
+    }
+    if (Peek().kind == TokenKind::kBang) {
+      SourceLoc loc = Next().loc;
+      ITG_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand), loc);
+    }
+    return ParsePostfix();
+  }
+  StatusOr<ExprPtr> ParsePostfix() {
+    ITG_ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+    while (Consume(TokenKind::kLBracket)) {
+      SourceLoc loc = Peek().loc;
+      ITG_ASSIGN_OR_RETURN(ExprPtr index, ParseExpr());
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      expr = Expr::Index(std::move(expr), std::move(index), loc);
+    }
+    return expr;
+  }
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kNumber) {
+      Next();
+      return Expr::Literal(tok.number, /*is_bool=*/false, tok.loc);
+    }
+    if (tok.kind == TokenKind::kLParen) {
+      Next();
+      ITG_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      ITG_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return expr;
+    }
+    if (tok.kind == TokenKind::kIdent) {
+      if (tok.text == "true" || tok.text == "false") {
+        Next();
+        return Expr::Literal(tok.text == "true" ? 1.0 : 0.0,
+                             /*is_bool=*/true, tok.loc);
+      }
+      Next();
+      std::string name = tok.text;
+      // Call?
+      if (Peek().kind == TokenKind::kLParen) {
+        Next();
+        std::vector<ExprPtr> args;
+        if (Peek().kind != TokenKind::kRParen) {
+          while (true) {
+            ITG_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+            if (!Consume(TokenKind::kComma)) break;
+          }
+        }
+        ITG_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return Expr::Call(name, std::move(args), tok.loc);
+      }
+      // Attribute access?
+      if (Peek().kind == TokenKind::kDot) {
+        Next();
+        ITG_ASSIGN_OR_RETURN(std::string attr, ExpectAnyIdent());
+        return Expr::Attr(name, attr, tok.loc);
+      }
+      return Expr::Var(name, tok.loc);
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Program>> Parse(const std::string& source) {
+  ITG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+}  // namespace itg::lang

@@ -1,0 +1,44 @@
+#ifndef ITG_LANG_PARSER_H_
+#define ITG_LANG_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace itg::lang {
+
+/// Parses an L_NGA program.
+///
+/// The concrete syntax follows Figure 5 of the paper with one
+/// regularization: UDF bodies and the bodies of `For` / `If` are brace
+/// delimited (the paper's figures rely on indentation). Example:
+///
+///     Vertex (id, active, out_nbrs, out_degree,
+///             rank: float, sum: Accm<float, SUM>)
+///
+///     Initialize (u) {
+///       u.rank = 1;
+///       u.active = true;
+///     }
+///     Traverse (u) {
+///       Let val = u.rank / u.out_degree;
+///       For v in u.out_nbrs {
+///         v.sum.Accumulate(val);
+///       }
+///     }
+///     Update (u) {
+///       Let val = 0.15 / V + 0.85 * u.sum;
+///       If (Abs(val - u.rank) > 0.001) {
+///         u.rank = val;
+///         u.active = true;
+///       }
+///     }
+///
+/// `V` and `E` are builtin globals bound to |V| and |E|.
+StatusOr<std::unique_ptr<Program>> Parse(const std::string& source);
+
+}  // namespace itg::lang
+
+#endif  // ITG_LANG_PARSER_H_

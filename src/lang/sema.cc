@@ -1,0 +1,479 @@
+#include "lang/sema.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace itg::lang {
+
+namespace {
+
+Status ErrorAt(SourceLoc loc, const std::string& msg) {
+  return Status::CompileError(msg + " (line " + std::to_string(loc.line) +
+                              ")");
+}
+
+bool IsNbrsAttr(const std::string& name) {
+  return name == "nbrs" || name == "in_nbrs" || name == "out_nbrs";
+}
+
+Type PredefinedType(const std::string& name) {
+  Type t;
+  if (name == "id") {
+    t.scalar = ScalarType::kLong;
+  } else if (name == "active") {
+    t.scalar = ScalarType::kBool;
+  } else {
+    t.scalar = ScalarType::kInt;  // degree family
+  }
+  return t;
+}
+
+enum class UdfKind { kInitialize, kTraverse, kUpdate };
+
+class Analyzer {
+ public:
+  explicit Analyzer(Program* program) : program_(program) {}
+
+  StatusOr<ProgramInfo> Run() {
+    ITG_RETURN_IF_ERROR(CheckDecls());
+    ITG_RETURN_IF_ERROR(AnalyzeUdf(&program_->initialize, UdfKind::kInitialize,
+                                   &info_.init_let_slots));
+    ITG_RETURN_IF_ERROR(AnalyzeUdf(&program_->traverse, UdfKind::kTraverse,
+                                   &info_.traverse_let_slots));
+    ITG_RETURN_IF_ERROR(AnalyzeUdf(&program_->update, UdfKind::kUpdate,
+                                   &info_.update_let_slots));
+    return info_;
+  }
+
+ private:
+  // ---- declarations ----------------------------------------------------
+  Status CheckDecls() {
+    for (size_t i = 0; i < program_->vertex_attrs.size(); ++i) {
+      AttrDecl& decl = program_->vertex_attrs[i];
+      if (vertex_attr_index_.contains(decl.name)) {
+        return ErrorAt(decl.loc, "duplicate vertex attribute '" + decl.name +
+                                     "'");
+      }
+      if (decl.predefined && !IsNbrsAttr(decl.name)) {
+        decl.type = PredefinedType(decl.name);
+      }
+      vertex_attr_index_[decl.name] = static_cast<int>(i);
+    }
+    for (size_t i = 0; i < program_->globals.size(); ++i) {
+      AttrDecl& decl = program_->globals[i];
+      if (global_index_.contains(decl.name) ||
+          vertex_attr_index_.contains(decl.name)) {
+        return ErrorAt(decl.loc, "duplicate global '" + decl.name + "'");
+      }
+      if (decl.name == "V" || decl.name == "E") {
+        return ErrorAt(decl.loc, "'" + decl.name + "' is a builtin");
+      }
+      global_index_[decl.name] = static_cast<int>(i);
+    }
+    return Status::OK();
+  }
+
+  std::optional<int> VertexAttr(const std::string& name) const {
+    auto it = vertex_attr_index_.find(name);
+    if (it == vertex_attr_index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // ---- scopes ------------------------------------------------------------
+  struct Scope {
+    // vertex variable name -> depth (0 = UDF parameter).
+    std::map<std::string, int> vertex_vars;
+    // Let name -> (slot, type).
+    std::map<std::string, std::pair<int, Type>> lets;
+    int next_let_slot = 0;
+    int depth = 0;  // current loop depth
+  };
+
+  // ---- UDF analysis -------------------------------------------------------
+  Status AnalyzeUdf(Udf* udf, UdfKind kind, int* let_slots) {
+    Scope scope;
+    scope.vertex_vars[udf->param] = 0;
+    kind_ = kind;
+    ITG_RETURN_IF_ERROR(AnalyzeBlock(udf->body, &scope));
+    *let_slots = scope.next_let_slot;
+    return Status::OK();
+  }
+
+  Status AnalyzeBlock(std::vector<StmtPtr>& stmts, Scope* scope) {
+    for (StmtPtr& stmt : stmts) {
+      ITG_RETURN_IF_ERROR(AnalyzeStmt(stmt.get(), scope));
+    }
+    return Status::OK();
+  }
+
+  Status AnalyzeStmt(Stmt* stmt, Scope* scope) {
+    switch (stmt->kind) {
+      case Stmt::Kind::kLet: {
+        ITG_RETURN_IF_ERROR(AnalyzeExpr(stmt->value.get(), scope));
+        if (scope->lets.contains(stmt->let_name) ||
+            scope->vertex_vars.contains(stmt->let_name)) {
+          return ErrorAt(stmt->loc,
+                         "redefinition of '" + stmt->let_name + "'");
+        }
+        stmt->let_slot = scope->next_let_slot++;
+        scope->lets[stmt->let_name] = {stmt->let_slot, stmt->value->type};
+        return Status::OK();
+      }
+      case Stmt::Kind::kFor:
+        return AnalyzeFor(stmt, scope);
+      case Stmt::Kind::kIf: {
+        ITG_RETURN_IF_ERROR(AnalyzeExpr(stmt->cond.get(), scope));
+        if (!stmt->cond->type.IsBool()) {
+          return ErrorAt(stmt->loc, "If condition must be bool");
+        }
+        // Each branch gets its own Let scope but shares slot numbering.
+        Scope then_scope = *scope;
+        ITG_RETURN_IF_ERROR(AnalyzeBlock(stmt->body, &then_scope));
+        Scope else_scope = *scope;
+        else_scope.next_let_slot = then_scope.next_let_slot;
+        ITG_RETURN_IF_ERROR(AnalyzeBlock(stmt->else_body, &else_scope));
+        scope->next_let_slot = else_scope.next_let_slot;
+        return Status::OK();
+      }
+      case Stmt::Kind::kAssign:
+        return AnalyzeAssign(stmt, scope);
+      case Stmt::Kind::kAccumulate:
+        return AnalyzeAccumulate(stmt, scope);
+    }
+    return Status::Internal("unknown statement kind");
+  }
+
+  Status AnalyzeFor(Stmt* stmt, Scope* scope) {
+    if (kind_ != UdfKind::kTraverse) {
+      return ErrorAt(stmt->loc, "For loops are only allowed in Traverse");
+    }
+    auto src = scope->vertex_vars.find(stmt->for_source_var);
+    if (src == scope->vertex_vars.end()) {
+      return ErrorAt(stmt->loc, "'" + stmt->for_source_var +
+                                    "' is not a vertex variable in scope");
+    }
+    if (src->second != scope->depth) {
+      return ErrorAt(stmt->loc,
+                     "For must iterate the neighbors of the immediately "
+                     "enclosing vertex variable (walks are chains)");
+    }
+    if (!IsNbrsAttr(stmt->for_source_attr)) {
+      return ErrorAt(stmt->loc, "For source must be nbrs/in_nbrs/out_nbrs");
+    }
+    if (!VertexAttr(stmt->for_source_attr)) {
+      return ErrorAt(stmt->loc, "'" + stmt->for_source_attr +
+                                    "' is not declared in Vertex(...)");
+    }
+    if (scope->vertex_vars.contains(stmt->for_var) ||
+        scope->lets.contains(stmt->for_var)) {
+      return ErrorAt(stmt->loc, "redefinition of '" + stmt->for_var + "'");
+    }
+    Scope inner = *scope;
+    inner.depth = scope->depth + 1;
+    inner.vertex_vars[stmt->for_var] = inner.depth;
+    stmt->for_depth = inner.depth;
+    info_.traverse_depth = std::max(info_.traverse_depth, inner.depth);
+    if (stmt->where != nullptr) {
+      ITG_RETURN_IF_ERROR(AnalyzeExpr(stmt->where.get(), &inner));
+      if (!stmt->where->type.IsBool()) {
+        return ErrorAt(stmt->loc, "Where condition must be bool");
+      }
+    }
+    ITG_RETURN_IF_ERROR(AnalyzeBlock(stmt->body, &inner));
+    scope->next_let_slot = inner.next_let_slot;
+    return Status::OK();
+  }
+
+  Status AnalyzeAssign(Stmt* stmt, Scope* scope) {
+    if (kind_ == UdfKind::kTraverse) {
+      return ErrorAt(stmt->loc,
+                     "Assign is not allowed in Traverse (use Accumulate)");
+    }
+    ITG_RETURN_IF_ERROR(AnalyzeExpr(stmt->value.get(), scope));
+    Expr* target = stmt->target.get();
+    Expr* base = target;
+    bool indexed = false;
+    if (target->kind == Expr::Kind::kIndex) {
+      base = target->children[0].get();
+      indexed = true;
+      ITG_RETURN_IF_ERROR(AnalyzeExpr(target->children[1].get(), scope));
+    }
+    if (base->kind == Expr::Kind::kAttrRef) {
+      auto var = scope->vertex_vars.find(base->name);
+      if (var == scope->vertex_vars.end() || var->second != 0) {
+        return ErrorAt(stmt->loc,
+                       "can only assign attributes of the UDF parameter");
+      }
+      auto attr = VertexAttr(base->attr);
+      if (!attr) {
+        return ErrorAt(stmt->loc, "unknown attribute '" + base->attr + "'");
+      }
+      const Type& attr_type = program_->vertex_attrs[*attr].type;
+      if (attr_type.is_accumulator) {
+        return ErrorAt(stmt->loc,
+                       "cannot assign accumulator '" + base->attr + "'");
+      }
+      if (IsNbrsAttr(base->attr)) {
+        return ErrorAt(stmt->loc, "cannot assign adjacency lists");
+      }
+      if (indexed && !attr_type.IsArray()) {
+        return ErrorAt(stmt->loc, "cannot index non-array attribute '" +
+                                      base->attr + "'");
+      }
+      base->resolved_attr = *attr;
+      base->vertex_depth = 0;
+      base->type = attr_type;
+      int target_width = indexed ? 1 : attr_type.width;
+      if (stmt->value->type.width != target_width &&
+          stmt->value->type.width != 1) {
+        return ErrorAt(stmt->loc, "width mismatch in assignment");
+      }
+      return Status::OK();
+    }
+    if (base->kind == Expr::Kind::kVarRef) {
+      auto git = global_index_.find(base->name);
+      if (git == global_index_.end()) {
+        return ErrorAt(stmt->loc, "unknown assignment target '" +
+                                      base->name + "'");
+      }
+      const Type& gtype = program_->globals[git->second].type;
+      if (gtype.is_accumulator) {
+        return ErrorAt(stmt->loc, "cannot assign global accumulator");
+      }
+      base->var_kind = VarKind::kGlobal;
+      base->resolved_index = git->second;
+      base->type = gtype;
+      return Status::OK();
+    }
+    return ErrorAt(stmt->loc, "invalid assignment target");
+  }
+
+  Status AnalyzeAccumulate(Stmt* stmt, Scope* scope) {
+    if (kind_ != UdfKind::kTraverse) {
+      return ErrorAt(stmt->loc,
+                     "Accumulate is only allowed in Traverse (use Assign "
+                     "in Initialize/Update)");
+    }
+    ITG_RETURN_IF_ERROR(AnalyzeExpr(stmt->value.get(), scope));
+    Expr* target = stmt->target.get();
+    if (target->kind == Expr::Kind::kAttrRef) {
+      auto var = scope->vertex_vars.find(target->name);
+      if (var == scope->vertex_vars.end()) {
+        return ErrorAt(stmt->loc, "'" + target->name +
+                                      "' is not a vertex variable");
+      }
+      auto attr = VertexAttr(target->attr);
+      if (!attr) {
+        return ErrorAt(stmt->loc, "unknown attribute '" + target->attr + "'");
+      }
+      const Type& attr_type = program_->vertex_attrs[*attr].type;
+      if (!attr_type.is_accumulator) {
+        return ErrorAt(stmt->loc, "Accumulate target '" + target->attr +
+                                      "' is not an accumulator");
+      }
+      if (stmt->value->type.width != attr_type.width &&
+          stmt->value->type.width != 1) {
+        return ErrorAt(stmt->loc, "width mismatch in Accumulate");
+      }
+      target->resolved_attr = *attr;
+      target->vertex_depth = var->second;
+      target->type = attr_type;
+      return Status::OK();
+    }
+    if (target->kind == Expr::Kind::kVarRef) {
+      auto git = global_index_.find(target->name);
+      if (git == global_index_.end()) {
+        return ErrorAt(stmt->loc, "unknown accumulator '" + target->name +
+                                      "'");
+      }
+      const Type& gtype = program_->globals[git->second].type;
+      if (!gtype.is_accumulator) {
+        return ErrorAt(stmt->loc, "global '" + target->name +
+                                      "' is not an accumulator");
+      }
+      if (stmt->value->type.width != gtype.width &&
+          stmt->value->type.width != 1) {
+        return ErrorAt(stmt->loc, "width mismatch in Accumulate");
+      }
+      target->var_kind = VarKind::kGlobal;
+      target->resolved_index = git->second;
+      target->type = gtype;
+      return Status::OK();
+    }
+    return ErrorAt(stmt->loc, "invalid Accumulate target");
+  }
+
+  // ---- expressions ---------------------------------------------------------
+  Status AnalyzeExpr(Expr* expr, Scope* scope) {
+    switch (expr->kind) {
+      case Expr::Kind::kLiteral: {
+        expr->type.scalar = expr->literal_is_bool ? ScalarType::kBool
+                                                  : ScalarType::kDouble;
+        return Status::OK();
+      }
+      case Expr::Kind::kVarRef: {
+        auto vit = scope->vertex_vars.find(expr->name);
+        if (vit != scope->vertex_vars.end()) {
+          expr->var_kind = VarKind::kVertexVar;
+          expr->resolved_index = vit->second;
+          expr->type.scalar = ScalarType::kLong;  // a vertex denotes its id
+          return Status::OK();
+        }
+        auto lit = scope->lets.find(expr->name);
+        if (lit != scope->lets.end()) {
+          expr->var_kind = VarKind::kLet;
+          expr->resolved_index = lit->second.first;
+          expr->type = lit->second.second;
+          return Status::OK();
+        }
+        auto git = global_index_.find(expr->name);
+        if (git != global_index_.end()) {
+          const Type& gtype = program_->globals[git->second].type;
+          if (gtype.is_accumulator && kind_ != UdfKind::kUpdate) {
+            return ErrorAt(expr->loc,
+                           "global accumulators are only readable in Update");
+          }
+          expr->var_kind = VarKind::kGlobal;
+          expr->resolved_index = git->second;
+          expr->type = gtype;
+          expr->type.is_accumulator = false;  // reads see the plain value
+          return Status::OK();
+        }
+        if (expr->name == "V" || expr->name == "E") {
+          expr->var_kind = VarKind::kBuiltin;
+          expr->resolved_index = (expr->name == "V") ? 0 : 1;
+          expr->type.scalar = ScalarType::kLong;
+          return Status::OK();
+        }
+        return ErrorAt(expr->loc, "unknown identifier '" + expr->name + "'");
+      }
+      case Expr::Kind::kAttrRef: {
+        auto vit = scope->vertex_vars.find(expr->name);
+        if (vit == scope->vertex_vars.end()) {
+          return ErrorAt(expr->loc, "'" + expr->name +
+                                        "' is not a vertex variable");
+        }
+        auto attr = VertexAttr(expr->attr);
+        if (!attr) {
+          return ErrorAt(expr->loc,
+                         "unknown attribute '" + expr->attr + "'");
+        }
+        if (IsNbrsAttr(expr->attr)) {
+          return ErrorAt(expr->loc,
+                         "adjacency lists can only appear as For sources");
+        }
+        const Type& attr_type = program_->vertex_attrs[*attr].type;
+        if (expr->attr != "id" && vit->second != 0) {
+          return ErrorAt(
+              expr->loc,
+              "attribute reads (other than id) are restricted to the UDF "
+              "parameter; the compiled Walk keeps only vs_1 as an operand");
+        }
+        if (attr_type.is_accumulator && kind_ != UdfKind::kUpdate) {
+          return ErrorAt(expr->loc,
+                         "accumulators are write-only outside Update");
+        }
+        expr->resolved_attr = *attr;
+        expr->vertex_depth = vit->second;
+        expr->type = attr_type;
+        expr->type.is_accumulator = false;
+        return Status::OK();
+      }
+      case Expr::Kind::kBinary: {
+        ITG_RETURN_IF_ERROR(AnalyzeExpr(expr->children[0].get(), scope));
+        ITG_RETURN_IF_ERROR(AnalyzeExpr(expr->children[1].get(), scope));
+        const Type& lhs = expr->children[0]->type;
+        const Type& rhs = expr->children[1]->type;
+        if (IsLogical(expr->binary_op)) {
+          if (!lhs.IsBool() || !rhs.IsBool()) {
+            return ErrorAt(expr->loc, "logical ops need bool operands");
+          }
+          expr->type.scalar = ScalarType::kBool;
+          return Status::OK();
+        }
+        if (IsComparison(expr->binary_op)) {
+          if (lhs.IsArray() || rhs.IsArray()) {
+            return ErrorAt(expr->loc, "cannot compare arrays");
+          }
+          expr->type.scalar = ScalarType::kBool;
+          return Status::OK();
+        }
+        // Arithmetic: element-wise with scalar broadcast.
+        if (lhs.IsArray() && rhs.IsArray() && lhs.width != rhs.width) {
+          return ErrorAt(expr->loc, "array width mismatch");
+        }
+        expr->type.scalar = ScalarType::kDouble;
+        expr->type.width = std::max(lhs.width, rhs.width);
+        return Status::OK();
+      }
+      case Expr::Kind::kUnary: {
+        ITG_RETURN_IF_ERROR(AnalyzeExpr(expr->children[0].get(), scope));
+        const Type& operand = expr->children[0]->type;
+        if (expr->unary_op == UnaryOp::kNot) {
+          if (!operand.IsBool()) {
+            return ErrorAt(expr->loc, "! needs a bool operand");
+          }
+          expr->type.scalar = ScalarType::kBool;
+        } else {
+          expr->type = operand;
+          expr->type.scalar = ScalarType::kDouble;
+        }
+        return Status::OK();
+      }
+      case Expr::Kind::kCall: {
+        for (auto& arg : expr->children) {
+          ITG_RETURN_IF_ERROR(AnalyzeExpr(arg.get(), scope));
+        }
+        size_t arity;
+        if (expr->callee == "Abs" || expr->callee == "Floor" ||
+            expr->callee == "MaxElem") {
+          arity = 1;
+        } else if (expr->callee == "Min" || expr->callee == "Max") {
+          arity = 2;
+        } else {
+          return ErrorAt(expr->loc, "unknown function '" + expr->callee +
+                                        "'");
+        }
+        if (expr->children.size() != arity) {
+          return ErrorAt(expr->loc, "wrong arity for '" + expr->callee + "'");
+        }
+        expr->type.scalar = ScalarType::kDouble;
+        // MaxElem reduces an array to a scalar; the rest are element-wise.
+        expr->type.width =
+            (expr->callee == "MaxElem") ? 1 : expr->children[0]->type.width;
+        return Status::OK();
+      }
+      case Expr::Kind::kIndex: {
+        ITG_RETURN_IF_ERROR(AnalyzeExpr(expr->children[0].get(), scope));
+        ITG_RETURN_IF_ERROR(AnalyzeExpr(expr->children[1].get(), scope));
+        if (!expr->children[0]->type.IsArray()) {
+          return ErrorAt(expr->loc, "indexing a non-array");
+        }
+        if (expr->children[1]->type.IsArray()) {
+          return ErrorAt(expr->loc, "array index must be scalar");
+        }
+        expr->type.scalar = expr->children[0]->type.scalar;
+        expr->type.width = 1;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  Program* program_;
+  ProgramInfo info_;
+  UdfKind kind_ = UdfKind::kInitialize;
+  std::map<std::string, int> vertex_attr_index_;
+  std::map<std::string, int> global_index_;
+};
+
+}  // namespace
+
+StatusOr<ProgramInfo> Analyze(Program* program) {
+  Analyzer analyzer(program);
+  return analyzer.Run();
+}
+
+}  // namespace itg::lang

@@ -1,0 +1,43 @@
+#ifndef ITG_LANG_SEMA_H_
+#define ITG_LANG_SEMA_H_
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace itg::lang {
+
+/// Metadata produced by semantic analysis, consumed by the compiler.
+struct ProgramInfo {
+  /// Maximum For-loop nesting depth of Traverse = the walk length k.
+  int traverse_depth = 0;
+  /// Number of Let slots used by each UDF (evaluator scratch size).
+  int init_let_slots = 0;
+  int traverse_let_slots = 0;
+  int update_let_slots = 0;
+};
+
+/// Resolves names, checks types, and enforces the L_NGA well-formedness
+/// rules on a parsed program (mutating the AST in place with resolution
+/// results). The enforced rules (§3, §4.4 and the compilation
+/// restrictions stated in DESIGN.md):
+///
+///  * predefined attributes have fixed types (id:long, active:bool,
+///    degrees:int); `nbrs`/`in_nbrs`/`out_nbrs` appear only as For
+///    sources;
+///  * Traverse may contain Let / For / If / Accumulate; each For iterates
+///    the neighbors of the immediately enclosing vertex variable (walks
+///    are chains); Accumulate targets are accumulator-typed vertex
+///    attributes or global accumulators;
+///  * attribute reads other than `id` are restricted to the UDF parameter
+///    (the walk's start vertex) — the paper's compiled plans likewise keep
+///    only vs_1 as a Walk operand (§4.4);
+///  * accumulator attributes are write-only in Traverse and read-only in
+///    Update; Initialize/Update are per-vertex (no For) and assign only
+///    the parameter's own attributes;
+///  * expressions type-check (comparisons on scalars, logical ops on
+///    bools, element-wise array arithmetic with matching widths).
+StatusOr<ProgramInfo> Analyze(Program* program);
+
+}  // namespace itg::lang
+
+#endif  // ITG_LANG_SEMA_H_

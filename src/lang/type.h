@@ -1,0 +1,101 @@
+#ifndef ITG_LANG_TYPE_H_
+#define ITG_LANG_TYPE_H_
+
+#include <string>
+
+namespace itg::lang {
+
+/// The five primitive types of L_NGA (§3).
+enum class ScalarType { kBool, kInt, kLong, kFloat, kDouble };
+
+/// Accumulator operations. Sum and Product form Abelian groups
+/// (invertible — deletions handled by accumulating the inverse); Min and
+/// Max are Abelian monoids (deletions may require recomputation, §5.4).
+enum class AccmOp { kSum, kMin, kMax, kProduct };
+
+/// Whether `op` has an inverse (Abelian group vs. plain monoid).
+inline bool IsAbelianGroup(AccmOp op) {
+  return op == AccmOp::kSum || op == AccmOp::kProduct;
+}
+
+/// Identity element of `op`.
+inline double AccmIdentity(AccmOp op) {
+  switch (op) {
+    case AccmOp::kSum: return 0.0;
+    case AccmOp::kMin: return 1e300;
+    case AccmOp::kMax: return -1e300;
+    case AccmOp::kProduct: return 1.0;
+  }
+  return 0.0;
+}
+
+/// A declared L_NGA type: a scalar, an Array<scalar, N> (width > 1), or
+/// an accumulator Accm<scalar|array, op>.
+struct Type {
+  ScalarType scalar = ScalarType::kDouble;
+  int width = 1;                  // 1 for scalars, N for Array<_, N>
+  bool is_accumulator = false;
+  AccmOp accm_op = AccmOp::kSum;  // valid when is_accumulator
+
+  bool IsArray() const { return width > 1; }
+  bool IsBool() const { return scalar == ScalarType::kBool && width == 1; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+inline const char* ScalarTypeName(ScalarType t) {
+  switch (t) {
+    case ScalarType::kBool: return "bool";
+    case ScalarType::kInt: return "int";
+    case ScalarType::kLong: return "long";
+    case ScalarType::kFloat: return "float";
+    case ScalarType::kDouble: return "double";
+  }
+  return "?";
+}
+
+inline const char* AccmOpName(AccmOp op) {
+  switch (op) {
+    case AccmOp::kSum: return "SUM";
+    case AccmOp::kMin: return "MIN";
+    case AccmOp::kMax: return "MAX";
+    case AccmOp::kProduct: return "PRODUCT";
+  }
+  return "?";
+}
+
+inline std::string Type::ToString() const {
+  std::string base = ScalarTypeName(scalar);
+  if (IsArray()) {
+    base = "Array<" + base + ", " + std::to_string(width) + ">";
+  }
+  if (is_accumulator) {
+    base = "Accm<" + base + ", " + AccmOpName(accm_op) + ">";
+  }
+  return base;
+}
+
+/// Applies `op` to an accumulated value in place.
+inline void AccmApply(AccmOp op, double* acc, double value) {
+  switch (op) {
+    case AccmOp::kSum: *acc += value; break;
+    case AccmOp::kMin: if (value < *acc) *acc = value; break;
+    case AccmOp::kMax: if (value > *acc) *acc = value; break;
+    case AccmOp::kProduct: *acc *= value; break;
+  }
+}
+
+/// Inverse element for Abelian-group ops (Sum: −x, Product: 1/x).
+inline double AccmInverse(AccmOp op, double value) {
+  switch (op) {
+    case AccmOp::kSum: return -value;
+    case AccmOp::kProduct: return 1.0 / value;
+    default: return value;  // monoids have no inverse; callers must check
+  }
+}
+
+}  // namespace itg::lang
+
+#endif  // ITG_LANG_TYPE_H_

@@ -1,0 +1,62 @@
+#include "storage/csr.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace itg {
+
+Csr Csr::FromEdges(VertexId num_vertices, std::vector<Edge> edges,
+                   bool drop_self_loops) {
+  if (drop_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge& e) { return e.src == e.dst; }),
+                edges.end());
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Csr csr;
+  csr.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  csr.neighbors_.resize(edges.size());
+  for (const Edge& e : edges) {
+    ITG_CHECK_LT(e.src, num_vertices);
+    ITG_CHECK_LT(e.dst, num_vertices);
+    ++csr.offsets_[static_cast<size_t>(e.src) + 1];
+  }
+  for (size_t i = 1; i < csr.offsets_.size(); ++i) {
+    csr.offsets_[i] += csr.offsets_[i - 1];
+  }
+  std::vector<int64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    csr.neighbors_[static_cast<size_t>(cursor[e.src]++)] = e.dst;
+  }
+  return csr;
+}
+
+bool Csr::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Csr Csr::Transposed() const {
+  std::vector<Edge> reversed;
+  reversed.reserve(neighbors_.size());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : Neighbors(u)) reversed.push_back({v, u});
+  }
+  return FromEdges(num_vertices(), std::move(reversed),
+                   /*drop_self_loops=*/false);
+}
+
+std::vector<Edge> SymmetrizeEdges(const std::vector<Edge>& edges) {
+  std::vector<Edge> out;
+  out.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    out.push_back(e);
+    out.push_back({e.dst, e.src});
+  }
+  return out;
+}
+
+}  // namespace itg

@@ -1,0 +1,58 @@
+#ifndef ITG_STORAGE_CSR_H_
+#define ITG_STORAGE_CSR_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace itg {
+
+/// An in-memory CSR (compressed sparse row) adjacency structure.
+/// Used by the native reference algorithms, the baselines, and as the
+/// staging form when building the on-disk snapshot. Neighbor lists are
+/// sorted and deduplicated (the paper models graphs as simple graphs).
+class Csr {
+ public:
+  Csr() : offsets_(1, 0) {}
+
+  /// Builds a CSR over `num_vertices` vertices from an edge list.
+  /// Duplicate edges and self-loops are kept or dropped per flags; the
+  /// paper's model is a simple graph, so defaults drop duplicates and
+  /// keep self-loops out.
+  static Csr FromEdges(VertexId num_vertices, std::vector<Edge> edges,
+                       bool drop_self_loops = true);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.size()) - 1;
+  }
+  size_t num_edges() const { return neighbors_.size(); }
+
+  std::span<const VertexId> Neighbors(VertexId u) const {
+    return {neighbors_.data() + offsets_[u],
+            static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  int64_t Degree(VertexId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  /// True if edge (u, v) exists (binary search over the sorted list).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Returns the transpose (in-adjacency) of this graph.
+  Csr Transposed() const;
+
+  const std::vector<int64_t>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+
+ private:
+  std::vector<int64_t> offsets_;      // size = num_vertices + 1
+  std::vector<VertexId> neighbors_;   // size = num_edges, sorted per vertex
+};
+
+/// Symmetrizes a directed edge list: for every (u,v) adds (v,u). Used to
+/// model undirected graphs as pairs of directed edges (paper §4).
+std::vector<Edge> SymmetrizeEdges(const std::vector<Edge>& edges);
+
+}  // namespace itg
+
+#endif  // ITG_STORAGE_CSR_H_

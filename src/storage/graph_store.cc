@@ -1,0 +1,178 @@
+#include "storage/graph_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace itg {
+
+StatusOr<std::unique_ptr<DynamicGraphStore>> DynamicGraphStore::Create(
+    const std::string& path, VertexId num_vertices,
+    std::vector<Edge> base_edges, const Options& options, Metrics* metrics) {
+  auto store = std::unique_ptr<DynamicGraphStore>(new DynamicGraphStore());
+  store->num_vertices_ = num_vertices;
+  store->metrics_ = metrics;
+  ITG_ASSIGN_OR_RETURN(store->page_store_,
+                       PageStore::Open(path + ".pages", metrics));
+  store->pool_ = std::make_unique<BufferPool>(store->page_store_.get(),
+                                              options.buffer_pool_pages);
+  store->delta_store_ =
+      std::make_unique<EdgeDeltaStore>(store->page_store_.get());
+  store->vertex_store_ = std::make_unique<VertexStore>(
+      store->page_store_.get(), num_vertices, options.merge_strategy,
+      options.merge_period);
+
+  Csr out_csr = Csr::FromEdges(num_vertices, base_edges);
+  Csr in_csr = out_csr.Transposed();
+  store->base_num_edges_ = out_csr.num_edges();
+  store->out_offsets_ = out_csr.offsets();
+  store->in_offsets_ = in_csr.offsets();
+
+  DiskArrayBuilder<VertexId> out_builder(store->page_store_.get());
+  ITG_RETURN_IF_ERROR(out_builder.AppendRange(out_csr.neighbors().data(),
+                                              out_csr.neighbors().size()));
+  ITG_ASSIGN_OR_RETURN(store->out_neighbors_, out_builder.Finish());
+
+  DiskArrayBuilder<VertexId> in_builder(store->page_store_.get());
+  ITG_RETURN_IF_ERROR(in_builder.AppendRange(in_csr.neighbors().data(),
+                                             in_csr.neighbors().size()));
+  ITG_ASSIGN_OR_RETURN(store->in_neighbors_, in_builder.Finish());
+
+  // Snapshot 0 has an empty overlay.
+  store->views_[0] = View{};
+  store->views_[0].num_edges = store->base_num_edges_;
+  return store;
+}
+
+StatusOr<Timestamp> DynamicGraphStore::ApplyMutations(
+    const std::vector<EdgeDelta>& batch) {
+  Timestamp t = latest_ + 1;
+  ITG_RETURN_IF_ERROR(delta_store_->ApplyBatch(t, batch));
+
+  // New view = copy of latest view + batch (last operation wins).
+  // Degree bookkeeping assumes the workload invariant that insertions
+  // target absent edges and deletions target present ones, so each
+  // operation shifts the merged degree by exactly its multiplicity.
+  View view = views_.at(latest_);
+  auto apply = [](std::unordered_map<VertexId, OverlayList>& adj,
+                  std::unordered_map<VertexId, int64_t>& degree_delta,
+                  VertexId src, VertexId dst, Multiplicity m) {
+    OverlayList& list = adj[src];
+    auto it = std::lower_bound(
+        list.entries.begin(), list.entries.end(), dst,
+        [](const auto& e, VertexId v) { return e.first < v; });
+    if (it != list.entries.end() && it->first == dst) {
+      it->second = m;
+    } else {
+      list.entries.insert(it, {dst, m});
+    }
+    degree_delta[src] += m;
+  };
+  for (const EdgeDelta& d : batch) {
+    apply(view.out, view.out_degree_delta, d.edge.src, d.edge.dst, d.mult);
+    apply(view.in, view.in_degree_delta, d.edge.dst, d.edge.src, d.mult);
+    view.num_edges += (d.mult > 0) ? 1 : -1;
+  }
+
+  views_[t] = std::move(view);
+  latest_ = t;
+  // Keep only the latest and previous views.
+  while (views_.size() > 2) views_.erase(views_.begin());
+  return t;
+}
+
+const DynamicGraphStore::View* DynamicGraphStore::ViewAt(Timestamp t) const {
+  auto it = views_.find(t);
+  ITG_CHECK(it != views_.end())
+      << "snapshot " << t << " view unavailable (only latest and previous "
+      << "snapshots are retained); latest=" << latest_;
+  return &it->second;
+}
+
+Status DynamicGraphStore::ReadBaseAdjacency(BufferPool* pool, VertexId u,
+                                            Direction d,
+                                            std::vector<VertexId>* out) const {
+  const auto& offsets = (d == Direction::kOut) ? out_offsets_ : in_offsets_;
+  const auto& neighbors =
+      (d == Direction::kOut) ? out_neighbors_ : in_neighbors_;
+  int64_t begin = offsets[u];
+  int64_t end = offsets[u + 1];
+  out->resize(static_cast<size_t>(end - begin));
+  if (begin == end) return Status::OK();
+  return neighbors.Read(pool, static_cast<size_t>(begin), out->size(),
+                        out->data());
+}
+
+Status DynamicGraphStore::GetAdjacency(BufferPool* pool, VertexId u,
+                                       Timestamp t, Direction d,
+                                       std::vector<VertexId>* out) const {
+  ITG_RETURN_IF_ERROR(ReadBaseAdjacency(pool, u, d, out));
+  const View* view = ViewAt(t);
+  const auto& adj = (d == Direction::kOut) ? view->out : view->in;
+  auto it = adj.find(u);
+  if (it == adj.end()) return Status::OK();
+  // Merge the sorted base list with the sorted overlay: deletions drop
+  // base edges, insertions add new ones (this is the lazy deletion
+  // marking applied at page-load time).
+  std::vector<VertexId> merged;
+  merged.reserve(out->size() + it->second.entries.size());
+  size_t bi = 0;
+  const auto& entries = it->second.entries;
+  size_t oi = 0;
+  while (bi < out->size() || oi < entries.size()) {
+    if (oi == entries.size() ||
+        (bi < out->size() && (*out)[bi] < entries[oi].first)) {
+      merged.push_back((*out)[bi++]);
+    } else if (bi == out->size() || entries[oi].first < (*out)[bi]) {
+      if (entries[oi].second > 0) merged.push_back(entries[oi].first);
+      ++oi;
+    } else {  // same dst in base and overlay: overlay's last op decides
+      if (entries[oi].second > 0) merged.push_back((*out)[bi]);
+      ++bi;
+      ++oi;
+    }
+  }
+  *out = std::move(merged);
+  return Status::OK();
+}
+
+int64_t DynamicGraphStore::Degree(VertexId u, Timestamp t, Direction d) const {
+  const auto& offsets = (d == Direction::kOut) ? out_offsets_ : in_offsets_;
+  int64_t degree = offsets[u + 1] - offsets[u];
+  const View* view = ViewAt(t);
+  const auto& deltas =
+      (d == Direction::kOut) ? view->out_degree_delta : view->in_degree_delta;
+  auto it = deltas.find(u);
+  if (it != deltas.end()) degree += it->second;
+  return degree;
+}
+
+StatusOr<bool> DynamicGraphStore::HasEdge(BufferPool* pool, VertexId u,
+                                          VertexId v, Timestamp t,
+                                          Direction d) const {
+  const View* view = ViewAt(t);
+  const auto& adj = (d == Direction::kOut) ? view->out : view->in;
+  auto it = adj.find(u);
+  if (it != adj.end()) {
+    const auto& entries = it->second.entries;
+    auto eit = std::lower_bound(
+        entries.begin(), entries.end(), v,
+        [](const auto& e, VertexId x) { return e.first < x; });
+    if (eit != entries.end() && eit->first == v) return eit->second > 0;
+  }
+  std::vector<VertexId> base;
+  ITG_RETURN_IF_ERROR(ReadBaseAdjacency(pool, u, d, &base));
+  return std::binary_search(base.begin(), base.end(), v);
+}
+
+Status DynamicGraphStore::ScanDeltas(
+    BufferPool* pool, Timestamp t, Direction d,
+    const std::function<void(Edge, Multiplicity)>& fn) const {
+  return delta_store_->ForEachDelta(pool, t, d, fn);
+}
+
+size_t DynamicGraphStore::num_edges(Timestamp t) const {
+  return ViewAt(t)->num_edges;
+}
+
+}  // namespace itg

@@ -1,0 +1,85 @@
+#include "storage/page_store.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace itg {
+
+StatusOr<std::unique_ptr<PageStore>> PageStore::Open(const std::string& path,
+                                                     Metrics* metrics) {
+  std::FILE* file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open page store file: " + path);
+  }
+  return std::unique_ptr<PageStore>(new PageStore(path, file, metrics));
+}
+
+PageStore::~PageStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<PageId> PageStore::AppendPage(const void* data, size_t n) {
+  if (n > kPageSize) {
+    return Status::InvalidArgument("page payload exceeds page size");
+  }
+  std::vector<uint8_t> buf(kPageSize, 0);
+  std::memcpy(buf.data(), data, n);
+  if (std::fseek(file_, static_cast<long>(page_count_ * kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failed on " + path_);
+  }
+  if (std::fwrite(buf.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("write failed on " + path_);
+  }
+  if (metrics_ != nullptr) metrics_->AddWriteBytes(kPageSize);
+  return static_cast<PageId>(page_count_++);
+}
+
+Status PageStore::ReadPage(PageId id, void* out) const {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  if (std::fseek(file_, static_cast<long>(static_cast<size_t>(id) * kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failed on " + path_);
+  }
+  if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("read failed on " + path_);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->AddReadBytes(kPageSize);
+    metrics_->AddPageReads(1);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const BufferPool::Page>> BufferPool::GetPage(
+    PageId id) {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(id);
+    it->second.lru_it = lru_.begin();
+    return it->second.page;
+  }
+  ++misses_;
+  auto page = std::make_shared<Page>(kPageSize);
+  ITG_RETURN_IF_ERROR(store_->ReadPage(id, page->data()));
+  while (cache_.size() >= capacity_ && !lru_.empty()) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+  lru_.push_front(id);
+  cache_.emplace(id, Entry{page, lru_.begin()});
+  return std::shared_ptr<const Page>(page);
+}
+
+void BufferPool::Clear() {
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace itg

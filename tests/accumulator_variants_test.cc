@@ -1,0 +1,219 @@
+// Programs exercising the accumulator algebra paths the six shipped
+// algorithms do not: MAX monoids, PRODUCT groups, multiple emissions in
+// one Traverse, guarded emissions, and depth-0 emissions — one-shot and
+// incrementally, against brute-force oracles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/reference.h"
+#include "gen/rmat.h"
+#include "harness/harness.h"
+
+namespace itg {
+namespace {
+
+std::string TempPath() {
+  std::string name =
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::replace(name.begin(), name.end(), '/', '_');
+  return ::testing::TempDir() + "/accmvar_" + name;
+}
+
+/// Max-id propagation: like WCC but with MAX — the mirrored monoid path.
+constexpr char kMaxComponents[] = R"(
+  Vertex (id, active, out_nbrs, comp: long, max_comp: Accm<long, MAX>)
+  Initialize (u) {
+    u.comp = u.id;
+    u.active = true;
+  }
+  Traverse (u) {
+    For v in u.out_nbrs {
+      v.max_comp.Accumulate(u.comp);
+    }
+  }
+  Update (u) {
+    If (u.max_comp > u.comp) {
+      u.comp = u.max_comp;
+      u.active = true;
+    }
+  }
+)";
+
+TEST(AccumulatorVariants, MaxMonoidIncrementalWithDeletions) {
+  const VertexId n = 1 << 8;
+  HarnessOptions options;
+  options.symmetric = true;
+  options.path = TempPath();
+  auto harness = std::move(Harness::Create(
+                               kMaxComponents, n,
+                               GenerateRmatEdges(n, 3 << 8, {.seed = 61}),
+                               options))
+                     .value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  int comp = harness->engine().AttrIndex("comp");
+  for (int t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(harness->Step(50, 0.5).ok());
+    // Oracle: max-id per weakly connected component.
+    Csr csr = Csr::FromEdges(n, harness->StoredEdges());
+    auto wcc = RefWcc(csr);
+    std::vector<VertexId> max_of_comp(static_cast<size_t>(n), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      max_of_comp[wcc[v]] = std::max(max_of_comp[wcc[v]], v);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(static_cast<VertexId>(harness->engine().AttrValue(comp, v)),
+                max_of_comp[wcc[v]])
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+/// Per-vertex neighbor-degree product — a PRODUCT group accumulator
+/// (inverse = reciprocal) over one hop. Degrees are powers of two-ish
+/// doubles, so products stay exactly representable enough for equality
+/// with the oracle computed the same way.
+constexpr char kNeighborProduct[] = R"(
+  Vertex (id, active, out_nbrs, prod: Accm<double, PRODUCT>, result: double)
+  Initialize (u) {
+    u.active = true;
+    u.result = 1;
+  }
+  Traverse (u) {
+    For v in u.out_nbrs {
+      v.prod.Accumulate(2);
+    }
+  }
+  Update (u) {
+    u.result = u.prod;
+  }
+)";
+
+TEST(AccumulatorVariants, ProductGroupIncremental) {
+  const VertexId n = 1 << 8;
+  HarnessOptions options;
+  options.path = TempPath();
+  auto harness = std::move(Harness::Create(
+                               kNeighborProduct, n,
+                               GenerateRmatEdges(n, 3 << 8, {.seed = 62}),
+                               options))
+                     .value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  int result = harness->engine().AttrIndex("result");
+  for (int t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(harness->Step(40, 0.5).ok());
+    // result(v) = 2^indegree(v), or 1 if untouched.
+    Csr csr = Csr::FromEdges(n, harness->current_edges()).Transposed();
+    for (VertexId v = 0; v < n; ++v) {
+      double expected =
+          csr.Degree(v) > 0 ? std::pow(2.0, csr.Degree(v)) : 1.0;
+      ASSERT_DOUBLE_EQ(harness->engine().AttrValue(result, v), expected)
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+/// Two emissions at different depths in one Traverse: per-vertex wedge
+/// endpoints (depth 2) and a global edge counter (depth 1).
+constexpr char kMultiEmission[] = R"(
+  Vertex (id, active, out_nbrs, two_hop: Accm<long, SUM>, hops: long)
+  GlobalVariable (edges_seen: Accm<long, SUM>)
+  Initialize (u) {
+    u.active = true;
+  }
+  Traverse (u) {
+    For v in u.out_nbrs {
+      edges_seen.Accumulate(1);
+      For w in v.out_nbrs {
+        w.two_hop.Accumulate(1);
+      }
+    }
+  }
+  Update (u) {
+    u.hops = u.two_hop;
+  }
+)";
+
+TEST(AccumulatorVariants, MultiDepthEmissionsIncremental) {
+  const VertexId n = 1 << 7;
+  HarnessOptions options;
+  options.path = TempPath();
+  auto harness = std::move(Harness::Create(
+                               kMultiEmission, n,
+                               GenerateRmatEdges(n, 3 << 7, {.seed = 63}),
+                               options))
+                     .value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  int hops = harness->engine().AttrIndex("hops");
+  int edges_seen = harness->engine().GlobalIndex("edges_seen");
+  for (int t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(harness->Step(30, 0.6).ok());
+    Csr csr = Csr::FromEdges(n, harness->current_edges());
+    // Oracle: two_hop(w) = # of 2-walks ending at w; edges_seen = |E|.
+    std::vector<int64_t> expected(static_cast<size_t>(n), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : csr.Neighbors(u)) {
+        for (VertexId w : csr.Neighbors(v)) {
+          ++expected[static_cast<size_t>(w)];
+        }
+      }
+    }
+    ASSERT_EQ(static_cast<size_t>(
+                  harness->engine().GlobalValue(edges_seen)[0]),
+              csr.num_edges())
+        << "t=" << t;
+    for (VertexId w = 0; w < n; ++w) {
+      ASSERT_EQ(static_cast<int64_t>(harness->engine().AttrValue(hops, w)),
+                expected[w])
+          << "t=" << t << " w=" << w;
+    }
+  }
+}
+
+/// Guarded emissions: count only walks into higher-id neighbors.
+constexpr char kGuardedEmission[] = R"(
+  Vertex (id, active, out_nbrs, up: Accm<long, SUM>, result: long)
+  Initialize (u) {
+    u.active = true;
+  }
+  Traverse (u) {
+    For v in u.out_nbrs {
+      If (u < v) {
+        v.up.Accumulate(1);
+      }
+    }
+  }
+  Update (u) {
+    u.result = u.up;
+  }
+)";
+
+TEST(AccumulatorVariants, GuardedEmissionsIncremental) {
+  const VertexId n = 1 << 7;
+  HarnessOptions options;
+  options.path = TempPath();
+  auto harness = std::move(Harness::Create(
+                               kGuardedEmission, n,
+                               GenerateRmatEdges(n, 3 << 7, {.seed = 64}),
+                               options))
+                     .value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  int result = harness->engine().AttrIndex("result");
+  for (int t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(harness->Step(30, 0.5).ok());
+    Csr csr = Csr::FromEdges(n, harness->current_edges()).Transposed();
+    for (VertexId v = 0; v < n; ++v) {
+      int64_t expected = 0;
+      for (VertexId u : csr.Neighbors(v)) {
+        if (u < v) ++expected;
+      }
+      ASSERT_EQ(
+          static_cast<int64_t>(harness->engine().AttrValue(result, v)),
+          expected)
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itg

@@ -1,0 +1,218 @@
+// Correctness of the two competitor baselines against the same reference
+// oracles the iTurboGraph engine is tested with, including incremental
+// maintenance over mutation sequences and OOM behaviour under a budget.
+#include <gtest/gtest.h>
+
+#include "algos/reference.h"
+#include "baselines/ddflow.h"
+#include "baselines/graphbolt.h"
+#include "gen/rmat.h"
+#include "gen/workload.h"
+
+namespace itg {
+namespace {
+
+std::vector<Edge> Canonical(std::vector<Edge> edges) {
+  for (Edge& e : edges) {
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+  }
+  return edges;
+}
+
+std::vector<EdgeDelta> Symmetrize(const std::vector<EdgeDelta>& batch) {
+  std::vector<EdgeDelta> out;
+  for (const EdgeDelta& d : batch) {
+    out.push_back(d);
+    out.push_back({{d.edge.dst, d.edge.src}, d.mult});
+  }
+  return out;
+}
+
+TEST(GraphBoltTest, PageRankDenseIterationsMatchPowerIteration) {
+  const VertexId n = 1 << 8;
+  auto edges = GenerateRmatEdges(n, 4 << 8, {.seed = 5});
+  MemoryBudget budget;
+  GraphBoltEngine grb(GraphBoltEngine::Algo::kPageRank, 1, 10, &budget,
+                      /*quantized=*/false);
+  ASSERT_TRUE(grb.RunInitial(n, edges).ok());
+  // Dense power iteration (no activation cutoff) as the oracle.
+  Csr csr = Csr::FromEdges(n, edges);
+  std::vector<double> rank(static_cast<size_t>(n), 1.0);
+  for (int it = 0; it < 10; ++it) {
+    std::vector<double> next(static_cast<size_t>(n),
+                             0.15 / static_cast<double>(n));
+    for (VertexId u = 0; u < n; ++u) {
+      auto nbrs = csr.Neighbors(u);
+      if (nbrs.empty()) continue;
+      double val = rank[u] / static_cast<double>(nbrs.size());
+      for (VertexId v : nbrs) next[v] += 0.85 * val;
+    }
+    rank = next;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_NEAR(grb.Value(v)[0], rank[v], 1e-12);
+  }
+}
+
+TEST(GraphBoltTest, IncrementalRefinementMatchesRecomputation) {
+  const VertexId n = 1 << 8;
+  auto all_edges = GenerateRmatEdges(n, 4 << 8, {.seed = 6});
+  MutationWorkload workload(all_edges, 0.9, 7);
+  MemoryBudget budget;
+  GraphBoltEngine grb(GraphBoltEngine::Algo::kPageRank, 1, 10, &budget);  // quantized
+  ASSERT_TRUE(grb.RunInitial(n, workload.initial_edges()).ok());
+  std::vector<Edge> current = workload.initial_edges();
+  for (int t = 1; t <= 3; ++t) {
+    auto batch = workload.NextBatch(40, 0.75);
+    for (const EdgeDelta& d : batch) {
+      if (d.mult > 0) {
+        current.push_back(d.edge);
+      } else {
+        current.erase(std::find(current.begin(), current.end(), d.edge));
+      }
+    }
+    ASSERT_TRUE(grb.ApplyMutationsAndRefine(batch).ok());
+    MemoryBudget fresh_budget;
+    GraphBoltEngine fresh(GraphBoltEngine::Algo::kPageRank, 1, 10,
+                          &fresh_budget);
+    ASSERT_TRUE(fresh.RunInitial(n, current).ok());
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_NEAR(grb.Value(v)[0], fresh.Value(v)[0], 1e-9) << "v=" << v;
+    }
+    EXPECT_GT(grb.last_refined(), 0u);
+  }
+}
+
+TEST(GraphBoltTest, ChargesPerSuperstepMemory) {
+  const VertexId n = 1 << 8;
+  auto edges = GenerateRmatEdges(n, 4 << 8, {.seed = 5});
+  MemoryBudget budget(/*budget_bytes=*/1024);  // absurdly small
+  GraphBoltEngine grb(GraphBoltEngine::Algo::kPageRank, 1, 10, &budget);
+  EXPECT_TRUE(grb.RunInitial(n, edges).IsOutOfMemory());
+}
+
+TEST(DdRankTest, IncrementalMatchesRecomputation) {
+  const VertexId n = 1 << 8;
+  auto all_edges = GenerateRmatEdges(n, 4 << 8, {.seed = 8});
+  MutationWorkload workload(all_edges, 0.9, 9);
+  MemoryBudget budget;
+  DdRank dd(1, 10, &budget);
+  ASSERT_TRUE(dd.RunInitial(n, workload.initial_edges()).ok());
+  std::vector<Edge> current = workload.initial_edges();
+  for (int t = 1; t <= 3; ++t) {
+    auto batch = workload.NextBatch(40, 0.5);
+    for (const EdgeDelta& d : batch) {
+      if (d.mult > 0) {
+        current.push_back(d.edge);
+      } else {
+        current.erase(std::find(current.begin(), current.end(), d.edge));
+      }
+    }
+    ASSERT_TRUE(dd.ApplyMutations(batch).ok());
+    MemoryBudget fresh_budget;
+    DdRank fresh(1, 10, &fresh_budget);
+    ASSERT_TRUE(fresh.RunInitial(n, current).ok());
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_NEAR(dd.Value(v)[0], fresh.Value(v)[0], 1e-9) << "v=" << v;
+    }
+  }
+}
+
+TEST(DdMinTest, WccIncrementalWithDeletions) {
+  const VertexId n = 1 << 8;
+  auto all_edges = Canonical(GenerateRmatEdges(n, 3 << 8, {.seed = 10}));
+  MutationWorkload workload(all_edges, 0.9, 11);
+  std::vector<double> labels0(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) labels0[v] = static_cast<double>(v);
+  MemoryBudget budget;
+  DdMinPropagation dd(labels0, 0.0, &budget);
+  ASSERT_TRUE(
+      dd.RunInitial(n, SymmetrizeEdges(workload.initial_edges())).ok());
+  std::vector<Edge> current = workload.initial_edges();
+  for (int t = 1; t <= 3; ++t) {
+    auto batch = workload.NextBatch(30, 0.5);
+    for (const EdgeDelta& d : batch) {
+      if (d.mult > 0) {
+        current.push_back(d.edge);
+      } else {
+        current.erase(std::find(current.begin(), current.end(), d.edge));
+      }
+    }
+    ASSERT_TRUE(dd.ApplyMutations(Symmetrize(batch)).ok());
+    Csr csr = Csr::FromEdges(n, SymmetrizeEdges(current));
+    auto expected = RefWcc(csr);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(static_cast<VertexId>(dd.Value(v)), expected[v])
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(DdMinTest, BfsIncrementalWithDeletions) {
+  const VertexId n = 1 << 8;
+  auto all_edges = Canonical(GenerateRmatEdges(n, 3 << 8, {.seed = 12}));
+  MutationWorkload workload(all_edges, 0.9, 13);
+  std::vector<double> labels0(static_cast<size_t>(n), kBfsInfinity);
+  labels0[0] = 0.0;
+  MemoryBudget budget;
+  DdMinPropagation dd(labels0, 1.0, &budget);
+  ASSERT_TRUE(
+      dd.RunInitial(n, SymmetrizeEdges(workload.initial_edges())).ok());
+  std::vector<Edge> current = workload.initial_edges();
+  for (int t = 1; t <= 3; ++t) {
+    auto batch = workload.NextBatch(30, 0.5);
+    for (const EdgeDelta& d : batch) {
+      if (d.mult > 0) {
+        current.push_back(d.edge);
+      } else {
+        current.erase(std::find(current.begin(), current.end(), d.edge));
+      }
+    }
+    ASSERT_TRUE(dd.ApplyMutations(Symmetrize(batch)).ok());
+    Csr csr = Csr::FromEdges(n, SymmetrizeEdges(current));
+    auto expected = RefBfs(csr, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(dd.Value(v), expected[v]) << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(DdTrianglesTest, IncrementalMatchesReference) {
+  const VertexId n = 1 << 8;
+  auto all_edges = Canonical(GenerateRmatEdges(n, 3 << 8, {.seed = 14}));
+  MutationWorkload workload(all_edges, 0.9, 15);
+  MemoryBudget budget;
+  DdTriangles dd(&budget);
+  ASSERT_TRUE(
+      dd.RunInitial(n, SymmetrizeEdges(workload.initial_edges())).ok());
+  std::vector<Edge> current = workload.initial_edges();
+  for (int t = 1; t <= 4; ++t) {
+    auto batch = workload.NextBatch(30, 0.6);
+    for (const EdgeDelta& d : batch) {
+      if (d.mult > 0) {
+        current.push_back(d.edge);
+      } else {
+        current.erase(std::find(current.begin(), current.end(), d.edge));
+      }
+    }
+    ASSERT_TRUE(dd.ApplyMutations(Symmetrize(batch)).ok());
+    Csr csr = Csr::FromEdges(n, SymmetrizeEdges(current));
+    ASSERT_EQ(dd.triangle_count(), RefTriangleCount(csr)) << "t=" << t;
+    auto tri = RefPerVertexTriangles(csr);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(static_cast<uint64_t>(dd.per_vertex()[v]), tri[v])
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(DdTrianglesTest, TwoPathArrangementBlowsMemoryBudget) {
+  const VertexId n = 1 << 10;
+  auto edges = SymmetrizeEdges(GenerateRmatEdges(n, 8 << 10, {.seed = 16}));
+  MemoryBudget budget(/*budget_bytes=*/64 * 1024);
+  DdTriangles dd(&budget);
+  EXPECT_TRUE(dd.RunInitial(n, edges).IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace itg

@@ -1,0 +1,191 @@
+// The partitioned (distributed-simulation) execution must be result-
+// identical to single-machine execution, and its per-machine meters must
+// behave sensibly (all machines busy, shuffle volume tracked).
+#include <gtest/gtest.h>
+
+#include "algos/programs.h"
+#include "algos/reference.h"
+#include "compiler/compiled_program.h"
+#include "engine/engine.h"
+#include "gen/rmat.h"
+#include "gen/workload.h"
+#include "storage/graph_store.h"
+
+namespace itg {
+namespace {
+
+TEST(DistributedTest, PartitionedPageRankMatchesReference) {
+  const VertexId n = 1 << 9;
+  auto all_edges = GenerateRmatEdges(n, 6 << 9, {.seed = 21});
+  MutationWorkload workload(all_edges, 0.9, 22);
+  auto program_or = CompileProgram(PageRankProgram());
+  ASSERT_TRUE(program_or.ok());
+  auto program = std::move(program_or).value();
+  auto store_or = DynamicGraphStore::Create(
+      ::testing::TempDir() + "/dist_pr", n, workload.initial_edges(), {},
+      &GlobalMetrics());
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(store_or).value();
+
+  EngineOptions opts;
+  opts.fixed_supersteps = 10;
+  opts.num_partitions = 5;
+  opts.partition_pool_pages = 64;
+  Engine engine(store.get(), program.get(), opts);
+  ASSERT_TRUE(engine.RunOneShot(0).ok());
+
+  Csr csr = Csr::FromEdges(n, workload.initial_edges());
+  auto expected = RefPageRank(csr, 10);
+  int rank = engine.AttrIndex("rank");
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_NEAR(engine.AttrValue(rank, v), expected[v], 1e-9);
+  }
+
+  ASSERT_EQ(engine.machine_stats().size(), 5u);
+  uint64_t total_net = 0;
+  for (const MachineStats& m : engine.machine_stats()) {
+    EXPECT_GT(m.seconds, 0.0);
+    total_net += m.network_bytes;
+  }
+  EXPECT_GT(total_net, 0u);  // cross-partition accumulations shuffled
+  EXPECT_GT(engine.SimulatedDistributedSeconds(), 0.0);
+  // The parallel (max) time is below the sequential sum.
+  double sum = 0;
+  for (const MachineStats& m : engine.machine_stats()) sum += m.seconds;
+  EXPECT_LT(engine.SimulatedDistributedSeconds(),
+            sum + 1.0 /* generous slack for the network term */);
+
+  // Incremental, still partitioned.
+  std::vector<Edge> current = workload.initial_edges();
+  auto batch = workload.NextBatch(80, 0.75);
+  for (const EdgeDelta& d : batch) {
+    if (d.mult > 0) {
+      current.push_back(d.edge);
+    } else {
+      current.erase(std::find(current.begin(), current.end(), d.edge));
+    }
+  }
+  ASSERT_TRUE(store->ApplyMutations(batch).ok());
+  ASSERT_TRUE(engine.RunIncremental(1).ok());
+  Csr csr1 = Csr::FromEdges(n, current);
+  auto expected1 = RefPageRank(csr1, 10);
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_NEAR(engine.AttrValue(rank, v), expected1[v], 1e-9);
+  }
+}
+
+TEST(DistributedTest, PartitionedTriangleCountMatchesReference) {
+  const VertexId n = 1 << 8;
+  auto edges = GenerateRmatEdges(n, 4 << 8, {.seed = 23});
+  for (Edge& e : edges) {
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+  }
+  MutationWorkload workload(edges, 0.9, 24);
+  auto program = std::move(CompileProgram(TriangleCountProgram())).value();
+  auto store_or = DynamicGraphStore::Create(
+      ::testing::TempDir() + "/dist_tc", n,
+      SymmetrizeEdges(workload.initial_edges()), {}, &GlobalMetrics());
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(store_or).value();
+
+  EngineOptions opts;
+  opts.num_partitions = 4;
+  Engine engine(store.get(), program.get(), opts);
+  ASSERT_TRUE(engine.RunOneShot(0).ok());
+  Csr csr = Csr::FromEdges(n, SymmetrizeEdges(workload.initial_edges()));
+  int cnts = engine.GlobalIndex("cnts");
+  EXPECT_EQ(static_cast<uint64_t>(engine.GlobalValue(cnts)[0]),
+            RefTriangleCount(csr));
+
+  std::vector<Edge> current = workload.initial_edges();
+  auto batch = workload.NextBatch(40, 0.5);
+  std::vector<EdgeDelta> sym;
+  for (const EdgeDelta& d : batch) {
+    sym.push_back(d);
+    sym.push_back({{d.edge.dst, d.edge.src}, d.mult});
+    if (d.mult > 0) {
+      current.push_back(d.edge);
+    } else {
+      current.erase(std::find(current.begin(), current.end(), d.edge));
+    }
+  }
+  ASSERT_TRUE(store->ApplyMutations(sym).ok());
+  ASSERT_TRUE(engine.RunIncremental(1).ok());
+  Csr csr1 = Csr::FromEdges(n, SymmetrizeEdges(current));
+  EXPECT_EQ(static_cast<uint64_t>(engine.GlobalValue(cnts)[0]),
+            RefTriangleCount(csr1));
+}
+
+TEST(DistributedTest, PartitionedWccWithDeletionsMatchesReference) {
+  // Monoid recomputation under partitioned execution.
+  const VertexId n = 1 << 8;
+  auto edges = GenerateRmatEdges(n, 3 << 8, {.seed = 26});
+  for (Edge& e : edges) {
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+  }
+  MutationWorkload workload(edges, 0.9, 27, /*canonical=*/true);
+  auto program = std::move(CompileProgram(WccProgram())).value();
+  auto store = std::move(DynamicGraphStore::Create(
+                             ::testing::TempDir() + "/dist_wcc", n,
+                             SymmetrizeEdges(workload.initial_edges()), {},
+                             &GlobalMetrics()))
+                   .value();
+  EngineOptions opts;
+  opts.num_partitions = 3;
+  Engine engine(store.get(), program.get(), opts);
+  ASSERT_TRUE(engine.RunOneShot(0).ok());
+  std::vector<Edge> current = workload.initial_edges();
+  int comp = engine.AttrIndex("comp");
+  for (Timestamp t = 1; t <= 3; ++t) {
+    auto batch = workload.NextBatch(40, 0.4);  // deletion heavy
+    std::vector<EdgeDelta> sym;
+    for (const EdgeDelta& d : batch) {
+      sym.push_back(d);
+      sym.push_back({{d.edge.dst, d.edge.src}, d.mult});
+      if (d.mult > 0) {
+        current.push_back(d.edge);
+      } else {
+        current.erase(std::find(current.begin(), current.end(), d.edge));
+      }
+    }
+    ASSERT_TRUE(store->ApplyMutations(sym).ok());
+    ASSERT_TRUE(engine.RunIncremental(t).ok());
+    Csr csr = Csr::FromEdges(n, SymmetrizeEdges(current));
+    auto expected = RefWcc(csr);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(static_cast<VertexId>(engine.AttrValue(comp, v)),
+                expected[v])
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(DistributedTest, MorePartitionsMoreDistributedCapacity) {
+  // Sanity of the cost model: with k machines the simulated time should
+  // not exceed the single-machine time (same total work, spread out).
+  const VertexId n = 1 << 9;
+  auto edges = GenerateRmatEdges(n, 8 << 9, {.seed = 25});
+  auto program = std::move(CompileProgram(PageRankProgram())).value();
+
+  auto run = [&](int partitions) {
+    auto store = std::move(DynamicGraphStore::Create(
+                               ::testing::TempDir() + "/dist_cap_" +
+                                   std::to_string(partitions),
+                               n, edges, {}, &GlobalMetrics()))
+                     .value();
+    EngineOptions opts;
+    opts.fixed_supersteps = 5;
+    opts.num_partitions = partitions;
+    opts.record_history = false;
+    Engine engine(store.get(), program.get(), opts);
+    EXPECT_TRUE(engine.RunOneShot(0).ok());
+    return partitions > 1 ? engine.SimulatedDistributedSeconds()
+                          : engine.last_stats().seconds;
+  };
+  double t1 = run(1);
+  double t8 = run(8);
+  EXPECT_LT(t8, t1 * 1.5);  // distributed no slower (with slack for noise)
+}
+
+}  // namespace
+}  // namespace itg

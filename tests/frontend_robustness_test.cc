@@ -1,0 +1,121 @@
+// Robustness of the language front end: randomly corrupted variants of
+// valid programs must come back as ParseError/CompileError — never a
+// crash, never a silently-compiled wrong program shape.
+#include <gtest/gtest.h>
+
+#include "algos/programs.h"
+#include "common/rng.h"
+#include "compiler/compiled_program.h"
+
+namespace itg {
+namespace {
+
+/// Deletes, duplicates or swaps random characters of a valid source.
+std::string Corrupt(const std::string& source, Rng* rng, int edits) {
+  std::string out = source;
+  for (int i = 0; i < edits && !out.empty(); ++i) {
+    size_t pos = rng->Uniform(out.size());
+    switch (rng->Uniform(3)) {
+      case 0:
+        out.erase(pos, 1);
+        break;
+      case 1:
+        out.insert(pos, 1, out[pos]);
+        break;
+      default:
+        if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+        break;
+    }
+  }
+  return out;
+}
+
+class FrontendFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrontendFuzz, CorruptedProgramsNeverCrashTheCompiler) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  const std::string sources[] = {
+      PageRankProgram(),        LabelPropProgram(4), WccProgram(),
+      BfsProgram(3),            TriangleCountProgram(),
+      LccProgram(),             QuantizedPageRankProgram(),
+  };
+  for (const std::string& source : sources) {
+    for (int edits : {1, 3, 8, 25}) {
+      std::string corrupted = Corrupt(source, &rng, edits);
+      // Must return a Status (any of ok/parse/compile) without crashing.
+      auto result = CompileProgram(corrupted);
+      if (!result.ok()) {
+        StatusCode code = result.status().code();
+        EXPECT_TRUE(code == StatusCode::kParseError ||
+                    code == StatusCode::kCompileError)
+            << result.status().ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontendFuzz, ::testing::Range(1, 9));
+
+TEST(FrontendRobustness, GarbageInputs) {
+  const char* garbage[] = {
+      "",
+      "!!!",
+      "Vertex",
+      "Vertex (",
+      "Vertex (id,,)",
+      "Vertex (id) Vertex (id)",
+      "Vertex (id, active) Initialize (u) { u.active = ; } "
+      "Traverse (u) {} Update (u) {}",
+      "Vertex (id, active) Initialize (u) { For } Traverse (u) {} "
+      "Update (u) {}",
+      "Vertex (id, active, x: Array<float, -3>) Initialize (u) {} "
+      "Traverse (u) {} Update (u) {}",
+      "Vertex (id, active, x: Accm<Accm<int, SUM>, SUM>) "
+      "Initialize (u) {} Traverse (u) {} Update (u) {}",
+      "/* unterminated Vertex (id)",
+  };
+  for (const char* source : garbage) {
+    auto result = CompileProgram(source);
+    EXPECT_FALSE(result.ok()) << "accepted: " << source;
+  }
+}
+
+TEST(FrontendRobustness, DeeplyNestedExpressionsParse) {
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  std::string source = "Vertex (id, active, nbrs, x: double) "
+                       "Initialize (u) { u.x = " + expr + "; } "
+                       "Traverse (u) {} Update (u) {}";
+  auto result = CompileProgram(source);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(FrontendRobustness, DeeplyNestedLoopsCompile) {
+  // A 6-hop walk chain: beyond anything the paper needs, still valid.
+  std::string source = R"(
+    Vertex (id, active, nbrs, s: Accm<long, SUM>)
+    Initialize (u0) { u0.active = true; }
+    Traverse (u0) {
+      For u1 in u0.nbrs {
+        For u2 in u1.nbrs {
+          For u3 in u2.nbrs {
+            For u4 in u3.nbrs {
+              For u5 in u4.nbrs {
+                For u6 in u5.nbrs {
+                  u0.s.Accumulate(1);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    Update (u0) {}
+  )";
+  auto result = CompileProgram(source);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->walk_length(), 6);
+}
+
+}  // namespace
+}  // namespace itg

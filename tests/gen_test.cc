@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gen/rmat.h"
+#include "gen/upscale.h"
+#include "gen/workload.h"
+
+namespace itg {
+namespace {
+
+TEST(RmatTest, SizesFollowPaperConvention) {
+  auto edges = GenerateRmat(10);
+  EXPECT_EQ(edges.size(), 1u << 10);
+  EXPECT_EQ(RmatVertices(10), 1 << 6);
+  for (const Edge& e : edges) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, RmatVertices(10));
+    EXPECT_LT(e.dst, RmatVertices(10));
+    EXPECT_NE(e.src, e.dst);  // self loops dropped
+  }
+}
+
+TEST(RmatTest, DeterministicPerSeed) {
+  auto a = GenerateRmatEdges(256, 1000, {.seed = 5});
+  auto b = GenerateRmatEdges(256, 1000, {.seed = 5});
+  auto c = GenerateRmatEdges(256, 1000, {.seed = 6});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  auto edges = GenerateRmatEdges(1 << 10, 16 << 10, {});
+  std::vector<int> degree(1 << 10, 0);
+  for (const Edge& e : edges) ++degree[e.src];
+  int max_degree = *std::max_element(degree.begin(), degree.end());
+  // The canonical RMAT parameters concentrate mass in low ids: the top
+  // vertex should be far above the average degree of 16.
+  EXPECT_GT(max_degree, 160);
+}
+
+TEST(WorkloadTest, SplitsAndBatchInvariants) {
+  auto edges = GenerateRmatEdges(512, 4096, {.seed = 3});
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  const size_t distinct = edges.size();
+  MutationWorkload workload(edges, 0.9, 77);
+  EXPECT_NEAR(static_cast<double>(workload.initial_edges().size()),
+              0.9 * static_cast<double>(distinct), 2.0);
+
+  std::unordered_set<Edge, EdgeHash> current(
+      workload.initial_edges().begin(), workload.initial_edges().end());
+  for (int t = 0; t < 10; ++t) {
+    auto batch = workload.NextBatch(100, 0.75);
+    EXPECT_EQ(batch.size(), 100u);
+    size_t inserts = 0;
+    for (const EdgeDelta& d : batch) {
+      if (d.mult > 0) {
+        ++inserts;
+        EXPECT_FALSE(current.contains(d.edge)) << "insert of present edge";
+        current.insert(d.edge);
+      } else {
+        EXPECT_TRUE(current.contains(d.edge)) << "delete of absent edge";
+        current.erase(d.edge);
+      }
+    }
+    EXPECT_EQ(inserts, 75u);
+    EXPECT_EQ(current.size(), workload.current_edge_count());
+  }
+}
+
+TEST(WorkloadTest, InsertOnlyAndDeleteOnly) {
+  auto edges = GenerateRmatEdges(256, 2048, {.seed = 4});
+  MutationWorkload workload(edges, 0.9, 5);
+  auto inserts = workload.NextBatch(50, 1.0);
+  EXPECT_TRUE(std::all_of(inserts.begin(), inserts.end(),
+                          [](const EdgeDelta& d) { return d.mult > 0; }));
+  auto deletes = workload.NextBatch(50, 0.0);
+  EXPECT_TRUE(std::all_of(deletes.begin(), deletes.end(),
+                          [](const EdgeDelta& d) { return d.mult < 0; }));
+}
+
+TEST(WorkloadTest, FallsBackToRandomNonEdgesWhenPoolDrains) {
+  auto edges = GenerateRmatEdges(256, 512, {.seed = 6});
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  MutationWorkload workload(edges, 0.9, 7);
+  size_t pool = edges.size() - workload.initial_edges().size();
+  // Ask for far more insertions than the held-out pool contains.
+  auto batch = workload.NextBatch(pool + 100, 1.0);
+  EXPECT_EQ(batch.size(), pool + 100);
+}
+
+TEST(UpscaleTest, ScalesVerticesAndEdges) {
+  auto edges = GenerateRmatEdges(128, 512, {.seed = 8});
+  auto scaled = UpscaleGraph(edges, 128, 4, 9, 0.1);
+  // 4 replicas + 3 stitch sets of ~51 edges each.
+  EXPECT_GE(scaled.size(), 4 * edges.size());
+  VertexId max_v = 0;
+  for (const Edge& e : scaled) max_v = std::max({max_v, e.src, e.dst});
+  EXPECT_LT(max_v, 4 * 128);
+  EXPECT_GE(max_v, 3 * 128);  // the last replica is populated
+}
+
+TEST(UpscaleTest, FactorOneIsIdentity) {
+  auto edges = GenerateRmatEdges(64, 256, {.seed = 10});
+  auto scaled = UpscaleGraph(edges, 64, 1, 11);
+  EXPECT_EQ(scaled, edges);
+}
+
+}  // namespace
+}  // namespace itg

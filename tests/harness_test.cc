@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "algos/programs.h"
+#include "algos/reference.h"
+#include "gen/rmat.h"
+#include "harness/harness.h"
+
+namespace itg {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  std::string n = name;
+  std::replace(n.begin(), n.end(), '/', '_');
+  return ::testing::TempDir() + "/harness_" + n;
+}
+
+TEST(HarnessTest, TracksCurrentEdgesAcrossSteps) {
+  auto harness_or = Harness::Create(
+      WccProgram(), 1 << 8, GenerateRmatEdges(1 << 8, 3 << 8, {.seed = 1}),
+      {.symmetric = true, .path = TempPath("track")});
+  ASSERT_TRUE(harness_or.ok()) << harness_or.status().ToString();
+  auto harness = std::move(harness_or).value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  size_t before = harness->current_edges().size();
+  ASSERT_TRUE(harness->Step(40, 1.0).ok());  // insert-only
+  EXPECT_EQ(harness->current_edges().size(), before + 40);
+  ASSERT_TRUE(harness->Step(40, 0.0).ok());  // delete-only
+  EXPECT_EQ(harness->current_edges().size(), before);
+  EXPECT_EQ(harness->timestamp(), 2);
+  // Stored edges are the symmetrized view.
+  EXPECT_EQ(harness->StoredEdges().size(),
+            harness->current_edges().size() * 2);
+}
+
+TEST(HarnessTest, FreshOneShotMatchesIncrementalState) {
+  auto harness_or = Harness::Create(
+      TriangleCountProgram(), 1 << 8,
+      GenerateRmatEdges(1 << 8, 3 << 8, {.seed = 2}),
+      {.symmetric = true, .path = TempPath("fresh")});
+  ASSERT_TRUE(harness_or.ok());
+  auto harness = std::move(harness_or).value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  ASSERT_TRUE(harness->Step(50, 0.6).ok());
+  auto fresh = harness->FreshOneShot();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_FALSE(fresh->incremental);
+  EXPECT_GT(fresh->seconds, 0.0);
+}
+
+/// Long-run exactness: many snapshots, deliberately draining the
+/// insertion pool so the random-non-edge path is exercised; the
+/// maintained triangle count must stay bit-exact (regression test for
+/// the canonical non-edge sampling bug).
+TEST(HarnessTest, LongRunTriangleCountStaysExact) {
+  const VertexId n = 1 << 8;
+  auto harness_or = Harness::Create(
+      TriangleCountProgram(), n, GenerateRmatEdges(n, 3 << 8, {.seed = 3}),
+      {.symmetric = true, .path = TempPath("long")});
+  ASSERT_TRUE(harness_or.ok());
+  auto harness = std::move(harness_or).value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  int cnts = harness->engine().GlobalIndex("cnts");
+  for (int t = 1; t <= 20; ++t) {
+    ASSERT_TRUE(harness->Step(60, 0.75).ok()) << "t=" << t;
+    Csr csr = Csr::FromEdges(n, harness->StoredEdges());
+    ASSERT_EQ(static_cast<uint64_t>(harness->engine().GlobalValue(cnts)[0]),
+              RefTriangleCount(csr))
+        << "t=" << t;
+  }
+}
+
+TEST(HarnessTest, LongRunWccStaysExact) {
+  const VertexId n = 1 << 8;
+  auto harness_or = Harness::Create(
+      WccProgram(), n, GenerateRmatEdges(n, 3 << 8, {.seed = 4}),
+      {.symmetric = true, .path = TempPath("longwcc")});
+  ASSERT_TRUE(harness_or.ok());
+  auto harness = std::move(harness_or).value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  int comp = harness->engine().AttrIndex("comp");
+  for (int t = 1; t <= 15; ++t) {
+    ASSERT_TRUE(harness->Step(50, 0.5).ok());
+    Csr csr = Csr::FromEdges(n, harness->StoredEdges());
+    auto expected = RefWcc(csr);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(static_cast<VertexId>(harness->engine().AttrValue(comp, v)),
+                expected[v])
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itg

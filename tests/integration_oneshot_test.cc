@@ -1,0 +1,160 @@
+// End-to-end: compile each L_NGA program, run it one-shot on random
+// graphs, and compare every result against the native reference oracles.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "algos/programs.h"
+#include "algos/reference.h"
+#include "compiler/compiled_program.h"
+#include "engine/engine.h"
+#include "gen/rmat.h"
+#include "storage/graph_store.h"
+
+namespace itg {
+namespace {
+
+class OneShotTest : public ::testing::Test {
+ protected:
+  void Build(const std::vector<Edge>& edges, VertexId n) {
+    csr_ = Csr::FromEdges(n, edges);
+    DynamicGraphStore::Options opts;
+    std::string path =
+        ::testing::TempDir() + "/oneshot_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    auto store = DynamicGraphStore::Create(path, n, edges, opts,
+                                           &GlobalMetrics());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(store).value();
+  }
+
+  std::unique_ptr<Engine> MakeEngine(const std::string& source,
+                                     EngineOptions options = {}) {
+    auto compiled = CompileProgram(source);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    program_ = std::move(compiled).value();
+    return std::make_unique<Engine>(store_.get(), program_.get(), options);
+  }
+
+  Csr csr_;
+  std::unique_ptr<DynamicGraphStore> store_;
+  std::unique_ptr<CompiledProgram> program_;
+};
+
+TEST_F(OneShotTest, PageRankMatchesReference) {
+  auto edges = GenerateRmatEdges(1 << 10, 8 << 10, {.seed = 7});
+  Build(edges, 1 << 10);
+  EngineOptions opts;
+  opts.fixed_supersteps = 10;
+  auto engine = MakeEngine(PageRankProgram(), opts);
+  ASSERT_TRUE(engine->RunOneShot(0).ok());
+  auto expected = RefPageRank(csr_, 10);
+  int rank = engine->AttrIndex("rank");
+  for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+    ASSERT_NEAR(engine->AttrValue(rank, v), expected[v], 1e-9) << "v=" << v;
+  }
+}
+
+TEST_F(OneShotTest, LabelPropMatchesReference) {
+  auto edges = GenerateRmatEdges(1 << 8, 4 << 8, {.seed = 11});
+  Build(edges, 1 << 8);
+  EngineOptions opts;
+  opts.fixed_supersteps = 10;
+  auto engine = MakeEngine(LabelPropProgram(8), opts);
+  ASSERT_TRUE(engine->RunOneShot(0).ok());
+  auto expected = RefLabelProp(csr_, 8, 10);
+  int labels = engine->AttrIndex("labels");
+  for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+    const double* cell = engine->AttrCell(labels, v);
+    for (int l = 0; l < 8; ++l) {
+      ASSERT_NEAR(cell[l], expected[v][l], 1e-9) << "v=" << v << " l=" << l;
+    }
+  }
+}
+
+TEST_F(OneShotTest, QuantizedPageRankMatchesReference) {
+  auto edges = GenerateRmatEdges(1 << 10, 8 << 10, {.seed = 31});
+  Build(edges, 1 << 10);
+  EngineOptions opts;
+  opts.fixed_supersteps = 10;
+  auto engine = MakeEngine(QuantizedPageRankProgram(), opts);
+  ASSERT_TRUE(engine->RunOneShot(0).ok());
+  auto expected = RefQuantizedPageRank(csr_, 10);
+  int rank = engine->AttrIndex("rank");
+  for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+    ASSERT_EQ(engine->AttrValue(rank, v), expected[v]) << "v=" << v;
+  }
+}
+
+TEST_F(OneShotTest, QuantizedLabelPropMatchesReference) {
+  auto edges = GenerateRmatEdges(1 << 8, 4 << 8, {.seed = 37});
+  Build(edges, 1 << 8);
+  EngineOptions opts;
+  opts.fixed_supersteps = 10;
+  auto engine = MakeEngine(QuantizedLabelPropProgram(8), opts);
+  ASSERT_TRUE(engine->RunOneShot(0).ok());
+  auto expected = RefQuantizedLabelProp(csr_, 8, 10);
+  int labels = engine->AttrIndex("labels");
+  for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+    const double* cell = engine->AttrCell(labels, v);
+    for (int l = 0; l < 8; ++l) {
+      ASSERT_EQ(cell[l], expected[v][l]) << "v=" << v << " l=" << l;
+    }
+  }
+}
+
+TEST_F(OneShotTest, WccMatchesReference) {
+  auto edges = SymmetrizeEdges(GenerateRmatEdges(1 << 10, 3 << 10,
+                                                 {.seed = 13}));
+  Build(edges, 1 << 10);
+  auto engine = MakeEngine(WccProgram());
+  ASSERT_TRUE(engine->RunOneShot(0).ok());
+  auto expected = RefWcc(csr_);
+  int comp = engine->AttrIndex("comp");
+  for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+    ASSERT_EQ(static_cast<VertexId>(engine->AttrValue(comp, v)), expected[v])
+        << "v=" << v;
+  }
+}
+
+TEST_F(OneShotTest, BfsMatchesReference) {
+  auto edges = SymmetrizeEdges(GenerateRmatEdges(1 << 10, 3 << 10,
+                                                 {.seed = 17}));
+  Build(edges, 1 << 10);
+  VertexId root = MaxDegreeVertex(csr_);
+  auto engine = MakeEngine(BfsProgram(root));
+  ASSERT_TRUE(engine->RunOneShot(0).ok());
+  auto expected = RefBfs(csr_, root);
+  int dist = engine->AttrIndex("dist");
+  for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+    ASSERT_EQ(engine->AttrValue(dist, v), expected[v]) << "v=" << v;
+  }
+}
+
+TEST_F(OneShotTest, TriangleCountMatchesReference) {
+  auto edges = SymmetrizeEdges(GenerateRmatEdges(1 << 9, 4 << 9,
+                                                 {.seed = 19}));
+  Build(edges, 1 << 9);
+  auto engine = MakeEngine(TriangleCountProgram());
+  ASSERT_TRUE(engine->RunOneShot(0).ok());
+  uint64_t expected = RefTriangleCount(csr_);
+  int cnts = engine->GlobalIndex("cnts");
+  EXPECT_EQ(static_cast<uint64_t>(engine->GlobalValue(cnts)[0]), expected);
+}
+
+TEST_F(OneShotTest, LccMatchesReference) {
+  auto edges = SymmetrizeEdges(GenerateRmatEdges(1 << 9, 4 << 9,
+                                                 {.seed = 23}));
+  Build(edges, 1 << 9);
+  auto engine = MakeEngine(LccProgram());
+  ASSERT_TRUE(engine->RunOneShot(0).ok());
+  auto expected = RefLcc(csr_);
+  int lcc = engine->AttrIndex("lcc");
+  for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+    ASSERT_NEAR(engine->AttrValue(lcc, v), expected[v], 1e-12) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace itg

@@ -1,0 +1,210 @@
+// Property-style parameterized sweeps: over many random seeds and graph
+// shapes, the core invariants must hold —
+//   * engine(one-shot) == native reference,
+//   * engine(incremental) == engine(one-shot re-execution),
+//   * walk enumeration is window-size invariant,
+//   * the accumulate algebra round-trips under insert/delete pairs.
+#include <gtest/gtest.h>
+
+#include "algos/programs.h"
+#include "algos/reference.h"
+#include "compiler/compiled_program.h"
+#include "engine/engine.h"
+#include "gen/rmat.h"
+#include "gen/workload.h"
+#include "harness/harness.h"
+#include "lang/type.h"
+
+namespace itg {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  std::string name =
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::replace(name.begin(), name.end(), '/', '_');
+  return ::testing::TempDir() + "/sweep_" + tag + name;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: triangle counting across seeds and densities.
+// ---------------------------------------------------------------------------
+
+class TriangleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TriangleSweep, OneShotMatchesReference) {
+  auto [seed, edge_factor] = GetParam();
+  const VertexId n = 1 << 7;
+  auto edges = SymmetrizeEdges(GenerateRmatEdges(
+      n, static_cast<size_t>(edge_factor) << 7,
+      {.seed = static_cast<uint64_t>(seed)}));
+  auto store = std::move(DynamicGraphStore::Create(TempPath("tc"), n, edges,
+                                                   {}, &GlobalMetrics()))
+                   .value();
+  auto program = std::move(CompileProgram(TriangleCountProgram())).value();
+  Engine engine(store.get(), program.get(), {});
+  ASSERT_TRUE(engine.RunOneShot(0).ok());
+  Csr csr = Csr::FromEdges(n, edges);
+  EXPECT_EQ(static_cast<uint64_t>(
+                engine.GlobalValue(engine.GlobalIndex("cnts"))[0]),
+            RefTriangleCount(csr));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDensities, TriangleSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(2, 4, 8)));
+
+// ---------------------------------------------------------------------------
+// Sweep 2: incremental equivalence across seeds and ratios (WCC).
+// ---------------------------------------------------------------------------
+
+class IncrementalSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IncrementalSweep, WccMatchesReferenceAfterThreeBatches) {
+  auto [seed, ratio_pct] = GetParam();
+  const VertexId n = 1 << 7;
+  HarnessOptions options;
+  options.symmetric = true;
+  options.seed = static_cast<uint64_t>(seed) * 131;
+  options.path = TempPath("wcc");
+  auto harness =
+      std::move(Harness::Create(
+                    WccProgram(), n,
+                    GenerateRmatEdges(n, 3 << 7,
+                                      {.seed = static_cast<uint64_t>(seed)}),
+                    options))
+          .value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  int comp = harness->engine().AttrIndex("comp");
+  for (int t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(harness->Step(40, ratio_pct / 100.0).ok());
+    Csr csr = Csr::FromEdges(n, harness->StoredEdges());
+    auto expected = RefWcc(csr);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(
+          static_cast<VertexId>(harness->engine().AttrValue(comp, v)),
+          expected[v])
+          << "seed=" << seed << " ratio=" << ratio_pct << " t=" << t
+          << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndRatios, IncrementalSweep,
+    ::testing::Combine(::testing::Values(11, 22, 33, 44, 55, 66),
+                       ::testing::Values(0, 25, 50, 75, 100)));
+
+// ---------------------------------------------------------------------------
+// Sweep 3: LCC incremental equivalence across window sizes.
+// ---------------------------------------------------------------------------
+
+class WindowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowSweep, LccExactUnderChurn) {
+  const VertexId n = 1 << 7;
+  HarnessOptions options;
+  options.symmetric = true;
+  options.path = TempPath("lcc");
+  options.engine.window_vertices = GetParam();
+  auto harness = std::move(Harness::Create(
+                               LccProgram(), n,
+                               GenerateRmatEdges(n, 3 << 7, {.seed = 17}),
+                               options))
+                     .value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  ASSERT_TRUE(harness->Step(50, 0.5).ok());
+  ASSERT_TRUE(harness->Step(50, 0.5).ok());
+  Csr csr = Csr::FromEdges(n, harness->StoredEdges());
+  auto expected = RefLcc(csr);
+  int lcc = harness->engine().AttrIndex("lcc");
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_NEAR(harness->engine().AttrValue(lcc, v), expected[v], 1e-12)
+        << "window=" << GetParam() << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(2, 16, 64, 1024));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: accumulate algebra round-trips.
+// ---------------------------------------------------------------------------
+
+class AccmAlgebraSweep
+    : public ::testing::TestWithParam<lang::AccmOp> {};
+
+TEST_P(AccmAlgebraSweep, GroupInverseCancelsExactly) {
+  lang::AccmOp op = GetParam();
+  if (!lang::IsAbelianGroup(op)) GTEST_SKIP();
+  Rng rng(7);
+  double acc = lang::AccmIdentity(op);
+  std::vector<double> values;
+  for (int i = 0; i < 64; ++i) {
+    // Powers of two so Product stays exact in doubles.
+    double v = static_cast<double>(1 << rng.Uniform(6));
+    values.push_back(v);
+    lang::AccmApply(op, &acc, v);
+  }
+  for (double v : values) {
+    lang::AccmApply(op, &acc, lang::AccmInverse(op, v));
+  }
+  EXPECT_DOUBLE_EQ(acc, lang::AccmIdentity(op));
+}
+
+TEST_P(AccmAlgebraSweep, CommutativeAndAssociative) {
+  lang::AccmOp op = GetParam();
+  Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 32; ++i) {
+    values.push_back(static_cast<double>(1 + rng.Uniform(100)));
+  }
+  double forward = lang::AccmIdentity(op);
+  for (double v : values) lang::AccmApply(op, &forward, v);
+  double backward = lang::AccmIdentity(op);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    lang::AccmApply(op, &backward, *it);
+  }
+  EXPECT_DOUBLE_EQ(forward, backward);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, AccmAlgebraSweep,
+                         ::testing::Values(lang::AccmOp::kSum,
+                                           lang::AccmOp::kMin,
+                                           lang::AccmOp::kMax,
+                                           lang::AccmOp::kProduct));
+
+// ---------------------------------------------------------------------------
+// Sweep 5: quantized PR incremental equivalence across batch sizes.
+// ---------------------------------------------------------------------------
+
+class BatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchSweep, QuantizedPageRankExact) {
+  const VertexId n = 1 << 8;
+  HarnessOptions options;
+  options.path = TempPath("qpr");
+  options.engine.fixed_supersteps = 10;
+  auto harness =
+      std::move(Harness::Create(QuantizedPageRankProgram(), n,
+                                GenerateRmatEdges(n, 4 << 8, {.seed = 5}),
+                                options))
+          .value();
+  ASSERT_TRUE(harness->RunOneShot().ok());
+  ASSERT_TRUE(harness->Step(static_cast<size_t>(GetParam()), 0.75).ok());
+  Csr csr = Csr::FromEdges(n, harness->current_edges());
+  auto expected = RefQuantizedPageRank(csr, 10);
+  int rank = harness->engine().AttrIndex("rank");
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(harness->engine().AttrValue(rank, v), expected[v])
+        << "batch=" << GetParam() << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep,
+                         ::testing::Values(1, 4, 16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace itg

@@ -1,0 +1,245 @@
+// Unit and property tests of the GSA stream operators (Table 3) and the
+// incrementalization identities (Table 4) stated over them: for each
+// linear operator op, op(s ∪ Δs) ≡ op(s) ∪ op(Δs).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gsa/stream_ops.h"
+
+namespace itg::gsa {
+namespace {
+
+TupleStream MakeStream(std::vector<std::vector<double>> rows,
+                       std::vector<std::string> schema = {"a", "b"}) {
+  TupleStream s(std::move(schema));
+  for (auto& row : rows) s.Append(std::move(row));
+  return s;
+}
+
+TEST(TupleStreamTest, SchemaAndMultiplicityLookups) {
+  TupleStream s({"src", "dst"});
+  s.Append({1, 2});
+  s.Append({1, 2});
+  s.Append({1, 2}, -1);
+  s.Append({3, 4}, -1);
+  EXPECT_EQ(s.ColumnIndex("dst"), 1);
+  EXPECT_EQ(s.ColumnIndex("nope"), -1);
+  EXPECT_EQ(s.MultiplicityOf({1, 2}), 1);
+  EXPECT_EQ(s.MultiplicityOf({3, 4}), -1);
+  EXPECT_EQ(s.MultiplicityOf({9, 9}), 0);
+}
+
+TEST(StreamOpsTest, FilterKeepsMultiplicity) {
+  auto s = MakeStream({{1, 10}, {2, 20}, {3, 30}});
+  auto out = Filter(s, [](const Tuple& t) { return t.values[0] >= 2; });
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.tuples()[0].values[1], 20);
+}
+
+TEST(StreamOpsTest, MapRewritesSchemaAndRows) {
+  auto s = MakeStream({{1, 10}, {2, 20}});
+  auto out = Map(s, {"sum"}, [](const Tuple& t) {
+    return std::vector<double>{t.values[0] + t.values[1]};
+  });
+  EXPECT_EQ(out.schema(), (std::vector<std::string>{"sum"}));
+  EXPECT_EQ(out.tuples()[1].values[0], 22);
+}
+
+TEST(StreamOpsTest, UnionAndDifference) {
+  auto a = MakeStream({{1, 1}});
+  auto b = MakeStream({{2, 2}});
+  auto u = Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 2u);
+  auto d = Difference(a, a);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(Consolidate(*d).size(), 0u);  // a ⊖ a cancels
+  // Schema mismatch rejected.
+  TupleStream c({"x"});
+  EXPECT_FALSE(Union(a, c).ok());
+  EXPECT_FALSE(Difference(a, c).ok());
+}
+
+TEST(StreamOpsTest, ConsolidateCancelsAndCombines) {
+  TupleStream s({"a"});
+  s.Append({1}, +1);
+  s.Append({1}, +1);
+  s.Append({2}, +1);
+  s.Append({2}, -1);
+  auto out = Consolidate(s);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuples()[0].values[0], 1);
+  EXPECT_EQ(out.tuples()[0].mult, 2);
+}
+
+TEST(StreamOpsTest, EquivalenceIsOrderInsensitive) {
+  auto a = MakeStream({{1, 1}, {2, 2}});
+  auto b = MakeStream({{2, 2}, {1, 1}});
+  EXPECT_TRUE(Equivalent(a, b));
+  auto c = MakeStream({{1, 1}});
+  EXPECT_FALSE(Equivalent(a, c));
+}
+
+TEST(AssignTest, EmitsRetractionAndInsertion) {
+  AssignOperator assign;
+  TupleStream s1({"id", "value"});
+  s1.Append({7, 1.5});
+  auto changes = assign.Apply(s1);
+  EXPECT_EQ(changes.MultiplicityOf({7, 1.5}), 1);
+  EXPECT_DOUBLE_EQ(assign.ValueOf(7), 1.5);
+
+  TupleStream s2({"id", "value"});
+  s2.Append({7, 2.5});
+  changes = assign.Apply(s2);
+  // Per the paper: delete the old value, insert the new one.
+  EXPECT_EQ(changes.MultiplicityOf({7, 1.5}), -1);
+  EXPECT_EQ(changes.MultiplicityOf({7, 2.5}), 1);
+  EXPECT_DOUBLE_EQ(assign.ValueOf(7), 2.5);
+
+  // No-op assignment emits nothing.
+  changes = assign.Apply(s2);
+  EXPECT_EQ(changes.size(), 0u);
+}
+
+TEST(AccumulateTest, SumAbsorbsDeletionsViaInverse) {
+  AccumulateOperator acc(lang::AccmOp::kSum);
+  TupleStream s({"key", "value"});
+  s.Append({1, 10});
+  s.Append({1, 5});
+  s.Append({1, 10}, -1);
+  ASSERT_TRUE(acc.Apply(s).ok());
+  EXPECT_DOUBLE_EQ(acc.AggregateOf(1), 5.0);
+  EXPECT_EQ(acc.SupportOf(1), 1);
+  EXPECT_DOUBLE_EQ(acc.AggregateOf(99), 0.0);  // identity
+}
+
+TEST(AccumulateTest, ProductUsesReciprocalInverse) {
+  AccumulateOperator acc(lang::AccmOp::kProduct);
+  TupleStream s({"key", "value"});
+  s.Append({1, 4});
+  s.Append({1, 8});
+  s.Append({1, 4}, -1);
+  ASSERT_TRUE(acc.Apply(s).ok());
+  EXPECT_DOUBLE_EQ(acc.AggregateOf(1), 8.0);
+}
+
+TEST(AccumulateTest, MinReplacesDeletedMinimumExactly) {
+  AccumulateOperator acc(lang::AccmOp::kMin);
+  TupleStream s({"key", "value"});
+  s.Append({1, 5});
+  s.Append({1, 2});
+  s.Append({1, 7});
+  ASSERT_TRUE(acc.Apply(s).ok());
+  EXPECT_DOUBLE_EQ(acc.AggregateOf(1), 2.0);
+  TupleStream del({"key", "value"});
+  del.Append({1, 2}, -1);
+  ASSERT_TRUE(acc.Apply(del).ok());
+  EXPECT_DOUBLE_EQ(acc.AggregateOf(1), 5.0);  // next-larger support
+  EXPECT_EQ(acc.SupportOf(1), 2);
+  // Deleting unsupported values is detected.
+  TupleStream bad({"key", "value"});
+  bad.Append({1, 100}, -1);
+  EXPECT_FALSE(acc.Apply(bad).ok());
+}
+
+TEST(AccumulateTest, MaxMirrorsMin) {
+  AccumulateOperator acc(lang::AccmOp::kMax);
+  TupleStream s({"key", "value"});
+  s.Append({3, 5});
+  s.Append({3, 9});
+  ASSERT_TRUE(acc.Apply(s).ok());
+  EXPECT_DOUBLE_EQ(acc.AggregateOf(3), 9.0);
+  TupleStream del({"key", "value"});
+  del.Append({3, 9}, -1);
+  ASSERT_TRUE(acc.Apply(del).ok());
+  EXPECT_DOUBLE_EQ(acc.AggregateOf(3), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Table-4 identities as properties over random streams.
+// ---------------------------------------------------------------------------
+
+class IncrementalizationRules : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    base_ = TupleStream({"a", "b"});
+    delta_ = TupleStream({"a", "b"});
+    for (int i = 0; i < 50; ++i) {
+      base_.Append({static_cast<double>(rng.Uniform(10)),
+                    static_cast<double>(rng.Uniform(100))});
+    }
+    for (int i = 0; i < 20; ++i) {
+      std::vector<double> row = {static_cast<double>(rng.Uniform(10)),
+                                 static_cast<double>(rng.Uniform(100))};
+      // Deletions retract tuples that exist in the base stream.
+      if (rng.Bernoulli(0.4) && base_.MultiplicityOf(row) == 0) {
+        delta_.Append(std::move(row), +1);
+      } else if (base_.MultiplicityOf(row) > 0) {
+        delta_.Append(std::move(row), -1);
+      } else {
+        delta_.Append(std::move(row), +1);
+      }
+    }
+  }
+
+  TupleStream Updated() const {
+    return std::move(Union(base_, delta_)).value();
+  }
+
+  TupleStream base_;
+  TupleStream delta_;
+};
+
+TEST_P(IncrementalizationRules, Rule1FilterCommutesWithDelta) {
+  auto pred = [](const Tuple& t) { return t.values[1] < 50; };
+  // σ(s ∪ Δs) ≡ σ(s) ∪ σ(Δs).
+  auto lhs = Filter(Updated(), pred);
+  auto rhs = Union(Filter(base_, pred), Filter(delta_, pred));
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(Equivalent(lhs, *rhs));
+}
+
+TEST_P(IncrementalizationRules, Rule2MapCommutesWithDelta) {
+  auto fn = [](const Tuple& t) {
+    return std::vector<double>{t.values[0], t.values[1] * 2};
+  };
+  auto lhs = Map(Updated(), {"a", "b2"}, fn);
+  auto rhs = Union(Map(base_, {"a", "b2"}, fn),
+                   Map(delta_, {"a", "b2"}, fn));
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(Equivalent(lhs, *rhs));
+}
+
+TEST_P(IncrementalizationRules, Rule6AccumulateCommutesWithDelta) {
+  // ⊎(s ∪ Δs) computed from scratch equals ⊎(s) patched by ⊎(Δs).
+  AccumulateOperator from_scratch(lang::AccmOp::kSum);
+  ASSERT_TRUE(from_scratch.Apply(Updated()).ok());
+  AccumulateOperator incremental(lang::AccmOp::kSum);
+  ASSERT_TRUE(incremental.Apply(base_).ok());
+  ASSERT_TRUE(incremental.Apply(delta_).ok());
+  for (int key = 0; key < 10; ++key) {
+    EXPECT_DOUBLE_EQ(incremental.AggregateOf(key),
+                     from_scratch.AggregateOf(key))
+        << "key=" << key;
+  }
+}
+
+TEST_P(IncrementalizationRules, Rule6MinMonoidWithExactSupport) {
+  AccumulateOperator from_scratch(lang::AccmOp::kMin);
+  ASSERT_TRUE(from_scratch.Apply(Updated()).ok());
+  AccumulateOperator incremental(lang::AccmOp::kMin);
+  ASSERT_TRUE(incremental.Apply(base_).ok());
+  ASSERT_TRUE(incremental.Apply(delta_).ok());
+  for (int key = 0; key < 10; ++key) {
+    EXPECT_DOUBLE_EQ(incremental.AggregateOf(key),
+                     from_scratch.AggregateOf(key))
+        << "key=" << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalizationRules,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace itg::gsa
