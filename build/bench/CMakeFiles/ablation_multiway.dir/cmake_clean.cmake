@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiway.dir/ablation_multiway.cc.o"
+  "CMakeFiles/ablation_multiway.dir/ablation_multiway.cc.o.d"
+  "ablation_multiway"
+  "ablation_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

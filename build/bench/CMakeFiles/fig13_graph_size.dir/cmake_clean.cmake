@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_graph_size.dir/fig13_graph_size.cc.o"
+  "CMakeFiles/fig13_graph_size.dir/fig13_graph_size.cc.o.d"
+  "fig13_graph_size"
+  "fig13_graph_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_graph_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

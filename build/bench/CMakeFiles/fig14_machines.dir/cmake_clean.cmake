@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_machines.dir/fig14_machines.cc.o"
+  "CMakeFiles/fig14_machines.dir/fig14_machines.cc.o.d"
+  "fig14_machines"
+  "fig14_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_workloads.dir/fig15_workloads.cc.o"
+  "CMakeFiles/fig15_workloads.dir/fig15_workloads.cc.o.d"
+  "fig15_workloads"
+  "fig15_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

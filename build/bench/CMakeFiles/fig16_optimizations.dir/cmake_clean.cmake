@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_optimizations.dir/fig16_optimizations.cc.o"
+  "CMakeFiles/fig16_optimizations.dir/fig16_optimizations.cc.o.d"
+  "fig16_optimizations"
+  "fig16_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_delta_maintenance.dir/fig17_delta_maintenance.cc.o"
+  "CMakeFiles/fig17_delta_maintenance.dir/fig17_delta_maintenance.cc.o.d"
+  "fig17_delta_maintenance"
+  "fig17_delta_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_delta_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

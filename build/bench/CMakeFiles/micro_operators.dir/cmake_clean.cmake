@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_operators.dir/micro_operators.cc.o"
+  "CMakeFiles/micro_operators.dir/micro_operators.cc.o.d"
+  "micro_operators"
+  "micro_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_single_machine.dir/table6_single_machine.cc.o"
+  "CMakeFiles/table6_single_machine.dir/table6_single_machine.cc.o.d"
+  "table6_single_machine"
+  "table6_single_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_single_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_community_detection.dir/community_detection.cpp.o"
+  "CMakeFiles/example_community_detection.dir/community_detection.cpp.o.d"
+  "example_community_detection"
+  "example_community_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_community_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lnga_run.dir/lnga_run.cpp.o"
+  "CMakeFiles/example_lnga_run.dir/lnga_run.cpp.o.d"
+  "example_lnga_run"
+  "example_lnga_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lnga_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

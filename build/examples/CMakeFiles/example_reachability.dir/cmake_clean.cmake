@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reachability.dir/reachability.cpp.o"
+  "CMakeFiles/example_reachability.dir/reachability.cpp.o.d"
+  "example_reachability"
+  "example_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

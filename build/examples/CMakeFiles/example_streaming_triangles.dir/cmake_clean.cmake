@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_streaming_triangles.dir/streaming_triangles.cpp.o"
+  "CMakeFiles/example_streaming_triangles.dir/streaming_triangles.cpp.o.d"
+  "example_streaming_triangles"
+  "example_streaming_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_streaming_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

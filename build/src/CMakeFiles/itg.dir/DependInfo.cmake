@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/programs.cc" "src/CMakeFiles/itg.dir/algos/programs.cc.o" "gcc" "src/CMakeFiles/itg.dir/algos/programs.cc.o.d"
+  "/root/repo/src/algos/reference.cc" "src/CMakeFiles/itg.dir/algos/reference.cc.o" "gcc" "src/CMakeFiles/itg.dir/algos/reference.cc.o.d"
+  "/root/repo/src/baselines/ddflow.cc" "src/CMakeFiles/itg.dir/baselines/ddflow.cc.o" "gcc" "src/CMakeFiles/itg.dir/baselines/ddflow.cc.o.d"
+  "/root/repo/src/baselines/graphbolt.cc" "src/CMakeFiles/itg.dir/baselines/graphbolt.cc.o" "gcc" "src/CMakeFiles/itg.dir/baselines/graphbolt.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/itg.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/itg.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/itg.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/itg.dir/common/metrics.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/CMakeFiles/itg.dir/compiler/compiler.cc.o" "gcc" "src/CMakeFiles/itg.dir/compiler/compiler.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/itg.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/itg.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/eval.cc" "src/CMakeFiles/itg.dir/engine/eval.cc.o" "gcc" "src/CMakeFiles/itg.dir/engine/eval.cc.o.d"
+  "/root/repo/src/engine/msbfs.cc" "src/CMakeFiles/itg.dir/engine/msbfs.cc.o" "gcc" "src/CMakeFiles/itg.dir/engine/msbfs.cc.o.d"
+  "/root/repo/src/engine/stmt_interp.cc" "src/CMakeFiles/itg.dir/engine/stmt_interp.cc.o" "gcc" "src/CMakeFiles/itg.dir/engine/stmt_interp.cc.o.d"
+  "/root/repo/src/engine/walk.cc" "src/CMakeFiles/itg.dir/engine/walk.cc.o" "gcc" "src/CMakeFiles/itg.dir/engine/walk.cc.o.d"
+  "/root/repo/src/gen/rmat.cc" "src/CMakeFiles/itg.dir/gen/rmat.cc.o" "gcc" "src/CMakeFiles/itg.dir/gen/rmat.cc.o.d"
+  "/root/repo/src/gen/upscale.cc" "src/CMakeFiles/itg.dir/gen/upscale.cc.o" "gcc" "src/CMakeFiles/itg.dir/gen/upscale.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/CMakeFiles/itg.dir/gen/workload.cc.o" "gcc" "src/CMakeFiles/itg.dir/gen/workload.cc.o.d"
+  "/root/repo/src/gsa/plan.cc" "src/CMakeFiles/itg.dir/gsa/plan.cc.o" "gcc" "src/CMakeFiles/itg.dir/gsa/plan.cc.o.d"
+  "/root/repo/src/gsa/stream_ops.cc" "src/CMakeFiles/itg.dir/gsa/stream_ops.cc.o" "gcc" "src/CMakeFiles/itg.dir/gsa/stream_ops.cc.o.d"
+  "/root/repo/src/harness/harness.cc" "src/CMakeFiles/itg.dir/harness/harness.cc.o" "gcc" "src/CMakeFiles/itg.dir/harness/harness.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/itg.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/itg.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/itg.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/itg.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lang/sema.cc" "src/CMakeFiles/itg.dir/lang/sema.cc.o" "gcc" "src/CMakeFiles/itg.dir/lang/sema.cc.o.d"
+  "/root/repo/src/storage/csr.cc" "src/CMakeFiles/itg.dir/storage/csr.cc.o" "gcc" "src/CMakeFiles/itg.dir/storage/csr.cc.o.d"
+  "/root/repo/src/storage/edge_delta_store.cc" "src/CMakeFiles/itg.dir/storage/edge_delta_store.cc.o" "gcc" "src/CMakeFiles/itg.dir/storage/edge_delta_store.cc.o.d"
+  "/root/repo/src/storage/graph_store.cc" "src/CMakeFiles/itg.dir/storage/graph_store.cc.o" "gcc" "src/CMakeFiles/itg.dir/storage/graph_store.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/CMakeFiles/itg.dir/storage/page_store.cc.o" "gcc" "src/CMakeFiles/itg.dir/storage/page_store.cc.o.d"
+  "/root/repo/src/storage/vertex_store.cc" "src/CMakeFiles/itg.dir/storage/vertex_store.cc.o" "gcc" "src/CMakeFiles/itg.dir/storage/vertex_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accumulator_variants_test.dir/accumulator_variants_test.cc.o"
+  "CMakeFiles/accumulator_variants_test.dir/accumulator_variants_test.cc.o.d"
+  "accumulator_variants_test"
+  "accumulator_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accumulator_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_robustness_test.dir/frontend_robustness_test.cc.o"
+  "CMakeFiles/frontend_robustness_test.dir/frontend_robustness_test.cc.o.d"
+  "frontend_robustness_test"
+  "frontend_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

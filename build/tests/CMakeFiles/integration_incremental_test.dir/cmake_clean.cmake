@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_incremental_test.dir/integration_incremental_test.cc.o"
+  "CMakeFiles/integration_incremental_test.dir/integration_incremental_test.cc.o.d"
+  "integration_incremental_test"
+  "integration_incremental_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

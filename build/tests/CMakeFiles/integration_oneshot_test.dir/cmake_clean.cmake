@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_oneshot_test.dir/integration_oneshot_test.cc.o"
+  "CMakeFiles/integration_oneshot_test.dir/integration_oneshot_test.cc.o.d"
+  "integration_oneshot_test"
+  "integration_oneshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_oneshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

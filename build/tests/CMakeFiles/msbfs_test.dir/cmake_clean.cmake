@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbfs_test.dir/msbfs_test.cc.o"
+  "CMakeFiles/msbfs_test.dir/msbfs_test.cc.o.d"
+  "msbfs_test"
+  "msbfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

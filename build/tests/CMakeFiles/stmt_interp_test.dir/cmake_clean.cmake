@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stmt_interp_test.dir/stmt_interp_test.cc.o"
+  "CMakeFiles/stmt_interp_test.dir/stmt_interp_test.cc.o.d"
+  "stmt_interp_test"
+  "stmt_interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stmt_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

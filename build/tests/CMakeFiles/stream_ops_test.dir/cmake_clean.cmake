@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_ops_test.dir/stream_ops_test.cc.o"
+  "CMakeFiles/stream_ops_test.dir/stream_ops_test.cc.o.d"
+  "stream_ops_test"
+  "stream_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

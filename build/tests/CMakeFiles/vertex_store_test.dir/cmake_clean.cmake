@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_store_test.dir/vertex_store_test.cc.o"
+  "CMakeFiles/vertex_store_test.dir/vertex_store_test.cc.o.d"
+  "vertex_store_test"
+  "vertex_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
