@@ -14,6 +14,19 @@ std::string Metrics::ToString() const {
   os << "read=" << read_bytes() << "B write=" << write_bytes()
      << "B net=" << network_bytes() << "B cpu=" << cpu_nanos()
      << "ns page_reads=" << page_reads();
+  int active_threads = 0;
+  for (int t = 0; t < kMaxTrackedThreads; ++t) {
+    if (thread_cpu_nanos(t) > 0) active_threads = t + 1;
+  }
+  if (active_threads > 1 || steals() > 0) {
+    os << " threads=" << active_threads << " steals=" << steals()
+       << " thread_cpu=[";
+    for (int t = 0; t < active_threads; ++t) {
+      if (t > 0) os << ",";
+      os << thread_cpu_nanos(t) << "ns";
+    }
+    os << "]";
+  }
   return os.str();
 }
 

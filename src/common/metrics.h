@@ -1,6 +1,7 @@
 #ifndef ITG_COMMON_METRICS_H_
 #define ITG_COMMON_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -16,17 +17,29 @@ namespace itg {
 /// process-wide default used by single-machine runs.
 class Metrics {
  public:
+  /// Upper bound on per-thread CPU meters (and hence on usable pool
+  /// sizes); threads beyond this are clamped into the last slot.
+  static constexpr int kMaxTrackedThreads = 64;
+
   void AddReadBytes(uint64_t n) { read_bytes_ += n; }
   void AddWriteBytes(uint64_t n) { write_bytes_ += n; }
   void AddNetworkBytes(uint64_t n) { network_bytes_ += n; }
   void AddCpuNanos(uint64_t n) { cpu_nanos_ += n; }
   void AddPageReads(uint64_t n) { page_reads_ += n; }
+  void AddThreadCpuNanos(int thread, uint64_t n) {
+    thread_cpu_nanos_[ClampThread(thread)] += n;
+  }
+  void AddSteals(uint64_t n) { steals_ += n; }
 
   uint64_t read_bytes() const { return read_bytes_; }
   uint64_t write_bytes() const { return write_bytes_; }
   uint64_t network_bytes() const { return network_bytes_; }
   uint64_t cpu_nanos() const { return cpu_nanos_; }
   uint64_t page_reads() const { return page_reads_; }
+  uint64_t thread_cpu_nanos(int thread) const {
+    return thread_cpu_nanos_[ClampThread(thread)];
+  }
+  uint64_t steals() const { return steals_; }
 
   void Reset() {
     read_bytes_ = 0;
@@ -34,6 +47,8 @@ class Metrics {
     network_bytes_ = 0;
     cpu_nanos_ = 0;
     page_reads_ = 0;
+    steals_ = 0;
+    for (auto& n : thread_cpu_nanos_) n = 0;
   }
 
   /// Merges another metrics snapshot into this one (used when collapsing
@@ -44,16 +59,29 @@ class Metrics {
     network_bytes_ += other.network_bytes_;
     cpu_nanos_ += other.cpu_nanos_;
     page_reads_ += other.page_reads_;
+    steals_ += other.steals_;
+    for (int t = 0; t < kMaxTrackedThreads; ++t) {
+      thread_cpu_nanos_[static_cast<size_t>(t)] +=
+          other.thread_cpu_nanos_[static_cast<size_t>(t)];
+    }
   }
 
   std::string ToString() const;
 
  private:
+  static size_t ClampThread(int thread) {
+    if (thread < 0) return 0;
+    if (thread >= kMaxTrackedThreads) return kMaxTrackedThreads - 1;
+    return static_cast<size_t>(thread);
+  }
+
   std::atomic<uint64_t> read_bytes_{0};
   std::atomic<uint64_t> write_bytes_{0};
   std::atomic<uint64_t> network_bytes_{0};
   std::atomic<uint64_t> cpu_nanos_{0};
   std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::array<std::atomic<uint64_t>, kMaxTrackedThreads> thread_cpu_nanos_{};
 };
 
 /// The process-wide metrics sink.

@@ -1,3 +1,7 @@
+// In-memory columnar attribute state A_{t,s}: the per-(snapshot,
+// superstep) vertex attribute arrays the BSP executor reads and writes
+// (§5.2) and whose after-image diffs the vertex store persists as delta
+// chains (§5.1). See ARCHITECTURE.md, layer 4.
 #ifndef ITG_ENGINE_COLUMNS_H_
 #define ITG_ENGINE_COLUMNS_H_
 

@@ -20,7 +20,90 @@ bool IsVirtualAttr(const std::string& name) {
          name == "out_degree";
 }
 
+/// True when `expr` (or any sub-expression) reads accumulator state: an
+/// accumulator vertex attribute or an accumulator global. Such reads make
+/// walk evaluation depend on emission application order, which forbids
+/// the eval-then-replay parallel split.
+bool ExprReadsAccumulator(const lang::Expr& expr,
+                          const CompiledProgram& program) {
+  switch (expr.kind) {
+    case lang::Expr::Kind::kAttrRef:
+      if (expr.resolved_attr >= 0 &&
+          program.vertex_attrs[static_cast<size_t>(expr.resolved_attr)]
+              .type.is_accumulator) {
+        return true;
+      }
+      break;
+    case lang::Expr::Kind::kVarRef:
+      if (expr.var_kind == lang::VarKind::kGlobal &&
+          expr.resolved_index >= 0 &&
+          program.globals[static_cast<size_t>(expr.resolved_index)]
+              .type.is_accumulator) {
+        return true;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const lang::ExprPtr& child : expr.children) {
+    if (child != nullptr && ExprReadsAccumulator(*child, program)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when any statement in `body` assigns to a global variable. A
+/// vertex-sharded Update phase is safe only when every write lands in
+/// the current vertex's own cells; a global assignment makes the final
+/// global value depend on vertex iteration order.
+bool StmtsWriteGlobals(const std::vector<lang::StmtPtr>& body) {
+  for (const lang::StmtPtr& stmt : body) {
+    switch (stmt->kind) {
+      case lang::Stmt::Kind::kAssign: {
+        const lang::Expr* target = stmt->target.get();
+        if (target->kind == lang::Expr::Kind::kIndex) {
+          target = target->children[0].get();
+        }
+        if (target->kind != lang::Expr::Kind::kAttrRef) return true;
+        break;
+      }
+      case lang::Stmt::Kind::kIf:
+        if (StmtsWriteGlobals(stmt->body) ||
+            StmtsWriteGlobals(stmt->else_body)) {
+          return true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+bool Engine::ProgramParallelSafe(const CompiledProgram& program) {
+  for (const LevelSpec& level : program.traverse.levels) {
+    for (const lang::Expr* cond : level.general) {
+      if (cond != nullptr && ExprReadsAccumulator(*cond, program)) {
+        return false;
+      }
+    }
+  }
+  for (const Emission& e : program.traverse.emissions) {
+    for (const auto& [cond, expected] : e.guards) {
+      (void)expected;
+      if (cond != nullptr && ExprReadsAccumulator(*cond, program)) {
+        return false;
+      }
+    }
+    if (e.value != nullptr && ExprReadsAccumulator(*e.value, program)) {
+      return false;
+    }
+  }
+  return true;
+}
 
 Engine::Engine(DynamicGraphStore* store, const CompiledProgram* program,
                const EngineOptions& options)
@@ -63,6 +146,12 @@ Engine::Engine(DynamicGraphStore* store, const CompiledProgram* program,
   recompute_sets_.resize(static_cast<size_t>(n_attrs));
   monoid_marks_.resize(static_cast<size_t>(n_attrs));
   adj_stack_.resize(static_cast<size_t>(program_->walk_length()) + 2);
+  parallel_safe_ = ProgramParallelSafe(*program_);
+  update_parallel_safe_ = !StmtsWriteGlobals(*program_->update_body);
+  num_threads_ = (options_.num_threads > 0)
+                     ? std::min(options_.num_threads,
+                                Metrics::kMaxTrackedThreads)
+                     : ThreadPool::DefaultThreads();
   InitGlobals(&cur_globals_);
   if (options_.num_partitions > 1) {
     for (int m = 0; m < options_.num_partitions; ++m) {
@@ -205,12 +294,22 @@ void Engine::ApplyEmission(const Emission& emission, const VertexId* row,
   std::array<double, kMaxAttrWidth> value{};
   Evaluate(*emission.value, ctx, value.data());
   const int value_width = emission.value->type.width;
+  std::array<double, kMaxAttrWidth> expanded{};
+  for (int i = 0; i < emission.width; ++i) {
+    expanded[static_cast<size_t>(i)] =
+        (value_width == 1) ? value[0] : value[static_cast<size_t>(i)];
+  }
+  const VertexId target =
+      emission.is_global ? 0 : row[emission.target_depth];
+  ApplyEmissionValue(emission, target, expanded.data(), mult);
+}
+
+void Engine::ApplyEmissionValue(const Emission& emission, VertexId target,
+                                const double* values, int mult) {
   const lang::AccmOp op = emission.op;
   ++stats_.emissions_applied;
 
-  auto value_at = [&](int i) {
-    return (value_width == 1) ? value[0] : value[i];
-  };
+  auto value_at = [&](int i) { return values[i]; };
 
   if (emission.is_global) {
     std::vector<double>& g = cur_globals_[emission.target];
@@ -226,7 +325,6 @@ void Engine::ApplyEmission(const Emission& emission, const VertexId* row,
     return;
   }
 
-  const VertexId target = row[emission.target_depth];
   if (options_.num_partitions > 1 && OwnerOf(target) != current_machine_) {
     // Partial pre-aggregation: one shuffled message per distinct
     // (sender machine, target vertex) per superstep (§6.2.2).
@@ -297,6 +395,215 @@ void Engine::ApplyEmission(const Emission& emission, const VertexId* row,
   // v worse than the current extremum: no effect on the aggregate.
 }
 
+// ---------------------------------------------------------------------------
+// Walk-job execution (sequential or thread-pooled)
+// ---------------------------------------------------------------------------
+
+WalkSink Engine::MakeApplySink(const WalkJob& job) {
+  return [this, &job](const VertexId* row, int depth, int mult) {
+    if (depth < job.min_emit_depth) return;
+    for (const Emission& e : program_->traverse.emissions) {
+      if (e.stmt_depth != depth) continue;
+      if (job.monoid_only) {
+        if (e.is_global || !IsAccmMonoid(e.target)) continue;
+        const std::vector<uint8_t>& marks =
+            (*job.target_marks)[static_cast<size_t>(e.target)];
+        if (marks.empty() ||
+            !marks[static_cast<size_t>(row[e.target_depth])]) {
+          continue;
+        }
+      }
+      ApplyEmission(e, row, depth + 1, job.mult_sign * mult, *job.eval_cols,
+                    *job.eval_globals, job.eval_t);
+    }
+  };
+}
+
+Status Engine::RunWalkJobs(const std::vector<WalkJob>& jobs) {
+  const size_t block = static_cast<size_t>(options_.window_vertices);
+  size_t num_tasks = 0;
+  for (const WalkJob& job : jobs) {
+    num_tasks += (job.starts.size() + block - 1) / block;
+  }
+  // The parallel path requires: a pool worth waking, a program whose
+  // traverse-level expressions never read accumulator state (so walk
+  // evaluation commutes with emission application), and the plain
+  // single-machine mode (the distributed simulation times machines
+  // sequentially on purpose).
+  if (num_threads_ > 1 && parallel_safe_ && options_.num_partitions <= 1 &&
+      num_tasks >= 2) {
+    return RunWalkJobsParallel(jobs, num_tasks);
+  }
+  return RunWalkJobsSequential(jobs);
+}
+
+Status Engine::RunWalkJobsSequential(const std::vector<WalkJob>& jobs) {
+  const double n = static_cast<double>(store_->num_vertices());
+  for (const WalkJob& job : jobs) {
+    enumerator_.SetEvalBase(
+        job.eval_cols, job.eval_globals, n,
+        static_cast<double>(store_->num_edges(job.eval_t)));
+    WalkSink sink = MakeApplySink(job);
+    ITG_RETURN_IF_ERROR(PartitionedEnumerate(
+        job.starts, [&](const std::vector<VertexId>& part) {
+          return enumerator_.Enumerate(part, job.streams, job.current_t,
+                                       job.previous_t, job.level_allow,
+                                       job.max_depth, sink);
+        }));
+  }
+  return Status::OK();
+}
+
+Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
+                                   size_t num_tasks) {
+  // Workers only *evaluate*: each task enumerates one window-sized block
+  // of one job's start list and logs (emission, target, mult, value)
+  // records. The calling thread then replays the records in task order —
+  // job-major, block-minor, which is exactly the order the sequential
+  // path applies them in, because Enumerate itself processes starts in
+  // window-sized blocks. Replay performs every accumulator mutation, so
+  // floating-point accumulation order (and hence the result) is
+  // bit-identical to threads=1.
+  struct EmissionRecord {
+    int emission;
+    int mult;
+    VertexId target;
+  };
+  struct TaskResult {
+    Status status;
+    std::vector<EmissionRecord> records;
+    std::vector<double> values;  // emission.width doubles per record
+    uint64_t windows = 0;
+    uint64_t edges = 0;
+  };
+  struct TaskSpec {
+    size_t job;
+    size_t begin;
+    size_t end;
+  };
+
+  if (pool_threads_ == nullptr) {
+    pool_threads_ =
+        std::make_unique<ThreadPool>(num_threads_, store_->metrics());
+  }
+
+  const double n = static_cast<double>(store_->num_vertices());
+  const size_t block = static_cast<size_t>(options_.window_vertices);
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(num_tasks);
+  std::vector<double> job_num_edges(jobs.size(), 0.0);
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    job_num_edges[j] =
+        static_cast<double>(store_->num_edges(jobs[j].eval_t));
+    for (size_t b = 0; b < jobs[j].starts.size(); b += block) {
+      tasks.push_back({j, b, std::min(jobs[j].starts.size(), b + block)});
+    }
+  }
+  std::vector<TaskResult> results(tasks.size());
+
+  // Per-worker enumerators share the (internally locked) buffer pool but
+  // keep private windows and counters.
+  std::vector<std::unique_ptr<WalkEnumerator>> workers;
+  workers.reserve(static_cast<size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w) {
+    workers.push_back(std::make_unique<WalkEnumerator>(
+        program_, store_, store_->pool(),
+        WalkEnumerator::Options{options_.window_vertices,
+                                options_.multiway_intersection}));
+  }
+
+  const std::vector<Emission>& emissions = program_->traverse.emissions;
+  pool_threads_->ParallelFor(tasks.size(), [&](size_t ti, int w) {
+    const TaskSpec& spec = tasks[ti];
+    const WalkJob& job = jobs[spec.job];
+    TaskResult& out = results[ti];
+    WalkEnumerator& we = *workers[static_cast<size_t>(w)];
+    we.SetEvalBase(job.eval_cols, job.eval_globals, n,
+                   job_num_edges[spec.job]);
+    EvalContext ctx;
+    ctx.columns = job.eval_cols;
+    ctx.globals = job.eval_globals;
+    ctx.num_vertices = n;
+    ctx.num_edges = job_num_edges[spec.job];
+    WalkSink sink = [&](const VertexId* row, int depth, int mult) {
+      if (depth < job.min_emit_depth) return;
+      for (size_t ei = 0; ei < emissions.size(); ++ei) {
+        const Emission& e = emissions[ei];
+        if (e.stmt_depth != depth) continue;
+        if (job.monoid_only) {
+          if (e.is_global || !IsAccmMonoid(e.target)) continue;
+          const std::vector<uint8_t>& marks =
+              (*job.target_marks)[static_cast<size_t>(e.target)];
+          if (marks.empty() ||
+              !marks[static_cast<size_t>(row[e.target_depth])]) {
+            continue;
+          }
+        }
+        ctx.row = row;
+        ctx.row_len = depth + 1;
+        bool pass = true;
+        for (const auto& [cond, expected] : e.guards) {
+          if (EvaluateBool(*cond, ctx) != expected) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        std::array<double, kMaxAttrWidth> value{};
+        Evaluate(*e.value, ctx, value.data());
+        const int vw = e.value->type.width;
+        out.records.push_back({static_cast<int>(ei), job.mult_sign * mult,
+                               e.is_global ? 0 : row[e.target_depth]});
+        for (int i = 0; i < e.width; ++i) {
+          out.values.push_back(vw == 1 ? value[0]
+                                       : value[static_cast<size_t>(i)]);
+        }
+      }
+    };
+    const uint64_t windows0 = we.windows_loaded();
+    const uint64_t edges0 = we.edges_scanned();
+    std::vector<VertexId> task_starts(
+        job.starts.begin() + static_cast<ptrdiff_t>(spec.begin),
+        job.starts.begin() + static_cast<ptrdiff_t>(spec.end));
+    out.status = we.Enumerate(task_starts, job.streams, job.current_t,
+                              job.previous_t, job.level_allow,
+                              job.max_depth, sink);
+    out.windows = we.windows_loaded() - windows0;
+    out.edges = we.edges_scanned() - edges0;
+  });
+
+  stats_.parallel_tasks += tasks.size();
+
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    const TaskResult& r = results[ti];
+    const double* vp = r.values.data();
+    for (const EmissionRecord& rec : r.records) {
+      const Emission& e = emissions[static_cast<size_t>(rec.emission)];
+      ApplyEmissionValue(e, rec.target, vp, rec.mult);
+      vp += e.width;
+    }
+    enumerator_.AddCounts(r.windows, r.edges);
+    // A failing task aborts after its own partial records, mirroring the
+    // sequential path's mid-stream error behavior.
+    if (!r.status.ok()) return r.status;
+  }
+  return Status::OK();
+}
+
+void Engine::FillThreadStats(uint64_t steals0, uint64_t busy0,
+                             uint64_t crit0) {
+  stats_.threads = (num_threads_ > 1 &&
+                    (parallel_safe_ || update_parallel_safe_) &&
+                    options_.num_partitions <= 1)
+                       ? num_threads_
+                       : 1;
+  if (pool_threads_ != nullptr) {
+    stats_.steals = pool_threads_->steals() - steals0;
+    stats_.busy_nanos = pool_threads_->total_busy_nanos() - busy0;
+    stats_.critical_nanos = pool_threads_->critical_nanos() - crit0;
+  }
+}
+
 void Engine::MarkRecompute(int attr, VertexId v) {
   auto& marks = monoid_marks_[attr];
   if (marks.empty()) {
@@ -327,9 +634,39 @@ void Engine::RunUpdatePhase(ColumnSet* cols,
   ctx.num_vertices = static_cast<double>(store_->num_vertices());
   ctx.num_edges = static_cast<double>(store_->num_edges(t));
   const int machines = std::max(1, options_.num_partitions);
+  const VertexId n = store_->num_vertices();
+  if (machines <= 1 && num_threads_ > 1 && update_parallel_safe_) {
+    // Vertex-sharded Update: each body writes only its own vertex's
+    // cells (global writes disable this path in the constructor), so
+    // shards are disjoint and the result is order-independent — the
+    // same bits as the sequential loop, no replay needed.
+    const VertexId per = std::max<VertexId>(
+        64, (n + static_cast<VertexId>(num_threads_) * 8 - 1) /
+                (static_cast<VertexId>(num_threads_) * 8));
+    const size_t num_tasks =
+        static_cast<size_t>((n + per - 1) / per);
+    if (num_tasks >= 2) {
+      if (pool_threads_ == nullptr) {
+        pool_threads_ =
+            std::make_unique<ThreadPool>(num_threads_, store_->metrics());
+      }
+      pool_threads_->ParallelFor(num_tasks, [&](size_t task, int) {
+        StmtContext task_ctx = ctx;
+        const VertexId begin = static_cast<VertexId>(task) * per;
+        const VertexId end = std::min(n, begin + per);
+        for (VertexId v = begin; v < end; ++v) {
+          if (contribs[v] <= 0.0) continue;  // Update runs for V_accm only
+          task_ctx.vertex = v;
+          RunStatements(*program_->update_body, &task_ctx);
+        }
+      });
+      stats_.parallel_tasks += num_tasks;
+      return;
+    }
+  }
   for (int m = 0; m < machines; ++m) {
     Stopwatch watch;
-    for (VertexId v = 0; v < store_->num_vertices(); ++v) {
+    for (VertexId v = 0; v < n; ++v) {
       if (contribs[v] <= 0.0) continue;  // Update runs for V_accm only
       if (machines > 1 && OwnerOf(v) != m) continue;
       ctx.vertex = v;
@@ -396,6 +733,9 @@ Status Engine::RunOneShot(Timestamp t) {
   stats_.timestamp = t;
   const uint64_t windows0 = enumerator_.windows_loaded();
   const uint64_t scans0 = enumerator_.edges_scanned();
+  const uint64_t steals0 = pool_threads_ ? pool_threads_->steals() : 0;
+  const uint64_t busy0 = pool_threads_ ? pool_threads_->total_busy_nanos() : 0;
+  const uint64_t crit0 = pool_threads_ ? pool_threads_->critical_nanos() : 0;
 
   const VertexId n = store_->num_vertices();
   ResetMachineStats();
@@ -420,20 +760,20 @@ Status Engine::RunOneShot(Timestamp t) {
     ClearRecomputeState();
     remote_seen_.clear();
 
-    enumerator_.SetEvalBase(&cur_cols_, &cur_globals_,
-                            static_cast<double>(n),
-                            static_cast<double>(store_->num_edges(t)));
-    WalkSink sink = [&](const VertexId* row, int depth, int mult) {
-      for (const Emission& e : program_->traverse.emissions) {
-        if (e.stmt_depth != depth) continue;
-        ApplyEmission(e, row, depth + 1, mult, cur_cols_, cur_globals_, t);
-      }
-    };
-    ITG_RETURN_IF_ERROR(PartitionedEnumerate(
-        active, [&](const std::vector<VertexId>& part) {
-          return enumerator_.Enumerate(part, streams, t, t, no_allow, k,
-                                       sink);
-        }));
+    {
+      std::vector<WalkJob> jobs(1);
+      WalkJob& job = jobs[0];
+      job.starts = std::move(active);
+      job.streams = streams;
+      job.level_allow = no_allow;
+      job.max_depth = k;
+      job.eval_cols = &cur_cols_;
+      job.eval_globals = &cur_globals_;
+      job.eval_t = t;
+      job.current_t = t;
+      job.previous_t = t;
+      ITG_RETURN_IF_ERROR(RunWalkJobs(jobs));
+    }
 
     if (options_.record_history) {
       // Accumulator files: after-images of touched vertices (V_accm).
@@ -467,6 +807,7 @@ Status Engine::RunOneShot(Timestamp t) {
   stats_.seconds = watch.ElapsedSeconds();
   stats_.read_bytes = metrics.read_bytes() - read0;
   stats_.write_bytes = metrics.write_bytes() - write0;
+  FillThreadStats(steals0, busy0, crit0);
   return Status::OK();
 }
 
@@ -495,6 +836,9 @@ Status Engine::RunIncremental(Timestamp t) {
   stats_.incremental = true;
   const uint64_t windows0 = enumerator_.windows_loaded();
   const uint64_t scans0 = enumerator_.edges_scanned();
+  const uint64_t steals0 = pool_threads_ ? pool_threads_->steals() : 0;
+  const uint64_t busy0 = pool_threads_ ? pool_threads_->total_busy_nanos() : 0;
+  const uint64_t crit0 = pool_threads_ ? pool_threads_->critical_nanos() : 0;
 
   const VertexId n = store_->num_vertices();
   const Timestamp prev_t = t - 1;
@@ -689,6 +1033,7 @@ Status Engine::RunIncremental(Timestamp t) {
   stats_.seconds = watch.ElapsedSeconds();
   stats_.read_bytes = metrics.read_bytes() - read0;
   stats_.write_bytes = metrics.write_bytes() - write0;
+  FillThreadStats(steals0, busy0, crit0);
   return Status::OK();
 }
 
@@ -704,13 +1049,16 @@ Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
   const Timestamp prev_t = t - 1;
 
   // ---- q_vs: ω(Δvs, es, …, es) — old edge structure, changed starts. ----
+  // Pass A retracts the old contributions (old attribute values, old
+  // activation) with multiplicity −1; pass B asserts the new ones. Both
+  // are queued as one batch: retraction only writes accumulator state,
+  // which parallel-safe programs never read during evaluation, and the
+  // replay applies all of A before any of B in sequential order.
   {
     std::vector<LevelStream> streams(static_cast<size_t>(k),
                                      LevelStream::kPrevious);
     std::vector<const std::vector<uint8_t>*> no_allow(
         static_cast<size_t>(k), nullptr);
-    // Pass A: retract the old contributions (old attribute values, old
-    // activation), multiplicity −1.
     std::vector<VertexId> old_active_starts;
     std::vector<VertexId> new_active_starts;
     const double* prev_active =
@@ -721,43 +1069,33 @@ Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
       if (prev_active[v] != 0.0) old_active_starts.push_back(v);
       if (cur_active_col[v] != 0.0) new_active_starts.push_back(v);
     }
-    enumerator_.SetEvalBase(&prev_cols_, &prev_globals_,
-                            static_cast<double>(n),
-                            static_cast<double>(store_->num_edges(prev_t)));
-    WalkSink retract = [&](const VertexId* row, int depth, int mult) {
-      for (const Emission& e : program_->traverse.emissions) {
-        if (e.stmt_depth != depth) continue;
-        ApplyEmission(e, row, depth + 1, -mult, prev_cols_, prev_globals_,
-                      prev_t);
-      }
-    };
-    ITG_RETURN_IF_ERROR(PartitionedEnumerate(
-        old_active_starts, [&](const std::vector<VertexId>& part) {
-          return enumerator_.Enumerate(part, streams, t, prev_t, no_allow,
-                                       k, retract);
-        }));
-    // Pass B: assert the new contributions (new values over the old edge
-    // structure), multiplicity +1.
-    enumerator_.SetEvalBase(&cur_cols_, &cur_globals_,
-                            static_cast<double>(n),
-                            static_cast<double>(store_->num_edges(t)));
-    WalkSink assert_new = [&](const VertexId* row, int depth, int mult) {
-      for (const Emission& e : program_->traverse.emissions) {
-        if (e.stmt_depth != depth) continue;
-        ApplyEmission(e, row, depth + 1, mult, cur_cols_, cur_globals_, t);
-      }
-    };
-    ITG_RETURN_IF_ERROR(PartitionedEnumerate(
-        new_active_starts, [&](const std::vector<VertexId>& part) {
-          return enumerator_.Enumerate(part, streams, t, prev_t, no_allow,
-                                       k, assert_new);
-        }));
+    std::vector<WalkJob> jobs(2);
+    WalkJob& retract = jobs[0];
+    retract.starts = std::move(old_active_starts);
+    retract.streams = streams;
+    retract.level_allow = no_allow;
+    retract.max_depth = k;
+    retract.mult_sign = -1;
+    retract.eval_cols = &prev_cols_;
+    retract.eval_globals = &prev_globals_;
+    retract.eval_t = prev_t;
+    retract.current_t = t;
+    retract.previous_t = prev_t;
+    WalkJob& assert_new = jobs[1];
+    assert_new.starts = std::move(new_active_starts);
+    assert_new.streams = std::move(streams);
+    assert_new.level_allow = std::move(no_allow);
+    assert_new.max_depth = k;
+    assert_new.eval_cols = &cur_cols_;
+    assert_new.eval_globals = &cur_globals_;
+    assert_new.eval_t = t;
+    assert_new.current_t = t;
+    assert_new.previous_t = prev_t;
+    ITG_RETURN_IF_ERROR(RunWalkJobs(jobs));
   }
 
   // ---- q_es_p: ω(vs', es'₁ … es'ₚ₋₁, Δesₚ, esₚ₊₁ … es_k). ---------------
   if (store_->BatchSize(t) == 0) return Status::OK();
-  enumerator_.SetEvalBase(&cur_cols_, &cur_globals_, static_cast<double>(n),
-                          static_cast<double>(store_->num_edges(t)));
 
   struct SubqueryPlan {
     int p;
@@ -819,27 +1157,26 @@ Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
     plans.push_back(std::move(plan));
   }
 
-  auto run_plan_block = [&](const SubqueryPlan& plan,
-                            const std::vector<VertexId>& starts) -> Status {
-    std::vector<const std::vector<uint8_t>*> level_allow(
-        static_cast<size_t>(k), nullptr);
+  // Contributions below depth p are owned by a smaller sub-query, hence
+  // min_emit_depth = p.
+  auto make_plan_job = [&](const SubqueryPlan& plan,
+                           std::vector<VertexId> starts) -> WalkJob {
+    WalkJob job;
+    job.starts = std::move(starts);
+    job.streams = plan.streams;
+    job.level_allow.assign(static_cast<size_t>(k), nullptr);
     for (int j = 1; j < plan.p && j < static_cast<int>(plan.allow.size());
          ++j) {
-      level_allow[j - 1] = &plan.allow[j];
+      job.level_allow[static_cast<size_t>(j - 1)] = &plan.allow[j];
     }
-    const int p = plan.p;
-    WalkSink sink = [&, p](const VertexId* row, int depth, int mult) {
-      if (depth < p) return;  // contribution owned by a smaller sub-query
-      for (const Emission& e : program_->traverse.emissions) {
-        if (e.stmt_depth != depth) continue;
-        ApplyEmission(e, row, depth + 1, mult, cur_cols_, cur_globals_, t);
-      }
-    };
-    return PartitionedEnumerate(
-        starts, [&](const std::vector<VertexId>& part) {
-          return enumerator_.Enumerate(part, plan.streams, t, prev_t,
-                                       level_allow, k, sink);
-        });
+    job.max_depth = k;
+    job.min_emit_depth = plan.p;
+    job.eval_cols = &cur_cols_;
+    job.eval_globals = &cur_globals_;
+    job.eval_t = t;
+    job.current_t = t;
+    job.previous_t = prev_t;
+    return job;
   };
 
   // Anchored sub-queries first (they are cheap and independent). Their
@@ -855,10 +1192,12 @@ Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
       }
     }
   }
+  std::vector<WalkJob> jobs;
   if (options_.seek_window_sharing && options_.num_partitions <= 1) {
     // Seek/window sharing: process the sub-queries block-by-block so the
     // pages a block pulls into the buffer pool serve every sub-query
-    // before eviction (the batch-processed, annotated IO of §5.3).
+    // before eviction (the batch-processed, annotated IO of §5.3). One
+    // job per (block, plan) keeps that order as the replay order.
     std::vector<uint8_t> in_block(static_cast<size_t>(n), 0);
     const size_t block = static_cast<size_t>(options_.window_vertices);
     std::vector<VertexId> all_starts;
@@ -889,17 +1228,17 @@ Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
           if (in_block[static_cast<size_t>(v)]) block_starts.push_back(v);
         }
         if (!block_starts.empty()) {
-          ITG_RETURN_IF_ERROR(run_plan_block(plan, block_starts));
+          jobs.push_back(make_plan_job(plan, block_starts));
         }
       }
     }
   } else {
     for (const SubqueryPlan& plan : plans) {
       if (plan.anchored) continue;
-      ITG_RETURN_IF_ERROR(run_plan_block(plan, plan.starts));
+      jobs.push_back(make_plan_job(plan, plan.starts));
     }
   }
-  return Status::OK();
+  return RunWalkJobs(jobs);
 }
 
 Status Engine::RunAnchoredClosing(Timestamp t, int p) {
@@ -1089,28 +1428,22 @@ Status Engine::RunMonoidRecompute(Timestamp t, Superstep s) {
     }
   }
 
-  std::vector<LevelStream> streams(static_cast<size_t>(k),
-                                   LevelStream::kCurrent);
-  std::vector<const std::vector<uint8_t>*> no_allow(static_cast<size_t>(k),
-                                                    nullptr);
-  enumerator_.SetEvalBase(&cur_cols_, &cur_globals_, static_cast<double>(n),
-                          static_cast<double>(store_->num_edges(t)));
-  WalkSink sink = [&](const VertexId* row, int depth, int mult) {
-    for (const Emission& e : program_->traverse.emissions) {
-      if (e.stmt_depth != depth || e.is_global) continue;
-      if (!IsAccmMonoid(e.target)) continue;
-      VertexId target = row[e.target_depth];
-      if (target_marks[e.target].empty() ||
-          !target_marks[e.target][static_cast<size_t>(target)]) {
-        continue;
-      }
-      ApplyEmission(e, row, depth + 1, mult, cur_cols_, cur_globals_, t);
-    }
-  };
-  ITG_RETURN_IF_ERROR(PartitionedEnumerate(
-      starts, [&](const std::vector<VertexId>& part) {
-        return enumerator_.Enumerate(part, streams, t, t, no_allow, k, sink);
-      }));
+  {
+    std::vector<WalkJob> jobs(1);
+    WalkJob& job = jobs[0];
+    job.starts = std::move(starts);
+    job.streams.assign(static_cast<size_t>(k), LevelStream::kCurrent);
+    job.level_allow.assign(static_cast<size_t>(k), nullptr);
+    job.max_depth = k;
+    job.monoid_only = true;
+    job.target_marks = &target_marks;
+    job.eval_cols = &cur_cols_;
+    job.eval_globals = &cur_globals_;
+    job.eval_t = t;
+    job.current_t = t;
+    job.previous_t = t;
+    ITG_RETURN_IF_ERROR(RunWalkJobs(jobs));
+  }
   // Re-aggregation resolved the marks.
   for (int a = 0; a < num_program_attrs(); ++a) {
     recompute_sets_[a].clear();

@@ -9,6 +9,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "compiler/compiled_program.h"
 #include "engine/columns.h"
 #include "engine/walk.h"
@@ -42,6 +43,13 @@ struct EngineOptions {
   size_t partition_pool_pages = 512;
   /// Simulated interconnect bandwidth for the distributed time model.
   double network_bytes_per_second = 1.0e9;
+  /// Worker threads for intra-machine parallel walk enumeration
+  /// (§6.2 "in parallel for non-conflicting walks"). 0 = the ITG_THREADS
+  /// env var, else hardware_concurrency(). 1 disables the pool and runs
+  /// the byte-for-byte sequential path. Ignored (forced sequential) when
+  /// num_partitions > 1 or the program reads accumulator state inside
+  /// Traverse (see ARCHITECTURE.md, "Threading model").
+  int num_threads = 0;
 };
 
 /// Per-machine outcome of a partitioned run.
@@ -63,6 +71,19 @@ struct RunStats {
   double seconds = 0;
   uint64_t read_bytes = 0;
   uint64_t write_bytes = 0;
+  /// Worker threads the run was allowed to use (1 when the program or
+  /// configuration forces the sequential path).
+  int threads = 1;
+  /// Walk-shard tasks executed through the thread pool.
+  uint64_t parallel_tasks = 0;
+  /// Tasks claimed from another worker's queue (imbalance indicator).
+  uint64_t steals = 0;
+  /// Sum over workers of time spent inside pool tasks.
+  uint64_t busy_nanos = 0;
+  /// Sum over pool batches of the modeled makespan (Brent's bound,
+  /// see ThreadPool::critical_nanos): the wall time of the parallel
+  /// sections with one core per worker.
+  uint64_t critical_nanos = 0;
 };
 
 /// The iTurboGraph runtime engine: executes compiled L_NGA programs over
@@ -133,6 +154,55 @@ class Engine {
                      const std::vector<std::vector<double>>& eval_globals,
                      Timestamp t);
 
+  /// The accumulate half of ApplyEmission: applies an already-evaluated
+  /// value (expanded to `emission.width` doubles) onto the current
+  /// accumulator state. The parallel path evaluates values on worker
+  /// threads and replays them through this in sequential emission order,
+  /// so floating-point accumulation order is bit-identical to threads=1.
+  void ApplyEmissionValue(const Emission& emission, VertexId target,
+                          const double* values, int mult);
+
+  // ---- walk-job execution ----------------------------------------------
+  /// One enumeration request of a superstep: a start set walked over a
+  /// fixed stream assignment with emissions applied against one snapshot's
+  /// evaluation state. Supersteps queue jobs and run them as a batch so
+  /// the parallel path can shard all of them at once.
+  struct WalkJob {
+    std::vector<VertexId> starts;
+    std::vector<LevelStream> streams;
+    std::vector<const std::vector<uint8_t>*> level_allow;
+    int max_depth = 0;
+    /// Emissions below this depth are owned by another sub-query (SWS).
+    int min_emit_depth = 0;
+    /// −1 retracts (q_vs pass A); +1 asserts.
+    int mult_sign = 1;
+    /// Restrict to monoid emissions onto marked targets (recompute jobs).
+    bool monoid_only = false;
+    const std::vector<std::vector<uint8_t>>* target_marks = nullptr;
+    const ColumnSet* eval_cols = nullptr;
+    const std::vector<std::vector<double>>* eval_globals = nullptr;
+    /// Snapshot whose |E| feeds the eval context and ApplyEmission.
+    Timestamp eval_t = 0;
+    Timestamp current_t = 0;
+    Timestamp previous_t = 0;
+  };
+
+  /// Runs a batch of jobs: sequentially (exactly the pre-parallel code
+  /// path, including the distributed simulation) or sharded over the
+  /// thread pool with deterministic replay (see ARCHITECTURE.md).
+  Status RunWalkJobs(const std::vector<WalkJob>& jobs);
+  Status RunWalkJobsSequential(const std::vector<WalkJob>& jobs);
+  Status RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
+                             size_t num_tasks);
+  WalkSink MakeApplySink(const WalkJob& job);
+  /// True when no traverse-level expression (level predicate, emission
+  /// guard or value) reads accumulator state — the condition under which
+  /// walk evaluation commutes with emission application.
+  static bool ProgramParallelSafe(const CompiledProgram& program);
+  /// Fills the thread-scaling fields of stats_ from the pool's cumulative
+  /// counters (deltas against the given run-start baselines).
+  void FillThreadStats(uint64_t steals0, uint64_t busy0, uint64_t crit0);
+
   void MarkRecompute(int attr, VertexId v);
   void UnmarkRecompute(int attr, VertexId v);
   void ClearRecomputeState();
@@ -177,6 +247,14 @@ class Engine {
   const CompiledProgram* program_;
   EngineOptions options_;
   WalkEnumerator enumerator_;
+
+  // ---- intra-machine parallelism ---------------------------------------
+  bool parallel_safe_ = false;
+  // Update bodies with no global assignment write disjoint per-vertex
+  // cells, so the Update phase can shard over vertices directly.
+  bool update_parallel_safe_ = false;
+  int num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_threads_;  // lazily created
 
   std::vector<int> all_widths_;       // program + hidden columns
   int contribs_attr_ = -1;            // hidden: per-vertex contribution count

@@ -1,3 +1,10 @@
+// L_NGA expression evaluator: the runtime for the P_ω predicates and
+// emission values the compiler extracts from Traverse bodies (§4.4),
+// shared by walk enumeration, the Δ-walk sub-queries (§5.3), and the
+// statement interpreter. Implements the x/0 = 0 rule that keeps rule-⑦
+// retract/assert pairs exactly cancelling in floating point
+// (DESIGN.md §6.2). Pure w.r.t. engine state, hence safe to run on
+// pool workers (ARCHITECTURE.md, threading model).
 #ifndef ITG_ENGINE_EVAL_H_
 #define ITG_ENGINE_EVAL_H_
 

@@ -1,3 +1,9 @@
+// Interpreter for the Initialize / Update UDF bodies of an L_NGA
+// program (§4.2): the vertex-centric assignment half of the BSP
+// superstep, compiled by §4.4's rules into the Assign (←) algebra and
+// run here directly over the attribute columns. The Traverse UDF does
+// *not* go through this path — it is fused into walk enumeration
+// (engine.cc / walk.cc, §5.2). See ARCHITECTURE.md, layer 4.
 #ifndef ITG_ENGINE_STMT_INTERP_H_
 #define ITG_ENGINE_STMT_INTERP_H_
 

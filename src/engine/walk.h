@@ -82,6 +82,13 @@ class WalkEnumerator {
   uint64_t windows_loaded() const { return windows_loaded_; }
   uint64_t edges_scanned() const { return edges_scanned_; }
 
+  /// Folds the counters of a worker-thread enumerator into this one (the
+  /// parallel executor merges shard counters in deterministic task order).
+  void AddCounts(uint64_t windows, uint64_t edges) {
+    windows_loaded_ += windows;
+    edges_scanned_ += edges;
+  }
+
  private:
   struct AdjacencyWindow;
 

@@ -25,6 +25,7 @@ StatusOr<PageId> PageStore::AppendPage(const void* data, size_t n) {
   }
   std::vector<uint8_t> buf(kPageSize, 0);
   std::memcpy(buf.data(), data, n);
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (std::fseek(file_, static_cast<long>(page_count_ * kPageSize),
                  SEEK_SET) != 0) {
     return Status::IOError("seek failed on " + path_);
@@ -37,6 +38,7 @@ StatusOr<PageId> PageStore::AppendPage(const void* data, size_t n) {
 }
 
 Status PageStore::ReadPage(PageId id, void* out) const {
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (id >= page_count_) {
     return Status::InvalidArgument("page id out of range");
   }
@@ -56,6 +58,11 @@ Status PageStore::ReadPage(PageId id, void* out) const {
 
 StatusOr<std::shared_ptr<const BufferPool::Page>> BufferPool::GetPage(
     PageId id) {
+  // One lock over lookup + fill: misses hold it across the disk read,
+  // which also prevents two workers from double-reading the same page.
+  // The underlying FILE* is a single cursor, so reads are serialized at
+  // the store regardless.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(id);
   if (it != cache_.end()) {
     ++hits_;
@@ -78,6 +85,7 @@ StatusOr<std::shared_ptr<const BufferPool::Page>> BufferPool::GetPage(
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
   lru_.clear();
 }

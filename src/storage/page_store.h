@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,7 +25,9 @@ using PageId = uint32_t;
 /// edge delta segments, vertex attribute delta files) lives in pages so
 /// that every byte the engine touches is observable as IO.
 ///
-/// Thread-compatible: callers serialize access (the engine is BSP-phased).
+/// Thread-safe: AppendPage/ReadPage serialize the shared FILE* cursor
+/// under an internal mutex, so pool workers enumerating walk shards may
+/// fault pages concurrently.
 class PageStore {
  public:
   /// Opens (creating if necessary) the backing file. `metrics` receives
@@ -55,6 +58,9 @@ class PageStore {
   std::string path_;
   std::FILE* file_;
   Metrics* metrics_;
+  // Serializes the fseek+fread/fwrite pairs on file_ (mutable so the
+  // logically-const ReadPage can lock it).
+  mutable std::mutex io_mu_;
   size_t page_count_ = 0;
 };
 
@@ -63,7 +69,9 @@ class PageStore {
 /// repeated IO: every miss reads kPageSize bytes from the store.
 ///
 /// Pages are returned as shared_ptr so an evicted-but-pinned page stays
-/// valid until the caller drops it.
+/// valid until the caller drops it. GetPage/Clear are thread-safe (one
+/// mutex over the map + LRU list), so a pool of walk workers can share
+/// one cache; the page bytes themselves are immutable once loaded.
 class BufferPool {
  public:
   using Page = std::vector<uint8_t>;
@@ -79,8 +87,14 @@ class BufferPool {
   void Clear();
 
   size_t capacity_pages() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   struct Entry {
@@ -90,6 +104,7 @@ class BufferPool {
 
   PageStore* store_;
   size_t capacity_;
+  mutable std::mutex mu_;  // guards cache_, lru_, hits_, misses_
   std::unordered_map<PageId, Entry> cache_;
   std::list<PageId> lru_;  // front = most recent
   uint64_t hits_ = 0;
