@@ -20,7 +20,8 @@ struct Result {
   uint64_t edges_scanned;
 };
 
-Result Run(const std::string& source, int scale, bool multiway) {
+Result Run(const std::string& source, int scale, bool multiway,
+           const std::string& label) {
   HarnessOptions options;
   options.path = bench::TempPath("multiway");
   options.symmetric = true;
@@ -29,6 +30,7 @@ Result Run(const std::string& source, int scale, bool multiway) {
   auto harness = CheckOk(Harness::Create(source, RmatVertices(scale),
                                          GenerateRmat(scale), options));
   CheckOk(harness->RunOneShot());
+  bench::RecordRun(harness.get(), label);
   return {harness->engine().last_stats().seconds,
           harness->engine().last_stats().edges_scanned};
 }
@@ -46,8 +48,12 @@ int Main() {
          {std::pair<const char*, std::string>{"TC",
                                               TriangleCountProgram()},
           {"LCC", LccProgram()}}) {
-      Result off = Run(source, scale, false);
-      Result on = Run(source, scale, true);
+      const std::string label =
+          std::string(name) + "/scale" + std::to_string(scale);
+      Result off = Run(source, scale, false, label + "/scan");
+      Result on = Run(source, scale, true, label + "/probe");
+      bench::Report().AddResult(label + "/speedup",
+                                off.seconds / on.seconds);
       std::printf("%-5s %-6d %14.4f %14.4f %16llu %16llu %8.2fx\n", name,
                   scale, off.seconds, on.seconds,
                   static_cast<unsigned long long>(off.edges_scanned),
@@ -64,4 +70,6 @@ int Main() {
 
 }  // namespace itg
 
-int main() { return itg::Main(); }
+int main(int argc, char** argv) {
+  return itg::bench::BenchMain("ablation_multiway", argc, argv, itg::Main);
+}

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "gen/rmat.h"
 #include "harness/harness.h"
+#include "harness/run_report.h"
 
 namespace itg::bench {
 
@@ -39,23 +40,53 @@ struct PipelineTimes {
   }
 };
 
-/// One-shot at G_0 plus `snapshots` incremental steps, averaged.
+/// The process-wide run report, written at exit by BenchMain when the
+/// binary was invoked with `--metrics-json=<path>`.
+inline RunReport& Report() {
+  static RunReport report;
+  return report;
+}
+
+/// Appends the harness engine's last run (stats + per-machine breakdown)
+/// to the process report.
+inline void RecordRun(Harness* harness, const std::string& name) {
+  const std::vector<MachineStats>& machines =
+      harness->engine().machine_stats();
+  uint64_t network_bytes = 0;
+  for (const MachineStats& m : machines) network_bytes += m.network_bytes;
+  Report().AddRun(name, harness->engine().last_stats(), machines,
+                  network_bytes);
+}
+
+/// One-shot at G_0 plus `snapshots` incremental steps, averaged. Every run
+/// is recorded into the process report under `label` (auto-numbered when
+/// empty, since most benches call this once per configuration).
 inline StatusOr<PipelineTimes> RunPipeline(Harness* harness,
                                            size_t batch_size,
                                            double insert_ratio,
-                                           int snapshots = kDefaultSnapshots) {
+                                           int snapshots = kDefaultSnapshots,
+                                           std::string label = "") {
+  if (label.empty()) {
+    static int pipeline_counter = 0;
+    label = "pipeline" + std::to_string(pipeline_counter++);
+  }
   PipelineTimes times;
   ITG_RETURN_IF_ERROR(harness->RunOneShot());
+  RecordRun(harness, label + "/oneshot");
   times.oneshot_seconds = harness->engine().last_stats().seconds;
   times.oneshot_read_bytes = harness->engine().last_stats().read_bytes;
   for (int i = 0; i < snapshots; ++i) {
     ITG_RETURN_IF_ERROR(harness->Step(batch_size, insert_ratio));
+    RecordRun(harness, label + "/step" + std::to_string(i));
     times.incremental_avg_seconds += harness->engine().last_stats().seconds;
     times.incremental_avg_read_bytes +=
         harness->engine().last_stats().read_bytes;
   }
   times.incremental_avg_seconds /= snapshots;
   times.incremental_avg_read_bytes /= static_cast<uint64_t>(snapshots);
+  Report().AddResult(label + "/oneshot_seconds", times.oneshot_seconds);
+  Report().AddResult(label + "/incremental_avg_seconds",
+                     times.incremental_avg_seconds);
   return times;
 }
 
@@ -71,6 +102,39 @@ template <typename T>
 T CheckOk(StatusOr<T> value) {
   CheckOk(value.status());
   return std::move(value).value();
+}
+
+/// Shared bench entry point: parses `--metrics-json=<path>`, runs the
+/// bench body, then writes the run report. Benches keep their logic in
+/// `itg::Main()` and delegate:
+///
+///   int main(int argc, char** argv) {
+///     return itg::bench::BenchMain("fig12_overall", argc, argv, itg::Main);
+///   }
+inline int BenchMain(const char* binary, int argc, char** argv,
+                     int (*body)()) {
+  Report().set_binary(binary);
+  std::string metrics_json;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string kFlag = "--metrics-json=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      metrics_json = arg.substr(kFlag.size());
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics-json=<path>]\n", binary);
+      return 2;
+    }
+  }
+  const int rc = body();
+  if (rc == 0 && !metrics_json.empty()) {
+    Status status = Report().WriteTo(metrics_json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics report write failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace itg::bench

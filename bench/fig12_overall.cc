@@ -332,4 +332,6 @@ int Main() {
 
 }  // namespace itg
 
-int main() { return itg::Main(); }
+int main(int argc, char** argv) {
+  return itg::bench::BenchMain("fig12_overall", argc, argv, itg::Main);
+}

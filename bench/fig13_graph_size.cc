@@ -109,4 +109,6 @@ int Main() {
 
 }  // namespace itg
 
-int main() { return itg::Main(); }
+int main(int argc, char** argv) {
+  return itg::bench::BenchMain("fig13_graph_size", argc, argv, itg::Main);
+}

@@ -38,18 +38,25 @@ void Sweep(const char* name, const std::string& source, int scale,
     options.store.buffer_pool_pages = 64;
     auto harness = CheckOk(Harness::Create(source, RmatVertices(scale),
                                            GenerateRmat(scale), options));
+    const std::string label =
+        std::string(name) + "/m" + std::to_string(machines);
     CheckOk(harness->RunOneShot());
+    bench::RecordRun(harness.get(), label + "/oneshot");
     double oneshot = harness->engine().SimulatedDistributedSeconds();
     double incremental = 0;
     uint64_t net = 0;
     for (int i = 0; i < bench::kDefaultSnapshots; ++i) {
       CheckOk(harness->Step(kBatch, bench::kDefaultInsertRatio));
+      bench::RecordRun(harness.get(), label + "/step" + std::to_string(i));
       incremental += harness->engine().SimulatedDistributedSeconds();
       for (const MachineStats& m : harness->engine().machine_stats()) {
         net += m.network_bytes;
       }
     }
     incremental /= bench::kDefaultSnapshots;
+    bench::Report().AddResult(label + "/oneshot_sim_seconds", oneshot);
+    bench::Report().AddResult(label + "/incremental_sim_seconds",
+                              incremental);
     if (machines == 5) {
       base_one = oneshot;
       base_inc = incremental;
@@ -76,4 +83,6 @@ int Main() {
 
 }  // namespace itg
 
-int main() { return itg::Main(); }
+int main(int argc, char** argv) {
+  return itg::bench::BenchMain("fig14_machines", argc, argv, itg::Main);
+}

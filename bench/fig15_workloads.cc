@@ -103,4 +103,6 @@ int Main() {
 
 }  // namespace itg
 
-int main() { return itg::Main(); }
+int main(int argc, char** argv) {
+  return itg::bench::BenchMain("fig15_workloads", argc, argv, itg::Main);
+}

@@ -123,4 +123,6 @@ int Main() {
 
 }  // namespace itg
 
-int main() { return itg::Main(); }
+int main(int argc, char** argv) {
+  return itg::bench::BenchMain("fig16_optimizations", argc, argv, itg::Main);
+}

@@ -78,4 +78,6 @@ int Main() {
 
 }  // namespace itg
 
-int main() { return itg::Main(); }
+int main(int argc, char** argv) {
+  return itg::bench::BenchMain("fig17_delta_maintenance", argc, argv, itg::Main);
+}

@@ -86,4 +86,6 @@ int Main() {
 
 }  // namespace itg
 
-int main() { return itg::Main(); }
+int main(int argc, char** argv) {
+  return itg::bench::BenchMain("table6_single_machine", argc, argv, itg::Main);
+}

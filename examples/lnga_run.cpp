@@ -22,6 +22,7 @@
 #include "compiler/compiled_program.h"
 #include "engine/engine.h"
 #include "gen/rmat.h"
+#include "harness/run_report.h"
 #include "storage/graph_store.h"
 
 namespace {
@@ -32,6 +33,7 @@ struct Args {
   std::string program = "pr";
   std::string graph = "rmat:14";
   std::string mutations;
+  std::string metrics_json;
   bool symmetric = false;
   bool explain = false;
   int supersteps = -1;
@@ -45,7 +47,7 @@ struct Args {
       "usage: %s [--program pr|qpr|lp|wcc|bfs:<root>|tc|lcc|<file.lnga>]\n"
       "          [--graph rmat:<scale>|<edges.txt>] [--symmetric]\n"
       "          [--mutations <stream.txt>] [--supersteps N]\n"
-      "          [--top N <attr>] [--explain]\n",
+      "          [--top N <attr>] [--metrics-json <path>] [--explain]\n",
       argv0);
   std::exit(2);
 }
@@ -189,6 +191,11 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--program")) args.program = next();
     else if (!std::strcmp(argv[i], "--graph")) args.graph = next();
     else if (!std::strcmp(argv[i], "--mutations")) args.mutations = next();
+    else if (!std::strcmp(argv[i], "--metrics-json")) {
+      args.metrics_json = next();
+    } else if (!std::strncmp(argv[i], "--metrics-json=", 15)) {
+      args.metrics_json = argv[i] + 15;
+    }
     else if (!std::strcmp(argv[i], "--symmetric")) args.symmetric = true;
     else if (!std::strcmp(argv[i], "--explain")) args.explain = true;
     else if (!std::strcmp(argv[i], "--supersteps")) {
@@ -232,10 +239,19 @@ int main(int argc, char** argv) {
   EngineOptions options;
   options.fixed_supersteps = supersteps;
   Engine engine(store.get(), program.get(), options);
+  RunReport report("lnga_run");
+  auto record_run = [&](const std::string& name) {
+    uint64_t net = 0;
+    for (const MachineStats& m : engine.machine_stats()) {
+      net += m.network_bytes;
+    }
+    report.AddRun(name, engine.last_stats(), engine.machine_stats(), net);
+  };
   if (Status s = engine.RunOneShot(0); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
+  record_run("oneshot");
   std::printf("one-shot: %.4fs over |V|=%lld, %d supersteps\n",
               engine.last_stats().seconds,
               static_cast<long long>(num_vertices),
@@ -262,9 +278,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
+    record_run("incremental_t" + std::to_string(t));
     std::printf("\nsnapshot %d (+%zu ops): incremental %.4fs\n", t,
                 batch.size(), engine.last_stats().seconds);
     PrintResults(engine, *program, num_vertices, args);
+  }
+  if (!args.metrics_json.empty()) {
+    if (Status s = report.WriteTo(args.metrics_json); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

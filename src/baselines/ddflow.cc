@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "storage/csr.h"
 
 namespace itg {
@@ -62,6 +63,7 @@ double DdRank::ValueOf(VertexId v, int l, double agg, double old) const {
 
 Status DdRank::RunInitial(VertexId num_vertices,
                           const std::vector<Edge>& edges) {
+  TraceSpan span("dd_run_initial", "baseline", num_vertices);
   n_ = num_vertices;
   BuildAdjacency(n_, edges, &out_, &in_);
   const size_t width = static_cast<size_t>(width_);
@@ -114,6 +116,8 @@ Status DdRank::RunInitial(VertexId num_vertices,
 }
 
 Status DdRank::ApplyMutations(const std::vector<EdgeDelta>& batch) {
+  TraceSpan span("dd_apply_mutations", "baseline",
+                 static_cast<int64_t>(batch.size()));
   std::vector<uint8_t> structural(static_cast<size_t>(n_), 0);
   for (const EdgeDelta& d : batch) {
     auto& out = out_[d.edge.src];
@@ -209,6 +213,7 @@ double DdMinPropagation::MinOfImpl(double self,
 
 Status DdMinPropagation::RunInitial(VertexId num_vertices,
                                     const std::vector<Edge>& edges) {
+  TraceSpan span("dd_run_initial", "baseline", num_vertices);
   n_ = num_vertices;
   BuildAdjacency(n_, edges, &out_, &in_);
   labels_.clear();
@@ -242,6 +247,8 @@ Status DdMinPropagation::RunInitial(VertexId num_vertices,
 }
 
 Status DdMinPropagation::ApplyMutations(const std::vector<EdgeDelta>& batch) {
+  TraceSpan span("dd_apply_mutations", "baseline",
+                 static_cast<int64_t>(batch.size()));
   for (const EdgeDelta& d : batch) {
     auto& out = out_[d.edge.src];
     auto& in = in_[d.edge.dst];
@@ -380,6 +387,7 @@ Status DdTriangles::UpdateTriangles(VertexId a, VertexId b, VertexId c,
 
 Status DdTriangles::RunInitial(VertexId num_vertices,
                                const std::vector<Edge>& edges) {
+  TraceSpan span("dd_run_initial", "baseline", num_vertices);
   n_ = num_vertices;
   BuildAdjacency(n_, edges, &adj_, nullptr);
   per_vertex_.assign(static_cast<size_t>(n_), 0);
@@ -405,6 +413,8 @@ Status DdTriangles::RunInitial(VertexId num_vertices,
 }
 
 Status DdTriangles::ApplyMutations(const std::vector<EdgeDelta>& batch) {
+  TraceSpan span("dd_apply_mutations", "baseline",
+                 static_cast<int64_t>(batch.size()));
   for (const EdgeDelta& d : batch) {
     VertexId x = d.edge.src;
     VertexId y = d.edge.dst;

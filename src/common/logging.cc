@@ -1,10 +1,47 @@
 #include "common/logging.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
 namespace itg {
 
+namespace {
+
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("ITG_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+  std::string value;
+  for (const char* p = env; *p; ++p) {
+    value.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (value == "debug" || value == "0") return LogLevel::kDebug;
+  if (value == "info" || value == "1") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning" || value == "2") {
+    return LogLevel::kWarn;
+  }
+  if (value == "error" || value == "3") return LogLevel::kError;
+  std::fprintf(stderr,
+               "[itg] unrecognized ITG_LOG_LEVEL=%s (want debug|info|warn|"
+               "error or 0-3); defaulting to warn\n",
+               env);
+  return LogLevel::kWarn;
+}
+
+}  // namespace
+
 LogLevel& MinLogLevel() {
-  static LogLevel level = LogLevel::kWarn;
+  static LogLevel level = InitialLogLevel();
   return level;
 }
+
+namespace {
+
+// Force ITG_LOG_LEVEL parsing at startup so a typo in the variable is
+// diagnosed even in processes that never log.
+const LogLevel g_startup_level = MinLogLevel();
+
+}  // namespace
 
 }  // namespace itg

@@ -11,10 +11,20 @@ namespace itg {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are dropped.
-/// Defaults to kWarn so tests and benches stay quiet.
+/// Defaults to kWarn so tests and benches stay quiet. The initial value
+/// can be set with the `ITG_LOG_LEVEL` env var — a name (`debug`, `info`,
+/// `warn`, `error`) or the numeric level (0-3).
 LogLevel& MinLogLevel();
 
 namespace internal_logging {
+
+inline const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
 
 class LogMessage {
  public:
@@ -41,14 +51,6 @@ class LogMessage {
     }
     return "?";
   }
-  static const char* Basename(const char* path) {
-    const char* base = path;
-    for (const char* p = path; *p; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    return base;
-  }
-
   LogLevel level_;
   std::ostringstream stream_;
 };
@@ -56,7 +58,7 @@ class LogMessage {
 class FatalMessage {
  public:
   FatalMessage(const char* file, int line) {
-    stream_ << "[FATAL " << file << ":" << line << "] ";
+    stream_ << "[FATAL " << Basename(file) << ":" << line << "] ";
   }
   [[noreturn]] ~FatalMessage() {
     stream_ << "\n";

@@ -4,10 +4,20 @@
 
 namespace itg {
 
+Metrics::Metrics()
+    : read_bytes_(registry_.counter("io.read_bytes")),
+      write_bytes_(registry_.counter("io.write_bytes")),
+      network_bytes_(registry_.counter("net.bytes")),
+      cpu_nanos_(registry_.counter("cpu.nanos")),
+      page_reads_(registry_.counter("io.page_reads")),
+      steals_(registry_.counter("pool.steals")) {}
+
 Metrics& GlobalMetrics() {
   static Metrics* metrics = new Metrics();
   return *metrics;
 }
+
+MetricsRegistry& GlobalRegistry() { return GlobalMetrics().registry(); }
 
 std::string Metrics::ToString() const {
   std::ostringstream os;

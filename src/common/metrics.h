@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/metrics_registry.h"
+
 namespace itg {
 
 /// Counters mirroring the quantities the paper reports: disk IO bytes
@@ -15,54 +17,97 @@ namespace itg {
 ///
 /// One instance per simulated machine; `GlobalMetrics()` is the
 /// process-wide default used by single-machine runs.
+///
+/// Since the metrics-registry refactor this class is a compatibility
+/// facade: the six original counters live in the owned `MetricsRegistry`
+/// (names `io.read_bytes`, `io.write_bytes`, `net.bytes`, `cpu.nanos`,
+/// `io.page_reads`, `pool.steals`), alongside whatever named metrics the
+/// storage/engine layers register via `registry()`. All updates and reads
+/// are relaxed atomics; use `Snapshot()` for a consistent-enough plain
+/// value view instead of racing individual accessors against workers.
+class Metrics;
+
+/// Plain-value copy of the facade counters, safe to pass around.
+struct MetricsSnapshot {
+  static constexpr int kMaxTrackedThreads = 64;
+
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t network_bytes = 0;
+  uint64_t cpu_nanos = 0;
+  uint64_t page_reads = 0;
+  uint64_t steals = 0;
+  std::array<uint64_t, kMaxTrackedThreads> thread_cpu_nanos{};
+};
+
 class Metrics {
  public:
   /// Upper bound on per-thread CPU meters (and hence on usable pool
   /// sizes); threads beyond this are clamped into the last slot.
-  static constexpr int kMaxTrackedThreads = 64;
+  static constexpr int kMaxTrackedThreads =
+      MetricsSnapshot::kMaxTrackedThreads;
 
-  void AddReadBytes(uint64_t n) { read_bytes_ += n; }
-  void AddWriteBytes(uint64_t n) { write_bytes_ += n; }
-  void AddNetworkBytes(uint64_t n) { network_bytes_ += n; }
-  void AddCpuNanos(uint64_t n) { cpu_nanos_ += n; }
-  void AddPageReads(uint64_t n) { page_reads_ += n; }
+  Metrics();
+
+  void AddReadBytes(uint64_t n) { read_bytes_->Add(n); }
+  void AddWriteBytes(uint64_t n) { write_bytes_->Add(n); }
+  void AddNetworkBytes(uint64_t n) { network_bytes_->Add(n); }
+  void AddCpuNanos(uint64_t n) { cpu_nanos_->Add(n); }
+  void AddPageReads(uint64_t n) { page_reads_->Add(n); }
   void AddThreadCpuNanos(int thread, uint64_t n) {
-    thread_cpu_nanos_[ClampThread(thread)] += n;
+    thread_cpu_nanos_[ClampThread(thread)].fetch_add(
+        n, std::memory_order_relaxed);
   }
-  void AddSteals(uint64_t n) { steals_ += n; }
+  void AddSteals(uint64_t n) { steals_->Add(n); }
 
-  uint64_t read_bytes() const { return read_bytes_; }
-  uint64_t write_bytes() const { return write_bytes_; }
-  uint64_t network_bytes() const { return network_bytes_; }
-  uint64_t cpu_nanos() const { return cpu_nanos_; }
-  uint64_t page_reads() const { return page_reads_; }
+  uint64_t read_bytes() const { return read_bytes_->value(); }
+  uint64_t write_bytes() const { return write_bytes_->value(); }
+  uint64_t network_bytes() const { return network_bytes_->value(); }
+  uint64_t cpu_nanos() const { return cpu_nanos_->value(); }
+  uint64_t page_reads() const { return page_reads_->value(); }
   uint64_t thread_cpu_nanos(int thread) const {
-    return thread_cpu_nanos_[ClampThread(thread)];
+    return thread_cpu_nanos_[ClampThread(thread)].load(
+        std::memory_order_relaxed);
   }
-  uint64_t steals() const { return steals_; }
+  uint64_t steals() const { return steals_->value(); }
 
-  void Reset() {
-    read_bytes_ = 0;
-    write_bytes_ = 0;
-    network_bytes_ = 0;
-    cpu_nanos_ = 0;
-    page_reads_ = 0;
-    steals_ = 0;
-    for (auto& n : thread_cpu_nanos_) n = 0;
-  }
+  /// The named-metric registry backing this machine's meters. Storage and
+  /// engine components register their own counters/histograms here (e.g.
+  /// `buffer_pool.hits`, `page_store.read_nanos`); run reports export it.
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
 
-  /// Merges another metrics snapshot into this one (used when collapsing
-  /// per-machine meters into a cluster total).
-  void Merge(const Metrics& other) {
-    read_bytes_ += other.read_bytes_;
-    write_bytes_ += other.write_bytes_;
-    network_bytes_ += other.network_bytes_;
-    cpu_nanos_ += other.cpu_nanos_;
-    page_reads_ += other.page_reads_;
-    steals_ += other.steals_;
+  /// Consistent plain-value copy of the facade counters (each field is an
+  /// individually-relaxed read; no torn 64-bit values).
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot snap;
+    snap.read_bytes = read_bytes();
+    snap.write_bytes = write_bytes();
+    snap.network_bytes = network_bytes();
+    snap.cpu_nanos = cpu_nanos();
+    snap.page_reads = page_reads();
+    snap.steals = steals();
     for (int t = 0; t < kMaxTrackedThreads; ++t) {
-      thread_cpu_nanos_[static_cast<size_t>(t)] +=
-          other.thread_cpu_nanos_[static_cast<size_t>(t)];
+      snap.thread_cpu_nanos[static_cast<size_t>(t)] = thread_cpu_nanos(t);
+    }
+    return snap;
+  }
+
+  /// Zeroes every metric in the registry (named ones included) and the
+  /// per-thread CPU meters.
+  void Reset() {
+    registry_.Reset();
+    for (auto& n : thread_cpu_nanos_) n.store(0, std::memory_order_relaxed);
+  }
+
+  /// Merges another machine's meters into this one (used when collapsing
+  /// per-machine meters into a cluster total). Merges the full registry,
+  /// so named storage metrics roll up alongside the six facade counters.
+  void Merge(const Metrics& other) {
+    registry_.Merge(other.registry_);
+    for (int t = 0; t < kMaxTrackedThreads; ++t) {
+      thread_cpu_nanos_[static_cast<size_t>(t)].fetch_add(
+          other.thread_cpu_nanos(t), std::memory_order_relaxed);
     }
   }
 
@@ -75,12 +120,13 @@ class Metrics {
     return static_cast<size_t>(thread);
   }
 
-  std::atomic<uint64_t> read_bytes_{0};
-  std::atomic<uint64_t> write_bytes_{0};
-  std::atomic<uint64_t> network_bytes_{0};
-  std::atomic<uint64_t> cpu_nanos_{0};
-  std::atomic<uint64_t> page_reads_{0};
-  std::atomic<uint64_t> steals_{0};
+  MetricsRegistry registry_;
+  Counter* read_bytes_;
+  Counter* write_bytes_;
+  Counter* network_bytes_;
+  Counter* cpu_nanos_;
+  Counter* page_reads_;
+  Counter* steals_;
   std::array<std::atomic<uint64_t>, kMaxTrackedThreads> thread_cpu_nanos_{};
 };
 

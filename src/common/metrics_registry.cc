@@ -1,0 +1,142 @@
+#include "common/metrics_registry.h"
+
+namespace itg {
+
+namespace {
+
+template <typename T>
+T* GetOrCreate(std::map<std::string, std::unique_ptr<T>, std::less<>>* m,
+               std::string_view name) {
+  auto it = m->find(name);
+  if (it == m->end()) {
+    it = m->emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+void AppendJsonKey(const std::string& name, std::string* out) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->append("\":");
+}
+
+}  // namespace
+
+uint64_t Histogram::PercentileUpperBound(double p) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * total);
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen > rank) {
+      if (b + 1 >= kBuckets) return ~uint64_t{0};
+      return BucketLowerBound(b + 1);
+    }
+  }
+  return ~uint64_t{0};
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(&counters_, name);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(&gauges_, name);
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(&histograms_, name);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      uint64_t n = h->bucket_count(b);
+      if (n != 0) hs.buckets.emplace_back(Histogram::BucketLowerBound(b), n);
+    }
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  // Snapshot `other` first so we never hold both registry mutexes at once.
+  Snapshot snap = other.Snap();
+  for (const auto& [name, v] : snap.counters) counter(name)->Add(v);
+  for (const auto& [name, v] : snap.gauges) gauge(name)->Add(v);
+  for (const auto& [name, hs] : snap.histograms) {
+    histogram(name)->MergeRaw(hs.count, hs.sum, hs.buckets);
+  }
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  Snapshot snap = Snap();
+  std::string out;
+  out.append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(name, &out);
+    out.append(std::to_string(v));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(name, &out);
+    out.append(std::to_string(v));
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, hs] : snap.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(name, &out);
+    out.append("{\"count\":");
+    out.append(std::to_string(hs.count));
+    out.append(",\"sum\":");
+    out.append(std::to_string(hs.sum));
+    out.append(",\"buckets\":[");
+    bool bfirst = true;
+    for (const auto& [lower, n] : hs.buckets) {
+      if (!bfirst) out.push_back(',');
+      bfirst = false;
+      out.push_back('[');
+      out.append(std::to_string(lower));
+      out.push_back(',');
+      out.append(std::to_string(n));
+      out.push_back(']');
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace itg

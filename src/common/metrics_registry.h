@@ -1,0 +1,174 @@
+#ifndef ITG_COMMON_METRICS_REGISTRY_H_
+#define ITG_COMMON_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace itg {
+
+/// Named-metric registry: counters, gauges, and log-scale histograms.
+///
+/// Instruments register (or look up) a metric once by name and then update
+/// it lock-free; all updates are relaxed atomics, so a metric pointer can
+/// be shared across the thread pool. Metric pointers are stable for the
+/// lifetime of the registry.
+///
+/// One registry per simulated machine (owned by `Metrics`, which remains
+/// the compatibility facade for the six original hard-coded counters);
+/// `GlobalRegistry()` is the process-wide default that run reports export.
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins signed level (e.g. resident bytes, active chain length).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale (power-of-two bucket) histogram for long-tailed quantities:
+/// walk lengths, Δ-batch sizes, page-read latencies. Bucket `b` counts
+/// values in `[2^(b-1), 2^b)`; bucket 0 counts zeros. Recording is two
+/// relaxed fetch_adds plus one for the bucket.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket `value` falls into.
+  static int BucketOf(uint64_t value) {
+    int b = 0;
+    while (value != 0) {
+      ++b;
+      value >>= 1;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Smallest value that lands in bucket `b`.
+  static uint64_t BucketLowerBound(int b) {
+    if (b <= 0) return 0;
+    return uint64_t{1} << (b - 1);
+  }
+
+  /// Upper bound (exclusive) of the bucket holding the p-th percentile
+  /// (p in [0, 100]); 0 when empty. Log-scale approximation.
+  uint64_t PercentileUpperBound(double p) const;
+
+  void Merge(const Histogram& other) {
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets_[static_cast<size_t>(b)].fetch_add(other.bucket_count(b),
+                                                 std::memory_order_relaxed);
+    }
+  }
+
+  /// Merges raw tallies taken from a snapshot: `buckets` holds (bucket
+  /// lower bound, count) pairs as produced by `MetricsRegistry::Snap`.
+  void MergeRaw(uint64_t count, uint64_t sum,
+                const std::vector<std::pair<uint64_t, uint64_t>>& buckets) {
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+    for (const auto& [lower, n] : buckets) {
+      buckets_[static_cast<size_t>(BucketOf(lower))].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+  }
+
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. Returned pointers are stable for the registry's
+  /// lifetime; the lookup takes a mutex, so cache the pointer in hot paths.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Plain-value snapshot, safe to read while workers keep updating.
+  struct HistogramSnapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /// (bucket lower bound, count) for non-empty buckets, ascending.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  Snapshot Snap() const;
+
+  /// Accumulates every metric of `other` into this registry (creating
+  /// same-named metrics as needed). Used to collapse per-machine meters.
+  void Merge(const MetricsRegistry& other);
+
+  /// Zeroes every registered metric (names stay registered).
+  void Reset();
+
+  /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The registry behind `GlobalMetrics()` — the process-wide default sink
+/// exported by run reports. Defined in metrics.cc.
+MetricsRegistry& GlobalRegistry();
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_METRICS_REGISTRY_H_

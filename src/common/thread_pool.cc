@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace itg {
 namespace {
@@ -85,6 +86,7 @@ bool ThreadPool::StealTask(int w, size_t* task) {
     *task = q.tasks.back();
     q.tasks.pop_back();
     steals_.fetch_add(1, std::memory_order_relaxed);
+    TraceInstant("steal", "pool", victim);
     return true;
   }
   return false;
@@ -95,7 +97,11 @@ void ThreadPool::RunTasks(int w) {
   uint64_t longest = 0;
   while (true) {
     size_t task;
-    if (!PopOwn(w, &task) && !StealTask(w, &task)) break;
+    if (!PopOwn(w, &task) && !StealTask(w, &task)) {
+      // Queues drained: this worker is about to park at the batch barrier.
+      TraceInstant("park", "pool", w);
+      break;
+    }
     const uint64_t cpu0 = ThreadCpuNanos();
     (*fn_)(task, w);
     const uint64_t elapsed = ThreadCpuNanos() - cpu0;
@@ -107,6 +113,7 @@ void ThreadPool::RunTasks(int w) {
 }
 
 void ThreadPool::WorkerLoop(int w) {
+  Tracer::SetThreadName("itg-worker-" + std::to_string(w));
   uint64_t seen_epoch = 0;
   while (true) {
     {

@@ -1,0 +1,298 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace itg {
+
+namespace internal_trace {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+// Per-thread event buffer. Buffers are registered once per thread and leak
+// intentionally (like GlobalMetrics) so events survive thread exit and the
+// writer can run at process exit. Each buffer carries its own mutex so a
+// snapshot/export can run while other threads keep recording.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::string thread_name;
+  int tid = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;
+  int next_tid = 1;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+ThreadBuffer* GetThreadBuffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto* b = new ThreadBuffer();
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return buf;
+}
+
+uint64_t RawNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t Epoch() {
+  static const uint64_t epoch = RawNanos();
+  return epoch;
+}
+
+}  // namespace
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out->append(hex);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Microseconds with nanosecond precision kept in the fraction.
+void AppendMicros(uint64_t nanos, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(nanos / 1000),
+                static_cast<unsigned long long>(nanos % 1000));
+  out->append(buf);
+}
+
+namespace {
+
+void FlushEnvTraceAtExit() {
+  const std::string& path = Tracer::env_path();
+  if (path.empty()) return;
+  Status s = Tracer::WriteTo(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "[itg] failed to write ITG_TRACE file %s: %s\n",
+                 path.c_str(), s.ToString().c_str());
+  }
+}
+
+// Enables tracing at startup when ITG_TRACE names an output path.
+struct EnvInit {
+  EnvInit() {
+    if (!Tracer::env_path().empty()) {
+      Tracer::Enable();
+      std::atexit(FlushEnvTraceAtExit);
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+uint64_t NowNanos() { return RawNanos() - Epoch(); }
+
+void Emit(const TraceEvent& event) {
+  ThreadBuffer* buf = GetThreadBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->events.push_back(event);
+}
+
+}  // namespace internal_trace
+
+using internal_trace::AppendJsonString;
+using internal_trace::GetRegistry;
+using internal_trace::GetThreadBuffer;
+using internal_trace::Registry;
+using internal_trace::ThreadBuffer;
+
+void Tracer::Enable() {
+  internal_trace::Epoch();  // pin the epoch before the first event
+  internal_trace::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  internal_trace::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::Reset() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (ThreadBuffer* buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+size_t Tracer::event_count() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  size_t total = 0;
+  for (ThreadBuffer* buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->events.size();
+  }
+  return total;
+}
+
+std::vector<Tracer::CollectedEvent> Tracer::Collect() {
+  std::vector<CollectedEvent> out;
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (ThreadBuffer* buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (const internal_trace::TraceEvent& e : buf->events) {
+      CollectedEvent c;
+      c.name = e.name;
+      c.cat = e.cat;
+      c.ts_nanos = e.ts_nanos;
+      c.dur_nanos = e.dur_nanos;
+      c.arg = e.arg;
+      c.has_arg = e.has_arg;
+      c.tid = buf->tid;
+      c.phase = e.phase;
+      out.push_back(std::move(c));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CollectedEvent& a, const CollectedEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.ts_nanos < b.ts_nanos;
+            });
+  return out;
+}
+
+std::string Tracer::ToJson() {
+  std::string out;
+  out.reserve(1 << 16);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (ThreadBuffer* buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    if (!buf->thread_name.empty()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append(
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+      out.append(std::to_string(buf->tid));
+      out.append(",\"args\":{\"name\":");
+      AppendJsonString(buf->thread_name, &out);
+      out.append("}}");
+    }
+    for (const internal_trace::TraceEvent& e : buf->events) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append("{\"name\":");
+      AppendJsonString(e.name, &out);
+      out.append(",\"cat\":");
+      AppendJsonString(e.cat, &out);
+      out.append(",\"ph\":\"");
+      out.push_back(e.phase);
+      out.append("\",\"pid\":1,\"tid\":");
+      out.append(std::to_string(buf->tid));
+      out.append(",\"ts\":");
+      internal_trace::AppendMicros(e.ts_nanos, &out);
+      if (e.phase == 'X') {
+        out.append(",\"dur\":");
+        internal_trace::AppendMicros(e.dur_nanos == 0 ? 1 : e.dur_nanos,
+                                     &out);
+      } else if (e.phase == 'i') {
+        out.append(",\"s\":\"t\"");
+      }
+      if (e.has_arg) {
+        out.append(",\"args\":{\"value\":");
+        out.append(std::to_string(e.arg));
+        out.append("}");
+      }
+      out.append("}");
+    }
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+Status Tracer::WriteTo(const std::string& path) {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+void Tracer::SetThreadName(const std::string& name) {
+  ThreadBuffer* buf = GetThreadBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->thread_name = name;
+}
+
+const std::string& Tracer::env_path() {
+  static const std::string* path = [] {
+    const char* env = std::getenv("ITG_TRACE");
+    return new std::string(env == nullptr ? "" : env);
+  }();
+  return *path;
+}
+
+void TraceSpan::Begin(const char* name, const char* cat, int64_t arg) {
+  name_ = name;
+  cat_ = cat;
+  arg_ = arg;
+  t0_ = internal_trace::NowNanos();
+}
+
+void TraceSpan::End() {
+  // If tracing was disabled mid-span, still record it: the begin was
+  // observed, and a dangling begin would corrupt nesting in the export.
+  uint64_t t1 = internal_trace::NowNanos();
+  internal_trace::Emit({name_, cat_, t0_, t1 - t0_, arg_, 'X',
+                        arg_ != Tracer::kNoArg});
+}
+
+}  // namespace itg

@@ -1,0 +1,145 @@
+#ifndef ITG_COMMON_TRACE_H_
+#define ITG_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itg {
+
+// Span tracer with lossless export to the Chrome trace-event JSON format
+// (loadable in chrome://tracing and https://ui.perfetto.dev).
+//
+// Spans are recorded through the RAII `TraceSpan` type into per-thread
+// buffers; point-in-time markers (thread-pool steals/parks) go through
+// `TraceInstant`. Recording is gated on a single process-wide atomic flag:
+// when tracing is disabled the constructor is one relaxed load and no
+// allocation or clock read happens, so instrumentation can stay in hot
+// paths unconditionally.
+//
+// Setting `ITG_TRACE=<path>` in the environment enables the tracer at
+// startup and writes the JSON file at process exit. Tests and tools can
+// instead drive the Enable/Disable/WriteTo API directly.
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the tracer); buffers store the pointers, not copies.
+
+namespace internal_trace {
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  uint64_t ts_nanos;   // since tracer epoch
+  uint64_t dur_nanos;  // 0 for instant events
+  int64_t arg;
+  char phase;  // 'X' complete span, 'i' instant
+  bool has_arg;
+};
+
+extern std::atomic<bool> g_enabled;
+
+uint64_t NowNanos();
+void Emit(const TraceEvent& event);
+
+}  // namespace internal_trace
+
+class Tracer {
+ public:
+  // Sentinel for "no argument attached to this event".
+  static constexpr int64_t kNoArg = INT64_MIN;
+
+  // A buffered event, resolved for inspection by tests and the writer.
+  struct CollectedEvent {
+    std::string name;
+    std::string cat;
+    uint64_t ts_nanos = 0;
+    uint64_t dur_nanos = 0;
+    int64_t arg = 0;
+    bool has_arg = false;
+    int tid = 0;
+    char phase = 'X';
+  };
+
+  static bool enabled() {
+    return internal_trace::g_enabled.load(std::memory_order_relaxed);
+  }
+
+  // Starts/stops recording. Disable keeps already-buffered events so they
+  // can still be inspected or written.
+  static void Enable();
+  static void Disable();
+
+  // Drops all buffered events (thread registrations are kept).
+  static void Reset();
+
+  // Total number of buffered events across all threads.
+  static size_t event_count();
+
+  // Snapshot of all buffered events, ordered by (tid, ts).
+  static std::vector<CollectedEvent> Collect();
+
+  // Serializes buffered events as Chrome trace-event JSON.
+  static std::string ToJson();
+  static Status WriteTo(const std::string& path);
+
+  // Names the calling thread in the exported trace (metadata event).
+  static void SetThreadName(const std::string& name);
+
+  // The path from ITG_TRACE, or empty if the env var is unset.
+  static const std::string& env_path();
+};
+
+// RAII scoped span. Records one complete ("X") event covering the
+// constructor-to-destructor interval on the current thread.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "engine",
+                     int64_t arg = Tracer::kNoArg) {
+    if (Tracer::enabled()) Begin(name, cat, arg);
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* name, const char* cat, int64_t arg);
+  void End();
+
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  int64_t arg_ = 0;
+  uint64_t t0_ = 0;
+};
+
+// Point-in-time marker (an "i" instant event).
+inline void TraceInstant(const char* name, const char* cat = "engine",
+                         int64_t arg = Tracer::kNoArg) {
+  if (!Tracer::enabled()) return;
+  internal_trace::Emit({name, cat, internal_trace::NowNanos(), 0, arg, 'i',
+                        arg != Tracer::kNoArg});
+}
+
+// Records a complete event with an explicit start and duration. Used where
+// a phase's time is accumulated rather than contiguous (e.g. the sequential
+// walk path fuses Accumulate into the emission sink, so its span is the sum
+// of sink invocations, anchored at the job start).
+inline void TraceCompleteEvent(const char* name, const char* cat,
+                               uint64_t ts_nanos, uint64_t dur_nanos,
+                               int64_t arg = Tracer::kNoArg) {
+  if (!Tracer::enabled()) return;
+  internal_trace::Emit({name, cat, ts_nanos, dur_nanos, arg, 'X',
+                        arg != Tracer::kNoArg});
+}
+
+// Nanoseconds since the tracer epoch; pairs with TraceCompleteEvent.
+inline uint64_t TraceNowNanos() { return internal_trace::NowNanos(); }
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_TRACE_H_

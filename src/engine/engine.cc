@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "engine/msbfs.h"
 #include "engine/stmt_interp.h"
 
@@ -425,6 +426,7 @@ Status Engine::RunWalkJobs(const std::vector<WalkJob>& jobs) {
   for (const WalkJob& job : jobs) {
     num_tasks += (job.starts.size() + block - 1) / block;
   }
+  TraceSpan span("walk", "engine", static_cast<int64_t>(num_tasks));
   // The parallel path requires: a pool worth waking, a program whose
   // traverse-level expressions never read accumulator state (so walk
   // evaluation commutes with emission application), and the plain
@@ -444,6 +446,27 @@ Status Engine::RunWalkJobsSequential(const std::vector<WalkJob>& jobs) {
         job.eval_cols, job.eval_globals, n,
         static_cast<double>(store_->num_edges(job.eval_t)));
     WalkSink sink = MakeApplySink(job);
+    if (Tracer::enabled()) {
+      // The sequential path fuses Accumulate into the emission sink, so
+      // its span cannot be a contiguous interval; meter the sink and emit
+      // one synthesized span per job, anchored at the job start. The
+      // wrapper only exists while tracing so the fast path is unchanged.
+      uint64_t accumulate_nanos = 0;
+      WalkSink timed = [&](const VertexId* row, int depth, int mult) {
+        const uint64_t t0 = TraceNowNanos();
+        sink(row, depth, mult);
+        accumulate_nanos += TraceNowNanos() - t0;
+      };
+      const uint64_t job_start = TraceNowNanos();
+      ITG_RETURN_IF_ERROR(PartitionedEnumerate(
+          job.starts, [&](const std::vector<VertexId>& part) {
+            return enumerator_.Enumerate(part, job.streams, job.current_t,
+                                         job.previous_t, job.level_allow,
+                                         job.max_depth, timed);
+          }));
+      TraceCompleteEvent("accumulate", "engine", job_start, accumulate_nanos);
+      continue;
+    }
     ITG_RETURN_IF_ERROR(PartitionedEnumerate(
         job.starts, [&](const std::vector<VertexId>& part) {
           return enumerator_.Enumerate(part, job.streams, job.current_t,
@@ -475,6 +498,7 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
     std::vector<double> values;  // emission.width doubles per record
     uint64_t windows = 0;
     uint64_t edges = 0;
+    uint64_t pruned = 0;
   };
   struct TaskSpec {
     size_t job;
@@ -562,6 +586,7 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
     };
     const uint64_t windows0 = we.windows_loaded();
     const uint64_t edges0 = we.edges_scanned();
+    const uint64_t pruned0 = we.walks_pruned();
     std::vector<VertexId> task_starts(
         job.starts.begin() + static_cast<ptrdiff_t>(spec.begin),
         job.starts.begin() + static_cast<ptrdiff_t>(spec.end));
@@ -570,10 +595,13 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
                               job.max_depth, sink);
     out.windows = we.windows_loaded() - windows0;
     out.edges = we.edges_scanned() - edges0;
+    out.pruned = we.walks_pruned() - pruned0;
   });
 
   stats_.parallel_tasks += tasks.size();
 
+  TraceSpan accumulate_span("accumulate", "engine",
+                            static_cast<int64_t>(tasks.size()));
   for (size_t ti = 0; ti < tasks.size(); ++ti) {
     const TaskResult& r = results[ti];
     const double* vp = r.values.data();
@@ -582,7 +610,7 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
       ApplyEmissionValue(e, rec.target, vp, rec.mult);
       vp += e.width;
     }
-    enumerator_.AddCounts(r.windows, r.edges);
+    enumerator_.AddCounts(r.windows, r.edges, r.pruned);
     // A failing task aborts after its own partial records, mirroring the
     // sequential path's mid-stream error behavior.
     if (!r.status.ok()) return r.status;
@@ -623,6 +651,7 @@ void Engine::UnmarkRecompute(int attr, VertexId v) {
 void Engine::RunUpdatePhase(ColumnSet* cols,
                             std::vector<std::vector<double>>* globals,
                             Timestamp t) {
+  TraceSpan span("update", "engine");
   // All vertices deactivate; Update re-activates (vertex-centric
   // "vote-to-halt" semantics, §3).
   auto& active = cols->Column(program_->active_attr);
@@ -725,6 +754,7 @@ Status Engine::WriteDeltaFiles(Timestamp t, Superstep s,
 // ---------------------------------------------------------------------------
 
 Status Engine::RunOneShot(Timestamp t) {
+  TraceSpan run_span("oneshot", "engine", t);
   Stopwatch watch;
   Metrics& metrics = *store_->metrics();
   const uint64_t read0 = metrics.read_bytes();
@@ -733,6 +763,7 @@ Status Engine::RunOneShot(Timestamp t) {
   stats_.timestamp = t;
   const uint64_t windows0 = enumerator_.windows_loaded();
   const uint64_t scans0 = enumerator_.edges_scanned();
+  const uint64_t pruned0 = enumerator_.walks_pruned();
   const uint64_t steals0 = pool_threads_ ? pool_threads_->steals() : 0;
   const uint64_t busy0 = pool_threads_ ? pool_threads_->total_busy_nanos() : 0;
   const uint64_t crit0 = pool_threads_ ? pool_threads_->critical_nanos() : 0;
@@ -754,6 +785,7 @@ Status Engine::RunOneShot(Timestamp t) {
   Superstep s = 0;
   while (s < options_.max_supersteps &&
          (options_.fixed_supersteps < 0 || s < options_.fixed_supersteps)) {
+    TraceSpan superstep_span("superstep", "engine", s);
     std::vector<VertexId> active = ActiveList(cur_cols_);
     if (active.empty()) break;
     ResetAccumulators(&cur_cols_);
@@ -804,6 +836,7 @@ Status Engine::RunOneShot(Timestamp t) {
   stats_.incremental = false;
   stats_.windows_loaded = enumerator_.windows_loaded() - windows0;
   stats_.edges_scanned = enumerator_.edges_scanned() - scans0;
+  stats_.delta_walks_pruned = enumerator_.walks_pruned() - pruned0;
   stats_.seconds = watch.ElapsedSeconds();
   stats_.read_bytes = metrics.read_bytes() - read0;
   stats_.write_bytes = metrics.write_bytes() - write0;
@@ -826,6 +859,7 @@ Status Engine::RunIncremental(Timestamp t) {
           "incremental execution with global monoid accumulators");
     }
   }
+  TraceSpan run_span("incremental", "engine", t);
   Stopwatch watch;
   Metrics& metrics = *store_->metrics();
   const uint64_t read0 = metrics.read_bytes();
@@ -836,6 +870,7 @@ Status Engine::RunIncremental(Timestamp t) {
   stats_.incremental = true;
   const uint64_t windows0 = enumerator_.windows_loaded();
   const uint64_t scans0 = enumerator_.edges_scanned();
+  const uint64_t pruned0 = enumerator_.walks_pruned();
   const uint64_t steals0 = pool_threads_ ? pool_threads_->steals() : 0;
   const uint64_t busy0 = pool_threads_ ? pool_threads_->total_busy_nanos() : 0;
   const uint64_t crit0 = pool_threads_ ? pool_threads_->critical_nanos() : 0;
@@ -880,6 +915,7 @@ Status Engine::RunIncremental(Timestamp t) {
   Superstep s = 0;
   while (s < options_.max_supersteps &&
          (options_.fixed_supersteps < 0 || s < options_.fixed_supersteps)) {
+    TraceSpan superstep_span("superstep", "engine", s);
     std::vector<VertexId> cur_active = ActiveList(cur_cols_);
     if (cur_active.empty() && s >= s_prev_total) break;
 
@@ -887,10 +923,13 @@ Status Engine::RunIncremental(Timestamp t) {
     // Reconstruct A^accm_{t-1,s} from the store (identity + overlay).
     remote_seen_.clear();
     Stopwatch overlay_watch;
-    ResetAccumulators(&prev_cols_);
-    for (int attr : AccmFileAttrs()) {
-      ITG_RETURN_IF_ERROR(vs->OverlaySuperstep(
-          pool, prev_t, s, attr, prev_cols_.Column(attr).data()));
+    {
+      TraceSpan overlay_span("overlay", "engine", s);
+      ResetAccumulators(&prev_cols_);
+      for (int attr : AccmFileAttrs()) {
+        ITG_RETURN_IF_ERROR(vs->OverlaySuperstep(
+            pool, prev_t, s, attr, prev_cols_.Column(attr).data()));
+      }
     }
     charge_shared_seconds(overlay_watch.ElapsedSeconds());
     // Current accumulators start from the previous snapshot's and are
@@ -907,20 +946,15 @@ Status Engine::RunIncremental(Timestamp t) {
     CollectChanged(cur_cols_, prev_cols_, traverse_attrs, &changed_starts);
 
     emissions0 = stats_.emissions_applied;
-    // ITG_TRACE=1 prints per-superstep Δ diagnostics (changed-start set
-    // sizes, per-phase edge scans) to stderr.
-    static const bool trace = getenv("ITG_TRACE") != nullptr;
-    if (trace) {
-      fprintf(stderr, "[trace] t=%d s=%d changed_starts=%zu cur_active=%zu\n",
-              t, s, changed_starts.size(), cur_active.size());
-    }
+    // Per-superstep Δ diagnostics (changed-start set sizes, per-phase edge
+    // scans); enable with ITG_LOG_LEVEL=debug.
+    ITG_LOG(Debug) << "t=" << t << " s=" << s
+                   << " changed_starts=" << changed_starts.size()
+                   << " cur_active=" << cur_active.size();
     uint64_t delta_scans0 = enumerator_.edges_scanned();
     ITG_RETURN_IF_ERROR(RunDeltaTraverse(t, s, changed_starts, cur_active));
-    if (trace) {
-      fprintf(stderr, "[trace]   delta-traverse scans=%llu\n",
-              static_cast<unsigned long long>(enumerator_.edges_scanned() -
-                                              delta_scans0));
-    }
+    ITG_LOG(Debug) << "  delta-traverse scans="
+                   << enumerator_.edges_scanned() - delta_scans0;
     ITG_RETURN_IF_ERROR(RunMonoidRecompute(t, s));
     stats_.delta_walk_emissions += stats_.emissions_applied - emissions0;
 
@@ -956,11 +990,14 @@ Status Engine::RunIncremental(Timestamp t) {
     // Advance prev to A_{t-1,s+1} by overlaying the stored chains.
     scratch_changed.clear();
     overlay_watch.Restart();
-    for (int attr : AttrFileAttrs()) {
-      ITG_RETURN_IF_ERROR(
-          vs->OverlaySuperstep(pool, prev_t, s + 1, attr,
-                               prev_cols_.Column(attr).data(),
-                               &scratch_changed));
+    {
+      TraceSpan overlay_span("overlay", "engine", s);
+      for (int attr : AttrFileAttrs()) {
+        ITG_RETURN_IF_ERROR(
+            vs->OverlaySuperstep(pool, prev_t, s + 1, attr,
+                                 prev_cols_.Column(attr).data(),
+                                 &scratch_changed));
+      }
     }
     charge_shared_seconds(overlay_watch.ElapsedSeconds());
     std::sort(scratch_changed.begin(), scratch_changed.end());
@@ -974,6 +1011,8 @@ Status Engine::RunIncremental(Timestamp t) {
       cur_cols_.Column(attr) = prev_cols_.Column(attr);
     }
     {
+      TraceSpan update_span("update", "engine",
+                            static_cast<int64_t>(domain.size()));
       StmtContext ctx;
       ctx.columns = &cur_cols_;
       ctx.globals = &cur_globals_;
@@ -1030,6 +1069,7 @@ Status Engine::RunIncremental(Timestamp t) {
   stats_.supersteps = s;
   stats_.windows_loaded = enumerator_.windows_loaded() - windows0;
   stats_.edges_scanned = enumerator_.edges_scanned() - scans0;
+  stats_.delta_walks_pruned = enumerator_.walks_pruned() - pruned0;
   stats_.seconds = watch.ElapsedSeconds();
   stats_.read_bytes = metrics.read_bytes() - read0;
   stats_.write_bytes = metrics.write_bytes() - write0;
@@ -1044,6 +1084,7 @@ Status Engine::RunIncremental(Timestamp t) {
 Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
                                 const std::vector<VertexId>& changed_starts,
                                 const std::vector<VertexId>& cur_active) {
+  TraceSpan span("delta_traverse", "engine", s);
   const int k = program_->walk_length();
   const VertexId n = store_->num_vertices();
   const Timestamp prev_t = t - 1;
@@ -1247,6 +1288,7 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
   // the closing constraint fixes the start u_1 = b; forward enumeration
   // over the current snapshot binds positions 2..k-1 with a final
   // membership probe against `a`.
+  TraceSpan span("anchored_closing", "engine", p);
   const int k = program_->walk_length();
   ITG_CHECK_EQ(p, k);
   const VertexId n = store_->num_vertices();
@@ -1349,6 +1391,7 @@ Status Engine::RunMonoidRecompute(Timestamp t, Superstep s) {
     if (!recompute_sets_[a].empty()) any = true;
   }
   if (!any) return Status::OK();
+  TraceSpan span("monoid_recompute", "engine", s);
 
   // Re-derive the recompute targets that are still marked.
   std::vector<std::vector<uint8_t>> target_marks(

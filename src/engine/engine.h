@@ -65,6 +65,9 @@ struct RunStats {
   int supersteps = 0;
   uint64_t emissions_applied = 0;
   uint64_t delta_walk_emissions = 0;
+  /// Candidate walk extensions rejected by neighbor pruning's MS-BFS
+  /// visited sets (§5.4) — work the Δ-walk decomposition avoided.
+  uint64_t delta_walks_pruned = 0;
   uint64_t recomputed_vertices = 0;
   uint64_t windows_loaded = 0;
   uint64_t edges_scanned = 0;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace itg {
 
@@ -20,6 +21,8 @@ Status WalkEnumerator::LoadWindow(const std::vector<VertexId>& vertices,
                                   LevelStream stream, Direction dir,
                                   Timestamp current_t, Timestamp previous_t,
                                   AdjacencyWindow* window) {
+  // W-Seek: load the frontier chunk's adjacency into the window.
+  TraceSpan span("seek", "walk", static_cast<int64_t>(vertices.size()));
   ++windows_loaded_;
   window->ranges.clear();
   window->dsts.clear();
@@ -122,6 +125,10 @@ Status WalkEnumerator::Extend(
 
     std::vector<VertexId> next_prefixes;
     std::vector<int8_t> next_mults;
+    {
+    // W-Join: probe every live prefix against the loaded window (scoped so
+    // the span ends before recursing into the next level).
+    TraceSpan join_span("join", "walk", static_cast<int64_t>(num_prefixes));
     for (size_t i = 0; i < num_prefixes; ++i) {
       const VertexId* prefix = prefixes.data() + i * prefix_len;
       auto rit = window.ranges.find(prefix[prefix_len - 1]);
@@ -150,7 +157,10 @@ Status WalkEnumerator::Extend(
         for (; it != hi && *it == want; ++it) {
           uint32_t j = static_cast<uint32_t>(it - dsts);
           row[prefix_len] = want;
-          if (allow != nullptr && !(*allow)[static_cast<size_t>(want)]) break;
+          if (allow != nullptr && !(*allow)[static_cast<size_t>(want)]) {
+            ++walks_pruned_;
+            break;
+          }
           bool ok = true;
           for (const lang::Expr* cond : spec.general) {
             if (!EvaluateBool(*cond, ctx)) {
@@ -181,7 +191,10 @@ Status WalkEnumerator::Extend(
         VertexId v = dsts[j];
         if (spec.lt_pos >= 0 && v >= row[spec.lt_pos]) break;
         ++edges_scanned_;
-        if (allow != nullptr && !(*allow)[static_cast<size_t>(v)]) continue;
+        if (allow != nullptr && !(*allow)[static_cast<size_t>(v)]) {
+          ++walks_pruned_;
+          continue;
+        }
         row[prefix_len] = v;
         if (spec.eq_pos >= 0 && v != row[spec.eq_pos]) continue;
         bool ok = true;
@@ -200,6 +213,7 @@ Status WalkEnumerator::Extend(
           next_mults.push_back(static_cast<int8_t>(m));
         }
       }
+    }
     }
     if (level < max_depth && !next_prefixes.empty()) {
       ITG_RETURN_IF_ERROR(Extend(level + 1, next_prefixes, next_mults,

@@ -81,12 +81,16 @@ class WalkEnumerator {
   /// Walk-window statistics (for benches/tests).
   uint64_t windows_loaded() const { return windows_loaded_; }
   uint64_t edges_scanned() const { return edges_scanned_; }
+  /// Candidate walk extensions rejected by `level_allow` — the walks
+  /// neighbor pruning (§5.4's MS-BFS visited sets) saved enumerating.
+  uint64_t walks_pruned() const { return walks_pruned_; }
 
   /// Folds the counters of a worker-thread enumerator into this one (the
   /// parallel executor merges shard counters in deterministic task order).
-  void AddCounts(uint64_t windows, uint64_t edges) {
+  void AddCounts(uint64_t windows, uint64_t edges, uint64_t pruned = 0) {
     windows_loaded_ += windows;
     edges_scanned_ += edges;
+    walks_pruned_ += pruned;
   }
 
  private:
@@ -115,6 +119,7 @@ class WalkEnumerator {
 
   uint64_t windows_loaded_ = 0;
   uint64_t edges_scanned_ = 0;
+  uint64_t walks_pruned_ = 0;
 };
 
 }  // namespace itg

@@ -1,0 +1,148 @@
+#include "harness/run_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/metrics.h"
+#include "common/metrics_registry.h"
+
+namespace itg {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendField(std::string* out, const char* key, uint64_t v,
+                 bool trailing_comma = true) {
+  AppendJsonString(out, key);
+  out->push_back(':');
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+  if (trailing_comma) out->push_back(',');
+}
+
+}  // namespace
+
+void RunReport::AddRun(const std::string& name, const RunStats& stats,
+                       const std::vector<MachineStats>& machines,
+                       uint64_t network_bytes) {
+  runs_.push_back(Run{name, stats, machines, network_bytes});
+}
+
+void RunReport::AddResult(const std::string& name, double value) {
+  results_.emplace_back(name, value);
+}
+
+std::string RunReport::ToJson() const {
+  std::string out;
+  out.reserve(4096);
+  out.append("{\"schema_version\":1,\"binary\":");
+  AppendJsonString(&out, binary_);
+  out.append(",\"runs\":[");
+  bool first = true;
+  for (const Run& run : runs_) {
+    if (!first) out.push_back(',');
+    first = false;
+    const RunStats& s = run.stats;
+    out.append("{\"name\":");
+    AppendJsonString(&out, run.name);
+    out.push_back(',');
+    AppendField(&out, "timestamp", static_cast<uint64_t>(s.timestamp));
+    out.append("\"incremental\":");
+    out.append(s.incremental ? "true," : "false,");
+    AppendField(&out, "supersteps", static_cast<uint64_t>(s.supersteps));
+    out.append("\"seconds\":");
+    AppendDouble(&out, s.seconds);
+    out.push_back(',');
+    AppendField(&out, "read_bytes", s.read_bytes);
+    AppendField(&out, "write_bytes", s.write_bytes);
+    AppendField(&out, "network_bytes", run.network_bytes);
+    AppendField(&out, "windows_loaded", s.windows_loaded);
+    AppendField(&out, "edges_scanned", s.edges_scanned);
+    AppendField(&out, "emissions_applied", s.emissions_applied);
+    AppendField(&out, "recomputed_vertices", s.recomputed_vertices);
+    out.append("\"delta_walks\":{");
+    AppendField(&out, "enumerated", s.delta_walk_emissions);
+    AppendField(&out, "pruned", s.delta_walks_pruned,
+                /*trailing_comma=*/false);
+    out.append("},");
+    AppendField(&out, "threads", static_cast<uint64_t>(s.threads));
+    AppendField(&out, "parallel_tasks", s.parallel_tasks);
+    AppendField(&out, "steals", s.steals);
+    AppendField(&out, "busy_nanos", s.busy_nanos);
+    AppendField(&out, "critical_nanos", s.critical_nanos);
+    out.append("\"machines\":[");
+    for (size_t m = 0; m < run.machines.size(); ++m) {
+      if (m > 0) out.push_back(',');
+      out.append("{\"seconds\":");
+      AppendDouble(&out, run.machines[m].seconds);
+      out.push_back(',');
+      AppendField(&out, "network_bytes", run.machines[m].network_bytes,
+                  /*trailing_comma=*/false);
+      out.push_back('}');
+    }
+    out.append("]}");
+  }
+  out.append("],\"results\":{");
+  first = true;
+  for (const auto& [name, value] : results_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendDouble(&out, value);
+  }
+  out.append("},\"metrics\":");
+  MetricsRegistry& registry = GlobalMetrics().registry();
+  out.append(registry.ToJson());
+  const uint64_t hits = registry.counter("buffer_pool.hits")->value();
+  const uint64_t misses = registry.counter("buffer_pool.misses")->value();
+  out.append(",\"buffer_pool\":{");
+  AppendField(&out, "hits", hits);
+  AppendField(&out, "misses", misses);
+  out.append("\"hit_rate\":");
+  AppendDouble(&out, hits + misses > 0
+                         ? static_cast<double>(hits) /
+                               static_cast<double>(hits + misses)
+                         : 0.0);
+  out.append("}}");
+  return out;
+}
+
+Status RunReport::WriteTo(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open " + path);
+  f << ToJson() << "\n";
+  f.flush();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace itg

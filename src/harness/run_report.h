@@ -1,0 +1,88 @@
+#ifndef ITG_HARNESS_RUN_REPORT_H_
+#define ITG_HARNESS_RUN_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace itg {
+
+/// Machine-readable run report (the `--metrics-json=<path>` output of the
+/// bench and harness binaries).
+///
+/// Schema (version 1, validated by tools/trace_summary.py):
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "binary": "fig12_overall",
+///   "runs": [
+///     {"name": "...", "timestamp": 0, "incremental": false,
+///      "supersteps": 3, "seconds": 0.12,
+///      "read_bytes": 0, "write_bytes": 0, "network_bytes": 0,
+///      "windows_loaded": 0, "edges_scanned": 0, "emissions_applied": 0,
+///      "recomputed_vertices": 0,
+///      "delta_walks": {"enumerated": 0, "pruned": 0},
+///      "threads": 1, "parallel_tasks": 0, "steals": 0,
+///      "busy_nanos": 0, "critical_nanos": 0,
+///      "machines": [{"seconds": 0.1, "network_bytes": 123}, ...]},
+///     ...
+///   ],
+///   "results": {"<bench row name>": <double>, ...},
+///   "metrics": {"counters": {...}, "gauges": {...},
+///               "histograms": {"name": {"count":, "sum":,
+///                              "buckets": [[lower, count], ...]}}},
+///   "buffer_pool": {"hits": 0, "misses": 0, "hit_rate": 0.0}
+/// }
+/// ```
+///
+/// `metrics` and `buffer_pool` are snapshotted from `GlobalMetrics()` at
+/// serialization time, so everything the storage/engine layers registered
+/// during the process (page-read latency histograms, Δ-batch sizes, merge
+/// decisions) is exported without per-bench plumbing.
+class RunReport {
+ public:
+  explicit RunReport(std::string binary = "") : binary_(std::move(binary)) {}
+
+  void set_binary(std::string binary) { binary_ = std::move(binary); }
+
+  /// Appends one engine run. `network_bytes` is the cluster total;
+  /// `machines` carries the per-machine breakdown (empty when the run was
+  /// not partitioned).
+  void AddRun(const std::string& name, const RunStats& stats,
+              const std::vector<MachineStats>& machines = {},
+              uint64_t network_bytes = 0);
+
+  /// Records a scalar bench result (a printed table cell, a speedup, ...).
+  void AddResult(const std::string& name, double value);
+
+  std::string ToJson() const;
+  Status WriteTo(const std::string& path) const;
+
+  /// Writes iff `path` is non-empty — the direct sink for a
+  /// `--metrics-json=<path>` flag value.
+  Status MaybeWrite(const std::string& path) const {
+    if (path.empty()) return Status::OK();
+    return WriteTo(path);
+  }
+
+  size_t run_count() const { return runs_.size(); }
+
+ private:
+  struct Run {
+    std::string name;
+    RunStats stats;
+    std::vector<MachineStats> machines;
+    uint64_t network_bytes = 0;
+  };
+
+  std::string binary_;
+  std::vector<Run> runs_;
+  std::vector<std::pair<std::string, double>> results_;
+};
+
+}  // namespace itg
+
+#endif  // ITG_HARNESS_RUN_REPORT_H_

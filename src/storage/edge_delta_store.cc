@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace itg {
 
 Status EdgeDeltaStore::ApplyBatch(Timestamp t,
                                   const std::vector<EdgeDelta>& batch) {
+  TraceSpan span("delta_apply_batch", "storage",
+                 static_cast<int64_t>(batch.size()));
   if (t != latest_ + 1) {
     return Status::InvalidArgument("mutation batches must be consecutive");
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace itg {
 
@@ -46,6 +47,13 @@ StatusOr<std::unique_ptr<DynamicGraphStore>> DynamicGraphStore::Create(
 
 StatusOr<Timestamp> DynamicGraphStore::ApplyMutations(
     const std::vector<EdgeDelta>& batch) {
+  TraceSpan span("apply_mutations", "storage",
+                 static_cast<int64_t>(batch.size()));
+  if (metrics_ != nullptr) {
+    metrics_->registry()
+        .histogram("store.delta_batch_size")
+        ->Record(batch.size());
+  }
   Timestamp t = latest_ + 1;
   ITG_RETURN_IF_ERROR(delta_store_->ApplyBatch(t, batch));
 

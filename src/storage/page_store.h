@@ -53,11 +53,16 @@ class PageStore {
 
  private:
   PageStore(std::string path, std::FILE* file, Metrics* metrics)
-      : path_(std::move(path)), file_(file), metrics_(metrics) {}
+      : path_(std::move(path)), file_(file), metrics_(metrics) {
+    if (metrics_ != nullptr) {
+      read_latency_ = metrics_->registry().histogram("page_store.read_nanos");
+    }
+  }
 
   std::string path_;
   std::FILE* file_;
   Metrics* metrics_;
+  Histogram* read_latency_ = nullptr;
   // Serializes the fseek+fread/fwrite pairs on file_ (mutable so the
   // logically-const ReadPage can lock it).
   mutable std::mutex io_mu_;
@@ -77,7 +82,16 @@ class BufferPool {
   using Page = std::vector<uint8_t>;
 
   BufferPool(PageStore* store, size_t capacity_pages)
-      : store_(store), capacity_(capacity_pages) {}
+      : store_(store), capacity_(capacity_pages) {
+    // Mirror hit/miss tallies into the owning machine's metrics registry
+    // (summed across all pools of that machine) so run reports can export
+    // a hit rate without reaching into individual pools.
+    if (store_ != nullptr && store_->metrics() != nullptr) {
+      MetricsRegistry& reg = store_->metrics()->registry();
+      hits_counter_ = reg.counter("buffer_pool.hits");
+      misses_counter_ = reg.counter("buffer_pool.misses");
+    }
+  }
 
   /// Fetches a page, from cache or disk.
   StatusOr<std::shared_ptr<const Page>> GetPage(PageId id);
@@ -107,8 +121,10 @@ class BufferPool {
   mutable std::mutex mu_;  // guards cache_, lru_, hits_, misses_
   std::unordered_map<PageId, Entry> cache_;
   std::list<PageId> lru_;  // front = most recent
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  uint64_t hits_ = 0;    // per-pool tallies (tests assert exact counts);
+  uint64_t misses_ = 0;  // the registry counters aggregate across pools
+  Counter* hits_counter_ = nullptr;
+  Counter* misses_counter_ = nullptr;
 };
 
 }  // namespace itg

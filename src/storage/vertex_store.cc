@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace itg {
 
@@ -63,6 +64,8 @@ Status VertexStore::OverlaySuperstep(BufferPool* pool, Timestamp t,
 }
 
 Status VertexStore::MaintainAfterSnapshot(Timestamp t, BufferPool* pool) {
+  TraceSpan span("vertex_maintain", "storage", static_cast<int64_t>(t));
+  Metrics* metrics = store_ != nullptr ? store_->metrics() : nullptr;
   for (auto& [key, chain] : chains_) {
     if (chain.size() <= 1) continue;
     bool merge = false;
@@ -94,9 +97,24 @@ Status VertexStore::MaintainAfterSnapshot(Timestamp t, BufferPool* pool) {
         break;
       }
     }
+    // Export the merge decisions so the Fig-17 strategy comparison can
+    // report how often each policy actually fires.
+    if (metrics != nullptr) {
+      metrics->registry()
+          .counter(merge ? "vertex_store.chain_merges"
+                         : "vertex_store.chain_merge_skips")
+          ->Increment();
+    }
     if (merge) {
+      TraceSpan merge_span("merge_chain", "storage",
+                           static_cast<int64_t>(chain.size()));
       ITG_RETURN_IF_ERROR(
           MergeChain(&chain, attrs_[key.first].width, pool));
+      if (metrics != nullptr) {
+        metrics->registry()
+            .histogram("vertex_store.merged_records")
+            ->Record(chain.empty() ? 0 : chain.front().num_records);
+      }
     }
   }
   return Status::OK();

@@ -1,0 +1,217 @@
+// Metrics registry: log-scale histogram bucketing, snapshots, merging,
+// and the Metrics compatibility facade on top of it.
+#include "common/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace itg {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddSigned) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+TEST(HistogramTest, BucketOf) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(7), 3);
+  EXPECT_EQ(Histogram::BucketOf(8), 4);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  for (int b = 1; b < Histogram::kBuckets; ++b) {
+    uint64_t lo = Histogram::BucketLowerBound(b);
+    EXPECT_EQ(Histogram::BucketOf(lo), b) << "bucket " << b;
+    if (b > 1) {
+      EXPECT_EQ(Histogram::BucketOf(lo - 1), b - 1) << "bucket " << b;
+    }
+  }
+}
+
+TEST(HistogramTest, RecordTallies) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  h.Record(5);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 11u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // the zero
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 1
+  EXPECT_EQ(h.bucket_count(3), 2u);  // 5 twice, in [4, 8)
+}
+
+TEST(HistogramTest, PercentileUpperBound) {
+  Histogram h;
+  EXPECT_EQ(h.PercentileUpperBound(50), 0u);
+  for (int i = 0; i < 90; ++i) h.Record(3);    // bucket 2: [2, 4)
+  for (int i = 0; i < 10; ++i) h.Record(100);  // bucket 7: [64, 128)
+  EXPECT_EQ(h.PercentileUpperBound(50), 4u);
+  EXPECT_EQ(h.PercentileUpperBound(89), 4u);
+  EXPECT_EQ(h.PercentileUpperBound(99), 128u);
+}
+
+TEST(HistogramTest, MergeAddsBucketwise) {
+  Histogram a, b;
+  a.Record(1);
+  a.Record(1000);
+  b.Record(1);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 1002u);
+  EXPECT_EQ(a.bucket_count(1), 2u);
+  EXPECT_EQ(a.bucket_count(10), 1u);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateIsStable) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.counter("a.count");
+  Counter* c2 = reg.counter("a.count");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(reg.counter("b.count"), c1);
+  EXPECT_EQ(reg.gauge("g"), reg.gauge("g"));
+  EXPECT_EQ(reg.histogram("h"), reg.histogram("h"));
+}
+
+TEST(MetricsRegistryTest, SnapshotReflectsValues) {
+  MetricsRegistry reg;
+  reg.counter("c")->Add(3);
+  reg.gauge("g")->Set(-7);
+  reg.histogram("h")->Record(12);
+  auto snap = reg.Snap();
+  EXPECT_EQ(snap.counters.at("c"), 3u);
+  EXPECT_EQ(snap.gauges.at("g"), -7);
+  const auto& h = snap.histograms.at("h");
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(h.sum, 12u);
+  // Non-empty buckets carry (lower bound, count) pairs.
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0].first, 8u);  // 12 lands in [8, 16)
+  EXPECT_EQ(h.buckets[0].second, 1u);
+}
+
+TEST(MetricsRegistryTest, MergeCreatesAndAccumulates) {
+  MetricsRegistry a, b;
+  a.counter("shared")->Add(1);
+  b.counter("shared")->Add(2);
+  b.counter("only_b")->Add(5);
+  b.gauge("g")->Set(4);
+  b.histogram("h")->Record(9);
+  b.histogram("h")->Record(0);
+  a.Merge(b);
+  EXPECT_EQ(a.counter("shared")->value(), 3u);
+  EXPECT_EQ(a.counter("only_b")->value(), 5u);
+  EXPECT_EQ(a.gauge("g")->value(), 4);
+  EXPECT_EQ(a.histogram("h")->count(), 2u);
+  EXPECT_EQ(a.histogram("h")->sum(), 9u);
+  EXPECT_EQ(a.histogram("h")->bucket_count(0), 1u);
+  EXPECT_EQ(a.histogram("h")->bucket_count(4), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  c->Add(9);
+  reg.histogram("h")->Record(2);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(reg.counter("c"), c);  // same object, still registered
+  EXPECT_EQ(reg.histogram("h")->count(), 0u);
+}
+
+TEST(MetricsRegistryTest, ToJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("c.one")->Add(1);
+  reg.gauge("g.two")->Set(2);
+  reg.histogram("h.three")->Record(3);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"c.one\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"g.two\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"h.three\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[2,1]]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesDontLoseCounts) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("hot");
+  Histogram* h = reg.histogram("sizes");
+  constexpr size_t kTasks = 1000;
+  ThreadPool pool(4);
+  pool.ParallelFor(kTasks, [&](size_t task, int /*worker*/) {
+    c->Increment();
+    h->Record(task % 16);
+  });
+  EXPECT_EQ(c->value(), kTasks);
+  EXPECT_EQ(h->count(), kTasks);
+}
+
+TEST(MetricsFacadeTest, CountersLiveInRegistry) {
+  Metrics m;
+  m.AddReadBytes(100);
+  m.AddNetworkBytes(7);
+  m.AddPageReads(3);
+  EXPECT_EQ(m.read_bytes(), 100u);
+  EXPECT_EQ(m.registry().counter("io.read_bytes")->value(), 100u);
+  EXPECT_EQ(m.registry().counter("net.bytes")->value(), 7u);
+  EXPECT_EQ(m.registry().counter("io.page_reads")->value(), 3u);
+}
+
+TEST(MetricsFacadeTest, SnapshotAndMerge) {
+  Metrics a, b;
+  a.AddWriteBytes(10);
+  a.AddThreadCpuNanos(1, 50);
+  b.AddWriteBytes(32);
+  b.AddThreadCpuNanos(1, 8);
+  b.registry().histogram("custom")->Record(4);
+  a.Merge(b);
+  MetricsSnapshot snap = a.Snapshot();
+  EXPECT_EQ(snap.write_bytes, 42u);
+  EXPECT_EQ(snap.thread_cpu_nanos[1], 58u);
+  // Named metrics roll up through the same merge.
+  EXPECT_EQ(a.registry().histogram("custom")->count(), 1u);
+}
+
+TEST(MetricsFacadeTest, ResetClearsEverything) {
+  Metrics m;
+  m.AddCpuNanos(5);
+  m.AddThreadCpuNanos(0, 5);
+  m.registry().counter("extra")->Add(2);
+  m.Reset();
+  EXPECT_EQ(m.cpu_nanos(), 0u);
+  EXPECT_EQ(m.thread_cpu_nanos(0), 0u);
+  EXPECT_EQ(m.registry().counter("extra")->value(), 0u);
+}
+
+TEST(MetricsFacadeTest, GlobalRegistryIsGlobalMetricsRegistry) {
+  EXPECT_EQ(&GlobalRegistry(), &GlobalMetrics().registry());
+}
+
+}  // namespace
+}  // namespace itg

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "algos/programs.h"
+#include "common/trace.h"
 #include "compiler/compiled_program.h"
 #include "engine/engine.h"
 #include "gen/rmat.h"
@@ -167,6 +168,28 @@ TEST(ParallelDeterminismTest, SequentialPathIgnoresPool) {
   Fingerprint fp =
       RunPipeline(PageRankProgram(), false, 0.75, 10, 1, "seq");
   EXPECT_FALSE(fp.bits.empty());
+}
+
+TEST(ParallelDeterminismTest, TracingDoesNotChangeResults) {
+  // The tracer must be pure observation: enabling it cannot move the
+  // engine onto a different code path or change accumulation order, in
+  // either the sequential or the parallel executor (the sequential walk
+  // path swaps in a timing sink when tracing is on — same emissions, same
+  // order, extra clock reads only).
+  for (int threads : {1, 4}) {
+    const std::string tag = "untraced_t" + std::to_string(threads);
+    Fingerprint untraced =
+        RunPipeline(PageRankProgram(), false, 0.75, 10, threads, tag);
+    Tracer::Enable();
+    Fingerprint traced = RunPipeline(PageRankProgram(), false, 0.75, 10,
+                                     threads, "traced_t" +
+                                                  std::to_string(threads));
+    Tracer::Disable();
+    EXPECT_GT(Tracer::event_count(), 0u) << "tracer saw no spans";
+    Tracer::Reset();
+    EXPECT_TRUE(traced == untraced)
+        << "tracing changed results at threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Summarize iTurboGraph trace files and validate run reports.
+
+Usage:
+  trace_summary.py --trace <trace.json> [--top N]
+  trace_summary.py --report <report.json>
+  trace_summary.py --trace <trace.json> --report <report.json>
+
+--trace expects the Chrome trace-event JSON written when ITG_TRACE=<path>
+is set (loadable in Perfetto / chrome://tracing). Prints a per-phase wall
+time table (aggregated over span names) and the top-N longest spans.
+
+--report expects the machine-readable run report written by the bench
+binaries' --metrics-json=<path> flag (schema_version 1, see
+src/harness/run_report.h). Validates the schema and prints a short
+digest. Exits non-zero on any schema violation, so it doubles as the
+ctest smoke check.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"trace_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+# ---------------------------------------------------------------- trace ----
+
+def summarize_trace(path, top_n):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse trace {path}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: not a Chrome trace (missing traceEvents)")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+
+    thread_names = {}
+    spans = []       # (name, cat, dur_us, ts, tid)
+    instants = {}    # name -> count
+    for ev in events:
+        if not isinstance(ev, dict) or "ph" not in ev:
+            fail(f"{path}: malformed event {ev!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                thread_names[ev.get("tid")] = ev["args"]["name"]
+        elif ph == "X":
+            for key in ("name", "ts", "dur", "tid"):
+                if key not in ev:
+                    fail(f"{path}: X event missing {key}: {ev!r}")
+            spans.append((ev["name"], ev.get("cat", ""), float(ev["dur"]),
+                          float(ev["ts"]), ev["tid"]))
+        elif ph == "i":
+            instants[ev["name"]] = instants.get(ev["name"], 0) + 1
+
+    if not spans and not instants:
+        fail(f"{path}: trace contains no spans or instant events")
+
+    # Per-phase aggregation. Nested spans are counted under each name, so
+    # the table answers "how much wall time was inside <phase>" — columns
+    # do not sum to the run's wall time.
+    by_phase = {}
+    for name, cat, dur, _, _ in spans:
+        tot, cnt = by_phase.get((cat, name), (0.0, 0))
+        by_phase[(cat, name)] = (tot + dur, cnt + 1)
+
+    print(f"trace: {path}")
+    print(f"  {len(spans)} spans, {sum(instants.values())} instant events, "
+          f"{len(thread_names)} named threads")
+    print()
+    print(f"  {'phase':<28} {'count':>8} {'total ms':>12} {'mean us':>12}")
+    print(f"  {'-' * 28} {'-' * 8} {'-' * 12} {'-' * 12}")
+    for (cat, name), (tot, cnt) in sorted(by_phase.items(),
+                                          key=lambda kv: -kv[1][0]):
+        label = f"{cat}/{name}"
+        print(f"  {label:<28} {cnt:>8} {tot / 1000.0:>12.3f} "
+              f"{tot / cnt:>12.1f}")
+    if instants:
+        print()
+        for name, count in sorted(instants.items()):
+            print(f"  instant {name}: {count}")
+
+    print()
+    print(f"  top {top_n} spans:")
+    for name, cat, dur, ts, tid in sorted(spans, key=lambda s: -s[2])[:top_n]:
+        tname = thread_names.get(tid, f"tid {tid}")
+        print(f"    {dur / 1000.0:>10.3f} ms  {cat}/{name}  "
+              f"@{ts / 1000.0:.3f} ms on {tname}")
+
+
+# --------------------------------------------------------------- report ----
+
+def expect(cond, msg):
+    if not cond:
+        fail(f"report schema violation: {msg}")
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def is_uint(x):
+    return isinstance(x, int) and not isinstance(x, bool) and x >= 0
+
+
+RUN_UINT_FIELDS = [
+    "timestamp", "supersteps", "read_bytes", "write_bytes", "network_bytes",
+    "windows_loaded", "edges_scanned", "emissions_applied",
+    "recomputed_vertices", "threads", "parallel_tasks", "steals",
+    "busy_nanos", "critical_nanos",
+]
+
+
+def validate_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse report {path}: {e}")
+
+    expect(isinstance(doc, dict), "top level is not an object")
+    expect(doc.get("schema_version") == 1,
+           f"schema_version != 1 (got {doc.get('schema_version')!r})")
+    expect(isinstance(doc.get("binary"), str), "binary is not a string")
+
+    runs = doc.get("runs")
+    expect(isinstance(runs, list), "runs is not a list")
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        expect(isinstance(run, dict), f"{where} is not an object")
+        expect(isinstance(run.get("name"), str), f"{where}.name missing")
+        expect(isinstance(run.get("incremental"), bool),
+               f"{where}.incremental is not a bool")
+        expect(is_num(run.get("seconds")), f"{where}.seconds missing")
+        for field in RUN_UINT_FIELDS:
+            expect(is_uint(run.get(field)),
+                   f"{where}.{field} is not a non-negative integer")
+        dw = run.get("delta_walks")
+        expect(isinstance(dw, dict) and is_uint(dw.get("enumerated"))
+               and is_uint(dw.get("pruned")),
+               f"{where}.delta_walks missing enumerated/pruned")
+        machines = run.get("machines")
+        expect(isinstance(machines, list), f"{where}.machines is not a list")
+        for j, m in enumerate(machines):
+            expect(isinstance(m, dict) and is_num(m.get("seconds"))
+                   and is_uint(m.get("network_bytes")),
+                   f"{where}.machines[{j}] malformed")
+
+    results = doc.get("results")
+    expect(isinstance(results, dict), "results is not an object")
+    for name, value in results.items():
+        expect(is_num(value), f"results[{name!r}] is not a number")
+
+    metrics = doc.get("metrics")
+    expect(isinstance(metrics, dict), "metrics is not an object")
+    for section in ("counters", "gauges", "histograms"):
+        expect(isinstance(metrics.get(section), dict),
+               f"metrics.{section} is not an object")
+    for name, value in metrics["counters"].items():
+        expect(is_uint(value), f"metrics.counters[{name!r}] malformed")
+    for name, value in metrics["gauges"].items():
+        expect(isinstance(value, int) and not isinstance(value, bool),
+               f"metrics.gauges[{name!r}] malformed")
+    for name, h in metrics["histograms"].items():
+        where = f"metrics.histograms[{name!r}]"
+        expect(isinstance(h, dict) and is_uint(h.get("count"))
+               and is_uint(h.get("sum")), f"{where} missing count/sum")
+        buckets = h.get("buckets")
+        expect(isinstance(buckets, list), f"{where}.buckets is not a list")
+        total = 0
+        for b in buckets:
+            expect(isinstance(b, list) and len(b) == 2 and is_uint(b[0])
+                   and is_uint(b[1]), f"{where}.buckets entry malformed")
+            total += b[1]
+        expect(total == h["count"],
+               f"{where}: bucket counts sum to {total}, count is {h['count']}")
+
+    pool = doc.get("buffer_pool")
+    expect(isinstance(pool, dict) and is_uint(pool.get("hits"))
+           and is_uint(pool.get("misses")) and is_num(pool.get("hit_rate")),
+           "buffer_pool missing hits/misses/hit_rate")
+    accesses = pool["hits"] + pool["misses"]
+    want_rate = pool["hits"] / accesses if accesses else 0.0
+    expect(abs(pool["hit_rate"] - want_rate) < 1e-9,
+           f"buffer_pool.hit_rate {pool['hit_rate']} inconsistent with "
+           f"hits/misses (want {want_rate})")
+
+    print(f"report: {path}")
+    print(f"  binary: {doc['binary']}, {len(runs)} runs, "
+          f"{len(results)} results, {len(metrics['counters'])} counters, "
+          f"{len(metrics['histograms'])} histograms")
+    for run in runs:
+        kind = "incr" if run["incremental"] else "full"
+        dw = run["delta_walks"]
+        print(f"  run {run['name']}: {kind} {run['seconds']:.4f}s, "
+              f"{run['supersteps']} supersteps, "
+              f"net {run['network_bytes']} B over "
+              f"{len(run['machines'])} machines, "
+              f"delta walks {dw['enumerated']} enumerated / "
+              f"{dw['pruned']} pruned")
+    if accesses:
+        print(f"  buffer pool: {pool['hits']}/{accesses} hits "
+              f"({100.0 * pool['hit_rate']:.1f}%)")
+    print("  schema: OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Summarize ITG_TRACE output and validate run reports.")
+    parser.add_argument("--trace", help="Chrome trace JSON (ITG_TRACE output)")
+    parser.add_argument("--report",
+                        help="run report JSON (--metrics-json output)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="number of longest spans to print (default 10)")
+    args = parser.parse_args()
+    if not args.trace and not args.report:
+        parser.error("need --trace and/or --report")
+    if args.trace:
+        summarize_trace(args.trace, args.top)
+    if args.report:
+        if args.trace:
+            print()
+        validate_report(args.report)
+
+
+if __name__ == "__main__":
+    main()
