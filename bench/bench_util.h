@@ -47,15 +47,46 @@ inline RunReport& Report() {
   return report;
 }
 
-/// Appends the harness engine's last run (stats + per-machine breakdown)
-/// to the process report.
+/// Appends the harness engine's last run (stats + per-machine breakdown +
+/// per-operator profile) to the process report.
 inline void RecordRun(Harness* harness, const std::string& name) {
   const std::vector<MachineStats>& machines =
       harness->engine().machine_stats();
   uint64_t network_bytes = 0;
   for (const MachineStats& m : machines) network_bytes += m.network_bytes;
   Report().AddRun(name, harness->engine().last_stats(), machines,
-                  network_bytes);
+                  network_bytes, &harness->engine().last_profile());
+}
+
+/// Appends a baseline engine run (GraphBolt-style / DD-style) to the
+/// process report. Baselines have no RunStats plumbing of their own, so
+/// the run-level work totals are rolled up from the per-phase operator
+/// profile the baseline recorded; the per-operator and per-superstep
+/// sections carry the full breakdown. This makes all three engines'
+/// reports diffable with the same tools/report_diff.py gate.
+inline void RecordBaselineRun(const std::string& name,
+                              const gsa::ExecutionProfile& profile,
+                              double seconds, bool incremental) {
+  RunStats stats;
+  stats.incremental = incremental;
+  stats.seconds = seconds;
+  stats.supersteps = static_cast<int>(profile.supersteps().size());
+  for (const auto& [id, entry] : profile.ops()) {
+    stats.edges_scanned += entry.counters.edges;
+    stats.emissions_applied +=
+        entry.counters.out_pos + entry.counters.out_neg;
+    stats.delta_walks_pruned += entry.counters.pruned;
+    if (incremental) stats.recomputed_vertices += entry.counters.in_pos;
+  }
+  Report().AddRun(name, stats, {}, 0, &profile);
+}
+
+/// True when the binary was invoked with `--quick`: benches shrink their
+/// graphs/batches to CI scale (report_diff_smoke runs fig15 this way, so
+/// quick-mode run labels must stay stable across code changes).
+inline bool& QuickMode() {
+  static bool quick = false;
+  return quick;
 }
 
 /// One-shot at G_0 plus `snapshots` incremental steps, averaged. Every run
@@ -120,8 +151,11 @@ inline int BenchMain(const char* binary, int argc, char** argv,
     const std::string kFlag = "--metrics-json=";
     if (arg.rfind(kFlag, 0) == 0) {
       metrics_json = arg.substr(kFlag.size());
+    } else if (arg == "--quick") {
+      QuickMode() = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--metrics-json=<path>]\n", binary);
+      std::fprintf(stderr, "usage: %s [--metrics-json=<path>] [--quick]\n",
+                   binary);
       return 2;
     }
   }

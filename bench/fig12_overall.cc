@@ -129,10 +129,13 @@ std::vector<Edge> Canonical(std::vector<Edge> edges) {
 }
 
 /// Runs a DD baseline through the shared protocol; returns OOM cell on
-/// budget exhaustion.
+/// budget exhaustion. Completed runs are recorded into the process
+/// report under `label` with the baseline's per-phase operator profile,
+/// so the DD side is diffable with the same tools/report_diff.py gate as
+/// the iTbGPP runs (OOM runs are not recorded: their work is partial).
 template <typename MakeEngine, typename Init, typename Apply>
-Cell RunDd(int scale, bool symmetric, MakeEngine make, Init init,
-           Apply apply) {
+Cell RunDd(const std::string& label, int scale, bool symmetric,
+           MakeEngine make, Init init, Apply apply) {
   auto all_edges = symmetric ? Canonical(GenerateRmat(scale))
                              : GenerateRmat(scale);
   MutationWorkload workload(all_edges, 0.9, 42);
@@ -146,6 +149,8 @@ Cell RunDd(int scale, bool symmetric, MakeEngine make, Init init,
   CheckOk(status);
   Cell cell;
   cell.oneshot = watch.ElapsedSeconds();
+  bench::RecordBaselineRun(label + "/oneshot", engine->profile(),
+                           cell.oneshot, /*incremental=*/false);
   double total = 0;
   for (int i = 0; i < bench::kDefaultSnapshots; ++i) {
     auto batch = workload.NextBatch(kBatch, bench::kDefaultInsertRatio);
@@ -161,7 +166,10 @@ Cell RunDd(int scale, bool symmetric, MakeEngine make, Init init,
     status = apply(*engine, batch);
     if (status.IsOutOfMemory()) return {.oom = true};
     CheckOk(status);
-    total += watch.ElapsedSeconds();
+    double step = watch.ElapsedSeconds();
+    bench::RecordBaselineRun(label + "/step" + std::to_string(i),
+                             engine->profile(), step, /*incremental=*/true);
+    total += step;
   }
   cell.incremental = total / bench::kDefaultSnapshots;
   return cell;
@@ -187,7 +195,7 @@ int Main() {
   section("(a) PageRank");
   for (int i = 0; i < 4; ++i) {
     PrintRow("DD", kNames[i],
-             RunDd(kScales[i], false,
+             RunDd(std::string("dd/PR/") + kNames[i], kScales[i], false,
                    [&](MemoryBudget* b) {
                      return std::make_unique<DdRank>(1, kSupersteps, b);
                    },
@@ -205,7 +213,7 @@ int Main() {
   section("(b) Label Propagation");
   for (int i = 0; i < 4; ++i) {
     PrintRow("DD", kNames[i],
-             RunDd(kScales[i], false,
+             RunDd(std::string("dd/LP/") + kNames[i], kScales[i], false,
                    [&](MemoryBudget* b) {
                      return std::make_unique<DdRank>(kLabels, kSupersteps,
                                                      b);
@@ -225,7 +233,7 @@ int Main() {
   for (int i = 0; i < 4; ++i) {
     VertexId n = RmatVertices(kScales[i]);
     PrintRow("DD", kNames[i],
-             RunDd(kScales[i], true,
+             RunDd(std::string("dd/WCC/") + kNames[i], kScales[i], true,
                    [&](MemoryBudget* b) {
                      std::vector<double> labels0(static_cast<size_t>(n));
                      for (VertexId v = 0; v < n; ++v) {
@@ -251,7 +259,7 @@ int Main() {
     Csr csr = Csr::FromEdges(n, SymmetrizeEdges(GenerateRmat(kScales[i])));
     VertexId root = MaxDegreeVertex(csr);
     PrintRow("DD", kNames[i],
-             RunDd(kScales[i], true,
+             RunDd(std::string("dd/BFS/") + kNames[i], kScales[i], true,
                    [&](MemoryBudget* b) {
                      std::vector<double> labels0(static_cast<size_t>(n),
                                                  kBfsInfinity);
@@ -274,7 +282,7 @@ int Main() {
   section("(e) Triangle Counting");
   for (int i = 0; i < 4; ++i) {
     PrintRow("DD", kNames[i],
-             RunDd(kTriScales[i], true,
+             RunDd(std::string("dd/TC/") + kNames[i], kTriScales[i], true,
                    [&](MemoryBudget* b) {
                      // DD's two-path arrangement gets a deliberately
                      // small budget slice, mirroring the paper where TC
@@ -296,7 +304,7 @@ int Main() {
   section("(f) Local Clustering Coefficient");
   for (int i = 0; i < 4; ++i) {
     PrintRow("DD", kNames[i],
-             RunDd(kTriScales[i], true,
+             RunDd(std::string("dd/LCC/") + kNames[i], kTriScales[i], true,
                    [&](MemoryBudget* b) {
                      return std::make_unique<DdTriangles>(b);
                    },

@@ -47,6 +47,9 @@ void RunPr() {
       snprintf(dd_text, sizeof(dd_text), "%12s", "O");
     } else {
       CheckOk(dd_status);
+      bench::RecordBaselineRun(
+          "dd/PR/scale" + std::to_string(scale) + "/oneshot", dd.profile(),
+          dd_one, /*incremental=*/false);
       snprintf(dd_text, sizeof(dd_text), "%12.4f", dd_one);
     }
     std::printf("%-6d %10llu %12.4f %12.4f %9.2fx %s\n", scale,
@@ -85,6 +88,9 @@ void RunTc() {
       snprintf(dd_text, sizeof(dd_text), "%12s", "O");
     } else {
       CheckOk(dd_status);
+      bench::RecordBaselineRun(
+          "dd/TC/scale" + std::to_string(scale) + "/oneshot", dd.profile(),
+          dd_one, /*incremental=*/false);
       snprintf(dd_text, sizeof(dd_text), "%12.4f", dd_one);
     }
     std::printf("%-6d %10llu %12.4f %12.4f %9.2fx %s\n", scale,

@@ -4,6 +4,13 @@
 //      (recomputation under deletions, §5.4).
 //  (b) batch size sweep — throughput (mutations/second) grows with the
 //      batch (computation and IO sharing within the batch).
+//
+// Every run is recorded into the metrics report under a stable label
+// ("ratio/PR/75:25/step0", ...), so `--metrics-json` output can be diffed
+// against a committed baseline with tools/report_diff.py. `--quick`
+// shrinks graphs and sweep ranges to CI scale (the report_diff_smoke
+// ctest); quick-mode labels are a strict subset of full-mode labels.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -16,7 +23,13 @@ using bench::CheckOk;
 double AvgIncrementalSeconds(const std::string& source, bool symmetric,
                              int fixed_supersteps, size_t batch,
                              double insert_ratio, int snapshots = 4,
-                             int scale = 16) {
+                             int scale = 16,
+                             const std::string& label = "") {
+  if (bench::QuickMode()) {
+    scale = std::min(scale, 11);
+    snapshots = std::min(snapshots, 2);
+    batch = std::min<size_t>(batch, 200);
+  }
   HarnessOptions options;
   options.path = bench::TempPath("fig15");
   options.symmetric = symmetric;
@@ -24,9 +37,13 @@ double AvgIncrementalSeconds(const std::string& source, bool symmetric,
   auto harness = CheckOk(Harness::Create(source, RmatVertices(scale),
                                          GenerateRmat(scale), options));
   CheckOk(harness->RunOneShot());
+  if (!label.empty()) bench::RecordRun(harness.get(), label + "/oneshot");
   double total = 0;
   for (int i = 0; i < snapshots; ++i) {
     CheckOk(harness->Step(batch, insert_ratio));
+    if (!label.empty()) {
+      bench::RecordRun(harness.get(), label + "/step" + std::to_string(i));
+    }
     total += harness->engine().last_stats().seconds;
   }
   return total / snapshots;
@@ -40,14 +57,16 @@ void RatioSweep() {
   std::printf("\n");
   const double ratios[] = {1.0, 0.75, 0.5, 0.25, 0.0};
   const char* names[] = {"100:0", "75:25", "50:50", "25:75", "0:100"};
+  const int num_ratios = bench::QuickMode() ? 2 : 5;
   double base[3] = {0, 0, 0};
-  for (int r = 0; r < 5; ++r) {
+  for (int r = 0; r < num_ratios; ++r) {
+    const std::string tag = std::string("ratio/") + names[r];
     double pr = AvgIncrementalSeconds(QuantizedPageRankProgram(), false, 10,
-                                      500, ratios[r], 6);
+                                      500, ratios[r], 6, 16, tag + "/PR");
     double wcc = AvgIncrementalSeconds(WccProgram(), true, -1, 500,
-                                       ratios[r], 6, 17);
+                                       ratios[r], 6, 17, tag + "/WCC");
     double tc = AvgIncrementalSeconds(TriangleCountProgram(), true, -1, 500,
-                                      ratios[r], 6, 15);
+                                      ratios[r], 6, 15, tag + "/TC");
     if (r == 0) {
       base[0] = pr;
       base[1] = wcc;
@@ -67,18 +86,20 @@ void BatchSweep() {
   for (const char* algo : {"PR", "WCC", "TC"}) std::printf(" %12s", algo);
   std::printf("\n");
   const size_t batches[] = {8, 40, 200, 1000, 5000};
+  const int num_batches = bench::QuickMode() ? 2 : 5;
   double base[3] = {0, 0, 0};
-  for (int b = 0; b < 5; ++b) {
+  for (int b = 0; b < num_batches; ++b) {
+    const std::string tag = "batch/" + std::to_string(batches[b]);
     double thr[3];
     thr[0] = static_cast<double>(batches[b]) /
              AvgIncrementalSeconds(QuantizedPageRankProgram(), false, 10,
-                                   batches[b], 0.75, 2);
+                                   batches[b], 0.75, 2, 16, tag + "/PR");
     thr[1] = static_cast<double>(batches[b]) /
              AvgIncrementalSeconds(WccProgram(), true, -1, batches[b], 0.75,
-                                   2);
+                                   2, 16, tag + "/WCC");
     thr[2] = static_cast<double>(batches[b]) /
              AvgIncrementalSeconds(TriangleCountProgram(), true, -1,
-                                   batches[b], 0.75, 2, 15);
+                                   batches[b], 0.75, 2, 15, tag + "/TC");
     if (b == 0) {
       base[0] = thr[0];
       base[1] = thr[1];

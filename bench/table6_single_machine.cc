@@ -43,18 +43,24 @@ Row RunItg(const char* algo, const std::string& source) {
 }
 
 Row RunGrb(const char* algo, GraphBoltEngine::Algo kind) {
+  const std::string label = std::string("grb/") + algo;
   MutationWorkload workload(GenerateRmat(kScale), 0.9, 42);
   MemoryBudget budget;
   GraphBoltEngine grb(kind, kLabels, kSupersteps, &budget);
   Stopwatch watch;
   CheckOk(grb.RunInitial(RmatVertices(kScale), workload.initial_edges()));
   double oneshot = watch.ElapsedSeconds();
+  bench::RecordBaselineRun(label + "/oneshot", grb.profile(), oneshot,
+                           /*incremental=*/false);
   double incremental = 0;
   for (int i = 0; i < bench::kDefaultSnapshots; ++i) {
     auto batch = workload.NextBatch(kBatch, bench::kDefaultInsertRatio);
     watch.Restart();
     CheckOk(grb.ApplyMutationsAndRefine(batch));
-    incremental += watch.ElapsedSeconds();
+    double step = watch.ElapsedSeconds();
+    bench::RecordBaselineRun(label + "/step" + std::to_string(i),
+                             grb.profile(), step, /*incremental=*/true);
+    incremental += step;
   }
   return {"GrB", algo, oneshot, incremental / bench::kDefaultSnapshots};
 }

@@ -5,8 +5,12 @@
 // results and the compiled GSA plans.
 //
 //   example_lnga_run --program tc --graph rmat:14 --symmetric --explain
-//   example_lnga_run --program my.lnga --graph edges.txt \
-//                    --mutations stream.txt --top 10 rank
+//   example_lnga_run --program pr --graph rmat:12 --mutations stream.txt
+//                    --explain-analyze --dot plan.dot
+//
+// --explain-analyze prints the GSA plans annotated with the per-operator
+// runtime counters accumulated over every run of the process (EXPLAIN
+// ANALYZE); --dot writes the same profile as a Graphviz digraph.
 //
 // Edge-list format: one "src dst" pair per line ('#' comments allowed).
 // Mutation-stream format: "+ src dst" / "- src dst" lines; a line
@@ -34,8 +38,10 @@ struct Args {
   std::string graph = "rmat:14";
   std::string mutations;
   std::string metrics_json;
+  std::string dot_path;
   bool symmetric = false;
   bool explain = false;
+  bool explain_analyze = false;
   int supersteps = -1;
   int top = 5;
   std::string top_attr;
@@ -47,7 +53,8 @@ struct Args {
       "usage: %s [--program pr|qpr|lp|wcc|bfs:<root>|tc|lcc|<file.lnga>]\n"
       "          [--graph rmat:<scale>|<edges.txt>] [--symmetric]\n"
       "          [--mutations <stream.txt>] [--supersteps N]\n"
-      "          [--top N <attr>] [--metrics-json <path>] [--explain]\n",
+      "          [--top N <attr>] [--metrics-json <path>] [--explain]\n"
+      "          [--explain-analyze] [--dot <plan.dot>]\n",
       argv0);
   std::exit(2);
 }
@@ -198,6 +205,10 @@ int main(int argc, char** argv) {
     }
     else if (!std::strcmp(argv[i], "--symmetric")) args.symmetric = true;
     else if (!std::strcmp(argv[i], "--explain")) args.explain = true;
+    else if (!std::strcmp(argv[i], "--explain-analyze")) {
+      args.explain_analyze = true;
+    }
+    else if (!std::strcmp(argv[i], "--dot")) args.dot_path = next();
     else if (!std::strcmp(argv[i], "--supersteps")) {
       args.supersteps = std::stoi(next());
     } else if (!std::strcmp(argv[i], "--top")) {
@@ -240,12 +251,18 @@ int main(int argc, char** argv) {
   options.fixed_supersteps = supersteps;
   Engine engine(store.get(), program.get(), options);
   RunReport report("lnga_run");
+  // Whole-process profile: the engine resets its profile per run, so the
+  // driver folds each run's counters into one accumulated view.
+  gsa::ExecutionProfile total_profile;
+  program->RegisterOperators(&total_profile);
   auto record_run = [&](const std::string& name) {
     uint64_t net = 0;
     for (const MachineStats& m : engine.machine_stats()) {
       net += m.network_bytes;
     }
-    report.AddRun(name, engine.last_stats(), engine.machine_stats(), net);
+    report.AddRun(name, engine.last_stats(), engine.machine_stats(), net,
+                  &engine.last_profile());
+    total_profile.Merge(engine.last_profile());
   };
   if (Status s = engine.RunOneShot(0); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -282,6 +299,23 @@ int main(int argc, char** argv) {
     std::printf("\nsnapshot %d (+%zu ops): incremental %.4fs\n", t,
                 batch.size(), engine.last_stats().seconds);
     PrintResults(engine, *program, num_vertices, args);
+  }
+  if (args.explain_analyze) {
+    std::printf("\n%s", program->ExplainAnalyze(total_profile).c_str());
+  }
+  if (!args.dot_path.empty()) {
+    // Dot export: the incremental plan when mutations were streamed (its
+    // operators carry the Δ-walk counters), else the one-shot plan.
+    const gsa::PlanNode& plan = (t > 0 && program->incremental_plan)
+                                    ? *program->incremental_plan
+                                    : *program->oneshot_plan;
+    std::ofstream dot(args.dot_path, std::ios::trunc);
+    if (!dot) {
+      std::fprintf(stderr, "cannot open dot file '%s'\n",
+                   args.dot_path.c_str());
+      return 1;
+    }
+    dot << gsa::PlanToDot(plan, &total_profile);
   }
   if (!args.metrics_json.empty()) {
     if (Status s = report.WriteTo(args.metrics_json); !s.ok()) {

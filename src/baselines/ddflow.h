@@ -9,6 +9,7 @@
 #include "common/memory_budget.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "gsa/profile.h"
 
 namespace itg {
 
@@ -45,7 +46,17 @@ class DdRank {
   }
   uint64_t arranged_bytes() const { return arranged_bytes_; }
 
+  /// Per-phase work profile of the last Run/Apply call (reset per call),
+  /// in the GSA engine's schema so baseline reports diff with
+  /// tools/report_diff.py. Phase operators:
+  ///   #0 "Stream[edge messages]" — join-result (message) arrangement
+  ///      maintenance (out_neg counts retracted messages);
+  ///   #1 "Accumulate[rank values]" — value re-maps (`pruned` = re-mapped
+  ///      vertices whose value was absorbed by the deadband).
+  const gsa::ExecutionProfile& profile() const { return profile_; }
+
  private:
+  void EnsureProfileOps();
   Status Charge(uint64_t bytes) {
     arranged_bytes_ += bytes;
     return budget_->Charge(bytes);
@@ -71,6 +82,7 @@ class DdRank {
   std::vector<std::unordered_map<Edge, std::vector<double>, EdgeHash>>
       messages_;                                       // S x (edge -> contrib)
   uint64_t arranged_bytes_ = 0;
+  gsa::ExecutionProfile profile_;
 };
 
 /// WCC / BFS over DD: iterate-until-fixpoint min propagation. DD's
@@ -95,7 +107,14 @@ class DdMinPropagation {
   uint64_t arranged_bytes() const { return arranged_bytes_; }
   int iterations() const { return static_cast<int>(labels_.size()) - 1; }
 
+  /// Per-phase work profile of the last Run/Apply call:
+  ///   #0 "Stream[min messages]" — sorted message-multiset maintenance
+  ///      (out_neg = retracted messages);
+  ///   #1 "Accumulate[min labels]" — label re-reduction.
+  const gsa::ExecutionProfile& profile() const { return profile_; }
+
  private:
+  void EnsureProfileOps();
   Status Charge(uint64_t bytes) {
     arranged_bytes_ += bytes;
     return budget_->Charge(bytes);
@@ -113,6 +132,7 @@ class DdMinPropagation {
   std::vector<std::vector<double>> labels_;
   std::vector<std::vector<std::vector<double>>> messages_;
   uint64_t arranged_bytes_ = 0;
+  gsa::ExecutionProfile profile_;
 };
 
 /// TC / LCC over DD: the triangle join edges ⋈ edges ⋈ edges with the
@@ -131,7 +151,16 @@ class DdTriangles {
   const std::vector<int64_t>& per_vertex() const { return per_vertex_; }
   uint64_t arranged_bytes() const { return arranged_bytes_; }
 
+  /// Per-phase work profile of the last Run/Apply call:
+  ///   #0 "Walk[two-path join]" — two-path arrangement updates (out_pos /
+  ///      out_neg = asserted / retracted two-paths, edges = adjacency
+  ///      entries scanned);
+  ///   #1 "Filter[triangle close]" — closing-edge probes (evals =
+  ///      HasEdge lookups, out_pos / out_neg = triangle count deltas).
+  const gsa::ExecutionProfile& profile() const { return profile_; }
+
  private:
+  void EnsureProfileOps();
   Status Charge(uint64_t bytes) {
     arranged_bytes_ += bytes;
     return budget_->Charge(bytes);
@@ -151,6 +180,7 @@ class DdTriangles {
   uint64_t total_ = 0;
   std::vector<int64_t> per_vertex_;
   uint64_t arranged_bytes_ = 0;
+  gsa::ExecutionProfile profile_;
 };
 
 }  // namespace itg

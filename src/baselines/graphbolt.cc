@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
 
@@ -13,6 +14,11 @@ namespace itg {
 namespace {
 constexpr double kDamping = 0.85;
 constexpr double kGrid = 1000.0;
+}
+
+void GraphBoltEngine::EnsureProfileOps() {
+  profile_.RegisterOp(0, "Apply", "initial supersteps");
+  profile_.RegisterOp(1, "Apply", "refine");
 }
 
 Status GraphBoltEngine::RunInitial(VertexId num_vertices,
@@ -47,12 +53,31 @@ Status GraphBoltEngine::RunInitial(VertexId num_vertices,
                  static_cast<size_t>(v % num_labels_)] = 1.0;
     }
   }
+  EnsureProfileOps();
+  profile_.ResetCounters();
+  gsa::OperatorCounters& cell = profile_.Op(0);
+  Stopwatch phase_watch;
   for (int s = 0; s < supersteps_; ++s) {
+    Stopwatch ss_watch;
+    const uint64_t edges0 = cell.edges;
     for (VertexId v = 0; v < n_; ++v) {
+      ++cell.in_pos;
+      cell.edges += in_[static_cast<size_t>(v)].size();
       RecomputeAggregation(s, v);
       ComputeValue(s, v);
+      ++cell.out_pos;
     }
+    gsa::SuperstepProfile ss_row;
+    ss_row.superstep = s;
+    ss_row.incremental = false;
+    ss_row.active_vertices = static_cast<uint64_t>(n_);
+    ss_row.frontier = static_cast<uint64_t>(n_);
+    ss_row.emissions = static_cast<uint64_t>(n_);
+    ss_row.edges = cell.edges - edges0;
+    ss_row.wall_nanos = ss_watch.ElapsedNanos();
+    profile_.supersteps().push_back(std::move(ss_row));
   }
+  cell.wall_nanos += phase_watch.ElapsedNanos();
   return Status::OK();
 }
 
@@ -133,27 +158,52 @@ Status GraphBoltEngine::ApplyMutationsAndRefine(
   // changed at all. There is no value-change cutoff against the previous
   // snapshot — the transitive frontier keeps growing (the inefficiency
   // §6.2.1 measures).
+  EnsureProfileOps();
+  profile_.ResetCounters();
+  gsa::OperatorCounters& cell = profile_.Op(1);
+  Stopwatch phase_watch;
   std::vector<uint8_t> affected = base_affected;
   std::vector<uint8_t> next(static_cast<size_t>(n_), 0);
   const size_t width = static_cast<size_t>(num_labels_);
   std::vector<double> before(width);
   last_refined_ = 0;
   for (int s = 0; s < supersteps_; ++s) {
+    Stopwatch ss_watch;
+    const uint64_t refined0 = last_refined_;
+    const uint64_t edges0 = cell.edges;
+    uint64_t changed = 0;
     std::copy(base_affected.begin(), base_affected.end(), next.begin());
     for (VertexId v = 0; v < n_; ++v) {
       if (!affected[static_cast<size_t>(v)]) continue;
       ++last_refined_;
+      ++cell.in_pos;
+      cell.edges += in_[static_cast<size_t>(v)].size();
       const double* value =
           values_[s + 1].data() + static_cast<size_t>(v) * width;
       std::copy(value, value + width, before.begin());
       RecomputeAggregation(s, v);
       ComputeValue(s, v);
       if (ValueDiffers(s + 1, v, before)) {
+        ++cell.out_pos;
+        ++changed;
         for (VertexId w : out_[v]) next[static_cast<size_t>(w)] = 1;
+      } else {
+        // Refined but unchanged: GraphBolt's unnecessary-refinement cost.
+        ++cell.pruned;
       }
     }
     affected.swap(next);
+    gsa::SuperstepProfile ss_row;
+    ss_row.superstep = s;
+    ss_row.incremental = true;
+    ss_row.active_vertices = last_refined_ - refined0;
+    ss_row.frontier = last_refined_ - refined0;
+    ss_row.emissions = changed;
+    ss_row.edges = cell.edges - edges0;
+    ss_row.wall_nanos = ss_watch.ElapsedNanos();
+    profile_.supersteps().push_back(std::move(ss_row));
   }
+  cell.wall_nanos += phase_watch.ElapsedNanos();
   // Per-batch refinement volume: the fig12/table6 comparisons read this
   // from the run report to show where the dependency-driven baseline
   // spends its time.

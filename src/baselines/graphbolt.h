@@ -7,6 +7,7 @@
 #include "common/memory_budget.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "gsa/profile.h"
 #include "storage/csr.h"
 
 namespace itg {
@@ -61,7 +62,18 @@ class GraphBoltEngine {
   uint64_t last_refined() const { return last_refined_; }
   uint64_t tracked_bytes() const { return tracked_bytes_; }
 
+  /// Per-phase work profile of the last Run/Refine call, in the same
+  /// schema the GSA engine emits (operator counters + superstep
+  /// timeline), so baseline run reports are diffable with
+  /// tools/report_diff.py. Phase operators:
+  ///   #0 "Apply[initial supersteps]" — the full vertex-superstep sweep
+  ///   #1 "Apply[refine]"            — dependency-driven refinement;
+  ///      `pruned` counts refined-but-unchanged vertices (the
+  ///      unnecessary-refinement cost Table 6 measures).
+  const gsa::ExecutionProfile& profile() const { return profile_; }
+
  private:
+  void EnsureProfileOps();
   void RecomputeAggregation(int s, VertexId v);
   void ComputeValue(int s, VertexId v);
   bool ValueDiffers(int s, VertexId v,
@@ -82,6 +94,7 @@ class GraphBoltEngine {
   std::vector<std::vector<double>> aggs_;    // S x (n * width)
   uint64_t tracked_bytes_ = 0;
   uint64_t last_refined_ = 0;
+  gsa::ExecutionProfile profile_;
 };
 
 }  // namespace itg

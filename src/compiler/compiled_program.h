@@ -31,6 +31,12 @@ struct Emission {
   int target_depth = 0;
   lang::AccmOp op = lang::AccmOp::kSum;
   int width = 1;
+  /// Operator ids of this emission's logical Map (value computation;
+  /// guard/value evaluations are charged here) and Accumulate (tuples
+  /// in / applied emissions out). Shared by the one-shot and incremental
+  /// plans: physically there is one emission site.
+  int map_op = -1;
+  int accum_op = -1;
 };
 
 /// One traversal level (one For loop of Traverse).
@@ -53,6 +59,9 @@ struct LevelSpec {
   int eq_pos = -1;
   /// Conjuncts not covered by the fast paths (evaluated per candidate).
   std::vector<const lang::Expr*> general;
+  /// Operator id of this level's edge stream (the `es_i` Stream node of
+  /// the GSA plans); seek/window/edge-scan counters are charged here.
+  int op = -1;
 };
 
 /// The physical form of the Traverse plan: a single Walk of `levels`
@@ -66,6 +75,15 @@ struct TraverseSpec {
   /// Enables traversal reordering of the deepest delta sub-query and the
   /// multi-way-intersection rewrite of common-neighbor loops.
   bool closes_to_start = false;
+
+  /// Physical → logical operator-id mapping (EXPLAIN ANALYZE): the Walk
+  /// node, the σ_active start filter, and the vs1 start stream. Per-level
+  /// and per-emission ids live on LevelSpec::op and Emission::{map_op,
+  /// accum_op}. Every emission branch of the logical plan clones one
+  /// physical walk, so the clones deliberately share these ids.
+  int walk_op = -1;
+  int start_filter_op = -1;
+  int start_stream_op = -1;
 };
 
 /// A fully compiled L_NGA program: resolved AST, physical Traverse spec,
@@ -95,9 +113,18 @@ class CompiledProgram {
   const std::vector<lang::StmtPtr>* init_body = nullptr;
   const std::vector<lang::StmtPtr>* update_body = nullptr;
 
-  /// Logical GSA plans (explain form).
+  /// Logical GSA plans (explain form). Operator ids are assigned on the
+  /// one-shot plan and preserved through incrementalization; nodes the
+  /// Table-4 rewrite introduces get fresh ids from the same sequence.
   std::unique_ptr<gsa::PlanNode> oneshot_plan;
   std::unique_ptr<gsa::PlanNode> incremental_plan;
+
+  /// Synthetic operator ids for the Initialize / Update Apply phases
+  /// (they execute outside the Traverse plan trees).
+  int init_op = -1;
+  int update_op = -1;
+  /// All assigned ids are in [0, num_operator_ids).
+  int num_operator_ids = 0;
 
   int walk_length() const { return static_cast<int>(traverse.levels.size()); }
   int attr_width(int attr) const { return vertex_attrs[attr].type.width; }
@@ -107,6 +134,14 @@ class CompiledProgram {
 
   /// EXPLAIN output for both plans.
   std::string Explain() const;
+
+  /// EXPLAIN ANALYZE: both plans plus the Init/Update Apply phases,
+  /// annotated with the runtime counters `profile` recorded per id.
+  std::string ExplainAnalyze(const gsa::ExecutionProfile& profile) const;
+
+  /// Registers every operator id (both plans, Init/Update phases) with
+  /// its name and detail so profile reports carry labels.
+  void RegisterOperators(gsa::ExecutionProfile* profile) const;
 
   /// Expressions materialized by Let inlining (kept alive with the AST).
   std::vector<lang::ExprPtr> owned_exprs_;

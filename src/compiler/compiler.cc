@@ -309,9 +309,14 @@ bool HasClosingConjunct(const Expr& expr, int last_depth) {
 /// Builds the logical GSA tree for Traverse:
 ///   ⊎_target(Π_value(Walk_p(σ_active(vs1), es1, …, es_k)))   per emission,
 /// unioned when there are several emissions.
-std::unique_ptr<gsa::PlanNode> BuildTraversePlan(
-    const CompiledProgram& program) {
-  const int k = program.walk_length();
+///
+/// Also assigns stable operator ids (EXPLAIN ANALYZE) and records the
+/// physical → logical mapping into the TraverseSpec. Ids are assigned on
+/// the walk chain *before* it is cloned per emission branch: there is one
+/// physical walk, so all branches deliberately share its ids.
+std::unique_ptr<gsa::PlanNode> BuildTraversePlan(CompiledProgram* program,
+                                                 int* next_id) {
+  const int k = program->walk_length();
   auto walk = gsa::PlanNode::Make("Walk", "k=" + std::to_string(k));
   auto vs = gsa::PlanNode::Make("Stream", "vs1");
   auto filter = gsa::PlanNode::Make("Filter", "active=true");
@@ -319,23 +324,34 @@ std::unique_ptr<gsa::PlanNode> BuildTraversePlan(
   walk->children.push_back(std::move(filter));
   for (int i = 1; i <= k; ++i) {
     std::string name = "es" + std::to_string(i);
-    const LevelSpec& level = program.traverse.levels[i - 1];
+    const LevelSpec& level = program->traverse.levels[i - 1];
     std::string detail =
         name + (level.dir == Direction::kIn ? " (in)" : "");
     if (level.where != nullptr) detail += " σ(where)";
     walk->children.push_back(gsa::PlanNode::Make("Stream", detail));
   }
+  gsa::AssignOperatorIds(walk.get(), next_id);
+  program->traverse.walk_op = walk->op_id;
+  program->traverse.start_filter_op = walk->children[0]->op_id;
+  program->traverse.start_stream_op = walk->children[0]->children[0]->op_id;
+  for (int i = 1; i <= k; ++i) {
+    program->traverse.levels[i - 1].op = walk->children[i]->op_id;
+  }
 
   std::vector<std::unique_ptr<gsa::PlanNode>> branches;
-  for (const Emission& e : program.traverse.emissions) {
+  for (Emission& e : program->traverse.emissions) {
     std::string target =
-        e.is_global ? program.globals[e.target].name
+        e.is_global ? program->globals[e.target].name
                     : ("u" + std::to_string(e.target_depth + 1) + "." +
-                       program.vertex_attrs[e.target].name);
+                       program->vertex_attrs[e.target].name);
     auto accm = gsa::PlanNode::Make(
         "Accumulate", target + ", " + lang::AccmOpName(e.op));
     auto map = gsa::PlanNode::Make(
         "Map", "value @ depth " + std::to_string(e.stmt_depth));
+    accm->op_id = (*next_id)++;
+    map->op_id = (*next_id)++;
+    e.accum_op = accm->op_id;
+    e.map_op = map->op_id;
     map->children.push_back(walk->Clone());
     accm->children.push_back(std::move(map));
     branches.push_back(std::move(accm));
@@ -349,6 +365,14 @@ std::unique_ptr<gsa::PlanNode> BuildTraversePlan(
   return result;
 }
 
+void RegisterPlanOps(const gsa::PlanNode& node,
+                     gsa::ExecutionProfile* profile) {
+  if (node.op_id >= 0) profile->RegisterOp(node.op_id, node.op, node.detail);
+  for (const auto& child : node.children) {
+    RegisterPlanOps(*child, profile);
+  }
+}
+
 }  // namespace
 
 std::string CompiledProgram::Explain() const {
@@ -359,6 +383,38 @@ std::string CompiledProgram::Explain() const {
      << gsa::Explain(*incremental_plan)
      << "=== Update plan ===\nApply[Update program](Stream vs_accm)\n";
   return os.str();
+}
+
+std::string CompiledProgram::ExplainAnalyze(
+    const gsa::ExecutionProfile& profile) const {
+  // The Init/Update phases are not part of the Traverse trees; render
+  // them as the Apply operators they are so they share the annotation
+  // format.
+  auto init = gsa::PlanNode::Make("Apply", "Initialize program");
+  init->op_id = init_op;
+  init->children.push_back(gsa::PlanNode::Make("Stream", "vs"));
+  auto update = gsa::PlanNode::Make("Apply", "Update program");
+  update->op_id = update_op;
+  update->children.push_back(gsa::PlanNode::Make("Stream", "vs_accm"));
+
+  std::ostringstream os;
+  os << "=== One-shot Traverse plan (GSA) ===\n"
+     << gsa::ExplainAnalyze(*oneshot_plan, profile)
+     << "=== Incremental Traverse plan (Table-4 rules) ===\n"
+     << gsa::ExplainAnalyze(*incremental_plan, profile)
+     << "=== Initialize plan ===\n"
+     << gsa::ExplainAnalyze(*init, profile) << "=== Update plan ===\n"
+     << gsa::ExplainAnalyze(*update, profile);
+  return os.str();
+}
+
+void CompiledProgram::RegisterOperators(gsa::ExecutionProfile* profile) const {
+  // Incremental first: for ids shared between the plans the one-shot
+  // node's name/detail is the canonical label.
+  if (incremental_plan != nullptr) RegisterPlanOps(*incremental_plan, profile);
+  if (oneshot_plan != nullptr) RegisterPlanOps(*oneshot_plan, profile);
+  if (init_op >= 0) profile->RegisterOp(init_op, "Apply", "Initialize");
+  if (update_op >= 0) profile->RegisterOp(update_op, "Apply", "Update");
 }
 
 StatusOr<std::unique_ptr<CompiledProgram>> CompileProgram(
@@ -416,8 +472,17 @@ StatusOr<std::unique_ptr<CompiledProgram>> CompileProgram(
   program->init_body = &program->ast->initialize.body;
   program->update_body = &program->ast->update.body;
 
-  program->oneshot_plan = BuildTraversePlan(*program);
+  int next_op_id = 0;
+  program->oneshot_plan = BuildTraversePlan(program.get(), &next_op_id);
+  // The emission Union root (when present) still carries no id.
+  gsa::AssignOperatorIds(program->oneshot_plan.get(), &next_op_id);
   program->incremental_plan = gsa::Incrementalize(*program->oneshot_plan);
+  // Fresh ids for the nodes the rewrite introduced (rule-⑦ Unions);
+  // everything else inherited its one-shot id.
+  gsa::AssignOperatorIds(program->incremental_plan.get(), &next_op_id);
+  program->init_op = next_op_id++;
+  program->update_op = next_op_id++;
+  program->num_operator_ids = next_op_id;
   return program;
 }
 

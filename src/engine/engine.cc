@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <ctime>
 
 #include "common/logging.h"
 #include "common/trace.h"
@@ -12,6 +13,18 @@
 namespace itg {
 
 namespace {
+
+/// CPU time of the calling thread (the superstep timeline's cpu column).
+uint64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return 0;
+}
 
 /// Attributes that are derived from the graph structure (filled per
 /// snapshot) or purely positional; they are never persisted as deltas.
@@ -149,6 +162,8 @@ Engine::Engine(DynamicGraphStore* store, const CompiledProgram* program,
   adj_stack_.resize(static_cast<size_t>(program_->walk_length()) + 2);
   parallel_safe_ = ProgramParallelSafe(*program_);
   update_parallel_safe_ = !StmtsWriteGlobals(*program_->update_body);
+  program_->RegisterOperators(&profile_);
+  CacheProfileCells();
   num_threads_ = (options_.num_threads > 0)
                      ? std::min(options_.num_threads,
                                 Metrics::kMaxTrackedThreads)
@@ -160,6 +175,115 @@ Engine::Engine(DynamicGraphStore* store, const CompiledProgram* program,
           store_->page_store(), options_.partition_pool_pages));
     }
   }
+}
+
+void Engine::CacheProfileCells() {
+  auto cell = [&](int op) -> gsa::OperatorCounters* {
+    return op >= 0 ? &profile_.Op(op) : nullptr;
+  };
+  emission_map_cells_.clear();
+  emission_accum_cells_.clear();
+  for (const Emission& e : program_->traverse.emissions) {
+    emission_map_cells_.push_back(cell(e.map_op));
+    emission_accum_cells_.push_back(cell(e.accum_op));
+  }
+  init_cell_ = cell(program_->init_op);
+  update_cell_ = cell(program_->update_op);
+  start_filter_cell_ = cell(program_->traverse.start_filter_op);
+  start_stream_cell_ = cell(program_->traverse.start_stream_op);
+  walk_cell_ = cell(program_->traverse.walk_op);
+}
+
+void Engine::RecordStartFilter(uint64_t in, uint64_t out) {
+  if (start_filter_cell_ == nullptr) return;
+  start_filter_cell_->in_pos += in;
+  start_filter_cell_->out_pos += out;
+}
+
+void Engine::FoldWalkCounters(
+    const std::vector<WalkEnumerator::LevelCounts>& base, uint64_t starts0) {
+  const uint64_t starts = enumerator_.starts_enumerated() - starts0;
+  if (start_stream_cell_ != nullptr) start_stream_cell_->out_pos += starts;
+  if (walk_cell_ != nullptr) {
+    walk_cell_->in_pos += starts;
+    walk_cell_->out_pos += starts;  // depth-0 prefixes; levels add theirs
+  }
+  const std::vector<WalkEnumerator::LevelCounts>& lc =
+      enumerator_.level_counts();
+  uint64_t in_pos = starts;  // level 1 joins against the start tuples
+  uint64_t in_neg = 0;
+  for (size_t i = 0; i < lc.size(); ++i) {
+    WalkEnumerator::LevelCounts d = lc[i];
+    if (i < base.size()) {
+      d.windows -= base[i].windows;
+      d.edges -= base[i].edges;
+      d.pruned -= base[i].pruned;
+      d.evals -= base[i].evals;
+      d.out_pos -= base[i].out_pos;
+      d.out_neg -= base[i].out_neg;
+      d.wall_nanos -= base[i].wall_nanos;
+    }
+    const int op = program_->traverse.levels[i].op;
+    if (op >= 0) {
+      gsa::OperatorCounters& c = profile_.Op(op);
+      c.in_pos += in_pos;
+      c.in_neg += in_neg;
+      c.out_pos += d.out_pos;
+      c.out_neg += d.out_neg;
+      c.pruned += d.pruned;
+      c.windows += d.windows;
+      c.edges += d.edges;
+      c.evals += d.evals;
+      c.wall_nanos += d.wall_nanos;
+    }
+    if (walk_cell_ != nullptr) {
+      walk_cell_->out_pos += d.out_pos;
+      walk_cell_->out_neg += d.out_neg;
+      walk_cell_->pruned += d.pruned;
+      walk_cell_->windows += d.windows;
+      walk_cell_->edges += d.edges;
+      walk_cell_->evals += d.evals;
+      walk_cell_->wall_nanos += d.wall_nanos;
+    }
+    // The next level extends the prefixes this one emitted.
+    in_pos = d.out_pos;
+    in_neg = d.out_neg;
+  }
+}
+
+std::vector<uint64_t> Engine::ShuffleSnapshot() const {
+  std::vector<uint64_t> out;
+  if (options_.num_partitions > 1) {
+    out.reserve(machine_stats_.size());
+    for (const MachineStats& m : machine_stats_) {
+      out.push_back(m.network_bytes);
+    }
+  }
+  return out;
+}
+
+void Engine::RecordSuperstep(Superstep s, bool incremental,
+                             uint64_t active_vertices, uint64_t frontier,
+                             uint64_t emissions0, uint64_t windows0,
+                             uint64_t edges0, uint64_t wall0_nanos,
+                             uint64_t cpu0_nanos,
+                             const std::vector<uint64_t>& shuffle0) {
+  gsa::SuperstepProfile row;
+  row.superstep = s;
+  row.incremental = incremental;
+  row.active_vertices = active_vertices;
+  row.frontier = frontier;
+  row.emissions = stats_.emissions_applied - emissions0;
+  row.windows = enumerator_.windows_loaded() - windows0;
+  row.edges = enumerator_.edges_scanned() - edges0;
+  row.wall_nanos = TraceNowNanos() - wall0_nanos;
+  row.cpu_nanos = ThreadCpuNanos() - cpu0_nanos;
+  std::vector<uint64_t> shuffle = ShuffleSnapshot();
+  for (size_t m = 0; m < shuffle.size(); ++m) {
+    if (m < shuffle0.size()) shuffle[m] -= shuffle0[m];
+  }
+  row.shuffle_bytes = std::move(shuffle);
+  profile_.supersteps().push_back(std::move(row));
 }
 
 void Engine::ResetMachineStats() {
@@ -243,14 +367,23 @@ void Engine::FillDegreeColumns(ColumnSet* cols, Timestamp t) {
 void Engine::RunInitialize(ColumnSet* cols,
                            std::vector<std::vector<double>>* globals,
                            Timestamp t) {
+  Stopwatch watch;
   StmtContext ctx;
   ctx.columns = cols;
   ctx.globals = globals;
   ctx.num_vertices = static_cast<double>(store_->num_vertices());
   ctx.num_edges = static_cast<double>(store_->num_edges(t));
+  if (init_cell_ != nullptr) {
+    ctx.eval_counter = &init_cell_->evals;
+    ctx.assigns_applied = &init_cell_->out_pos;
+  }
   for (VertexId v = 0; v < store_->num_vertices(); ++v) {
     ctx.vertex = v;
     RunStatements(*program_->init_body, &ctx);
+  }
+  if (init_cell_ != nullptr) {
+    init_cell_->in_pos += static_cast<uint64_t>(store_->num_vertices());
+    init_cell_->wall_nanos += watch.ElapsedNanos();
   }
 }
 
@@ -282,6 +415,12 @@ void Engine::ApplyEmission(const Emission& emission, const VertexId* row,
                            int row_len, int mult, const ColumnSet& eval_cols,
                            const std::vector<std::vector<double>>& eval_globals,
                            Timestamp t) {
+  // All call sites pass elements of the program's emission vector, so the
+  // emission's index (for the cached profile cells) is positional.
+  const size_t ei = static_cast<size_t>(
+      &emission - program_->traverse.emissions.data());
+  gsa::OperatorCounters* map_cell =
+      ei < emission_map_cells_.size() ? emission_map_cells_[ei] : nullptr;
   EvalContext ctx;
   ctx.columns = &eval_cols;
   ctx.globals = &eval_globals;
@@ -289,11 +428,18 @@ void Engine::ApplyEmission(const Emission& emission, const VertexId* row,
   ctx.num_edges = static_cast<double>(store_->num_edges(t));
   ctx.row = row;
   ctx.row_len = row_len;
+  if (map_cell != nullptr) {
+    (mult > 0 ? map_cell->in_pos : map_cell->in_neg) += 1;
+    ctx.eval_counter = &map_cell->evals;
+  }
   for (const auto& [cond, expected] : emission.guards) {
     if (EvaluateBool(*cond, ctx) != expected) return;
   }
   std::array<double, kMaxAttrWidth> value{};
   Evaluate(*emission.value, ctx, value.data());
+  if (map_cell != nullptr) {
+    (mult > 0 ? map_cell->out_pos : map_cell->out_neg) += 1;
+  }
   const int value_width = emission.value->type.width;
   std::array<double, kMaxAttrWidth> expanded{};
   for (int i = 0; i < emission.width; ++i) {
@@ -309,6 +455,14 @@ void Engine::ApplyEmissionValue(const Emission& emission, VertexId target,
                                 const double* values, int mult) {
   const lang::AccmOp op = emission.op;
   ++stats_.emissions_applied;
+  const size_t ei = static_cast<size_t>(
+      &emission - program_->traverse.emissions.data());
+  if (ei < emission_accum_cells_.size() &&
+      emission_accum_cells_[ei] != nullptr) {
+    gsa::OperatorCounters& c = *emission_accum_cells_[ei];
+    (mult > 0 ? c.in_pos : c.in_neg) += 1;
+    (mult > 0 ? c.out_pos : c.out_neg) += 1;
+  }
 
   auto value_at = [&](int i) { return values[i]; };
 
@@ -499,6 +653,13 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
     uint64_t windows = 0;
     uint64_t edges = 0;
     uint64_t pruned = 0;
+    // EXPLAIN ANALYZE: per-emission Map counters (guard/value evals and
+    // tuple in/out) and per-level walk counters, evaluated on the worker
+    // and folded in on the calling thread. Integer sums are order-
+    // independent, so the merged profile matches the sequential path.
+    std::vector<gsa::OperatorCounters> map_counters;
+    std::vector<WalkEnumerator::LevelCounts> levels;
+    uint64_t starts = 0;
   };
   struct TaskSpec {
     size_t job;
@@ -541,6 +702,7 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
     const TaskSpec& spec = tasks[ti];
     const WalkJob& job = jobs[spec.job];
     TaskResult& out = results[ti];
+    out.map_counters.resize(emissions.size());
     WalkEnumerator& we = *workers[static_cast<size_t>(w)];
     we.SetEvalBase(job.eval_cols, job.eval_globals, n,
                    job_num_edges[spec.job]);
@@ -565,6 +727,10 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
         }
         ctx.row = row;
         ctx.row_len = depth + 1;
+        gsa::OperatorCounters& map_c = out.map_counters[ei];
+        const int signed_mult = job.mult_sign * mult;
+        (signed_mult > 0 ? map_c.in_pos : map_c.in_neg) += 1;
+        ctx.eval_counter = &map_c.evals;
         bool pass = true;
         for (const auto& [cond, expected] : e.guards) {
           if (EvaluateBool(*cond, ctx) != expected) {
@@ -575,6 +741,7 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
         if (!pass) continue;
         std::array<double, kMaxAttrWidth> value{};
         Evaluate(*e.value, ctx, value.data());
+        (signed_mult > 0 ? map_c.out_pos : map_c.out_neg) += 1;
         const int vw = e.value->type.width;
         out.records.push_back({static_cast<int>(ei), job.mult_sign * mult,
                                e.is_global ? 0 : row[e.target_depth]});
@@ -587,6 +754,9 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
     const uint64_t windows0 = we.windows_loaded();
     const uint64_t edges0 = we.edges_scanned();
     const uint64_t pruned0 = we.walks_pruned();
+    const uint64_t starts0 = we.starts_enumerated();
+    const std::vector<WalkEnumerator::LevelCounts> levels0 =
+        we.level_counts();
     std::vector<VertexId> task_starts(
         job.starts.begin() + static_cast<ptrdiff_t>(spec.begin),
         job.starts.begin() + static_cast<ptrdiff_t>(spec.end));
@@ -596,6 +766,17 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
     out.windows = we.windows_loaded() - windows0;
     out.edges = we.edges_scanned() - edges0;
     out.pruned = we.walks_pruned() - pruned0;
+    out.starts = we.starts_enumerated() - starts0;
+    out.levels = we.level_counts();
+    for (size_t i = 0; i < out.levels.size() && i < levels0.size(); ++i) {
+      out.levels[i].windows -= levels0[i].windows;
+      out.levels[i].edges -= levels0[i].edges;
+      out.levels[i].pruned -= levels0[i].pruned;
+      out.levels[i].evals -= levels0[i].evals;
+      out.levels[i].out_pos -= levels0[i].out_pos;
+      out.levels[i].out_neg -= levels0[i].out_neg;
+      out.levels[i].wall_nanos -= levels0[i].wall_nanos;
+    }
   });
 
   stats_.parallel_tasks += tasks.size();
@@ -611,6 +792,13 @@ Status Engine::RunWalkJobsParallel(const std::vector<WalkJob>& jobs,
       vp += e.width;
     }
     enumerator_.AddCounts(r.windows, r.edges, r.pruned);
+    enumerator_.AddLevelCounts(r.levels, r.starts);
+    for (size_t ei = 0; ei < r.map_counters.size(); ++ei) {
+      if (ei < emission_map_cells_.size() &&
+          emission_map_cells_[ei] != nullptr) {
+        emission_map_cells_[ei]->Merge(r.map_counters[ei]);
+      }
+    }
     // A failing task aborts after its own partial records, mirroring the
     // sequential path's mid-stream error behavior.
     if (!r.status.ok()) return r.status;
@@ -652,6 +840,7 @@ void Engine::RunUpdatePhase(ColumnSet* cols,
                             std::vector<std::vector<double>>* globals,
                             Timestamp t) {
   TraceSpan span("update", "engine");
+  Stopwatch update_watch;
   // All vertices deactivate; Update re-activates (vertex-centric
   // "vote-to-halt" semantics, §3).
   auto& active = cols->Column(program_->active_attr);
@@ -679,25 +868,53 @@ void Engine::RunUpdatePhase(ColumnSet* cols,
         pool_threads_ =
             std::make_unique<ThreadPool>(num_threads_, store_->metrics());
       }
+      // Per-task work counters (bodies run / evals / assigns), summed in
+      // task-index order after the barrier — order-independent, so the
+      // totals match the sequential loop at any thread count.
+      struct UpdateTaskCounts {
+        uint64_t bodies = 0;
+        uint64_t evals = 0;
+        uint64_t assigns = 0;
+      };
+      std::vector<UpdateTaskCounts> task_counts(num_tasks);
       pool_threads_->ParallelFor(num_tasks, [&](size_t task, int) {
         StmtContext task_ctx = ctx;
+        UpdateTaskCounts& tc = task_counts[task];
+        if (update_cell_ != nullptr) {
+          task_ctx.eval_counter = &tc.evals;
+          task_ctx.assigns_applied = &tc.assigns;
+        }
         const VertexId begin = static_cast<VertexId>(task) * per;
         const VertexId end = std::min(n, begin + per);
         for (VertexId v = begin; v < end; ++v) {
           if (contribs[v] <= 0.0) continue;  // Update runs for V_accm only
+          ++tc.bodies;
           task_ctx.vertex = v;
           RunStatements(*program_->update_body, &task_ctx);
         }
       });
       stats_.parallel_tasks += num_tasks;
+      if (update_cell_ != nullptr) {
+        for (const UpdateTaskCounts& tc : task_counts) {
+          update_cell_->in_pos += tc.bodies;
+          update_cell_->evals += tc.evals;
+          update_cell_->out_pos += tc.assigns;
+        }
+        update_cell_->wall_nanos += update_watch.ElapsedNanos();
+      }
       return;
     }
+  }
+  if (update_cell_ != nullptr) {
+    ctx.eval_counter = &update_cell_->evals;
+    ctx.assigns_applied = &update_cell_->out_pos;
   }
   for (int m = 0; m < machines; ++m) {
     Stopwatch watch;
     for (VertexId v = 0; v < n; ++v) {
       if (contribs[v] <= 0.0) continue;  // Update runs for V_accm only
       if (machines > 1 && OwnerOf(v) != m) continue;
+      if (update_cell_ != nullptr) ++update_cell_->in_pos;
       ctx.vertex = v;
       RunStatements(*program_->update_body, &ctx);
     }
@@ -705,6 +922,9 @@ void Engine::RunUpdatePhase(ColumnSet* cols,
       machine_stats_[static_cast<size_t>(m)].seconds +=
           watch.ElapsedSeconds();
     }
+  }
+  if (update_cell_ != nullptr) {
+    update_cell_->wall_nanos += update_watch.ElapsedNanos();
   }
 }
 
@@ -767,6 +987,10 @@ Status Engine::RunOneShot(Timestamp t) {
   const uint64_t steals0 = pool_threads_ ? pool_threads_->steals() : 0;
   const uint64_t busy0 = pool_threads_ ? pool_threads_->total_busy_nanos() : 0;
   const uint64_t crit0 = pool_threads_ ? pool_threads_->critical_nanos() : 0;
+  profile_.ResetCounters();
+  const std::vector<WalkEnumerator::LevelCounts> walk_base =
+      enumerator_.level_counts();
+  const uint64_t starts_base = enumerator_.starts_enumerated();
 
   const VertexId n = store_->num_vertices();
   ResetMachineStats();
@@ -788,6 +1012,15 @@ Status Engine::RunOneShot(Timestamp t) {
     TraceSpan superstep_span("superstep", "engine", s);
     std::vector<VertexId> active = ActiveList(cur_cols_);
     if (active.empty()) break;
+    const uint64_t ss_emissions0 = stats_.emissions_applied;
+    const uint64_t ss_windows0 = enumerator_.windows_loaded();
+    const uint64_t ss_edges0 = enumerator_.edges_scanned();
+    const uint64_t ss_wall0 = TraceNowNanos();
+    const uint64_t ss_cpu0 = ThreadCpuNanos();
+    const std::vector<uint64_t> ss_shuffle0 = ShuffleSnapshot();
+    const uint64_t active_size = active.size();
+    // One-shot starts: the Filter over `vs` admits exactly the active set.
+    RecordStartFilter(static_cast<uint64_t>(n), active_size);
     ResetAccumulators(&cur_cols_);
     ClearRecomputeState();
     remote_seen_.clear();
@@ -827,8 +1060,12 @@ Status Engine::RunOneShot(Timestamp t) {
       ITG_RETURN_IF_ERROR(WriteDeltaFiles(t, s + 1, AttrFileAttrs(), changed,
                                           cur_cols_, &snapshot, nullptr));
     }
+    RecordSuperstep(s, /*incremental=*/false, active_size, active_size,
+                    ss_emissions0, ss_windows0, ss_edges0, ss_wall0, ss_cpu0,
+                    ss_shuffle0);
     ++s;
   }
+  FoldWalkCounters(walk_base, starts_base);
 
   last_run_t_ = t;
   prev_supersteps_ = s;
@@ -874,6 +1111,10 @@ Status Engine::RunIncremental(Timestamp t) {
   const uint64_t steals0 = pool_threads_ ? pool_threads_->steals() : 0;
   const uint64_t busy0 = pool_threads_ ? pool_threads_->total_busy_nanos() : 0;
   const uint64_t crit0 = pool_threads_ ? pool_threads_->critical_nanos() : 0;
+  profile_.ResetCounters();
+  const std::vector<WalkEnumerator::LevelCounts> walk_base =
+      enumerator_.level_counts();
+  const uint64_t starts_base = enumerator_.starts_enumerated();
 
   const VertexId n = store_->num_vertices();
   const Timestamp prev_t = t - 1;
@@ -918,6 +1159,12 @@ Status Engine::RunIncremental(Timestamp t) {
     TraceSpan superstep_span("superstep", "engine", s);
     std::vector<VertexId> cur_active = ActiveList(cur_cols_);
     if (cur_active.empty() && s >= s_prev_total) break;
+    const uint64_t ss_emissions0 = stats_.emissions_applied;
+    const uint64_t ss_windows0 = enumerator_.windows_loaded();
+    const uint64_t ss_edges0 = enumerator_.edges_scanned();
+    const uint64_t ss_wall0 = TraceNowNanos();
+    const uint64_t ss_cpu0 = ThreadCpuNanos();
+    const std::vector<uint64_t> ss_shuffle0 = ShuffleSnapshot();
 
     // --- ΔTraverse --------------------------------------------------------
     // Reconstruct A^accm_{t-1,s} from the store (identity + overlay).
@@ -1013,11 +1260,16 @@ Status Engine::RunIncremental(Timestamp t) {
     {
       TraceSpan update_span("update", "engine",
                             static_cast<int64_t>(domain.size()));
+      Stopwatch delta_update_watch;
       StmtContext ctx;
       ctx.columns = &cur_cols_;
       ctx.globals = &cur_globals_;
       ctx.num_vertices = static_cast<double>(n);
       ctx.num_edges = static_cast<double>(store_->num_edges(t));
+      if (update_cell_ != nullptr) {
+        ctx.eval_counter = &update_cell_->evals;
+        ctx.assigns_applied = &update_cell_->out_pos;
+      }
       const double* contribs = cur_cols_.Column(contribs_attr_).data();
       const int machines = std::max(1, options_.num_partitions);
       for (int m = 0; m < machines; ++m) {
@@ -1033,6 +1285,7 @@ Status Engine::RunIncremental(Timestamp t) {
           }
           cur_cols_.Cell(program_->active_attr, v)[0] = 0.0;
           if (contribs[v] > 0.0) {
+            if (update_cell_ != nullptr) ++update_cell_->in_pos;
             ctx.vertex = v;
             RunStatements(*program_->update_body, &ctx);
           }
@@ -1041,6 +1294,9 @@ Status Engine::RunIncremental(Timestamp t) {
           machine_stats_[static_cast<size_t>(m)].seconds +=
               watch.ElapsedSeconds();
         }
+      }
+      if (update_cell_ != nullptr) {
+        update_cell_->wall_nanos += delta_update_watch.ElapsedNanos();
       }
     }
 
@@ -1057,8 +1313,12 @@ Status Engine::RunIncremental(Timestamp t) {
                                           candidates, cur_cols_,
                                           &prev_cols_, &cur_snapshot));
     }
+    RecordSuperstep(s, /*incremental=*/true, cur_active.size(),
+                    changed_starts.size(), ss_emissions0, ss_windows0,
+                    ss_edges0, ss_wall0, ss_cpu0, ss_shuffle0);
     ++s;
   }
+  FoldWalkCounters(walk_base, starts_base);
 
   if (options_.record_history) {
     ITG_RETURN_IF_ERROR(vs->MaintainAfterSnapshot(t, pool));
@@ -1110,6 +1370,10 @@ Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
       if (prev_active[v] != 0.0) old_active_starts.push_back(v);
       if (cur_active_col[v] != 0.0) new_active_starts.push_back(v);
     }
+    // Δvs start filter: each changed start is tested twice (old-side and
+    // new-side activation); the survivors become retract/assert starts.
+    RecordStartFilter(2 * changed_starts.size(),
+                      old_active_starts.size() + new_active_starts.size());
     std::vector<WalkJob> jobs(2);
     WalkJob& retract = jobs[0];
     retract.starts = std::move(old_active_starts);
@@ -1178,6 +1442,7 @@ Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
       for (VertexId v : sources) {
         if (active[v] != 0.0) plan.starts.push_back(v);
       }
+      RecordStartFilter(sources.size(), plan.starts.size());
       plans.push_back(std::move(plan));
       continue;
     }
@@ -1192,8 +1457,10 @@ Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
           plan.starts.push_back(v);
         }
       }
+      RecordStartFilter(static_cast<uint64_t>(n), plan.starts.size());
     } else {
       plan.starts = cur_active;
+      RecordStartFilter(cur_active.size(), cur_active.size());
     }
     plans.push_back(std::move(plan));
   }
@@ -1301,6 +1568,16 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
   ctx.num_vertices = static_cast<double>(n);
   ctx.num_edges = static_cast<double>(store_->num_edges(t));
 
+  // EXPLAIN ANALYZE attribution: the anchored plan bypasses the walk
+  // enumerator, so its edge probes and predicate evaluations are charged
+  // directly to the level stream operators here.
+  std::vector<gsa::OperatorCounters*> level_cells(static_cast<size_t>(k),
+                                                  nullptr);
+  for (int j = 0; j < k; ++j) {
+    const int op = program_->traverse.levels[static_cast<size_t>(j)].op;
+    if (op >= 0) level_cells[static_cast<size_t>(j)] = &profile_.Op(op);
+  }
+
   std::vector<VertexId> row(static_cast<size_t>(k) + 1);
   std::vector<VertexId> adj;
   Status status = Status::OK();
@@ -1310,7 +1587,12 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
         const VertexId a = e.src;
         const VertexId b = e.dst;
         if (b >= n || a >= n) return;
-        if (active[b] == 0.0) return;  // start filter σ_active on u_1 = b
+        if (level_cells[static_cast<size_t>(k - 1)] != nullptr) {
+          ++level_cells[static_cast<size_t>(k - 1)]->edges;
+        }
+        // Start filter σ_active on u_1 = b (one candidate per delta edge).
+        RecordStartFilter(1, active[b] != 0.0 ? 1 : 0);
+        if (active[b] == 0.0) return;
         // Forward-enumerate positions 1..k-2 from u_1 = b over the
         // current snapshot, then probe position k-1 == a.
         std::function<void(int)> extend = [&](int depth) {
@@ -1320,6 +1602,8 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
             // current-snapshot neighbor of row[k-2] satisfying the
             // level's predicate; then row[k] = b closes the walk.
             const LevelSpec& level = program_->traverse.levels[k - 2];
+            gsa::OperatorCounters* probe_cell =
+                level_cells[static_cast<size_t>(k - 2)];
             row[static_cast<size_t>(k - 1)] = a;
             row[static_cast<size_t>(k)] = b;
             ctx.row = row.data();
@@ -1327,9 +1611,12 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
             if (level.gt_pos >= 0 && !(a > row[level.gt_pos])) return;
             if (level.lt_pos >= 0 && !(a < row[level.lt_pos])) return;
             if (level.eq_pos >= 0 && a != row[level.eq_pos]) return;
+            ctx.eval_counter =
+                (probe_cell != nullptr) ? &probe_cell->evals : nullptr;
             for (const lang::Expr* cond : level.general) {
               if (!EvaluateBool(*cond, ctx)) return;
             }
+            if (probe_cell != nullptr) ++probe_cell->edges;
             auto has = store_->HasEdge(store_->pool(), row[k - 2], a, t,
                                        level.dir);
             if (!has.ok()) {
@@ -1337,12 +1624,20 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
               return;
             }
             if (!*has) return;
+            if (probe_cell != nullptr) ++probe_cell->out_pos;
             // Remaining conjuncts of the delta level itself.
             const LevelSpec& last = program_->traverse.levels[k - 1];
+            gsa::OperatorCounters* last_cell =
+                level_cells[static_cast<size_t>(k - 1)];
             if (last.gt_pos >= 0 && !(b > row[last.gt_pos])) return;
             if (last.lt_pos >= 0 && !(b < row[last.lt_pos])) return;
+            ctx.eval_counter =
+                (last_cell != nullptr) ? &last_cell->evals : nullptr;
             for (const lang::Expr* cond : last.general) {
               if (!EvaluateBool(*cond, ctx)) return;
+            }
+            if (last_cell != nullptr) {
+              (m > 0 ? last_cell->out_pos : last_cell->out_neg) += 1;
             }
             for (const Emission& em : program_->traverse.emissions) {
               if (em.stmt_depth != k) continue;
@@ -1352,6 +1647,8 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
             return;
           }
           const LevelSpec& level = program_->traverse.levels[depth - 1];
+          gsa::OperatorCounters* cell =
+              level_cells[static_cast<size_t>(depth - 1)];
           Status st = store_->GetAdjacency(store_->pool(),
                                            row[static_cast<size_t>(depth - 1)],
                                            t, level.dir, &adj_stack_[depth]);
@@ -1360,6 +1657,7 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
             return;
           }
           for (VertexId v : adj_stack_[depth]) {
+            if (cell != nullptr) ++cell->edges;
             row[static_cast<size_t>(depth)] = v;
             ctx.row = row.data();
             ctx.row_len = depth + 1;
@@ -1367,13 +1665,16 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
             if (level.lt_pos >= 0 && !(v < row[level.lt_pos])) continue;
             if (level.eq_pos >= 0 && v != row[level.eq_pos]) continue;
             bool ok = true;
+            ctx.eval_counter = (cell != nullptr) ? &cell->evals : nullptr;
             for (const lang::Expr* cond : level.general) {
               if (!EvaluateBool(*cond, ctx)) {
                 ok = false;
                 break;
               }
             }
-            if (ok) extend(depth + 1);
+            if (!ok) continue;
+            if (cell != nullptr) ++cell->out_pos;
+            extend(depth + 1);
           }
         };
         row[0] = b;
@@ -1470,6 +1771,7 @@ Status Engine::RunMonoidRecompute(Timestamp t, Superstep s) {
       starts.push_back(v);
     }
   }
+  RecordStartFilter(static_cast<uint64_t>(n), starts.size());
 
   {
     std::vector<WalkJob> jobs(1);

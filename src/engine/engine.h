@@ -13,6 +13,7 @@
 #include "compiler/compiled_program.h"
 #include "engine/columns.h"
 #include "engine/walk.h"
+#include "gsa/profile.h"
 #include "storage/graph_store.h"
 
 namespace itg {
@@ -128,6 +129,13 @@ class Engine {
   int GlobalIndex(const std::string& name) const;
 
   const RunStats& last_stats() const { return stats_; }
+  /// EXPLAIN ANALYZE profile of the last run: per-operator counters keyed
+  /// by the compiler's stable plan ids, plus the superstep timeline.
+  /// Reset at the start of every Run*; drivers that want whole-process
+  /// totals accumulate with ExecutionProfile::Merge. The integer work
+  /// counters are bit-identical across thread counts (enforced by
+  /// parallel_determinism_test); wall/cpu fields are measured time.
+  const gsa::ExecutionProfile& last_profile() const { return profile_; }
   const EngineOptions& options() const { return options_; }
   EngineOptions* mutable_options() { return &options_; }
 
@@ -205,6 +213,29 @@ class Engine {
   /// Fills the thread-scaling fields of stats_ from the pool's cumulative
   /// counters (deltas against the given run-start baselines).
   void FillThreadStats(uint64_t steals0, uint64_t busy0, uint64_t crit0);
+
+  // ---- EXPLAIN ANALYZE recording ---------------------------------------
+  /// Re-resolves the cached per-operator counter cells (map-node addresses
+  /// in profile_ are stable, so this runs once in the constructor).
+  void CacheProfileCells();
+  /// Start-filter (σ_active) attribution: `in` candidates inspected, `out`
+  /// kept as walk starts.
+  void RecordStartFilter(uint64_t in, uint64_t out);
+  /// Folds the enumerator's per-level counter deltas (against the given
+  /// run-start baselines) into the per-operator profile: level i →
+  /// LevelSpec::op, plus the Walk roll-up and the start-stream output.
+  void FoldWalkCounters(const std::vector<WalkEnumerator::LevelCounts>& base,
+                        uint64_t starts0);
+  /// Appends one superstep-timeline row; work fields are deltas against
+  /// the given superstep-start baselines.
+  void RecordSuperstep(Superstep s, bool incremental,
+                       uint64_t active_vertices, uint64_t frontier,
+                       uint64_t emissions0, uint64_t windows0,
+                       uint64_t edges0, uint64_t wall0_nanos,
+                       uint64_t cpu0_nanos,
+                       const std::vector<uint64_t>& shuffle0);
+  /// Per-partition network_bytes snapshot (empty when unpartitioned).
+  std::vector<uint64_t> ShuffleSnapshot() const;
 
   void MarkRecompute(int attr, VertexId v);
   void UnmarkRecompute(int attr, VertexId v);
@@ -299,6 +330,20 @@ class Engine {
   Timestamp last_run_t_ = -1;
   Superstep prev_supersteps_ = 0;
   RunStats stats_;
+
+  // ---- EXPLAIN ANALYZE profile -----------------------------------------
+  gsa::ExecutionProfile profile_;
+  // Cached cells of profile_ for the hot recording paths (std::map node
+  // addresses are stable; entries are created by RegisterOperators in the
+  // constructor and survive ResetCounters). Null when the program has no
+  // such operator.
+  std::vector<gsa::OperatorCounters*> emission_map_cells_;
+  std::vector<gsa::OperatorCounters*> emission_accum_cells_;
+  gsa::OperatorCounters* init_cell_ = nullptr;
+  gsa::OperatorCounters* update_cell_ = nullptr;
+  gsa::OperatorCounters* start_filter_cell_ = nullptr;
+  gsa::OperatorCounters* start_stream_cell_ = nullptr;
+  gsa::OperatorCounters* walk_cell_ = nullptr;
 };
 
 }  // namespace itg

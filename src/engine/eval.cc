@@ -41,6 +41,7 @@ double EvalBinaryScalar(BinaryOp op, double a, double b) {
 }  // namespace
 
 void Evaluate(const Expr& expr, const EvalContext& ctx, double* out) {
+  if (ctx.eval_counter != nullptr) ++*ctx.eval_counter;
   const int width = expr.type.width;
   switch (expr.kind) {
     case Expr::Kind::kLiteral:

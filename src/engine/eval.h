@@ -28,6 +28,12 @@ struct EvalContext {
   /// Walk row: row[d] is the vertex bound at loop depth d (0 = start).
   const VertexId* row = nullptr;
   int row_len = 0;
+  /// When non-null, incremented once per expression node evaluated — the
+  /// EXPLAIN ANALYZE `evals` work counter. Callers point it at the
+  /// profile cell of the operator the evaluation belongs to (a level
+  /// predicate's es-stream, an emission's Map, an Apply phase). Counts
+  /// are deterministic: short-circuiting &&/|| depends only on values.
+  uint64_t* eval_counter = nullptr;
 };
 
 /// Evaluates `expr` into `out` (expr->type.width doubles; callers provide

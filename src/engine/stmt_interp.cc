@@ -20,6 +20,7 @@ void RunBlock(const std::vector<StmtPtr>& body, StmtContext* ctx,
   for (const StmtPtr& stmt : body) {
     switch (stmt->kind) {
       case Stmt::Kind::kAssign: {
+        if (ctx->assigns_applied != nullptr) ++*ctx->assigns_applied;
         Evaluate(*stmt->value, eval_ctx, value.data());
         const Expr* target = stmt->target.get();
         if (target->kind == Expr::Kind::kIndex) {
@@ -83,6 +84,7 @@ void RunStatements(const std::vector<StmtPtr>& body, StmtContext* ctx) {
   eval_ctx.globals = ctx->globals;
   eval_ctx.num_vertices = ctx->num_vertices;
   eval_ctx.num_edges = ctx->num_edges;
+  eval_ctx.eval_counter = ctx->eval_counter;
   VertexId row[1] = {ctx->vertex};
   eval_ctx.row = row;
   eval_ctx.row_len = 1;

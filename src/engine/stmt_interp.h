@@ -22,6 +22,12 @@ struct StmtContext {
   double num_vertices = 0;
   double num_edges = 0;
   VertexId vertex = 0;
+  /// Optional EXPLAIN ANALYZE work counters for the owning Apply phase:
+  /// expression nodes evaluated and assignments applied. The engine
+  /// points these at per-run (or, on the parallel Update path, per-task)
+  /// cells so parallel runs sum deterministically.
+  uint64_t* eval_counter = nullptr;
+  uint64_t* assigns_applied = nullptr;
 };
 
 /// Interprets an Initialize/Update body (Lets inlined; statements are

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/trace.h"
 
 namespace itg {
@@ -72,6 +73,7 @@ Status WalkEnumerator::Enumerate(
     std::vector<VertexId> prefixes(starts.begin() + begin,
                                    starts.begin() + end);
     std::vector<int8_t> mults(prefixes.size(), 1);
+    starts_enumerated_ += prefixes.size();
     for (size_t i = 0; i < prefixes.size(); ++i) {
       sink(&prefixes[i], 0, 1);
     }
@@ -93,6 +95,7 @@ Status WalkEnumerator::Extend(
   const LevelSpec& spec = program_->traverse.levels[level - 1];
   const LevelStream stream = streams[level - 1];
   const std::vector<uint8_t>* allow = level_allow[level - 1];
+  LevelCounts& lc = level_counts_[static_cast<size_t>(level - 1)];
   const size_t num_prefixes = prefixes.size() / prefix_len;
   if (num_prefixes == 0) return Status::OK();
 
@@ -111,6 +114,7 @@ Status WalkEnumerator::Extend(
   ctx.globals = globals_;
   ctx.num_vertices = num_vertices_;
   ctx.num_edges = num_edges_;
+  ctx.eval_counter = &lc.evals;
 
   std::vector<VertexId> row(static_cast<size_t>(prefix_len) + 1);
   AdjacencyWindow window;
@@ -120,8 +124,10 @@ Status WalkEnumerator::Extend(
     size_t ce = std::min(frontier.size(), cb + chunk);
     std::vector<VertexId> chunk_vertices(frontier.begin() + cb,
                                          frontier.begin() + ce);
+    Stopwatch level_timer;
     ITG_RETURN_IF_ERROR(LoadWindow(chunk_vertices, stream, spec.dir,
                                    current_t, previous_t, &window));
+    ++lc.windows;
 
     std::vector<VertexId> next_prefixes;
     std::vector<int8_t> next_mults;
@@ -152,6 +158,7 @@ Status WalkEnumerator::Extend(
         const VertexId* hi = dsts + end;
         const VertexId* it = std::lower_bound(lo, hi, want);
         ++edges_scanned_;
+        ++lc.edges;
         // Duplicated dsts cannot occur in base lists; delta segments may
         // repeat a dst across insert/delete of the same batch.
         for (; it != hi && *it == want; ++it) {
@@ -159,6 +166,7 @@ Status WalkEnumerator::Extend(
           row[prefix_len] = want;
           if (allow != nullptr && !(*allow)[static_cast<size_t>(want)]) {
             ++walks_pruned_;
+            ++lc.pruned;
             break;
           }
           bool ok = true;
@@ -170,6 +178,7 @@ Status WalkEnumerator::Extend(
           }
           if (!ok) continue;
           int m = mults[i] * window.mults[j];
+          (m > 0 ? lc.out_pos : lc.out_neg) += 1;
           sink(row.data(), prefix_len, m);
           if (level < max_depth) {
             next_prefixes.insert(next_prefixes.end(), row.begin(),
@@ -191,8 +200,10 @@ Status WalkEnumerator::Extend(
         VertexId v = dsts[j];
         if (spec.lt_pos >= 0 && v >= row[spec.lt_pos]) break;
         ++edges_scanned_;
+        ++lc.edges;
         if (allow != nullptr && !(*allow)[static_cast<size_t>(v)]) {
           ++walks_pruned_;
+          ++lc.pruned;
           continue;
         }
         row[prefix_len] = v;
@@ -206,6 +217,7 @@ Status WalkEnumerator::Extend(
         }
         if (!ok) continue;
         int m = mults[i] * window.mults[j];
+        (m > 0 ? lc.out_pos : lc.out_neg) += 1;
         sink(row.data(), prefix_len, m);
         if (level < max_depth) {
           next_prefixes.insert(next_prefixes.end(), row.begin(),
@@ -215,6 +227,8 @@ Status WalkEnumerator::Extend(
       }
     }
     }
+    // Exclusive time: the timer stops before recursing into deeper levels.
+    lc.wall_nanos += static_cast<uint64_t>(level_timer.ElapsedNanos());
     if (level < max_depth && !next_prefixes.empty()) {
       ITG_RETURN_IF_ERROR(Extend(level + 1, next_prefixes, next_mults,
                                  prefix_len + 1, streams, current_t,

@@ -45,9 +45,39 @@ class WalkEnumerator {
     bool eq_fast_path = true;
   };
 
+  /// Per-traversal-level work counters (EXPLAIN ANALYZE): entry i
+  /// belongs to level i+1, i.e. the plans' `es_{i+1}` stream operator
+  /// (LevelSpec::op). `out_*` counts walk tuples fired at that depth by
+  /// multiplicity sign; `evals` counts expression nodes the general-
+  /// conjunct residue evaluated; `wall_nanos` is exclusive of deeper
+  /// levels. All fields except wall are deterministic.
+  struct LevelCounts {
+    uint64_t windows = 0;
+    uint64_t edges = 0;
+    uint64_t pruned = 0;
+    uint64_t evals = 0;
+    uint64_t out_pos = 0;
+    uint64_t out_neg = 0;
+    uint64_t wall_nanos = 0;
+
+    void Merge(const LevelCounts& o) {
+      windows += o.windows;
+      edges += o.edges;
+      pruned += o.pruned;
+      evals += o.evals;
+      out_pos += o.out_pos;
+      out_neg += o.out_neg;
+      wall_nanos += o.wall_nanos;
+    }
+  };
+
   WalkEnumerator(const CompiledProgram* program, DynamicGraphStore* store,
                  BufferPool* pool, const Options& options)
-      : program_(program), store_(store), pool_(pool), options_(options) {}
+      : program_(program),
+        store_(store),
+        pool_(pool),
+        options_(options),
+        level_counts_(static_cast<size_t>(program->walk_length())) {}
 
   /// Redirects window loads through another buffer pool (the distributed
   /// simulation gives every machine its own pool).
@@ -93,6 +123,23 @@ class WalkEnumerator {
     walks_pruned_ += pruned;
   }
 
+  /// Walk tuples enumerated at depth 0 (the start-stream output).
+  uint64_t starts_enumerated() const { return starts_enumerated_; }
+  const std::vector<LevelCounts>& level_counts() const {
+    return level_counts_;
+  }
+
+  /// Folds a worker enumerator's per-level counters into this one
+  /// (order-independent integer sums, so the merged values match a
+  /// sequential run regardless of task interleaving).
+  void AddLevelCounts(const std::vector<LevelCounts>& levels,
+                      uint64_t starts) {
+    starts_enumerated_ += starts;
+    for (size_t i = 0; i < levels.size() && i < level_counts_.size(); ++i) {
+      level_counts_[i].Merge(levels[i]);
+    }
+  }
+
  private:
   struct AdjacencyWindow;
 
@@ -120,6 +167,8 @@ class WalkEnumerator {
   uint64_t windows_loaded_ = 0;
   uint64_t edges_scanned_ = 0;
   uint64_t walks_pruned_ = 0;
+  uint64_t starts_enumerated_ = 0;
+  std::vector<LevelCounts> level_counts_;
 };
 
 }  // namespace itg

@@ -1,5 +1,7 @@
 #include "gsa/plan.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "common/logging.h"
@@ -18,6 +20,158 @@ void ExplainRec(const PlanNode& node, int indent, std::ostringstream* os) {
   }
 }
 
+std::string FormatNanos(uint64_t nanos) {
+  char buf[32];
+  if (nanos < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(nanos));
+  } else if (nanos < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", nanos / 1e3);
+  } else if (nanos < 10'000'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", nanos / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", nanos / 1e9);
+  }
+  return buf;
+}
+
+/// Counter annotation split into groups; only groups with activity are
+/// included, so pass-through logical operators stay visually quiet.
+std::vector<std::string> FormatCounterParts(const OperatorCounters& c) {
+  std::vector<std::string> parts;
+  std::ostringstream os;
+  auto take = [&] {
+    parts.push_back(os.str());
+    os.str("");
+  };
+  if (c.in_pos != 0 || c.in_neg != 0) {
+    os << "in=+" << c.in_pos << "/-" << c.in_neg;
+    take();
+  }
+  if (c.out_pos != 0 || c.out_neg != 0) {
+    os << "out=+" << c.out_pos << "/-" << c.out_neg;
+    take();
+  }
+  if (c.pruned != 0) {
+    os << "pruned=" << c.pruned;
+    const uint64_t enumerated = c.out_pos + c.out_neg;
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), " (%.1f%% of candidates)",
+                  100.0 * static_cast<double>(c.pruned) /
+                      static_cast<double>(enumerated + c.pruned));
+    os << pct;
+    take();
+  }
+  if (c.windows != 0) {
+    os << "windows=" << c.windows;
+    take();
+  }
+  if (c.edges != 0) {
+    os << "edges=" << c.edges;
+    take();
+  }
+  if (c.evals != 0) {
+    os << "evals=" << c.evals;
+    take();
+  }
+  if (c.wall_nanos != 0) {
+    os << "wall=" << FormatNanos(c.wall_nanos);
+    take();
+  }
+  return parts;
+}
+
+std::string JoinParts(const std::vector<std::string>& parts,
+                      const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+void ExplainAnalyzeRec(const PlanNode& node, const ExecutionProfile& profile,
+                       int indent, std::ostringstream* os) {
+  for (int i = 0; i < indent; ++i) *os << "  ";
+  *os << node.op;
+  if (!node.detail.empty()) *os << "[" << node.detail << "]";
+  if (node.op_id >= 0) {
+    *os << "  (#" << node.op_id << ")";
+    if (const OperatorCounters* c = profile.Find(node.op_id)) {
+      if (!c->IsZero()) *os << " " << JoinParts(FormatCounterParts(*c), " ");
+    }
+  }
+  *os << "\n";
+  for (const auto& child : node.children) {
+    ExplainAnalyzeRec(*child, profile, indent + 1, os);
+  }
+}
+
+void DotEscape(const std::string& s, std::ostringstream* os) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') *os << '\\';
+    *os << ch;
+  }
+}
+
+uint64_t MaxEdges(const PlanNode& node, const ExecutionProfile* profile) {
+  uint64_t best = 0;
+  if (profile && node.op_id >= 0) {
+    if (const OperatorCounters* c = profile->Find(node.op_id)) {
+      best = c->edges;
+    }
+  }
+  for (const auto& child : node.children) {
+    best = std::max(best, MaxEdges(*child, profile));
+  }
+  return best;
+}
+
+int DotRec(const PlanNode& node, const ExecutionProfile* profile,
+           uint64_t max_edges, int* next, std::ostringstream* os) {
+  const int me = (*next)++;
+  *os << "  n" << me << " [label=\"";
+  DotEscape(node.op, os);
+  if (!node.detail.empty()) {
+    *os << "[";
+    DotEscape(node.detail, os);
+    *os << "]";
+  }
+  if (node.op_id >= 0) *os << "\\n#" << node.op_id;
+  double heat = 0.0;
+  if (profile && node.op_id >= 0) {
+    if (const OperatorCounters* c = profile->Find(node.op_id)) {
+      if (!c->IsZero()) {
+        // One counter group per dot label line.
+        for (const std::string& part : FormatCounterParts(*c)) {
+          *os << "\\n";
+          DotEscape(part, os);
+        }
+        if (max_edges > 0) {
+          heat = static_cast<double>(c->edges) /
+                 static_cast<double>(max_edges);
+        }
+      }
+    }
+  }
+  *os << "\"";
+  if (heat > 0.0) {
+    // Shade hot operators (by edge-scan share) light yellow → orange.
+    const int green = 235 - static_cast<int>(heat * 130.0);
+    char color[16];
+    std::snprintf(color, sizeof(color), "#ff%02xb0", green);
+    *os << ", style=filled, fillcolor=\"" << color << "\"";
+  }
+  *os << "];\n";
+  for (const auto& child : node.children) {
+    const int c = DotRec(*child, profile, max_edges, next, os);
+    // Dataflow direction: tuples flow child → parent.
+    *os << "  n" << c << " -> n" << me << ";\n";
+  }
+  return me;
+}
+
 }  // namespace
 
 std::string Explain(const PlanNode& root) {
@@ -26,10 +180,41 @@ std::string Explain(const PlanNode& root) {
   return os.str();
 }
 
+void AssignOperatorIds(PlanNode* root, int* next_id) {
+  if (root->op_id < 0) root->op_id = (*next_id)++;
+  for (auto& child : root->children) {
+    AssignOperatorIds(child.get(), next_id);
+  }
+}
+
+std::string ExplainAnalyze(const PlanNode& root,
+                           const ExecutionProfile& profile) {
+  std::ostringstream os;
+  ExplainAnalyzeRec(root, profile, 0, &os);
+  return os.str();
+}
+
+std::string PlanToDot(const PlanNode& root, const ExecutionProfile* profile,
+                      const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+  const uint64_t max_edges = MaxEdges(root, profile);
+  int next = 0;
+  DotRec(root, profile, max_edges, &next, &os);
+  os << "}\n";
+  return os.str();
+}
+
 std::unique_ptr<PlanNode> Incrementalize(const PlanNode& plan) {
-  // Leaf streams: Δ(Stream s) = DeltaStream Δs.
+  // Leaf streams: Δ(Stream s) = DeltaStream Δs. The derived node keeps
+  // the source stream's operator id: at runtime the same physical scan
+  // site serves both plans, so its counters annotate both trees.
   if (plan.op == "Stream") {
-    return PlanNode::Make("DeltaStream", "Δ" + plan.detail);
+    auto delta = PlanNode::Make("DeltaStream", "Δ" + plan.detail);
+    delta->op_id = plan.op_id;
+    return delta;
   }
   if (plan.op == "DeltaStream") {
     ITG_CHECK(false) << "cannot incrementalize an already-incremental plan";
@@ -41,6 +226,7 @@ std::unique_ptr<PlanNode> Incrementalize(const PlanNode& plan) {
     for (size_t p = 0; p < n; ++p) {
       auto sub = PlanNode::Make("Walk", plan.detail + " : q" +
                                             std::to_string(p + 1));
+      sub->op_id = plan.op_id;
       for (size_t i = 0; i < n; ++i) {
         if (i < p) {
           auto updated = plan.children[i]->Clone();
@@ -57,8 +243,10 @@ std::unique_ptr<PlanNode> Incrementalize(const PlanNode& plan) {
     return result;
   }
   // Rules ①②⑤⑥ (single-input linear operators) and ③④ (binary):
-  // push Δ through to every child.
+  // push Δ through to every child; the rewritten node inherits its
+  // source's id.
   auto node = PlanNode::Make(plan.op, plan.detail);
+  node->op_id = plan.op_id;
   for (const auto& child : plan.children) {
     node->children.push_back(Incrementalize(*child));
   }

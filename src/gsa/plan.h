@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "gsa/profile.h"
+
 namespace itg::gsa {
 
 /// A Graph Streaming Algebra operator tree (Table 3 of the paper). The
@@ -21,6 +23,13 @@ struct PlanNode {
   std::string op;
   /// Subscript / annotation (predicates, rename lists, stream names).
   std::string detail;
+  /// Stable operator id, assigned by `AssignOperatorIds` in pre-order
+  /// over the one-shot plan. `Incrementalize` *preserves* ids: a derived
+  /// node keeps the id of the one-shot node it was rewritten from, so
+  /// runtime counters recorded against the fused physical form annotate
+  /// both plans. Nodes introduced by the rewrite (the rule-⑦ Union and
+  /// its Walk sub-queries) start at -1 and receive fresh ids afterwards.
+  int op_id = -1;
   std::vector<std::unique_ptr<PlanNode>> children;
 
   static std::unique_ptr<PlanNode> Make(std::string op, std::string detail) {
@@ -32,6 +41,7 @@ struct PlanNode {
 
   std::unique_ptr<PlanNode> Clone() const {
     auto node = Make(op, detail);
+    node->op_id = op_id;
     for (const auto& child : children) {
       node->children.push_back(child->Clone());
     }
@@ -41,6 +51,26 @@ struct PlanNode {
 
 /// Pretty-prints a plan tree, one operator per line, indented.
 std::string Explain(const PlanNode& root);
+
+/// Assigns ids to every node with `op_id < 0`, pre-order, starting at
+/// `*next_id`; advances `*next_id` past the ids consumed. Nodes that
+/// already carry an id (inherited through Incrementalize) are skipped,
+/// so calling this on the one-shot plan and then on the derived
+/// incremental plan yields one consistent id space.
+void AssignOperatorIds(PlanNode* root, int* next_id);
+
+/// EXPLAIN ANALYZE: the plan tree annotated with the runtime counters
+/// recorded against each operator id — tuple counts split by +/-
+/// multiplicity, Δ-walks pruned, window reads, predicate evaluations and
+/// wall time. Operators with no recorded work print bare.
+std::string ExplainAnalyze(const PlanNode& root,
+                           const ExecutionProfile& profile);
+
+/// Graphviz dot export of a plan tree; when `profile` is non-null each
+/// node is labeled with its counters (boxes shaded by relative edge-scan
+/// work).
+std::string PlanToDot(const PlanNode& root, const ExecutionProfile* profile,
+                      const std::string& graph_name = "gsa_plan");
 
 /// Applies the GSA incrementalization rules (Table 4) to a one-shot plan:
 ///   ① Δσ(s) = σ(Δs)        ② ΔΠ(s) = Π(Δs)

@@ -52,8 +52,14 @@ void AppendField(std::string* out, const char* key, uint64_t v,
 
 void RunReport::AddRun(const std::string& name, const RunStats& stats,
                        const std::vector<MachineStats>& machines,
-                       uint64_t network_bytes) {
-  runs_.push_back(Run{name, stats, machines, network_bytes});
+                       uint64_t network_bytes,
+                       const gsa::ExecutionProfile* profile) {
+  Run run{name, stats, machines, network_bytes, false, {}};
+  if (profile != nullptr) {
+    run.has_profile = true;
+    run.profile = *profile;
+  }
+  runs_.push_back(std::move(run));
 }
 
 void RunReport::AddResult(const std::string& name, double value) {
@@ -63,7 +69,7 @@ void RunReport::AddResult(const std::string& name, double value) {
 std::string RunReport::ToJson() const {
   std::string out;
   out.reserve(4096);
-  out.append("{\"schema_version\":1,\"binary\":");
+  out.append("{\"schema_version\":2,\"binary\":");
   AppendJsonString(&out, binary_);
   out.append(",\"runs\":[");
   bool first = true;
@@ -108,7 +114,63 @@ std::string RunReport::ToJson() const {
                   /*trailing_comma=*/false);
       out.push_back('}');
     }
-    out.append("]}");
+    out.push_back(']');
+    if (run.has_profile) {
+      out.append(",\"operators\":[");
+      bool first_op = true;
+      for (const auto& [id, entry] : run.profile.ops()) {
+        if (!first_op) out.push_back(',');
+        first_op = false;
+        out.append("{\"id\":");
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%d", id);
+        out.append(buf);
+        out.append(",\"op\":");
+        AppendJsonString(&out, entry.op);
+        out.append(",\"detail\":");
+        AppendJsonString(&out, entry.detail);
+        out.push_back(',');
+        const gsa::OperatorCounters& c = entry.counters;
+        AppendField(&out, "in_pos", c.in_pos);
+        AppendField(&out, "in_neg", c.in_neg);
+        AppendField(&out, "out_pos", c.out_pos);
+        AppendField(&out, "out_neg", c.out_neg);
+        AppendField(&out, "pruned", c.pruned);
+        AppendField(&out, "windows", c.windows);
+        AppendField(&out, "edges", c.edges);
+        AppendField(&out, "evals", c.evals);
+        AppendField(&out, "wall_nanos", c.wall_nanos,
+                    /*trailing_comma=*/false);
+        out.push_back('}');
+      }
+      out.append("],\"supersteps_profile\":[");
+      bool first_ss = true;
+      for (const gsa::SuperstepProfile& ss : run.profile.supersteps()) {
+        if (!first_ss) out.push_back(',');
+        first_ss = false;
+        out.push_back('{');
+        AppendField(&out, "superstep", static_cast<uint64_t>(ss.superstep));
+        out.append("\"incremental\":");
+        out.append(ss.incremental ? "true," : "false,");
+        AppendField(&out, "active_vertices", ss.active_vertices);
+        AppendField(&out, "frontier", ss.frontier);
+        AppendField(&out, "emissions", ss.emissions);
+        AppendField(&out, "windows", ss.windows);
+        AppendField(&out, "edges", ss.edges);
+        AppendField(&out, "wall_nanos", ss.wall_nanos);
+        AppendField(&out, "cpu_nanos", ss.cpu_nanos);
+        out.append("\"shuffle_bytes\":[");
+        for (size_t m = 0; m < ss.shuffle_bytes.size(); ++m) {
+          if (m > 0) out.push_back(',');
+          char nbuf[24];
+          std::snprintf(nbuf, sizeof(nbuf), "%" PRIu64, ss.shuffle_bytes[m]);
+          out.append(nbuf);
+        }
+        out.append("]}");
+      }
+      out.push_back(']');
+    }
+    out.push_back('}');
   }
   out.append("],\"results\":{");
   first = true;

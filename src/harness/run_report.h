@@ -13,10 +13,11 @@ namespace itg {
 /// Machine-readable run report (the `--metrics-json=<path>` output of the
 /// bench and harness binaries).
 ///
-/// Schema (version 1, validated by tools/trace_summary.py):
+/// Schema (version 2, validated by tools/trace_summary.py and diffed by
+/// tools/report_diff.py; version-1 readers must keep accepting v1 files):
 /// ```json
 /// {
-///   "schema_version": 1,
+///   "schema_version": 2,
 ///   "binary": "fig12_overall",
 ///   "runs": [
 ///     {"name": "...", "timestamp": 0, "incremental": false,
@@ -27,7 +28,16 @@ namespace itg {
 ///      "delta_walks": {"enumerated": 0, "pruned": 0},
 ///      "threads": 1, "parallel_tasks": 0, "steals": 0,
 ///      "busy_nanos": 0, "critical_nanos": 0,
-///      "machines": [{"seconds": 0.1, "network_bytes": 123}, ...]},
+///      "machines": [{"seconds": 0.1, "network_bytes": 123}, ...],
+///      "operators": [           // v2, present when a profile was attached
+///        {"id": 0, "op": "Apply", "detail": "Update",
+///         "in_pos": 0, "in_neg": 0, "out_pos": 0, "out_neg": 0,
+///         "pruned": 0, "windows": 0, "edges": 0, "evals": 0,
+///         "wall_nanos": 0}, ...],
+///      "supersteps_profile": [  // v2, the per-superstep timeline
+///        {"superstep": 0, "incremental": false, "active_vertices": 0,
+///         "frontier": 0, "emissions": 0, "windows": 0, "edges": 0,
+///         "wall_nanos": 0, "cpu_nanos": 0, "shuffle_bytes": [..]}, ...]},
 ///     ...
 ///   ],
 ///   "results": {"<bench row name>": <double>, ...},
@@ -50,10 +60,14 @@ class RunReport {
 
   /// Appends one engine run. `network_bytes` is the cluster total;
   /// `machines` carries the per-machine breakdown (empty when the run was
-  /// not partitioned).
+  /// not partitioned). `profile`, when non-null, is copied into the run's
+  /// v2 `operators` / `supersteps_profile` sections (callers pass
+  /// `&engine.last_profile()` right after the run, before the next run
+  /// resets it).
   void AddRun(const std::string& name, const RunStats& stats,
               const std::vector<MachineStats>& machines = {},
-              uint64_t network_bytes = 0);
+              uint64_t network_bytes = 0,
+              const gsa::ExecutionProfile* profile = nullptr);
 
   /// Records a scalar bench result (a printed table cell, a speedup, ...).
   void AddResult(const std::string& name, double value);
@@ -76,6 +90,8 @@ class RunReport {
     RunStats stats;
     std::vector<MachineStats> machines;
     uint64_t network_bytes = 0;
+    bool has_profile = false;
+    gsa::ExecutionProfile profile;
   };
 
   std::string binary_;

@@ -4,7 +4,10 @@
 // every run is *bit-identical* to threads=1 — same doubles, not merely
 // close ones. These tests run full incremental pipelines at
 // threads ∈ {1, 2, 8} and compare every vertex attribute and global
-// accumulator by bit pattern.
+// accumulator by bit pattern, plus the full per-operator runtime profile
+// (tuple counts, Δ-prunes, window/edge scans, superstep timeline — the
+// work columns, not the measured times), which must also be identical
+// across thread counts.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -30,13 +33,16 @@ uint64_t BitsOf(double d) {
 }
 
 /// Bit patterns of all program attributes over all vertices plus all
-/// globals, captured after one run.
+/// globals, captured after one run, plus the deterministic work columns
+/// of the per-operator runtime profile.
 struct Fingerprint {
   std::vector<uint64_t> bits;
+  std::vector<uint64_t> profile_work;
   uint64_t emissions = 0;
 
   bool operator==(const Fingerprint& other) const {
-    return bits == other.bits && emissions == other.emissions;
+    return bits == other.bits && profile_work == other.profile_work &&
+           emissions == other.emissions;
   }
 };
 
@@ -55,6 +61,12 @@ void Capture(const Engine& engine, const CompiledProgram& program,
     }
   }
   fp->emissions += engine.last_stats().emissions_applied;
+  // The flattened deterministic profile (per-operator counters and
+  // superstep timeline, excluding measured wall/cpu time). A length
+  // marker separates runs so rows cannot alias across run boundaries.
+  const std::vector<uint64_t> work = engine.last_profile().WorkFingerprint();
+  fp->profile_work.push_back(work.size());
+  fp->profile_work.insert(fp->profile_work.end(), work.begin(), work.end());
 }
 
 /// Runs one-shot + 3 incremental steps with `num_threads` workers and

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Diff two run reports and gate on work-metric regressions.
+
+Usage:
+  report_diff.py <old.json> <new.json> [--max-regress=1.25]
+                 [--min-base=100] [--verbose]
+
+Both files are --metrics-json run reports (schema version 1 or 2, see
+src/harness/run_report.h). Runs are matched by name; within a v2 run,
+operators are matched by stable operator id.
+
+Only *deterministic work metrics* are gated — counters that are
+bit-identical across thread counts and machines for the same program,
+graph and mutation stream:
+
+  per run:      supersteps, windows_loaded, edges_scanned,
+                emissions_applied, recomputed_vertices,
+                delta_walks.enumerated, delta_walks.pruned
+  per operator: in_pos, in_neg, out_pos, out_neg, pruned, windows,
+                edges, evals
+  per superstep row: active_vertices, frontier, emissions, windows, edges
+
+Measured times (seconds, wall_nanos, cpu_nanos, busy_nanos) and
+thread-dependent metrics (steals, parallel_tasks, read_bytes) are
+*reported* in --verbose mode but never gated: they vary run to run on a
+healthy machine.
+
+A gated metric regresses when new > old * max_regress AND old >= min_base
+(the noise floor suppresses ratios over tiny counts; a metric that grows
+from a base below the floor only trips the gate once it also exceeds the
+floor itself). New runs/operators missing from the old report are
+reported but not gated (they have no baseline). Exits 1 when any gated
+metric regressed, 2 on malformed input, 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+RUN_GATED = [
+    "supersteps", "windows_loaded", "edges_scanned", "emissions_applied",
+    "recomputed_vertices",
+]
+DELTA_WALK_GATED = ["enumerated", "pruned"]
+OPERATOR_GATED = [
+    "in_pos", "in_neg", "out_pos", "out_neg", "pruned", "windows", "edges",
+    "evals",
+]
+SUPERSTEP_GATED = ["active_vertices", "frontier", "emissions", "windows",
+                   "edges"]
+RUN_INFORMATIONAL = ["seconds", "read_bytes", "write_bytes", "busy_nanos"]
+
+
+def fail(msg):
+    print(f"report_diff: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    if not isinstance(doc, dict) or doc.get("schema_version") not in (1, 2):
+        fail(f"{path}: not a run report (schema_version 1 or 2)")
+    if not isinstance(doc.get("runs"), list):
+        fail(f"{path}: runs is not a list")
+    return doc
+
+
+def runs_by_name(doc, path):
+    out = {}
+    for run in doc["runs"]:
+        name = run.get("name")
+        if not isinstance(name, str):
+            fail(f"{path}: run without a name")
+        if name in out:
+            fail(f"{path}: duplicate run name {name!r}")
+        out[name] = run
+    return out
+
+
+class Diff:
+    def __init__(self, max_regress, min_base, verbose):
+        self.max_regress = max_regress
+        self.min_base = min_base
+        self.verbose = verbose
+        self.regressions = []
+        self.improvements = 0
+        self.compared = 0
+
+    def check(self, where, metric, old, new):
+        """Gates one deterministic metric; returns True if it regressed."""
+        self.compared += 1
+        if new < old:
+            self.improvements += 1
+        # Noise floor: tiny baselines produce meaningless ratios. The
+        # metric must exceed the floor in BOTH directions to trip.
+        if old < self.min_base and new < self.min_base:
+            return False
+        if new > old * self.max_regress and new > old:
+            ratio = new / old if old else float("inf")
+            self.regressions.append((where, metric, old, new, ratio))
+            return True
+        return False
+
+    def info(self, where, metric, old, new):
+        if self.verbose and old != new:
+            ratio = new / old if old else float("inf")
+            print(f"  (info) {where} {metric}: {old} -> {new} "
+                  f"({ratio:.2f}x, not gated)")
+
+
+def diff_operators(diff, run_name, old_run, new_run):
+    old_ops = {op["id"]: op for op in old_run.get("operators", [])}
+    new_ops = {op["id"]: op for op in new_run.get("operators", [])}
+    for op_id in sorted(new_ops):
+        new_op = new_ops[op_id]
+        label = (f"{run_name} op#{op_id} "
+                 f"{new_op.get('op', '?')}[{new_op.get('detail', '')}]")
+        old_op = old_ops.get(op_id)
+        if old_op is None:
+            print(f"  (info) {label}: new operator, no baseline")
+            continue
+        for metric in OPERATOR_GATED:
+            diff.check(label, metric, old_op.get(metric, 0),
+                       new_op.get(metric, 0))
+        diff.info(label, "wall_nanos", old_op.get("wall_nanos", 0),
+                  new_op.get("wall_nanos", 0))
+    for op_id in sorted(set(old_ops) - set(new_ops)):
+        print(f"  (info) {run_name} op#{op_id}: dropped from new report")
+
+
+def diff_supersteps(diff, run_name, old_run, new_run):
+    old_ss = old_run.get("supersteps_profile", [])
+    new_ss = new_run.get("supersteps_profile", [])
+    for i, new_row in enumerate(new_ss):
+        if i >= len(old_ss):
+            print(f"  (info) {run_name} superstep[{i}]: no baseline row")
+            continue
+        label = f"{run_name} superstep[{i}]"
+        for metric in SUPERSTEP_GATED:
+            diff.check(label, metric, old_ss[i].get(metric, 0),
+                       new_row.get(metric, 0))
+
+
+def diff_runs(diff, name, old_run, new_run):
+    for metric in RUN_GATED:
+        diff.check(name, metric, old_run.get(metric, 0),
+                   new_run.get(metric, 0))
+    old_dw = old_run.get("delta_walks", {})
+    new_dw = new_run.get("delta_walks", {})
+    for metric in DELTA_WALK_GATED:
+        diff.check(name, f"delta_walks.{metric}", old_dw.get(metric, 0),
+                   new_dw.get(metric, 0))
+    for metric in RUN_INFORMATIONAL:
+        diff.info(name, metric, old_run.get(metric, 0),
+                  new_run.get(metric, 0))
+    diff_operators(diff, name, old_run, new_run)
+    diff_supersteps(diff, name, old_run, new_run)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff run reports; exit 1 on work-metric regressions.")
+    parser.add_argument("old", help="baseline report JSON")
+    parser.add_argument("new", help="candidate report JSON")
+    parser.add_argument("--max-regress", type=float, default=1.25,
+                        help="gate ratio: fail when new > old * R "
+                             "(default 1.25)")
+    parser.add_argument("--min-base", type=int, default=100,
+                        help="noise floor: ignore metrics where both sides "
+                             "are below this count (default 100)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print non-gated (time/IO) deltas")
+    args = parser.parse_args()
+    if args.max_regress < 1.0:
+        fail("--max-regress must be >= 1.0")
+
+    old_doc = load(args.old)
+    new_doc = load(args.new)
+    old_runs = runs_by_name(old_doc, args.old)
+    new_runs = runs_by_name(new_doc, args.new)
+
+    print(f"report_diff: {args.old} ({len(old_runs)} runs) vs "
+          f"{args.new} ({len(new_runs)} runs), "
+          f"gate {args.max_regress:g}x, floor {args.min_base}")
+
+    diff = Diff(args.max_regress, args.min_base, args.verbose)
+    for name in new_runs:
+        if name not in old_runs:
+            print(f"  (info) run {name!r}: new run, no baseline")
+            continue
+        diff_runs(diff, name, old_runs[name], new_runs[name])
+    for name in old_runs:
+        if name not in new_runs:
+            print(f"  (info) run {name!r}: dropped from new report")
+
+    print(f"  {diff.compared} gated metrics compared, "
+          f"{diff.improvements} improved, "
+          f"{len(diff.regressions)} regressed")
+    if diff.regressions:
+        print()
+        for where, metric, old, new, ratio in diff.regressions:
+            print(f"  REGRESSION {where} {metric}: "
+                  f"{old} -> {new} ({ratio:.2f}x > "
+                  f"{args.max_regress:g}x gate)")
+        sys.exit(1)
+    print("  OK: no gated metric regressed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+# ctest driver for the run-report regression gate (see top-level
+# CMakeLists.txt): runs fig15_workloads --quick twice, checks that
+#   1. both reports schema-validate (trace_summary.py, schema v2),
+#   2. the two runs self-diff clean (deterministic work metrics),
+#   3. the new report diffs clean against the committed BENCH_baseline.json,
+#   4. an injected 2x regression trips the gate (report_diff.py exits 1).
+#
+# Inputs: -DFIG15=<binary> -DPython3_EXECUTABLE=<python3>
+#         -DTRACE_SUMMARY=<trace_summary.py> -DREPORT_DIFF=<report_diff.py>
+#         -DBASELINE=<committed BENCH_baseline.json> -DWORK_DIR=<scratch dir>
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(side a b)
+  execute_process(
+    COMMAND ${FIG15} --quick --metrics-json=${WORK_DIR}/report_${side}.json
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_out)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "fig15_workloads --quick failed (${run_rc}):\n"
+                        "${run_out}")
+  endif()
+endforeach()
+
+# 1. Schema validation (v2: operators + supersteps_profile sections).
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${TRACE_SUMMARY}
+          --report ${WORK_DIR}/report_a.json
+  RESULT_VARIABLE schema_rc
+  OUTPUT_VARIABLE schema_out
+  ERROR_VARIABLE schema_err)
+if(NOT schema_rc EQUAL 0)
+  message(FATAL_ERROR "schema validation failed (${schema_rc}):\n"
+                      "${schema_err}")
+endif()
+
+# 2. Self-diff: two identical-config runs must be work-identical.
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${REPORT_DIFF}
+          ${WORK_DIR}/report_a.json ${WORK_DIR}/report_b.json
+          --max-regress=1.25
+  RESULT_VARIABLE selfdiff_rc
+  OUTPUT_VARIABLE selfdiff_out
+  ERROR_VARIABLE selfdiff_err)
+message(STATUS "self-diff:\n${selfdiff_out}")
+if(NOT selfdiff_rc EQUAL 0)
+  message(FATAL_ERROR "self-diff regressed (${selfdiff_rc}):\n"
+                      "${selfdiff_out}${selfdiff_err}")
+endif()
+
+# 3. Diff against the committed baseline. Work metrics are deterministic,
+#    so any drift is a real behavior change: either a regression (fix it)
+#    or an intended change (regenerate BENCH_baseline.json, see README).
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${REPORT_DIFF}
+          ${BASELINE} ${WORK_DIR}/report_a.json --max-regress=1.25
+  RESULT_VARIABLE baseline_rc
+  OUTPUT_VARIABLE baseline_out
+  ERROR_VARIABLE baseline_err)
+message(STATUS "baseline diff:\n${baseline_out}")
+if(NOT baseline_rc EQUAL 0)
+  message(FATAL_ERROR
+          "regression vs committed BENCH_baseline.json (${baseline_rc}):\n"
+          "${baseline_out}${baseline_err}\n"
+          "If the work change is intended, regenerate the baseline:\n"
+          "  ./build/bench/fig15_workloads --quick "
+          "--metrics-json=bench/BENCH_baseline.json")
+endif()
+
+# 4. Inject a 2x regression into edges_scanned of every run and check the
+#    gate trips (exit code 1, not a crash).
+file(READ ${WORK_DIR}/report_a.json report_json)
+string(REGEX REPLACE "\"edges_scanned\":([0-9]+)"
+       "\"edges_scanned\":\\1\\1" report_json "${report_json}")
+file(WRITE ${WORK_DIR}/report_regressed.json "${report_json}")
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${REPORT_DIFF}
+          ${WORK_DIR}/report_a.json ${WORK_DIR}/report_regressed.json
+          --max-regress=1.25
+  RESULT_VARIABLE inject_rc
+  OUTPUT_VARIABLE inject_out
+  ERROR_VARIABLE inject_err)
+if(NOT inject_rc EQUAL 1)
+  message(FATAL_ERROR
+          "injected regression did not trip the gate (rc=${inject_rc}):\n"
+          "${inject_out}${inject_err}")
+endif()
+message(STATUS "injected regression correctly tripped the gate")

@@ -11,8 +11,9 @@ is set (loadable in Perfetto / chrome://tracing). Prints a per-phase wall
 time table (aggregated over span names) and the top-N longest spans.
 
 --report expects the machine-readable run report written by the bench
-binaries' --metrics-json=<path> flag (schema_version 1, see
-src/harness/run_report.h). Validates the schema and prints a short
+binaries' --metrics-json=<path> flag (schema_version 1 or 2, see
+src/harness/run_report.h; version 2 adds per-run "operators" and
+"supersteps_profile" sections). Validates the schema and prints a short
 digest. Exits non-zero on any schema violation, so it doubles as the
 ctest smoke check.
 """
@@ -62,7 +63,11 @@ def summarize_trace(path, top_n):
             instants[ev["name"]] = instants.get(ev["name"], 0) + 1
 
     if not spans and not instants:
-        fail(f"{path}: trace contains no spans or instant events")
+        # An empty trace is valid (e.g. a run with tracing enabled but no
+        # instrumented work): report it and exit cleanly.
+        print(f"trace: {path}")
+        print("  no spans")
+        return
 
     # Per-phase aggregation. Nested spans are counted under each name, so
     # the table answers "how much wall time was inside <phase>" — columns
@@ -118,6 +123,58 @@ RUN_UINT_FIELDS = [
     "busy_nanos", "critical_nanos",
 ]
 
+OPERATOR_UINT_FIELDS = [
+    "in_pos", "in_neg", "out_pos", "out_neg", "pruned", "windows", "edges",
+    "evals", "wall_nanos",
+]
+
+SUPERSTEP_UINT_FIELDS = [
+    "superstep", "active_vertices", "frontier", "emissions", "windows",
+    "edges", "wall_nanos", "cpu_nanos",
+]
+
+
+def validate_run_profile(run, where):
+    """Validates the v2 per-run operators / supersteps_profile sections.
+
+    Both are optional (a run recorded without a profile omits them), but
+    when one is present the other must be too, and every row must carry
+    the full counter set.
+    """
+    has_ops = "operators" in run
+    has_ss = "supersteps_profile" in run
+    expect(has_ops == has_ss,
+           f"{where}: operators and supersteps_profile must appear together")
+    if not has_ops:
+        return
+    ops = run["operators"]
+    expect(isinstance(ops, list), f"{where}.operators is not a list")
+    seen_ids = set()
+    for j, op in enumerate(ops):
+        ow = f"{where}.operators[{j}]"
+        expect(isinstance(op, dict), f"{ow} is not an object")
+        expect(is_uint(op.get("id")), f"{ow}.id is not a non-negative int")
+        expect(op["id"] not in seen_ids, f"{ow}.id {op['id']} duplicated")
+        seen_ids.add(op["id"])
+        expect(isinstance(op.get("op"), str), f"{ow}.op missing")
+        expect(isinstance(op.get("detail"), str), f"{ow}.detail missing")
+        for field in OPERATOR_UINT_FIELDS:
+            expect(is_uint(op.get(field)),
+                   f"{ow}.{field} is not a non-negative integer")
+    sss = run["supersteps_profile"]
+    expect(isinstance(sss, list), f"{where}.supersteps_profile is not a list")
+    for j, ss in enumerate(sss):
+        sw = f"{where}.supersteps_profile[{j}]"
+        expect(isinstance(ss, dict), f"{sw} is not an object")
+        expect(isinstance(ss.get("incremental"), bool),
+               f"{sw}.incremental is not a bool")
+        for field in SUPERSTEP_UINT_FIELDS:
+            expect(is_uint(ss.get(field)),
+                   f"{sw}.{field} is not a non-negative integer")
+        shuffle = ss.get("shuffle_bytes")
+        expect(isinstance(shuffle, list) and all(is_uint(b) for b in shuffle),
+               f"{sw}.shuffle_bytes malformed")
+
 
 def validate_report(path):
     try:
@@ -127,8 +184,9 @@ def validate_report(path):
         fail(f"cannot parse report {path}: {e}")
 
     expect(isinstance(doc, dict), "top level is not an object")
-    expect(doc.get("schema_version") == 1,
-           f"schema_version != 1 (got {doc.get('schema_version')!r})")
+    version = doc.get("schema_version")
+    expect(version in (1, 2),
+           f"schema_version not in (1, 2) (got {version!r})")
     expect(isinstance(doc.get("binary"), str), "binary is not a string")
 
     runs = doc.get("runs")
@@ -153,6 +211,11 @@ def validate_report(path):
             expect(isinstance(m, dict) and is_num(m.get("seconds"))
                    and is_uint(m.get("network_bytes")),
                    f"{where}.machines[{j}] malformed")
+        if version >= 2:
+            validate_run_profile(run, where)
+        else:
+            expect("operators" not in run and "supersteps_profile" not in run,
+                   f"{where}: v2 profile sections in a v1 report")
 
     results = doc.get("results")
     expect(isinstance(results, dict), "results is not an object")
@@ -200,12 +263,16 @@ def validate_report(path):
     for run in runs:
         kind = "incr" if run["incremental"] else "full"
         dw = run["delta_walks"]
+        profile = ""
+        if "operators" in run:
+            profile = (f", profile: {len(run['operators'])} operators / "
+                       f"{len(run['supersteps_profile'])} supersteps")
         print(f"  run {run['name']}: {kind} {run['seconds']:.4f}s, "
               f"{run['supersteps']} supersteps, "
               f"net {run['network_bytes']} B over "
               f"{len(run['machines'])} machines, "
               f"delta walks {dw['enumerated']} enumerated / "
-              f"{dw['pruned']} pruned")
+              f"{dw['pruned']} pruned{profile}")
     if accesses:
         print(f"  buffer pool: {pool['hits']}/{accesses} hits "
               f"({100.0 * pool['hit_rate']:.1f}%)")
