@@ -15,14 +15,30 @@
 // Edge-list format: one "src dst" pair per line ('#' comments allowed).
 // Mutation-stream format: "+ src dst" / "- src dst" lines; a line
 // containing only "commit" ends a batch (one incremental run per batch).
+//
+// --watch N switches to continuous ingestion: after the one-shot run (and
+// any --mutations batches) the driver keeps generating N synthetic
+// mutation batches from a seeded RNG — inserts mixed with deletions of
+// previously inserted edges — running the incremental engine once per
+// batch. Combined with --telemetry-port (or ITG_TELEMETRY_PORT) this
+// makes a long-lived process whose /metrics, /statusz and /healthz
+// endpoints can be watched live; --watchdog-ms arms the stall watchdog
+// and --inject-stall-ms wedges the first superstep of each run to test it.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <random>
 #include <sstream>
+#include <thread>
 
 #include "algos/programs.h"
+#include "common/live_status.h"
+#include "common/telemetry_server.h"
 #include "compiler/compiled_program.h"
 #include "engine/engine.h"
 #include "gen/rmat.h"
@@ -45,6 +61,16 @@ struct Args {
   int supersteps = -1;
   int top = 5;
   std::string top_attr;
+  int partitions = 1;
+  // Continuous-ingestion mode: number of synthetic mutation batches.
+  int watch = 0;
+  int watch_batch_ops = 64;
+  int watch_delay_ms = 0;
+  // Telemetry endpoint: -1 = flag absent (the ITG_TELEMETRY_PORT
+  // environment still applies); 0 = ephemeral port.
+  int telemetry_port = -1;
+  uint64_t watchdog_ms = 0;
+  uint64_t inject_stall_ms = 0;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -54,7 +80,12 @@ struct Args {
       "          [--graph rmat:<scale>|<edges.txt>] [--symmetric]\n"
       "          [--mutations <stream.txt>] [--supersteps N]\n"
       "          [--top N <attr>] [--metrics-json <path>] [--explain]\n"
-      "          [--explain-analyze] [--dot <plan.dot>]\n",
+      "          [--explain-analyze] [--dot <plan.dot>]\n"
+      "          [--partitions N] [--watch N] [--watch-batch-ops N]\n"
+      "          [--watch-delay-ms N] [--telemetry-port P]\n"
+      "          [--watchdog-ms N] [--inject-stall-ms N]\n"
+      "environment: ITG_TELEMETRY_PORT, ITG_WATCHDOG_MS,\n"
+      "             ITG_TELEMETRY_PORTFILE (see README, Live telemetry)\n",
       argv0);
   std::exit(2);
 }
@@ -214,9 +245,50 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--top")) {
       args.top = std::stoi(next());
       args.top_attr = next();
+    } else if (!std::strcmp(argv[i], "--partitions")) {
+      args.partitions = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--watch")) {
+      args.watch = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--watch-batch-ops")) {
+      args.watch_batch_ops = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--watch-delay-ms")) {
+      args.watch_delay_ms = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--telemetry-port")) {
+      args.telemetry_port = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--watchdog-ms")) {
+      args.watchdog_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--inject-stall-ms")) {
+      args.inject_stall_ms = std::strtoull(next(), nullptr, 10);
     } else {
       Usage(argv[0]);
     }
+  }
+
+  // Live telemetry: the --telemetry-port flag wins; without it the
+  // ITG_TELEMETRY_PORT / ITG_WATCHDOG_MS / ITG_TELEMETRY_PORTFILE
+  // environment decides (FromEnv returns null when unset).
+  GlobalLiveStatus().SetQuery(args.program + " @ " + args.graph);
+  std::unique_ptr<TelemetryServer> telemetry;
+  if (args.telemetry_port >= 0) {
+    TelemetryOptions topt;
+    topt.port = args.telemetry_port;
+    topt.watchdog_deadline_ms = args.watchdog_ms;
+    if (const char* wd = std::getenv("ITG_WATCHDOG_MS");
+        wd != nullptr && topt.watchdog_deadline_ms == 0) {
+      topt.watchdog_deadline_ms = std::strtoull(wd, nullptr, 10);
+    }
+    if (const char* pf = std::getenv("ITG_TELEMETRY_PORTFILE")) {
+      topt.port_file = pf;
+    }
+    telemetry = std::make_unique<TelemetryServer>();
+    if (Status s = telemetry->Start(topt); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry: http://127.0.0.1:%d/metrics\n",
+                telemetry->port());
+  } else {
+    telemetry = TelemetryServer::FromEnv();
   }
 
   int supersteps = args.supersteps;
@@ -249,6 +321,8 @@ int main(int argc, char** argv) {
 
   EngineOptions options;
   options.fixed_supersteps = supersteps;
+  options.num_partitions = std::max(1, args.partitions);
+  options.debug_stall_first_superstep_ms = args.inject_stall_ms;
   Engine engine(store.get(), program.get(), options);
   RunReport report("lnga_run");
   // Whole-process profile: the engine resets its profile per run, so the
@@ -291,6 +365,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     t = *ts;
+    GlobalLiveStatus().SetDeltaSeq(t);
     if (Status s = engine.RunIncremental(t); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -299,6 +374,61 @@ int main(int argc, char** argv) {
     std::printf("\nsnapshot %d (+%zu ops): incremental %.4fs\n", t,
                 batch.size(), engine.last_stats().seconds);
     PrintResults(engine, *program, num_vertices, args);
+  }
+
+  // --watch: continuous ingestion of synthetic Δ-batches. Deterministic
+  // (fixed-seed RNG); deletions retract edges a previous watch batch
+  // inserted, so every batch is a valid mutation of the live graph.
+  if (args.watch > 0) {
+    std::mt19937_64 rng(0x17506b9u);
+    std::uniform_int_distribution<VertexId> pick(0, num_vertices - 1);
+    std::vector<Edge> inserted;
+    for (int b = 0; b < args.watch; ++b) {
+      std::vector<EdgeDelta> batch;
+      const int ops = std::max(1, args.watch_batch_ops);
+      const int deletes =
+          std::min<int>(ops / 4, static_cast<int>(inserted.size()));
+      for (int d = 0; d < deletes; ++d) {
+        const size_t idx = rng() % inserted.size();
+        batch.push_back({inserted[idx], Multiplicity{-1}});
+        inserted[idx] = inserted.back();
+        inserted.pop_back();
+      }
+      for (int ins = deletes; ins < ops; ++ins) {
+        Edge e{pick(rng), pick(rng)};
+        if (e.src == e.dst) e.dst = (e.dst + 1) % num_vertices;
+        batch.push_back({e, Multiplicity{1}});
+        inserted.push_back(e);
+      }
+      if (args.symmetric) {
+        std::vector<EdgeDelta> sym;
+        for (const EdgeDelta& d : batch) {
+          sym.push_back(d);
+          sym.push_back({{d.edge.dst, d.edge.src}, d.mult});
+        }
+        batch = std::move(sym);
+      }
+      auto ts = store->ApplyMutations(batch);
+      if (!ts.ok()) {
+        std::fprintf(stderr, "%s\n", ts.status().ToString().c_str());
+        return 1;
+      }
+      t = *ts;
+      GlobalLiveStatus().SetDeltaSeq(t);
+      if (Status s = engine.RunIncremental(t); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      record_run("watch_t" + std::to_string(t));
+      std::printf("watch %d/%d: snapshot %d (+%zu ops) incremental %.4fs\n",
+                  b + 1, args.watch, t, batch.size(),
+                  engine.last_stats().seconds);
+      std::fflush(stdout);
+      if (args.watch_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(args.watch_delay_ms));
+      }
+    }
   }
   if (args.explain_analyze) {
     std::printf("\n%s", program->ExplainAnalyze(total_profile).c_str());

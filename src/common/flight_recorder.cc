@@ -1,0 +1,136 @@
+#include "common/flight_recorder.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace itg {
+
+namespace {
+
+// Set from the SIGUSR1 handler; polled by the watchdog thread. A plain
+// volatile sig_atomic_t would do, but the atomic makes the cross-thread
+// poll well-defined too.
+std::atomic<int> g_dump_requested{0};
+
+void Sigusr1Handler(int /*signo*/) {
+  g_dump_requested.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Enable(size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() != capacity) {
+    ring_.assign(capacity, internal_trace::TraceEvent{});
+    tids_.assign(capacity, 0);
+    next_ = 0;
+    count_ = 0;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  internal_trace::g_flight.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  internal_trace::g_flight.store(false, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Record(const internal_trace::TraceEvent& event,
+                            int tid) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return;
+  ring_[next_] = event;
+  tids_[next_] = tid;
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  count_ = 0;
+}
+
+std::string FlightRecorder::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(count_ * 64);
+  const size_t cap = ring_.size();
+  const size_t first = count_ < cap ? 0 : next_;
+  for (size_t i = 0; i < count_; ++i) {
+    const size_t idx = (first + i) % cap;
+    const internal_trace::TraceEvent& e = ring_[idx];
+    char line[192];
+    if (e.phase == 'X') {
+      std::snprintf(line, sizeof(line),
+                    "  +%12.3fms %8.3fms tid=%-3d %s/%s", e.ts_nanos / 1e6,
+                    e.dur_nanos / 1e6, tids_[idx], e.cat, e.name);
+    } else {
+      std::snprintf(line, sizeof(line), "  +%12.3fms     inst tid=%-3d %s/%s",
+                    e.ts_nanos / 1e6, tids_[idx], e.cat, e.name);
+    }
+    out.append(line);
+    if (e.has_arg) {
+      char arg[32];
+      std::snprintf(arg, sizeof(arg), " arg=%lld",
+                    static_cast<long long>(e.arg));
+      out.append(arg);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void FlightRecorder::DumpToLog(const char* reason, bool force) {
+  std::string dump = Dump();
+  if (dump.empty() && !force) return;
+  ITG_LOG(Warn) << "flight recorder dump (" << reason << "), " << size()
+                << " events, oldest first:\n"
+                << (dump.empty() ? std::string("  <empty>\n") : dump)
+                << "  --- end of flight recorder dump ---";
+}
+
+void FlightRecorder::InstallSigusr1() {
+#ifdef SIGUSR1
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = Sigusr1Handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGUSR1, &action, nullptr);
+#endif
+}
+
+void FlightRecorder::RequestSignalDump() {
+  g_dump_requested.store(1, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::PollSignalDump() {
+  if (g_dump_requested.exchange(0, std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  DumpToLog("SIGUSR1", /*force=*/true);
+  return true;
+}
+
+}  // namespace itg

@@ -1,0 +1,81 @@
+#ifndef ITG_COMMON_FLIGHT_RECORDER_H_
+#define ITG_COMMON_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace itg {
+
+/// A bounded ring of the most recent trace spans, kept even when full
+/// Chrome tracing is off. Where ITG_TRACE answers "what happened over the
+/// whole run" post-mortem, the flight recorder answers "what were the
+/// last few thousand things the engine did" at the moment something
+/// wedges: the stall watchdog dumps it when a superstep blows its
+/// deadline, and SIGUSR1 requests a dump of a live process.
+///
+/// Recording goes through the same instrumentation points as the tracer
+/// (TraceSpan / TraceInstant); enabling the recorder turns those RAII
+/// gates on without buffering unbounded per-thread event vectors — the
+/// ring overwrites, it never grows.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  static FlightRecorder& Global();
+
+  /// Starts capturing into a ring of `capacity` events. Idempotent;
+  /// re-enabling with a different capacity clears the ring.
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one event (called from the tracer's emit path; span names
+  /// are string literals, so storing the pointers is safe).
+  void Record(const internal_trace::TraceEvent& event, int tid);
+
+  /// Number of events currently held (≤ capacity).
+  size_t size() const;
+  size_t capacity() const;
+  void Clear();
+
+  /// Human-readable dump, oldest first: one line per event with relative
+  /// timestamp, duration, thread and name. Empty string when empty.
+  std::string Dump() const;
+
+  /// Writes Dump() to the log at WARN level with a framing header; no-op
+  /// when the ring is empty and `force` is false.
+  void DumpToLog(const char* reason, bool force = false);
+
+  // ---- SIGUSR1 integration ----------------------------------------------
+  /// Installs a SIGUSR1 handler that requests a dump. The handler only
+  /// sets a flag (async-signal-safe); the actual dump happens on the next
+  /// PollSignalDump() — the stall watchdog calls it from its poll loop.
+  static void InstallSigusr1();
+  /// Dumps and clears the pending request, if any. Returns true if a
+  /// dump was performed.
+  bool PollSignalDump();
+  /// Test hook: behaves exactly like receiving SIGUSR1.
+  static void RequestSignalDump();
+
+ private:
+  FlightRecorder() = default;
+
+  mutable std::mutex mu_;
+  std::vector<internal_trace::TraceEvent> ring_;
+  std::vector<int> tids_;
+  size_t next_ = 0;    // ring write cursor
+  size_t count_ = 0;   // events held (saturates at capacity)
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_FLIGHT_RECORDER_H_

@@ -1,0 +1,92 @@
+#include "common/live_status.h"
+
+#include <chrono>
+
+namespace itg {
+
+uint64_t LiveStatus::NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void LiveStatus::SetQuery(const std::string& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  query_ = query;
+}
+
+void LiveStatus::BeginRun(const char* phase, int64_t timestamp) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_ = phase;
+  }
+  timestamp_.store(timestamp, std::memory_order_relaxed);
+  superstep_.store(-1, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  Pulse();
+}
+
+void LiveStatus::EndRun() {
+  in_superstep_.store(false, std::memory_order_relaxed);
+  running_.store(false, std::memory_order_relaxed);
+  runs_total_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_ = "idle";
+  }
+  Pulse();
+}
+
+void LiveStatus::BeginSuperstep(int64_t s) {
+  superstep_.store(s, std::memory_order_relaxed);
+  superstep_start_nanos_.store(NowNanos(), std::memory_order_relaxed);
+  in_superstep_.store(true, std::memory_order_relaxed);
+  Pulse();
+}
+
+void LiveStatus::EndSuperstep() {
+  in_superstep_.store(false, std::memory_order_relaxed);
+  supersteps_total_.fetch_add(1, std::memory_order_relaxed);
+  Pulse();
+}
+
+void LiveStatus::SetDeltaSeq(int64_t seq) {
+  delta_seq_.store(seq, std::memory_order_relaxed);
+}
+
+void LiveStatus::SetPartitions(
+    const std::vector<PartitionState>& partitions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_ = partitions;
+}
+
+LiveStatus::Snapshot LiveStatus::Snap() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.query = query_;
+    snap.phase = phase_;
+    snap.partitions = partitions_;
+  }
+  snap.running = running_.load(std::memory_order_relaxed);
+  snap.in_superstep = in_superstep_.load(std::memory_order_relaxed);
+  snap.timestamp = timestamp_.load(std::memory_order_relaxed);
+  snap.superstep = superstep_.load(std::memory_order_relaxed);
+  snap.delta_seq = delta_seq_.load(std::memory_order_relaxed);
+  snap.runs_total = runs_total_.load(std::memory_order_relaxed);
+  snap.supersteps_total = supersteps_total_.load(std::memory_order_relaxed);
+  if (snap.in_superstep) {
+    uint64_t start = superstep_start_nanos_.load(std::memory_order_relaxed);
+    uint64_t now = NowNanos();
+    snap.superstep_age_nanos = now > start ? now - start : 0;
+  }
+  return snap;
+}
+
+LiveStatus& GlobalLiveStatus() {
+  static LiveStatus* status = new LiveStatus();
+  return *status;
+}
+
+}  // namespace itg

@@ -1,0 +1,98 @@
+#ifndef ITG_COMMON_LIVE_STATUS_H_
+#define ITG_COMMON_LIVE_STATUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace itg {
+
+/// Process-wide live engine state — the "what is the engine doing RIGHT
+/// NOW" counterpart of the post-mortem run reports. The engine's
+/// superstep loop feeds it through cheap hooks (atomic stores plus one
+/// short mutex section per superstep for the partition vector); the
+/// telemetry server renders it as /statusz and the stall watchdog
+/// monitors its superstep heartbeat. Hooks never affect computation, so
+/// work fingerprints are identical whether anything reads this or not.
+class LiveStatus {
+ public:
+  /// Per-partition progress of the superstep that most recently finished
+  /// (cumulative within the current run).
+  struct PartitionState {
+    uint64_t network_bytes = 0;      ///< shuffle volume sent so far
+    uint64_t barrier_wait_nanos = 0; ///< time spent waiting at BSP barriers
+    double seconds = 0;              ///< measured compute + IO time
+  };
+
+  /// Plain-value copy for renderers.
+  struct Snapshot {
+    std::string query;
+    std::string phase;  ///< "idle", "oneshot" or "incremental"
+    bool running = false;
+    bool in_superstep = false;
+    int64_t timestamp = 0;       ///< snapshot t of the current/last run
+    int64_t superstep = -1;      ///< current/last superstep index
+    int64_t delta_seq = 0;       ///< Δ-batch sequence number (ingestion)
+    uint64_t runs_total = 0;
+    uint64_t supersteps_total = 0;
+    uint64_t superstep_age_nanos = 0;  ///< 0 unless in_superstep
+    std::vector<PartitionState> partitions;
+  };
+
+  // ---- engine-side hooks -------------------------------------------------
+  void SetQuery(const std::string& query);
+  void BeginRun(const char* phase, int64_t timestamp);
+  void EndRun();
+  void BeginSuperstep(int64_t s);
+  void EndSuperstep();
+  void SetDeltaSeq(int64_t seq);
+  void SetPartitions(const std::vector<PartitionState>& partitions);
+
+  // ---- reader side -------------------------------------------------------
+  Snapshot Snap() const;
+
+  /// Monotonic heartbeat: bumped by every Begin/End hook. The stall
+  /// watchdog compares epochs to distinguish "stuck inside one superstep"
+  /// from "making progress".
+  uint64_t progress_epoch() const {
+    return progress_epoch_.load(std::memory_order_relaxed);
+  }
+  bool in_superstep() const {
+    return in_superstep_.load(std::memory_order_relaxed);
+  }
+  /// Monotonic-clock nanos when the current superstep started (valid
+  /// while in_superstep()).
+  uint64_t superstep_start_nanos() const {
+    return superstep_start_nanos_.load(std::memory_order_relaxed);
+  }
+
+  static uint64_t NowNanos();
+
+ private:
+  void Pulse() { progress_epoch_.fetch_add(1, std::memory_order_relaxed); }
+
+  mutable std::mutex mu_;  // guards query_, phase_, partitions_
+  std::string query_;
+  std::string phase_ = "idle";
+  std::vector<PartitionState> partitions_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> in_superstep_{false};
+  std::atomic<int64_t> timestamp_{0};
+  std::atomic<int64_t> superstep_{-1};
+  std::atomic<int64_t> delta_seq_{0};
+  std::atomic<uint64_t> runs_total_{0};
+  std::atomic<uint64_t> supersteps_total_{0};
+  std::atomic<uint64_t> superstep_start_nanos_{0};
+  std::atomic<uint64_t> progress_epoch_{0};
+};
+
+/// The process-wide live status every engine instance reports into and
+/// the telemetry endpoints read from.
+LiveStatus& GlobalLiveStatus();
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_LIVE_STATUS_H_

@@ -3,27 +3,86 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
+#include "common/metrics_registry.h"
 #include "common/status.h"
 
 namespace itg {
+
+/// Mirrors one structure's resident bytes into a registry gauge pair:
+/// `mem.<name>.bytes` (current) and `mem.<name>.peak_bytes` (sticky
+/// high-water mark). Unbound instances are no-ops, so instrumented
+/// structures work without a metrics registry (unit tests, detached
+/// stores). Multiple instances bound to the same name aggregate through
+/// Add() deltas (e.g. the per-machine buffer pools of the distributed
+/// simulation all feed `mem.buffer_pool.bytes`).
+class ByteGauge {
+ public:
+  ByteGauge() = default;
+
+  void Bind(MetricsRegistry* registry, const std::string& name) {
+    if (registry == nullptr) return;
+    cur_ = registry->gauge("mem." + name + ".bytes");
+    peak_ = registry->gauge("mem." + name + ".peak_bytes");
+  }
+
+  bool bound() const { return cur_ != nullptr; }
+
+  void Set(int64_t bytes) {
+    if (cur_ == nullptr) return;
+    cur_->Set(bytes);
+    peak_->SetMax(bytes);
+  }
+
+  void Add(int64_t delta) {
+    if (cur_ == nullptr) return;
+    cur_->Add(delta);
+    peak_->SetMax(cur_->value());
+  }
+
+  int64_t value() const { return cur_ != nullptr ? cur_->value() : 0; }
+
+ private:
+  Gauge* cur_ = nullptr;
+  Gauge* peak_ = nullptr;
+};
 
 /// Tracks logical memory consumption against a hard budget. The
 /// Differential-Dataflow-style baseline charges every arrangement byte to
 /// one of these; exceeding the budget turns into the OOM failures the
 /// paper marks with "O" in Figures 12 and 13.
 ///
-/// A budget of 0 means unlimited.
+/// Thread-safe: Charge/Release are called concurrently from pool workers,
+/// so the used counter is a relaxed atomic and the peak is maintained
+/// with a CAS-max loop (a plain load/store pair would let a slow writer
+/// regress the high-water mark). A budget of 0 means unlimited.
+///
+/// Optionally registry-backed: BindGauges mirrors used/peak into named
+/// gauges so live telemetry (/metrics) and run reports see the budget
+/// without polling the object.
 class MemoryBudget {
  public:
   explicit MemoryBudget(uint64_t budget_bytes = 0)
       : budget_bytes_(budget_bytes) {}
 
+  /// Mirrors used/peak bytes into `mem.<name>.bytes` /
+  /// `mem.<name>.peak_bytes` of `registry` from now on.
+  void BindGauges(MetricsRegistry* registry, const std::string& name) {
+    gauge_.Bind(registry, name);
+    gauge_.Set(static_cast<int64_t>(used_bytes()));
+  }
+
   /// Charges `n` bytes. Returns OutOfMemory if the budget would be
   /// exceeded (the charge is still recorded so callers can report usage).
   Status Charge(uint64_t n) {
-    uint64_t used = used_bytes_.fetch_add(n) + n;
-    if (used > peak_bytes_.load()) peak_bytes_.store(used);
+    uint64_t used = used_bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+    uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (used > peak &&
+           !peak_bytes_.compare_exchange_weak(peak, used,
+                                              std::memory_order_relaxed)) {
+    }
+    gauge_.Set(static_cast<int64_t>(used));
     if (budget_bytes_ != 0 && used > budget_bytes_) {
       return Status::OutOfMemory("memory budget exceeded: used " +
                                  std::to_string(used) + "B of " +
@@ -32,21 +91,30 @@ class MemoryBudget {
     return Status::OK();
   }
 
-  void Release(uint64_t n) { used_bytes_ -= n; }
+  void Release(uint64_t n) {
+    uint64_t used = used_bytes_.fetch_sub(n, std::memory_order_relaxed) - n;
+    gauge_.Set(static_cast<int64_t>(used));
+  }
 
-  uint64_t used_bytes() const { return used_bytes_; }
-  uint64_t peak_bytes() const { return peak_bytes_; }
+  uint64_t used_bytes() const {
+    return used_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
   uint64_t budget_bytes() const { return budget_bytes_; }
 
   void Reset() {
-    used_bytes_ = 0;
-    peak_bytes_ = 0;
+    used_bytes_.store(0, std::memory_order_relaxed);
+    peak_bytes_.store(0, std::memory_order_relaxed);
+    gauge_.Set(0);
   }
 
  private:
   uint64_t budget_bytes_;
   std::atomic<uint64_t> used_bytes_{0};
   std::atomic<uint64_t> peak_bytes_{0};
+  ByteGauge gauge_;
 };
 
 }  // namespace itg

@@ -42,6 +42,15 @@ class Gauge {
  public:
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Monotonic raise: keeps the maximum of the current value and `v`
+  /// (CAS loop, safe against concurrent SetMax). Peak-byte gauges use
+  /// this so concurrent charges cannot regress the high-water mark.
+  void SetMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { Set(0); }
 

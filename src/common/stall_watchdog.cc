@@ -1,0 +1,67 @@
+#include "common/stall_watchdog.h"
+
+#include <chrono>
+
+#include "common/flight_recorder.h"
+#include "common/live_status.h"
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+
+namespace itg {
+
+void StallWatchdog::Start(const Options& options) {
+  Stop();
+  options_ = options;
+  stop_.store(false, std::memory_order_relaxed);
+  stalled_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      CheckOnce();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.poll_ms));
+    }
+  });
+}
+
+void StallWatchdog::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  running_.store(false, std::memory_order_relaxed);
+  stalled_.store(false, std::memory_order_relaxed);
+}
+
+void StallWatchdog::CheckOnce() {
+  FlightRecorder::Global().PollSignalDump();
+  if (options_.deadline_ms == 0) return;
+
+  LiveStatus& status = GlobalLiveStatus();
+  if (!status.in_superstep()) {
+    stalled_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  const uint64_t start = status.superstep_start_nanos();
+  const uint64_t now = LiveStatus::NowNanos();
+  const uint64_t age_nanos = now > start ? now - start : 0;
+  if (age_nanos <= options_.deadline_ms * 1'000'000ull) {
+    stalled_.store(false, std::memory_order_relaxed);
+    return;
+  }
+
+  stalled_.store(true, std::memory_order_relaxed);
+  const uint64_t epoch = status.progress_epoch();
+  if (epoch == tripped_epoch_) return;  // already reported this stall
+  tripped_epoch_ = epoch;
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  GlobalRegistry().counter("watchdog.stalls_total")->Increment();
+  LiveStatus::Snapshot snap = status.Snap();
+  ITG_LOG(Warn) << "stall watchdog tripped: superstep " << snap.superstep
+                << " of " << snap.phase << " t=" << snap.timestamp
+                << " open for " << age_nanos / 1'000'000 << "ms (deadline "
+                << options_.deadline_ms << "ms), query='" << snap.query
+                << "'";
+  FlightRecorder::Global().DumpToLog("stall watchdog", /*force=*/true);
+}
+
+}  // namespace itg

@@ -1,0 +1,63 @@
+#ifndef ITG_COMMON_STALL_WATCHDOG_H_
+#define ITG_COMMON_STALL_WATCHDOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace itg {
+
+/// Background monitor of the engine's superstep heartbeat
+/// (GlobalLiveStatus). A superstep that stays open past the deadline
+/// trips the watchdog: the trip is logged once with a flight-recorder
+/// dump, /healthz flips to unhealthy for as long as the stall persists,
+/// and `watchdog.stalls_total` is bumped in GlobalRegistry(). The poll
+/// loop also services SIGUSR1 flight-recorder dump requests, so a plain
+/// `kill -USR1 <pid>` works on any process with the watchdog running —
+/// even with a deadline of 0 (stall detection off).
+class StallWatchdog {
+ public:
+  struct Options {
+    /// Superstep deadline in milliseconds; 0 disables stall detection
+    /// (the thread still services SIGUSR1 dumps).
+    uint64_t deadline_ms = 0;
+    uint64_t poll_ms = 25;
+  };
+
+  StallWatchdog() = default;
+  ~StallWatchdog() { Stop(); }
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Starts the poll thread (idempotent: restarts with new options).
+  void Start(const Options& options);
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  /// False while a superstep is currently past its deadline.
+  bool healthy() const { return !stalled_.load(std::memory_order_relaxed); }
+  /// Number of distinct stalls observed (sticky; exposed on /healthz and
+  /// as the `watchdog.stalls_total` counter).
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  uint64_t deadline_ms() const { return options_.deadline_ms; }
+
+  /// One poll iteration (exposed for deterministic tests; the background
+  /// thread calls this in a loop).
+  void CheckOnce();
+
+ private:
+  Options options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stalled_{false};
+  std::atomic<uint64_t> trips_{0};
+  // Progress epoch at the time of the last trip: a stall is re-reported
+  // only after the engine makes progress and wedges again.
+  uint64_t tripped_epoch_ = ~uint64_t{0};
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_STALL_WATCHDOG_H_

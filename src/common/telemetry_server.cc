@@ -1,0 +1,430 @@
+#include "common/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace itg {
+
+namespace {
+
+void AppendJson(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out->append(hex);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Prometheus HELP text and label values escape `\` and newline (label
+// values additionally escape `"`; our le values never need it).
+void AppendPromEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "itg_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  out.reserve(1 << 14);
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PrometheusMetricName(name);
+    out.append("# HELP ").append(prom).append(" itg counter ");
+    AppendPromEscaped(name, &out);
+    out.push_back('\n');
+    out.append("# TYPE ").append(prom).append(" counter\n");
+    out.append(prom).push_back(' ');
+    out.append(std::to_string(value));
+    out.push_back('\n');
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PrometheusMetricName(name);
+    out.append("# HELP ").append(prom).append(" itg gauge ");
+    AppendPromEscaped(name, &out);
+    out.push_back('\n');
+    out.append("# TYPE ").append(prom).append(" gauge\n");
+    out.append(prom).push_back(' ');
+    out.append(std::to_string(value));
+    out.push_back('\n');
+  }
+
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = PrometheusMetricName(name);
+    out.append("# HELP ").append(prom).append(" itg histogram ");
+    AppendPromEscaped(name, &out);
+    out.push_back('\n');
+    out.append("# TYPE ").append(prom).append(" histogram\n");
+    // The registry's log-scale bucket [2^(b-1), 2^b) holds integers up to
+    // 2^b - 1, so `le` of the inclusive upper integer is exact; the zero
+    // bucket (lower bound 0) becomes le="0".
+    uint64_t cumulative = 0;
+    for (const auto& [lower, n] : h.buckets) {
+      cumulative += n;
+      const uint64_t le = lower == 0 ? 0 : lower * 2 - 1;
+      out.append(prom).append("_bucket{le=\"");
+      out.append(std::to_string(le));
+      out.append("\"} ");
+      out.append(std::to_string(cumulative));
+      out.push_back('\n');
+    }
+    out.append(prom).append("_bucket{le=\"+Inf\"} ");
+    out.append(std::to_string(h.count));
+    out.push_back('\n');
+    out.append(prom).append("_sum ");
+    out.append(std::to_string(h.sum));
+    out.push_back('\n');
+    out.append(prom).append("_count ");
+    out.append(std::to_string(h.count));
+    out.push_back('\n');
+  }
+
+  return out;
+}
+
+std::string RenderStatusz(const LiveStatus::Snapshot& live,
+                          const StallWatchdog* watchdog,
+                          const MetricsRegistry::Snapshot& metrics) {
+  std::string out;
+  out.reserve(1 << 12);
+  out.append("{\"query\":");
+  AppendJson(live.query, &out);
+  out.append(",\"phase\":");
+  AppendJson(live.phase, &out);
+  out.append(",\"running\":").append(live.running ? "true" : "false");
+  out.append(",\"in_superstep\":")
+      .append(live.in_superstep ? "true" : "false");
+  out.append(",\"timestamp\":").append(std::to_string(live.timestamp));
+  out.append(",\"superstep\":").append(std::to_string(live.superstep));
+  out.append(",\"delta_seq\":").append(std::to_string(live.delta_seq));
+  out.append(",\"runs_total\":").append(std::to_string(live.runs_total));
+  out.append(",\"supersteps_total\":")
+      .append(std::to_string(live.supersteps_total));
+  out.append(",\"superstep_age_ms\":");
+  AppendDouble(static_cast<double>(live.superstep_age_nanos) / 1e6, &out);
+
+  out.append(",\"watchdog\":{");
+  if (watchdog != nullptr) {
+    out.append("\"running\":")
+        .append(watchdog->running() ? "true" : "false");
+    out.append(",\"deadline_ms\":")
+        .append(std::to_string(watchdog->deadline_ms()));
+    out.append(",\"healthy\":")
+        .append(watchdog->healthy() ? "true" : "false");
+    out.append(",\"stalls_total\":")
+        .append(std::to_string(watchdog->trips()));
+  } else {
+    out.append("\"running\":false");
+  }
+  out.push_back('}');
+
+  out.append(",\"partitions\":[");
+  for (size_t i = 0; i < live.partitions.size(); ++i) {
+    const LiveStatus::PartitionState& p = live.partitions[i];
+    if (i != 0) out.push_back(',');
+    out.append("{\"id\":").append(std::to_string(i));
+    out.append(",\"network_bytes\":")
+        .append(std::to_string(p.network_bytes));
+    out.append(",\"barrier_wait_ms\":");
+    AppendDouble(static_cast<double>(p.barrier_wait_nanos) / 1e6, &out);
+    out.append(",\"seconds\":");
+    AppendDouble(p.seconds, &out);
+    out.push_back('}');
+  }
+  out.push_back(']');
+
+  // Per-structure memory: every gauge pair mem.<name>.bytes /
+  // mem.<name>.peak_bytes collapses into one JSON object.
+  out.append(",\"memory\":{");
+  bool first = true;
+  for (const auto& [name, value] : metrics.gauges) {
+    constexpr std::string_view kPrefix = "mem.";
+    constexpr std::string_view kBytes = ".bytes";
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.size() <= kPrefix.size() + kBytes.size() ||
+        name.compare(name.size() - kBytes.size(), kBytes.size(), kBytes) !=
+            0) {
+      continue;
+    }
+    std::string struct_name = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kBytes.size());
+    if (struct_name.size() > 5 &&
+        struct_name.compare(struct_name.size() - 5, 5, ".peak") == 0) {
+      continue;  // folded into its base entry below
+    }
+    const auto peak_it = metrics.gauges.find("mem." + struct_name +
+                                             ".peak_bytes");
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJson(struct_name, &out);
+    out.append(":{\"bytes\":").append(std::to_string(value));
+    out.append(",\"peak_bytes\":")
+        .append(std::to_string(
+            peak_it != metrics.gauges.end() ? peak_it->second : value));
+    out.append("}");
+  }
+  out.append("}}\n");
+  return out;
+}
+
+TelemetryServer::TelemetryServer(MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry : &GlobalRegistry()) {}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start(const TelemetryOptions& options) {
+  if (running()) return Status::InvalidArgument("telemetry server already running");
+  options_ = options;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("telemetry socket: ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("telemetry bind 127.0.0.1:" +
+                           std::to_string(options.port) + ": " +
+                           std::strerror(err));
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("telemetry listen: ") +
+                           std::strerror(err));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("telemetry getsockname: ") +
+                           std::strerror(err));
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+
+  FlightRecorder::Global().Enable(options.flight_recorder_events);
+  FlightRecorder::InstallSigusr1();
+  StallWatchdog::Options wd;
+  wd.deadline_ms = options.watchdog_deadline_ms;
+  watchdog_.Start(wd);
+
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Serve(); });
+
+  if (!options_.port_file.empty()) {
+    std::FILE* f = std::fopen(options_.port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%d\n", port_);
+      std::fclose(f);
+    } else {
+      ITG_LOG(Warn) << "telemetry: cannot write port file "
+                    << options_.port_file;
+    }
+  }
+  ITG_LOG(Info) << "telemetry server listening on 127.0.0.1:" << port_
+                << " (/metrics /statusz /healthz)";
+  return Status::OK();
+}
+
+void TelemetryServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  stop_.store(true, std::memory_order_relaxed);
+  // shutdown() unblocks the accept loop (close alone would race a
+  // concurrently re-opened fd number).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  watchdog_.Stop();
+  if (!options_.port_file.empty()) {
+    std::remove(options_.port_file.c_str());
+  }
+}
+
+void TelemetryServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (stop_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR) continue;
+      break;  // listener gone
+    }
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void TelemetryServer::HandleConnection(int fd) {
+  // Scrape requests are one small GET; a single read suffices for any
+  // client this server is meant for.
+  char buf[4096];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+
+  std::string path = "/";
+  {
+    const char* sp = std::strchr(buf, ' ');
+    if (sp != nullptr) {
+      const char* end = std::strchr(sp + 1, ' ');
+      if (end != nullptr) path.assign(sp + 1, end);
+    }
+  }
+  // Strip a query string: /metrics?foo=1 routes like /metrics.
+  const size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+
+  const Response resp = Handle(path);
+  const char* reason = resp.status == 200   ? "OK"
+                       : resp.status == 404 ? "Not Found"
+                       : resp.status == 503 ? "Service Unavailable"
+                                            : "Error";
+  std::string out;
+  out.reserve(resp.body.size() + 160);
+  out.append("HTTP/1.1 ").append(std::to_string(resp.status));
+  out.push_back(' ');
+  out.append(reason);
+  out.append("\r\nContent-Type: ").append(resp.content_type);
+  out.append("\r\nContent-Length: ")
+      .append(std::to_string(resp.body.size()));
+  out.append("\r\nConnection: close\r\n\r\n");
+  out.append(resp.body);
+
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t w = ::send(fd, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (w <= 0) break;
+    sent += static_cast<size_t>(w);
+  }
+}
+
+TelemetryServer::Response TelemetryServer::Handle(
+    const std::string& path) const {
+  Response resp;
+  if (path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = RenderPrometheusText(registry_->Snap());
+  } else if (path == "/statusz") {
+    resp.content_type = "application/json";
+    resp.body = RenderStatusz(GlobalLiveStatus().Snap(), &watchdog_,
+                              registry_->Snap());
+  } else if (path == "/healthz") {
+    resp.content_type = "application/json";
+    const bool healthy = watchdog_.healthy();
+    resp.status = healthy ? 200 : 503;
+    resp.body = std::string("{\"status\":\"") +
+                (healthy ? "ok" : "stalled") +
+                "\",\"stalls_total\":" + std::to_string(watchdog_.trips()) +
+                ",\"watchdog_deadline_ms\":" +
+                std::to_string(watchdog_.deadline_ms()) + "}\n";
+  } else if (path == "/") {
+    resp.body =
+        "itg telemetry\n"
+        "  /metrics  Prometheus text exposition\n"
+        "  /statusz  live engine state (JSON)\n"
+        "  /healthz  stall watchdog health\n";
+  } else {
+    resp.status = 404;
+    resp.body = "not found\n";
+  }
+  return resp;
+}
+
+std::unique_ptr<TelemetryServer> TelemetryServer::FromEnv() {
+  const char* port_env = std::getenv("ITG_TELEMETRY_PORT");
+  if (port_env == nullptr || port_env[0] == '\0') return nullptr;
+  TelemetryOptions options;
+  options.port = std::atoi(port_env);
+  if (const char* wd = std::getenv("ITG_WATCHDOG_MS")) {
+    options.watchdog_deadline_ms =
+        static_cast<uint64_t>(std::strtoull(wd, nullptr, 10));
+  }
+  if (const char* pf = std::getenv("ITG_TELEMETRY_PORTFILE")) {
+    options.port_file = pf;
+  }
+  auto server = std::make_unique<TelemetryServer>();
+  Status s = server->Start(options);
+  if (!s.ok()) {
+    ITG_LOG(Warn) << "telemetry server failed to start: " << s.ToString();
+    return nullptr;
+  }
+  return server;
+}
+
+}  // namespace itg

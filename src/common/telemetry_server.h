@@ -1,0 +1,115 @@
+#ifndef ITG_COMMON_TELEMETRY_SERVER_H_
+#define ITG_COMMON_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/flight_recorder.h"
+#include "common/live_status.h"
+#include "common/metrics_registry.h"
+#include "common/stall_watchdog.h"
+#include "common/status.h"
+
+namespace itg {
+
+/// Options for the embedded telemetry endpoint.
+struct TelemetryOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with TelemetryServer::port()).
+  int port = 0;
+  /// Superstep stall deadline in ms for the watchdog behind /healthz;
+  /// 0 disables stall detection (the watchdog thread still runs and
+  /// services SIGUSR1 flight-recorder dumps).
+  uint64_t watchdog_deadline_ms = 0;
+  /// When non-empty, the bound port is written to this file (one decimal
+  /// line) once listening — how the telemetry smoke test finds an
+  /// ephemeral port.
+  std::string port_file;
+  /// Ring capacity of the flight recorder enabled alongside the server.
+  size_t flight_recorder_events = FlightRecorder::kDefaultCapacity;
+};
+
+/// Dependency-free embedded HTTP server for live telemetry:
+///
+///   GET /metrics  Prometheus text exposition (format 0.0.4) of the
+///                 attached MetricsRegistry — every counter, gauge and
+///                 log-scale histogram, including the per-partition skew
+///                 and per-structure memory gauges.
+///   GET /statusz  JSON of the live engine state (GlobalLiveStatus):
+///                 current query, superstep, Δ-batch sequence,
+///                 per-partition progress, watchdog and memory summary.
+///   GET /healthz  200 {"status":"ok"} normally; 503 {"status":"stalled"}
+///                 while a superstep is past the watchdog deadline.
+///
+/// One blocking accept loop on a background thread; connections are
+/// handled sequentially (scrapes are tiny and rare). Binds 127.0.0.1
+/// only. Enabling the server turns on the flight recorder and the stall
+/// watchdog; reads never mutate engine state, so runs are bit-identical
+/// with the server on or off.
+class TelemetryServer {
+ public:
+  /// `registry` defaults to GlobalRegistry() when null.
+  explicit TelemetryServer(MetricsRegistry* registry = nullptr);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  Status Start(const TelemetryOptions& options);
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  /// The actually-bound port (differs from options.port when it was 0).
+  int port() const { return port_; }
+  const StallWatchdog& watchdog() const { return watchdog_; }
+
+  /// An HTTP response before serialization; exposed so unit tests can
+  /// exercise routing without sockets.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  Response Handle(const std::string& path) const;
+
+  /// Builds a server from the environment: ITG_TELEMETRY_PORT (required;
+  /// unset/empty returns null), ITG_WATCHDOG_MS, ITG_TELEMETRY_PORTFILE.
+  /// The returned server is already started, exposing GlobalRegistry().
+  static std::unique_ptr<TelemetryServer> FromEnv();
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  MetricsRegistry* registry_;
+  TelemetryOptions options_;
+  StallWatchdog watchdog_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP`/`# TYPE` per metric, names sanitized to
+/// [a-zA-Z0-9_] with an `itg_` prefix, histograms expanded to cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count`. Exposed standalone so
+/// the exposition-format unit tests need no server.
+std::string RenderPrometheusText(const MetricsRegistry::Snapshot& snap);
+
+/// `io.read_bytes` -> `itg_io_read_bytes` (every char outside
+/// [a-zA-Z0-9_] becomes `_`; the prefix guarantees a valid first char).
+std::string PrometheusMetricName(const std::string& name);
+
+/// The /statusz payload (exposed for schema tests).
+std::string RenderStatusz(const LiveStatus::Snapshot& live,
+                          const StallWatchdog* watchdog,
+                          const MetricsRegistry::Snapshot& metrics);
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_TELEMETRY_SERVER_H_

@@ -7,13 +7,27 @@
 #include <memory>
 #include <mutex>
 
+#include "common/flight_recorder.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 
 namespace itg {
 
 namespace internal_trace {
 
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_flight{false};
+
+namespace {
+
+// Spans discarded because a per-thread buffer was full (satellite fix:
+// losses used to be impossible only because buffers grew without bound;
+// now they are bounded and every loss is counted and reported).
+std::atomic<uint64_t> g_dropped{0};
+std::atomic<size_t> g_max_events_per_thread{
+    Tracer::kDefaultMaxEventsPerThread};
+
+}  // namespace
 
 namespace {
 
@@ -130,10 +144,24 @@ EnvInit g_env_init;
 
 uint64_t NowNanos() { return RawNanos() - Epoch(); }
 
-void Emit(const TraceEvent& event) {
+void Emit(const TraceEvent& event, bool force_buffer) {
   ThreadBuffer* buf = GetThreadBuffer();
-  std::lock_guard<std::mutex> lock(buf->mu);
-  buf->events.push_back(event);
+  if (g_enabled.load(std::memory_order_relaxed) || force_buffer) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (buf->events.size() <
+        g_max_events_per_thread.load(std::memory_order_relaxed)) {
+      buf->events.push_back(event);
+    } else {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      // Mirrored into the registry so /metrics surfaces the loss live.
+      static Counter* dropped_counter =
+          GlobalRegistry().counter("trace.spans_dropped");
+      dropped_counter->Increment();
+    }
+  }
+  if (g_flight.load(std::memory_order_relaxed)) {
+    FlightRecorder::Global().Record(event, buf->tid);
+  }
 }
 
 }  // namespace internal_trace
@@ -160,6 +188,23 @@ void Tracer::Reset() {
     std::lock_guard<std::mutex> buf_lock(buf->mu);
     buf->events.clear();
   }
+  internal_trace::g_dropped.store(0, std::memory_order_relaxed);
+  GlobalRegistry().counter("trace.spans_dropped")->Reset();
+}
+
+uint64_t Tracer::dropped_count() {
+  return internal_trace::g_dropped.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_max_events_per_thread(size_t cap) {
+  internal_trace::g_max_events_per_thread.store(
+      cap == 0 ? kDefaultMaxEventsPerThread : cap,
+      std::memory_order_relaxed);
+}
+
+size_t Tracer::max_events_per_thread() {
+  return internal_trace::g_max_events_per_thread.load(
+      std::memory_order_relaxed);
 }
 
 size_t Tracer::event_count() {
@@ -248,7 +293,10 @@ std::string Tracer::ToJson() {
       out.append("}");
     }
   }
-  out.append("],\"displayTimeUnit\":\"ms\"}\n");
+  out.append("],\"droppedSpans\":");
+  out.append(std::to_string(
+      internal_trace::g_dropped.load(std::memory_order_relaxed)));
+  out.append(",\"displayTimeUnit\":\"ms\"}\n");
   return out;
 }
 
@@ -284,6 +332,7 @@ void TraceSpan::Begin(const char* name, const char* cat, int64_t arg) {
   name_ = name;
   cat_ = cat;
   arg_ = arg;
+  buffered_ = Tracer::enabled();
   t0_ = internal_trace::NowNanos();
 }
 
@@ -292,7 +341,8 @@ void TraceSpan::End() {
   // observed, and a dangling begin would corrupt nesting in the export.
   uint64_t t1 = internal_trace::NowNanos();
   internal_trace::Emit({name_, cat_, t0_, t1 - t0_, arg_, 'X',
-                        arg_ != Tracer::kNoArg});
+                        arg_ != Tracer::kNoArg},
+                       /*force_buffer=*/buffered_);
 }
 
 }  // namespace itg

@@ -40,9 +40,16 @@ struct TraceEvent {
 };
 
 extern std::atomic<bool> g_enabled;
+// Set while the FlightRecorder is capturing: spans are recorded through
+// the same instrumentation points, but routed to the bounded ring instead
+// of (or in addition to) the per-thread buffers.
+extern std::atomic<bool> g_flight;
 
 uint64_t NowNanos();
-void Emit(const TraceEvent& event);
+// `force_buffer` records into the per-thread buffers even when buffered
+// tracing is off — used for the end of a span whose begin was observed
+// while tracing was on, so disable-mid-span never corrupts nesting.
+void Emit(const TraceEvent& event, bool force_buffer = false);
 
 }  // namespace internal_trace
 
@@ -67,16 +74,38 @@ class Tracer {
     return internal_trace::g_enabled.load(std::memory_order_relaxed);
   }
 
+  // True when spans should be recorded at all: buffered tracing is on OR
+  // the flight recorder is capturing. The RAII gates check this, so the
+  // flight recorder works without unbounded buffering.
+  static bool recording() {
+    return internal_trace::g_enabled.load(std::memory_order_relaxed) ||
+           internal_trace::g_flight.load(std::memory_order_relaxed);
+  }
+
   // Starts/stops recording. Disable keeps already-buffered events so they
   // can still be inspected or written.
   static void Enable();
   static void Disable();
 
-  // Drops all buffered events (thread registrations are kept).
+  // Drops all buffered events (thread registrations are kept) and zeroes
+  // the dropped-span counter.
   static void Reset();
 
   // Total number of buffered events across all threads.
   static size_t event_count();
+
+  // Spans discarded because a per-thread buffer hit its capacity. Also
+  // exported as the top-level "droppedSpans" field of the trace JSON and
+  // mirrored into the `trace.spans_dropped` counter of GlobalRegistry().
+  static uint64_t dropped_count();
+
+  // Caps each per-thread event buffer (default kDefaultMaxEventsPerThread;
+  // 0 restores the default). Events past the cap are counted as dropped
+  // instead of growing the buffer without bound. Test hook + safety valve
+  // for long --watch runs with tracing left on.
+  static constexpr size_t kDefaultMaxEventsPerThread = 1u << 20;
+  static void set_max_events_per_thread(size_t cap);
+  static size_t max_events_per_thread();
 
   // Snapshot of all buffered events, ordered by (tid, ts).
   static std::vector<CollectedEvent> Collect();
@@ -98,7 +127,7 @@ class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* cat = "engine",
                      int64_t arg = Tracer::kNoArg) {
-    if (Tracer::enabled()) Begin(name, cat, arg);
+    if (Tracer::recording()) Begin(name, cat, arg);
   }
   ~TraceSpan() {
     if (name_ != nullptr) End();
@@ -115,12 +144,13 @@ class TraceSpan {
   const char* cat_ = nullptr;
   int64_t arg_ = 0;
   uint64_t t0_ = 0;
+  bool buffered_ = false;  // buffered tracing was on when the span began
 };
 
 // Point-in-time marker (an "i" instant event).
 inline void TraceInstant(const char* name, const char* cat = "engine",
                          int64_t arg = Tracer::kNoArg) {
-  if (!Tracer::enabled()) return;
+  if (!Tracer::recording()) return;
   internal_trace::Emit({name, cat, internal_trace::NowNanos(), 0, arg, 'i',
                         arg != Tracer::kNoArg});
 }
@@ -132,7 +162,7 @@ inline void TraceInstant(const char* name, const char* cat = "engine",
 inline void TraceCompleteEvent(const char* name, const char* cat,
                                uint64_t ts_nanos, uint64_t dur_nanos,
                                int64_t arg = Tracer::kNoArg) {
-  if (!Tracer::enabled()) return;
+  if (!Tracer::recording()) return;
   internal_trace::Emit({name, cat, ts_nanos, dur_nanos, arg, 'X',
                         arg != Tracer::kNoArg});
 }

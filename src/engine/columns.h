@@ -51,6 +51,14 @@ class ColumnSet {
   int attr_count() const { return static_cast<int>(widths_.size()); }
   VertexId num_vertices() const { return num_vertices_; }
 
+  /// Resident bytes of all columns (capacity, not logical size — this is
+  /// what the allocator actually holds; feeds the memory gauges).
+  size_t ByteSize() const {
+    size_t bytes = 0;
+    for (const auto& col : data_) bytes += col.capacity() * sizeof(double);
+    return bytes;
+  }
+
   /// True if the `width(attr)` values of `v` differ between two sets.
   static bool CellDiffers(const ColumnSet& a, const ColumnSet& b, int attr,
                           VertexId v) {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstring>
 #include <ctime>
+#include <thread>
 
+#include "common/live_status.h"
 #include "common/logging.h"
 #include "common/trace.h"
 #include "engine/msbfs.h"
@@ -24,6 +27,23 @@ uint64_t ThreadCpuNanos() {
   }
 #endif
   return 0;
+}
+
+/// Marks a run live on GlobalLiveStatus for the enclosing scope; EndRun
+/// fires on every exit path, error returns included.
+struct LiveRunScope {
+  LiveRunScope(const char* phase, Timestamp t) {
+    GlobalLiveStatus().BeginRun(phase, t);
+  }
+  ~LiveRunScope() { GlobalLiveStatus().EndRun(); }
+};
+
+/// Test hook (EngineOptions::debug_stall_first_superstep_ms): a real
+/// in-superstep sleep so the stall watchdog can be exercised end-to-end.
+void MaybeInjectStall(const EngineOptions& options, Superstep s) {
+  if (options.debug_stall_first_superstep_ms == 0 || s != 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(options.debug_stall_first_superstep_ms));
 }
 
 /// Attributes that are derived from the graph structure (filled per
@@ -175,6 +195,9 @@ Engine::Engine(DynamicGraphStore* store, const CompiledProgram* program,
           store_->page_store(), options_.partition_pool_pages));
     }
   }
+  if (store_->metrics() != nullptr) {
+    mem_columns_.Bind(&store_->metrics()->registry(), "accumulator_columns");
+  }
 }
 
 void Engine::CacheProfileCells() {
@@ -260,6 +283,83 @@ std::vector<uint64_t> Engine::ShuffleSnapshot() const {
     }
   }
   return out;
+}
+
+std::vector<double> Engine::MachineSecondsSnapshot() const {
+  std::vector<double> out;
+  if (options_.num_partitions > 1) {
+    out.reserve(machine_stats_.size());
+    for (const MachineStats& m : machine_stats_) out.push_back(m.seconds);
+  }
+  return out;
+}
+
+void Engine::PublishSuperstepTelemetry(const std::vector<double>& seconds0) {
+  if (options_.num_partitions > 1 &&
+      seconds0.size() == machine_stats_.size()) {
+    // Barrier model: the superstep ends for everyone when the slowest
+    // machine finishes, so each machine idles for the difference.
+    double slowest = 0;
+    for (size_t m = 0; m < machine_stats_.size(); ++m) {
+      slowest = std::max(slowest, machine_stats_[m].seconds - seconds0[m]);
+    }
+    for (size_t m = 0; m < machine_stats_.size(); ++m) {
+      const double wait = slowest - (machine_stats_[m].seconds - seconds0[m]);
+      if (wait > 0) {
+        machine_stats_[m].barrier_wait_nanos +=
+            static_cast<uint64_t>(wait * 1e9);
+      }
+    }
+  }
+
+  std::vector<LiveStatus::PartitionState> parts;
+  parts.reserve(machine_stats_.size());
+  for (const MachineStats& m : machine_stats_) {
+    LiveStatus::PartitionState p;
+    p.network_bytes = m.network_bytes;
+    p.barrier_wait_nanos = m.barrier_wait_nanos;
+    p.seconds = m.seconds;
+    parts.push_back(p);
+  }
+  GlobalLiveStatus().SetPartitions(parts);
+
+  if (store_->metrics() != nullptr) {
+    MetricsRegistry& reg = store_->metrics()->registry();
+    uint64_t net_max = 0;
+    uint64_t net_sum = 0;
+    uint64_t wait_max = 0;
+    for (size_t m = 0; m < machine_stats_.size(); ++m) {
+      const MachineStats& ms = machine_stats_[m];
+      const std::string key = "partition." + std::to_string(m);
+      reg.gauge(key + ".network_bytes")
+          ->Set(static_cast<int64_t>(ms.network_bytes));
+      reg.gauge(key + ".barrier_wait_nanos")
+          ->Set(static_cast<int64_t>(ms.barrier_wait_nanos));
+      net_max = std::max(net_max, ms.network_bytes);
+      net_sum += ms.network_bytes;
+      wait_max = std::max(wait_max, ms.barrier_wait_nanos);
+    }
+    if (!machine_stats_.empty()) {
+      const double mean =
+          static_cast<double>(net_sum) / machine_stats_.size();
+      reg.gauge("partition.network_bytes.max")
+          ->Set(static_cast<int64_t>(net_max));
+      reg.gauge("partition.network_bytes.mean")
+          ->Set(static_cast<int64_t>(mean));
+      // max/mean of the shuffle volume in percent (100 = perfectly even).
+      reg.gauge("partition.network_skew_pct")
+          ->Set(mean > 0 ? static_cast<int64_t>(100.0 * net_max / mean)
+                         : 0);
+      reg.gauge("partition.barrier_wait_nanos.max")
+          ->Set(static_cast<int64_t>(wait_max));
+    }
+  }
+  PublishColumnMemory();
+}
+
+void Engine::PublishColumnMemory() {
+  mem_columns_.Set(
+      static_cast<int64_t>(cur_cols_.ByteSize() + prev_cols_.ByteSize()));
 }
 
 void Engine::RecordSuperstep(Superstep s, bool incremental,
@@ -975,6 +1075,7 @@ Status Engine::WriteDeltaFiles(Timestamp t, Superstep s,
 
 Status Engine::RunOneShot(Timestamp t) {
   TraceSpan run_span("oneshot", "engine", t);
+  LiveRunScope live_run("oneshot", t);
   Stopwatch watch;
   Metrics& metrics = *store_->metrics();
   const uint64_t read0 = metrics.read_bytes();
@@ -1006,12 +1107,16 @@ Status Engine::RunOneShot(Timestamp t) {
                                                     nullptr);
   ColumnSet snapshot;
 
+  PublishColumnMemory();
   Superstep s = 0;
   while (s < options_.max_supersteps &&
          (options_.fixed_supersteps < 0 || s < options_.fixed_supersteps)) {
     TraceSpan superstep_span("superstep", "engine", s);
     std::vector<VertexId> active = ActiveList(cur_cols_);
     if (active.empty()) break;
+    GlobalLiveStatus().BeginSuperstep(s);
+    MaybeInjectStall(options_, s);
+    const std::vector<double> ss_seconds0 = MachineSecondsSnapshot();
     const uint64_t ss_emissions0 = stats_.emissions_applied;
     const uint64_t ss_windows0 = enumerator_.windows_loaded();
     const uint64_t ss_edges0 = enumerator_.edges_scanned();
@@ -1063,6 +1168,8 @@ Status Engine::RunOneShot(Timestamp t) {
     RecordSuperstep(s, /*incremental=*/false, active_size, active_size,
                     ss_emissions0, ss_windows0, ss_edges0, ss_wall0, ss_cpu0,
                     ss_shuffle0);
+    PublishSuperstepTelemetry(ss_seconds0);
+    GlobalLiveStatus().EndSuperstep();
     ++s;
   }
   FoldWalkCounters(walk_base, starts_base);
@@ -1097,6 +1204,7 @@ Status Engine::RunIncremental(Timestamp t) {
     }
   }
   TraceSpan run_span("incremental", "engine", t);
+  LiveRunScope live_run("incremental", t);
   Stopwatch watch;
   Metrics& metrics = *store_->metrics();
   const uint64_t read0 = metrics.read_bytes();
@@ -1153,12 +1261,16 @@ Status Engine::RunIncremental(Timestamp t) {
   ColumnSet cur_snapshot;
   std::vector<VertexId> scratch_changed;
 
+  PublishColumnMemory();
   Superstep s = 0;
   while (s < options_.max_supersteps &&
          (options_.fixed_supersteps < 0 || s < options_.fixed_supersteps)) {
     TraceSpan superstep_span("superstep", "engine", s);
     std::vector<VertexId> cur_active = ActiveList(cur_cols_);
     if (cur_active.empty() && s >= s_prev_total) break;
+    GlobalLiveStatus().BeginSuperstep(s);
+    MaybeInjectStall(options_, s);
+    const std::vector<double> ss_seconds0 = MachineSecondsSnapshot();
     const uint64_t ss_emissions0 = stats_.emissions_applied;
     const uint64_t ss_windows0 = enumerator_.windows_loaded();
     const uint64_t ss_edges0 = enumerator_.edges_scanned();
@@ -1316,6 +1428,8 @@ Status Engine::RunIncremental(Timestamp t) {
     RecordSuperstep(s, /*incremental=*/true, cur_active.size(),
                     changed_starts.size(), ss_emissions0, ss_windows0,
                     ss_edges0, ss_wall0, ss_cpu0, ss_shuffle0);
+    PublishSuperstepTelemetry(ss_seconds0);
+    GlobalLiveStatus().EndSuperstep();
     ++s;
   }
   FoldWalkCounters(walk_base, starts_base);

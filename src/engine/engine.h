@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -51,12 +52,19 @@ struct EngineOptions {
   /// num_partitions > 1 or the program reads accumulator state inside
   /// Traverse (see ARCHITECTURE.md, "Threading model").
   int num_threads = 0;
+  /// Test hook for the stall watchdog: sleep this long inside the first
+  /// superstep of every run. The sleep is observation-neutral (no work
+  /// counter moves), so fingerprints are unaffected. 0 = off.
+  uint64_t debug_stall_first_superstep_ms = 0;
 };
 
 /// Per-machine outcome of a partitioned run.
 struct MachineStats {
   double seconds = 0;          ///< measured compute + IO time of this machine
   uint64_t network_bytes = 0;  ///< pre-aggregated shuffle volume it sent
+  /// Modeled BSP barrier wait: time this machine idled at superstep
+  /// barriers for the round's slowest machine (skew indicator).
+  uint64_t barrier_wait_nanos = 0;
 };
 
 /// Statistics of the latest run.
@@ -237,6 +245,19 @@ class Engine {
   /// Per-partition network_bytes snapshot (empty when unpartitioned).
   std::vector<uint64_t> ShuffleSnapshot() const;
 
+  // ---- live telemetry ---------------------------------------------------
+  /// Per-machine seconds at superstep start (empty when unpartitioned) —
+  /// the baseline for the superstep's barrier-wait model.
+  std::vector<double> MachineSecondsSnapshot() const;
+  /// End-of-superstep telemetry: folds the barrier-wait model into
+  /// machine_stats_, publishes per-partition progress to GlobalLiveStatus,
+  /// and refreshes the partition skew and memory gauges in the store's
+  /// registry. Observation-only — no work counter or accumulator moves.
+  void PublishSuperstepTelemetry(const std::vector<double>& seconds0);
+  /// Refreshes the mem.accumulator_columns byte gauge from the resident
+  /// column sets.
+  void PublishColumnMemory();
+
   void MarkRecompute(int attr, VertexId v);
   void UnmarkRecompute(int attr, VertexId v);
   void ClearRecomputeState();
@@ -330,6 +351,10 @@ class Engine {
   Timestamp last_run_t_ = -1;
   Superstep prev_supersteps_ = 0;
   RunStats stats_;
+
+  // Resident accumulator-column bytes (cur + prev column sets), mirrored
+  // into mem.accumulator_columns.* of the store's registry.
+  ByteGauge mem_columns_;
 
   // ---- EXPLAIN ANALYZE profile -----------------------------------------
   gsa::ExecutionProfile profile_;

@@ -16,6 +16,27 @@ struct WalkEnumerator::AdjacencyWindow {
   std::unordered_map<VertexId, std::pair<uint32_t, uint32_t>> ranges;
   std::vector<VertexId> dsts;   // sorted within each range
   std::vector<int8_t> mults;
+
+  // mem.window_cache accounting (RAII: whatever this window charged is
+  // released when it goes out of scope, early error returns included).
+  ByteGauge* gauge = nullptr;
+  int64_t charged = 0;
+
+  ~AdjacencyWindow() {
+    if (gauge != nullptr && charged != 0) gauge->Add(-charged);
+  }
+
+  void Recharge() {
+    if (gauge == nullptr) return;
+    const int64_t bytes = static_cast<int64_t>(
+        dsts.capacity() * sizeof(VertexId) +
+        mults.capacity() * sizeof(int8_t) +
+        ranges.size() *
+            (sizeof(VertexId) + sizeof(std::pair<uint32_t, uint32_t>) +
+             2 * sizeof(void*)));
+    gauge->Add(bytes - charged);
+    charged = bytes;
+  }
 };
 
 Status WalkEnumerator::LoadWindow(const std::vector<VertexId>& vertices,
@@ -57,6 +78,10 @@ Status WalkEnumerator::LoadWindow(const std::vector<VertexId>& vertices,
     window->ranges.emplace(
         u, std::make_pair(begin, static_cast<uint32_t>(window->dsts.size())));
   }
+  if (window->gauge == nullptr && mem_window_.bound()) {
+    window->gauge = &mem_window_;
+  }
+  window->Recharge();
   return Status::OK();
 }
 

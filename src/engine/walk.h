@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "compiler/compiled_program.h"
@@ -77,7 +78,14 @@ class WalkEnumerator {
         store_(store),
         pool_(pool),
         options_(options),
-        level_counts_(static_cast<size_t>(program->walk_length())) {}
+        level_counts_(static_cast<size_t>(program->walk_length())) {
+    if (store_ != nullptr && store_->metrics() != nullptr) {
+      // Add-deltas: every live window (one per traversal level per
+      // enumerator, worker-thread enumerators included) aggregates into
+      // one mem.window_cache gauge pair.
+      mem_window_.Bind(&store_->metrics()->registry(), "window_cache");
+    }
+  }
 
   /// Redirects window loads through another buffer pool (the distributed
   /// simulation gives every machine its own pool).
@@ -169,6 +177,7 @@ class WalkEnumerator {
   uint64_t walks_pruned_ = 0;
   uint64_t starts_enumerated_ = 0;
   std::vector<LevelCounts> level_counts_;
+  ByteGauge mem_window_;  // mem.window_cache.* resident window bytes
 };
 
 }  // namespace itg

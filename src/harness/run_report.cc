@@ -69,7 +69,7 @@ void RunReport::AddResult(const std::string& name, double value) {
 std::string RunReport::ToJson() const {
   std::string out;
   out.reserve(4096);
-  out.append("{\"schema_version\":2,\"binary\":");
+  out.append("{\"schema_version\":3,\"binary\":");
   AppendJsonString(&out, binary_);
   out.append(",\"runs\":[");
   bool first = true;
@@ -110,7 +110,9 @@ std::string RunReport::ToJson() const {
       out.append("{\"seconds\":");
       AppendDouble(&out, run.machines[m].seconds);
       out.push_back(',');
-      AppendField(&out, "network_bytes", run.machines[m].network_bytes,
+      AppendField(&out, "network_bytes", run.machines[m].network_bytes);
+      AppendField(&out, "barrier_wait_nanos",
+                  run.machines[m].barrier_wait_nanos,
                   /*trailing_comma=*/false);
       out.push_back('}');
     }
@@ -194,6 +196,42 @@ std::string RunReport::ToJson() const {
                          ? static_cast<double>(hits) /
                                static_cast<double>(hits + misses)
                          : 0.0);
+  out.push_back('}');
+
+  // Schema v3: per-structure memory section, collapsed from the
+  // mem.<name>.bytes / mem.<name>.peak_bytes gauge pairs.
+  out.append(",\"memory\":{");
+  const MetricsRegistry::Snapshot snap = registry.Snap();
+  bool first_mem = true;
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prefix = "mem.";
+    const std::string bytes_suffix = ".bytes";
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (name.size() <= prefix.size() + bytes_suffix.size() ||
+        name.compare(name.size() - bytes_suffix.size(), bytes_suffix.size(),
+                     bytes_suffix) != 0) {
+      continue;
+    }
+    const std::string struct_name = name.substr(
+        prefix.size(), name.size() - prefix.size() - bytes_suffix.size());
+    if (struct_name.size() > 5 &&
+        struct_name.compare(struct_name.size() - 5, 5, ".peak") == 0) {
+      continue;  // the peak gauge of a pair, folded below
+    }
+    const auto peak_it =
+        snap.gauges.find("mem." + struct_name + ".peak_bytes");
+    if (!first_mem) out.push_back(',');
+    first_mem = false;
+    AppendJsonString(&out, struct_name);
+    out.append(":{");
+    AppendField(&out, "bytes", static_cast<uint64_t>(value));
+    AppendField(&out, "peak_bytes",
+                static_cast<uint64_t>(peak_it != snap.gauges.end()
+                                          ? peak_it->second
+                                          : value),
+                /*trailing_comma=*/false);
+    out.push_back('}');
+  }
   out.append("}}");
   return out;
 }

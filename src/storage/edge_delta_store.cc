@@ -23,6 +23,8 @@ Status EdgeDeltaStore::ApplyBatch(Timestamp t,
   }
   Segment in_seg;
   ITG_RETURN_IF_ERROR(BuildSegment(reversed, &in_seg));
+  mem_gauge_.Add(
+      static_cast<int64_t>(SegmentBytes(out_seg) + SegmentBytes(in_seg)));
   out_segments_.emplace(t, std::move(out_seg));
   in_segments_.emplace(t, std::move(in_seg));
   batch_sizes_[t] = batch.size();

@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/types.h"
 #include "storage/disk_array.h"
 #include "storage/page_store.h"
@@ -25,7 +26,11 @@ enum class Direction { kOut, kIn };
 /// through a BufferPool so delta IO is accounted.
 class EdgeDeltaStore {
  public:
-  explicit EdgeDeltaStore(PageStore* store) : store_(store) {}
+  explicit EdgeDeltaStore(PageStore* store) : store_(store) {
+    if (store_ != nullptr && store_->metrics() != nullptr) {
+      mem_gauge_.Bind(&store_->metrics()->registry(), "edge_delta_store");
+    }
+  }
 
   /// Appends the mutation batch for timestamp `t` (must be the next
   /// timestamp). Edges are stored in both directions so backward
@@ -67,11 +72,19 @@ class EdgeDeltaStore {
 
   Status BuildSegment(const std::vector<EdgeDelta>& deltas, Segment* seg);
 
+  /// In-memory footprint of a segment (the source index; destination and
+  /// multiplicity arrays are disk-resident and charged as page IO).
+  static size_t SegmentBytes(const Segment& seg) {
+    return seg.srcs.capacity() * sizeof(VertexId) +
+           seg.ranges.capacity() * sizeof(int64_t);
+  }
+
   PageStore* store_;
   Timestamp latest_ = 0;  // timestamp 0 = initial graph; batches start at 1
   std::map<Timestamp, Segment> out_segments_;
   std::map<Timestamp, Segment> in_segments_;
   std::map<Timestamp, size_t> batch_sizes_;
+  ByteGauge mem_gauge_;  // mem.edge_delta_store.* source-index bytes
 };
 
 }  // namespace itg

@@ -85,14 +85,17 @@ StatusOr<std::shared_ptr<const BufferPool::Page>> BufferPool::GetPage(
     PageId victim = lru_.back();
     lru_.pop_back();
     cache_.erase(victim);
+    mem_gauge_.Add(-static_cast<int64_t>(kPageSize));
   }
   lru_.push_front(id);
   cache_.emplace(id, Entry{page, lru_.begin()});
+  mem_gauge_.Add(static_cast<int64_t>(kPageSize));
   return std::shared_ptr<const Page>(page);
 }
 
 void BufferPool::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  mem_gauge_.Add(-static_cast<int64_t>(cache_.size() * kPageSize));
   cache_.clear();
   lru_.clear();
 }

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/metrics.h"
 #include "common/status.h"
 
@@ -90,8 +91,13 @@ class BufferPool {
       MetricsRegistry& reg = store_->metrics()->registry();
       hits_counter_ = reg.counter("buffer_pool.hits");
       misses_counter_ = reg.counter("buffer_pool.misses");
+      // Add-deltas so all pools of a machine (the distributed simulation
+      // creates one per simulated machine) aggregate into one gauge pair.
+      mem_gauge_.Bind(&reg, "buffer_pool");
     }
   }
+
+  ~BufferPool() { Clear(); }
 
   /// Fetches a page, from cache or disk.
   StatusOr<std::shared_ptr<const Page>> GetPage(PageId id);
@@ -125,6 +131,7 @@ class BufferPool {
   uint64_t misses_ = 0;  // the registry counters aggregate across pools
   Counter* hits_counter_ = nullptr;
   Counter* misses_counter_ = nullptr;
+  ByteGauge mem_gauge_;  // mem.buffer_pool.* resident page bytes
 };
 
 }  // namespace itg

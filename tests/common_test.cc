@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/memory_budget.h"
 #include "common/metrics.h"
@@ -104,6 +106,57 @@ TEST(MemoryBudgetTest, EnforcesLimitAndTracksPeak) {
   budget.Release(500);
   EXPECT_EQ(budget.used_bytes(), 600u);
   EXPECT_EQ(budget.peak_bytes(), 1100u);  // peak is sticky
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargeReleaseIsConsistent) {
+  // Charge/Release run concurrently from pool workers; the counters are
+  // atomics and the peak is a CAS-max, so after a balanced storm the used
+  // count is exactly zero and the peak is bounded by the worst-case
+  // concurrent footprint and never below a single charge.
+  MemoryBudget budget;  // unlimited
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  constexpr uint64_t kChunk = 7;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&budget] {
+      for (int i = 0; i < kIters; ++i) {
+        Status s = budget.Charge(kChunk);
+        EXPECT_TRUE(s.ok());
+        budget.Release(kChunk);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_GE(budget.peak_bytes(), kChunk);
+  EXPECT_LE(budget.peak_bytes(), kChunk * kThreads);
+}
+
+TEST(MemoryBudgetTest, ConcurrentOverBudgetKeepsChargesRecorded) {
+  // Over-budget charges still record their bytes (callers report usage
+  // and then decide); concurrent failures must not corrupt the counter.
+  MemoryBudget budget(1);  // everything over budget
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::atomic<int> oom_count{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&budget, &oom_count] {
+      for (int i = 0; i < kIters; ++i) {
+        if (budget.Charge(10).IsOutOfMemory()) {
+          oom_count.fetch_add(1, std::memory_order_relaxed);
+        }
+        budget.Release(10);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(oom_count.load(), kThreads * kIters);
+  EXPECT_GE(budget.peak_bytes(), 10u);
 }
 
 TEST(MetricsTest, CountersAccumulateAndMerge) {

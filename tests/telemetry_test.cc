@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/live_status.h"
+#include "common/metrics_registry.h"
+#include "common/stall_watchdog.h"
+#include "common/telemetry_server.h"
+#include "common/trace.h"
+
+namespace itg {
+namespace {
+
+// ------------------------------------------------- Prometheus rendering ----
+
+TEST(PrometheusNameTest, PrefixesAndSanitizes) {
+  EXPECT_EQ(PrometheusMetricName("io.read_bytes"), "itg_io_read_bytes");
+  EXPECT_EQ(PrometheusMetricName("mem.buffer_pool.peak_bytes"),
+            "itg_mem_buffer_pool_peak_bytes");
+  EXPECT_EQ(PrometheusMetricName("a-b/c d%e"), "itg_a_b_c_d_e");
+  EXPECT_EQ(PrometheusMetricName(""), "itg_");
+}
+
+// Returns the lines of `text` that start with `prefix`.
+std::vector<std::string> LinesWith(const std::string& text,
+                                   const std::string& prefix) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    if (line.rfind(prefix, 0) == 0) out.push_back(line);
+    pos = eol + 1;
+  }
+  return out;
+}
+
+TEST(PrometheusTextTest, CountersAndGauges) {
+  MetricsRegistry::Snapshot snap;
+  snap.counters["walks.enumerated"] = 42;
+  snap.gauges["mem.window_cache.bytes"] = -7;  // gauges may go negative
+  std::string text = RenderPrometheusText(snap);
+
+  EXPECT_NE(text.find("# TYPE itg_walks_enumerated counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nitg_walks_enumerated 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE itg_mem_window_cache_bytes gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nitg_mem_window_cache_bytes -7\n"),
+            std::string::npos);
+  // Every HELP line pairs with a TYPE line.
+  EXPECT_EQ(LinesWith(text, "# HELP ").size(),
+            LinesWith(text, "# TYPE ").size());
+}
+
+TEST(PrometheusTextTest, HistogramExposition) {
+  MetricsRegistry::Snapshot snap;
+  MetricsRegistry::HistogramSnapshot h;
+  // Log-scale buckets as the registry snapshots them: (lower bound, count)
+  // for non-empty buckets, ascending. Bucket lower bound 0 holds only the
+  // value 0; bucket lower bound L holds [L, 2L).
+  h.buckets = {{0, 3}, {1, 2}, {4, 5}};
+  h.count = 10;
+  h.sum = 123;
+  snap.histograms["superstep.nanos"] = h;
+  std::string text = RenderPrometheusText(snap);
+
+  EXPECT_NE(text.find("# TYPE itg_superstep_nanos histogram\n"),
+            std::string::npos);
+  // Upper bounds: the zero bucket is le="0"; [L, 2L) has inclusive upper
+  // bound 2L-1 (exact for integer-valued observations). Counts cumulate.
+  EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"0\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"1\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"7\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"+Inf\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("itg_superstep_nanos_sum 123\n"), std::string::npos);
+  EXPECT_NE(text.find("itg_superstep_nanos_count 10\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, RealRegistryRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("a.b")->Add(5);
+  reg.gauge("c.d")->Set(17);
+  reg.histogram("e.f")->Record(0);
+  reg.histogram("e.f")->Record(9);
+  std::string text = RenderPrometheusText(reg.Snap());
+  EXPECT_NE(text.find("itg_a_b 5\n"), std::string::npos);
+  EXPECT_NE(text.find("itg_c_d 17\n"), std::string::npos);
+  EXPECT_NE(text.find("itg_e_f_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("itg_e_f_sum 9\n"), std::string::npos);
+  EXPECT_NE(text.find("itg_e_f_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- Handle() routing ----
+
+TEST(TelemetryServerTest, HandleRoutesWithoutSockets) {
+  MetricsRegistry reg;
+  reg.counter("route.test")->Increment();
+  TelemetryServer server(&reg);  // never Start()ed: pure routing
+
+  TelemetryServer::Response metrics = server.Handle("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.body.find("itg_route_test 1\n"), std::string::npos);
+
+  TelemetryServer::Response statusz = server.Handle("/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.content_type.find("application/json"),
+            std::string::npos);
+  EXPECT_NE(statusz.body.find("\"watchdog\""), std::string::npos);
+  EXPECT_NE(statusz.body.find("\"partitions\""), std::string::npos);
+
+  TelemetryServer::Response healthz = server.Handle("/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"ok\""), std::string::npos);
+
+  EXPECT_EQ(server.Handle("/").status, 200);
+  EXPECT_NE(server.Handle("/").body.find("/metrics"), std::string::npos);
+  EXPECT_EQ(server.Handle("/no-such").status, 404);
+}
+
+// ---------------------------------------------------- socket round trip ----
+
+// Minimal blocking HTTP GET against 127.0.0.1:<port>; returns the whole
+// response (status line + headers + body) or "" on connect failure.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n"
+                    "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+TEST(TelemetryServerTest, SocketRoundTripOnEphemeralPort) {
+  MetricsRegistry reg;
+  reg.counter("socket.test")->Add(3);
+  TelemetryServer server(&reg);
+  TelemetryOptions options;
+  options.port = 0;
+  options.port_file = ::testing::TempDir() + "/telemetry_test_port";
+  ASSERT_TRUE(server.Start(options).ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  std::ifstream pf(options.port_file);
+  int port_from_file = 0;
+  pf >> port_from_file;
+  EXPECT_EQ(port_from_file, server.port());
+
+  std::string resp = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(resp.find("itg_socket_test 3\n"), std::string::npos);
+
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("HTTP/1.1 200"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/missing").find("HTTP/1.1 404"),
+            std::string::npos);
+  // Query strings are stripped before routing.
+  EXPECT_NE(HttpGet(server.port(), "/metrics?format=text")
+                .find("HTTP/1.1 200"),
+            std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  std::remove(options.port_file.c_str());
+}
+
+// ------------------------------------------------------- stall watchdog ----
+
+TEST(StallWatchdogTest, TripsOnStalledSuperstepAndRecovers) {
+  LiveStatus& live = GlobalLiveStatus();
+  live.BeginRun("watchdog-test", 7);
+  live.BeginSuperstep(0);
+
+  StallWatchdog dog;
+  StallWatchdog::Options options;
+  options.deadline_ms = 5;
+  options.poll_ms = 1;
+  dog.Start(options);
+  uint64_t deadline_polls = 0;
+  while (dog.trips() == 0 && deadline_polls++ < 1000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(dog.trips(), 1u);
+  EXPECT_FALSE(dog.healthy());
+  // One stall is reported once: staying wedged must not re-trip.
+  const uint64_t trips_after_first = dog.trips();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(dog.trips(), trips_after_first);
+
+  // Closing the superstep clears the unhealthy state (not sticky).
+  live.EndSuperstep();
+  deadline_polls = 0;
+  while (!dog.healthy() && deadline_polls++ < 1000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(dog.healthy());
+  dog.Stop();
+  live.EndRun();
+}
+
+TEST(StallWatchdogTest, DeadlineZeroNeverTrips) {
+  LiveStatus& live = GlobalLiveStatus();
+  live.BeginRun("watchdog-test-2", 8);
+  live.BeginSuperstep(0);
+  StallWatchdog dog;
+  dog.Start({/*deadline_ms=*/0, /*poll_ms=*/1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(dog.trips(), 0u);
+  EXPECT_TRUE(dog.healthy());
+  dog.Stop();
+  live.EndSuperstep();
+  live.EndRun();
+}
+
+// ------------------------------------------------------ flight recorder ----
+
+TEST(FlightRecorderTest, RingSaturatesAndKeepsNewest) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Enable(/*capacity=*/8);
+  ASSERT_TRUE(Tracer::recording());  // the RAII gates see the recorder
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span("flight_ev", "telemetry_test");
+  }
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.capacity(), 8u);
+  std::string dump = rec.Dump();
+  EXPECT_NE(dump.find("telemetry_test/flight_ev"), std::string::npos);
+  rec.Disable();
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_FALSE(Tracer::recording());
+}
+
+TEST(FlightRecorderTest, SignalDumpIsPolled) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Enable(/*capacity=*/8);
+  TraceInstant("sig_ev", "telemetry_test");
+  EXPECT_FALSE(rec.PollSignalDump());  // nothing requested yet
+  FlightRecorder::RequestSignalDump();
+  EXPECT_TRUE(rec.PollSignalDump());
+  EXPECT_FALSE(rec.PollSignalDump());  // request was consumed
+  rec.Disable();
+  rec.Clear();
+}
+
+// ----------------------------------------------------- trace span drops ----
+
+TEST(TraceDropTest, BufferCapCountsDroppedSpans) {
+  Tracer::Reset();
+  Tracer::set_max_events_per_thread(4);
+  const uint64_t counter_before =
+      GlobalRegistry().counter("trace.spans_dropped")->value();
+  Tracer::Enable();
+  for (int i = 0; i < 10; ++i) {
+    TraceInstant("drop_ev", "telemetry_test");
+  }
+  Tracer::Disable();
+  EXPECT_EQ(Tracer::event_count(), 4u);
+  EXPECT_EQ(Tracer::dropped_count(), 6u);
+  EXPECT_EQ(GlobalRegistry().counter("trace.spans_dropped")->value(),
+            counter_before + 6);
+  // The loss is exported in the trace JSON for trace_summary.py.
+  EXPECT_NE(Tracer::ToJson().find("\"droppedSpans\":6"), std::string::npos);
+  Tracer::set_max_events_per_thread(0);  // restore the default
+  EXPECT_EQ(Tracer::max_events_per_thread(),
+            Tracer::kDefaultMaxEventsPerThread);
+  Tracer::Reset();
+  EXPECT_EQ(Tracer::dropped_count(), 0u);
+}
+
+}  // namespace
+}  // namespace itg

@@ -5,9 +5,11 @@ Usage:
   report_diff.py <old.json> <new.json> [--max-regress=1.25]
                  [--min-base=100] [--verbose]
 
-Both files are --metrics-json run reports (schema version 1 or 2, see
-src/harness/run_report.h). Runs are matched by name; within a v2 run,
-operators are matched by stable operator id.
+Both files are --metrics-json run reports (schema version 1, 2 or 3, see
+src/harness/run_report.h). Runs are matched by name; within a v2+ run,
+operators are matched by stable operator id. Versions may differ between
+the two files: v3 only adds sections (per-machine barrier_wait_nanos, a
+top-level "memory" map), none of which are gated.
 
 Only *deterministic work metrics* are gated — counters that are
 bit-identical across thread counts and machines for the same program,
@@ -62,8 +64,9 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {path}: {e}")
-    if not isinstance(doc, dict) or doc.get("schema_version") not in (1, 2):
-        fail(f"{path}: not a run report (schema_version 1 or 2)")
+    if not isinstance(doc, dict) or \
+            doc.get("schema_version") not in (1, 2, 3):
+        fail(f"{path}: not a run report (schema_version 1, 2 or 3)")
     if not isinstance(doc.get("runs"), list):
         fail(f"{path}: runs is not a list")
     return doc

@@ -1,0 +1,25 @@
+# ctest driver for the live-telemetry smoke test (see top-level
+# CMakeLists.txt): tools/telemetry_client.py spawns example_lnga_run in
+# --watch mode with the embedded HTTP server on an ephemeral port, then
+# scrapes /metrics, /statusz and /healthz, asserts the stall watchdog
+# trips on the injected superstep stall and recovers, and waits for a
+# clean driver exit.
+#
+# Inputs: -DLNGA_RUN=<binary> -DPython3_EXECUTABLE=<python3>
+#         -DTELEMETRY_CLIENT=<telemetry_client.py> -DWORK_DIR=<scratch>
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${TELEMETRY_CLIENT}
+          --binary ${LNGA_RUN} --workdir ${WORK_DIR}
+          --partitions 4 --watch 6 --watchdog-ms 200 --inject-stall-ms 800
+  RESULT_VARIABLE client_rc
+  OUTPUT_VARIABLE client_out
+  ERROR_VARIABLE client_err)
+message(STATUS "telemetry_client output:\n${client_out}")
+if(NOT client_rc EQUAL 0)
+  message(FATAL_ERROR
+          "telemetry_client.py failed (${client_rc}):\n${client_err}")
+endif()

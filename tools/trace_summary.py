@@ -11,9 +11,11 @@ is set (loadable in Perfetto / chrome://tracing). Prints a per-phase wall
 time table (aggregated over span names) and the top-N longest spans.
 
 --report expects the machine-readable run report written by the bench
-binaries' --metrics-json=<path> flag (schema_version 1 or 2, see
+binaries' --metrics-json=<path> flag (schema_version 1, 2 or 3, see
 src/harness/run_report.h; version 2 adds per-run "operators" and
-"supersteps_profile" sections). Validates the schema and prints a short
+"supersteps_profile" sections, version 3 adds per-machine
+barrier_wait_nanos and a top-level "memory" section of per-structure
+current/peak byte counts). Validates the schema and prints a short
 digest. Exits non-zero on any schema violation, so it doubles as the
 ctest smoke check.
 """
@@ -67,6 +69,10 @@ def summarize_trace(path, top_n):
         # instrumented work): report it and exit cleanly.
         print(f"trace: {path}")
         print("  no spans")
+        dropped = doc.get("droppedSpans", 0)
+        if dropped:
+            print(f"  WARNING: {dropped} spans dropped (per-thread buffer "
+                  f"cap hit)")
         return
 
     # Per-phase aggregation. Nested spans are counted under each name, so
@@ -77,9 +83,14 @@ def summarize_trace(path, top_n):
         tot, cnt = by_phase.get((cat, name), (0.0, 0))
         by_phase[(cat, name)] = (tot + dur, cnt + 1)
 
+    dropped = doc.get("droppedSpans", 0)
     print(f"trace: {path}")
     print(f"  {len(spans)} spans, {sum(instants.values())} instant events, "
           f"{len(thread_names)} named threads")
+    if dropped:
+        print(f"  WARNING: {dropped} spans dropped (per-thread buffer cap "
+              f"hit; raise Tracer::set_max_events_per_thread or trace a "
+              f"shorter window)")
     print()
     print(f"  {'phase':<28} {'count':>8} {'total ms':>12} {'mean us':>12}")
     print(f"  {'-' * 28} {'-' * 8} {'-' * 12} {'-' * 12}")
@@ -185,8 +196,8 @@ def validate_report(path):
 
     expect(isinstance(doc, dict), "top level is not an object")
     version = doc.get("schema_version")
-    expect(version in (1, 2),
-           f"schema_version not in (1, 2) (got {version!r})")
+    expect(version in (1, 2, 3),
+           f"schema_version not in (1, 2, 3) (got {version!r})")
     expect(isinstance(doc.get("binary"), str), "binary is not a string")
 
     runs = doc.get("runs")
@@ -211,6 +222,10 @@ def validate_report(path):
             expect(isinstance(m, dict) and is_num(m.get("seconds"))
                    and is_uint(m.get("network_bytes")),
                    f"{where}.machines[{j}] malformed")
+            if version >= 3:
+                expect(is_uint(m.get("barrier_wait_nanos")),
+                       f"{where}.machines[{j}].barrier_wait_nanos "
+                       f"is not a non-negative integer")
         if version >= 2:
             validate_run_profile(run, where)
         else:
@@ -256,6 +271,20 @@ def validate_report(path):
            f"buffer_pool.hit_rate {pool['hit_rate']} inconsistent with "
            f"hits/misses (want {want_rate})")
 
+    memory = doc.get("memory")
+    if version >= 3:
+        expect(isinstance(memory, dict), "memory is not an object (v3)")
+        for struct_name, entry in memory.items():
+            where = f"memory[{struct_name!r}]"
+            expect(isinstance(entry, dict) and is_uint(entry.get("bytes"))
+                   and is_uint(entry.get("peak_bytes")),
+                   f"{where} missing bytes/peak_bytes")
+            expect(entry["peak_bytes"] >= entry["bytes"],
+                   f"{where}: peak_bytes {entry['peak_bytes']} below "
+                   f"current bytes {entry['bytes']}")
+    else:
+        expect(memory is None, "v3 memory section in a pre-v3 report")
+
     print(f"report: {path}")
     print(f"  binary: {doc['binary']}, {len(runs)} runs, "
           f"{len(results)} results, {len(metrics['counters'])} counters, "
@@ -276,6 +305,11 @@ def validate_report(path):
     if accesses:
         print(f"  buffer pool: {pool['hits']}/{accesses} hits "
               f"({100.0 * pool['hit_rate']:.1f}%)")
+    if memory:
+        parts = ", ".join(
+            f"{name} {entry['bytes']}B (peak {entry['peak_bytes']}B)"
+            for name, entry in sorted(memory.items()))
+        print(f"  memory: {parts}")
     print("  schema: OK")
 
 
