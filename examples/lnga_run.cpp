@@ -35,6 +35,7 @@
 #include <random>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
 #include "algos/programs.h"
 #include "common/live_status.h"
@@ -42,6 +43,7 @@
 #include "compiler/compiled_program.h"
 #include "engine/engine.h"
 #include "gen/rmat.h"
+#include "harness/audit.h"
 #include "harness/run_report.h"
 #include "storage/graph_store.h"
 
@@ -71,6 +73,17 @@ struct Args {
   int telemetry_port = -1;
   uint64_t watchdog_ms = 0;
   uint64_t inject_stall_ms = 0;
+  // Drift auditing: every K delta batches, replay the one-shot plan on
+  // the materialized snapshot in a shadow engine and diff state digests.
+  int audit_every = 0;
+  double audit_tolerance = 1e-6;
+  // Δ-record provenance (forces single-threaded execution).
+  bool lineage = false;
+  VertexId lineage_vertex = -1;
+  // Deliberate drift injection, for exercising the auditor end to end.
+  Timestamp corrupt_t = -1;
+  VertexId corrupt_vertex = -1;
+  double corrupt_delta = 0.0;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -84,6 +97,10 @@ struct Args {
       "          [--partitions N] [--watch N] [--watch-batch-ops N]\n"
       "          [--watch-delay-ms N] [--telemetry-port P]\n"
       "          [--watchdog-ms N] [--inject-stall-ms N]\n"
+      "          [--audit every=K] [--audit-tolerance X]\n"
+      "          [--lineage [vertex=V]]\n"
+      "          [--inject-corrupt-t T] [--inject-corrupt-vertex V]\n"
+      "          [--inject-corrupt-delta X]\n"
       "environment: ITG_TELEMETRY_PORT, ITG_WATCHDOG_MS,\n"
       "             ITG_TELEMETRY_PORTFILE (see README, Live telemetry)\n",
       argv0);
@@ -259,6 +276,25 @@ int main(int argc, char** argv) {
       args.watchdog_ms = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--inject-stall-ms")) {
       args.inject_stall_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--audit")) {
+      const char* a = next();
+      if (std::strncmp(a, "every=", 6) != 0) Usage(argv[0]);
+      args.audit_every = std::stoi(a + 6);
+    } else if (!std::strcmp(argv[i], "--audit-every")) {
+      args.audit_every = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--audit-tolerance")) {
+      args.audit_tolerance = std::stod(next());
+    } else if (!std::strcmp(argv[i], "--lineage")) {
+      args.lineage = true;
+      if (i + 1 < argc && !std::strncmp(argv[i + 1], "vertex=", 7)) {
+        args.lineage_vertex = std::stoll(argv[++i] + 7);
+      }
+    } else if (!std::strcmp(argv[i], "--inject-corrupt-t")) {
+      args.corrupt_t = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--inject-corrupt-vertex")) {
+      args.corrupt_vertex = std::stoll(next());
+    } else if (!std::strcmp(argv[i], "--inject-corrupt-delta")) {
+      args.corrupt_delta = std::stod(next());
     } else {
       Usage(argv[0]);
     }
@@ -308,6 +344,16 @@ int main(int argc, char** argv) {
   std::vector<Edge> edges = LoadGraph(args, &num_vertices);
   if (args.symmetric) edges = SymmetrizeEdges(edges);
 
+  // The engine's columns (and the lineage sets) are sized by
+  // num_vertices at store creation, so a mutation stream referencing a
+  // vertex beyond the base graph must widen the vertex space up front.
+  auto mutation_batches = LoadMutations(args.mutations);
+  for (const auto& batch : mutation_batches) {
+    for (const EdgeDelta& d : batch) {
+      num_vertices = std::max({num_vertices, d.edge.src + 1, d.edge.dst + 1});
+    }
+  }
+
   auto dir = std::filesystem::temp_directory_path() / "itg_lnga_run";
   std::filesystem::create_directories(dir);
   auto store_or = DynamicGraphStore::Create((dir / "store").string(),
@@ -323,7 +369,28 @@ int main(int argc, char** argv) {
   options.fixed_supersteps = supersteps;
   options.num_partitions = std::max(1, args.partitions);
   options.debug_stall_first_superstep_ms = args.inject_stall_ms;
+  options.lineage = args.lineage;
+  options.debug_corrupt_timestamp = args.corrupt_t;
+  options.debug_corrupt_vertex = args.corrupt_vertex;
+  options.debug_corrupt_delta = args.corrupt_delta;
   Engine engine(store.get(), program.get(), options);
+  std::unique_ptr<DriftAuditor> auditor;
+  if (args.audit_every > 0) {
+    DriftAuditor::Options aopt;
+    aopt.every = args.audit_every;
+    aopt.tolerance = args.audit_tolerance;
+    auditor = std::make_unique<DriftAuditor>(store.get(), &engine, source,
+                                             (dir / "audit").string(), aopt);
+  }
+  auto after_run = [&](Timestamp ts) {
+    if (auditor == nullptr) return true;
+    auditor->OnRun(ts);
+    if (Status s = auditor->MaybeAudit(ts); !s.ok()) {
+      std::fprintf(stderr, "audit failed: %s\n", s.ToString().c_str());
+      return false;
+    }
+    return true;
+  };
   RunReport report("lnga_run");
   // Whole-process profile: the engine resets its profile per run, so the
   // driver folds each run's counters into one accumulated view.
@@ -343,6 +410,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   record_run("oneshot");
+  if (!after_run(0)) return 1;
   std::printf("one-shot: %.4fs over |V|=%lld, %d supersteps\n",
               engine.last_stats().seconds,
               static_cast<long long>(num_vertices),
@@ -350,7 +418,7 @@ int main(int argc, char** argv) {
   PrintResults(engine, *program, num_vertices, args);
 
   Timestamp t = 0;
-  for (auto& batch : LoadMutations(args.mutations)) {
+  for (auto& batch : mutation_batches) {
     if (args.symmetric) {
       std::vector<EdgeDelta> sym;
       for (const EdgeDelta& d : batch) {
@@ -371,6 +439,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     record_run("incremental_t" + std::to_string(t));
+    if (!after_run(t)) return 1;
     std::printf("\nsnapshot %d (+%zu ops): incremental %.4fs\n", t,
                 batch.size(), engine.last_stats().seconds);
     PrintResults(engine, *program, num_vertices, args);
@@ -382,6 +451,10 @@ int main(int argc, char** argv) {
   if (args.watch > 0) {
     std::mt19937_64 rng(0x17506b9u);
     std::uniform_int_distribution<VertexId> pick(0, num_vertices - 1);
+    // The store's degree bookkeeping assumes insertions target absent
+    // edges and deletions present ones, so track the live edge set and
+    // resample colliding picks instead of violating the invariant.
+    std::unordered_set<Edge, EdgeHash> present(edges.begin(), edges.end());
     std::vector<Edge> inserted;
     for (int b = 0; b < args.watch; ++b) {
       std::vector<EdgeDelta> batch;
@@ -391,13 +464,29 @@ int main(int argc, char** argv) {
       for (int d = 0; d < deletes; ++d) {
         const size_t idx = rng() % inserted.size();
         batch.push_back({inserted[idx], Multiplicity{-1}});
+        present.erase(inserted[idx]);
+        if (args.symmetric) {
+          present.erase(Edge{inserted[idx].dst, inserted[idx].src});
+        }
         inserted[idx] = inserted.back();
         inserted.pop_back();
       }
       for (int ins = deletes; ins < ops; ++ins) {
         Edge e{pick(rng), pick(rng)};
-        if (e.src == e.dst) e.dst = (e.dst + 1) % num_vertices;
+        for (int tries = 0; tries < 64; ++tries) {
+          if (e.src != e.dst && present.count(e) == 0 &&
+              (!args.symmetric || present.count(Edge{e.dst, e.src}) == 0)) {
+            break;
+          }
+          e = Edge{pick(rng), pick(rng)};
+        }
+        if (e.src == e.dst || present.count(e) != 0 ||
+            (args.symmetric && present.count(Edge{e.dst, e.src}) != 0)) {
+          continue;  // dense neighborhood; skip rather than corrupt
+        }
         batch.push_back({e, Multiplicity{1}});
+        present.insert(e);
+        if (args.symmetric) present.insert(Edge{e.dst, e.src});
         inserted.push_back(e);
       }
       if (args.symmetric) {
@@ -420,6 +509,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       record_run("watch_t" + std::to_string(t));
+      if (!after_run(t)) return 1;
       std::printf("watch %d/%d: snapshot %d (+%zu ops) incremental %.4fs\n",
                   b + 1, args.watch, t, batch.size(),
                   engine.last_stats().seconds);
@@ -429,6 +519,14 @@ int main(int argc, char** argv) {
             std::chrono::milliseconds(args.watch_delay_ms));
       }
     }
+  }
+  if (args.lineage && args.lineage_vertex >= 0) {
+    if (args.lineage_vertex >= num_vertices) {
+      std::fprintf(stderr, "lineage vertex %lld out of range\n",
+                   static_cast<long long>(args.lineage_vertex));
+      return 1;
+    }
+    std::printf("\n%s", engine.ExplainLineage(args.lineage_vertex).c_str());
   }
   if (args.explain_analyze) {
     std::printf("\n%s", program->ExplainAnalyze(total_profile).c_str());
@@ -447,6 +545,7 @@ int main(int argc, char** argv) {
     }
     dot << gsa::PlanToDot(plan, &total_profile);
   }
+  if (auditor != nullptr) report.SetAudit(auditor->section());
   if (!args.metrics_json.empty()) {
     if (Status s = report.WriteTo(args.metrics_json); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());

@@ -1,0 +1,66 @@
+// Order-independent 64-bit state digests (correctness observability).
+//
+// The incremental engine's invariant is Q(G ∪ ΔG) = Q(G) ∪ ΔQ; a digest
+// of the attribute state after every timestamp makes that invariant
+// *observable*: two engines hold the same state iff their digests match
+// (modulo 64-bit collisions). The combine is a wrapping sum of per-vertex
+// hashes — commutative and associative — so the digest is bit-identical
+// no matter which thread, partition or iteration order produced the
+// cells. The per-cell hash mixes the vertex id, the element index and
+// the raw IEEE-754 bit pattern of the value, so +0.0 vs -0.0 or any
+// last-ulp drift changes the digest.
+#ifndef ITG_COMMON_DIGEST_H_
+#define ITG_COMMON_DIGEST_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace itg {
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Hash of one attribute cell: (vertex, element index, value bits).
+inline uint64_t HashCell(int64_t vertex, int element, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  uint64_t h = Mix64(static_cast<uint64_t>(vertex));
+  h = Mix64(h ^ (static_cast<uint64_t>(element) + 0x632be59bd9b4e019ull));
+  return Mix64(h ^ bits);
+}
+
+/// Digest of one dense column (`width` doubles per vertex, row-major).
+/// Per-vertex hashes combine by wrapping addition, so any enumeration
+/// order over the vertices yields the same digest.
+inline uint64_t ColumnDigest(const double* data, int64_t num_vertices,
+                             int width) {
+  uint64_t sum = 0;
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    const double* cell = data + static_cast<size_t>(v) * width;
+    uint64_t h = 0;
+    for (int i = 0; i < width; ++i) {
+      h ^= HashCell(v, i, cell[i]);
+    }
+    sum += h;
+  }
+  return sum;
+}
+
+/// Folds one named column digest into a combined state digest. Mixing in
+/// a per-attribute salt keeps two attributes with swapped columns from
+/// colliding; the fold itself is a wrapping add so the attribute
+/// iteration order does not matter either.
+inline uint64_t CombineColumnDigest(uint64_t combined, int attr_salt,
+                                    uint64_t column_digest) {
+  return combined +
+         Mix64(column_digest ^ Mix64(static_cast<uint64_t>(attr_salt)));
+}
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_DIGEST_H_

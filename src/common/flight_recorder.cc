@@ -15,6 +15,17 @@ namespace {
 // poll well-defined too.
 std::atomic<int> g_dump_requested{0};
 
+// Only lock-free atomics are async-signal-safe (POSIX: a handler may not
+// touch anything that can block, including a mutex-protected atomic
+// emulation), so refuse to build where std::atomic<int> would degrade to
+// a locking implementation.
+static_assert(std::atomic<int>::is_always_lock_free,
+              "SIGUSR1 handler requires a lock-free std::atomic<int>");
+
+// CONTRACT: this handler must stay async-signal-safe. It may only store
+// to lock-free atomics — no allocation, no locks, no logging, no call
+// into FlightRecorder (whose ring is mutex-protected). The actual dump
+// happens later, on the watchdog/telemetry thread, via PollSignalDump().
 void Sigusr1Handler(int /*signo*/) {
   g_dump_requested.store(1, std::memory_order_relaxed);
 }

@@ -61,6 +61,17 @@ void LiveStatus::SetPartitions(
   partitions_ = partitions;
 }
 
+void LiveStatus::SetDigest(uint64_t digest, int64_t timestamp) {
+  state_digest_.store(digest, std::memory_order_relaxed);
+  digest_timestamp_.store(timestamp, std::memory_order_relaxed);
+}
+
+void LiveStatus::RecordAudit(bool ok) {
+  audits_total_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) audit_failures_.fetch_add(1, std::memory_order_relaxed);
+  last_audit_ok_.store(ok, std::memory_order_relaxed);
+}
+
 LiveStatus::Snapshot LiveStatus::Snap() const {
   Snapshot snap;
   {
@@ -76,6 +87,11 @@ LiveStatus::Snapshot LiveStatus::Snap() const {
   snap.delta_seq = delta_seq_.load(std::memory_order_relaxed);
   snap.runs_total = runs_total_.load(std::memory_order_relaxed);
   snap.supersteps_total = supersteps_total_.load(std::memory_order_relaxed);
+  snap.state_digest = state_digest_.load(std::memory_order_relaxed);
+  snap.digest_timestamp = digest_timestamp_.load(std::memory_order_relaxed);
+  snap.audits_total = audits_total_.load(std::memory_order_relaxed);
+  snap.audit_failures = audit_failures_.load(std::memory_order_relaxed);
+  snap.last_audit_ok = last_audit_ok_.load(std::memory_order_relaxed);
   if (snap.in_superstep) {
     uint64_t start = superstep_start_nanos_.load(std::memory_order_relaxed);
     uint64_t now = NowNanos();

@@ -38,6 +38,12 @@ class LiveStatus {
     uint64_t runs_total = 0;
     uint64_t supersteps_total = 0;
     uint64_t superstep_age_nanos = 0;  ///< 0 unless in_superstep
+    // Correctness audit (state digests + drift auditor verdicts).
+    uint64_t state_digest = 0;     ///< end-of-run digest of the last run
+    int64_t digest_timestamp = -1; ///< snapshot t the digest belongs to
+    uint64_t audits_total = 0;     ///< drift audits performed
+    uint64_t audit_failures = 0;   ///< audits that found divergence
+    bool last_audit_ok = true;
     std::vector<PartitionState> partitions;
   };
 
@@ -49,6 +55,10 @@ class LiveStatus {
   void EndSuperstep();
   void SetDeltaSeq(int64_t seq);
   void SetPartitions(const std::vector<PartitionState>& partitions);
+  /// End-of-run state digest of snapshot `timestamp`.
+  void SetDigest(uint64_t digest, int64_t timestamp);
+  /// One drift-audit verdict (ok = no divergence).
+  void RecordAudit(bool ok);
 
   // ---- reader side -------------------------------------------------------
   Snapshot Snap() const;
@@ -87,6 +97,11 @@ class LiveStatus {
   std::atomic<uint64_t> supersteps_total_{0};
   std::atomic<uint64_t> superstep_start_nanos_{0};
   std::atomic<uint64_t> progress_epoch_{0};
+  std::atomic<uint64_t> state_digest_{0};
+  std::atomic<int64_t> digest_timestamp_{-1};
+  std::atomic<uint64_t> audits_total_{0};
+  std::atomic<uint64_t> audit_failures_{0};
+  std::atomic<bool> last_audit_ok_{true};
 };
 
 /// The process-wide live status every engine instance reports into and

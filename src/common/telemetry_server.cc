@@ -175,6 +175,19 @@ std::string RenderStatusz(const LiveStatus::Snapshot& live,
   }
   out.push_back('}');
 
+  // Incremental-correctness observability: the latest state digest and
+  // the drift auditor's running verdict counts.
+  out.append(",\"audit\":{\"state_digest\":")
+      .append(std::to_string(live.state_digest));
+  out.append(",\"digest_timestamp\":")
+      .append(std::to_string(live.digest_timestamp));
+  out.append(",\"audits_total\":").append(std::to_string(live.audits_total));
+  out.append(",\"audit_failures\":")
+      .append(std::to_string(live.audit_failures));
+  out.append(",\"last_audit_ok\":")
+      .append(live.last_audit_ok ? "true" : "false");
+  out.push_back('}');
+
   out.append(",\"partitions\":[");
   for (size_t i = 0; i < live.partitions.size(); ++i) {
     const LiveStatus::PartitionState& p = live.partitions[i];

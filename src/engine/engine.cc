@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <thread>
 
+#include "common/digest.h"
 #include "common/live_status.h"
 #include "common/logging.h"
 #include "common/trace.h"
@@ -188,6 +190,13 @@ Engine::Engine(DynamicGraphStore* store, const CompiledProgram* program,
                      ? std::min(options_.num_threads,
                                 Metrics::kMaxTrackedThreads)
                      : ThreadPool::DefaultThreads();
+  if (options_.lineage) {
+    // Provenance tagging hooks the sequential emission sink; force the
+    // byte-for-byte sequential path so every applied emission passes
+    // through it.
+    num_threads_ = 1;
+    lineage_ = std::make_unique<LineageTracker>(store_->num_vertices());
+  }
   InitGlobals(&cur_globals_);
   if (options_.num_partitions > 1) {
     for (int m = 0; m < options_.num_partitions; ++m) {
@@ -655,6 +664,29 @@ void Engine::ApplyEmissionValue(const Emission& emission, VertexId target,
 // ---------------------------------------------------------------------------
 
 WalkSink Engine::MakeApplySink(const WalkJob& job) {
+  if (lineage_ == nullptr) {
+    return [this, &job](const VertexId* row, int depth, int mult) {
+      if (depth < job.min_emit_depth) return;
+      for (const Emission& e : program_->traverse.emissions) {
+        if (e.stmt_depth != depth) continue;
+        if (job.monoid_only) {
+          if (e.is_global || !IsAccmMonoid(e.target)) continue;
+          const std::vector<uint8_t>& marks =
+              (*job.target_marks)[static_cast<size_t>(e.target)];
+          if (marks.empty() ||
+              !marks[static_cast<size_t>(row[e.target_depth])]) {
+            continue;
+          }
+        }
+        ApplyEmission(e, row, depth + 1, job.mult_sign * mult, *job.eval_cols,
+                      *job.eval_globals, job.eval_t);
+      }
+    };
+  }
+  // Lineage mode (sequential by construction): after each emission that
+  // actually applied (guards passed), the target absorbs the walk start's
+  // provenance set, plus the id of the delta edge the walk crossed when
+  // this is a q_es_p sub-query.
   return [this, &job](const VertexId* row, int depth, int mult) {
     if (depth < job.min_emit_depth) return;
     for (const Emission& e : program_->traverse.emissions) {
@@ -668,8 +700,23 @@ WalkSink Engine::MakeApplySink(const WalkJob& job) {
           continue;
         }
       }
+      const uint64_t applied0 = stats_.emissions_applied;
       ApplyEmission(e, row, depth + 1, job.mult_sign * mult, *job.eval_cols,
                     *job.eval_globals, job.eval_t);
+      if (e.is_global || stats_.emissions_applied == applied0) continue;
+      int64_t delta_id = -1;
+      if (job.delta_level > 0 && depth >= job.delta_level) {
+        // The walk crossed ΔE between positions p-1 and p; translate the
+        // traversal step into the stored (kOut) orientation for lookup.
+        const int p = job.delta_level;
+        const Direction dir =
+            program_->traverse.levels[static_cast<size_t>(p - 1)].dir;
+        const Edge stored = (dir == Direction::kOut)
+                                ? Edge{row[p - 1], row[p]}
+                                : Edge{row[p], row[p - 1]};
+        delta_id = lineage_->DeltaEdgeId(stored);
+      }
+      lineage_->OnEmission(row[0], row[e.target_depth], delta_id);
     }
   };
 }
@@ -1168,11 +1215,15 @@ Status Engine::RunOneShot(Timestamp t) {
     RecordSuperstep(s, /*incremental=*/false, active_size, active_size,
                     ss_emissions0, ss_windows0, ss_edges0, ss_wall0, ss_cpu0,
                     ss_shuffle0);
+    if (options_.digest_per_superstep) {
+      profile_.supersteps().back().state_digest = ComputeStateDigest();
+    }
     PublishSuperstepTelemetry(ss_seconds0);
     GlobalLiveStatus().EndSuperstep();
     ++s;
   }
   FoldWalkCounters(walk_base, starts_base);
+  PublishStateDigest(t);
 
   last_run_t_ = t;
   prev_supersteps_ = s;
@@ -1205,6 +1256,9 @@ Status Engine::RunIncremental(Timestamp t) {
   }
   TraceSpan run_span("incremental", "engine", t);
   LiveRunScope live_run("incremental", t);
+  if (lineage_ != nullptr) {
+    ITG_RETURN_IF_ERROR(lineage_->BeginTimestamp(store_, t));
+  }
   Stopwatch watch;
   Metrics& metrics = *store_->metrics();
   const uint64_t read0 = metrics.read_bytes();
@@ -1412,6 +1466,19 @@ Status Engine::RunIncremental(Timestamp t) {
       }
     }
 
+    // Drift-injection test hook (audit_smoke): corrupt one audited cell
+    // after ΔUpdate and put the vertex in the candidate domain so the
+    // corrupted after-image persists into the delta files — the same
+    // footprint as real silent state corruption.
+    if (t == options_.debug_corrupt_timestamp && s == 0 &&
+        options_.debug_corrupt_vertex >= 0 &&
+        options_.debug_corrupt_vertex < n && !AuditedAttrs().empty()) {
+      cur_cols_.Cell(AuditedAttrs().front(),
+                     options_.debug_corrupt_vertex)[0] +=
+          options_.debug_corrupt_delta;
+      domain.push_back(options_.debug_corrupt_vertex);
+    }
+
     if (options_.record_history) {
       // File condition (§5.5): changed vs previous superstep OR vs the
       // previous snapshot at this superstep.
@@ -1428,11 +1495,15 @@ Status Engine::RunIncremental(Timestamp t) {
     RecordSuperstep(s, /*incremental=*/true, cur_active.size(),
                     changed_starts.size(), ss_emissions0, ss_windows0,
                     ss_edges0, ss_wall0, ss_cpu0, ss_shuffle0);
+    if (options_.digest_per_superstep) {
+      profile_.supersteps().back().state_digest = ComputeStateDigest();
+    }
     PublishSuperstepTelemetry(ss_seconds0);
     GlobalLiveStatus().EndSuperstep();
     ++s;
   }
   FoldWalkCounters(walk_base, starts_base);
+  PublishStateDigest(t);
 
   if (options_.record_history) {
     ITG_RETURN_IF_ERROR(vs->MaintainAfterSnapshot(t, pool));
@@ -1593,6 +1664,7 @@ Status Engine::RunDeltaTraverse(Timestamp t, Superstep s,
     }
     job.max_depth = k;
     job.min_emit_depth = plan.p;
+    job.delta_level = plan.p;
     job.eval_cols = &cur_cols_;
     job.eval_globals = &cur_globals_;
     job.eval_t = t;
@@ -1755,8 +1827,19 @@ Status Engine::RunAnchoredClosing(Timestamp t, int p) {
             }
             for (const Emission& em : program_->traverse.emissions) {
               if (em.stmt_depth != k) continue;
+              const uint64_t applied0 = stats_.emissions_applied;
               ApplyEmission(em, row.data(), k + 1, m, cur_cols_,
                             cur_globals_, t);
+              if (lineage_ != nullptr && !em.is_global &&
+                  stats_.emissions_applied != applied0) {
+                // ScanDeltas(kIn) pre-flips edges to traversal
+                // orientation; flip back for the stored-edge lookup.
+                const Edge stored = (delta_dir == Direction::kOut)
+                                        ? Edge{a, b}
+                                        : Edge{b, a};
+                lineage_->OnEmission(row[0], row[em.target_depth],
+                                     lineage_->DeltaEdgeId(stored));
+              }
             }
             return;
           }
@@ -1958,6 +2041,63 @@ const std::vector<int>& Engine::AttrFileAttrs() const {
     }
   }
   return attr_file_attrs_;
+}
+
+// ---------------------------------------------------------------------------
+// Correctness observability (state digests, lineage reports)
+// ---------------------------------------------------------------------------
+
+std::vector<int> Engine::AuditedAttrs() const {
+  std::vector<int> out;
+  for (int a : AttrFileAttrs()) {
+    // Activation schedules work; it is not part of the query answer and
+    // legitimately differs between incremental and one-shot execution
+    // under fixed_supersteps.
+    if (a == program_->active_attr) continue;
+    out.push_back(a);
+  }
+  return out;
+}
+
+uint64_t Engine::ComputeStateDigest(
+    std::vector<std::pair<std::string, uint64_t>>* per_attr) const {
+  uint64_t combined = 0;
+  for (int attr : AuditedAttrs()) {
+    const uint64_t col =
+        ColumnDigest(cur_cols_.Column(attr).data(), cur_cols_.num_vertices(),
+                     cur_cols_.width(attr));
+    if (per_attr != nullptr) {
+      per_attr->emplace_back(program_->vertex_attrs[attr].name, col);
+    }
+    combined = CombineColumnDigest(combined, attr, col);
+  }
+  return Mix64(combined);
+}
+
+void Engine::PublishStateDigest(Timestamp t) {
+  stats_.state_digest = ComputeStateDigest();
+  if (store_->metrics() != nullptr) {
+    store_->metrics()->registry().gauge("audit.state_digest")->Set(
+        static_cast<int64_t>(stats_.state_digest));
+  }
+  GlobalLiveStatus().SetDigest(stats_.state_digest, t);
+}
+
+std::string Engine::ExplainLineage(VertexId v) const {
+  if (lineage_ == nullptr) return "";
+  std::string out = "lineage of vertex " + std::to_string(v) + ":\n";
+  for (int attr : AuditedAttrs()) {
+    out += "  " + program_->vertex_attrs[attr].name + " = ";
+    const double* cell = cur_cols_.Cell(attr, v);
+    for (int i = 0; i < cur_cols_.width(attr); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), i > 0 ? " %g" : "%g", cell[i]);
+      out += buf;
+    }
+    out += "\n";
+  }
+  out += lineage_->Explain(v);
+  return out;
 }
 
 const std::vector<int>& Engine::AccmFileAttrs() const {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/memory_budget.h"
@@ -13,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "compiler/compiled_program.h"
 #include "engine/columns.h"
+#include "engine/lineage.h"
 #include "engine/walk.h"
 #include "gsa/profile.h"
 #include "storage/graph_store.h"
@@ -56,6 +58,25 @@ struct EngineOptions {
   /// superstep of every run. The sleep is observation-neutral (no work
   /// counter moves), so fingerprints are unaffected. 0 = off.
   uint64_t debug_stall_first_superstep_ms = 0;
+  /// Also digest the attribute state after every superstep into the
+  /// superstep timeline (the end-of-run digest is always computed).
+  /// Observation-only — no work counter or accumulator moves.
+  bool digest_per_superstep = false;
+  /// Opt-in Δ-record provenance: track a bounded set of contributing
+  /// input-mutation ids per vertex (see engine/lineage.h). Forces the
+  /// sequential walk path so every applied emission passes through the
+  /// tagging sink.
+  bool lineage = false;
+  /// Drift-injection test hooks (audit_smoke): during
+  /// RunIncremental(debug_corrupt_timestamp), superstep 0, add
+  /// debug_corrupt_delta to the first audited attribute of
+  /// debug_corrupt_vertex right after the ΔUpdate block — and add the
+  /// vertex to the ΔUpdate domain so the corrupted after-image persists
+  /// into the delta files exactly like real silent state corruption
+  /// would. timestamp/vertex = -1 disables.
+  Timestamp debug_corrupt_timestamp = -1;
+  VertexId debug_corrupt_vertex = -1;
+  double debug_corrupt_delta = 0.0;
 };
 
 /// Per-machine outcome of a partitioned run.
@@ -96,6 +117,10 @@ struct RunStats {
   /// see ThreadPool::critical_nanos): the wall time of the parallel
   /// sections with one core per worker.
   uint64_t critical_nanos = 0;
+  /// Order-independent digest of the audited attribute columns at the
+  /// end of the run (Engine::ComputeStateDigest). Deterministic across
+  /// thread counts; a state fingerprint, not a work counter.
+  uint64_t state_digest = 0;
 };
 
 /// The iTurboGraph runtime engine: executes compiled L_NGA programs over
@@ -155,7 +180,31 @@ class Engine {
   /// shuffle volume / bandwidth). Meaningful when num_partitions > 1.
   double SimulatedDistributedSeconds() const;
 
+  // ---- correctness observability ---------------------------------------
+  /// Order-independent 64-bit digest of the audited attribute columns of
+  /// the current state (common/digest.h). Bit-identical across thread
+  /// counts; for integer-valued programs also across partition counts
+  /// (floating-point SUM order differs between partitionings).
+  /// `per_attr`, when non-null, receives (attribute name, column digest)
+  /// pairs in program-attribute order.
+  uint64_t ComputeStateDigest(
+      std::vector<std::pair<std::string, uint64_t>>* per_attr =
+          nullptr) const;
+  /// The audit/digest domain: the program's result attributes — non-accm,
+  /// non-virtual, minus the activation flag (activation schedules work;
+  /// it is not part of the query answer and legitimately differs between
+  /// incremental and one-shot execution under fixed_supersteps).
+  std::vector<int> AuditedAttrs() const;
+  /// Read access to the current attribute state (audit column diffs).
+  const ColumnSet& columns() const { return cur_cols_; }
+  /// Provenance report for `v`: current audited values plus the
+  /// derivation chain of contributing raw edge mutations. Empty string
+  /// unless EngineOptions::lineage is set.
+  std::string ExplainLineage(VertexId v) const;
+  const LineageTracker* lineage() const { return lineage_.get(); }
+
  private:
+  friend class EngineTestPeer;
   // ---- shared helpers -------------------------------------------------
   void FillDegreeColumns(ColumnSet* cols, Timestamp t);
   void RunInitialize(ColumnSet* cols,
@@ -197,6 +246,9 @@ class Engine {
     int mult_sign = 1;
     /// Restrict to monoid emissions onto marked targets (recompute jobs).
     bool monoid_only = false;
+    /// Delta-stream level of a q_es_p sub-query (depth at which the walk
+    /// crosses ΔE); -1 for non-delta jobs. Lineage tagging only.
+    int delta_level = -1;
     const std::vector<std::vector<uint8_t>>* target_marks = nullptr;
     const ColumnSet* eval_cols = nullptr;
     const std::vector<std::vector<double>>* eval_globals = nullptr;
@@ -261,6 +313,10 @@ class Engine {
   void MarkRecompute(int attr, VertexId v);
   void UnmarkRecompute(int attr, VertexId v);
   void ClearRecomputeState();
+
+  /// End-of-run digest: fills RunStats::state_digest and mirrors it into
+  /// the metrics registry and GlobalLiveStatus. Observation-only.
+  void PublishStateDigest(Timestamp t);
 
   /// Runs Update for every touched vertex of `cols` in place (clears all
   /// activations first; Update re-activates).
@@ -351,6 +407,9 @@ class Engine {
   Timestamp last_run_t_ = -1;
   Superstep prev_supersteps_ = 0;
   RunStats stats_;
+
+  // Δ-record provenance (null unless options_.lineage).
+  std::unique_ptr<LineageTracker> lineage_;
 
   // Resident accumulator-column bytes (cur + prev column sets), mirrored
   // into mem.accumulator_columns.* of the store's registry.

@@ -1,0 +1,83 @@
+#include "engine/lineage.h"
+
+#include <algorithm>
+
+#include "storage/graph_store.h"
+
+namespace itg {
+
+LineageTracker::LineageTracker(VertexId num_vertices)
+    : ids_(static_cast<size_t>(num_vertices)),
+      overflow_(static_cast<size_t>(num_vertices), 0) {}
+
+Status LineageTracker::BeginTimestamp(DynamicGraphStore* store, Timestamp t) {
+  edge_ids_.clear();
+  uint32_t ordinal = 0;
+  ITG_RETURN_IF_ERROR(store->ScanDeltas(
+      store->pool(), t, Direction::kOut, [&](Edge e, Multiplicity m) {
+        const uint64_t id = MakeId(t, ordinal++);
+        edge_ids_.emplace(e, id);
+        info_.emplace(id, MutationInfo{t, e, m});
+      }));
+  return Status::OK();
+}
+
+int64_t LineageTracker::DeltaEdgeId(const Edge& stored_edge) const {
+  auto it = edge_ids_.find(stored_edge);
+  if (it == edge_ids_.end()) return -1;
+  return static_cast<int64_t>(it->second);
+}
+
+void LineageTracker::Add(std::vector<uint64_t>* set, uint64_t* overflow,
+                         uint64_t id) {
+  auto it = std::lower_bound(set->begin(), set->end(), id);
+  if (it != set->end() && *it == id) return;
+  if (set->size() >= kMaxIdsPerVertex) {
+    ++*overflow;
+    return;
+  }
+  set->insert(it, id);
+}
+
+void LineageTracker::OnEmission(VertexId start, VertexId target,
+                                int64_t delta_edge_id) {
+  auto* dst = &ids_[static_cast<size_t>(target)];
+  auto* ovf = &overflow_[static_cast<size_t>(target)];
+  if (delta_edge_id >= 0) {
+    Add(dst, ovf, static_cast<uint64_t>(delta_edge_id));
+  }
+  if (start == target) return;
+  // Copy: the start set must not alias the target set while inserting.
+  const std::vector<uint64_t> src = ids_[static_cast<size_t>(start)];
+  for (uint64_t id : src) Add(dst, ovf, id);
+}
+
+const LineageTracker::MutationInfo* LineageTracker::Info(uint64_t id) const {
+  auto it = info_.find(id);
+  return it == info_.end() ? nullptr : &it->second;
+}
+
+std::string LineageTracker::Explain(VertexId v) const {
+  const auto& set = ids_[static_cast<size_t>(v)];
+  std::string out = "  contributing mutations (" + std::to_string(set.size());
+  const uint64_t ovf = overflow_[static_cast<size_t>(v)];
+  if (ovf > 0) out += ", +" + std::to_string(ovf) + " dropped at cap";
+  out += "):\n";
+  if (set.empty()) {
+    out += "    (none — value derives from the base graph alone)\n";
+    return out;
+  }
+  // Ids sort by (timestamp, ordinal), so this prints oldest batch first.
+  for (uint64_t id : set) {
+    const MutationInfo* info = Info(id);
+    if (info == nullptr) continue;
+    out += "    t=" + std::to_string(info->timestamp) + " #" +
+           std::to_string(static_cast<uint32_t>(id)) + ": " +
+           (info->mult > 0 ? "+edge " : "-edge ") +
+           std::to_string(info->edge.src) + "->" +
+           std::to_string(info->edge.dst) + "\n";
+  }
+  return out;
+}
+
+}  // namespace itg

@@ -1,0 +1,85 @@
+// Δ-record provenance (opt-in --lineage mode): a bounded per-vertex set
+// of contributing input-mutation ids, threaded through the emission sink
+// of the GSA walk operators. Every mutation of every Δ-batch gets a
+// stable id ((timestamp << 32) | ordinal in the stored scan order); when
+// a Δ-walk crossing a delta edge applies an emission onto a vertex, the
+// target's set absorbs that edge's id plus the walk start's set — so a
+// vertex's set names the raw edge mutations its current value derives
+// from, and Explain() prints the derivation chain.
+//
+// The sets are capped (kMaxIdsPerVertex) with an overflow counter, so
+// memory stays O(V) no matter how long the mutation stream runs.
+#ifndef ITG_ENGINE_LINEAGE_H_
+#define ITG_ENGINE_LINEAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace itg {
+
+class DynamicGraphStore;
+
+class LineageTracker {
+ public:
+  static constexpr size_t kMaxIdsPerVertex = 16;
+
+  struct MutationInfo {
+    Timestamp timestamp = 0;
+    Edge edge;
+    Multiplicity mult = 0;
+  };
+
+  explicit LineageTracker(VertexId num_vertices);
+
+  /// Registers snapshot t's mutation batch: each mutation gets the id
+  /// ((t << 32) | ordinal) in the stored (kOut) scan order, and the
+  /// delta-edge → id lookup switches to this batch.
+  Status BeginTimestamp(DynamicGraphStore* store, Timestamp t);
+
+  /// Id of a current-batch delta edge in stored (kOut) orientation;
+  /// -1 when the edge is not part of the current batch.
+  int64_t DeltaEdgeId(const Edge& stored_edge) const;
+
+  /// Records one applied emission: `target` absorbs `start`'s set plus
+  /// `delta_edge_id` (ignored when negative), capped with overflow
+  /// accounting.
+  void OnEmission(VertexId start, VertexId target, int64_t delta_edge_id);
+
+  /// Sorted mutation ids currently attributed to `v`.
+  const std::vector<uint64_t>& Ids(VertexId v) const {
+    return ids_[static_cast<size_t>(v)];
+  }
+  /// Ids dropped on `v` because its set was full.
+  uint64_t Overflow(VertexId v) const {
+    return overflow_[static_cast<size_t>(v)];
+  }
+  /// Decodes a mutation id (null when never registered).
+  const MutationInfo* Info(uint64_t id) const;
+
+  /// Human-readable derivation chain of `v`: one line per contributing
+  /// raw edge mutation, oldest batch first.
+  std::string Explain(VertexId v) const;
+
+  static uint64_t MakeId(Timestamp t, uint32_t ordinal) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(t)) << 32) | ordinal;
+  }
+
+ private:
+  void Add(std::vector<uint64_t>* set, uint64_t* overflow, uint64_t id);
+
+  std::vector<std::vector<uint64_t>> ids_;
+  std::vector<uint64_t> overflow_;
+  // Current batch: stored-orientation delta edge -> mutation id.
+  std::unordered_map<Edge, uint64_t, EdgeHash> edge_ids_;
+  // All batches: mutation id -> decoded record.
+  std::unordered_map<uint64_t, MutationInfo> info_;
+};
+
+}  // namespace itg
+
+#endif  // ITG_ENGINE_LINEAGE_H_

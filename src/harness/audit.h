@@ -1,0 +1,108 @@
+// Drift auditor: the runtime check that the incremental invariant
+// Q(G ∪ ΔG₁..ΔG_t) = Q(G) ∪ ΔQ still holds at timestamp t.
+//
+// Every K delta batches (`--audit every=K`) the auditor replays the
+// one-shot plan from scratch on the materialized snapshot G ∪ ΔG₁..ΔG_t
+// in a shadow engine over a throwaway store, and diffs state digests —
+// then columns, on mismatch — against the live incremental state. A
+// digest mismatch whose per-cell differences stay within tolerance is
+// floating-point accumulation noise (incremental PR matches one-shot to
+// ~1e-9, not bit-exactly) and counts as a pass-with-flag; anything beyond
+// tolerance is a divergence.
+//
+// On divergence the auditor *bisects*: it re-executes one clean
+// incremental chain (same plan, same rounding — so bit-exact against an
+// uncorrupted live run for every program, floats included) from the base
+// snapshot forward, collecting per-timestamp digests, and binary-searches
+// them against the recorded live digests to pinpoint the first offending
+// Δ-batch. The clean chain's final state also yields the exact divergent
+// vertex/attribute set. The verdict lands in the run report's schema v4
+// `audit` section, /statusz, the metrics registry, and a flight-recorder
+// dump.
+#ifndef ITG_HARNESS_AUDIT_H_
+#define ITG_HARNESS_AUDIT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "harness/run_report.h"
+#include "storage/graph_store.h"
+
+namespace itg {
+
+class DriftAuditor {
+ public:
+  struct Options {
+    /// Audit every K delta batches (0 = only on explicit AuditNow).
+    int every = 0;
+    /// Per-cell |live - shadow| allowed before declaring divergence.
+    double tolerance = 1e-6;
+    /// Cap on the divergent-vertex sample in the report.
+    size_t max_divergent_vertices = 32;
+    /// Bisect to the first offending batch on divergence.
+    bool bisect = true;
+    /// Store options for the throwaway shadow/replay stores.
+    DynamicGraphStore::Options store;
+  };
+
+  /// `store`/`engine` are the live pipeline (not owned); `program_source`
+  /// recompiles for shadow engines; `scratch_path` prefixes throwaway
+  /// store files.
+  DriftAuditor(DynamicGraphStore* store, Engine* engine,
+               std::string program_source, std::string scratch_path,
+               const Options& options);
+
+  /// Records the live end-of-run digest of timestamp `t`; call right
+  /// after every RunOneShot / RunIncremental.
+  void OnRun(Timestamp t);
+
+  /// Audits iff `t` lands on the configured cadence. A detected
+  /// divergence is a *finding* (recorded in section()), not an error;
+  /// the Status reports only infrastructure failures.
+  Status MaybeAudit(Timestamp t);
+
+  /// Unconditional audit of timestamp `t`.
+  Status AuditNow(Timestamp t);
+
+  const AuditSection& section() const { return section_; }
+
+ private:
+  /// Shadow store + engine over the materialized edge set of snapshot
+  /// `t`, with every debug/corruption hook cleared.
+  StatusOr<std::unique_ptr<Engine>> MakeShadow(
+      Timestamp t, bool record_history,
+      std::unique_ptr<DynamicGraphStore>* store_out);
+
+  /// Tolerance diff of `shadow` vs the live engine over the audited
+  /// attributes. Fills `out` (attrs/vertices/counts) with the
+  /// beyond-tolerance cells; `within_tolerance` reports whether every
+  /// differing cell stayed under tolerance.
+  void DiffColumns(const Engine& shadow, AuditDivergence* out,
+                   bool* within_tolerance) const;
+
+  /// Clean forward replay G₀ → t with per-timestamp digests; binary
+  /// search against the live digest history for the first bad batch and
+  /// the exact divergent set (bit-exact: both sides are incremental runs
+  /// with identical accumulation order).
+  Status Bisect(Timestamp t, AuditDivergence* out);
+
+  void RecordVerdict(bool ok);
+
+  DynamicGraphStore* store_;
+  Engine* engine_;
+  std::string source_;
+  std::string scratch_path_;
+  Options options_;
+  AuditSection section_;
+  /// Compiled once, shared by every shadow engine (it's immutable).
+  std::unique_ptr<CompiledProgram> shadow_program_;
+  int shadow_counter_ = 0;
+};
+
+}  // namespace itg
+
+#endif  // ITG_HARNESS_AUDIT_H_

@@ -69,7 +69,7 @@ void RunReport::AddResult(const std::string& name, double value) {
 std::string RunReport::ToJson() const {
   std::string out;
   out.reserve(4096);
-  out.append("{\"schema_version\":3,\"binary\":");
+  out.append("{\"schema_version\":4,\"binary\":");
   AppendJsonString(&out, binary_);
   out.append(",\"runs\":[");
   bool first = true;
@@ -104,6 +104,7 @@ std::string RunReport::ToJson() const {
     AppendField(&out, "steals", s.steals);
     AppendField(&out, "busy_nanos", s.busy_nanos);
     AppendField(&out, "critical_nanos", s.critical_nanos);
+    AppendField(&out, "state_digest", s.state_digest);
     out.append("\"machines\":[");
     for (size_t m = 0; m < run.machines.size(); ++m) {
       if (m > 0) out.push_back(',');
@@ -161,6 +162,7 @@ std::string RunReport::ToJson() const {
         AppendField(&out, "edges", ss.edges);
         AppendField(&out, "wall_nanos", ss.wall_nanos);
         AppendField(&out, "cpu_nanos", ss.cpu_nanos);
+        AppendField(&out, "state_digest", ss.state_digest);
         out.append("\"shuffle_bytes\":[");
         for (size_t m = 0; m < ss.shuffle_bytes.size(); ++m) {
           if (m > 0) out.push_back(',');
@@ -232,7 +234,59 @@ std::string RunReport::ToJson() const {
                 /*trailing_comma=*/false);
     out.push_back('}');
   }
-  out.append("}}");
+  out.push_back('}');
+
+  // Schema v4: the drift auditor's outcome (omitted unless attached).
+  if (has_audit_) {
+    out.append(",\"audit\":{\"enabled\":");
+    out.append(audit_.enabled ? "true," : "false,");
+    AppendField(&out, "every", static_cast<uint64_t>(audit_.every));
+    out.append("\"tolerance\":");
+    AppendDouble(&out, audit_.tolerance);
+    out.push_back(',');
+    AppendField(&out, "audits", audit_.audits);
+    AppendField(&out, "digest_mismatches", audit_.digest_mismatches);
+    out.append("\"last_verified\":");
+    out.append(std::to_string(audit_.last_verified));
+    out.append(",\"digests\":[");
+    for (size_t i = 0; i < audit_.digests.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append("{\"timestamp\":");
+      out.append(std::to_string(audit_.digests[i].first));
+      out.push_back(',');
+      AppendField(&out, "digest", audit_.digests[i].second,
+                  /*trailing_comma=*/false);
+      out.push_back('}');
+    }
+    const AuditDivergence& d = audit_.divergence;
+    out.append("],\"divergence\":{\"found\":");
+    out.append(d.found ? "true," : "false,");
+    out.append("\"detected_at\":");
+    out.append(std::to_string(d.detected_at));
+    out.append(",\"first_bad_batch\":");
+    out.append(std::to_string(d.first_bad_batch));
+    out.append(",\"bisection_probes\":");
+    out.append(std::to_string(d.bisection_probes));
+    out.append(",\"attrs\":[");
+    for (size_t i = 0; i < d.attrs.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendJsonString(&out, d.attrs[i]);
+    }
+    out.append("],");
+    AppendField(&out, "divergent_vertices", d.divergent_vertices);
+    out.append("\"vertices\":[");
+    for (size_t i = 0; i < d.vertices.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(std::to_string(d.vertices[i]));
+    }
+    out.append("],");
+    AppendField(&out, "expected_digest", d.expected_digest);
+    AppendField(&out, "actual_digest", d.actual_digest,
+                /*trailing_comma=*/false);
+    out.append("}}");
+  }
+
+  out.push_back('}');
   return out;
 }
 

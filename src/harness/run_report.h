@@ -10,14 +10,52 @@
 
 namespace itg {
 
+/// Structured outcome of one drift divergence (schema v4 `audit` section,
+/// filled by harness::DriftAuditor when a shadow replay disagrees with
+/// the incremental state beyond tolerance).
+struct AuditDivergence {
+  bool found = false;
+  /// Audited timestamp at which the divergence was detected.
+  Timestamp detected_at = -1;
+  /// First offending Δ-batch, pinpointed by bisecting the live digest
+  /// history against a clean incremental replay.
+  Timestamp first_bad_batch = -1;
+  /// Replay probes the bisection spent (log₂ of the suspect range).
+  int bisection_probes = 0;
+  /// Divergent attribute names and a bounded sample of the divergent
+  /// vertices (`divergent_vertices` is the full count).
+  std::vector<std::string> attrs;
+  std::vector<VertexId> vertices;
+  uint64_t divergent_vertices = 0;
+  uint64_t expected_digest = 0;  ///< clean (shadow replay) digest
+  uint64_t actual_digest = 0;    ///< live incremental digest
+};
+
+/// The schema v4 `audit` section: per-timestamp state digests plus the
+/// drift auditor's verdicts.
+struct AuditSection {
+  bool enabled = false;
+  int every = 0;         ///< audit cadence (delta batches per audit)
+  double tolerance = 0;  ///< per-cell |Δ| allowed before divergence
+  uint64_t audits = 0;
+  /// Digest differed but every cell was within tolerance — expected for
+  /// floating-point programs (incremental PR matches one-shot to ~1e-9,
+  /// not bit-exactly), counted but not a failure.
+  uint64_t digest_mismatches = 0;
+  Timestamp last_verified = -1;
+  /// End-of-run digest per executed timestamp, in execution order.
+  std::vector<std::pair<Timestamp, uint64_t>> digests;
+  AuditDivergence divergence;
+};
+
 /// Machine-readable run report (the `--metrics-json=<path>` output of the
 /// bench and harness binaries).
 ///
-/// Schema (version 2, validated by tools/trace_summary.py and diffed by
-/// tools/report_diff.py; version-1 readers must keep accepting v1 files):
+/// Schema (version 4, validated by tools/trace_summary.py and diffed by
+/// tools/report_diff.py; readers accept REPORT_SCHEMA_MIN..MAX):
 /// ```json
 /// {
-///   "schema_version": 2,
+///   "schema_version": 4,
 ///   "binary": "fig12_overall",
 ///   "runs": [
 ///     {"name": "...", "timestamp": 0, "incremental": false,
@@ -28,6 +66,7 @@ namespace itg {
 ///      "delta_walks": {"enumerated": 0, "pruned": 0},
 ///      "threads": 1, "parallel_tasks": 0, "steals": 0,
 ///      "busy_nanos": 0, "critical_nanos": 0,
+///      "state_digest": 0,       // v4, end-of-run state digest
 ///      "machines": [{"seconds": 0.1, "network_bytes": 123}, ...],
 ///      "operators": [           // v2, present when a profile was attached
 ///        {"id": 0, "op": "Apply", "detail": "Update",
@@ -37,14 +76,25 @@ namespace itg {
 ///      "supersteps_profile": [  // v2, the per-superstep timeline
 ///        {"superstep": 0, "incremental": false, "active_vertices": 0,
 ///         "frontier": 0, "emissions": 0, "windows": 0, "edges": 0,
-///         "wall_nanos": 0, "cpu_nanos": 0, "shuffle_bytes": [..]}, ...]},
+///         "wall_nanos": 0, "cpu_nanos": 0, "state_digest": 0,  // v4
+///         "shuffle_bytes": [..]}, ...]},
 ///     ...
 ///   ],
 ///   "results": {"<bench row name>": <double>, ...},
 ///   "metrics": {"counters": {...}, "gauges": {...},
 ///               "histograms": {"name": {"count":, "sum":,
 ///                              "buckets": [[lower, count], ...]}}},
-///   "buffer_pool": {"hits": 0, "misses": 0, "hit_rate": 0.0}
+///   "buffer_pool": {"hits": 0, "misses": 0, "hit_rate": 0.0},
+///   "memory": {"<struct>": {"bytes": 0, "peak_bytes": 0}, ...},  // v3
+///   "audit": {                 // v4, present when SetAudit was called
+///     "enabled": true, "every": 3, "tolerance": 1e-6,
+///     "audits": 2, "digest_mismatches": 0, "last_verified": 3,
+///     "digests": [{"timestamp": 0, "digest": 123}, ...],
+///     "divergence": {"found": true, "detected_at": 6,
+///                    "first_bad_batch": 4, "bisection_probes": 2,
+///                    "attrs": ["comp"], "divergent_vertices": 5,
+///                    "vertices": [7, ...],
+///                    "expected_digest": 1, "actual_digest": 2}}
 /// }
 /// ```
 ///
@@ -72,6 +122,13 @@ class RunReport {
   /// Records a scalar bench result (a printed table cell, a speedup, ...).
   void AddResult(const std::string& name, double value);
 
+  /// Attaches the drift auditor's outcome; emitted as the v4 `audit`
+  /// section (omitted entirely when never called).
+  void SetAudit(const AuditSection& audit) {
+    audit_ = audit;
+    has_audit_ = true;
+  }
+
   std::string ToJson() const;
   Status WriteTo(const std::string& path) const;
 
@@ -97,6 +154,8 @@ class RunReport {
   std::string binary_;
   std::vector<Run> runs_;
   std::vector<std::pair<std::string, double>> results_;
+  bool has_audit_ = false;
+  AuditSection audit_;
 };
 
 }  // namespace itg

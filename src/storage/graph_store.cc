@@ -183,4 +183,37 @@ size_t DynamicGraphStore::num_edges(Timestamp t) const {
   return ViewAt(t)->num_edges;
 }
 
+Status DynamicGraphStore::MaterializeEdges(BufferPool* pool, Timestamp t,
+                                           std::vector<Edge>* out) const {
+  out->clear();
+  // Cumulative overlay from the persisted delta segments: the last
+  // operation applied to each edge across batches 1..t decides.
+  std::unordered_map<Edge, Multiplicity, EdgeHash> last_op;
+  for (Timestamp i = 1; i <= t; ++i) {
+    ITG_RETURN_IF_ERROR(ScanDeltas(
+        pool, i, Direction::kOut,
+        [&](Edge e, Multiplicity m) { last_op[e] = m; }));
+  }
+  std::vector<VertexId> base;
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    ITG_RETURN_IF_ERROR(ReadBaseAdjacency(pool, u, Direction::kOut, &base));
+    for (VertexId v : base) {
+      auto it = last_op.find(Edge{u, v});
+      if (it == last_op.end()) {
+        out->push_back(Edge{u, v});
+      } else {
+        if (it->second > 0) out->push_back(Edge{u, v});
+        // Consumed: whatever remains in last_op afterwards is an
+        // insertion of an edge absent from the base snapshot.
+        last_op.erase(it);
+      }
+    }
+  }
+  for (const auto& [edge, m] : last_op) {
+    if (m > 0) out->push_back(edge);
+  }
+  std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
 }  // namespace itg

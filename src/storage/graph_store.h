@@ -69,6 +69,15 @@ class DynamicGraphStore {
   Status ScanDeltas(BufferPool* pool, Timestamp t, Direction d,
                     const std::function<void(Edge, Multiplicity)>& fn) const;
 
+  /// Materializes the full edge list of snapshot `t` (base ∪ ΔG₁..ΔG_t,
+  /// last operation per edge wins), sorted by (src, dst). Unlike the
+  /// overlay views — which only survive for the latest and previous
+  /// snapshots — this replays the persisted per-timestamp delta segments,
+  /// so it works for *any* recorded t. Used by the drift auditor to build
+  /// shadow stores for from-scratch replays at checkpointed timestamps.
+  Status MaterializeEdges(BufferPool* pool, Timestamp t,
+                          std::vector<Edge>* out) const;
+
   /// Per-vertex delta adjacency of snapshot t's batch (sorted by dst).
   Status GetDeltaAdjacency(
       BufferPool* pool, VertexId u, Timestamp t, Direction d,

@@ -38,11 +38,13 @@ uint64_t BitsOf(double d) {
 struct Fingerprint {
   std::vector<uint64_t> bits;
   std::vector<uint64_t> profile_work;
+  /// End-of-run state digest per run (order-independent column hash).
+  std::vector<uint64_t> digests;
   uint64_t emissions = 0;
 
   bool operator==(const Fingerprint& other) const {
     return bits == other.bits && profile_work == other.profile_work &&
-           emissions == other.emissions;
+           digests == other.digests && emissions == other.emissions;
   }
 };
 
@@ -61,6 +63,7 @@ void Capture(const Engine& engine, const CompiledProgram& program,
     }
   }
   fp->emissions += engine.last_stats().emissions_applied;
+  fp->digests.push_back(engine.last_stats().state_digest);
   // The flattened deterministic profile (per-operator counters and
   // superstep timeline, excluding measured wall/cpu time). A length
   // marker separates runs so rows cannot alias across run boundaries.
@@ -73,7 +76,8 @@ void Capture(const Engine& engine, const CompiledProgram& program,
 /// fingerprints the state after every run.
 Fingerprint RunPipeline(const std::string& source, bool symmetric,
                         double insert_ratio, int fixed_supersteps,
-                        int num_threads, const std::string& tag) {
+                        int num_threads, const std::string& tag,
+                        int num_partitions = 1) {
   auto all_edges = GenerateRmatEdges(1 << 9, 6 << 9, {.seed = 99});
   if (symmetric) {
     for (Edge& e : all_edges) {
@@ -99,6 +103,7 @@ Fingerprint RunPipeline(const std::string& source, bool symmetric,
   EngineOptions opts;
   opts.fixed_supersteps = fixed_supersteps;
   opts.num_threads = num_threads;
+  opts.num_partitions = num_partitions;
   // Small windows => many walk-shard tasks per superstep, so 2- and
   // 8-thread runs genuinely interleave instead of degenerating to one
   // task per job.
@@ -172,6 +177,23 @@ TEST(ParallelDeterminismTest, TriangleCount) {
   // anchored sub-query interleaving with pooled jobs.
   ExpectIdenticalAcrossThreadCounts(TriangleCountProgram(),
                                     /*symmetric=*/true, 0.75, -1, "tc");
+}
+
+TEST(ParallelDeterminismTest, WccDigestStableAcrossPartitionCounts) {
+  // The state digest combines per-vertex hashes commutatively, so for
+  // integer-exact programs it is also invariant to how vertices are
+  // partitioned (float programs like PR legitimately drift in the last
+  // bits across partition counts, so this asserts on WCC).
+  Fingerprint base = RunPipeline(WccProgram(), /*symmetric=*/true, 0.5, -1,
+                                 1, "wcc_p1", /*num_partitions=*/1);
+  ASSERT_FALSE(base.digests.empty());
+  for (int parts : {2, 4}) {
+    Fingerprint fp =
+        RunPipeline(WccProgram(), /*symmetric=*/true, 0.5, -1, 1,
+                    "wcc_p" + std::to_string(parts), parts);
+    EXPECT_EQ(fp.digests, base.digests)
+        << "digest diverged at partitions=" << parts;
+  }
 }
 
 TEST(ParallelDeterminismTest, SequentialPathIgnoresPool) {

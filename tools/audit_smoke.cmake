@@ -1,0 +1,40 @@
+# ctest driver for the drift-auditor smoke test (see top-level
+# CMakeLists.txt): tools/audit_check.py runs example_lnga_run twice over
+# the same WCC --watch workload with --audit every=3 — once clean (every
+# audit must verify) and once with a deliberate mid-stream attribute
+# corruption (--inject-corrupt-*), which the auditor must detect and
+# bisect back to the exact offending delta batch. Both run reports are
+# then schema-validated by trace_summary.py (v4 audit section).
+#
+# Inputs: -DLNGA_RUN=<binary> -DPython3_EXECUTABLE=<python3>
+#         -DAUDIT_CHECK=<audit_check.py> -DTRACE_SUMMARY=<trace_summary.py>
+#         -DWORK_DIR=<scratch>
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${AUDIT_CHECK}
+          --binary ${LNGA_RUN} --workdir ${WORK_DIR}
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+message(STATUS "audit_check output:\n${check_out}")
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "audit_check.py failed (${check_rc}):\n${check_err}")
+endif()
+
+foreach(report clean.json drift.json)
+  execute_process(
+    COMMAND ${Python3_EXECUTABLE} ${TRACE_SUMMARY}
+            --report ${WORK_DIR}/${report}
+    RESULT_VARIABLE schema_rc
+    OUTPUT_VARIABLE schema_out
+    ERROR_VARIABLE schema_err)
+  if(NOT schema_rc EQUAL 0)
+    message(FATAL_ERROR
+            "trace_summary.py rejected ${report} (${schema_rc}):\n"
+            "${schema_out}\n${schema_err}")
+  endif()
+endforeach()
+message(STATUS "audit_smoke: both reports pass schema v4 validation")

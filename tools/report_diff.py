@@ -5,11 +5,13 @@ Usage:
   report_diff.py <old.json> <new.json> [--max-regress=1.25]
                  [--min-base=100] [--verbose]
 
-Both files are --metrics-json run reports (schema version 1, 2 or 3, see
-src/harness/run_report.h). Runs are matched by name; within a v2+ run,
-operators are matched by stable operator id. Versions may differ between
-the two files: v3 only adds sections (per-machine barrier_wait_nanos, a
-top-level "memory" map), none of which are gated.
+Both files are --metrics-json run reports (schema version MIN_SCHEMA..
+MAX_SCHEMA from tools/report_schema.py, see src/harness/run_report.h).
+Runs are matched by name; within a v2+ run, operators are matched by
+stable operator id. Versions may differ between the two files: later
+versions only add sections (v3 per-machine barrier_wait_nanos and a
+top-level "memory" map, v4 state digests and the "audit" section), none
+of which are gated.
 
 Only *deterministic work metrics* are gated — counters that are
 bit-identical across thread counts and machines for the same program,
@@ -37,7 +39,11 @@ metric regressed, 2 on malformed input, 0 otherwise.
 
 import argparse
 import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from report_schema import MAX_SCHEMA, MIN_SCHEMA, SCHEMA_RANGE  # noqa: E402
 
 RUN_GATED = [
     "supersteps", "windows_loaded", "edges_scanned", "emissions_applied",
@@ -65,8 +71,9 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {path}: {e}")
     if not isinstance(doc, dict) or \
-            doc.get("schema_version") not in (1, 2, 3):
-        fail(f"{path}: not a run report (schema_version 1, 2 or 3)")
+            doc.get("schema_version") not in SCHEMA_RANGE:
+        fail(f"{path}: not a run report "
+             f"(schema_version {MIN_SCHEMA}..{MAX_SCHEMA})")
     if not isinstance(doc.get("runs"), list):
         fail(f"{path}: runs is not a list")
     return doc

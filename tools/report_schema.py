@@ -1,0 +1,18 @@
+"""The run-report schema range shared by every report-reading tool.
+
+src/harness/run_report.h owns the writer-side version; readers accept the
+whole MIN..MAX range so an old baseline can be diffed against a new
+candidate. Bump MAX_SCHEMA here (one place) when run_report.h grows a new
+version.
+
+Version history:
+  1  base report (runs / results / metrics / buffer_pool)
+  2  per-run "operators" and "supersteps_profile" profile sections
+  3  per-machine barrier_wait_nanos, top-level "memory" section
+  4  state digests (per run and per superstep row), "audit" section
+"""
+
+MIN_SCHEMA = 1
+MAX_SCHEMA = 4
+
+SCHEMA_RANGE = range(MIN_SCHEMA, MAX_SCHEMA + 1)

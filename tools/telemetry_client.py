@@ -45,16 +45,29 @@ def expect(cond, msg):
         fail(msg)
 
 
-def get(port, path, timeout=5.0):
-    """GET http://127.0.0.1:<port><path> -> (status, content_type, body)."""
-    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
-    try:
-        conn.request("GET", path)
-        resp = conn.getresponse()
-        body = resp.read().decode("utf-8", errors="replace")
-        return resp.status, resp.getheader("Content-Type", ""), body
-    finally:
-        conn.close()
+def get(port, path, timeout=5.0, deadline=None):
+    """GET http://127.0.0.1:<port><path> -> (status, content_type, body).
+
+    With a `deadline` (monotonic seconds), transient transport errors —
+    connection refused/reset while the single-threaded server is busy
+    with another client, or a socket timeout — are retried until the
+    deadline instead of flaking the whole smoke test. Without one, the
+    first failure is fatal.
+    """
+    while True:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+        try:
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            body = resp.read().decode("utf-8", errors="replace")
+            return resp.status, resp.getheader("Content-Type", ""), body
+        except (ConnectionError, OSError) as e:
+            if deadline is None or time.monotonic() >= deadline:
+                fail(f"GET {path} failed with {e!r} "
+                     f"{'past the deadline' if deadline else '(no retry)'}")
+            time.sleep(0.05)
+        finally:
+            conn.close()
 
 
 def wait_for_port(portfile, proc, deadline):
@@ -112,8 +125,8 @@ def parse_prometheus(body):
     return series, types
 
 
-def check_metrics(port):
-    status, ctype, body = get(port, "/metrics")
+def check_metrics(port, deadline):
+    status, ctype, body = get(port, "/metrics", deadline=deadline)
     expect(status == 200, f"/metrics returned {status}")
     expect("version=0.0.4" in ctype,
            f"/metrics Content-Type missing exposition version: {ctype!r}")
@@ -155,7 +168,7 @@ def check_statusz(port, want_partitions, deadline):
     """Polls until the engine has published per-partition telemetry."""
     doc = None
     while time.monotonic() < deadline:
-        status, ctype, body = get(port, "/statusz")
+        status, ctype, body = get(port, "/statusz", deadline=deadline)
         expect(status == 200, f"/statusz returned {status}")
         expect("application/json" in ctype,
                f"/statusz Content-Type {ctype!r}")
@@ -174,6 +187,11 @@ def check_statusz(port, want_partitions, deadline):
     wd = doc.get("watchdog")
     expect(isinstance(wd, dict) and "healthy" in wd and "stalls_total" in wd,
            "statusz.watchdog malformed")
+    audit = doc.get("audit")
+    expect(isinstance(audit, dict), "statusz.audit missing")
+    for key in ("state_digest", "digest_timestamp", "audits_total",
+                "audit_failures", "last_audit_ok"):
+        expect(key in audit, f"statusz.audit missing {key}")
     parts = doc.get("partitions")
     expect(isinstance(parts, list) and len(parts) == want_partitions,
            f"statusz.partitions: want {want_partitions}, got "
@@ -194,7 +212,7 @@ def check_statusz(port, want_partitions, deadline):
 def wait_for_stall(port, deadline):
     """Polls /healthz until the injected stall trips the watchdog."""
     while time.monotonic() < deadline:
-        status, _, body = get(port, "/healthz")
+        status, _, body = get(port, "/healthz", deadline=deadline)
         if status == 503:
             doc = json.loads(body)
             expect(doc.get("status") == "stalled",
@@ -211,7 +229,7 @@ def wait_for_recovery(port, deadline):
     """The watchdog is not sticky: /healthz goes back to 200 between
     stalled supersteps."""
     while time.monotonic() < deadline:
-        status, _, _ = get(port, "/healthz")
+        status, _, _ = get(port, "/healthz", deadline=deadline)
         if status == 200:
             return
         time.sleep(0.05)
@@ -269,7 +287,7 @@ def main():
               f"{len(statusz['partitions'])} partitions, "
               f"memory structures: {sorted(statusz['memory'])}")
 
-        series, types = check_metrics(port)
+        series, types = check_metrics(port, deadline)
         expect("itg_watchdog_stalls_total" in series,
                "watchdog counter missing from /metrics after a stall")
         expect(series["itg_watchdog_stalls_total"][""] >= 1,
@@ -284,9 +302,9 @@ def main():
               f"{len(histos)} histograms, {len(mem_series)} memory gauges, "
               f"{len(part_series)} partition gauges")
 
-        status, _, _ = get(port, "/no-such-endpoint")
+        status, _, _ = get(port, "/no-such-endpoint", deadline=deadline)
         expect(status == 404, f"unknown path returned {status}, want 404")
-        status, _, body = get(port, "/")
+        status, _, body = get(port, "/", deadline=deadline)
         expect(status == 200 and "/metrics" in body,
                "index page missing endpoint listing")
         print("telemetry_client: routing OK (404 + index)")

@@ -11,18 +11,23 @@ is set (loadable in Perfetto / chrome://tracing). Prints a per-phase wall
 time table (aggregated over span names) and the top-N longest spans.
 
 --report expects the machine-readable run report written by the bench
-binaries' --metrics-json=<path> flag (schema_version 1, 2 or 3, see
-src/harness/run_report.h; version 2 adds per-run "operators" and
-"supersteps_profile" sections, version 3 adds per-machine
-barrier_wait_nanos and a top-level "memory" section of per-structure
-current/peak byte counts). Validates the schema and prints a short
-digest. Exits non-zero on any schema violation, so it doubles as the
-ctest smoke check.
+binaries' --metrics-json=<path> flag (schema_version MIN_SCHEMA..
+MAX_SCHEMA from tools/report_schema.py, see src/harness/run_report.h;
+version 2 adds per-run "operators" and "supersteps_profile" sections,
+version 3 adds per-machine barrier_wait_nanos and a top-level "memory"
+section of per-structure current/peak byte counts, version 4 adds state
+digests and the drift auditor's "audit" section). Validates the schema
+and prints a short digest. Exits non-zero on any schema violation, so it
+doubles as the ctest smoke check.
 """
 
 import argparse
 import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from report_schema import MAX_SCHEMA, MIN_SCHEMA, SCHEMA_RANGE  # noqa: E402
 
 
 def fail(msg):
@@ -187,6 +192,44 @@ def validate_run_profile(run, where):
                f"{sw}.shuffle_bytes malformed")
 
 
+def validate_audit(audit):
+    """Validates the optional v4 "audit" section (drift auditor)."""
+    expect(isinstance(audit, dict), "audit is not an object")
+    expect(isinstance(audit.get("enabled"), bool), "audit.enabled missing")
+    for field in ("every", "audits", "digest_mismatches"):
+        expect(is_uint(audit.get(field)),
+               f"audit.{field} is not a non-negative integer")
+    expect(is_num(audit.get("tolerance")), "audit.tolerance missing")
+    expect(isinstance(audit.get("last_verified"), int),
+           "audit.last_verified is not an integer")
+    digests = audit.get("digests")
+    expect(isinstance(digests, list), "audit.digests is not a list")
+    for j, entry in enumerate(digests):
+        expect(isinstance(entry, dict)
+               and isinstance(entry.get("timestamp"), int)
+               and is_uint(entry.get("digest")),
+               f"audit.digests[{j}] malformed")
+    div = audit.get("divergence")
+    expect(isinstance(div, dict), "audit.divergence is not an object")
+    expect(isinstance(div.get("found"), bool),
+           "audit.divergence.found missing")
+    for field in ("detected_at", "first_bad_batch"):
+        expect(isinstance(div.get(field), int),
+               f"audit.divergence.{field} is not an integer")
+    for field in ("bisection_probes", "divergent_vertices",
+                  "expected_digest", "actual_digest"):
+        expect(is_uint(div.get(field)),
+               f"audit.divergence.{field} is not a non-negative integer")
+    expect(isinstance(div.get("attrs"), list)
+           and all(isinstance(a, str) for a in div["attrs"]),
+           "audit.divergence.attrs malformed")
+    expect(isinstance(div.get("vertices"), list)
+           and all(is_uint(v) for v in div["vertices"]),
+           "audit.divergence.vertices malformed")
+    if div["found"]:
+        expect(audit["enabled"], "divergence found with auditing disabled")
+
+
 def validate_report(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -196,8 +239,9 @@ def validate_report(path):
 
     expect(isinstance(doc, dict), "top level is not an object")
     version = doc.get("schema_version")
-    expect(version in (1, 2, 3),
-           f"schema_version not in (1, 2, 3) (got {version!r})")
+    expect(version in SCHEMA_RANGE,
+           f"schema_version not in {MIN_SCHEMA}..{MAX_SCHEMA} "
+           f"(got {version!r})")
     expect(isinstance(doc.get("binary"), str), "binary is not a string")
 
     runs = doc.get("runs")
@@ -212,6 +256,9 @@ def validate_report(path):
         for field in RUN_UINT_FIELDS:
             expect(is_uint(run.get(field)),
                    f"{where}.{field} is not a non-negative integer")
+        if version >= 4:
+            expect(is_uint(run.get("state_digest")),
+                   f"{where}.state_digest is not a non-negative integer")
         dw = run.get("delta_walks")
         expect(isinstance(dw, dict) and is_uint(dw.get("enumerated"))
                and is_uint(dw.get("pruned")),
@@ -284,6 +331,13 @@ def validate_report(path):
                    f"current bytes {entry['bytes']}")
     else:
         expect(memory is None, "v3 memory section in a pre-v3 report")
+
+    audit = doc.get("audit")
+    if version >= 4:
+        if audit is not None:
+            validate_audit(audit)
+    else:
+        expect(audit is None, "v4 audit section in a pre-v4 report")
 
     print(f"report: {path}")
     print(f"  binary: {doc['binary']}, {len(runs)} runs, "
