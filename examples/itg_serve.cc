@@ -1,0 +1,308 @@
+// itg_serve: the always-on incremental query service. Loads a base
+// graph, then serves newline-delimited JSON on a loopback TCP port:
+// clients register L_NGA programs as standing queries, stream Δ-batches
+// in, and receive ΔQ records (the changed cells + the new state digest)
+// per batch — the paper's incremental maintenance loop promoted from a
+// batch driver (example_lnga_run --mutations) to a daemon.
+//
+//   example_itg_serve --graph rmat:12 --port 7411
+//   python3 tools/serve_client.py --port 7411 register q1 --program pr
+//
+// Protocol, admission control, backpressure and the health plane are
+// documented in docs/SERVING.md. Shutdown is symmetric: SIGINT/SIGTERM
+// and the `shutdown` op both trip the clean-stop flag; the daemon then
+// drains the ingest queue through every standing view, finishes the
+// in-flight supersteps, writes the run report (--metrics-json, schema
+// v5 `serving` section), and exits 0.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clean_stop.h"
+#include "common/live_status.h"
+#include "common/metrics.h"
+#include "common/telemetry_server.h"
+#include "gen/rmat.h"
+#include "harness/run_report.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "storage/csr.h"
+
+namespace {
+
+using namespace itg;
+using namespace itg::serve;
+
+struct Args {
+  // Wire endpoint. -1 = unset (ITG_SERVE_PORT applies; else ephemeral).
+  int port = -1;
+  std::string port_file;
+  std::string graph = "rmat:12";
+  bool symmetric = false;
+  size_t max_queries = 8;
+  uint64_t memory_budget = 0;  // default per-query slice, 0 = uncapped
+  size_t queue_depth = 64;
+  int threads = 0;
+  bool verify_on_register = true;
+  std::string scratch;
+  std::string metrics_json;
+  // Health plane (same knobs as example_lnga_run).
+  int telemetry_port = -1;
+  uint64_t watchdog_ms = 0;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port P] [--portfile <path>]\n"
+      "          [--graph rmat:<scale>|<edges.txt>] [--symmetric]\n"
+      "          [--max-queries N] [--memory-budget BYTES]\n"
+      "          [--queue-depth N] [--threads N] [--no-verify]\n"
+      "          [--scratch DIR] [--metrics-json <path>]\n"
+      "          [--telemetry-port P] [--watchdog-ms N]\n"
+      "environment: ITG_SERVE_PORT, ITG_SERVE_PORTFILE,\n"
+      "             ITG_SERVE_MAX_QUERIES, ITG_SERVE_MEMORY_BYTES,\n"
+      "             ITG_SERVE_QUEUE_DEPTH, ITG_TELEMETRY_PORT,\n"
+      "             ITG_WATCHDOG_MS, ITG_TELEMETRY_PORTFILE\n"
+      "(protocol reference: docs/SERVING.md)\n",
+      argv0);
+  std::exit(2);
+}
+
+void EnvDefaults(Args* args) {
+  if (const char* p = std::getenv("ITG_SERVE_PORT")) {
+    args->port = std::atoi(p);
+  }
+  if (const char* p = std::getenv("ITG_SERVE_PORTFILE")) {
+    args->port_file = p;
+  }
+  if (const char* p = std::getenv("ITG_SERVE_MAX_QUERIES")) {
+    args->max_queries = static_cast<size_t>(std::strtoull(p, nullptr, 10));
+  }
+  if (const char* p = std::getenv("ITG_SERVE_MEMORY_BYTES")) {
+    args->memory_budget = std::strtoull(p, nullptr, 10);
+  }
+  if (const char* p = std::getenv("ITG_SERVE_QUEUE_DEPTH")) {
+    args->queue_depth = static_cast<size_t>(std::strtoull(p, nullptr, 10));
+  }
+}
+
+std::vector<Edge> LoadGraph(const std::string& graph,
+                            VertexId* num_vertices) {
+  if (graph.rfind("rmat:", 0) == 0) {
+    int scale = std::stoi(graph.substr(5));
+    *num_vertices = RmatVertices(scale);
+    return GenerateRmat(scale);
+  }
+  std::ifstream in(graph);
+  if (!in) {
+    std::fprintf(stderr, "cannot open graph file '%s'\n", graph.c_str());
+    std::exit(1);
+  }
+  std::vector<Edge> edges;
+  VertexId max_v = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    Edge e;
+    if (row >> e.src >> e.dst) {
+      edges.push_back(e);
+      max_v = std::max({max_v, e.src, e.dst});
+    }
+  }
+  *num_vertices = max_v + 1;
+  return edges;
+}
+
+/// The v5 `serving` section, assembled from the drained service's final
+/// status rows plus the per-query latency histograms in the registry.
+ServingSection BuildServingSection(Service* service) {
+  ServingSection out;
+  const Response status = service->GetStatus();
+  out.standing_queries = status.queries.size();
+  out.ingest_batches = status.ingest_batches;
+  out.backpressure_stalls = status.backpressure_stalls;
+  const MetricsRegistry::Snapshot snap = GlobalMetrics().registry().Snap();
+  auto counter = [&](const char* name) -> uint64_t {
+    auto it = snap.counters.find(name);
+    return it != snap.counters.end() ? it->second : 0;
+  };
+  out.ingest_ops = counter("serve.ingest_ops");
+  out.delta_messages = counter("serve.delta_messages");
+  for (const QueryRow& row : status.queries) {
+    ServingQueryRow q;
+    q.name = row.query;
+    q.timestamp = row.timestamp;
+    q.digest = row.digest;
+    q.runs = row.runs;
+    q.budget_bytes = row.budget_bytes;
+    q.budget_used_bytes = row.budget_used_bytes;
+    auto hist = snap.histograms.find("serve.delta_latency_us." + row.query);
+    if (hist != snap.histograms.end()) {
+      q.latency_count = hist->second.count;
+      q.latency_sum_us = hist->second.sum;
+      q.latency_buckets = hist->second.buckets;
+    }
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  EnvDefaults(&args);
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--port")) args.port = std::stoi(next());
+    else if (!std::strcmp(argv[i], "--portfile")) args.port_file = next();
+    else if (!std::strcmp(argv[i], "--graph")) args.graph = next();
+    else if (!std::strcmp(argv[i], "--symmetric")) args.symmetric = true;
+    else if (!std::strcmp(argv[i], "--max-queries")) {
+      args.max_queries = static_cast<size_t>(std::stoul(next()));
+    } else if (!std::strcmp(argv[i], "--memory-budget")) {
+      args.memory_budget = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--queue-depth")) {
+      args.queue_depth = static_cast<size_t>(std::stoul(next()));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      args.threads = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--no-verify")) {
+      args.verify_on_register = false;
+    } else if (!std::strcmp(argv[i], "--scratch")) {
+      args.scratch = next();
+    } else if (!std::strcmp(argv[i], "--metrics-json")) {
+      args.metrics_json = next();
+    } else if (!std::strncmp(argv[i], "--metrics-json=", 15)) {
+      args.metrics_json = argv[i] + 15;
+    } else if (!std::strcmp(argv[i], "--telemetry-port")) {
+      args.telemetry_port = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--watchdog-ms")) {
+      args.watchdog_ms = std::strtoull(next(), nullptr, 10);
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  // SIGINT/SIGTERM and the wire-level `shutdown` op share one flag; a
+  // second signal escalates to the default handler (hard kill).
+  InstallCleanStop();
+  GlobalLiveStatus().SetQuery("serve @ " + args.graph);
+
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges = LoadGraph(args.graph, &num_vertices);
+  if (args.symmetric) edges = SymmetrizeEdges(edges);
+
+  if (args.scratch.empty()) {
+    auto dir = std::filesystem::temp_directory_path() /
+               ("itg_serve_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    args.scratch = dir.string();
+  } else {
+    std::filesystem::create_directories(args.scratch);
+  }
+
+  ServiceOptions sopt;
+  sopt.max_queries = args.max_queries;
+  sopt.default_budget_bytes = args.memory_budget;
+  sopt.ingest_queue_depth = args.queue_depth;
+  sopt.scratch_dir = args.scratch;
+  sopt.num_threads = args.threads;
+  sopt.verify_on_register = args.verify_on_register;
+  auto service_or = Service::Create(num_vertices, std::move(edges), sopt);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "%s\n", service_or.status().ToString().c_str());
+    return 1;
+  }
+  auto service = std::move(service_or).value();
+
+  // Health plane: /statusz grows a "serving" member with the same
+  // per-query rows as the `status` op; the stall watchdog covers the
+  // standing views' supersteps because every view engine reports through
+  // GlobalLiveStatus.
+  std::unique_ptr<TelemetryServer> telemetry;
+  {
+    TelemetryOptions topt;
+    bool enabled = false;
+    if (args.telemetry_port >= 0) {
+      topt.port = args.telemetry_port;
+      enabled = true;
+    } else if (const char* tp = std::getenv("ITG_TELEMETRY_PORT");
+               tp != nullptr && *tp != '\0') {
+      topt.port = std::atoi(tp);
+      enabled = true;
+    }
+    if (enabled) {
+      topt.watchdog_deadline_ms = args.watchdog_ms;
+      if (const char* wd = std::getenv("ITG_WATCHDOG_MS");
+          wd != nullptr && topt.watchdog_deadline_ms == 0) {
+        topt.watchdog_deadline_ms = std::strtoull(wd, nullptr, 10);
+      }
+      if (const char* pf = std::getenv("ITG_TELEMETRY_PORTFILE")) {
+        topt.port_file = pf;
+      }
+      telemetry = std::make_unique<TelemetryServer>();
+      Service* svc = service.get();
+      telemetry->set_statusz_extra([svc] { return svc->StatuszExtraJson(); });
+      if (Status s = telemetry->Start(topt); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("telemetry: http://127.0.0.1:%d/statusz\n",
+                  telemetry->port());
+    }
+  }
+
+  Server server(service.get());
+  ServerOptions ropt;
+  ropt.port = args.port >= 0 ? args.port : 0;
+  ropt.port_file = args.port_file;
+  if (Status s = server.Start(ropt); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving: 127.0.0.1:%d (max_queries=%zu queue_depth=%zu)\n",
+              server.port(), sopt.max_queries, sopt.ingest_queue_depth);
+  std::fflush(stdout);
+
+  while (!CleanStopRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Graceful shutdown: stop admitting, drain the queue through every
+  // standing view, then drop the connections and report.
+  std::printf("serve: draining\n");
+  std::fflush(stdout);
+  service->Drain();
+  const ServingSection serving = BuildServingSection(service.get());
+  server.Stop();
+  if (telemetry) telemetry->Stop();
+
+  RunReport report("itg_serve");
+  report.SetServing(serving);
+  if (Status s = report.MaybeWrite(args.metrics_json); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "serve: done (%llu batches, %llu delta messages, %llu stalls)\n",
+      static_cast<unsigned long long>(serving.ingest_batches),
+      static_cast<unsigned long long>(serving.delta_messages),
+      static_cast<unsigned long long>(serving.backpressure_stalls));
+  return 0;
+}

@@ -38,6 +38,7 @@
 #include <unordered_set>
 
 #include "algos/programs.h"
+#include "common/clean_stop.h"
 #include "common/live_status.h"
 #include "common/telemetry_server.h"
 #include "compiler/compiled_program.h"
@@ -109,23 +110,12 @@ struct Args {
 
 std::string LoadProgram(const Args& args, int* supersteps) {
   const std::string& p = args.program;
-  if (p == "pr") {
-    *supersteps = 10;
-    return PageRankProgram();
+  std::string source;
+  int builtin_supersteps = -1;
+  if (NamedProgram(p, &source, &builtin_supersteps)) {
+    if (builtin_supersteps > 0) *supersteps = builtin_supersteps;
+    return source;
   }
-  if (p == "qpr") {
-    *supersteps = 10;
-    return QuantizedPageRankProgram();
-  }
-  if (p == "lp") {
-    *supersteps = 10;
-    return LabelPropProgram(8);
-  }
-  if (p == "wcc") return WccProgram();
-  if (p.rfind("bfs:", 0) == 0) return BfsProgram(std::stoll(p.substr(4)));
-  if (p == "bfs") return BfsProgram(0);
-  if (p == "tc") return TriangleCountProgram();
-  if (p == "lcc") return LccProgram();
   std::ifstream in(p);
   if (!in) {
     std::fprintf(stderr, "cannot open program file '%s'\n", p.c_str());
@@ -449,6 +439,11 @@ int main(int argc, char** argv) {
   // (fixed-seed RNG); deletions retract edges a previous watch batch
   // inserted, so every batch is a valid mutation of the live graph.
   if (args.watch > 0) {
+    // Ctrl-C during a watch session is a request to stop cleanly, not a
+    // failure: the loop breaks at the next batch boundary, the report
+    // still gets written, and the exit code is 0 (the daemon shares this
+    // flag — see common/clean_stop.h).
+    InstallCleanStop();
     std::mt19937_64 rng(0x17506b9u);
     std::uniform_int_distribution<VertexId> pick(0, num_vertices - 1);
     // The store's degree bookkeeping assumes insertions target absent
@@ -457,6 +452,11 @@ int main(int argc, char** argv) {
     std::unordered_set<Edge, EdgeHash> present(edges.begin(), edges.end());
     std::vector<Edge> inserted;
     for (int b = 0; b < args.watch; ++b) {
+      if (CleanStopRequested()) {
+        std::printf("watch: clean stop after %d/%d batches\n", b,
+                    args.watch);
+        break;
+      }
       std::vector<EdgeDelta> batch;
       const int ops = std::max(1, args.watch_batch_ops);
       const int deletes =

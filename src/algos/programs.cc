@@ -229,4 +229,49 @@ std::string LccProgram() {
   )";
 }
 
+bool NamedProgram(const std::string& name, std::string* source,
+                  int* default_supersteps) {
+  if (name == "pr") {
+    *source = PageRankProgram();
+    *default_supersteps = 10;
+    return true;
+  }
+  if (name == "qpr") {
+    *source = QuantizedPageRankProgram();
+    *default_supersteps = 10;
+    return true;
+  }
+  if (name == "lp") {
+    *source = LabelPropProgram(8);
+    *default_supersteps = 10;
+    return true;
+  }
+  if (name == "wcc") {
+    *source = WccProgram();
+    *default_supersteps = -1;
+    return true;
+  }
+  if (name == "bfs") {
+    *source = BfsProgram(0);
+    *default_supersteps = -1;
+    return true;
+  }
+  if (name.rfind("bfs:", 0) == 0) {
+    *source = BfsProgram(std::stoll(name.substr(4)));
+    *default_supersteps = -1;
+    return true;
+  }
+  if (name == "tc") {
+    *source = TriangleCountProgram();
+    *default_supersteps = -1;
+    return true;
+  }
+  if (name == "lcc") {
+    *source = LccProgram();
+    *default_supersteps = -1;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace itg

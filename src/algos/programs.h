@@ -53,6 +53,15 @@ std::string TriangleCountProgram();
 /// accumulator at walk depth 3) plus the 2·tri/(deg·(deg−1)) update.
 std::string LccProgram();
 
+/// Resolves a builtin program name — pr | qpr | lp | wcc | bfs[:root] |
+/// tc | lcc — to its L_NGA source and default superstep count (-1 =
+/// until convergence). Returns false for unknown names, leaving the
+/// outputs untouched. Shared by the lnga_run driver and the serving
+/// daemon so both resolve "pr" to the identical plan (a prerequisite for
+/// bit-identical digests between a standing view and a batch re-run).
+bool NamedProgram(const std::string& name, std::string* source,
+                  int* default_supersteps);
+
 }  // namespace itg
 
 #endif  // ITG_ALGOS_PROGRAMS_H_

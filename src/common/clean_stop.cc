@@ -1,0 +1,36 @@
+#include "common/clean_stop.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace itg {
+
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+// Signal handler: only async-signal-safe operations. The second
+// delivery re-arms the default disposition so an operator can always
+// escalate past a wedged drain.
+void HandleStopSignal(int signo) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+  std::signal(signo, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallCleanStop() {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+}
+
+bool CleanStopRequested() {
+  return g_stop_requested.load(std::memory_order_relaxed);
+}
+
+void RequestCleanStop(bool value) {
+  g_stop_requested.store(value, std::memory_order_relaxed);
+}
+
+}  // namespace itg

@@ -1,0 +1,26 @@
+#ifndef ITG_COMMON_CLEAN_STOP_H_
+#define ITG_COMMON_CLEAN_STOP_H_
+
+namespace itg {
+
+/// One shutdown path for every long-running driver (`example_lnga_run
+/// --watch`, `itg_serve`): InstallCleanStop() routes SIGINT/SIGTERM to
+/// an async-signal-safe flag instead of the default kill, so the main
+/// loop can notice CleanStopRequested(), drain in-flight work, emit its
+/// final run report, and exit 0.
+///
+/// A second signal restores the default disposition, so a stuck drain
+/// can still be killed with a repeated Ctrl-C.
+void InstallCleanStop();
+
+/// True once a SIGINT/SIGTERM arrived after InstallCleanStop().
+bool CleanStopRequested();
+
+/// Sets the flag programmatically (the serving daemon's `shutdown`
+/// protocol op funnels into the same drain path as Ctrl-C). Also used
+/// by tests; pass false to reset between runs.
+void RequestCleanStop(bool value = true);
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_CLEAN_STOP_H_

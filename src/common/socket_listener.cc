@@ -1,0 +1,160 @@
+#include "common/socket_listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace itg {
+
+SocketListener::~SocketListener() { Stop(); }
+
+Status SocketListener::Start(const Options& options, Handler handler) {
+  if (running()) {
+    return Status::InvalidArgument(options.name + " listener already running");
+  }
+  options_ = options;
+  handler_ = std::move(handler);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(options_.name + " socket: " +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(options_.name + " bind 127.0.0.1:" +
+                           std::to_string(options.port) + ": " +
+                           std::strerror(err));
+  }
+  if (::listen(fd, options.backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(options_.name + " listen: " + std::strerror(err));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(options_.name + " getsockname: " +
+                           std::strerror(err));
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+
+  if (!options_.port_file.empty()) {
+    std::FILE* f = std::fopen(options_.port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%d\n", port_);
+      std::fclose(f);
+    } else {
+      ITG_LOG(Warn) << options_.name << ": cannot write port file "
+                    << options_.port_file;
+    }
+  }
+  return Status::OK();
+}
+
+void SocketListener::Stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  stop_.store(true, std::memory_order_relaxed);
+  // shutdown() unblocks the accept loop (close alone would race a
+  // concurrently re-opened fd number).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock any handler still parked in recv() on a live connection,
+  // then join all handler threads (each closes its own fd on exit).
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (Conn& c : conns_) {
+      if (c.fd >= 0) ::shutdown(c.fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    Conn c;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (conns_.empty()) break;
+      c = std::move(conns_.back());
+      conns_.pop_back();
+    }
+    if (c.thread.joinable()) c.thread.join();
+  }
+  if (!options_.port_file.empty()) {
+    std::remove(options_.port_file.c_str());
+  }
+}
+
+void SocketListener::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (stop_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR) continue;
+      break;  // listener gone
+    }
+    if (!options_.thread_per_connection) {
+      RunHandler(conn);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedLocked();
+    Conn c;
+    c.fd = conn;
+    c.done = std::make_shared<std::atomic<bool>>(false);
+    auto done = c.done;
+    c.thread = std::thread([this, conn, done] {
+      RunHandler(conn);
+      done->store(true, std::memory_order_release);
+    });
+    conns_.push_back(std::move(c));
+  }
+}
+
+void SocketListener::RunHandler(int fd) {
+  if (handler_) handler_(fd);
+  ::close(fd);
+}
+
+// Joins handler threads whose connections already ended, so a
+// long-lived server does not accumulate one zombie thread per past
+// client. Called with conn_mu_ held from the accept thread only.
+void SocketListener::ReapFinishedLocked() {
+  for (size_t i = 0; i < conns_.size();) {
+    if (conns_[i].done->load(std::memory_order_acquire)) {
+      if (conns_[i].thread.joinable()) conns_[i].thread.join();
+      conns_[i] = std::move(conns_.back());
+      conns_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace itg

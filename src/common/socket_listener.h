@@ -1,0 +1,99 @@
+#ifndef ITG_COMMON_SOCKET_LISTENER_H_
+#define ITG_COMMON_SOCKET_LISTENER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itg {
+
+/// Dependency-free loopback TCP accept loop, extracted from the
+/// telemetry server so the serving layer (src/serve/) can reuse the
+/// exact same socket plumbing. Binds 127.0.0.1 only — both the
+/// telemetry scrape plane and the standing-query wire protocol are
+/// operator-local by design; put a real proxy in front for anything
+/// else.
+///
+/// Two connection-handling modes:
+///   - sequential (default): connections are handled one at a time on
+///     the accept thread. Right for tiny request/response exchanges
+///     like Prometheus scrapes.
+///   - thread-per-connection: each accepted fd gets its own detachedly
+///     tracked thread, so a long-lived subscriber connection (delta
+///     streaming) cannot starve new clients. Stop() shuts down every
+///     open connection fd and joins all handler threads.
+class SocketListener {
+ public:
+  /// Called with the connected socket fd; the listener closes the fd
+  /// after the handler returns.
+  using Handler = std::function<void(int fd)>;
+
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read
+    /// it back with port()).
+    int port = 0;
+    /// When non-empty, the bound port is written to this file (one
+    /// decimal line) once listening, and removed on Stop() — how the
+    /// smoke tests find an ephemeral port.
+    std::string port_file;
+    /// Accept backlog.
+    int backlog = 16;
+    /// Spawn one thread per accepted connection instead of handling
+    /// sequentially on the accept thread.
+    bool thread_per_connection = false;
+    /// Tag used in error messages and logs ("telemetry", "serve").
+    std::string name = "listener";
+  };
+
+  SocketListener() = default;
+  ~SocketListener();
+
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// Binds, listens, and starts the accept loop on a background
+  /// thread. `handler` is invoked for every accepted connection.
+  Status Start(const Options& options, Handler handler);
+
+  /// Unblocks the accept loop, shuts down open connection fds (thread-
+  /// per-connection mode), joins every thread, and removes the port
+  /// file. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  /// The actually-bound port (differs from options.port when it was 0).
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void RunHandler(int fd);
+  void ReapFinishedLocked();
+
+  Options options_;
+  Handler handler_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  // thread-per-connection bookkeeping: live fds (so Stop() can unblock
+  // handlers mid-read) and joinable handler threads.
+  std::mutex conn_mu_;
+  struct Conn {
+    std::thread thread;
+    int fd = -1;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Conn> conns_;
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_SOCKET_LISTENER_H_

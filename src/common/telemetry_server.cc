@@ -1,8 +1,5 @@
 #include "common/telemetry_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -141,7 +138,8 @@ std::string RenderPrometheusText(const MetricsRegistry::Snapshot& snap) {
 
 std::string RenderStatusz(const LiveStatus::Snapshot& live,
                           const StallWatchdog* watchdog,
-                          const MetricsRegistry::Snapshot& metrics) {
+                          const MetricsRegistry::Snapshot& metrics,
+                          const std::string& extra) {
   std::string out;
   out.reserve(1 << 12);
   out.append("{\"query\":");
@@ -233,7 +231,12 @@ std::string RenderStatusz(const LiveStatus::Snapshot& live,
             peak_it != metrics.gauges.end() ? peak_it->second : value));
     out.append("}");
   }
-  out.append("}}\n");
+  out.push_back('}');
+  if (!extra.empty()) {
+    out.push_back(',');
+    out.append(extra);
+  }
+  out.append("}\n");
   return out;
 }
 
@@ -243,44 +246,18 @@ TelemetryServer::TelemetryServer(MetricsRegistry* registry)
 TelemetryServer::~TelemetryServer() { Stop(); }
 
 Status TelemetryServer::Start(const TelemetryOptions& options) {
-  if (running()) return Status::InvalidArgument("telemetry server already running");
+  if (running()) {
+    return Status::InvalidArgument("telemetry server already running");
+  }
   options_ = options;
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("telemetry socket: ") +
-                           std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options.port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IOError("telemetry bind 127.0.0.1:" +
-                           std::to_string(options.port) + ": " +
-                           std::strerror(err));
-  }
-  if (::listen(fd, 16) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IOError(std::string("telemetry listen: ") +
-                           std::strerror(err));
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IOError(std::string("telemetry getsockname: ") +
-                           std::strerror(err));
-  }
-  port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
+  SocketListener::Options lopt;
+  lopt.port = options.port;
+  lopt.port_file = options.port_file;
+  lopt.name = "telemetry";
+  Status s =
+      listener_.Start(lopt, [this](int fd) { HandleConnection(fd); });
+  if (!s.ok()) return s;
 
   FlightRecorder::Global().Enable(options.flight_recorder_events);
   FlightRecorder::InstallSigusr1();
@@ -288,53 +265,15 @@ Status TelemetryServer::Start(const TelemetryOptions& options) {
   wd.deadline_ms = options.watchdog_deadline_ms;
   watchdog_.Start(wd);
 
-  stop_.store(false, std::memory_order_relaxed);
-  running_.store(true, std::memory_order_relaxed);
-  thread_ = std::thread([this] { Serve(); });
-
-  if (!options_.port_file.empty()) {
-    std::FILE* f = std::fopen(options_.port_file.c_str(), "w");
-    if (f != nullptr) {
-      std::fprintf(f, "%d\n", port_);
-      std::fclose(f);
-    } else {
-      ITG_LOG(Warn) << "telemetry: cannot write port file "
-                    << options_.port_file;
-    }
-  }
-  ITG_LOG(Info) << "telemetry server listening on 127.0.0.1:" << port_
+  ITG_LOG(Info) << "telemetry server listening on 127.0.0.1:" << port()
                 << " (/metrics /statusz /healthz)";
   return Status::OK();
 }
 
 void TelemetryServer::Stop() {
-  if (!running_.exchange(false, std::memory_order_relaxed)) return;
-  stop_.store(true, std::memory_order_relaxed);
-  // shutdown() unblocks the accept loop (close alone would race a
-  // concurrently re-opened fd number).
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  if (!running()) return;
+  listener_.Stop();
   watchdog_.Stop();
-  if (!options_.port_file.empty()) {
-    std::remove(options_.port_file.c_str());
-  }
-}
-
-void TelemetryServer::Serve() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
-      if (stop_.load(std::memory_order_relaxed)) break;
-      if (errno == EINTR) continue;
-      break;  // listener gone
-    }
-    HandleConnection(conn);
-    ::close(conn);
-  }
 }
 
 void TelemetryServer::HandleConnection(int fd) {
@@ -396,7 +335,9 @@ TelemetryServer::Response TelemetryServer::Handle(
   } else if (path == "/statusz") {
     resp.content_type = "application/json";
     resp.body = RenderStatusz(GlobalLiveStatus().Snap(), &watchdog_,
-                              registry_->Snap());
+                              registry_->Snap(),
+                              statusz_extra_ ? statusz_extra_()
+                                             : std::string());
   } else if (path == "/healthz") {
     resp.content_type = "application/json";
     const bool healthy = watchdog_.healthy();

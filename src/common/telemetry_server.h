@@ -3,13 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "common/flight_recorder.h"
 #include "common/live_status.h"
 #include "common/metrics_registry.h"
+#include "common/socket_listener.h"
 #include "common/stall_watchdog.h"
 #include "common/status.h"
 
@@ -40,13 +41,16 @@ struct TelemetryOptions {
 ///                 and per-structure memory gauges.
 ///   GET /statusz  JSON of the live engine state (GlobalLiveStatus):
 ///                 current query, superstep, Δ-batch sequence,
-///                 per-partition progress, watchdog and memory summary.
+///                 per-partition progress, watchdog and memory summary,
+///                 plus any host-provided extra section (the serving
+///                 daemon splices per-standing-query rows in here).
 ///   GET /healthz  200 {"status":"ok"} normally; 503 {"status":"stalled"}
 ///                 while a superstep is past the watchdog deadline.
 ///
-/// One blocking accept loop on a background thread; connections are
-/// handled sequentially (scrapes are tiny and rare). Binds 127.0.0.1
-/// only. Enabling the server turns on the flight recorder and the stall
+/// Socket plumbing lives in SocketListener (shared with the serving
+/// layer); this class is routing + rendering. Connections are handled
+/// sequentially (scrapes are tiny and rare). Binds 127.0.0.1 only.
+/// Enabling the server turns on the flight recorder and the stall
 /// watchdog; reads never mutate engine state, so runs are bit-identical
 /// with the server on or off.
 class TelemetryServer {
@@ -61,10 +65,18 @@ class TelemetryServer {
   Status Start(const TelemetryOptions& options);
   void Stop();
 
-  bool running() const { return running_.load(std::memory_order_relaxed); }
+  bool running() const { return listener_.running(); }
   /// The actually-bound port (differs from options.port when it was 0).
-  int port() const { return port_; }
+  int port() const { return listener_.port(); }
   const StallWatchdog& watchdog() const { return watchdog_; }
+
+  /// Installs a hook whose return value — one or more complete JSON
+  /// members, e.g. `"serving":{...}` — is spliced into the /statusz
+  /// object. Set before Start() or from a quiesced server; the hook is
+  /// called on the accept thread per scrape and must be thread-safe.
+  void set_statusz_extra(std::function<std::string()> hook) {
+    statusz_extra_ = std::move(hook);
+  }
 
   /// An HTTP response before serialization; exposed so unit tests can
   /// exercise routing without sockets.
@@ -81,17 +93,13 @@ class TelemetryServer {
   static std::unique_ptr<TelemetryServer> FromEnv();
 
  private:
-  void Serve();
   void HandleConnection(int fd);
 
   MetricsRegistry* registry_;
   TelemetryOptions options_;
   StallWatchdog watchdog_;
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_{false};
-  int listen_fd_ = -1;
-  int port_ = 0;
+  SocketListener listener_;
+  std::function<std::string()> statusz_extra_;
 };
 
 /// Renders a registry snapshot in the Prometheus text exposition format
@@ -105,10 +113,13 @@ std::string RenderPrometheusText(const MetricsRegistry::Snapshot& snap);
 /// [a-zA-Z0-9_] becomes `_`; the prefix guarantees a valid first char).
 std::string PrometheusMetricName(const std::string& name);
 
-/// The /statusz payload (exposed for schema tests).
+/// The /statusz payload (exposed for schema tests). `extra`, when
+/// non-empty, must be one or more complete JSON members ("key":value)
+/// and is spliced before the closing brace.
 std::string RenderStatusz(const LiveStatus::Snapshot& live,
                           const StallWatchdog* watchdog,
-                          const MetricsRegistry::Snapshot& metrics);
+                          const MetricsRegistry::Snapshot& metrics,
+                          const std::string& extra = std::string());
 
 }  // namespace itg
 

@@ -32,9 +32,14 @@ uint64_t ThreadCpuNanos() {
 }
 
 /// Marks a run live on GlobalLiveStatus for the enclosing scope; EndRun
-/// fires on every exit path, error returns included.
+/// fires on every exit path, error returns included. A non-empty
+/// query_label (EngineOptions::query_label) retags the live query first —
+/// how the serving daemon's interleaved per-view runs stay attributable
+/// on /statusz.
 struct LiveRunScope {
-  LiveRunScope(const char* phase, Timestamp t) {
+  LiveRunScope(const char* phase, Timestamp t,
+               const std::string& query_label) {
+    if (!query_label.empty()) GlobalLiveStatus().SetQuery(query_label);
     GlobalLiveStatus().BeginRun(phase, t);
   }
   ~LiveRunScope() { GlobalLiveStatus().EndRun(); }
@@ -1122,7 +1127,7 @@ Status Engine::WriteDeltaFiles(Timestamp t, Superstep s,
 
 Status Engine::RunOneShot(Timestamp t) {
   TraceSpan run_span("oneshot", "engine", t);
-  LiveRunScope live_run("oneshot", t);
+  LiveRunScope live_run("oneshot", t, options_.query_label);
   Stopwatch watch;
   Metrics& metrics = *store_->metrics();
   const uint64_t read0 = metrics.read_bytes();
@@ -1255,7 +1260,7 @@ Status Engine::RunIncremental(Timestamp t) {
     }
   }
   TraceSpan run_span("incremental", "engine", t);
-  LiveRunScope live_run("incremental", t);
+  LiveRunScope live_run("incremental", t, options_.query_label);
   if (lineage_ != nullptr) {
     ITG_RETURN_IF_ERROR(lineage_->BeginTimestamp(store_, t));
   }

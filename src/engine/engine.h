@@ -77,6 +77,12 @@ struct EngineOptions {
   Timestamp debug_corrupt_timestamp = -1;
   VertexId debug_corrupt_vertex = -1;
   double debug_corrupt_delta = 0.0;
+  /// When non-empty, published as the GlobalLiveStatus query label at the
+  /// start of every run. Long-lived drivers with one engine set the label
+  /// once themselves; the serving daemon interleaves runs of many
+  /// standing views on one thread, so each view's engine retags the live
+  /// query as it runs and /statusz always names the view in flight.
+  std::string query_label;
 };
 
 /// Per-machine outcome of a partitioned run.

@@ -69,7 +69,7 @@ void RunReport::AddResult(const std::string& name, double value) {
 std::string RunReport::ToJson() const {
   std::string out;
   out.reserve(4096);
-  out.append("{\"schema_version\":4,\"binary\":");
+  out.append("{\"schema_version\":5,\"binary\":");
   AppendJsonString(&out, binary_);
   out.append(",\"runs\":[");
   bool first = true;
@@ -284,6 +284,44 @@ std::string RunReport::ToJson() const {
     AppendField(&out, "actual_digest", d.actual_digest,
                 /*trailing_comma=*/false);
     out.append("}}");
+  }
+
+  // Schema v5: the serving daemon's tallies (omitted unless attached).
+  if (has_serving_) {
+    out.append(",\"serving\":{");
+    AppendField(&out, "standing_queries", serving_.standing_queries);
+    AppendField(&out, "ingest_batches", serving_.ingest_batches);
+    AppendField(&out, "ingest_ops", serving_.ingest_ops);
+    AppendField(&out, "backpressure_stalls", serving_.backpressure_stalls);
+    AppendField(&out, "delta_messages", serving_.delta_messages);
+    out.append("\"queries\":[");
+    for (size_t i = 0; i < serving_.queries.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      const ServingQueryRow& q = serving_.queries[i];
+      out.append("{\"name\":");
+      AppendJsonString(&out, q.name);
+      out.append(",\"timestamp\":");
+      out.append(std::to_string(q.timestamp));
+      out.push_back(',');
+      AppendField(&out, "digest", q.digest);
+      AppendField(&out, "runs", q.runs);
+      AppendField(&out, "budget_bytes", q.budget_bytes);
+      AppendField(&out, "budget_used_bytes", q.budget_used_bytes);
+      out.append("\"delta_latency_us\":{");
+      AppendField(&out, "count", q.latency_count);
+      AppendField(&out, "sum", q.latency_sum_us);
+      out.append("\"buckets\":[");
+      for (size_t b = 0; b < q.latency_buckets.size(); ++b) {
+        if (b > 0) out.push_back(',');
+        char bbuf[56];
+        std::snprintf(bbuf, sizeof(bbuf), "[%" PRIu64 ",%" PRIu64 "]",
+                      q.latency_buckets[b].first,
+                      q.latency_buckets[b].second);
+        out.append(bbuf);
+      }
+      out.append("]}}");
+    }
+    out.append("]}");
   }
 
   out.push_back('}');

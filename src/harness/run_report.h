@@ -48,10 +48,36 @@ struct AuditSection {
   AuditDivergence divergence;
 };
 
+/// One standing query's row in the schema v5 `serving` section.
+struct ServingQueryRow {
+  std::string name;
+  Timestamp timestamp = 0;  ///< last maintained batch boundary
+  uint64_t digest = 0;      ///< state digest at `timestamp`
+  uint64_t runs = 0;        ///< one-shot + incremental runs executed
+  uint64_t budget_bytes = 0;       ///< admission slice (0 = uncapped)
+  uint64_t budget_used_bytes = 0;  ///< bytes charged against the slice
+  /// Per-batch ΔQ latency (enqueue → subscriber fan-out), microseconds;
+  /// buckets are (lower bound, count) pairs from the log-scale histogram.
+  uint64_t latency_count = 0;
+  uint64_t latency_sum_us = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> latency_buckets;
+};
+
+/// The schema v5 `serving` section: the standing-query daemon's final
+/// tallies (filled by examples/itg_serve.cc at drain time).
+struct ServingSection {
+  uint64_t standing_queries = 0;
+  uint64_t ingest_batches = 0;
+  uint64_t ingest_ops = 0;
+  uint64_t backpressure_stalls = 0;
+  uint64_t delta_messages = 0;
+  std::vector<ServingQueryRow> queries;
+};
+
 /// Machine-readable run report (the `--metrics-json=<path>` output of the
 /// bench and harness binaries).
 ///
-/// Schema (version 4, validated by tools/trace_summary.py and diffed by
+/// Schema (version 5, validated by tools/trace_summary.py and diffed by
 /// tools/report_diff.py; readers accept REPORT_SCHEMA_MIN..MAX):
 /// ```json
 /// {
@@ -94,7 +120,15 @@ struct AuditSection {
 ///                    "first_bad_batch": 4, "bisection_probes": 2,
 ///                    "attrs": ["comp"], "divergent_vertices": 5,
 ///                    "vertices": [7, ...],
-///                    "expected_digest": 1, "actual_digest": 2}}
+///                    "expected_digest": 1, "actual_digest": 2}},
+///   "serving": {                // v5, present when SetServing was called
+///     "standing_queries": 2, "ingest_batches": 6, "ingest_ops": 24,
+///     "backpressure_stalls": 0, "delta_messages": 12,
+///     "queries": [
+///       {"name": "q1", "timestamp": 6, "digest": 123, "runs": 7,
+///        "budget_bytes": 0, "budget_used_bytes": 4096,
+///        "delta_latency_us": {"count": 6, "sum": 900,
+///                             "buckets": [[64, 4], [128, 2]]}}, ...]}
 /// }
 /// ```
 ///
@@ -129,6 +163,13 @@ class RunReport {
     has_audit_ = true;
   }
 
+  /// Attaches the serving daemon's final tallies; emitted as the v5
+  /// `serving` section (omitted entirely when never called).
+  void SetServing(const ServingSection& serving) {
+    serving_ = serving;
+    has_serving_ = true;
+  }
+
   std::string ToJson() const;
   Status WriteTo(const std::string& path) const;
 
@@ -156,6 +197,8 @@ class RunReport {
   std::vector<std::pair<std::string, double>> results_;
   bool has_audit_ = false;
   AuditSection audit_;
+  bool has_serving_ = false;
+  ServingSection serving_;
 };
 
 }  // namespace itg

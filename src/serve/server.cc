@@ -1,0 +1,182 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/clean_stop.h"
+#include "common/logging.h"
+
+namespace itg {
+namespace serve {
+
+namespace {
+
+/// Shared per-connection write end: the connection thread (acks) and the
+/// maintenance thread (delta fan-out) both append lines through this.
+struct ConnWriter {
+  int fd;
+  std::mutex mu;
+  std::atomic<bool> broken{false};
+
+  explicit ConnWriter(int fd_in) : fd(fd_in) {}
+
+  void WriteLine(const std::string& line) {
+    if (broken.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mu);
+    std::string out = line;
+    out.push_back('\n');
+    size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t w = ::send(fd, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                               MSG_NOSIGNAL
+#else
+                               0
+#endif
+      );
+      if (w <= 0) {
+        // Client gone: stop writing; the read loop notices the closed
+        // peer and detaches every subscription of this connection.
+        broken.store(true, std::memory_order_relaxed);
+        return;
+      }
+      sent += static_cast<size_t>(w);
+    }
+  }
+};
+
+}  // namespace
+
+Status Server::Start(const ServerOptions& options) {
+  SocketListener::Options lopt;
+  lopt.port = options.port;
+  lopt.port_file = options.port_file;
+  lopt.thread_per_connection = true;
+  lopt.name = "serve";
+  ITG_RETURN_IF_ERROR(
+      listener_.Start(lopt, [this](int fd) { HandleConnection(fd); }));
+  ITG_LOG(Info) << "serve: listening on 127.0.0.1:" << port();
+  return Status::OK();
+}
+
+void Server::Stop() { listener_.Stop(); }
+
+void Server::HandleConnection(int fd) {
+  auto writer = std::make_shared<ConnWriter>(fd);
+  // query name -> subscriber id held by THIS connection.
+  std::map<std::string, int> subs;
+
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // peer closed / listener shut us down
+    buffer.append(chunk, static_cast<size_t>(n));
+
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      auto req_or = ParseRequest(line);
+      if (!req_or.ok()) {
+        writer->WriteLine(SerializeResponse(
+            MakeError(RequestOp::kStatus, "", "parse_error",
+                      req_or.status().ToString())));
+        continue;
+      }
+      const Request req = std::move(req_or).value();
+      switch (req.op) {
+        case RequestOp::kRegister: {
+          Response snapshot;
+          Response ack = service_->Register(req, &snapshot);
+          if (ack.type == ResponseType::kAck && req.subscribe) {
+            int sub_id = 0;
+            Response sub_ack = service_->Subscribe(
+                req,
+                [writer](const Response& delta) {
+                  writer->WriteLine(SerializeResponse(delta));
+                },
+                &sub_id);
+            if (sub_ack.type == ResponseType::kAck) {
+              subs[req.query] = sub_id;
+            }
+          }
+          writer->WriteLine(SerializeResponse(ack));
+          if (ack.type == ResponseType::kAck && req.snapshot) {
+            writer->WriteLine(SerializeResponse(snapshot));
+          }
+          break;
+        }
+        case RequestOp::kSubscribe: {
+          int sub_id = 0;
+          Response resp = service_->Subscribe(
+              req,
+              [writer](const Response& delta) {
+                writer->WriteLine(SerializeResponse(delta));
+              },
+              &sub_id);
+          if (resp.type == ResponseType::kAck) subs[req.query] = sub_id;
+          writer->WriteLine(SerializeResponse(resp));
+          break;
+        }
+        case RequestOp::kUnsubscribe: {
+          auto it = subs.find(req.query);
+          if (it == subs.end()) {
+            writer->WriteLine(SerializeResponse(MakeError(
+                RequestOp::kUnsubscribe, req.query, "unknown_query",
+                "this connection is not subscribed to '" + req.query +
+                    "'")));
+            break;
+          }
+          service_->RemoveSubscriber(req.query, it->second);
+          subs.erase(it);
+          writer->WriteLine(
+              SerializeResponse(MakeAck(RequestOp::kUnsubscribe, req.query)));
+          break;
+        }
+        case RequestOp::kDeregister: {
+          Response resp = service_->Deregister(req);
+          if (resp.type == ResponseType::kAck) subs.erase(req.query);
+          writer->WriteLine(SerializeResponse(resp));
+          break;
+        }
+        case RequestOp::kIngest:
+          writer->WriteLine(SerializeResponse(service_->Ingest(req)));
+          break;
+        case RequestOp::kStatus:
+          writer->WriteLine(SerializeResponse(service_->GetStatus()));
+          break;
+        case RequestOp::kShutdown:
+          // One shutdown path for Ctrl-C and the wire: ack, then trip
+          // the clean-stop flag; the daemon's main loop drains.
+          writer->WriteLine(
+              SerializeResponse(MakeAck(RequestOp::kShutdown, "")));
+          ITG_LOG(Info) << "serve: shutdown requested over the wire";
+          RequestCleanStop();
+          break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+
+  // Connection teardown: every subscription this connection held dies
+  // with it (the sink's shared writer outlives us harmlessly; broken
+  // flag stops late writes).
+  writer->broken.store(true, std::memory_order_relaxed);
+  for (const auto& [query, sub_id] : subs) {
+    service_->RemoveSubscriber(query, sub_id);
+  }
+}
+
+}  // namespace serve
+}  // namespace itg

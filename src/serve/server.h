@@ -1,0 +1,60 @@
+// Socket face of the standing-query service: newline-delimited JSON
+// request/response over loopback TCP (common/socket_listener.h in
+// thread-per-connection mode, so a subscriber parked on a delta stream
+// never starves new clients). All protocol semantics live in
+// serve/service.h; this class only frames lines, dispatches ops, and
+// owns the per-connection subscription plumbing:
+//
+//   - each connection gets a write mutex, because ΔQ records arrive
+//     from the maintenance thread while request acks leave from the
+//     connection thread;
+//   - subscriptions die with their connection (the read loop's exit
+//     path detaches every sink it registered);
+//   - the `shutdown` op acks, then trips the shared clean-stop flag
+//     (common/clean_stop.h) — the daemon's main loop drains the
+//     service exactly as it would on SIGINT.
+#ifndef ITG_SERVE_SERVER_H_
+#define ITG_SERVE_SERVER_H_
+
+#include <string>
+
+#include "common/socket_listener.h"
+#include "common/status.h"
+#include "serve/service.h"
+
+namespace itg {
+namespace serve {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 = ephemeral (read back with port()).
+  int port = 0;
+  /// When non-empty, the bound port is written here once listening.
+  std::string port_file;
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  explicit Server(Service* service) : service_(service) {}
+  ~Server() { Stop(); }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Status Start(const ServerOptions& options);
+  void Stop();
+
+  int port() const { return listener_.port(); }
+  bool running() const { return listener_.running(); }
+
+ private:
+  void HandleConnection(int fd);
+
+  Service* service_;
+  SocketListener listener_;
+};
+
+}  // namespace serve
+}  // namespace itg
+
+#endif  // ITG_SERVE_SERVER_H_

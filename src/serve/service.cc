@@ -1,0 +1,444 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "algos/programs.h"
+#include "common/live_status.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace itg {
+namespace serve {
+
+namespace {
+
+// Structured error code for a failed registration, from the Status the
+// view-construction pipeline produced.
+const char* RegisterErrorCode(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kOutOfMemory:
+      return "budget_exceeded";
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+    case StatusCode::kCompileError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kUnsupported:
+      return "compile_error";
+    default:
+      return "internal";
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Service>> Service::Create(
+    VertexId num_vertices, std::vector<Edge> base_edges,
+    const ServiceOptions& options) {
+  auto service = std::unique_ptr<Service>(new Service());
+  service->options_ = options;
+  service->registry_ = options.registry != nullptr
+                           ? options.registry
+                           : &GlobalMetrics().registry();
+  MetricsRegistry* reg = service->registry_;
+  service->backpressure_stalls_ = reg->counter("serve.backpressure_stalls");
+  service->ingest_batches_ = reg->counter("serve.ingest_batches");
+  service->ingest_ops_ = reg->counter("serve.ingest_ops");
+  service->delta_messages_ = reg->counter("serve.delta_messages");
+  service->standing_queries_gauge_ = reg->gauge("serve.standing_queries");
+  service->queue_depth_gauge_ = reg->gauge("serve.queue_depth");
+
+  if (!options.scratch_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.scratch_dir, ec);
+  }
+
+  // The primary mirrors the store's simple-graph normalization (dedup,
+  // no self-loops) into present_, the ingest-validation edge set.
+  for (const Edge& e : base_edges) {
+    if (e.src != e.dst) service->present_.insert(e);
+  }
+  std::vector<Edge> edges(service->present_.begin(),
+                          service->present_.end());
+  ITG_ASSIGN_OR_RETURN(
+      service->primary_,
+      DynamicGraphStore::Create(options.scratch_dir + "/primary",
+                                num_vertices, std::move(edges),
+                                DynamicGraphStore::Options{},
+                                &GlobalMetrics()));
+  service->maintenance_ = std::thread([s = service.get()] {
+    s->MaintenanceLoop();
+  });
+  return service;
+}
+
+Service::~Service() { Drain(); }
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+Response Service::Register(const Request& req, Response* snapshot_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return MakeError(RequestOp::kRegister, req.query, "shutting_down",
+                     "service is draining");
+  }
+  if (queries_.count(req.query) != 0) {
+    return MakeError(RequestOp::kRegister, req.query, "already_exists",
+                     "query '" + req.query + "' is already registered");
+  }
+  if (queries_.size() >= options_.max_queries) {
+    return MakeError(RequestOp::kRegister, req.query, "admission_full",
+                     "max standing queries reached (" +
+                         std::to_string(options_.max_queries) + ")");
+  }
+
+  StandingQueryOptions sq;
+  sq.name = req.query;
+  sq.fixed_supersteps = -1;
+  if (!req.program.empty()) {
+    int builtin_supersteps = -1;
+    if (!NamedProgram(req.program, &sq.source, &builtin_supersteps)) {
+      return MakeError(RequestOp::kRegister, req.query, "compile_error",
+                       "unknown builtin program '" + req.program + "'");
+    }
+    sq.fixed_supersteps = builtin_supersteps;
+  } else {
+    sq.source = req.source;
+  }
+  if (req.supersteps != 0) sq.fixed_supersteps = req.supersteps;
+  sq.symmetric = req.symmetric;
+  sq.budget_bytes = req.budget_bytes != 0 ? req.budget_bytes
+                                          : options_.default_budget_bytes;
+  sq.scratch_path = options_.scratch_dir + "/view_" + req.query;
+  sq.num_threads = options_.num_threads;
+  sq.verify_on_register = options_.verify_on_register;
+
+  auto query_or = StandingQuery::Create(primary_.get(), sq);
+  if (!query_or.ok()) {
+    const Status& s = query_or.status();
+    ITG_LOG(Warn) << "serve: register '" << req.query
+                  << "' failed: " << s.ToString();
+    return MakeError(RequestOp::kRegister, req.query, RegisterErrorCode(s),
+                     s.ToString());
+  }
+  auto query = std::move(query_or).value();
+
+  Response ack = MakeAck(RequestOp::kRegister, req.query);
+  ack.timestamp = query->timestamp();
+  ack.digest = query->digest();
+  if (req.snapshot && snapshot_out != nullptr) {
+    query->FillSnapshot(snapshot_out);
+  }
+  queries_[req.query] = std::move(query);
+  standing_queries_gauge_->Set(static_cast<int64_t>(queries_.size()));
+  ITG_LOG(Info) << "serve: registered standing query '" << req.query << "'";
+  return ack;
+}
+
+Response Service::Deregister(const Request& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(req.query);
+  if (it == queries_.end()) {
+    return MakeError(RequestOp::kDeregister, req.query, "unknown_query",
+                     "no standing query '" + req.query + "'");
+  }
+  queries_.erase(it);
+  subscribers_.erase(req.query);
+  standing_queries_gauge_->Set(static_cast<int64_t>(queries_.size()));
+  return MakeAck(RequestOp::kDeregister, req.query);
+}
+
+Response Service::Subscribe(const Request& req, DeltaSink sink,
+                            int* sub_id_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queries_.count(req.query) == 0) {
+    return MakeError(RequestOp::kSubscribe, req.query, "unknown_query",
+                     "no standing query '" + req.query + "'");
+  }
+  const int id = next_sub_id_++;
+  subscribers_[req.query].push_back(Subscriber{id, std::move(sink)});
+  if (sub_id_out != nullptr) *sub_id_out = id;
+  return MakeAck(RequestOp::kSubscribe, req.query);
+}
+
+void Service::RemoveSubscriber(const std::string& query, int sub_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subscribers_.find(query);
+  if (it == subscribers_.end()) return;
+  auto& subs = it->second;
+  subs.erase(std::remove_if(subs.begin(), subs.end(),
+                            [&](const Subscriber& s) {
+                              return s.id == sub_id;
+                            }),
+             subs.end());
+  if (subs.empty()) subscribers_.erase(it);
+}
+
+Response Service::Ingest(const Request& req) {
+  PendingBatch batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      return MakeError(RequestOp::kIngest, "", "shutting_down",
+                       "service is draining");
+    }
+    // Validate against the live edge set (including still-queued
+    // batches): the store's degree bookkeeping requires that inserts
+    // target absent edges and deletes present ones, and every vertex
+    // must be inside the fixed vertex space.
+    const VertexId n = primary_->num_vertices();
+    for (const Edge& e : req.inserts) {
+      if (e.src < 0 || e.dst < 0 || e.src >= n || e.dst >= n) {
+        return MakeError(RequestOp::kIngest, "", "out_of_range",
+                         "insert [" + std::to_string(e.src) + "," +
+                             std::to_string(e.dst) +
+                             ") outside vertex space of " +
+                             std::to_string(n));
+      }
+      if (e.src == e.dst || present_.count(e) != 0) {
+        return MakeError(RequestOp::kIngest, "", "invalid_mutation",
+                         "insert of present edge or self-loop [" +
+                             std::to_string(e.src) + "," +
+                             std::to_string(e.dst) + "]");
+      }
+    }
+    for (const Edge& e : req.deletes) {
+      if (present_.count(e) == 0) {
+        return MakeError(RequestOp::kIngest, "", "invalid_mutation",
+                         "delete of absent edge [" +
+                             std::to_string(e.src) + "," +
+                             std::to_string(e.dst) + "]");
+      }
+    }
+    for (const Edge& e : req.inserts) {
+      present_.insert(e);
+      batch.ops.push_back({e, Multiplicity{1}});
+    }
+    for (const Edge& e : req.deletes) {
+      present_.erase(e);
+      batch.ops.push_back({e, Multiplicity{-1}});
+    }
+    batch.seq = next_seq_++;
+  }
+  batch.enqueued_at = std::chrono::steady_clock::now();
+
+  size_t depth;
+  {
+    std::unique_lock<std::mutex> ql(queue_mu_);
+    // Backpressure: block while the bounded queue is full. Tickets
+    // (seq order) keep concurrently blocked producers from reordering
+    // batches relative to the validation order above.
+    if (queue_.size() >= options_.ingest_queue_depth) {
+      backpressure_stalls_->Increment();
+    }
+    space_cv_.wait(ql, [&] {
+      return queue_.size() < options_.ingest_queue_depth &&
+             batch.seq == next_ticket_;
+    });
+    ++next_ticket_;
+    queue_.push_back(std::move(batch));
+    depth = queue_.size();
+    queue_depth_gauge_->Set(static_cast<int64_t>(depth));
+    queue_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  ingest_batches_->Increment();
+  ingest_ops_->Add(req.inserts.size() + req.deletes.size());
+
+  Response ack = MakeAck(RequestOp::kIngest, "");
+  ack.queue_depth = depth;
+  return ack;
+}
+
+Response Service::GetStatus() {
+  Response resp;
+  std::lock_guard<std::mutex> lock(mu_);
+  FillStatusLocked(&resp);
+  return resp;
+}
+
+void Service::FillStatusLocked(Response* out) {
+  out->type = ResponseType::kStatus;
+  for (const auto& [name, query] : queries_) {
+    QueryRow row;
+    query->FillRow(&row);
+    auto sub_it = subscribers_.find(name);
+    row.subscribers = sub_it != subscribers_.end()
+                          ? static_cast<int>(sub_it->second.size())
+                          : 0;
+    out->queries.push_back(std::move(row));
+  }
+  {
+    std::lock_guard<std::mutex> ql(queue_mu_);
+    out->queue_depth = queue_.size() + (applying_ ? 1 : 0);
+  }
+  out->backpressure_stalls = backpressure_stalls_->value();
+  out->ingest_batches = ingest_batches_->value();
+  out->max_queries = options_.max_queries;
+  out->draining = draining_;
+}
+
+std::string Service::StatuszExtraJson() {
+  Response status = GetStatus();
+  // Reuse the wire rendering, then lift the members we want into a
+  // named "serving" object (the status message is itself a JSON object;
+  // strip its "type" discriminator).
+  std::string body = SerializeResponse(status);
+  // body = {"type":"status",REST} -> "serving":{REST}
+  const std::string prefix = "{\"type\":\"status\",";
+  std::string inner = body.substr(prefix.size());  // REST}  (ends with })
+  return "\"serving\":{" + inner;
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+void Service::MaintenanceLoop() {
+  for (;;) {
+    PendingBatch batch;
+    {
+      std::unique_lock<std::mutex> ql(queue_mu_);
+      queue_cv_.wait(ql, [&] {
+        return stop_thread_ || (!queue_.empty() && !paused_);
+      });
+      if (queue_.empty()) {
+        if (stop_thread_) break;
+        continue;
+      }
+      // A drain overrides a test-hook pause: queued work always
+      // finishes before the thread exits.
+      if (paused_ && !stop_thread_) continue;
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      applying_ = true;
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+      space_cv_.notify_all();
+    }
+    ApplyOneBatch(std::move(batch));
+    {
+      std::lock_guard<std::mutex> ql(queue_mu_);
+      applying_ = false;
+    }
+    queue_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+}
+
+void Service::ApplyOneBatch(PendingBatch batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ts_or = primary_->ApplyMutations(batch.ops);
+  if (!ts_or.ok()) {
+    // Validation in Ingest() makes this unreachable short of storage
+    // failure; the batch is lost but the service stays up.
+    ITG_LOG(Error) << "serve: primary ApplyMutations failed: "
+                   << ts_or.status().ToString();
+    return;
+  }
+  GlobalLiveStatus().SetDeltaSeq(*ts_or);
+
+  std::vector<std::string> broken;
+  for (auto& [name, query] : queries_) {
+    Response delta;
+    Status s = query->ApplyBatch(batch.ops, &delta);
+    if (!s.ok()) {
+      ITG_LOG(Error) << "serve: view '" << name
+                     << "' failed incremental maintenance, dropping it: "
+                     << s.ToString();
+      broken.push_back(name);
+      continue;
+    }
+    delta.seq = batch.seq;
+    const auto now = std::chrono::steady_clock::now();
+    delta.latency_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now - batch.enqueued_at)
+            .count());
+    registry_->histogram("serve.delta_latency_us." + name)
+        ->Record(delta.latency_us);
+    auto sub_it = subscribers_.find(name);
+    if (sub_it != subscribers_.end()) {
+      for (const Subscriber& sub : sub_it->second) {
+        sub.sink(delta);
+        delta_messages_->Increment();
+      }
+    }
+  }
+  for (const std::string& name : broken) {
+    queries_.erase(name);
+    subscribers_.erase(name);
+  }
+  if (!broken.empty()) {
+    standing_queries_gauge_->Set(static_cast<int64_t>(queries_.size()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown
+// ---------------------------------------------------------------------------
+
+void Service::Drain() {
+  uint64_t last_issued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      // Second Drain (destructor after an explicit call): fall through
+      // to the join below, which is a no-op once the thread stopped.
+      last_issued = next_seq_ - 1;
+    } else {
+      draining_ = true;
+      last_issued = next_seq_ - 1;
+      ITG_LOG(Info) << "serve: draining (" << queries_.size()
+                    << " standing queries)";
+    }
+  }
+  {
+    std::unique_lock<std::mutex> ql(queue_mu_);
+    paused_ = false;
+    // Wait for every issued ticket to be enqueued and every queued
+    // batch to clear the in-flight window.
+    queue_cv_.wait(ql, [&] {
+      return next_ticket_ > last_issued && queue_.empty() && !applying_;
+    });
+    stop_thread_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
+bool Service::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+size_t Service::standing_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_.size();
+}
+
+uint64_t Service::backpressure_stalls() const {
+  return backpressure_stalls_->value();
+}
+
+uint64_t Service::ingest_batches() const {
+  return ingest_batches_->value();
+}
+
+void Service::SetMaintenancePaused(bool paused) {
+  {
+    std::lock_guard<std::mutex> ql(queue_mu_);
+    paused_ = paused;
+  }
+  queue_cv_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace itg

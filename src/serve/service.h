@@ -1,0 +1,190 @@
+// The standing-query service (tentpole of the serving layer): owns the
+// graph of record, admits L_NGA registrations as standing incremental
+// views (serve/standing_query.h), and pumps ingested Δ-batches through
+// every view on one maintenance thread — the paper's "continuously
+// maintain analysis results as the graph evolves" promoted from a batch
+// driver loop to a long-lived daemon.
+//
+// Transport-free by design: this class speaks protocol.h structs, not
+// sockets, so the admission-control / backpressure / drain logic is
+// unit-testable without a port (tests/serve_test.cc). The socket face
+// lives in serve/server.h.
+//
+// Concurrency model. One mutex (mu_) serializes the control plane
+// (register/deregister/status) with batch application; the bounded
+// ingest queue decouples producers from view maintenance:
+//
+//   client conns --Ingest()--> [bounded queue] --maintenance thread-->
+//       primary.ApplyMutations + per-view ApplyBatch + subscriber fan-out
+//
+// When ingestion outruns maintenance the queue fills and Ingest()
+// blocks — backpressure, surfaced as the serve.backpressure_stalls
+// counter (one bump per blocked enqueue). Graceful shutdown (Drain)
+// stops admitting work, drains the queue, finishes the in-flight
+// supersteps, and only then returns; SIGINT and the `shutdown` op share
+// this one path (common/clean_stop.h).
+#ifndef ITG_SERVE_SERVICE_H_
+#define ITG_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "serve/protocol.h"
+#include "serve/standing_query.h"
+#include "storage/graph_store.h"
+
+namespace itg {
+namespace serve {
+
+struct ServiceOptions {
+  /// Admission control: max concurrently standing queries.
+  size_t max_queries = 8;
+  /// Default per-query MemoryBudget slice when a register request does
+  /// not carry budget_bytes; 0 = uncapped.
+  uint64_t default_budget_bytes = 0;
+  /// Bounded ingest queue capacity (batches); a full queue blocks
+  /// Ingest() — the backpressure mechanism.
+  size_t ingest_queue_depth = 64;
+  /// File prefix for the primary store and per-view replicas.
+  std::string scratch_dir;
+  /// Worker threads per view engine (0 = ITG_THREADS / hardware).
+  int num_threads = 0;
+  /// Audit every freshly registered view against a shadow replay.
+  bool verify_on_register = true;
+  /// Registry for serve.* counters; null = GlobalMetrics().registry().
+  MetricsRegistry* registry = nullptr;
+};
+
+/// ΔQ sink of one subscriber: called on the maintenance thread with the
+/// fully-formed delta message of one view after one batch. Must not
+/// re-enter the Service.
+using DeltaSink = std::function<void(const Response&)>;
+
+class Service {
+ public:
+  /// Builds the service around a fresh primary store over `base_edges`.
+  static StatusOr<std::unique_ptr<Service>> Create(
+      VertexId num_vertices, std::vector<Edge> base_edges,
+      const ServiceOptions& options);
+
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // ---- control plane (request -> response, synchronous) ----
+
+  /// Admission control + view construction. On success returns an ack
+  /// carrying the view's one-shot digest; when `req.snapshot` is set and
+  /// `snapshot_out` non-null, also fills a snapshot message to deliver
+  /// after the ack. Registration runs the one-shot inline, pausing batch
+  /// maintenance (the view must replicate the primary at a batch
+  /// boundary).
+  Response Register(const Request& req, Response* snapshot_out);
+
+  /// Drops a standing query and releases its budget slice.
+  Response Deregister(const Request& req);
+
+  /// Attaches a ΔQ sink to a query; `sub_id_out` is the handle for
+  /// RemoveSubscriber. Errors: unknown_query.
+  Response Subscribe(const Request& req, DeltaSink sink, int* sub_id_out);
+  void RemoveSubscriber(const std::string& query, int sub_id);
+
+  /// Validates and enqueues one Δ-batch. Blocks while the queue is full
+  /// (backpressure). The ack reports the post-enqueue queue depth; view
+  /// maintenance happens asynchronously.
+  Response Ingest(const Request& req);
+
+  /// Per-query rows + service counters.
+  Response GetStatus();
+
+  /// Stops admitting work, drains the queue through every view, joins
+  /// the maintenance thread. Idempotent; also run by the destructor.
+  void Drain();
+  bool draining() const;
+
+  /// The /statusz splice: `"serving":{...}` with the same rows as the
+  /// status op (TelemetryServer::set_statusz_extra).
+  std::string StatuszExtraJson();
+
+  // ---- introspection (tests, run reports) ----
+
+  size_t standing_queries() const;
+  uint64_t backpressure_stalls() const;
+  uint64_t ingest_batches() const;
+  const ServiceOptions& options() const { return options_; }
+  DynamicGraphStore* primary() { return primary_.get(); }
+
+  /// Test hook: while paused the maintenance thread holds off dequeuing,
+  /// so a unit test can fill a tiny queue and observe a deterministic
+  /// backpressure stall.
+  void SetMaintenancePaused(bool paused);
+
+ private:
+  Service() = default;
+
+  struct PendingBatch {
+    std::vector<EdgeDelta> ops;
+    std::chrono::steady_clock::time_point enqueued_at;
+    uint64_t seq = 0;
+  };
+
+  void MaintenanceLoop();
+  void ApplyOneBatch(PendingBatch batch);
+  void FillStatusLocked(Response* out);
+
+  ServiceOptions options_;
+  MetricsRegistry* registry_ = nullptr;
+  std::unique_ptr<DynamicGraphStore> primary_;
+
+  mutable std::mutex mu_;  // control plane + primary + views + subscribers
+  std::map<std::string, std::unique_ptr<StandingQuery>> queries_;
+  struct Subscriber {
+    int id;
+    DeltaSink sink;
+  };
+  std::map<std::string, std::vector<Subscriber>> subscribers_;
+  int next_sub_id_ = 1;
+  /// Live edge set mirror for ingest validation (the store's degree
+  /// bookkeeping requires inserts of absent and deletes of present
+  /// edges); includes batches still in the queue.
+  std::unordered_set<Edge, EdgeHash> present_;
+  bool draining_ = false;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;       // consumer wakeups
+  std::condition_variable space_cv_;       // producer wakeups (backpressure)
+  std::deque<PendingBatch> queue_;
+  bool applying_ = false;  // a batch is between dequeue and fan-out
+  bool paused_ = false;
+  bool stop_thread_ = false;
+  std::thread maintenance_;
+  /// Next ticket allowed to enqueue (strict seq FIFO under backpressure).
+  uint64_t next_ticket_ = 1;
+
+  uint64_t next_seq_ = 1;
+  Counter* backpressure_stalls_ = nullptr;
+  Counter* ingest_batches_ = nullptr;
+  Counter* ingest_ops_ = nullptr;
+  Counter* delta_messages_ = nullptr;
+  Gauge* standing_queries_gauge_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace itg
+
+#endif  // ITG_SERVE_SERVICE_H_

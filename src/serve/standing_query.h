@@ -1,0 +1,128 @@
+// One standing incremental view (§2.2, §5 of the paper). A registered
+// L_NGA query becomes a long-lived Engine whose state advances by one
+// RunIncremental per ingested Δ-batch — the serving-layer embodiment of
+// the incremental contract Q(G ∪ ΔG) = Q(G) ∪ ΔQ: after every batch the
+// view's audited attributes hold exactly what a from-scratch run over
+// the mutated graph would (verified on registration by reusing the
+// drift auditor, and continuously observable through the state digest).
+//
+// Isolation model: each view owns a private DynamicGraphStore replica,
+// materialized from the graph of record at registration time
+// (MaterializeEdges) and advanced in lockstep by the service's
+// maintenance thread. Replicas exist because an Engine registers its
+// program's attribute schema into its store's VertexStore — two
+// different programs cannot share one store's per-timestamp history
+// files. The ROADMAP's MVCC-shared-snapshot item replaces the replicas
+// with refcounted shared snapshots; the wire protocol is unaffected.
+//
+// Memory accounting: the dominant resident structures (attribute
+// columns, previous-state mirror, replica edge list) are charged to a
+// per-query MemoryBudget slice at admission time, so one greedy
+// registration fails with `budget_exceeded` instead of degrading every
+// established view.
+#ifndef ITG_SERVE_STANDING_QUERY_H_
+#define ITG_SERVE_STANDING_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "compiler/compiled_program.h"
+#include "engine/engine.h"
+#include "serve/protocol.h"
+#include "storage/graph_store.h"
+
+namespace itg {
+namespace serve {
+
+struct StandingQueryOptions {
+  /// Client-chosen view name; also the LiveStatus query label while this
+  /// view's supersteps run.
+  std::string name;
+  /// L_NGA source (already resolved from a builtin name if any).
+  std::string source;
+  /// -1 = run to convergence; else exactly this many supersteps.
+  int fixed_supersteps = -1;
+  /// Mirror every Δ-op (u,v) as (v,u) for this view (undirected
+  /// analytics; the ingest stream must then never contain both
+  /// orientations of an edge).
+  bool symmetric = false;
+  /// Hard cap for this view's charged bytes; 0 = uncapped slice.
+  uint64_t budget_bytes = 0;
+  /// File prefix for the view's store replica.
+  std::string scratch_path;
+  int num_partitions = 1;
+  int num_threads = 0;
+  /// After the registration one-shot, audit the view against a shadow
+  /// replay (DriftAuditor::AuditNow) before admitting it.
+  bool verify_on_register = true;
+};
+
+/// A registered query: compiled program + store replica + resumable
+/// engine + previous-state mirror for ΔQ extraction. Not thread-safe;
+/// the service serializes all calls on its maintenance thread.
+class StandingQuery {
+ public:
+  /// Compiles, charges the memory budget, replicates `primary` at its
+  /// latest snapshot, runs the one-shot plan, and (optionally) audits
+  /// the fresh view. Failure modes callers turn into structured errors:
+  /// InvalidArgument = compile_error, OutOfMemory = budget_exceeded.
+  static StatusOr<std::unique_ptr<StandingQuery>> Create(
+      DynamicGraphStore* primary, const StandingQueryOptions& options);
+
+  ~StandingQuery();
+
+  StandingQuery(const StandingQuery&) = delete;
+  StandingQuery& operator=(const StandingQuery&) = delete;
+
+  /// Applies one Δ-batch (primary-store coordinates; symmetrization
+  /// happens inside) and runs the incremental plan. On success fills
+  /// `out` as a `delta` message: changed audited cells (after-images vs.
+  /// the previous snapshot), run stats, and the new state digest.
+  Status ApplyBatch(const std::vector<EdgeDelta>& batch, Response* out);
+
+  /// Fills `out` as a `snapshot` message: every audited attribute column
+  /// in full, plus the digest the columns reproduce.
+  void FillSnapshot(Response* out) const;
+
+  /// Fills one status row (shared by the `status` op and /statusz).
+  void FillRow(QueryRow* row) const;
+
+  const std::string& name() const { return options_.name; }
+  Timestamp timestamp() const { return t_; }
+  uint64_t digest() const { return digest_; }
+  uint64_t runs() const { return runs_; }
+  const MemoryBudget& budget() const { return *budget_; }
+  const StandingQueryOptions& options() const { return options_; }
+
+ private:
+  StandingQuery() = default;
+
+  /// Copies the audited columns into prev_ (the diff baseline).
+  void MirrorState();
+
+  StandingQueryOptions options_;
+  std::unique_ptr<CompiledProgram> program_;
+  std::unique_ptr<DynamicGraphStore> store_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<MemoryBudget> budget_;  // atomics make it unmovable
+  uint64_t charged_bytes_ = 0;
+
+  std::vector<int> audited_;               // engine attribute ids
+  std::vector<std::vector<double>> prev_;  // audited columns, last snapshot
+
+  Timestamp t_ = 0;  // view-local snapshot number
+  uint64_t digest_ = 0;
+  uint64_t runs_ = 0;
+  int last_supersteps_ = 0;
+  double last_seconds_ = 0;
+};
+
+}  // namespace serve
+}  // namespace itg
+
+#endif  // ITG_SERVE_STANDING_QUERY_H_

@@ -1,0 +1,509 @@
+// Unit tests of the serving layer: wire-protocol round-trips for every
+// documented message shape (docs/SERVING.md), and the transport-free
+// Service core — admission control, budget-slice rejection, ingest
+// validation, delta streaming, and deterministic backpressure stalls.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clean_stop.h"
+#include "common/metrics_registry.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace itg {
+namespace serve {
+namespace {
+
+// ------------------------------------------------------ protocol round-trips
+
+TEST(ServeProtocolTest, RegisterRequestRoundTrips) {
+  Request req;
+  req.op = RequestOp::kRegister;
+  req.query = "q1";
+  req.program = "bfs:3";
+  req.supersteps = 12;
+  req.symmetric = true;
+  req.subscribe = true;
+  req.snapshot = true;
+  req.budget_bytes = 1ull << 33;  // does not fit an int32
+
+  auto back_or = ParseRequest(SerializeRequest(req));
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  const Request& back = back_or.value();
+  EXPECT_EQ(back.op, RequestOp::kRegister);
+  EXPECT_EQ(back.query, "q1");
+  EXPECT_EQ(back.program, "bfs:3");
+  EXPECT_EQ(back.supersteps, 12);
+  EXPECT_TRUE(back.symmetric);
+  EXPECT_TRUE(back.subscribe);
+  EXPECT_TRUE(back.snapshot);
+  EXPECT_EQ(back.budget_bytes, 1ull << 33);
+}
+
+TEST(ServeProtocolTest, RegisterWithInlineSourceRoundTrips) {
+  Request req;
+  req.op = RequestOp::kRegister;
+  req.query = "custom";
+  req.source = "vertex v { attr rank: double = 1.0; }\n\"quoted\"";
+
+  auto back_or = ParseRequest(SerializeRequest(req));
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  EXPECT_EQ(back_or.value().source, req.source);
+}
+
+TEST(ServeProtocolTest, IngestRequestRoundTrips) {
+  Request req;
+  req.op = RequestOp::kIngest;
+  req.inserts = {{0, 5}, {5, 7}};
+  req.deletes = {{2, 3}};
+
+  auto back_or = ParseRequest(SerializeRequest(req));
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  const Request& back = back_or.value();
+  ASSERT_EQ(back.inserts.size(), 2u);
+  EXPECT_EQ(back.inserts[1].src, 5);
+  EXPECT_EQ(back.inserts[1].dst, 7);
+  ASSERT_EQ(back.deletes.size(), 1u);
+  EXPECT_EQ(back.deletes[0].src, 2);
+}
+
+TEST(ServeProtocolTest, SimpleOpsRoundTrip) {
+  for (RequestOp op : {RequestOp::kSubscribe, RequestOp::kUnsubscribe,
+                       RequestOp::kDeregister}) {
+    Request req;
+    req.op = op;
+    req.query = "q";
+    auto back_or = ParseRequest(SerializeRequest(req));
+    ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+    EXPECT_EQ(back_or.value().op, op);
+    EXPECT_EQ(back_or.value().query, "q");
+  }
+  for (RequestOp op : {RequestOp::kStatus, RequestOp::kShutdown}) {
+    Request req;
+    req.op = op;
+    auto back_or = ParseRequest(SerializeRequest(req));
+    ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+    EXPECT_EQ(back_or.value().op, op);
+  }
+}
+
+TEST(ServeProtocolTest, MalformedRequestsRejected) {
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("{\"op\":\"fly\"}").ok());
+  // register without a query name or program
+  EXPECT_FALSE(ParseRequest("{\"op\":\"register\"}").ok());
+  EXPECT_FALSE(ParseRequest("{\"op\":\"register\",\"query\":\"q\"}").ok());
+  // ingest without any ops
+  EXPECT_FALSE(ParseRequest("{\"op\":\"ingest\"}").ok());
+  // subscribe without a query
+  EXPECT_FALSE(ParseRequest("{\"op\":\"subscribe\"}").ok());
+}
+
+TEST(ServeProtocolTest, AckAndErrorRoundTrip) {
+  Response ack = MakeAck(RequestOp::kRegister, "q1");
+  ack.timestamp = 3;
+  ack.digest = 0xdeadbeefcafef00dull;  // only round-trips as a string
+  ack.queue_depth = 2;
+  auto back_or = ParseResponse(SerializeResponse(ack));
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  EXPECT_EQ(back_or.value().type, ResponseType::kAck);
+  EXPECT_EQ(back_or.value().op, "register");
+  EXPECT_EQ(back_or.value().query, "q1");
+  EXPECT_EQ(back_or.value().timestamp, 3);
+  EXPECT_EQ(back_or.value().digest, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(back_or.value().queue_depth, 2u);
+
+  Response err = MakeError(RequestOp::kIngest, "", "out_of_range",
+                           "vertex 99 outside [0,8)");
+  auto err_or = ParseResponse(SerializeResponse(err));
+  ASSERT_TRUE(err_or.ok()) << err_or.status().ToString();
+  EXPECT_EQ(err_or.value().type, ResponseType::kError);
+  EXPECT_EQ(err_or.value().code, "out_of_range");
+  EXPECT_EQ(err_or.value().message, "vertex 99 outside [0,8)");
+}
+
+TEST(ServeProtocolTest, SnapshotRoundTripsNonFiniteValues) {
+  Response snap;
+  snap.type = ResponseType::kSnapshot;
+  snap.query = "q1";
+  snap.timestamp = 0;
+  snap.digest = 42;
+  snap.num_vertices = 3;
+  AttrColumn col;
+  col.name = "dist";
+  col.salt = 1;
+  col.width = 1;
+  col.values = {0.0, std::numeric_limits<double>::infinity(),
+                0.1 + 0.2};  // 0.30000000000000004 must survive
+  snap.attrs.push_back(col);
+
+  const std::string line = SerializeResponse(snap);
+  auto back_or = ParseResponse(line);
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  const Response& back = back_or.value();
+  ASSERT_EQ(back.attrs.size(), 1u);
+  EXPECT_EQ(back.attrs[0].name, "dist");
+  EXPECT_EQ(back.attrs[0].salt, 1);
+  ASSERT_EQ(back.attrs[0].values.size(), 3u);
+  EXPECT_TRUE(std::isinf(back.attrs[0].values[1]));
+  // Bit-exact: the digest contract depends on it.
+  EXPECT_EQ(back.attrs[0].values[2], 0.1 + 0.2);
+}
+
+TEST(ServeProtocolTest, DeltaRoundTrips) {
+  Response delta;
+  delta.type = ResponseType::kDelta;
+  delta.query = "q1";
+  delta.seq = 7;
+  delta.timestamp = 7;
+  delta.batch_ops = 64;
+  delta.supersteps = 4;
+  delta.seconds = 0.0125;
+  delta.latency_us = 930;
+  delta.digest = 0xffffffffffffffffull;
+  AttrCells cells;
+  cells.name = "rank";
+  cells.salt = 0;
+  cells.width = 2;
+  cells.vertices = {3, 9};
+  cells.values = {1.0, 2.0, 3.0, std::numeric_limits<double>::quiet_NaN()};
+  delta.changes.push_back(cells);
+
+  auto back_or = ParseResponse(SerializeResponse(delta));
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  const Response& back = back_or.value();
+  EXPECT_EQ(back.seq, 7u);
+  EXPECT_EQ(back.digest, 0xffffffffffffffffull);
+  ASSERT_EQ(back.changes.size(), 1u);
+  EXPECT_EQ(back.changes[0].width, 2);
+  ASSERT_EQ(back.changes[0].vertices.size(), 2u);
+  EXPECT_EQ(back.changes[0].vertices[1], 9);
+  EXPECT_TRUE(std::isnan(back.changes[0].values[3]));
+}
+
+TEST(ServeProtocolTest, StatusRoundTrips) {
+  Response status;
+  status.type = ResponseType::kStatus;
+  status.queue_depth = 1;
+  status.backpressure_stalls = 4;
+  status.ingest_batches = 19;
+  status.max_queries = 8;
+  status.draining = true;
+  QueryRow row;
+  row.query = "q2";
+  row.timestamp = 6;
+  row.digest = 123456789;
+  row.runs = 7;
+  row.supersteps = 10;
+  row.last_seconds = 0.004;
+  row.budget_bytes = 1 << 20;
+  row.budget_used_bytes = 4096;
+  row.subscribers = 2;
+  status.queries.push_back(row);
+
+  auto back_or = ParseResponse(SerializeResponse(status));
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  const Response& back = back_or.value();
+  EXPECT_EQ(back.backpressure_stalls, 4u);
+  EXPECT_EQ(back.ingest_batches, 19u);
+  EXPECT_EQ(back.max_queries, 8u);
+  EXPECT_TRUE(back.draining);
+  ASSERT_EQ(back.queries.size(), 1u);
+  EXPECT_EQ(back.queries[0].query, "q2");
+  EXPECT_EQ(back.queries[0].digest, 123456789u);
+  EXPECT_EQ(back.queries[0].budget_bytes, uint64_t{1 << 20});
+  EXPECT_EQ(back.queries[0].subscribers, 2);
+}
+
+// -------------------------------------------------------------- clean stop
+
+TEST(CleanStopTest, FlagSetAndCleared) {
+  RequestCleanStop(false);
+  EXPECT_FALSE(CleanStopRequested());
+  RequestCleanStop();
+  EXPECT_TRUE(CleanStopRequested());
+  RequestCleanStop(false);
+  EXPECT_FALSE(CleanStopRequested());
+}
+
+// ------------------------------------------------------------ service core
+
+// 8 vertices, a line 0-1-2-...-5 plus some chords; room to insert more.
+std::vector<Edge> BaseEdges() {
+  return {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 3}, {1, 4}};
+}
+
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Service> MakeService(size_t max_queries = 4,
+                                       size_t queue_depth = 16) {
+    ServiceOptions opt;
+    opt.max_queries = max_queries;
+    opt.ingest_queue_depth = queue_depth;
+    opt.scratch_dir = ::testing::TempDir() + "/serve_" +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+    opt.num_threads = 1;
+    opt.registry = &registry_;
+    auto service_or = Service::Create(8, BaseEdges(), opt);
+    EXPECT_TRUE(service_or.ok()) << service_or.status().ToString();
+    return std::move(service_or).value();
+  }
+
+  static Request RegisterReq(const std::string& name,
+                             const std::string& program = "wcc") {
+    Request req;
+    req.op = RequestOp::kRegister;
+    req.query = name;
+    req.program = program;
+    return req;
+  }
+
+  MetricsRegistry registry_;
+};
+
+TEST_F(ServeServiceTest, RegisterIngestStreamDeltas) {
+  auto service = MakeService();
+  Response ack = service->Register(RegisterReq("q1"), nullptr);
+  ASSERT_EQ(ack.type, ResponseType::kAck) << ack.message;
+  EXPECT_EQ(ack.timestamp, 0);
+  EXPECT_NE(ack.digest, 0u);
+
+  std::mutex mu;
+  std::vector<Response> deltas;
+  int sub_id = 0;
+  Request sub;
+  sub.op = RequestOp::kSubscribe;
+  sub.query = "q1";
+  Response sub_ack = service->Subscribe(
+      sub,
+      [&](const Response& d) {
+        std::lock_guard<std::mutex> lock(mu);
+        deltas.push_back(d);
+      },
+      &sub_id);
+  ASSERT_EQ(sub_ack.type, ResponseType::kAck) << sub_ack.message;
+
+  // Connect 6 and 7 to the line: WCC labels of 6 and 7 must change.
+  Request ingest;
+  ingest.op = RequestOp::kIngest;
+  ingest.inserts = {{5, 6}, {6, 7}};
+  Response iack = service->Ingest(ingest);
+  ASSERT_EQ(iack.type, ResponseType::kAck) << iack.message;
+
+  service->Drain();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(deltas.size(), 1u);
+  const Response& d = deltas[0];
+  EXPECT_EQ(d.type, ResponseType::kDelta);
+  EXPECT_EQ(d.query, "q1");
+  EXPECT_EQ(d.seq, 1u);
+  EXPECT_EQ(d.timestamp, 1);
+  EXPECT_NE(d.digest, ack.digest);  // state moved
+  ASSERT_FALSE(d.changes.empty());
+  bool touched_new_vertex = false;
+  for (const AttrCells& cells : d.changes) {
+    for (VertexId v : cells.vertices) {
+      if (v == 6 || v == 7) touched_new_vertex = true;
+    }
+  }
+  EXPECT_TRUE(touched_new_vertex);
+
+  // The status row agrees with the streamed digest.
+  Response status = service->GetStatus();
+  ASSERT_EQ(status.queries.size(), 1u);
+  EXPECT_EQ(status.queries[0].digest, d.digest);
+  EXPECT_EQ(status.queries[0].timestamp, 1);
+}
+
+TEST_F(ServeServiceTest, AdmissionControlRejectsOverflowAndDuplicates) {
+  auto service = MakeService(/*max_queries=*/2);
+  ASSERT_EQ(service->Register(RegisterReq("a"), nullptr).type,
+            ResponseType::kAck);
+  Response dup = service->Register(RegisterReq("a"), nullptr);
+  EXPECT_EQ(dup.type, ResponseType::kError);
+  EXPECT_EQ(dup.code, "already_exists");
+
+  ASSERT_EQ(service->Register(RegisterReq("b"), nullptr).type,
+            ResponseType::kAck);
+  Response full = service->Register(RegisterReq("c"), nullptr);
+  EXPECT_EQ(full.type, ResponseType::kError);
+  EXPECT_EQ(full.code, "admission_full");
+
+  // Deregistering frees the slot.
+  Request dereg;
+  dereg.op = RequestOp::kDeregister;
+  dereg.query = "a";
+  EXPECT_EQ(service->Deregister(dereg).type, ResponseType::kAck);
+  EXPECT_EQ(service->Register(RegisterReq("c"), nullptr).type,
+            ResponseType::kAck);
+  service->Drain();
+}
+
+TEST_F(ServeServiceTest, BudgetSliceRejectsOversizedView) {
+  auto service = MakeService();
+  Request req = RegisterReq("tiny");
+  req.budget_bytes = 16;  // no view fits in 16 bytes
+  Response resp = service->Register(req, nullptr);
+  EXPECT_EQ(resp.type, ResponseType::kError);
+  EXPECT_EQ(resp.code, "budget_exceeded");
+  EXPECT_EQ(service->standing_queries(), 0u);
+
+  // An adequate budget admits, and the row reports usage within it.
+  req.budget_bytes = 64 << 20;
+  resp = service->Register(req, nullptr);
+  ASSERT_EQ(resp.type, ResponseType::kAck) << resp.message;
+  Response status = service->GetStatus();
+  ASSERT_EQ(status.queries.size(), 1u);
+  EXPECT_GT(status.queries[0].budget_used_bytes, 0u);
+  EXPECT_LE(status.queries[0].budget_used_bytes,
+            status.queries[0].budget_bytes);
+  service->Drain();
+}
+
+TEST_F(ServeServiceTest, CompileErrorSurfaces) {
+  auto service = MakeService();
+  Response unknown = service->Register(RegisterReq("x", "asp"), nullptr);
+  EXPECT_EQ(unknown.type, ResponseType::kError);
+  EXPECT_EQ(unknown.code, "compile_error");
+
+  Request bad;
+  bad.op = RequestOp::kRegister;
+  bad.query = "y";
+  bad.source = "this is not L_NGA";
+  Response resp = service->Register(bad, nullptr);
+  EXPECT_EQ(resp.type, ResponseType::kError);
+  EXPECT_EQ(resp.code, "compile_error");
+  service->Drain();
+}
+
+TEST_F(ServeServiceTest, IngestValidation) {
+  auto service = MakeService();
+  Request oob;
+  oob.op = RequestOp::kIngest;
+  oob.inserts = {{0, 99}};
+  Response resp = service->Ingest(oob);
+  EXPECT_EQ(resp.type, ResponseType::kError);
+  EXPECT_EQ(resp.code, "out_of_range");
+
+  Request dup;
+  dup.op = RequestOp::kIngest;
+  dup.inserts = {{0, 1}};  // already a base edge
+  resp = service->Ingest(dup);
+  EXPECT_EQ(resp.type, ResponseType::kError);
+  EXPECT_EQ(resp.code, "invalid_mutation");
+
+  Request absent;
+  absent.op = RequestOp::kIngest;
+  absent.deletes = {{6, 7}};  // never inserted
+  resp = service->Ingest(absent);
+  EXPECT_EQ(resp.type, ResponseType::kError);
+  EXPECT_EQ(resp.code, "invalid_mutation");
+
+  Request self_loop;
+  self_loop.op = RequestOp::kIngest;
+  self_loop.inserts = {{2, 2}};
+  resp = service->Ingest(self_loop);
+  EXPECT_EQ(resp.type, ResponseType::kError);
+  EXPECT_EQ(resp.code, "invalid_mutation");
+  service->Drain();
+}
+
+TEST_F(ServeServiceTest, BackpressureStallsCountedWhenQueueFull) {
+  auto service = MakeService(/*max_queries=*/4, /*queue_depth=*/1);
+  // Freeze the consumer so the queue stays deterministically full.
+  service->SetMaintenancePaused(true);
+
+  Request first;
+  first.op = RequestOp::kIngest;
+  first.inserts = {{5, 6}};
+  Response ack = service->Ingest(first);
+  ASSERT_EQ(ack.type, ResponseType::kAck) << ack.message;
+  EXPECT_EQ(service->backpressure_stalls(), 0u);
+
+  // The second producer must block until maintenance resumes.
+  std::thread producer([&] {
+    Request second;
+    second.op = RequestOp::kIngest;
+    second.inserts = {{6, 7}};
+    Response r = service->Ingest(second);
+    EXPECT_EQ(r.type, ResponseType::kAck) << r.message;
+  });
+  // Wait until the stall registers (the producer bumped the counter and
+  // parked on the space condition).
+  while (service->backpressure_stalls() == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(service->backpressure_stalls(), 1u);
+
+  service->SetMaintenancePaused(false);
+  producer.join();
+  service->Drain();
+  EXPECT_EQ(service->ingest_batches(), 2u);
+}
+
+TEST_F(ServeServiceTest, DrainRejectsNewWork) {
+  auto service = MakeService();
+  ASSERT_EQ(service->Register(RegisterReq("q"), nullptr).type,
+            ResponseType::kAck);
+  service->Drain();
+  EXPECT_TRUE(service->draining());
+
+  Response reg = service->Register(RegisterReq("late"), nullptr);
+  EXPECT_EQ(reg.type, ResponseType::kError);
+  EXPECT_EQ(reg.code, "shutting_down");
+
+  Request ingest;
+  ingest.op = RequestOp::kIngest;
+  ingest.inserts = {{5, 6}};
+  Response resp = service->Ingest(ingest);
+  EXPECT_EQ(resp.type, ResponseType::kError);
+  EXPECT_EQ(resp.code, "shutting_down");
+}
+
+TEST_F(ServeServiceTest, SnapshotMatchesRegisteredView) {
+  auto service = MakeService();
+  Request req = RegisterReq("q1");
+  req.snapshot = true;
+  Response snapshot;
+  Response ack = service->Register(req, &snapshot);
+  ASSERT_EQ(ack.type, ResponseType::kAck) << ack.message;
+  EXPECT_EQ(snapshot.type, ResponseType::kSnapshot);
+  EXPECT_EQ(snapshot.query, "q1");
+  EXPECT_EQ(snapshot.digest, ack.digest);
+  EXPECT_EQ(snapshot.num_vertices, 8);
+  ASSERT_FALSE(snapshot.attrs.empty());
+  for (const AttrColumn& col : snapshot.attrs) {
+    EXPECT_EQ(col.values.size(),
+              static_cast<size_t>(col.width) * 8u);
+  }
+  service->Drain();
+}
+
+TEST_F(ServeServiceTest, StatuszExtraIsServingMember) {
+  auto service = MakeService();
+  ASSERT_EQ(service->Register(RegisterReq("q1"), nullptr).type,
+            ResponseType::kAck);
+  const std::string extra = service->StatuszExtraJson();
+  EXPECT_EQ(extra.rfind("\"serving\":{", 0), 0u) << extra;
+  // Splicing into an object must keep the whole thing parseable.
+  auto doc_or = Json::Parse("{" + extra + "}");
+  ASSERT_TRUE(doc_or.ok()) << doc_or.status().ToString();
+  const Json* serving = doc_or.value().Find("serving");
+  ASSERT_NE(serving, nullptr);
+  const Json* queries = serving->Find("queries");
+  ASSERT_NE(queries, nullptr);
+  ASSERT_EQ(queries->items.size(), 1u);
+  service->Drain();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace itg

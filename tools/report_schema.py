@@ -10,9 +10,11 @@ Version history:
   2  per-run "operators" and "supersteps_profile" profile sections
   3  per-machine barrier_wait_nanos, top-level "memory" section
   4  state digests (per run and per superstep row), "audit" section
+  5  "serving" section (standing-query daemon: per-query rows with
+     delta-latency histograms, ingest/backpressure counters)
 """
 
 MIN_SCHEMA = 1
-MAX_SCHEMA = 4
+MAX_SCHEMA = 5
 
 SCHEMA_RANGE = range(MIN_SCHEMA, MAX_SCHEMA + 1)

@@ -1,0 +1,508 @@
+#!/usr/bin/env python3
+"""End-to-end smoke client for the standing-query serving daemon.
+
+Usage:
+  serve_client.py --serve-binary <example_itg_serve>
+                  --lnga-binary <example_lnga_run>
+                  --workdir <scratch> [--batches 6] [--timeout 180]
+
+Drives the full serving story documented in docs/SERVING.md:
+
+  1. writes a deterministic edge-list graph and spawns the daemon on an
+     ephemeral port (picked up through --portfile),
+  2. on two separate connections, registers two standing queries
+     (PageRank and BFS) with subscribe+snapshot, and mirrors each view's
+     audited columns client-side from the snapshot message,
+  3. verifies the mirrored state digest (the Python reimplementation of
+     common/digest.h below) bit-matches the digest in every message,
+  4. ingests --batches valid Δ-batches; after each, both subscriber
+     connections must receive a delta message whose after-images update
+     the mirror to exactly the digest the server reports,
+  5. registers a third query with a deliberately tiny memory-budget
+     slice and expects the structured budget_exceeded rejection,
+  6. checks the status op (per-query rows, timestamps, counters),
+  7. replays the identical base graph + mutation stream through the
+     batch driver (example_lnga_run --mutations) and requires its final
+     state_digest to be bit-identical to each streamed view's digest —
+     the serving daemon is the batch pipeline, made continuous,
+  8. sends the shutdown op, waits for a clean exit, and validates the
+     run report's schema v5 "serving" section,
+  9. separately: spawns the batch driver in --watch mode, SIGINTs it,
+     and requires a clean rc-0 exit with a written report (the shared
+     clean-stop path).
+
+Uses only the standard library; exits non-zero with a diagnostic on the
+first failed expectation. Transient connect failures are retried until a
+deadline, like telemetry_client.py.
+"""
+
+import argparse
+import json
+import os
+import random
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+
+MASK = (1 << 64) - 1
+
+
+def fail(msg):
+    print(f"serve_client: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+# --------------------------------------------------------------- digests ----
+# Python mirror of common/digest.h: splitmix64 finalizer, per-cell hash of
+# (vertex, element, IEEE-754 bits), wrapping-add column combine, salted
+# attribute fold, Mix64 finalization. Must stay bit-compatible.
+
+def mix64(x):
+    x = (x + 0x9E3779B97F4A7C15) & MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK
+    return x ^ (x >> 31)
+
+
+def hash_cell(vertex, element, value):
+    bits = struct.unpack("<Q", struct.pack("<d", float(value)))[0]
+    h = mix64(vertex & MASK)
+    h = mix64(h ^ ((element + 0x632BE59BD9B4E019) & MASK))
+    return mix64(h ^ bits)
+
+
+def column_digest(values, width):
+    col = 0
+    for v in range(len(values) // width):
+        h = 0
+        for i in range(width):
+            h ^= hash_cell(v, i, values[v * width + i])
+        col = (col + h) & MASK
+    return col
+
+
+def state_digest(attrs):
+    """attrs: {name: {"salt": int, "width": int, "values": [float]}}."""
+    combined = 0
+    for a in attrs.values():
+        col = column_digest(a["values"], a["width"])
+        combined = (combined + mix64(col ^ mix64(a["salt"]))) & MASK
+    return mix64(combined)
+
+
+# ------------------------------------------------------------- transport ----
+
+class ServeConnection:
+    """One NDJSON connection. Requests are synchronous; delta messages
+    arriving between responses are buffered in order."""
+
+    def __init__(self, port, deadline):
+        last = None
+        while time.monotonic() < deadline:
+            try:
+                self.sock = socket.create_connection(("127.0.0.1", port),
+                                                     timeout=10.0)
+                break
+            except OSError as e:
+                last = e
+                time.sleep(0.05)
+        else:
+            fail(f"could not connect to 127.0.0.1:{port}: {last!r}")
+        self.file = self.sock.makefile("r", encoding="utf-8")
+        self.pending = []  # buffered async messages (deltas)
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def _read_message(self, deadline):
+        self.sock.settimeout(max(0.1, deadline - time.monotonic()))
+        line = self.file.readline()
+        if not line:
+            fail("server closed the connection mid-conversation")
+        return json.loads(line)
+
+    def request(self, req, deadline, expect_types=("ack",)):
+        """Sends one request line; returns the first non-delta message,
+        buffering any deltas that arrive first."""
+        self.sock.sendall((json.dumps(req) + "\n").encode("utf-8"))
+        while True:
+            msg = self._read_message(deadline)
+            if msg.get("type") == "delta":
+                self.pending.append(msg)
+                continue
+            expect(msg.get("type") in expect_types,
+                   f"request {req.get('op')}: unexpected reply {msg}")
+            return msg
+
+    def next_message(self, deadline, want_type):
+        if self.pending:
+            msg = self.pending.pop(0)
+        else:
+            msg = self._read_message(deadline)
+        expect(msg.get("type") == want_type,
+               f"expected {want_type}, got {msg}")
+        return msg
+
+
+# ----------------------------------------------------------- view mirror ----
+
+class ViewMirror:
+    """Client-side replica of one standing view's audited columns,
+    maintained from the snapshot + delta stream and digest-checked
+    against every message."""
+
+    def __init__(self, name, snapshot):
+        self.name = name
+        expect(snapshot.get("query") == name,
+               f"snapshot for wrong query: {snapshot.get('query')!r}")
+        self.num_vertices = snapshot["num_vertices"]
+        self.attrs = {}
+        for col in snapshot["attrs"]:
+            expect(len(col["values"]) == col["width"] * self.num_vertices,
+                   f"{name}: snapshot column {col['name']} has "
+                   f"{len(col['values'])} values")
+            self.attrs[col["name"]] = {
+                "salt": col["salt"],
+                "width": col["width"],
+                "values": list(col["values"]),
+            }
+        self.check_digest(snapshot, "snapshot")
+
+    def apply_delta(self, delta):
+        for change in delta.get("changes", []):
+            attr = self.attrs.get(change["name"])
+            expect(attr is not None,
+                   f"{self.name}: delta for unknown attr {change['name']!r}")
+            width = change["width"]
+            expect(width == attr["width"],
+                   f"{self.name}: width changed for {change['name']!r}")
+            values = change["values"]
+            for k, v in enumerate(change["vertices"]):
+                expect(0 <= v < self.num_vertices,
+                       f"{self.name}: delta vertex {v} out of range")
+                attr["values"][v * width:(v + 1) * width] = \
+                    values[k * width:(k + 1) * width]
+        self.check_digest(delta, f"delta seq={delta.get('seq')}")
+
+    def check_digest(self, msg, what):
+        want = int(msg["digest"])
+        got = state_digest(self.attrs)
+        expect(got == want,
+               f"{self.name}: mirrored digest {got} != server digest "
+               f"{want} after {what}")
+
+
+# ------------------------------------------------------------ test graph ----
+
+def make_graph(path, num_vertices):
+    """A ring plus deterministic chords; returns the edge list."""
+    rng = random.Random(0x5EED)
+    edges = []
+    seen = set()
+    for v in range(num_vertices):
+        edges.append((v, (v + 1) % num_vertices))
+        seen.add(edges[-1])
+    for _ in range(num_vertices):
+        a, b = rng.randrange(num_vertices), rng.randrange(num_vertices)
+        if a != b and (a, b) not in seen:
+            seen.add((a, b))
+            edges.append((a, b))
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# serve_client smoke graph\n")
+        for a, b in edges:
+            f.write(f"{a} {b}\n")
+    return edges
+
+
+def make_batches(base_edges, num_vertices, count, ops_per_batch=8):
+    """Valid Δ-batches against the live edge set: inserts of absent
+    pairs, deletes of previously inserted ones."""
+    rng = random.Random(0xD17A)
+    present = set(base_edges)
+    inserted = []
+    batches = []
+    for _ in range(count):
+        inserts, deletes = [], []
+        n_del = min(len(inserted), ops_per_batch // 4)
+        for _ in range(n_del):
+            e = inserted.pop(rng.randrange(len(inserted)))
+            deletes.append(e)
+            present.discard(e)
+        while len(inserts) < ops_per_batch - n_del:
+            a, b = rng.randrange(num_vertices), rng.randrange(num_vertices)
+            if a == b or (a, b) in present:
+                continue
+            present.add((a, b))
+            inserted.append((a, b))
+            inserts.append((a, b))
+        batches.append((inserts, deletes))
+    return batches
+
+
+def write_mutations(path, batches):
+    """The same stream in example_lnga_run --mutations format (inserts
+    before deletes, matching the daemon's per-batch apply order)."""
+    with open(path, "w", encoding="utf-8") as f:
+        for inserts, deletes in batches:
+            for a, b in inserts:
+                f.write(f"+ {a} {b}\n")
+            for a, b in deletes:
+                f.write(f"- {a} {b}\n")
+            f.write("commit\n")
+
+
+# ---------------------------------------------------------------- pieces ----
+
+def wait_for_port(portfile, proc, deadline):
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read().decode("utf-8", errors="replace")
+            fail(f"daemon exited early (rc {proc.returncode}):\n{out}")
+        try:
+            with open(portfile, "r", encoding="utf-8") as f:
+                text = f.read().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.02)
+    fail(f"timed out waiting for portfile {portfile}")
+
+
+def batch_digest(lnga_binary, workdir, program, graph, mutations, deadline,
+                 env):
+    """Final state_digest of the batch pipeline over the same stream."""
+    report = os.path.join(workdir, f"batch_{program.replace(':', '_')}.json")
+    cmd = [lnga_binary, "--program", program, "--graph", graph,
+           "--mutations", mutations, "--metrics-json", report]
+    proc = subprocess.run(cmd, capture_output=True,
+                          timeout=max(1.0, deadline - time.monotonic()),
+                          env=env)
+    expect(proc.returncode == 0,
+           f"batch re-run {program} exited rc {proc.returncode}:\n"
+           f"{proc.stdout.decode('utf-8', errors='replace')}"
+           f"{proc.stderr.decode('utf-8', errors='replace')}")
+    with open(report, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc["runs"][-1]["state_digest"]
+
+
+def check_report(path, batches):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    expect(doc.get("schema_version") == 5,
+           f"daemon report schema_version {doc.get('schema_version')}, "
+           f"want 5")
+    serving = doc.get("serving")
+    expect(isinstance(serving, dict), "daemon report has no serving section")
+    expect(serving.get("standing_queries") == 2,
+           f"serving.standing_queries {serving.get('standing_queries')}, "
+           f"want 2")
+    expect(serving.get("ingest_batches") == batches,
+           f"serving.ingest_batches {serving.get('ingest_batches')}, "
+           f"want {batches}")
+    expect("backpressure_stalls" in serving,
+           "serving.backpressure_stalls missing")
+    rows = serving.get("queries", [])
+    expect(len(rows) == 2, f"serving.queries has {len(rows)} rows, want 2")
+    for row in rows:
+        expect(row.get("timestamp") == batches,
+               f"serving row {row.get('name')!r} at timestamp "
+               f"{row.get('timestamp')}, want {batches}")
+        hist = row.get("delta_latency_us", {})
+        expect(hist.get("count") == batches,
+               f"serving row {row.get('name')!r} latency count "
+               f"{hist.get('count')}, want {batches}")
+        expect(isinstance(hist.get("buckets"), list) and hist["buckets"],
+               f"serving row {row.get('name')!r} has no latency buckets")
+    return serving
+
+
+def check_sigint_watch(lnga_binary, workdir, deadline, env):
+    """--watch must treat SIGINT as a clean stop: rc 0, report written."""
+    report = os.path.join(workdir, "watch_report.json")
+    cmd = [lnga_binary, "--program", "pr", "--graph", "rmat:6",
+           "--watch", "1000", "--watch-delay-ms", "50",
+           "--metrics-json", report]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, env=env)
+    try:
+        # Let it get through the one-shot and a few watch batches.
+        time.sleep(3.0)
+        expect(proc.poll() is None, "watch driver exited before SIGINT")
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=max(1.0,
+                                              deadline - time.monotonic()))
+        expect(proc.returncode == 0,
+               f"watch driver rc {proc.returncode} after SIGINT:\n"
+               f"{out.decode('utf-8', errors='replace')}")
+        expect(b"clean stop" in out,
+               "watch driver did not report a clean stop")
+        expect(os.path.exists(report),
+               "watch driver wrote no report after SIGINT")
+        with open(report, "r", encoding="utf-8") as f:
+            json.load(f)  # must be complete, valid JSON
+        print("serve_client: SIGINT clean-stop OK (rc 0, report written)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+# ------------------------------------------------------------------ main ----
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve-binary", required=True)
+    parser.add_argument("--lnga-binary", required=True)
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument("--batches", type=int, default=6)
+    parser.add_argument("--num-vertices", type=int, default=48)
+    parser.add_argument("--timeout", type=float, default=180.0)
+    args = parser.parse_args()
+
+    os.makedirs(args.workdir, exist_ok=True)
+    deadline = time.monotonic() + args.timeout
+    graph = os.path.join(args.workdir, "edges.txt")
+    mutations = os.path.join(args.workdir, "mutations.txt")
+    portfile = os.path.join(args.workdir, "serve.port")
+    report = os.path.join(args.workdir, "serve_report.json")
+    if os.path.exists(portfile):
+        os.remove(portfile)
+
+    base_edges = make_graph(graph, args.num_vertices)
+    batches = make_batches(base_edges, args.num_vertices, args.batches)
+    write_mutations(mutations, batches)
+
+    # Pin the worker count so the streamed and batch runs execute the
+    # same plan the same way (digests are compared bit-exactly).
+    env = dict(os.environ)
+    env["ITG_THREADS"] = "1"
+    env.pop("ITG_TELEMETRY_PORT", None)
+
+    cmd = [args.serve_binary, "--graph", graph, "--port", "0",
+           "--portfile", portfile, "--max-queries", "3",
+           "--scratch", os.path.join(args.workdir, "scratch"),
+           "--metrics-json", report]
+    print("serve_client: spawning:", " ".join(cmd))
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, env=env)
+    conns = []
+    try:
+        port = wait_for_port(portfile, proc, deadline)
+        print(f"serve_client: daemon up on 127.0.0.1:{port}")
+
+        # Two standing queries on two connections, both subscribed with
+        # snapshots: q1 = PageRank, q2 = BFS from vertex 0.
+        mirrors = {}
+        for name, program in (("q1", "pr"), ("q2", "bfs:0")):
+            conn = ServeConnection(port, deadline)
+            conns.append(conn)
+            ack = conn.request({"op": "register", "query": name,
+                                "program": program, "subscribe": True,
+                                "snapshot": True}, deadline)
+            expect(ack.get("op") == "register" and ack.get("query") == name,
+                   f"malformed register ack: {ack}")
+            snapshot = conn.next_message(deadline, "snapshot")
+            mirrors[name] = ViewMirror(name, snapshot)
+            print(f"serve_client: {name} ({program}) registered, snapshot "
+                  f"digest verified ({len(snapshot['attrs'])} attrs)")
+
+        # Third registration with a deliberately tiny budget slice must
+        # be rejected with the structured budget_exceeded error.
+        probe = ServeConnection(port, deadline)
+        conns.append(probe)
+        err = probe.request({"op": "register", "query": "q3",
+                             "program": "pr", "budget_bytes": "1024"},
+                            deadline, expect_types=("error",))
+        expect(err.get("code") == "budget_exceeded",
+               f"over-budget register: code {err.get('code')!r}, "
+               f"want budget_exceeded: {err}")
+        print("serve_client: over-budget registration rejected "
+              "(budget_exceeded)")
+
+        # Stream the Δ-batches; each subscriber must mirror every view
+        # to the server's digest, bit for bit.
+        ingester = ServeConnection(port, deadline)
+        conns.append(ingester)
+        for i, (inserts, deletes) in enumerate(batches, start=1):
+            ack = ingester.request(
+                {"op": "ingest",
+                 "inserts": [list(e) for e in inserts],
+                 "deletes": [list(e) for e in deletes]}, deadline)
+            expect(ack.get("op") == "ingest", f"malformed ingest ack: {ack}")
+            for (name, conn) in (("q1", conns[0]), ("q2", conns[1])):
+                delta = conn.next_message(deadline, "delta")
+                expect(delta.get("query") == name,
+                       f"delta for {delta.get('query')!r} on {name}'s "
+                       f"connection")
+                expect(delta.get("seq") == i,
+                       f"{name}: delta seq {delta.get('seq')}, want {i}")
+                mirrors[name].apply_delta(delta)
+        print(f"serve_client: {len(batches)} batches streamed; "
+              f"all ΔQ digests verified on both views")
+
+        # Status rows agree with the mirrors.
+        status = ingester.request({"op": "status"}, deadline,
+                                  expect_types=("status",))
+        rows = {row["query"]: row for row in status.get("queries", [])}
+        expect(set(rows) == {"q1", "q2"},
+               f"status queries {sorted(rows)}, want ['q1', 'q2']")
+        for name, mirror in mirrors.items():
+            expect(int(rows[name]["digest"]) == state_digest(mirror.attrs),
+                   f"status digest for {name} disagrees with the mirror")
+            expect(rows[name]["timestamp"] == len(batches),
+                   f"status timestamp for {name}: "
+                   f"{rows[name]['timestamp']}, want {len(batches)}")
+            expect(rows[name]["subscribers"] == 1,
+                   f"status subscribers for {name}: "
+                   f"{rows[name]['subscribers']}, want 1")
+        print("serve_client: status rows OK")
+
+        # The continuous pipeline must land exactly where the batch
+        # pipeline lands on the identical stream.
+        for name, program in (("q1", "pr"), ("q2", "bfs:0")):
+            want = batch_digest(args.lnga_binary, args.workdir, program,
+                                graph, mutations, deadline, env)
+            got = state_digest(mirrors[name].attrs)
+            expect(got == want,
+                   f"{name}: streamed digest {got} != batch-pipeline "
+                   f"digest {want}")
+        print("serve_client: streamed state bit-identical to the batch "
+              "pipeline for both programs")
+
+        # Graceful shutdown over the wire.
+        ack = ingester.request({"op": "shutdown"}, deadline)
+        expect(ack.get("op") == "shutdown", f"malformed shutdown ack: {ack}")
+        out, _ = proc.communicate(timeout=max(1.0,
+                                              deadline - time.monotonic()))
+        expect(proc.returncode == 0,
+               f"daemon rc {proc.returncode} after shutdown op:\n"
+               f"{out.decode('utf-8', errors='replace')}")
+        serving = check_report(report, len(batches))
+        print(f"serve_client: daemon drained cleanly; run report v5 OK "
+              f"(serving={json.dumps({k: serving[k] for k in ('standing_queries', 'ingest_batches', 'backpressure_stalls')})})")
+    finally:
+        for conn in conns:
+            conn.close()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    check_sigint_watch(args.lnga_binary, args.workdir, deadline, env)
+    print("serve_client: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

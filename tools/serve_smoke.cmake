@@ -1,0 +1,30 @@
+# ctest driver for the standing-query serving smoke test (see top-level
+# CMakeLists.txt): tools/serve_client.py spawns example_itg_serve on an
+# ephemeral port, registers two standing queries (PageRank + BFS) on
+# separate subscriber connections, streams delta batches while mirroring
+# both views client-side against the wire digests, asserts an
+# over-budget third registration is rejected with budget_exceeded,
+# replays the identical stream through example_lnga_run --mutations and
+# requires bit-identical final digests, shuts the daemon down over the
+# wire, validates the schema-v5 "serving" run-report section, and checks
+# that SIGINT stops --watch cleanly (rc 0, report written).
+#
+# Inputs: -DITG_SERVE=<binary> -DLNGA_RUN=<binary>
+#         -DPython3_EXECUTABLE=<python3>
+#         -DSERVE_CLIENT=<serve_client.py> -DWORK_DIR=<scratch>
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${SERVE_CLIENT}
+          --serve-binary ${ITG_SERVE} --lnga-binary ${LNGA_RUN}
+          --workdir ${WORK_DIR} --batches 6
+  RESULT_VARIABLE client_rc
+  OUTPUT_VARIABLE client_out
+  ERROR_VARIABLE client_err)
+message(STATUS "serve_client output:\n${client_out}")
+if(NOT client_rc EQUAL 0)
+  message(FATAL_ERROR
+          "serve_client.py failed (${client_rc}):\n${client_err}")
+endif()

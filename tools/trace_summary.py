@@ -230,6 +230,45 @@ def validate_audit(audit):
         expect(audit["enabled"], "divergence found with auditing disabled")
 
 
+def validate_serving(serving):
+    """Validates the optional v5 "serving" section (standing-query
+    daemon)."""
+    expect(isinstance(serving, dict), "serving is not an object")
+    for field in ("standing_queries", "ingest_batches", "ingest_ops",
+                  "backpressure_stalls", "delta_messages"):
+        expect(is_uint(serving.get(field)),
+               f"serving.{field} is not a non-negative integer")
+    queries = serving.get("queries")
+    expect(isinstance(queries, list), "serving.queries is not a list")
+    expect(len(queries) == serving["standing_queries"],
+           f"serving.queries has {len(queries)} rows but "
+           f"standing_queries is {serving['standing_queries']}")
+    for j, row in enumerate(queries):
+        where = f"serving.queries[{j}]"
+        expect(isinstance(row, dict), f"{where} is not an object")
+        expect(isinstance(row.get("name"), str), f"{where}.name missing")
+        for field in ("timestamp", "digest", "runs", "budget_bytes",
+                      "budget_used_bytes"):
+            expect(is_uint(row.get(field)),
+                   f"{where}.{field} is not a non-negative integer")
+        if row["budget_bytes"]:  # 0 = unlimited slice
+            expect(row["budget_used_bytes"] <= row["budget_bytes"],
+                   f"{where}: budget_used_bytes {row['budget_used_bytes']} "
+                   f"above slice {row['budget_bytes']}")
+        hist = row.get("delta_latency_us")
+        expect(isinstance(hist, dict) and is_uint(hist.get("count"))
+               and is_num(hist.get("sum")),
+               f"{where}.delta_latency_us malformed")
+        buckets = hist.get("buckets")
+        expect(isinstance(buckets, list) and all(
+                   isinstance(b, list) and len(b) == 2 and is_num(b[0])
+                   and is_uint(b[1]) for b in buckets),
+               f"{where}.delta_latency_us.buckets malformed")
+        expect(sum(b[1] for b in buckets) == hist["count"],
+               f"{where}.delta_latency_us bucket counts do not sum to "
+               f"count {hist['count']}")
+
+
 def validate_report(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -339,6 +378,13 @@ def validate_report(path):
     else:
         expect(audit is None, "v4 audit section in a pre-v4 report")
 
+    serving = doc.get("serving")
+    if version >= 5:
+        if serving is not None:
+            validate_serving(serving)
+    else:
+        expect(serving is None, "v5 serving section in a pre-v5 report")
+
     print(f"report: {path}")
     print(f"  binary: {doc['binary']}, {len(runs)} runs, "
           f"{len(results)} results, {len(metrics['counters'])} counters, "
@@ -364,6 +410,19 @@ def validate_report(path):
             f"{name} {entry['bytes']}B (peak {entry['peak_bytes']}B)"
             for name, entry in sorted(memory.items()))
         print(f"  memory: {parts}")
+    if serving:
+        print(f"  serving: {serving['standing_queries']} standing queries, "
+              f"{serving['ingest_batches']} batches "
+              f"({serving['ingest_ops']} ops), "
+              f"{serving['delta_messages']} delta messages, "
+              f"{serving['backpressure_stalls']} backpressure stalls")
+        for row in serving["queries"]:
+            hist = row["delta_latency_us"]
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            print(f"    query {row['name']}: t={row['timestamp']}, "
+                  f"{row['runs']} runs, digest {row['digest']}, "
+                  f"budget {row['budget_used_bytes']}/{row['budget_bytes']} B, "
+                  f"mean delta latency {mean:.0f}us")
     print("  schema: OK")
 
 
