@@ -13,7 +13,7 @@
 // and the `shutdown` op both trip the clean-stop flag; the daemon then
 // drains the ingest queue through every standing view, finishes the
 // in-flight supersteps, writes the run report (--metrics-json, schema
-// v5 `serving` section), and exits 0.
+// v6 `serving` section), and exits 0.
 #include <unistd.h>
 
 #include <algorithm>
@@ -60,6 +60,8 @@ struct Args {
   // Health plane (same knobs as example_lnga_run).
   int telemetry_port = -1;
   uint64_t watchdog_ms = 0;
+  // Slow-batch log threshold (ms); 0 disables it.
+  uint64_t slow_batch_ms = 0;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -71,6 +73,7 @@ struct Args {
       "          [--queue-depth N] [--threads N] [--no-verify]\n"
       "          [--scratch DIR] [--metrics-json <path>]\n"
       "          [--telemetry-port P] [--watchdog-ms N]\n"
+      "          [--slow-batch-ms N]\n"
       "environment: ITG_SERVE_PORT, ITG_SERVE_PORTFILE,\n"
       "             ITG_SERVE_MAX_QUERIES, ITG_SERVE_MEMORY_BYTES,\n"
       "             ITG_SERVE_QUEUE_DEPTH, ITG_TELEMETRY_PORT,\n"
@@ -126,8 +129,26 @@ std::vector<Edge> LoadGraph(const std::string& graph,
   return edges;
 }
 
-/// The v5 `serving` section, assembled from the drained service's final
-/// status rows plus the per-query latency histograms in the registry.
+/// Percentile upper bound recomputed from a snapshot's (lower bound,
+/// count) bucket pairs — same log-scale semantics as
+/// Histogram::PercentileUpperBound, but usable after the drain from the
+/// plain-value snapshot.
+uint64_t SnapshotPercentile(const MetricsRegistry::HistogramSnapshot& h,
+                            double p) {
+  if (h.count == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * h.count);
+  if (rank >= h.count) rank = h.count - 1;
+  uint64_t seen = 0;
+  for (const auto& [lower, n] : h.buckets) {
+    seen += n;
+    if (seen > rank) return lower == 0 ? 1 : lower * 2;
+  }
+  return ~uint64_t{0};
+}
+
+/// The v6 `serving` section, assembled from the drained service's final
+/// status rows plus the serve.* histograms in the registry: per-query
+/// latency + staleness, per-stage latency percentiles, slow batches.
 ServingSection BuildServingSection(Service* service) {
   ServingSection out;
   const Response status = service->GetStatus();
@@ -141,6 +162,22 @@ ServingSection BuildServingSection(Service* service) {
   };
   out.ingest_ops = counter("serve.ingest_ops");
   out.delta_messages = counter("serve.delta_messages");
+  out.slow_batches = counter("serve.slow_batches");
+  // Every serve.stage_latency_us.* series becomes one stage row; the map
+  // iteration keeps batch-level stages and per-view stages together,
+  // named by their metric suffix (e.g. "view_run.q1").
+  const std::string stage_prefix = "serve.stage_latency_us.";
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind(stage_prefix, 0) != 0) continue;
+    ServingStageRow st;
+    st.stage = name.substr(stage_prefix.size());
+    st.count = h.count;
+    st.sum_us = h.sum;
+    st.p50_us = SnapshotPercentile(h, 50);
+    st.p95_us = SnapshotPercentile(h, 95);
+    st.p99_us = SnapshotPercentile(h, 99);
+    out.stages.push_back(std::move(st));
+  }
   for (const QueryRow& row : status.queries) {
     ServingQueryRow q;
     q.name = row.query;
@@ -149,6 +186,8 @@ ServingSection BuildServingSection(Service* service) {
     q.runs = row.runs;
     q.budget_bytes = row.budget_bytes;
     q.budget_used_bytes = row.budget_used_bytes;
+    q.lag_batches = row.lag_batches;
+    q.lag_us = row.lag_us;
     auto hist = snap.histograms.find("serve.delta_latency_us." + row.query);
     if (hist != snap.histograms.end()) {
       q.latency_count = hist->second.count;
@@ -194,6 +233,8 @@ int main(int argc, char** argv) {
       args.telemetry_port = std::stoi(next());
     } else if (!std::strcmp(argv[i], "--watchdog-ms")) {
       args.watchdog_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--slow-batch-ms")) {
+      args.slow_batch_ms = std::strtoull(next(), nullptr, 10);
     } else {
       Usage(argv[0]);
     }
@@ -224,6 +265,7 @@ int main(int argc, char** argv) {
   sopt.scratch_dir = args.scratch;
   sopt.num_threads = args.threads;
   sopt.verify_on_register = args.verify_on_register;
+  sopt.slow_batch_ms = args.slow_batch_ms;
   auto service_or = Service::Create(num_vertices, std::move(edges), sopt);
   if (!service_or.ok()) {
     std::fprintf(stderr, "%s\n", service_or.status().ToString().c_str());

@@ -58,6 +58,34 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
   return GetOrCreate(&histograms_, name);
 }
 
+namespace {
+
+template <typename T>
+bool RemoveByName(std::map<std::string, std::unique_ptr<T>, std::less<>>* m,
+                  std::string_view name) {
+  auto it = m->find(name);
+  if (it == m->end()) return false;
+  m->erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool MetricsRegistry::RemoveCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RemoveByName(&counters_, name);
+}
+
+bool MetricsRegistry::RemoveGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RemoveByName(&gauges_, name);
+}
+
+bool MetricsRegistry::RemoveHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RemoveByName(&histograms_, name);
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   Snapshot snap;
   std::lock_guard<std::mutex> lock(mu_);

@@ -19,7 +19,8 @@ namespace itg {
 /// Instruments register (or look up) a metric once by name and then update
 /// it lock-free; all updates are relaxed atomics, so a metric pointer can
 /// be shared across the thread pool. Metric pointers are stable for the
-/// lifetime of the registry.
+/// lifetime of the registry unless the series is explicitly removed with
+/// `RemoveCounter/RemoveGauge/RemoveHistogram` (see below).
 ///
 /// One registry per simulated machine (owned by `Metrics`, which remains
 /// the compatibility facade for the six original hard-coded counters);
@@ -142,6 +143,18 @@ class MetricsRegistry {
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
   Histogram* histogram(std::string_view name);
+
+  /// Removes one series by exact name so dynamically named metrics (the
+  /// serving layer's per-view `serve.*.<query>` series) do not leak into
+  /// /metrics and snapshots forever as views register and deregister.
+  /// Returns true when the series existed. Removal DESTROYS the metric
+  /// object: every cached pointer to it becomes dangling, so the owner of
+  /// the dynamic series must drop its handles before removing, and no
+  /// other thread may still be updating the series. Re-requesting the
+  /// name later creates a fresh zeroed metric.
+  bool RemoveCounter(std::string_view name);
+  bool RemoveGauge(std::string_view name);
+  bool RemoveHistogram(std::string_view name);
 
   /// Plain-value snapshot, safe to read while workers keep updating.
   struct HistogramSnapshot {

@@ -234,6 +234,7 @@ std::vector<Tracer::CollectedEvent> Tracer::Collect() {
       c.has_arg = e.has_arg;
       c.tid = buf->tid;
       c.phase = e.phase;
+      c.flow_id = e.flow_id;
       out.push_back(std::move(c));
     }
   }
@@ -284,6 +285,14 @@ std::string Tracer::ToJson() {
                                      &out);
       } else if (e.phase == 'i') {
         out.append(",\"s\":\"t\"");
+      } else if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+        // Flow events carry the correlation id; the finish event binds to
+        // the enclosing slice ("bp":"e") so the arrow lands on the span
+        // that completed the flow rather than the next slice to start.
+        out.append(",\"id\":\"");
+        out.append(std::to_string(e.flow_id));
+        out.push_back('"');
+        if (e.phase == 'f') out.append(",\"bp\":\"e\"");
       }
       if (e.has_arg) {
         out.append(",\"args\":{\"value\":");

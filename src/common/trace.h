@@ -15,7 +15,9 @@ namespace itg {
 //
 // Spans are recorded through the RAII `TraceSpan` type into per-thread
 // buffers; point-in-time markers (thread-pool steals/parks) go through
-// `TraceInstant`. Recording is gated on a single process-wide atomic flag:
+// `TraceInstant`; cross-thread flows (the serving layer's per-batch
+// ingest->notify waterfall) go through `TraceFlowBegin/Step/End`.
+// Recording is gated on a single process-wide atomic flag:
 // when tracing is disabled the constructor is one relaxed load and no
 // allocation or clock read happens, so instrumentation can stay in hot
 // paths unconditionally.
@@ -35,8 +37,9 @@ struct TraceEvent {
   uint64_t ts_nanos;   // since tracer epoch
   uint64_t dur_nanos;  // 0 for instant events
   int64_t arg;
-  char phase;  // 'X' complete span, 'i' instant
+  char phase;  // 'X' complete span, 'i' instant, 's'/'t'/'f' flow
   bool has_arg;
+  uint64_t flow_id = 0;  // correlates 's'/'t'/'f' events across threads
 };
 
 extern std::atomic<bool> g_enabled;
@@ -68,6 +71,7 @@ class Tracer {
     bool has_arg = false;
     int tid = 0;
     char phase = 'X';
+    uint64_t flow_id = 0;
   };
 
   static bool enabled() {
@@ -153,6 +157,35 @@ inline void TraceInstant(const char* name, const char* cat = "engine",
   if (!Tracer::recording()) return;
   internal_trace::Emit({name, cat, internal_trace::NowNanos(), 0, arg, 'i',
                         arg != Tracer::kNoArg});
+}
+
+// Flow events ('s' start, 't' step, 'f' finish) draw arrows between the
+// slices that enclose them in the Chrome trace viewer / Perfetto, linking
+// work for one logical item across threads. All events sharing `flow_id`
+// form one flow; the serving layer uses the Δ-batch trace id so the
+// ingest -> queue -> apply -> view run -> stream flush lifecycle renders
+// as a per-batch waterfall. Like spans, `name`/`cat` must be string
+// literals. Each flow event binds to the innermost enclosing span on its
+// thread, so emit them inside the stage's TraceSpan.
+inline void TraceFlowBegin(const char* name, const char* cat,
+                           uint64_t flow_id) {
+  if (!Tracer::recording()) return;
+  internal_trace::Emit({name, cat, internal_trace::NowNanos(), 0,
+                        Tracer::kNoArg, 's', false, flow_id});
+}
+
+inline void TraceFlowStep(const char* name, const char* cat,
+                          uint64_t flow_id) {
+  if (!Tracer::recording()) return;
+  internal_trace::Emit({name, cat, internal_trace::NowNanos(), 0,
+                        Tracer::kNoArg, 't', false, flow_id});
+}
+
+inline void TraceFlowEnd(const char* name, const char* cat,
+                         uint64_t flow_id) {
+  if (!Tracer::recording()) return;
+  internal_trace::Emit({name, cat, internal_trace::NowNanos(), 0,
+                        Tracer::kNoArg, 'f', false, flow_id});
 }
 
 // Records a complete event with an explicit start and duration. Used where

@@ -69,7 +69,7 @@ void RunReport::AddResult(const std::string& name, double value) {
 std::string RunReport::ToJson() const {
   std::string out;
   out.reserve(4096);
-  out.append("{\"schema_version\":5,\"binary\":");
+  out.append("{\"schema_version\":6,\"binary\":");
   AppendJsonString(&out, binary_);
   out.append(",\"runs\":[");
   bool first = true;
@@ -286,7 +286,7 @@ std::string RunReport::ToJson() const {
     out.append("}}");
   }
 
-  // Schema v5: the serving daemon's tallies (omitted unless attached).
+  // Schema v5/v6: the serving daemon's tallies (omitted unless attached).
   if (has_serving_) {
     out.append(",\"serving\":{");
     AppendField(&out, "standing_queries", serving_.standing_queries);
@@ -294,7 +294,23 @@ std::string RunReport::ToJson() const {
     AppendField(&out, "ingest_ops", serving_.ingest_ops);
     AppendField(&out, "backpressure_stalls", serving_.backpressure_stalls);
     AppendField(&out, "delta_messages", serving_.delta_messages);
-    out.append("\"queries\":[");
+    AppendField(&out, "slow_batches", serving_.slow_batches);
+    out.append("\"stage_latency_us\":[");
+    for (size_t i = 0; i < serving_.stages.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      const ServingStageRow& st = serving_.stages[i];
+      out.append("{\"stage\":");
+      AppendJsonString(&out, st.stage);
+      out.push_back(',');
+      AppendField(&out, "count", st.count);
+      AppendField(&out, "sum", st.sum_us);
+      AppendField(&out, "p50", st.p50_us);
+      AppendField(&out, "p95", st.p95_us);
+      out.append("\"p99\":");
+      out.append(std::to_string(st.p99_us));
+      out.push_back('}');
+    }
+    out.append("],\"queries\":[");
     for (size_t i = 0; i < serving_.queries.size(); ++i) {
       if (i > 0) out.push_back(',');
       const ServingQueryRow& q = serving_.queries[i];
@@ -307,6 +323,8 @@ std::string RunReport::ToJson() const {
       AppendField(&out, "runs", q.runs);
       AppendField(&out, "budget_bytes", q.budget_bytes);
       AppendField(&out, "budget_used_bytes", q.budget_used_bytes);
+      AppendField(&out, "lag_batches", q.lag_batches);
+      AppendField(&out, "lag_us", q.lag_us);
       out.append("\"delta_latency_us\":{");
       AppendField(&out, "count", q.latency_count);
       AppendField(&out, "sum", q.latency_sum_us);

@@ -48,7 +48,7 @@ struct AuditSection {
   AuditDivergence divergence;
 };
 
-/// One standing query's row in the schema v5 `serving` section.
+/// One standing query's row in the `serving` section (v5; lag fields v6).
 struct ServingQueryRow {
   std::string name;
   Timestamp timestamp = 0;  ///< last maintained batch boundary
@@ -56,28 +56,45 @@ struct ServingQueryRow {
   uint64_t runs = 0;        ///< one-shot + incremental runs executed
   uint64_t budget_bytes = 0;       ///< admission slice (0 = uncapped)
   uint64_t budget_used_bytes = 0;  ///< bytes charged against the slice
-  /// Per-batch ΔQ latency (enqueue → subscriber fan-out), microseconds;
+  /// Per-batch ΔQ latency (ingest entry → post-flush), microseconds;
   /// buckets are (lower bound, count) pairs from the log-scale histogram.
   uint64_t latency_count = 0;
   uint64_t latency_sum_us = 0;
   std::vector<std::pair<uint64_t, uint64_t>> latency_buckets;
+  /// v6: final staleness vs the graph of record (0 after a clean drain).
+  uint64_t lag_batches = 0;
+  uint64_t lag_us = 0;
 };
 
-/// The schema v5 `serving` section: the standing-query daemon's final
-/// tallies (filled by examples/itg_serve.cc at drain time).
+/// One pipeline stage's latency summary (v6 `stage_latency_us` rows).
+/// `stage` is validate|queue_wait|apply or view_run.<q>|stream_flush.<q>.
+struct ServingStageRow {
+  std::string stage;
+  uint64_t count = 0;
+  uint64_t sum_us = 0;
+  uint64_t p50_us = 0;
+  uint64_t p95_us = 0;
+  uint64_t p99_us = 0;
+};
+
+/// The `serving` section: the standing-query daemon's final tallies
+/// (filled by examples/itg_serve.cc at drain time). v6 adds the
+/// per-stage latency rows and the slow-batch counter.
 struct ServingSection {
   uint64_t standing_queries = 0;
   uint64_t ingest_batches = 0;
   uint64_t ingest_ops = 0;
   uint64_t backpressure_stalls = 0;
   uint64_t delta_messages = 0;
+  uint64_t slow_batches = 0;  ///< v6
+  std::vector<ServingStageRow> stages;  ///< v6
   std::vector<ServingQueryRow> queries;
 };
 
 /// Machine-readable run report (the `--metrics-json=<path>` output of the
 /// bench and harness binaries).
 ///
-/// Schema (version 5, validated by tools/trace_summary.py and diffed by
+/// Schema (version 6, validated by tools/trace_summary.py and diffed by
 /// tools/report_diff.py; readers accept REPORT_SCHEMA_MIN..MAX):
 /// ```json
 /// {
@@ -124,9 +141,14 @@ struct ServingSection {
 ///   "serving": {                // v5, present when SetServing was called
 ///     "standing_queries": 2, "ingest_batches": 6, "ingest_ops": 24,
 ///     "backpressure_stalls": 0, "delta_messages": 12,
+///     "slow_batches": 0,        // v6
+///     "stage_latency_us": [     // v6, per-pipeline-stage percentiles
+///       {"stage": "validate", "count": 6, "sum": 90,
+///        "p50": 16, "p95": 32, "p99": 32}, ...],
 ///     "queries": [
 ///       {"name": "q1", "timestamp": 6, "digest": 123, "runs": 7,
 ///        "budget_bytes": 0, "budget_used_bytes": 4096,
+///        "lag_batches": 0, "lag_us": 0,   // v6
 ///        "delta_latency_us": {"count": 6, "sum": 900,
 ///                             "buckets": [[64, 4], [128, 2]]}}, ...]}
 /// }

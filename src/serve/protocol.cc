@@ -607,6 +607,7 @@ StatusOr<Response> ParseResponse(const std::string& line) {
   resp.timestamp = static_cast<Timestamp>(GetInt(doc, "timestamp"));
   resp.digest = GetUint64String(doc, "digest");
   resp.queue_depth = static_cast<uint64_t>(GetInt(doc, "queue_depth"));
+  resp.trace_id = GetUint64String(doc, "trace_id");
   if (type == "ack") {
     resp.type = ResponseType::kAck;
   } else if (type == "error") {
@@ -645,6 +646,8 @@ StatusOr<Response> ParseResponse(const std::string& line) {
         row.budget_bytes = GetUint64String(q, "budget_bytes");
         row.budget_used_bytes = GetUint64String(q, "budget_used_bytes");
         row.subscribers = static_cast<int>(GetInt(q, "subscribers"));
+        row.lag_batches = static_cast<uint64_t>(GetInt(q, "lag_batches"));
+        row.lag_us = static_cast<uint64_t>(GetInt(q, "lag_us"));
         resp.queries.push_back(std::move(row));
       }
     }
@@ -672,6 +675,10 @@ std::string SerializeResponse(const Response& resp) {
       out.append(",\"digest\":");
       AppendUint64AsString(resp.digest, &out);
       out.append(",\"queue_depth\":").append(std::to_string(resp.queue_depth));
+      if (resp.trace_id != 0) {
+        out.append(",\"trace_id\":");
+        AppendUint64AsString(resp.trace_id, &out);
+      }
       break;
     case ResponseType::kError:
       out.append(",\"code\":");
@@ -711,6 +718,10 @@ std::string SerializeResponse(const Response& resp) {
       out.append(",\"seconds\":");
       AppendJsonDouble(resp.seconds, &out);
       out.append(",\"latency_us\":").append(std::to_string(resp.latency_us));
+      if (resp.trace_id != 0) {
+        out.append(",\"trace_id\":");
+        AppendUint64AsString(resp.trace_id, &out);
+      }
       out.append(",\"digest\":");
       AppendUint64AsString(resp.digest, &out);
       out.append(",\"changes\":[");
@@ -756,6 +767,9 @@ std::string SerializeResponse(const Response& resp) {
         AppendUint64AsString(row.budget_used_bytes, &out);
         out.append(",\"subscribers\":")
             .append(std::to_string(row.subscribers));
+        out.append(",\"lag_batches\":")
+            .append(std::to_string(row.lag_batches));
+        out.append(",\"lag_us\":").append(std::to_string(row.lag_us));
         out.push_back('}');
       }
       out.push_back(']');

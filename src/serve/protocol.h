@@ -176,6 +176,12 @@ struct QueryRow {
   uint64_t budget_bytes = 0;
   uint64_t budget_used_bytes = 0;
   int subscribers = 0;
+  /// Staleness vs the graph of record: batches ingested but not yet
+  /// applied to this view, and the ingest age (µs) of the newest batch
+  /// the view has applied relative to the newest ingested one (0 when
+  /// the view is caught up). Mirrors serve.view_lag_{batches,us}.<name>.
+  uint64_t lag_batches = 0;
+  uint64_t lag_us = 0;
 };
 
 struct Response {
@@ -193,8 +199,14 @@ struct Response {
   uint64_t batch_ops = 0;    // delta: ops applied to this view
   int supersteps = 0;        // delta: supersteps of the incremental run
   double seconds = 0;        // delta: incremental run seconds
-  uint64_t latency_us = 0;   // delta: enqueue -> streamed latency
-  uint64_t queue_depth = 0;  // ack(ingest), status
+  uint64_t latency_us = 0;   // delta: ingest entry -> message build latency
+  uint64_t queue_depth = 0;  // ack(ingest), status: queued + in-flight
+  /// Pipeline trace id of the Δ-batch (ack(ingest), delta). Assigned at
+  /// Service::Ingest and carried through queue/apply/view-run/flush, so a
+  /// client can correlate its ingest ack with every streamed ΔQ record
+  /// and with the serve.* flow events of the Chrome trace. Travels as a
+  /// decimal string (like digests); 0 = no trace id (non-ingest acks).
+  uint64_t trace_id = 0;
 
   VertexId num_vertices = 0;       // snapshot
   std::vector<AttrColumn> attrs;   // snapshot

@@ -66,6 +66,10 @@ struct ServiceOptions {
   bool verify_on_register = true;
   /// Registry for serve.* counters; null = GlobalMetrics().registry().
   MetricsRegistry* registry = nullptr;
+  /// Slow-batch log threshold: a batch whose ingest-entry -> last-flush
+  /// latency exceeds this many milliseconds logs its per-stage breakdown
+  /// and dumps the flight-recorder window. 0 disables the log.
+  uint64_t slow_batch_ms = 0;
 };
 
 /// ΔQ sink of one subscriber: called on the maintenance thread with the
@@ -136,15 +140,46 @@ class Service {
  private:
   Service() = default;
 
+  // One ingested Δ-batch in flight through the pipeline. The three time
+  // points below are deliberately shared between adjacent stage
+  // measurements (each stage ends exactly where the next begins, on the
+  // same steady clock), so the per-stage serve.stage_latency_us.* samples
+  // sum to the end-to-end serve.delta_latency_us with no unattributed
+  // time — asserted by tests.
   struct PendingBatch {
     std::vector<EdgeDelta> ops;
-    std::chrono::steady_clock::time_point enqueued_at;
     uint64_t seq = 0;
+    /// Pipeline trace id (MakeTraceId(seq)); echoed in the ingest ack,
+    /// every delta message, and the serve.batch flow events.
+    uint64_t trace_id = 0;
+    std::chrono::steady_clock::time_point ingest_start;  // Ingest() entry
+    /// Validation done; the `validate` stage ends and `queue_wait` (incl.
+    /// any backpressure block) begins here.
+    std::chrono::steady_clock::time_point enqueued_at;
+    /// Set by the maintenance thread at dequeue; `queue_wait` ends and
+    /// `apply` begins here.
+    std::chrono::steady_clock::time_point dequeued_at;
   };
 
   void MaintenanceLoop();
   void ApplyOneBatch(PendingBatch batch);
   void FillStatusLocked(Response* out);
+  /// `{"slow_batch_ms":...,"stages":{...},"views":{...}}` — the
+  /// "pipeline" object of the /statusz splice.
+  std::string PipelineStatuszJson();
+  /// Trace id for batch `seq`: a per-service random-ish base mixed with
+  /// the seq (bijective), so ids are not accidentally equal to seqs and
+  /// client correlation through the wire round-trip is meaningful.
+  uint64_t MakeTraceId(uint64_t seq) const;
+  /// Resolves + caches the per-view metric handles and seeds the
+  /// staleness reference. Call under mu_ right after admission.
+  void BindViewPipelineLocked(StandingQuery* query);
+  /// Drops the view's serve.*.<name> registry series (after the cached
+  /// handles died with the view). Call under mu_ after erasing the view.
+  void RetireViewSeriesLocked(const std::vector<std::string>& names);
+  /// Recomputes one view's lag gauges from last_ingested_* vs the view's
+  /// applied position. Call under mu_.
+  void UpdateViewLagLocked(StandingQuery* query);
 
   ServiceOptions options_;
   MetricsRegistry* registry_ = nullptr;
@@ -176,12 +211,25 @@ class Service {
   uint64_t next_ticket_ = 1;
 
   uint64_t next_seq_ = 1;
+  /// Position of the graph of record in the ingest stream (under mu_):
+  /// seq + ingest entry time of the newest validated batch, and the seq
+  /// of the newest batch already applied to the primary. The per-view
+  /// lag gauges measure views against these.
+  uint64_t last_ingested_seq_ = 0;
+  std::chrono::steady_clock::time_point last_ingest_time_{};
+  uint64_t last_applied_seq_ = 0;
+  uint64_t trace_id_base_ = 0;
   Counter* backpressure_stalls_ = nullptr;
   Counter* ingest_batches_ = nullptr;
   Counter* ingest_ops_ = nullptr;
   Counter* delta_messages_ = nullptr;
+  Counter* slow_batches_ = nullptr;
   Gauge* standing_queries_gauge_ = nullptr;
   Gauge* queue_depth_gauge_ = nullptr;
+  // Batch-level stage histograms (per-view stages live on the views).
+  Histogram* stage_validate_ = nullptr;
+  Histogram* stage_queue_wait_ = nullptr;
+  Histogram* stage_apply_ = nullptr;
 };
 
 }  // namespace serve

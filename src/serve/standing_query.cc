@@ -195,6 +195,19 @@ void StandingQuery::FillRow(QueryRow* row) const {
   row->last_seconds = last_seconds_;
   row->budget_bytes = budget_->budget_bytes();
   row->budget_used_bytes = budget_->used_bytes();
+  row->lag_batches = pipeline_.lag_batches_now;
+  row->lag_us = pipeline_.lag_us_now;
+}
+
+std::vector<std::string> StandingQuery::MetricSeriesNames() const {
+  const std::string& n = options_.name;
+  return {
+      "serve.delta_latency_us." + n,
+      "serve.stage_latency_us.view_run." + n,
+      "serve.stage_latency_us.stream_flush." + n,
+      "serve.view_lag_batches." + n,
+      "serve.view_lag_us." + n,
+  };
 }
 
 }  // namespace serve

@@ -23,12 +23,14 @@
 #ifndef ITG_SERVE_STANDING_QUERY_H_
 #define ITG_SERVE_STANDING_QUERY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/memory_budget.h"
+#include "common/metrics_registry.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "compiler/compiled_program.h"
@@ -99,6 +101,35 @@ class StandingQuery {
   const MemoryBudget& budget() const { return *budget_; }
   const StandingQueryOptions& options() const { return options_; }
 
+  /// Per-view pipeline observability state, owned and updated by the
+  /// Service. The metric handles are resolved once at registration (the
+  /// per-batch fan-out must not pay a string-concat + registry-lock
+  /// lookup per view per batch) and become dangling after the Service
+  /// retires the view's series — they die with the view. The staleness
+  /// fields are the view's position in the ingest stream: the primary
+  /// sequence number and ingest wall-clock of the newest batch this view
+  /// has applied (seeded at registration under the service lock, so
+  /// batches still queued at registration count as lag until applied).
+  struct PipelineStats {
+    Histogram* delta_latency = nullptr;  // serve.delta_latency_us.<name>
+    Histogram* view_run = nullptr;   // serve.stage_latency_us.view_run.<name>
+    Histogram* stream_flush = nullptr;  // ...stream_flush.<name>
+    Gauge* lag_batches = nullptr;       // serve.view_lag_batches.<name>
+    Gauge* lag_us = nullptr;            // serve.view_lag_us.<name>
+    uint64_t applied_seq = 0;
+    std::chrono::steady_clock::time_point applied_ingest_time{};
+    // Last values pushed to the gauges; echoed into status rows and the
+    // /statusz pipeline section without re-deriving under another lock.
+    uint64_t lag_batches_now = 0;
+    uint64_t lag_us_now = 0;
+  };
+  PipelineStats& pipeline() { return pipeline_; }
+  const PipelineStats& pipeline() const { return pipeline_; }
+
+  /// Names of the per-view registry series backing `pipeline()`; the
+  /// Service removes exactly these on deregister (metric retirement).
+  std::vector<std::string> MetricSeriesNames() const;
+
  private:
   StandingQuery() = default;
 
@@ -120,6 +151,8 @@ class StandingQuery {
   uint64_t runs_ = 0;
   int last_supersteps_ = 0;
   double last_seconds_ = 0;
+
+  PipelineStats pipeline_;
 };
 
 }  // namespace serve

@@ -158,6 +158,34 @@ TEST(MetricsRegistryTest, ToJsonShape) {
   EXPECT_NE(json.find("\"buckets\":[[2,1]]"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, RemoveRetiresSeriesExactly) {
+  MetricsRegistry reg;
+  reg.counter("serve.c.q1")->Add(3);
+  reg.counter("serve.c.q10")->Add(5);
+  reg.gauge("serve.g.q1")->Set(7);
+  reg.histogram("serve.h.q1")->Record(9);
+
+  EXPECT_TRUE(reg.RemoveCounter("serve.c.q1"));
+  EXPECT_TRUE(reg.RemoveGauge("serve.g.q1"));
+  EXPECT_TRUE(reg.RemoveHistogram("serve.h.q1"));
+  // Exact-name matching: "serve.c.q1" must not take "serve.c.q10" along.
+  MetricsRegistry::Snapshot snap = reg.Snap();
+  EXPECT_EQ(snap.counters.count("serve.c.q1"), 0u);
+  EXPECT_EQ(snap.counters.at("serve.c.q10"), 5u);
+  EXPECT_EQ(snap.gauges.count("serve.g.q1"), 0u);
+  EXPECT_EQ(snap.histograms.count("serve.h.q1"), 0u);
+
+  // Removing an absent or wrong-kind name is a no-op returning false.
+  EXPECT_FALSE(reg.RemoveCounter("serve.c.q1"));
+  EXPECT_FALSE(reg.RemoveCounter("serve.g.q1"));
+  EXPECT_FALSE(reg.RemoveGauge("nope"));
+  EXPECT_FALSE(reg.RemoveHistogram("nope"));
+
+  // Re-requesting a removed name creates a fresh series from zero.
+  EXPECT_EQ(reg.counter("serve.c.q1")->value(), 0u);
+  EXPECT_EQ(reg.histogram("serve.h.q1")->count(), 0u);
+}
+
 TEST(MetricsRegistryTest, ConcurrentUpdatesDontLoseCounts) {
   MetricsRegistry reg;
   Counter* c = reg.counter("hot");

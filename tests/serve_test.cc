@@ -4,6 +4,7 @@
 // validation, delta streaming, and deterministic backpressure stalls.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -221,6 +222,47 @@ TEST(ServeProtocolTest, StatusRoundTrips) {
   EXPECT_EQ(back.queries[0].subscribers, 2);
 }
 
+TEST(ServeProtocolTest, TraceIdRoundTripsInAckAndDelta) {
+  Response ack = MakeAck(RequestOp::kIngest, "");
+  ack.seq = 3;
+  ack.trace_id = 0x4000000100000003ull;
+  auto back_or = ParseResponse(SerializeResponse(ack));
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  EXPECT_EQ(back_or.value().trace_id, 0x4000000100000003ull);
+
+  Response delta;
+  delta.type = ResponseType::kDelta;
+  delta.query = "q1";
+  delta.seq = 3;
+  delta.trace_id = 0x4000000100000003ull;
+  back_or = ParseResponse(SerializeResponse(delta));
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  EXPECT_EQ(back_or.value().trace_id, 0x4000000100000003ull);
+
+  // trace_id 0 means "none" and is omitted from the wire encoding.
+  Response plain = MakeAck(RequestOp::kStatus, "");
+  const std::string line = SerializeResponse(plain);
+  EXPECT_EQ(line.find("trace_id"), std::string::npos) << line;
+  back_or = ParseResponse(line);
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  EXPECT_EQ(back_or.value().trace_id, 0u);
+}
+
+TEST(ServeProtocolTest, StatusLagFieldsRoundTrip) {
+  Response status;
+  status.type = ResponseType::kStatus;
+  QueryRow row;
+  row.query = "q1";
+  row.lag_batches = 5;
+  row.lag_us = 1234;
+  status.queries.push_back(row);
+  auto back_or = ParseResponse(SerializeResponse(status));
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  ASSERT_EQ(back_or.value().queries.size(), 1u);
+  EXPECT_EQ(back_or.value().queries[0].lag_batches, 5u);
+  EXPECT_EQ(back_or.value().queries[0].lag_us, 1234u);
+}
+
 // -------------------------------------------------------------- clean stop
 
 TEST(CleanStopTest, FlagSetAndCleared) {
@@ -242,10 +284,12 @@ std::vector<Edge> BaseEdges() {
 class ServeServiceTest : public ::testing::Test {
  protected:
   std::unique_ptr<Service> MakeService(size_t max_queries = 4,
-                                       size_t queue_depth = 16) {
+                                       size_t queue_depth = 16,
+                                       uint64_t slow_batch_ms = 0) {
     ServiceOptions opt;
     opt.max_queries = max_queries;
     opt.ingest_queue_depth = queue_depth;
+    opt.slow_batch_ms = slow_batch_ms;
     opt.scratch_dir = ::testing::TempDir() + "/serve_" +
                       ::testing::UnitTest::GetInstance()
                           ->current_test_info()
@@ -487,6 +531,222 @@ TEST_F(ServeServiceTest, SnapshotMatchesRegisteredView) {
   service->Drain();
 }
 
+// ---------------------------------------------------- pipeline observability
+
+TEST_F(ServeServiceTest, TraceIdPropagatesFromAckToDelta) {
+  auto service = MakeService();
+  ASSERT_EQ(service->Register(RegisterReq("q1"), nullptr).type,
+            ResponseType::kAck);
+  std::mutex mu;
+  std::vector<Response> deltas;
+  int sub_id = 0;
+  Request sub;
+  sub.op = RequestOp::kSubscribe;
+  sub.query = "q1";
+  service->Subscribe(
+      sub,
+      [&](const Response& d) {
+        std::lock_guard<std::mutex> lock(mu);
+        deltas.push_back(d);
+      },
+      &sub_id);
+
+  Request ingest;
+  ingest.op = RequestOp::kIngest;
+  ingest.inserts = {{5, 6}};
+  Response ack1 = service->Ingest(ingest);
+  ASSERT_EQ(ack1.type, ResponseType::kAck) << ack1.message;
+  Request ingest2;
+  ingest2.op = RequestOp::kIngest;
+  ingest2.inserts = {{6, 7}};
+  Response ack2 = service->Ingest(ingest2);
+  ASSERT_EQ(ack2.type, ResponseType::kAck) << ack2.message;
+
+  // Trace ids are nonzero and distinct per batch.
+  EXPECT_NE(ack1.trace_id, 0u);
+  EXPECT_NE(ack2.trace_id, 0u);
+  EXPECT_NE(ack1.trace_id, ack2.trace_id);
+
+  service->Drain();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].trace_id, ack1.trace_id);
+  EXPECT_EQ(deltas[1].trace_id, ack2.trace_id);
+  // Deliberately not the raw seq (a client correlating ids through the
+  // wire proves real propagation, not a seq echo).
+  EXPECT_NE(deltas[0].trace_id, deltas[0].seq);
+}
+
+TEST_F(ServeServiceTest, StageLatenciesSumToEndToEnd) {
+  auto service = MakeService();
+  ASSERT_EQ(service->Register(RegisterReq("q1"), nullptr).type,
+            ResponseType::kAck);
+  const std::vector<Edge> extra = {{5, 6}, {6, 7}, {0, 2}};
+  for (const Edge& e : extra) {
+    Request ingest;
+    ingest.op = RequestOp::kIngest;
+    ingest.inserts = {e};
+    ASSERT_EQ(service->Ingest(ingest).type, ResponseType::kAck);
+  }
+  const int kBatches = static_cast<int>(extra.size());
+  service->Drain();
+
+  Histogram* e2e = registry_.histogram("serve.delta_latency_us.q1");
+  ASSERT_EQ(e2e->count(), static_cast<uint64_t>(kBatches));
+  uint64_t stage_sum = 0;
+  for (const char* name :
+       {"serve.stage_latency_us.validate", "serve.stage_latency_us.queue_wait",
+        "serve.stage_latency_us.apply", "serve.stage_latency_us.view_run.q1",
+        "serve.stage_latency_us.stream_flush.q1"}) {
+    Histogram* h = registry_.histogram(name);
+    EXPECT_EQ(h->count(), static_cast<uint64_t>(kBatches)) << name;
+    stage_sum += h->sum();
+  }
+  // With a single view, the five stages partition ingest-entry ->
+  // post-flush: adjacent stages share the exact clock read at every
+  // boundary, so the only possible discrepancy is the per-sample µs
+  // truncation (< 1us per stage, 5 stages per batch).
+  const uint64_t e2e_sum = e2e->sum();
+  const uint64_t tolerance = 5 * kBatches;
+  EXPECT_LE(stage_sum, e2e_sum + tolerance);
+  EXPECT_GE(stage_sum + tolerance, e2e_sum);
+}
+
+TEST_F(ServeServiceTest, ViewLagRisesAndFallsWithPause) {
+  auto service = MakeService();
+  ASSERT_EQ(service->Register(RegisterReq("q1"), nullptr).type,
+            ResponseType::kAck);
+  Gauge* lag_batches = registry_.gauge("serve.view_lag_batches.q1");
+  Gauge* lag_us = registry_.gauge("serve.view_lag_us.q1");
+  EXPECT_EQ(lag_batches->value(), 0);
+  EXPECT_EQ(lag_us->value(), 0);
+
+  // Freeze maintenance, then ingest 3 spaced-out batches: the view's lag
+  // must track the ingest stream deterministically (gauges are updated
+  // under the service mutex at every Ingest).
+  service->SetMaintenancePaused(true);
+  const std::vector<Edge> extra = {{5, 6}, {6, 7}, {0, 2}};
+  int depth = 0;
+  for (const Edge& e : extra) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Request ingest;
+    ingest.op = RequestOp::kIngest;
+    ingest.inserts = {e};
+    ASSERT_EQ(service->Ingest(ingest).type, ResponseType::kAck);
+    EXPECT_EQ(lag_batches->value(), ++depth);
+  }
+  const int kBatches = static_cast<int>(extra.size());
+  // Three batches deep, at least the two inter-batch sleeps of event
+  // time behind (lag_us measures ingest-time distance, not wall clock:
+  // the reference is the first unapplied batch's ingest entry).
+  EXPECT_EQ(lag_batches->value(), kBatches);
+  EXPECT_GE(lag_us->value(), 3000);
+
+  // The status rows surface the same staleness numbers.
+  Response status = service->GetStatus();
+  ASSERT_EQ(status.queries.size(), 1u);
+  EXPECT_EQ(status.queries[0].lag_batches, static_cast<uint64_t>(kBatches));
+  EXPECT_GT(status.queries[0].lag_us, 0u);
+
+  // Resume + drain: the view catches up and the lag falls back to zero.
+  service->SetMaintenancePaused(false);
+  service->Drain();
+  EXPECT_EQ(lag_batches->value(), 0);
+  EXPECT_EQ(lag_us->value(), 0);
+  status = service->GetStatus();
+  ASSERT_EQ(status.queries.size(), 1u);
+  EXPECT_EQ(status.queries[0].lag_batches, 0u);
+  EXPECT_EQ(status.queries[0].lag_us, 0u);
+}
+
+TEST_F(ServeServiceTest, DeregisterRetiresMetricSeries) {
+  auto service = MakeService();
+  ASSERT_EQ(service->Register(RegisterReq("q1"), nullptr).type,
+            ResponseType::kAck);
+  Request ingest;
+  ingest.op = RequestOp::kIngest;
+  ingest.inserts = {{5, 6}};
+  ASSERT_EQ(service->Ingest(ingest).type, ResponseType::kAck);
+  // Wait for the batch to land so the per-view histograms have samples
+  // (Drain would stop the maintenance thread for good).
+  while (service->GetStatus().queries[0].timestamp < 1) {
+    std::this_thread::yield();
+  }
+  MetricsRegistry::Snapshot before = registry_.Snap();
+  EXPECT_EQ(before.histograms.count("serve.delta_latency_us.q1"), 1u);
+  EXPECT_EQ(before.histograms.count("serve.stage_latency_us.view_run.q1"), 1u);
+  EXPECT_EQ(before.gauges.count("serve.view_lag_batches.q1"), 1u);
+
+  Request dereg;
+  dereg.op = RequestOp::kDeregister;
+  dereg.query = "q1";
+  ASSERT_EQ(service->Deregister(dereg).type, ResponseType::kAck);
+
+  // Every serve.*.q1 series is gone from the registry — scrapes and run
+  // reports stop exporting the dead view.
+  MetricsRegistry::Snapshot after = registry_.Snap();
+  EXPECT_EQ(after.histograms.count("serve.delta_latency_us.q1"), 0u);
+  EXPECT_EQ(after.histograms.count("serve.stage_latency_us.view_run.q1"), 0u);
+  EXPECT_EQ(after.histograms.count("serve.stage_latency_us.stream_flush.q1"),
+            0u);
+  EXPECT_EQ(after.gauges.count("serve.view_lag_batches.q1"), 0u);
+  EXPECT_EQ(after.gauges.count("serve.view_lag_us.q1"), 0u);
+  // The batch-level stage histograms are service-wide and stay.
+  EXPECT_EQ(after.histograms.count("serve.stage_latency_us.apply"), 1u);
+  service->Drain();
+}
+
+TEST_F(ServeServiceTest, SlowBatchCounterTripsOnThreshold) {
+  // 1 ms threshold; parking the batch in the queue for ~5 ms makes its
+  // end-to-end latency (which includes queue_wait) deterministically slow.
+  auto service = MakeService(/*max_queries=*/4, /*queue_depth=*/16,
+                             /*slow_batch_ms=*/1);
+  ASSERT_EQ(service->Register(RegisterReq("q1"), nullptr).type,
+            ResponseType::kAck);
+  Counter* slow = registry_.counter("serve.slow_batches");
+  EXPECT_EQ(slow->value(), 0u);
+
+  service->SetMaintenancePaused(true);
+  Request ingest;
+  ingest.op = RequestOp::kIngest;
+  ingest.inserts = {{5, 6}};
+  ASSERT_EQ(service->Ingest(ingest).type, ResponseType::kAck);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service->SetMaintenancePaused(false);
+  service->Drain();
+  EXPECT_EQ(slow->value(), 1u);
+}
+
+TEST_F(ServeServiceTest, QueueDepthCountsQueuedPlusInFlight) {
+  auto service = MakeService();
+  service->SetMaintenancePaused(true);
+  Gauge* depth = registry_.gauge("serve.queue_depth");
+
+  Request first;
+  first.op = RequestOp::kIngest;
+  first.inserts = {{5, 6}};
+  Response ack = service->Ingest(first);
+  ASSERT_EQ(ack.type, ResponseType::kAck);
+  EXPECT_EQ(ack.queue_depth, 1u);
+  EXPECT_EQ(depth->value(), 1);
+
+  Request second;
+  second.op = RequestOp::kIngest;
+  second.inserts = {{6, 7}};
+  ack = service->Ingest(second);
+  ASSERT_EQ(ack.type, ResponseType::kAck);
+  // Ack, gauge and the status op all report queued + in-flight with the
+  // same semantics.
+  EXPECT_EQ(ack.queue_depth, 2u);
+  EXPECT_EQ(depth->value(), 2);
+  EXPECT_EQ(service->GetStatus().queue_depth, 2u);
+
+  service->SetMaintenancePaused(false);
+  service->Drain();
+  EXPECT_EQ(depth->value(), 0);
+  EXPECT_EQ(service->GetStatus().queue_depth, 0u);
+}
+
 TEST_F(ServeServiceTest, StatuszExtraIsServingMember) {
   auto service = MakeService();
   ASSERT_EQ(service->Register(RegisterReq("q1"), nullptr).type,
@@ -501,6 +761,18 @@ TEST_F(ServeServiceTest, StatuszExtraIsServingMember) {
   const Json* queries = serving->Find("queries");
   ASSERT_NE(queries, nullptr);
   ASSERT_EQ(queries->items.size(), 1u);
+  // The pipeline section nests inside serving (not a stray sibling) and
+  // carries the batch-level stages plus one entry per view.
+  const Json* pipeline = serving->Find("pipeline");
+  ASSERT_NE(pipeline, nullptr);
+  const Json* stages = pipeline->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_NE(stages->Find("validate"), nullptr);
+  EXPECT_NE(stages->Find("queue_wait"), nullptr);
+  EXPECT_NE(stages->Find("apply"), nullptr);
+  const Json* views = pipeline->Find("views");
+  ASSERT_NE(views, nullptr);
+  EXPECT_NE(views->Find("q1"), nullptr);
   service->Drain();
 }
 

@@ -100,6 +100,56 @@ TEST_F(TraceTest, InstantAndExplicitCompleteEvents) {
   EXPECT_EQ(complete->arg, 99);
 }
 
+TEST_F(TraceTest, FlowEventsCollectAndSerialize) {
+  Tracer::Enable();
+  {
+    TraceSpan ingest("ingest", "flowtest");
+    TraceFlowBegin("batch", "flowtest", 0xABCDu);
+  }
+  {
+    TraceSpan apply("apply", "flowtest");
+    TraceFlowStep("batch", "flowtest", 0xABCDu);
+    TraceFlowEnd("batch", "flowtest", 0xABCDu);
+  }
+  Tracer::Disable();
+
+  auto events = Tracer::Collect();
+  ASSERT_EQ(events.size(), 5u);
+  size_t starts = 0, steps = 0, ends = 0;
+  for (const auto& e : events) {
+    if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      EXPECT_EQ(e.name, "batch");
+      EXPECT_EQ(e.flow_id, 0xABCDu);
+      if (e.phase == 's') ++starts;
+      if (e.phase == 't') ++steps;
+      if (e.phase == 'f') ++ends;
+    }
+  }
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(steps, 1u);
+  EXPECT_EQ(ends, 1u);
+
+  std::string json = Tracer::ToJson();
+  // Flow events carry their id as a decimal string; the finish event
+  // additionally binds to the enclosing slice so Perfetto terminates
+  // the arrow at the span, not at the thread baseline.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"43981\""), std::string::npos);  // 0xABCD
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(TraceTest, FlowEventsDisabledRecordNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  TraceFlowBegin("batch", "flowtest", 1);
+  TraceFlowStep("batch", "flowtest", 1);
+  TraceFlowEnd("batch", "flowtest", 1);
+  EXPECT_EQ(Tracer::event_count(), 0u);
+}
+
 TEST_F(TraceTest, SpanStartedBeforeDisableStillEnds) {
   Tracer::Enable();
   {

@@ -1,0 +1,50 @@
+# ctest driver for the serving pipeline-observability smoke test (see
+# top-level CMakeLists.txt): tools/serve_client.py --mode latency spawns
+# example_itg_serve with ITG_TRACE and the telemetry server, registers a
+# standing PageRank view, streams delta batches while asserting the
+# pipeline trace id round-trips ingest ack -> delta message, scrapes
+# /metrics for the per-stage latency histograms and per-view lag gauges
+# (zero after quiescence), checks the /statusz "pipeline" section and the
+# status op's staleness fields, and validates the schema-v6 run report
+# (stage sums must tile the end-to-end delta latency). Afterwards
+# trace_summary.py --waterfall must find flow-linked ingest->notify
+# events in the written trace, and report_diff-style schema validation
+# runs over the report.
+#
+# Inputs: -DITG_SERVE=<binary> -DLNGA_RUN=<binary>
+#         -DPython3_EXECUTABLE=<python3>
+#         -DSERVE_CLIENT=<serve_client.py>
+#         -DTRACE_SUMMARY=<trace_summary.py> -DWORK_DIR=<scratch>
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${SERVE_CLIENT} --mode latency
+          --serve-binary ${ITG_SERVE} --lnga-binary ${LNGA_RUN}
+          --workdir ${WORK_DIR} --batches 6
+  RESULT_VARIABLE client_rc
+  OUTPUT_VARIABLE client_out
+  ERROR_VARIABLE client_err)
+message(STATUS "serve_client (latency) output:\n${client_out}")
+if(NOT client_rc EQUAL 0)
+  message(FATAL_ERROR
+          "serve_client.py --mode latency failed (${client_rc}):\n"
+          "${client_err}")
+endif()
+
+# The trace must contain flow-linked pipeline events (--waterfall exits
+# non-zero when none are present) and the report must pass the full v6
+# schema validation.
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${TRACE_SUMMARY}
+          --trace ${WORK_DIR}/serve_trace.json --waterfall
+          --report ${WORK_DIR}/serve_report.json
+  RESULT_VARIABLE summary_rc
+  OUTPUT_VARIABLE summary_out
+  ERROR_VARIABLE summary_err)
+message(STATUS "trace_summary output:\n${summary_out}")
+if(NOT summary_rc EQUAL 0)
+  message(FATAL_ERROR
+          "trace_summary.py failed (${summary_rc}):\n${summary_err}")
+endif()

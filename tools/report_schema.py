@@ -12,9 +12,12 @@ Version history:
   4  state digests (per run and per superstep row), "audit" section
   5  "serving" section (standing-query daemon: per-query rows with
      delta-latency histograms, ingest/backpressure counters)
+  6  pipeline observability: serving gains per-stage "stage_latency_us"
+     percentile rows and "slow_batches"; per-query rows gain
+     "lag_batches" / "lag_us" staleness fields
 """
 
 MIN_SCHEMA = 1
-MAX_SCHEMA = 5
+MAX_SCHEMA = 6
 
 SCHEMA_RANGE = range(MIN_SCHEMA, MAX_SCHEMA + 1)

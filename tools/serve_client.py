@@ -5,8 +5,10 @@ Usage:
   serve_client.py --serve-binary <example_itg_serve>
                   --lnga-binary <example_lnga_run>
                   --workdir <scratch> [--batches 6] [--timeout 180]
+                  [--mode smoke|latency]
 
-Drives the full serving story documented in docs/SERVING.md:
+In the default mode, drives the full serving story documented in
+docs/SERVING.md:
 
   1. writes a deterministic edge-list graph and spawns the daemon on an
      ephemeral port (picked up through --portfile),
@@ -17,7 +19,9 @@ Drives the full serving story documented in docs/SERVING.md:
      common/digest.h below) bit-matches the digest in every message,
   4. ingests --batches valid Δ-batches; after each, both subscriber
      connections must receive a delta message whose after-images update
-     the mirror to exactly the digest the server reports,
+     the mirror to exactly the digest the server reports, and whose
+     trace_id equals the one echoed in the ingest ack (the pipeline
+     trace id round-trips end to end),
   5. registers a third query with a deliberately tiny memory-budget
      slice and expects the structured budget_exceeded rejection,
   6. checks the status op (per-query rows, timestamps, counters),
@@ -26,10 +30,20 @@ Drives the full serving story documented in docs/SERVING.md:
      state_digest to be bit-identical to each streamed view's digest —
      the serving daemon is the batch pipeline, made continuous,
   8. sends the shutdown op, waits for a clean exit, and validates the
-     run report's schema v5 "serving" section,
+     run report's schema v6 "serving" section (stage latency rows,
+     slow-batch counter, per-query lag),
   9. separately: spawns the batch driver in --watch mode, SIGINTs it,
      and requires a clean rc-0 exit with a written report (the shared
      clean-stop path).
+
+--mode latency exercises the pipeline-observability surface instead
+(the latency_smoke ctest): spawns the daemon with ITG_TRACE and the
+telemetry server, registers one view, streams batches while correlating
+trace ids, then scrapes /metrics for the stage histograms and lag
+gauges, checks the /statusz "pipeline" section, requires lag to drain
+to zero, and cross-checks that the per-stage latency sums tile the
+end-to-end delta latency. The driving cmake script then validates the
+written trace with trace_summary.py --waterfall.
 
 Uses only the standard library; exits non-zero with a diagnostic on the
 first failed expectation. Transient connect failures are retried until a
@@ -46,6 +60,7 @@ import struct
 import subprocess
 import sys
 import time
+import urllib.request
 
 MASK = (1 << 64) - 1
 
@@ -298,34 +313,54 @@ def batch_digest(lnga_binary, workdir, program, graph, mutations, deadline,
     return doc["runs"][-1]["state_digest"]
 
 
-def check_report(path, batches):
+def check_report(path, batches, queries=2):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    expect(doc.get("schema_version") == 5,
+    expect(doc.get("schema_version") == 6,
            f"daemon report schema_version {doc.get('schema_version')}, "
-           f"want 5")
+           f"want 6")
     serving = doc.get("serving")
     expect(isinstance(serving, dict), "daemon report has no serving section")
-    expect(serving.get("standing_queries") == 2,
+    expect(serving.get("standing_queries") == queries,
            f"serving.standing_queries {serving.get('standing_queries')}, "
-           f"want 2")
+           f"want {queries}")
     expect(serving.get("ingest_batches") == batches,
            f"serving.ingest_batches {serving.get('ingest_batches')}, "
            f"want {batches}")
     expect("backpressure_stalls" in serving,
            "serving.backpressure_stalls missing")
+    expect("slow_batches" in serving, "serving.slow_batches missing (v6)")
+    stages = {row["stage"]: row
+              for row in serving.get("stage_latency_us", [])}
+    for stage in ("validate", "queue_wait", "apply"):
+        expect(stage in stages,
+               f"serving.stage_latency_us missing stage {stage!r}")
+        expect(stages[stage]["count"] == batches,
+               f"stage {stage!r} count {stages[stage]['count']}, "
+               f"want {batches}")
     rows = serving.get("queries", [])
-    expect(len(rows) == 2, f"serving.queries has {len(rows)} rows, want 2")
+    expect(len(rows) == queries,
+           f"serving.queries has {len(rows)} rows, want {queries}")
     for row in rows:
+        name = row.get("name")
         expect(row.get("timestamp") == batches,
-               f"serving row {row.get('name')!r} at timestamp "
+               f"serving row {name!r} at timestamp "
                f"{row.get('timestamp')}, want {batches}")
         hist = row.get("delta_latency_us", {})
         expect(hist.get("count") == batches,
-               f"serving row {row.get('name')!r} latency count "
+               f"serving row {name!r} latency count "
                f"{hist.get('count')}, want {batches}")
         expect(isinstance(hist.get("buckets"), list) and hist["buckets"],
-               f"serving row {row.get('name')!r} has no latency buckets")
+               f"serving row {name!r} has no latency buckets")
+        # Per-view stage rows exist, and the view is fully caught up
+        # after the drain that precedes report writing.
+        for stage in (f"view_run.{name}", f"stream_flush.{name}"):
+            expect(stage in stages,
+                   f"serving.stage_latency_us missing stage {stage!r}")
+        expect(row.get("lag_batches") == 0 and row.get("lag_us") == 0,
+               f"serving row {name!r} still lagging after drain: "
+               f"lag_batches={row.get('lag_batches')} "
+               f"lag_us={row.get('lag_us')}")
     return serving
 
 
@@ -360,6 +395,193 @@ def check_sigint_watch(lnga_binary, workdir, deadline, env):
             proc.wait()
 
 
+# ---------------------------------------------------------- latency mode ----
+
+def scrape(url, deadline):
+    req = urllib.request.Request(url)
+    with urllib.request.urlopen(
+            req, timeout=max(0.5, deadline - time.monotonic())) as resp:
+        return resp.read().decode("utf-8", errors="replace")
+
+
+def parse_prometheus(text):
+    """{metric_name: value} for plain sample lines (no labels)."""
+    values = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#") or "{" in line:
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            try:
+                values[parts[0]] = float(parts[1])
+            except ValueError:
+                pass
+    return values
+
+
+def run_latency_mode(args):
+    """The latency_smoke body: trace-id propagation, /metrics stage
+    histograms and lag gauges, the /statusz pipeline section, the stage
+    sums tiling the end-to-end latency, and an ITG_TRACE file with flow
+    events (validated afterwards by trace_summary.py --waterfall)."""
+    os.makedirs(args.workdir, exist_ok=True)
+    deadline = time.monotonic() + args.timeout
+    graph = os.path.join(args.workdir, "edges.txt")
+    portfile = os.path.join(args.workdir, "serve.port")
+    tportfile = os.path.join(args.workdir, "telemetry.port")
+    report = os.path.join(args.workdir, "serve_report.json")
+    trace = os.path.join(args.workdir, "serve_trace.json")
+    for stale in (portfile, tportfile, trace):
+        if os.path.exists(stale):
+            os.remove(stale)
+
+    base_edges = make_graph(graph, args.num_vertices)
+    batches = make_batches(base_edges, args.num_vertices, args.batches)
+
+    env = dict(os.environ)
+    env["ITG_THREADS"] = "1"
+    env["ITG_TRACE"] = trace
+    env["ITG_TELEMETRY_PORTFILE"] = tportfile
+    env.pop("ITG_TELEMETRY_PORT", None)
+
+    # A generous slow-batch threshold: the flag path is exercised but no
+    # batch of this toy stream should trip it (asserted below).
+    cmd = [args.serve_binary, "--graph", graph, "--port", "0",
+           "--portfile", portfile, "--telemetry-port", "0",
+           "--slow-batch-ms", "60000",
+           "--scratch", os.path.join(args.workdir, "scratch"),
+           "--metrics-json", report]
+    print("serve_client: spawning:", " ".join(cmd))
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, env=env)
+    conns = []
+    try:
+        port = wait_for_port(portfile, proc, deadline)
+        tport = wait_for_port(tportfile, proc, deadline)
+        print(f"serve_client: daemon up on 127.0.0.1:{port}, telemetry "
+              f"on 127.0.0.1:{tport}")
+
+        sub = ServeConnection(port, deadline)
+        conns.append(sub)
+        ack = sub.request({"op": "register", "query": "q1",
+                           "program": "pr", "subscribe": True}, deadline)
+        expect(ack.get("op") == "register", f"malformed register ack: {ack}")
+
+        ingester = ServeConnection(port, deadline)
+        conns.append(ingester)
+        seen_ids = set()
+        for i, (inserts, deletes) in enumerate(batches, start=1):
+            ack = ingester.request(
+                {"op": "ingest",
+                 "inserts": [list(e) for e in inserts],
+                 "deletes": [list(e) for e in deletes]}, deadline)
+            trace_id = ack.get("trace_id")
+            expect(isinstance(trace_id, str) and trace_id.isdigit()
+                   and int(trace_id) != 0,
+                   f"ingest ack carries no pipeline trace_id: {ack}")
+            expect(trace_id not in seen_ids,
+                   f"trace_id {trace_id} reused across batches")
+            seen_ids.add(trace_id)
+            delta = sub.next_message(deadline, "delta")
+            expect(delta.get("seq") == i,
+                   f"delta seq {delta.get('seq')}, want {i}")
+            expect(delta.get("trace_id") == trace_id,
+                   f"delta trace_id {delta.get('trace_id')!r} != ack "
+                   f"trace_id {trace_id!r}")
+            # Space the batches out a little so queue_wait/lag_us get
+            # non-degenerate samples.
+            time.sleep(0.002)
+        n = len(batches)
+        print(f"serve_client: {n} batches streamed, {len(seen_ids)} "
+              f"distinct trace ids round-tripped")
+
+        # Every delta was received, so the pipeline is quiescent: the
+        # stage histograms must have one sample per batch and the view
+        # must report zero lag.
+        metrics = parse_prometheus(
+            scrape(f"http://127.0.0.1:{tport}/metrics", deadline))
+        for stage in ("validate", "queue_wait", "apply"):
+            key = f"itg_serve_stage_latency_us_{stage}_count"
+            expect(metrics.get(key) == n,
+                   f"/metrics {key} = {metrics.get(key)}, want {n}")
+        for stage in ("view_run_q1", "stream_flush_q1"):
+            key = f"itg_serve_stage_latency_us_{stage}_count"
+            expect(metrics.get(key) == n,
+                   f"/metrics {key} = {metrics.get(key)}, want {n}")
+        expect(metrics.get("itg_serve_view_lag_batches_q1") == 0,
+               f"/metrics itg_serve_view_lag_batches_q1 = "
+               f"{metrics.get('itg_serve_view_lag_batches_q1')}, want 0")
+        expect(metrics.get("itg_serve_view_lag_us_q1") == 0,
+               f"/metrics itg_serve_view_lag_us_q1 = "
+               f"{metrics.get('itg_serve_view_lag_us_q1')}, want 0")
+        expect(metrics.get("itg_serve_slow_batches") == 0,
+               f"/metrics itg_serve_slow_batches = "
+               f"{metrics.get('itg_serve_slow_batches')}, want 0")
+        print("serve_client: /metrics stage histograms + lag gauges OK")
+
+        statusz = json.loads(
+            scrape(f"http://127.0.0.1:{tport}/statusz", deadline))
+        serving = statusz.get("serving")
+        expect(isinstance(serving, dict), "/statusz has no serving member")
+        pipeline = serving.get("pipeline")
+        expect(isinstance(pipeline, dict),
+               "/statusz serving has no pipeline section")
+        for stage in ("validate", "queue_wait", "apply"):
+            expect(stage in pipeline.get("stages", {}),
+                   f"/statusz pipeline.stages missing {stage!r}")
+        q1 = pipeline.get("views", {}).get("q1")
+        expect(isinstance(q1, dict) and "lag_batches" in q1
+               and "view_run" in q1,
+               f"/statusz pipeline.views.q1 malformed: {q1!r}")
+        print("serve_client: /statusz pipeline section OK")
+
+        # Status rows carry the staleness fields.
+        status = ingester.request({"op": "status"}, deadline,
+                                  expect_types=("status",))
+        rows = {row["query"]: row for row in status.get("queries", [])}
+        expect("q1" in rows, f"status rows {sorted(rows)}, want q1")
+        for field in ("lag_batches", "lag_us"):
+            expect(isinstance(rows["q1"].get(field), int),
+                   f"status row q1 missing {field}: {rows['q1']}")
+        expect(rows["q1"]["lag_batches"] == 0,
+               f"status row q1 lag_batches {rows['q1']['lag_batches']} "
+               f"after quiescence, want 0")
+        print("serve_client: status staleness fields OK")
+
+        ack = ingester.request({"op": "shutdown"}, deadline)
+        expect(ack.get("op") == "shutdown", f"malformed shutdown ack: {ack}")
+        out, _ = proc.communicate(timeout=max(1.0,
+                                              deadline - time.monotonic()))
+        expect(proc.returncode == 0,
+               f"daemon rc {proc.returncode} after shutdown op:\n"
+               f"{out.decode('utf-8', errors='replace')}")
+
+        serving = check_report(report, n, queries=1)
+        # With a single view the five stages tile ingest->flush exactly
+        # (shared clock reads at every boundary); only µs truncation may
+        # leak, bounded well under 16us per batch per stage boundary.
+        stage_sum = sum(row["sum"] for row in serving["stage_latency_us"])
+        e2e_sum = serving["queries"][0]["delta_latency_us"]["sum"]
+        tolerance = 16 * n
+        expect(abs(stage_sum - e2e_sum) <= tolerance,
+               f"stage latency sums {stage_sum}us do not tile the "
+               f"end-to-end delta latency {e2e_sum}us "
+               f"(tolerance {tolerance}us)")
+        expect(serving["slow_batches"] == 0,
+               f"report slow_batches {serving['slow_batches']}, want 0")
+        print(f"serve_client: run report v6 OK; stage sums {stage_sum}us "
+              f"tile end-to-end {e2e_sum}us (±{tolerance}us)")
+        expect(os.path.exists(trace),
+               f"daemon wrote no ITG_TRACE file at {trace}")
+    finally:
+        for conn in conns:
+            conn.close()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    print("serve_client: latency mode checks passed")
+
+
 # ------------------------------------------------------------------ main ----
 
 def main():
@@ -370,7 +592,13 @@ def main():
     parser.add_argument("--batches", type=int, default=6)
     parser.add_argument("--num-vertices", type=int, default=48)
     parser.add_argument("--timeout", type=float, default=180.0)
+    parser.add_argument("--mode", choices=("smoke", "latency"),
+                        default="smoke")
     args = parser.parse_args()
+
+    if args.mode == "latency":
+        run_latency_mode(args)
+        return
 
     os.makedirs(args.workdir, exist_ok=True)
     deadline = time.monotonic() + args.timeout
@@ -390,6 +618,8 @@ def main():
     env = dict(os.environ)
     env["ITG_THREADS"] = "1"
     env.pop("ITG_TELEMETRY_PORT", None)
+    env.pop("ITG_TELEMETRY_PORTFILE", None)
+    env.pop("ITG_TRACE", None)
 
     cmd = [args.serve_binary, "--graph", graph, "--port", "0",
            "--portfile", portfile, "--max-queries", "3",
@@ -442,6 +672,10 @@ def main():
                  "inserts": [list(e) for e in inserts],
                  "deletes": [list(e) for e in deletes]}, deadline)
             expect(ack.get("op") == "ingest", f"malformed ingest ack: {ack}")
+            trace_id = ack.get("trace_id")
+            expect(isinstance(trace_id, str) and trace_id.isdigit()
+                   and int(trace_id) != 0,
+                   f"ingest ack carries no pipeline trace_id: {ack}")
             for (name, conn) in (("q1", conns[0]), ("q2", conns[1])):
                 delta = conn.next_message(deadline, "delta")
                 expect(delta.get("query") == name,
@@ -449,9 +683,13 @@ def main():
                        f"connection")
                 expect(delta.get("seq") == i,
                        f"{name}: delta seq {delta.get('seq')}, want {i}")
+                expect(delta.get("trace_id") == trace_id,
+                       f"{name}: delta trace_id {delta.get('trace_id')!r} "
+                       f"!= ingest ack trace_id {trace_id!r}")
                 mirrors[name].apply_delta(delta)
         print(f"serve_client: {len(batches)} batches streamed; "
-              f"all ΔQ digests verified on both views")
+              f"all ΔQ digests verified on both views, trace ids "
+              f"round-tripped ack->delta")
 
         # Status rows agree with the mirrors.
         status = ingester.request({"op": "status"}, deadline,
@@ -491,7 +729,7 @@ def main():
                f"daemon rc {proc.returncode} after shutdown op:\n"
                f"{out.decode('utf-8', errors='replace')}")
         serving = check_report(report, len(batches))
-        print(f"serve_client: daemon drained cleanly; run report v5 OK "
+        print(f"serve_client: daemon drained cleanly; run report v6 OK "
               f"(serving={json.dumps({k: serving[k] for k in ('standing_queries', 'ingest_batches', 'backpressure_stalls')})})")
     finally:
         for conn in conns:

@@ -6,7 +6,7 @@
 # over-budget third registration is rejected with budget_exceeded,
 # replays the identical stream through example_lnga_run --mutations and
 # requires bit-identical final digests, shuts the daemon down over the
-# wire, validates the schema-v5 "serving" run-report section, and checks
+# wire, validates the schema-v6 "serving" run-report section, and checks
 # that SIGINT stops --watch cleanly (rc 0, report written).
 #
 # Inputs: -DITG_SERVE=<binary> -DLNGA_RUN=<binary>

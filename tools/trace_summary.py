@@ -2,13 +2,21 @@
 """Summarize iTurboGraph trace files and validate run reports.
 
 Usage:
-  trace_summary.py --trace <trace.json> [--top N]
+  trace_summary.py --trace <trace.json> [--top N] [--waterfall]
   trace_summary.py --report <report.json>
   trace_summary.py --trace <trace.json> --report <report.json>
 
 --trace expects the Chrome trace-event JSON written when ITG_TRACE=<path>
 is set (loadable in Perfetto / chrome://tracing). Prints a per-phase wall
 time table (aggregated over span names) and the top-N longest spans.
+Flow events ('s'/'t'/'f', the serving pipeline's ingest->notify links)
+are validated: every flow event must carry an "id" and every flow start
+must be closed by a flow finish with the same id.
+
+--waterfall additionally prints, for each flow id (one ingested Δ-batch),
+the time-ordered spans tagged with that id — the textual version of the
+arrow chain Perfetto draws. Exits non-zero when the trace contains no
+flow events, so the serve smoke can assert the pipeline is traced.
 
 --report expects the machine-readable run report written by the bench
 binaries' --metrics-json=<path> flag (schema_version MIN_SCHEMA..
@@ -16,8 +24,10 @@ MAX_SCHEMA from tools/report_schema.py, see src/harness/run_report.h;
 version 2 adds per-run "operators" and "supersteps_profile" sections,
 version 3 adds per-machine barrier_wait_nanos and a top-level "memory"
 section of per-structure current/peak byte counts, version 4 adds state
-digests and the drift auditor's "audit" section). Validates the schema
-and prints a short digest. Exits non-zero on any schema violation, so it
+digests and the drift auditor's "audit" section, version 5 the serving
+daemon's "serving" section, version 6 the serving pipeline's per-stage
+latency rows, slow-batch counter and per-query staleness fields).
+Validates the schema and prints a short digest. Exits non-zero on any schema violation, so it
 doubles as the ctest smoke check.
 """
 
@@ -37,7 +47,36 @@ def fail(msg):
 
 # ---------------------------------------------------------------- trace ----
 
-def summarize_trace(path, top_n):
+def print_waterfall(spans, flow_ids):
+    """Prints the per-flow-id (= per-Δ-batch) stage waterfall.
+
+    A pipeline span is tied to its batch by the span's args.value (the
+    trace id the service stamps on serve.ingest/apply/view_run/
+    stream_flush), matching the flow events' "id" field.
+    """
+    by_id = {}
+    for name, cat, dur, ts, tid, arg in spans:
+        if arg is not None and str(arg) in flow_ids:
+            by_id.setdefault(str(arg), []).append((ts, dur, cat, name, tid))
+    print()
+    print(f"  waterfall ({len(flow_ids)} flows, "
+          f"{sum(len(v) for v in by_id.values())} linked spans):")
+    for fid in sorted(flow_ids, key=int):
+        stages = sorted(by_id.get(fid, []))
+        if not stages:
+            print(f"    flow {fid}: no linked spans (dropped buffers?)")
+            continue
+        t0 = stages[0][0]
+        total = max(ts + dur for ts, dur, _, _, _ in stages) - t0
+        print(f"    flow {fid}: {len(stages)} stages, "
+              f"{total / 1000.0:.3f} ms end-to-end")
+        for ts, dur, cat, name, tid in stages:
+            off = ts - t0
+            print(f"      +{off / 1000.0:>9.3f} ms  {dur / 1000.0:>9.3f} ms  "
+                  f"{cat}/{name} (tid {tid})")
+
+
+def summarize_trace(path, top_n, waterfall=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -51,8 +90,11 @@ def summarize_trace(path, top_n):
         fail(f"{path}: traceEvents is not a list")
 
     thread_names = {}
-    spans = []       # (name, cat, dur_us, ts, tid)
+    spans = []       # (name, cat, dur_us, ts, tid, arg-or-None)
     instants = {}    # name -> count
+    flow_starts = {}  # id -> count of 's'
+    flow_ends = {}    # id -> count of 'f'
+    flow_steps = 0
     for ev in events:
         if not isinstance(ev, dict) or "ph" not in ev:
             fail(f"{path}: malformed event {ev!r}")
@@ -64,12 +106,42 @@ def summarize_trace(path, top_n):
             for key in ("name", "ts", "dur", "tid"):
                 if key not in ev:
                     fail(f"{path}: X event missing {key}: {ev!r}")
+            arg = ev.get("args", {}).get("value")
             spans.append((ev["name"], ev.get("cat", ""), float(ev["dur"]),
-                          float(ev["ts"]), ev["tid"]))
+                          float(ev["ts"]), ev["tid"], arg))
         elif ph == "i":
             instants[ev["name"]] = instants.get(ev["name"], 0) + 1
+        elif ph in ("s", "t", "f"):
+            fid = ev.get("id")
+            if not isinstance(fid, str) or not fid:
+                fail(f"{path}: flow event missing id: {ev!r}")
+            for key in ("name", "ts", "tid"):
+                if key not in ev:
+                    fail(f"{path}: flow event missing {key}: {ev!r}")
+            if ph == "s":
+                flow_starts[fid] = flow_starts.get(fid, 0) + 1
+            elif ph == "f":
+                if ev.get("bp") != "e":
+                    fail(f"{path}: flow finish without bp=e: {ev!r}")
+                flow_ends[fid] = flow_ends.get(fid, 0) + 1
+            else:
+                flow_steps += 1
 
-    if not spans and not instants:
+    # Every flow that starts must finish (a dangling start draws a broken
+    # arrow in Perfetto and usually means a pipeline stage lost the id).
+    for fid, n in sorted(flow_starts.items()):
+        if flow_ends.get(fid, 0) != n:
+            fail(f"{path}: flow {fid} has {n} start(s) but "
+                 f"{flow_ends.get(fid, 0)} finish(es)")
+    for fid in sorted(flow_ends):
+        if fid not in flow_starts:
+            fail(f"{path}: flow {fid} finishes without a start")
+
+    if waterfall and not flow_starts:
+        fail(f"{path}: --waterfall requested but the trace contains no "
+             f"flow events (was the serving pipeline traced?)")
+
+    if not spans and not instants and not flow_starts:
         # An empty trace is valid (e.g. a run with tracing enabled but no
         # instrumented work): report it and exit cleanly.
         print(f"trace: {path}")
@@ -84,13 +156,16 @@ def summarize_trace(path, top_n):
     # the table answers "how much wall time was inside <phase>" — columns
     # do not sum to the run's wall time.
     by_phase = {}
-    for name, cat, dur, _, _ in spans:
+    for name, cat, dur, _, _, _ in spans:
         tot, cnt = by_phase.get((cat, name), (0.0, 0))
         by_phase[(cat, name)] = (tot + dur, cnt + 1)
 
     dropped = doc.get("droppedSpans", 0)
+    n_flow_events = (sum(flow_starts.values()) + flow_steps
+                     + sum(flow_ends.values()))
     print(f"trace: {path}")
     print(f"  {len(spans)} spans, {sum(instants.values())} instant events, "
+          f"{len(flow_starts)} flows ({n_flow_events} flow events), "
           f"{len(thread_names)} named threads")
     if dropped:
         print(f"  WARNING: {dropped} spans dropped (per-thread buffer cap "
@@ -111,10 +186,14 @@ def summarize_trace(path, top_n):
 
     print()
     print(f"  top {top_n} spans:")
-    for name, cat, dur, ts, tid in sorted(spans, key=lambda s: -s[2])[:top_n]:
+    for name, cat, dur, ts, tid, _ in sorted(spans,
+                                             key=lambda s: -s[2])[:top_n]:
         tname = thread_names.get(tid, f"tid {tid}")
         print(f"    {dur / 1000.0:>10.3f} ms  {cat}/{name}  "
               f"@{ts / 1000.0:.3f} ms on {tname}")
+
+    if waterfall:
+        print_waterfall(spans, set(flow_starts))
 
 
 # --------------------------------------------------------------- report ----
@@ -230,14 +309,49 @@ def validate_audit(audit):
         expect(audit["enabled"], "divergence found with auditing disabled")
 
 
-def validate_serving(serving):
+SERVING_STAGES = ("validate", "queue_wait", "apply")
+
+
+def validate_serving(serving, version):
     """Validates the optional v5 "serving" section (standing-query
-    daemon)."""
+    daemon). v6 adds per-stage latency rows, the slow-batch counter and
+    per-query staleness fields."""
     expect(isinstance(serving, dict), "serving is not an object")
     for field in ("standing_queries", "ingest_batches", "ingest_ops",
                   "backpressure_stalls", "delta_messages"):
         expect(is_uint(serving.get(field)),
                f"serving.{field} is not a non-negative integer")
+    if version >= 6:
+        expect(is_uint(serving.get("slow_batches")),
+               "serving.slow_batches is not a non-negative integer")
+        stages = serving.get("stage_latency_us")
+        expect(isinstance(stages, list),
+               "serving.stage_latency_us is not a list")
+        seen_stages = set()
+        for j, row in enumerate(stages):
+            where = f"serving.stage_latency_us[{j}]"
+            expect(isinstance(row, dict), f"{where} is not an object")
+            stage = row.get("stage")
+            expect(isinstance(stage, str) and stage, f"{where}.stage missing")
+            expect(stage not in seen_stages, f"{where}.stage duplicated")
+            seen_stages.add(stage)
+            expect(stage in SERVING_STAGES
+                   or stage.startswith(("view_run.", "stream_flush.")),
+                   f"{where}.stage {stage!r} is not a known pipeline stage")
+            for field in ("count", "sum", "p50", "p95", "p99"):
+                expect(is_uint(row.get(field)),
+                       f"{where}.{field} is not a non-negative integer")
+            expect(row["p50"] <= row["p95"] <= row["p99"],
+                   f"{where}: percentiles not monotone")
+        # A daemon that ingested anything must have the batch-level stages.
+        if serving["ingest_batches"]:
+            for stage in SERVING_STAGES:
+                expect(stage in seen_stages,
+                       f"serving.stage_latency_us missing stage {stage!r}")
+    else:
+        expect("slow_batches" not in serving
+               and "stage_latency_us" not in serving,
+               "v6 serving fields in a pre-v6 report")
     queries = serving.get("queries")
     expect(isinstance(queries, list), "serving.queries is not a list")
     expect(len(queries) == serving["standing_queries"],
@@ -255,6 +369,13 @@ def validate_serving(serving):
             expect(row["budget_used_bytes"] <= row["budget_bytes"],
                    f"{where}: budget_used_bytes {row['budget_used_bytes']} "
                    f"above slice {row['budget_bytes']}")
+        if version >= 6:
+            for field in ("lag_batches", "lag_us"):
+                expect(is_uint(row.get(field)),
+                       f"{where}.{field} is not a non-negative integer")
+        else:
+            expect("lag_batches" not in row and "lag_us" not in row,
+                   f"{where}: v6 lag fields in a pre-v6 report")
         hist = row.get("delta_latency_us")
         expect(isinstance(hist, dict) and is_uint(hist.get("count"))
                and is_num(hist.get("sum")),
@@ -381,7 +502,7 @@ def validate_report(path):
     serving = doc.get("serving")
     if version >= 5:
         if serving is not None:
-            validate_serving(serving)
+            validate_serving(serving, version)
     else:
         expect(serving is None, "v5 serving section in a pre-v5 report")
 
@@ -411,18 +532,25 @@ def validate_report(path):
             for name, entry in sorted(memory.items()))
         print(f"  memory: {parts}")
     if serving:
+        slow = (f", {serving['slow_batches']} slow batches"
+                if "slow_batches" in serving else "")
         print(f"  serving: {serving['standing_queries']} standing queries, "
               f"{serving['ingest_batches']} batches "
               f"({serving['ingest_ops']} ops), "
               f"{serving['delta_messages']} delta messages, "
-              f"{serving['backpressure_stalls']} backpressure stalls")
+              f"{serving['backpressure_stalls']} backpressure stalls{slow}")
+        for row in serving.get("stage_latency_us", []):
+            print(f"    stage {row['stage']}: {row['count']} samples, "
+                  f"p50 {row['p50']}us p95 {row['p95']}us p99 {row['p99']}us")
         for row in serving["queries"]:
             hist = row["delta_latency_us"]
             mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            lag = (f", lag {row['lag_batches']} batches / {row['lag_us']}us"
+                   if "lag_batches" in row else "")
             print(f"    query {row['name']}: t={row['timestamp']}, "
                   f"{row['runs']} runs, digest {row['digest']}, "
                   f"budget {row['budget_used_bytes']}/{row['budget_bytes']} B, "
-                  f"mean delta latency {mean:.0f}us")
+                  f"mean delta latency {mean:.0f}us{lag}")
     print("  schema: OK")
 
 
@@ -434,11 +562,17 @@ def main():
                         help="run report JSON (--metrics-json output)")
     parser.add_argument("--top", type=int, default=10,
                         help="number of longest spans to print (default 10)")
+    parser.add_argument("--waterfall", action="store_true",
+                        help="print the per-flow-id (Δ-batch) stage "
+                             "waterfall; fails when the trace has no "
+                             "flow events")
     args = parser.parse_args()
     if not args.trace and not args.report:
         parser.error("need --trace and/or --report")
+    if args.waterfall and not args.trace:
+        parser.error("--waterfall requires --trace")
     if args.trace:
-        summarize_trace(args.trace, args.top)
+        summarize_trace(args.trace, args.top, args.waterfall)
     if args.report:
         if args.trace:
             print()
