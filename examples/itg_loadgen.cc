@@ -1,0 +1,328 @@
+// itg_loadgen: coordinated-omission-safe load driver for the serving
+// daemon. Opens M ingest + S subscriber connections against a running
+// example_itg_serve, streams Δ-batches on an open-loop Poisson (or
+// uniform) arrival schedule, and measures intended-send -> ΔQ-notify
+// latency per streamed record into an HdrHistogram-style recorder
+// (common/latency_recorder.h). Two modes:
+//
+//   fixed rate:  --rate 100 --duration-ms 5000
+//   sweep:       --sweep --min-rate 20 --max-rate 200 --steps 5
+//
+// The sweep emits one point per rate step and reports the knee — the
+// highest offered rate whose notify p99 still meets --slo-ms while the
+// schedule keeps up. Results go to stdout and, with --metrics-json, into
+// a schema-v7 run report (`load` section); when the daemon's telemetry
+// port is given, the server-side /timeseriesz ring is spliced into the
+// report so queue-depth spikes line up with client-side p99 spikes.
+//
+//   example_itg_serve --graph rmat:10 --portfile /tmp/p --timeseries-ms 50 &
+//   example_itg_loadgen --portfile /tmp/p --graph rmat:10 --sweep
+//       --min-rate 20 --max-rate 200 --steps 5 --slo-ms 50
+//       --metrics-json load.json
+//
+// Methodology notes live in docs/SERVING.md ("Capacity planning").
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/latency_recorder.h"
+#include "common/status.h"
+#include "harness/run_report.h"
+#include "load/connection.h"
+#include "load/driver.h"
+#include "load/sweep.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using namespace itg;
+
+struct Args {
+  int port = -1;
+  std::string port_file;
+  std::string graph = "rmat:12";
+  bool symmetric = false;
+  std::string program = "wcc";
+  int connections = 2;
+  int subscribers = 1;
+  double rate = 50;
+  uint64_t duration_ms = 5000;
+  std::string arrival = "poisson";
+  uint64_t ops_per_batch = 8;
+  double delete_fraction = 0.25;
+  uint64_t seed = 1;
+  double slo_ms = 50;
+  bool sweep = false;
+  double min_rate = 20;
+  double max_rate = 200;
+  int steps = 5;
+  uint64_t step_ms = 2000;
+  int telemetry_port = -1;
+  std::string telemetry_port_file;
+  std::string metrics_json;
+  bool shutdown_server = false;
+  bool histogram_selftest = false;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port P | --portfile <path>\n"
+      "          [--graph rmat:<scale>|<edges.txt>] [--symmetric]\n"
+      "          [--program NAME] [--connections M] [--subscribers S]\n"
+      "          [--rate R] [--duration-ms N] [--arrival poisson|uniform]\n"
+      "          [--ops-per-batch K] [--delete-fraction F] [--seed N]\n"
+      "          [--slo-ms X]\n"
+      "          [--sweep --min-rate A --max-rate B --steps N --step-ms D]\n"
+      "          [--telemetry-port P | --telemetry-portfile <path>]\n"
+      "          [--metrics-json <path>] [--shutdown]\n"
+      "--graph MUST match the daemon's (the generator mirrors ingest\n"
+      "validation). Methodology: docs/SERVING.md, Capacity planning.\n",
+      argv0);
+  std::exit(2);
+}
+
+/// Polls a portfile until the daemon writes it (it appears only once the
+/// listener is bound), so `daemon & loadgen` races are benign in smokes.
+int ReadPortFile(const std::string& path, uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in && (in >> port) && port > 0) return port;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "portfile '%s' not written within %" PRIu64
+                           "ms\n", path.c_str(), timeout_ms);
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+/// Deterministic recorder cases emitted as JSON for the cross-language
+/// agreement test: tools/check_histogram_math.py replays the same values
+/// through tools/histogram_math.py and must reproduce every bucket index
+/// and percentile bit-for-bit.
+int HistogramSelftest() {
+  const std::vector<std::vector<uint64_t>> cases = {
+      {0, 1, 2, 3, 31, 32, 33, 63, 64, 65, 100, 1000, 4096, 123456},
+      {7, 7, 7, 7, 7, 7, 7, 7, 7, 7},
+      {1, 10, 100, 1000, 10000, 100000, 1000000, 10000000},
+      {999999999999ull, 5, 500, 50000},
+  };
+  std::printf("{\"sub_bits\":%d,\"cases\":[", LatencyRecorder::kSubBits);
+  for (size_t c = 0; c < cases.size(); ++c) {
+    LatencyRecorder rec;
+    std::printf("%s{\"values\":[", c == 0 ? "" : ",");
+    for (size_t i = 0; i < cases[c].size(); ++i) {
+      rec.Record(cases[c][i]);
+      std::printf("%s%" PRIu64, i == 0 ? "" : ",", cases[c][i]);
+    }
+    std::printf("],\"buckets\":[");
+    const LatencyRecorder::Snapshot snap = rec.Snap();
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      std::printf("%s[%" PRIu64 ",%" PRIu64 "]", i == 0 ? "" : ",",
+                  snap.buckets[i].first, snap.buckets[i].second);
+    }
+    std::printf("],\"percentiles\":{");
+    const double ps[] = {0, 50, 90, 99, 99.9, 100};
+    for (size_t i = 0; i < sizeof(ps) / sizeof(ps[0]); ++i) {
+      std::printf("%s\"%g\":%" PRIu64, i == 0 ? "" : ",", ps[i],
+                  rec.PercentileUpperBound(ps[i]));
+    }
+    std::printf("}}");
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--port")) args.port = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--portfile")) args.port_file = next();
+    else if (!std::strcmp(argv[i], "--graph")) args.graph = next();
+    else if (!std::strcmp(argv[i], "--symmetric")) args.symmetric = true;
+    else if (!std::strcmp(argv[i], "--program")) args.program = next();
+    else if (!std::strcmp(argv[i], "--connections")) {
+      args.connections = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--subscribers")) {
+      args.subscribers = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--rate")) {
+      args.rate = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--duration-ms")) {
+      args.duration_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--arrival")) {
+      args.arrival = next();
+    } else if (!std::strcmp(argv[i], "--ops-per-batch")) {
+      args.ops_per_batch = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--delete-fraction")) {
+      args.delete_fraction = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      args.seed = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--slo-ms")) {
+      args.slo_ms = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--sweep")) {
+      args.sweep = true;
+    } else if (!std::strcmp(argv[i], "--min-rate")) {
+      args.min_rate = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--max-rate")) {
+      args.max_rate = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--steps")) {
+      args.steps = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--step-ms")) {
+      args.step_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--telemetry-port")) {
+      args.telemetry_port = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--telemetry-portfile")) {
+      args.telemetry_port_file = next();
+    } else if (!std::strcmp(argv[i], "--metrics-json")) {
+      args.metrics_json = next();
+    } else if (!std::strcmp(argv[i], "--shutdown")) {
+      args.shutdown_server = true;
+    } else if (!std::strcmp(argv[i], "--histogram-selftest")) {
+      args.histogram_selftest = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  if (args.histogram_selftest) return HistogramSelftest();
+
+  if (args.port < 0 && args.port_file.empty()) Usage(argv[0]);
+  if (args.port < 0) args.port = ReadPortFile(args.port_file, 20000);
+  if (args.arrival != "poisson" && args.arrival != "uniform") Usage(argv[0]);
+
+  load::DriverOptions dopt;
+  dopt.port = args.port;
+  dopt.ingesters = args.connections;
+  dopt.subscribers = args.subscribers;
+  dopt.program = args.program;
+  dopt.graph = args.graph;
+  dopt.symmetric = args.symmetric;
+  dopt.ops_per_batch = args.ops_per_batch;
+  dopt.delete_fraction = args.delete_fraction;
+  dopt.arrival = args.arrival == "poisson"
+                     ? load::DriverOptions::Arrival::kPoisson
+                     : load::DriverOptions::Arrival::kUniform;
+  dopt.seed = args.seed;
+
+  load::LoadDriver driver(dopt);
+  if (Status s = driver.Setup(); !s.ok()) {
+    std::fprintf(stderr, "setup: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  LoadSection section;
+  if (args.sweep) {
+    load::SweepOptions sopt;
+    sopt.min_rate = args.min_rate;
+    sopt.max_rate = args.max_rate;
+    sopt.steps = args.steps;
+    sopt.step_duration_ms = args.step_ms;
+    sopt.slo_ms = args.slo_ms;
+    auto section_or = load::RunSweep(&driver, sopt);
+    if (!section_or.ok()) {
+      std::fprintf(stderr, "sweep: %s\n",
+                   section_or.status().ToString().c_str());
+      return 1;
+    }
+    section = std::move(section_or).value();
+  } else {
+    auto window_or = driver.RunWindow(args.rate, args.duration_ms);
+    if (!window_or.ok()) {
+      std::fprintf(stderr, "run: %s\n",
+                   window_or.status().ToString().c_str());
+      return 1;
+    }
+    const LoadPoint p = load::ToLoadPoint(window_or.value(), args.slo_ms);
+    section.slo_ms = args.slo_ms;
+    section.points.push_back(p);
+    if (p.slo_ok) {
+      section.knee_found = true;
+      section.knee = p;
+    }
+    section.slo_verdict = p.slo_ok ? "pass" : "fail";
+  }
+  section.connections = static_cast<uint64_t>(args.connections);
+  section.subscribers = static_cast<uint64_t>(args.subscribers);
+  section.arrival = args.arrival;
+  section.ops_per_batch = args.ops_per_batch;
+
+  // Pull the daemon's own view of the run: the /timeseriesz ring holds
+  // sampled queue depth + per-stage histogram digests the whole window,
+  // landing in the report next to the client-side percentiles.
+  int telemetry_port = args.telemetry_port;
+  if (telemetry_port < 0 && !args.telemetry_port_file.empty()) {
+    telemetry_port = ReadPortFile(args.telemetry_port_file, 5000);
+  }
+  if (telemetry_port >= 0) {
+    auto body_or = load::HttpGet(telemetry_port, "/timeseriesz");
+    if (body_or.ok()) {
+      std::string body = std::move(body_or).value();
+      while (!body.empty() && (body.back() == '\n' || body.back() == '\r')) {
+        body.pop_back();
+      }
+      section.server_timeseries_json = std::move(body);
+    } else {
+      std::fprintf(stderr, "timeseriesz scrape failed: %s\n",
+                   body_or.status().ToString().c_str());
+    }
+  }
+
+  for (const LoadPoint& p : section.points) {
+    std::printf("rate %.1f/s: achieved %.1f/s, %" PRIu64 " batches, "
+                "%" PRIu64 " samples, p50 %" PRIu64 "us p90 %" PRIu64
+                "us p99 %" PRIu64 "us p999 %" PRIu64 "us max %" PRIu64
+                "us, stalls %" PRIu64 ", queue<=%" PRIu64 ", lag<=%" PRIu64
+                "us%s -> %s\n",
+                p.offered_rate, p.achieved_rate, p.batches, p.samples,
+                p.p50_us, p.p90_us, p.p99_us, p.p999_us, p.max_us,
+                p.backpressure_stalls, p.queue_depth_max, p.view_lag_us_max,
+                p.rejected_batches ? " (had rejected batches)" : "",
+                p.slo_ok ? "SLO-ok" : "SLO-miss");
+  }
+  if (section.knee_found) {
+    std::printf("knee: %.1f batches/s sustains p99 %" PRIu64
+                "us <= SLO %.1fms\n",
+                section.knee.offered_rate, section.knee.p99_us,
+                section.slo_ms);
+  } else {
+    std::printf("knee: not found (no rate met the %.1fms SLO)\n",
+                section.slo_ms);
+  }
+
+  RunReport report("itg_loadgen");
+  report.SetLoad(section);
+  if (Status s = report.MaybeWrite(args.metrics_json); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (args.shutdown_server) {
+    load::ServeConnection conn;
+    if (conn.Connect(args.port).ok()) {
+      serve::Request req;
+      req.op = serve::RequestOp::kShutdown;
+      auto ack_or = conn.Call(req);
+      if (!ack_or.ok()) {
+        std::fprintf(stderr, "shutdown: %s\n",
+                     ack_or.status().ToString().c_str());
+      }
+    }
+  }
+  driver.Teardown();
+  return section.slo_verdict == "pass" ? 0 : 3;
+}

@@ -13,7 +13,7 @@
 // and the `shutdown` op both trip the clean-stop flag; the daemon then
 // drains the ingest queue through every standing view, finishes the
 // in-flight supersteps, writes the run report (--metrics-json, schema
-// v6 `serving` section), and exits 0.
+// v7 `serving` section), and exits 0.
 #include <unistd.h>
 
 #include <algorithm>
@@ -62,6 +62,8 @@ struct Args {
   uint64_t watchdog_ms = 0;
   // Slow-batch log threshold (ms); 0 disables it.
   uint64_t slow_batch_ms = 0;
+  // /timeseriesz sampling interval (ms); 0 disables the sampler.
+  uint64_t timeseries_ms = 0;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -73,11 +75,12 @@ struct Args {
       "          [--queue-depth N] [--threads N] [--no-verify]\n"
       "          [--scratch DIR] [--metrics-json <path>]\n"
       "          [--telemetry-port P] [--watchdog-ms N]\n"
-      "          [--slow-batch-ms N]\n"
+      "          [--slow-batch-ms N] [--timeseries-ms N]\n"
       "environment: ITG_SERVE_PORT, ITG_SERVE_PORTFILE,\n"
       "             ITG_SERVE_MAX_QUERIES, ITG_SERVE_MEMORY_BYTES,\n"
       "             ITG_SERVE_QUEUE_DEPTH, ITG_TELEMETRY_PORT,\n"
-      "             ITG_WATCHDOG_MS, ITG_TELEMETRY_PORTFILE\n"
+      "             ITG_WATCHDOG_MS, ITG_TELEMETRY_PORTFILE,\n"
+      "             ITG_TIMESERIES_MS\n"
       "(protocol reference: docs/SERVING.md)\n",
       argv0);
   std::exit(2);
@@ -129,24 +132,7 @@ std::vector<Edge> LoadGraph(const std::string& graph,
   return edges;
 }
 
-/// Percentile upper bound recomputed from a snapshot's (lower bound,
-/// count) bucket pairs — same log-scale semantics as
-/// Histogram::PercentileUpperBound, but usable after the drain from the
-/// plain-value snapshot.
-uint64_t SnapshotPercentile(const MetricsRegistry::HistogramSnapshot& h,
-                            double p) {
-  if (h.count == 0) return 0;
-  uint64_t rank = static_cast<uint64_t>(p / 100.0 * h.count);
-  if (rank >= h.count) rank = h.count - 1;
-  uint64_t seen = 0;
-  for (const auto& [lower, n] : h.buckets) {
-    seen += n;
-    if (seen > rank) return lower == 0 ? 1 : lower * 2;
-  }
-  return ~uint64_t{0};
-}
-
-/// The v6 `serving` section, assembled from the drained service's final
+/// The v7 `serving` section, assembled from the drained service's final
 /// status rows plus the serve.* histograms in the registry: per-query
 /// latency + staleness, per-stage latency percentiles, slow batches.
 ServingSection BuildServingSection(Service* service) {
@@ -173,9 +159,9 @@ ServingSection BuildServingSection(Service* service) {
     st.stage = name.substr(stage_prefix.size());
     st.count = h.count;
     st.sum_us = h.sum;
-    st.p50_us = SnapshotPercentile(h, 50);
-    st.p95_us = SnapshotPercentile(h, 95);
-    st.p99_us = SnapshotPercentile(h, 99);
+    st.p50_us = h.PercentileUpperBound(50);
+    st.p95_us = h.PercentileUpperBound(95);
+    st.p99_us = h.PercentileUpperBound(99);
     out.stages.push_back(std::move(st));
   }
   for (const QueryRow& row : status.queries) {
@@ -193,6 +179,10 @@ ServingSection BuildServingSection(Service* service) {
       q.latency_count = hist->second.count;
       q.latency_sum_us = hist->second.sum;
       q.latency_buckets = hist->second.buckets;
+      q.p50_us = hist->second.PercentileUpperBound(50);
+      q.p95_us = hist->second.PercentileUpperBound(95);
+      q.p99_us = hist->second.PercentileUpperBound(99);
+      q.p999_us = hist->second.PercentileUpperBound(99.9);
     }
     out.queries.push_back(std::move(q));
   }
@@ -235,6 +225,8 @@ int main(int argc, char** argv) {
       args.watchdog_ms = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--slow-batch-ms")) {
       args.slow_batch_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--timeseries-ms")) {
+      args.timeseries_ms = std::strtoull(next(), nullptr, 10);
     } else {
       Usage(argv[0]);
     }
@@ -297,6 +289,11 @@ int main(int argc, char** argv) {
       }
       if (const char* pf = std::getenv("ITG_TELEMETRY_PORTFILE")) {
         topt.port_file = pf;
+      }
+      topt.timeseries_interval_ms = args.timeseries_ms;
+      if (const char* ts = std::getenv("ITG_TIMESERIES_MS");
+          ts != nullptr && topt.timeseries_interval_ms == 0) {
+        topt.timeseries_interval_ms = std::strtoull(ts, nullptr, 10);
       }
       telemetry = std::make_unique<TelemetryServer>();
       Service* svc = service.get();

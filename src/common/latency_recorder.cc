@@ -1,0 +1,94 @@
+#include "common/latency_recorder.h"
+
+namespace itg {
+
+void LatencyRecorder::RecordWithExpectedInterval(
+    uint64_t micros, uint64_t expected_interval_micros) {
+  Record(micros);
+  if (expected_interval_micros == 0) return;
+  // Back-fill the samples a coordinated-omission stall suppressed: had
+  // the caller kept its cadence, it would also have observed latencies
+  // of micros - k*interval for each missed slot.
+  for (uint64_t v = micros; v > expected_interval_micros;) {
+    v -= expected_interval_micros;
+    Record(v);
+  }
+}
+
+uint64_t LatencyRecorder::PercentileUpperBound(double p) const {
+  uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) total += bucket_count(b);
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen > rank) {
+      if (b + 1 >= kBuckets) return ~uint64_t{0};
+      return BucketLowerBound(b + 1);
+    }
+  }
+  return ~uint64_t{0};
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  const uint64_t omax = other.max();
+  uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (omax > cur && !max_.compare_exchange_weak(
+                           cur, omax, std::memory_order_relaxed)) {
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<size_t>(b)].fetch_add(other.bucket_count(b),
+                                               std::memory_order_relaxed);
+  }
+}
+
+void LatencyRecorder::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+LatencyRecorder::Snapshot LatencyRecorder::Snap() const {
+  Snapshot snap;
+  // One pass over the live buckets; percentiles are then computed from
+  // the frozen copy so they cannot shear against concurrent records.
+  for (int b = 0; b < kBuckets; ++b) {
+    const uint64_t n = bucket_count(b);
+    if (n != 0) {
+      snap.buckets.emplace_back(BucketLowerBound(b), n);
+      snap.count += n;
+    }
+  }
+  snap.sum = sum();
+  snap.max = max();
+  if (snap.count == 0) return snap;
+  auto pct = [&snap](double p) -> uint64_t {
+    uint64_t rank =
+        static_cast<uint64_t>(p / 100.0 * static_cast<double>(snap.count));
+    if (rank >= snap.count) rank = snap.count - 1;
+    uint64_t seen = 0;
+    for (const auto& [lower, n] : snap.buckets) {
+      seen += n;
+      if (seen > rank) {
+        const int b = BucketOf(lower);
+        if (b + 1 >= kBuckets) return ~uint64_t{0};
+        return BucketLowerBound(b + 1);
+      }
+    }
+    return ~uint64_t{0};
+  };
+  snap.p50 = pct(50);
+  snap.p90 = pct(90);
+  snap.p99 = pct(99);
+  snap.p999 = pct(99.9);
+  return snap;
+}
+
+}  // namespace itg

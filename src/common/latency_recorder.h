@@ -1,0 +1,103 @@
+#ifndef ITG_COMMON_LATENCY_RECORDER_H_
+#define ITG_COMMON_LATENCY_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/metrics_registry.h"
+
+namespace itg {
+
+/// HdrHistogram-style latency recorder for benchmark drivers: the same
+/// log-linear bucket map as `Histogram` but at 32 sub-buckets per octave
+/// (≤ 3.1% relative error — fine enough that a p999 read off the
+/// recorder is a real tail number, not a bucket artifact), plus a
+/// tracked maximum. Thread-safe: all updates are relaxed atomics, so M
+/// driver connections can record into one recorder.
+///
+/// Coordinated-omission discipline: callers on an open-loop schedule
+/// must measure from the *intended* send time, not the actual one, so a
+/// stalled batch is charged its full queueing delay (the load driver in
+/// src/load/ does this). For closed-loop callers that cannot,
+/// `RecordWithExpectedInterval` applies HdrHistogram's correction:
+/// a sample exceeding the expected inter-sample interval back-fills the
+/// synthetic samples the stall suppressed.
+class LatencyRecorder {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr int kBuckets = loglin::NumBuckets(kSubBits);
+
+  void Record(uint64_t micros) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(micros, std::memory_order_relaxed);
+    buckets_[static_cast<size_t>(BucketOf(micros))].fetch_add(
+        1, std::memory_order_relaxed);
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (micros > cur && !max_.compare_exchange_weak(
+                               cur, micros, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// HdrHistogram-style coordinated-omission correction for closed-loop
+  /// callers: records `micros`, then back-fills one synthetic sample per
+  /// `expected_interval_micros` the stall swallowed (micros - interval,
+  /// micros - 2*interval, ... while > 0). No-op correction when
+  /// `expected_interval_micros` is 0 or the sample is within it.
+  void RecordWithExpectedInterval(uint64_t micros,
+                                  uint64_t expected_interval_micros);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+
+  static int BucketOf(uint64_t micros) {
+    return loglin::BucketOf(micros, kSubBits);
+  }
+  static uint64_t BucketLowerBound(int b) {
+    return loglin::BucketLowerBound(b, kSubBits);
+  }
+
+  /// Upper bound (exclusive) of the bucket holding the p-th percentile
+  /// (p in [0, 100]); 0 when empty. Same rank rule as
+  /// Histogram::PercentileUpperBound.
+  uint64_t PercentileUpperBound(double p) const;
+
+  void Merge(const LatencyRecorder& other);
+  void Reset();
+
+  /// Point-in-time digest, internally consistent under concurrent
+  /// Record calls (count is derived from the bucket tallies read, like
+  /// MetricsRegistry::Snap).
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t p50 = 0;
+    uint64_t p90 = 0;
+    uint64_t p99 = 0;
+    uint64_t p999 = 0;
+    /// (bucket lower bound, count) for non-empty buckets, ascending.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+    double mean() const {
+      return count ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+    }
+  };
+  Snapshot Snap() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_LATENCY_RECORDER_H_

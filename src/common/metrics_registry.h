@@ -3,7 +3,9 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -14,7 +16,7 @@
 
 namespace itg {
 
-/// Named-metric registry: counters, gauges, and log-scale histograms.
+/// Named-metric registry: counters, gauges, and log-linear histograms.
 ///
 /// Instruments register (or look up) a metric once by name and then update
 /// it lock-free; all updates are relaxed atomics, so a metric pointer can
@@ -59,18 +61,74 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-/// Log-scale (power-of-two bucket) histogram for long-tailed quantities:
-/// walk lengths, Δ-batch sizes, page-read latencies. Bucket `b` counts
-/// values in `[2^(b-1), 2^b)`; bucket 0 counts zeros. Recording is two
-/// relaxed fetch_adds plus one for the bucket.
+/// Log-linear (HdrHistogram-style) bucket map, parameterized by
+/// sub-bucket resolution: values below 2^sub_bits get a single-value
+/// bucket each; above that, every power-of-two octave [2^p, 2^(p+1))
+/// splits into 2^sub_bits linear sub-buckets, bounding the relative
+/// bucket width at 2^-sub_bits. The one home of the bucket math —
+/// Histogram (sub_bits=3) and LatencyRecorder (sub_bits=5) both
+/// delegate here, and tools/histogram_math.py mirrors it for the
+/// Python report readers.
+namespace loglin {
+
+constexpr int NumBuckets(int sub_bits) {
+  return (1 << sub_bits) + (64 - sub_bits) * (1 << sub_bits);
+}
+
+constexpr int BucketOf(uint64_t value, int sub_bits) {
+  const uint64_t exact = uint64_t{1} << sub_bits;
+  if (value < exact) return static_cast<int>(value);
+  const int p = std::bit_width(value) - 1;  // index of the MSB, >= sub_bits
+  const int sub =
+      static_cast<int>((value >> (p - sub_bits)) & (exact - 1));
+  return static_cast<int>(exact) + (p - sub_bits) * static_cast<int>(exact) +
+         sub;
+}
+
+constexpr uint64_t BucketLowerBound(int b, int sub_bits) {
+  const int exact = 1 << sub_bits;
+  if (b <= 0) return 0;
+  if (b < exact) return static_cast<uint64_t>(b);
+  const int i = b - exact;
+  const int p = i / exact + sub_bits;
+  const int sub = i % exact;
+  return static_cast<uint64_t>(exact + sub) << (p - sub_bits);
+}
+
+/// Inclusive upper bound; UINT64_MAX for the final bucket.
+constexpr uint64_t BucketUpperBound(int b, int sub_bits) {
+  if (b < 0) return 0;
+  if (b >= NumBuckets(sub_bits) - 1) return ~uint64_t{0};
+  return BucketLowerBound(b + 1, sub_bits) - 1;
+}
+
+}  // namespace loglin
+
+/// Log-linear (HdrHistogram-style) histogram for long-tailed quantities:
+/// walk lengths, Δ-batch sizes, page-read and serve latencies.
+///
+/// Values 0..7 get their own exact bucket; above that, each power-of-two
+/// octave [2^p, 2^(p+1)) is split into `kSubBuckets` = 8 linear
+/// sub-buckets, bounding the relative bucket width at 12.5%. At
+/// microsecond resolution that makes sub-100µs loopback latencies
+/// distinguishable (… 64, 72, 80, 88, 96, 104 …) where the former pure
+/// power-of-two scheme lumped everything into [64, 128). Recording is
+/// three relaxed fetch_adds.
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  /// Sub-bucket resolution: 2^kSubBits linear sub-buckets per octave.
+  static constexpr int kSubBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Values below kExact land in their own single-value bucket.
+  static constexpr int kExact = kSubBuckets;
+  /// Octaves p = kSubBits..63 each contribute kSubBuckets buckets.
+  static constexpr int kBuckets = loglin::NumBuckets(kSubBits);
 
   void Record(uint64_t value) {
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
-    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    buckets_[static_cast<size_t>(BucketOf(value))].fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -81,22 +139,23 @@ class Histogram {
 
   /// Index of the bucket `value` falls into.
   static int BucketOf(uint64_t value) {
-    int b = 0;
-    while (value != 0) {
-      ++b;
-      value >>= 1;
-    }
-    return b < kBuckets ? b : kBuckets - 1;
+    return loglin::BucketOf(value, kSubBits);
   }
 
   /// Smallest value that lands in bucket `b`.
   static uint64_t BucketLowerBound(int b) {
-    if (b <= 0) return 0;
-    return uint64_t{1} << (b - 1);
+    return loglin::BucketLowerBound(b, kSubBits);
+  }
+
+  /// Largest value that lands in bucket `b` (inclusive; UINT64_MAX for
+  /// the final bucket). This is what Prometheus `le` labels render.
+  static uint64_t BucketUpperBound(int b) {
+    return loglin::BucketUpperBound(b, kSubBits);
   }
 
   /// Upper bound (exclusive) of the bucket holding the p-th percentile
-  /// (p in [0, 100]); 0 when empty. Log-scale approximation.
+  /// (p in [0, 100]); 0 when empty. Bounded-error approximation: the
+  /// true percentile lies within 12.5% below the returned bound.
   uint64_t PercentileUpperBound(double p) const;
 
   void Merge(const Histogram& other) {
@@ -157,11 +216,23 @@ class MetricsRegistry {
   bool RemoveHistogram(std::string_view name);
 
   /// Plain-value snapshot, safe to read while workers keep updating.
+  /// `count` is derived from the bucket tallies actually read, so
+  /// Σ bucket counts == count holds in every snapshot even when it races
+  /// a concurrent `Record` (whose count/sum/bucket adds are three
+  /// independent relaxed atomics); `sum` may be ahead of the recorded
+  /// buckets by in-flight values and is only meaningful for means.
   struct HistogramSnapshot {
     uint64_t count = 0;
     uint64_t sum = 0;
     /// (bucket lower bound, count) for non-empty buckets, ascending.
     std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+    /// Same percentile estimate as Histogram::PercentileUpperBound,
+    /// computed from the sparse snapshot buckets. The single C++ home of
+    /// snapshot-percentile math (run reports, /statusz, /timeseriesz,
+    /// itg_serve all call this); tools/histogram_math.py is the Python
+    /// mirror, kept in agreement by the histogram_agreement ctest.
+    uint64_t PercentileUpperBound(double p) const;
   };
   struct Snapshot {
     std::map<std::string, uint64_t> counters;
@@ -185,6 +256,45 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Bounded ring of timestamped registry snapshots — the server-side
+/// time series behind /timeseriesz. A sampler thread pushes periodic
+/// `Snap()`s; when the ring is full the oldest sample is evicted (and
+/// tallied in `evicted()`), so the ring always holds the most recent
+/// `capacity()` samples. Post-hoc analysis correlates client-observed
+/// tail-latency spikes with server-side queue depth / lag / stage shifts
+/// at matching timestamps.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(size_t capacity);
+
+  struct Sample {
+    uint64_t t_ms = 0;  // wall clock, ms since the Unix epoch
+    MetricsRegistry::Snapshot snap;
+  };
+
+  /// Appends a sample, evicting the oldest when at capacity.
+  void Push(uint64_t t_ms, MetricsRegistry::Snapshot snap);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Samples dropped off the old end so far.
+  uint64_t evicted() const;
+  /// Copy of the ring contents, oldest first.
+  std::vector<Sample> Samples() const;
+
+  /// `{"capacity":N,"evicted":E,"interval_ms":I,"samples":[...]}`; each
+  /// sample carries t_ms, counters, gauges, and per-histogram
+  /// {count,sum,p50,p99} digests (full bucket arrays would dwarf the
+  /// payload at sampling rates).
+  std::string ToJson(uint64_t interval_ms = 0) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Sample> samples_;
+  uint64_t evicted_ = 0;
 };
 
 /// The registry behind `GlobalMetrics()` — the process-wide default sink

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -109,13 +110,14 @@ std::string RenderPrometheusText(const MetricsRegistry::Snapshot& snap) {
     AppendPromEscaped(name, &out);
     out.push_back('\n');
     out.append("# TYPE ").append(prom).append(" histogram\n");
-    // The registry's log-scale bucket [2^(b-1), 2^b) holds integers up to
-    // 2^b - 1, so `le` of the inclusive upper integer is exact; the zero
-    // bucket (lower bound 0) becomes le="0".
+    // Integer-valued buckets make `le` of the inclusive upper bound
+    // exact; the bound comes from the histogram's own log-linear bucket
+    // map (the zero bucket renders as le="0").
     uint64_t cumulative = 0;
     for (const auto& [lower, n] : h.buckets) {
       cumulative += n;
-      const uint64_t le = lower == 0 ? 0 : lower * 2 - 1;
+      const uint64_t le =
+          Histogram::BucketUpperBound(Histogram::BucketOf(lower));
       out.append(prom).append("_bucket{le=\"");
       out.append(std::to_string(le));
       out.append("\"} ");
@@ -265,15 +267,49 @@ Status TelemetryServer::Start(const TelemetryOptions& options) {
   wd.deadline_ms = options.watchdog_deadline_ms;
   watchdog_.Start(wd);
 
+  if (options.timeseries_interval_ms > 0) {
+    timeseries_ =
+        std::make_unique<TimeSeriesRing>(options.timeseries_capacity);
+    sampler_stop_.store(false, std::memory_order_relaxed);
+    sampler_ = std::thread([this] { SamplerLoop(); });
+  }
+
   ITG_LOG(Info) << "telemetry server listening on 127.0.0.1:" << port()
-                << " (/metrics /statusz /healthz)";
+                << " (/metrics /statusz /healthz"
+                << (timeseries_ ? " /timeseriesz)" : ")");
   return Status::OK();
 }
 
 void TelemetryServer::Stop() {
   if (!running()) return;
+  if (sampler_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(sampler_mu_);
+      sampler_stop_.store(true, std::memory_order_relaxed);
+    }
+    sampler_cv_.notify_all();
+    sampler_.join();
+  }
   listener_.Stop();
   watchdog_.Stop();
+}
+
+void TelemetryServer::SamplerLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.timeseries_interval_ms);
+  std::unique_lock<std::mutex> lock(sampler_mu_);
+  while (!sampler_stop_.load(std::memory_order_relaxed)) {
+    lock.unlock();
+    const uint64_t t_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    timeseries_->Push(t_ms, registry_->Snap());
+    lock.lock();
+    sampler_cv_.wait_for(lock, interval, [this] {
+      return sampler_stop_.load(std::memory_order_relaxed);
+    });
+  }
 }
 
 void TelemetryServer::HandleConnection(int fd) {
@@ -347,12 +383,18 @@ TelemetryServer::Response TelemetryServer::Handle(
                 "\",\"stalls_total\":" + std::to_string(watchdog_.trips()) +
                 ",\"watchdog_deadline_ms\":" +
                 std::to_string(watchdog_.deadline_ms()) + "}\n";
+  } else if (path == "/timeseriesz" && timeseries_ != nullptr) {
+    resp.content_type = "application/json";
+    resp.body = timeseries_->ToJson(options_.timeseries_interval_ms);
+    resp.body.push_back('\n');
   } else if (path == "/") {
     resp.body =
         "itg telemetry\n"
-        "  /metrics  Prometheus text exposition\n"
-        "  /statusz  live engine state (JSON)\n"
-        "  /healthz  stall watchdog health\n";
+        "  /metrics      Prometheus text exposition\n"
+        "  /statusz      live engine state (JSON)\n"
+        "  /healthz      stall watchdog health\n"
+        "  /timeseriesz  periodic registry snapshots (when sampling "
+        "is enabled)\n";
   } else {
     resp.status = 404;
     resp.body = "not found\n";
@@ -371,6 +413,10 @@ std::unique_ptr<TelemetryServer> TelemetryServer::FromEnv() {
   }
   if (const char* pf = std::getenv("ITG_TELEMETRY_PORTFILE")) {
     options.port_file = pf;
+  }
+  if (const char* ts = std::getenv("ITG_TIMESERIES_MS")) {
+    options.timeseries_interval_ms =
+        static_cast<uint64_t>(std::strtoull(ts, nullptr, 10));
   }
   auto server = std::make_unique<TelemetryServer>();
   Status s = server->Start(options);

@@ -2,10 +2,13 @@
 #define ITG_COMMON_TELEMETRY_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/flight_recorder.h"
 #include "common/live_status.h"
@@ -31,6 +34,14 @@ struct TelemetryOptions {
   std::string port_file;
   /// Ring capacity of the flight recorder enabled alongside the server.
   size_t flight_recorder_events = FlightRecorder::kDefaultCapacity;
+  /// When > 0, a sampler thread pushes a registry snapshot into a
+  /// TimeSeriesRing every `timeseries_interval_ms`, served at
+  /// /timeseriesz — the server-side counterpart of the load driver's
+  /// client-observed latency series (correlate tail spikes with queue
+  /// depth / lag / stage shifts at matching wall-clock timestamps).
+  uint64_t timeseries_interval_ms = 0;
+  /// Ring capacity: /timeseriesz keeps the most recent N samples.
+  size_t timeseries_capacity = 512;
 };
 
 /// Dependency-free embedded HTTP server for live telemetry:
@@ -46,6 +57,8 @@ struct TelemetryOptions {
 ///                 daemon splices per-standing-query rows in here).
 ///   GET /healthz  200 {"status":"ok"} normally; 503 {"status":"stalled"}
 ///                 while a superstep is past the watchdog deadline.
+///   GET /timeseriesz  JSON ring of periodic registry snapshots (404
+///                 unless TelemetryOptions::timeseries_interval_ms > 0).
 ///
 /// Socket plumbing lives in SocketListener (shared with the serving
 /// layer); this class is routing + rendering. Connections are handled
@@ -87,19 +100,30 @@ class TelemetryServer {
   };
   Response Handle(const std::string& path) const;
 
+  /// The /timeseriesz ring; null unless sampling was enabled. Hosts read
+  /// it to embed the server-side series in run reports.
+  const TimeSeriesRing* timeseries() const { return timeseries_.get(); }
+
   /// Builds a server from the environment: ITG_TELEMETRY_PORT (required;
-  /// unset/empty returns null), ITG_WATCHDOG_MS, ITG_TELEMETRY_PORTFILE.
-  /// The returned server is already started, exposing GlobalRegistry().
+  /// unset/empty returns null), ITG_WATCHDOG_MS, ITG_TELEMETRY_PORTFILE,
+  /// ITG_TIMESERIES_MS. The returned server is already started, exposing
+  /// GlobalRegistry().
   static std::unique_ptr<TelemetryServer> FromEnv();
 
  private:
   void HandleConnection(int fd);
+  void SamplerLoop();
 
   MetricsRegistry* registry_;
   TelemetryOptions options_;
   StallWatchdog watchdog_;
   SocketListener listener_;
   std::function<std::string()> statusz_extra_;
+  std::unique_ptr<TimeSeriesRing> timeseries_;
+  std::thread sampler_;
+  std::atomic<bool> sampler_stop_{false};
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
 };
 
 /// Renders a registry snapshot in the Prometheus text exposition format

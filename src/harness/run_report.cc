@@ -69,7 +69,7 @@ void RunReport::AddResult(const std::string& name, double value) {
 std::string RunReport::ToJson() const {
   std::string out;
   out.reserve(4096);
-  out.append("{\"schema_version\":6,\"binary\":");
+  out.append("{\"schema_version\":7,\"binary\":");
   AppendJsonString(&out, binary_);
   out.append(",\"runs\":[");
   bool first = true;
@@ -328,6 +328,10 @@ std::string RunReport::ToJson() const {
       out.append("\"delta_latency_us\":{");
       AppendField(&out, "count", q.latency_count);
       AppendField(&out, "sum", q.latency_sum_us);
+      AppendField(&out, "p50", q.p50_us);
+      AppendField(&out, "p95", q.p95_us);
+      AppendField(&out, "p99", q.p99_us);
+      AppendField(&out, "p999", q.p999_us);
       out.append("\"buckets\":[");
       for (size_t b = 0; b < q.latency_buckets.size(); ++b) {
         if (b > 0) out.push_back(',');
@@ -340,6 +344,61 @@ std::string RunReport::ToJson() const {
       out.append("]}}");
     }
     out.append("]}");
+  }
+
+  // Schema v7: the load driver's capacity curve (omitted unless attached).
+  if (has_load_) {
+    auto append_point_fields = [&out](const LoadPoint& p) {
+      out.append("\"offered_rate\":");
+      AppendDouble(&out, p.offered_rate);
+      out.append(",\"achieved_rate\":");
+      AppendDouble(&out, p.achieved_rate);
+      out.push_back(',');
+      AppendField(&out, "batches", p.batches);
+      AppendField(&out, "samples", p.samples);
+      AppendField(&out, "p50", p.p50_us);
+      AppendField(&out, "p90", p.p90_us);
+      AppendField(&out, "p99", p.p99_us);
+      AppendField(&out, "p999", p.p999_us);
+      AppendField(&out, "max", p.max_us);
+      AppendField(&out, "backpressure_stalls", p.backpressure_stalls);
+      AppendField(&out, "queue_depth_max", p.queue_depth_max);
+      AppendField(&out, "view_lag_us_max", p.view_lag_us_max);
+      AppendField(&out, "rejected_batches", p.rejected_batches);
+      out.append("\"slo_ok\":");
+      out.append(p.slo_ok ? "true" : "false");
+    };
+    out.append(",\"load\":{");
+    AppendField(&out, "connections", load_.connections);
+    AppendField(&out, "subscribers", load_.subscribers);
+    out.append("\"arrival\":");
+    AppendJsonString(&out, load_.arrival);
+    out.push_back(',');
+    AppendField(&out, "ops_per_batch", load_.ops_per_batch);
+    out.append("\"slo_ms\":");
+    AppendDouble(&out, load_.slo_ms);
+    out.append(",\"sweep\":");
+    out.append(load_.sweep ? "true" : "false");
+    out.append(",\"points\":[");
+    for (size_t i = 0; i < load_.points.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.push_back('{');
+      append_point_fields(load_.points[i]);
+      out.push_back('}');
+    }
+    out.append("],\"knee\":{\"found\":");
+    out.append(load_.knee_found ? "true" : "false");
+    if (load_.knee_found) {
+      out.push_back(',');
+      append_point_fields(load_.knee);
+    }
+    out.append("},\"slo_verdict\":");
+    AppendJsonString(&out, load_.slo_verdict);
+    if (!load_.server_timeseries_json.empty()) {
+      out.append(",\"server_timeseries\":");
+      out.append(load_.server_timeseries_json);
+    }
+    out.push_back('}');
   }
 
   out.push_back('}');

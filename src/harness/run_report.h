@@ -48,7 +48,8 @@ struct AuditSection {
   AuditDivergence divergence;
 };
 
-/// One standing query's row in the `serving` section (v5; lag fields v6).
+/// One standing query's row in the `serving` section (v5; lag fields v6;
+/// percentile fields v7).
 struct ServingQueryRow {
   std::string name;
   Timestamp timestamp = 0;  ///< last maintained batch boundary
@@ -57,10 +58,19 @@ struct ServingQueryRow {
   uint64_t budget_bytes = 0;       ///< admission slice (0 = uncapped)
   uint64_t budget_used_bytes = 0;  ///< bytes charged against the slice
   /// Per-batch ΔQ latency (ingest entry → post-flush), microseconds;
-  /// buckets are (lower bound, count) pairs from the log-scale histogram.
+  /// buckets are (lower bound, count) pairs from the log-linear
+  /// histogram.
   uint64_t latency_count = 0;
   uint64_t latency_sum_us = 0;
   std::vector<std::pair<uint64_t, uint64_t>> latency_buckets;
+  /// v7: percentile digests of the same histogram (computed by the one
+  /// shared helper, MetricsRegistry::HistogramSnapshot::
+  /// PercentileUpperBound) so clients need not re-derive them from the
+  /// raw buckets.
+  uint64_t p50_us = 0;
+  uint64_t p95_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
   /// v6: final staleness vs the graph of record (0 after a clean drain).
   uint64_t lag_batches = 0;
   uint64_t lag_us = 0;
@@ -91,10 +101,51 @@ struct ServingSection {
   std::vector<ServingQueryRow> queries;
 };
 
+/// One offered-rate step of a load sweep (v7 `load.points` rows).
+/// Latencies are client-observed intended-start → ΔQ-notify
+/// microseconds, coordinated-omission safe (measured from the open-loop
+/// schedule's intended send time, so stalled batches are charged their
+/// full queueing delay).
+struct LoadPoint {
+  double offered_rate = 0;   ///< target Δ-batches/s across all ingesters
+  double achieved_rate = 0;  ///< acked Δ-batches/s actually sustained
+  uint64_t batches = 0;      ///< Δ-batches acked in the measurement window
+  uint64_t samples = 0;      ///< ΔQ notify latencies recorded
+  uint64_t p50_us = 0;
+  uint64_t p90_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  uint64_t max_us = 0;
+  uint64_t backpressure_stalls = 0;  ///< server stalls during the window
+  uint64_t queue_depth_max = 0;      ///< max observed server queue depth
+  uint64_t view_lag_us_max = 0;      ///< max observed view staleness
+  uint64_t rejected_batches = 0;     ///< generator collisions, retried
+  bool slo_ok = false;               ///< p99 within the --slo-ms target
+};
+
+/// The v7 `load` section: itg_loadgen's capacity-curve results against a
+/// live serving daemon, plus the detected knee (the highest offered rate
+/// that still meets the SLO while keeping up with the schedule).
+struct LoadSection {
+  uint64_t connections = 0;   ///< ingest connections
+  uint64_t subscribers = 0;   ///< ΔQ stream subscriber connections
+  std::string arrival;        ///< "poisson" | "uniform"
+  uint64_t ops_per_batch = 0;
+  double slo_ms = 0;          ///< p99 SLO target
+  bool sweep = false;
+  std::vector<LoadPoint> points;
+  bool knee_found = false;
+  LoadPoint knee;             ///< valid when knee_found
+  std::string slo_verdict;    ///< "pass" | "fail"
+  /// Raw /timeseriesz dump scraped from the daemon after the run; valid
+  /// JSON spliced verbatim as `load.server_timeseries` (empty = omitted).
+  std::string server_timeseries_json;
+};
+
 /// Machine-readable run report (the `--metrics-json=<path>` output of the
 /// bench and harness binaries).
 ///
-/// Schema (version 6, validated by tools/trace_summary.py and diffed by
+/// Schema (version 7, validated by tools/trace_summary.py and diffed by
 /// tools/report_diff.py; readers accept REPORT_SCHEMA_MIN..MAX):
 /// ```json
 /// {
@@ -150,7 +201,22 @@ struct ServingSection {
 ///        "budget_bytes": 0, "budget_used_bytes": 4096,
 ///        "lag_batches": 0, "lag_us": 0,   // v6
 ///        "delta_latency_us": {"count": 6, "sum": 900,
-///                             "buckets": [[64, 4], [128, 2]]}}, ...]}
+///                             "p50": 72, "p95": 104,   // v7
+///                             "p99": 104, "p999": 104,
+///                             "buckets": [[64, 4], [128, 2]]}}, ...]},
+///   "load": {                   // v7, present when SetLoad was called
+///     "connections": 2, "subscribers": 1, "arrival": "poisson",
+///     "ops_per_batch": 8, "slo_ms": 50.0, "sweep": true,
+///     "points": [               // one row per offered-rate step
+///       {"offered_rate": 100.0, "achieved_rate": 99.2, "batches": 496,
+///        "samples": 496, "p50": 180, "p90": 420, "p99": 900,
+///        "p999": 1400, "max": 2100, "backpressure_stalls": 0,
+///        "queue_depth_max": 3, "view_lag_us_max": 1200,
+///        "rejected_batches": 1, "slo_ok": true}, ...],
+///     "knee": {"found": true, "offered_rate": 400.0,
+///              "achieved_rate": 396.0, "p99": 4100},
+///     "slo_verdict": "pass",
+///     "server_timeseries": {...}}  // raw /timeseriesz dump, optional
 /// }
 /// ```
 ///
@@ -192,6 +258,13 @@ class RunReport {
     has_serving_ = true;
   }
 
+  /// Attaches a load-driver capacity-curve result; emitted as the v7
+  /// `load` section (omitted entirely when never called).
+  void SetLoad(const LoadSection& load) {
+    load_ = load;
+    has_load_ = true;
+  }
+
   std::string ToJson() const;
   Status WriteTo(const std::string& path) const;
 
@@ -221,6 +294,8 @@ class RunReport {
   AuditSection audit_;
   bool has_serving_ = false;
   ServingSection serving_;
+  bool has_load_ = false;
+  LoadSection load_;
 };
 
 }  // namespace itg

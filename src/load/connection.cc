@@ -1,0 +1,194 @@
+#include "load/connection.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace itg {
+namespace load {
+
+Status ServeConnection::Connect(int port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect 127.0.0.1:" + std::to_string(port) +
+                           ": " + err);
+  }
+  fd_ = fd;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status ServeConnection::SetRecvTimeout(uint64_t millis) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(millis / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError("setsockopt(SO_RCVTIMEO): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status ServeConnection::Send(const serve::Request& req) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  std::string line = serve::SerializeRequest(req);
+  line.push_back('\n');
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t w = ::send(fd_, line.data() + sent, line.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+ReadOutcome ServeConnection::ReadLine(std::string* line) {
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      if (line->empty()) continue;  // tolerate blank keep-alive lines
+      return ReadOutcome::kOk;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return ReadOutcome::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadOutcome::kTimeout;
+    return ReadOutcome::kError;
+  }
+}
+
+ReadOutcome ServeConnection::Read(serve::Response* resp, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return ReadOutcome::kError;
+  }
+  std::string line;
+  const ReadOutcome out = ReadLine(&line);
+  if (out != ReadOutcome::kOk) {
+    if (out == ReadOutcome::kError && error != nullptr) {
+      *error = std::strerror(errno);
+    }
+    return out;
+  }
+  auto resp_or = serve::ParseResponse(line);
+  if (!resp_or.ok()) {
+    if (error != nullptr) *error = resp_or.status().ToString();
+    return ReadOutcome::kError;
+  }
+  *resp = std::move(resp_or).value();
+  return ReadOutcome::kOk;
+}
+
+StatusOr<serve::Response> ServeConnection::Call(
+    const serve::Request& req,
+    const std::function<void(const serve::Response&)>& on_delta) {
+  ITG_RETURN_IF_ERROR(Send(req));
+  const std::string want = serve::RequestOpName(req.op);
+  for (;;) {
+    serve::Response resp;
+    std::string error;
+    const ReadOutcome out = Read(&resp, &error);
+    if (out == ReadOutcome::kClosed) {
+      return Status::IOError("peer closed mid-call");
+    }
+    if (out == ReadOutcome::kTimeout) {
+      return Status::IOError("recv timeout mid-call");
+    }
+    if (out == ReadOutcome::kError) return Status::IOError(error);
+    // Interleaved subscription traffic: deltas and snapshots stream on
+    // the same socket as the ack we are waiting for.
+    if (resp.type == serve::ResponseType::kDelta ||
+        resp.type == serve::ResponseType::kSnapshot) {
+      if (on_delta) on_delta(resp);
+      continue;
+    }
+    if (resp.op == want || resp.op.empty()) return resp;
+    if (on_delta) on_delta(resp);
+  }
+}
+
+void ServeConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<std::string> HttpGet(int port, const std::string& path) {
+  ServeConnection conn;
+  ITG_RETURN_IF_ERROR(conn.Connect(port));
+  const std::string req = "GET " + path +
+                          " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t w = ::send(conn.fd(), req.data() + sent, req.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      raw.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // peer close ends an HTTP/1.0 response
+  }
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::ParseError("malformed HTTP response from telemetry port");
+  }
+  if (raw.rfind("HTTP/1.0 200", 0) != 0 && raw.rfind("HTTP/1.1 200", 0) != 0) {
+    return Status::IOError("telemetry GET " + path + " failed: " +
+                           raw.substr(0, raw.find('\r')));
+  }
+  return raw.substr(header_end + 4);
+}
+
+}  // namespace load
+}  // namespace itg

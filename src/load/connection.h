@@ -1,0 +1,77 @@
+// Client-side transport for the load driver: a blocking loopback TCP
+// connection speaking the serving daemon's newline-delimited JSON
+// protocol (serve/protocol.h), plus a one-shot HTTP GET used to pull
+// /timeseriesz off the daemon's telemetry plane into run reports.
+//
+// Each driver thread owns its connection outright — there is no shared
+// write path, so no locking; the only concurrency is the kernel's. Reads
+// honour an optional receive timeout (SO_RCVTIMEO) so subscriber loops
+// can poll a stop flag instead of parking forever on a quiet stream.
+#ifndef ITG_LOAD_CONNECTION_H_
+#define ITG_LOAD_CONNECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace itg {
+namespace load {
+
+/// Outcome of a buffered line read; distinguishes "nothing arrived
+/// within the receive timeout" (retryable) from a closed or broken peer.
+enum class ReadOutcome { kOk, kTimeout, kClosed, kError };
+
+class ServeConnection {
+ public:
+  ServeConnection() = default;
+  ~ServeConnection() { Close(); }
+
+  ServeConnection(const ServeConnection&) = delete;
+  ServeConnection& operator=(const ServeConnection&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  Status Connect(int port);
+
+  /// Bounds every subsequent recv; 0 restores blocking reads.
+  Status SetRecvTimeout(uint64_t millis);
+
+  /// Serializes and sends one request line (blocking until written).
+  Status Send(const serve::Request& req);
+
+  /// Reads the next protocol line into *resp. kTimeout leaves *resp
+  /// untouched; a malformed line surfaces as kError with the parse
+  /// failure in *error.
+  ReadOutcome Read(serve::Response* resp, std::string* error = nullptr);
+
+  /// Sends `req` and reads responses until one arrives whose `op`
+  /// matches the request (deltas streaming in between are handed to
+  /// `on_delta` when non-null, dropped otherwise). This is the RPC
+  /// pattern: acks are interleaved with the subscription stream on the
+  /// same socket.
+  StatusOr<serve::Response> Call(
+      const serve::Request& req,
+      const std::function<void(const serve::Response&)>& on_delta = nullptr);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  ReadOutcome ReadLine(std::string* line);
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Minimal HTTP/1.0 GET against the daemon's telemetry port; returns the
+/// response body (status-line and headers stripped). Used to splice the
+/// server's /timeseriesz ring into the load report.
+StatusOr<std::string> HttpGet(int port, const std::string& path);
+
+}  // namespace load
+}  // namespace itg
+
+#endif  // ITG_LOAD_CONNECTION_H_

@@ -1,0 +1,168 @@
+// Concurrent open-loop load driver for the serving daemon
+// (example_itg_serve): M ingest connections stream Δ-batches on a
+// Poisson or uniform arrival schedule while S subscriber connections
+// hold standing queries and timestamp every ΔQ record they receive.
+//
+// Coordinated-omission discipline: the arrival schedule is fixed up
+// front (open loop) and every latency sample is measured from the
+// batch's *intended* send time, never the actual one — a server stall
+// that delays the schedule is charged its full queueing delay instead of
+// silently thinning the sample stream. See docs/SERVING.md ("Capacity
+// planning") for the methodology.
+//
+// Generator invariants: ingester i only touches edges whose src ≡ i
+// (mod M), and mirrors the daemon's ingest-validation edge set for its
+// lane (base graph minus self-loops/dupes, plus its own acked inserts).
+// Because acks are read synchronously per connection, the mirror is
+// exact and `invalid_mutation` rejections cannot occur in steady state;
+// they are still handled (regenerate + resend at the same intended time,
+// counted as rejected_batches) so a model bug degrades the report
+// instead of wedging the run.
+#ifndef ITG_LOAD_DRIVER_H_
+#define ITG_LOAD_DRIVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/latency_recorder.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "load/connection.h"
+#include "serve/protocol.h"
+
+namespace itg {
+namespace load {
+
+struct DriverOptions {
+  /// Serving daemon's wire port (127.0.0.1).
+  int port = 0;
+  /// Ingest connections (generator lanes).
+  int ingesters = 2;
+  /// Subscriber connections; each registers its own standing query
+  /// lq<i> and every Δ-batch fans one ΔQ record out to each of them.
+  int subscribers = 1;
+  /// Program each standing query runs (builtin name, e.g. "wcc").
+  std::string program = "wcc";
+  /// MUST match the daemon's --graph spec: the driver regenerates the
+  /// base edge set locally to mirror ingest validation.
+  std::string graph = "rmat:12";
+  /// Mirror of the daemon's --symmetric flag.
+  bool symmetric = false;
+  uint64_t ops_per_batch = 8;
+  /// Fraction of ops that delete a previously inserted edge (once the
+  /// lane owns enough edges); keeps the edge set from growing without
+  /// bound over long sweeps.
+  double delete_fraction = 0.25;
+  enum class Arrival { kPoisson, kUniform };
+  Arrival arrival = Arrival::kPoisson;
+  uint64_t seed = 1;
+  /// How long to wait after a window for in-flight ΔQ records.
+  uint64_t drain_timeout_ms = 15000;
+  /// `status` op sampling cadence during a window (queue depth + view
+  /// lag maxima); 0 disables the poller.
+  uint64_t status_poll_ms = 50;
+};
+
+/// One fixed-rate measurement window's results.
+struct WindowResult {
+  double offered_rate = 0;
+  double achieved_rate = 0;
+  uint64_t batches = 0;
+  uint64_t rejected_batches = 0;
+  uint64_t backpressure_stalls = 0;  ///< server-side delta over the window
+  uint64_t queue_depth_max = 0;
+  uint64_t view_lag_us_max = 0;
+  bool drained = true;  ///< all acked batches notified before timeout
+  LatencyRecorder::Snapshot latency;
+};
+
+/// Matches acked Δ-batches (trace_id -> intended send time) with the ΔQ
+/// records observed by subscriber threads. Deltas can race ahead of the
+/// ingester reading its ack on another connection, so unmatched arrivals
+/// are buffered until the ack lands.
+class Correlator {
+ public:
+  Correlator(LatencyRecorder* recorder, int fanout)
+      : recorder_(recorder), fanout_(fanout) {}
+
+  void Reset();
+  void OnAck(uint64_t trace_id,
+             std::chrono::steady_clock::time_point intended);
+  void OnDelta(uint64_t trace_id,
+               std::chrono::steady_clock::time_point arrival);
+  /// Acked traces still missing at least one ΔQ record.
+  size_t pending() const;
+
+ private:
+  struct Trace {
+    bool acked = false;
+    std::chrono::steady_clock::time_point intended;
+    int recorded = 0;
+    std::vector<std::chrono::steady_clock::time_point> early;
+  };
+
+  void RecordLocked(Trace* t,
+                    std::chrono::steady_clock::time_point arrival);
+
+  LatencyRecorder* recorder_;
+  const int fanout_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Trace> traces_;
+  size_t pending_ = 0;
+};
+
+class LoadDriver {
+ public:
+  explicit LoadDriver(DriverOptions options);
+  ~LoadDriver();
+
+  LoadDriver(const LoadDriver&) = delete;
+  LoadDriver& operator=(const LoadDriver&) = delete;
+
+  /// Connects every lane, registers the standing queries and starts the
+  /// subscriber reader threads. Must be called once before RunWindow.
+  Status Setup();
+
+  /// Drives one open-loop window at `rate` Δ-batches/s (aggregate across
+  /// all ingesters), then drains in-flight notifications.
+  StatusOr<WindowResult> RunWindow(double rate, uint64_t duration_ms);
+
+  /// Stops subscriber threads and closes every connection. Idempotent;
+  /// the destructor calls it.
+  void Teardown();
+
+ private:
+  struct Lane;       // per-ingester connection + edge model
+  struct SubConn;    // per-subscriber connection + reader thread
+
+  Status IngestLoop(Lane* lane, double lane_rate,
+                    std::chrono::steady_clock::time_point window_start,
+                    std::chrono::steady_clock::time_point window_end,
+                    uint64_t* batches, uint64_t* rejected,
+                    uint64_t* queue_depth_max);
+  void SubscriberLoop(SubConn* sub);
+  StatusOr<serve::Response> FetchStatus();
+
+  DriverOptions options_;
+  LatencyRecorder recorder_;
+  std::unique_ptr<Correlator> correlator_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<SubConn>> subs_;
+  ServeConnection control_;
+  std::atomic<bool> stop_{false};
+  bool setup_done_ = false;
+};
+
+}  // namespace load
+}  // namespace itg
+
+#endif  // ITG_LOAD_DRIVER_H_

@@ -1,0 +1,88 @@
+#include "load/sweep.h"
+
+#include <cstdio>
+
+namespace itg {
+namespace load {
+
+namespace {
+
+/// A point "keeps up" when the open-loop schedule was actually executed:
+/// past saturation the ingesters fall behind their own intended times
+/// and the achieved rate collapses below the offered one.
+constexpr double kKeepUpFraction = 0.9;
+
+bool KeepsUp(const LoadPoint& p) {
+  return p.achieved_rate >= kKeepUpFraction * p.offered_rate;
+}
+
+}  // namespace
+
+LoadPoint ToLoadPoint(const WindowResult& window, double slo_ms) {
+  LoadPoint p;
+  p.offered_rate = window.offered_rate;
+  p.achieved_rate = window.achieved_rate;
+  p.batches = window.batches;
+  p.samples = window.latency.count;
+  p.p50_us = window.latency.p50;
+  p.p90_us = window.latency.p90;
+  p.p99_us = window.latency.p99;
+  p.p999_us = window.latency.p999;
+  p.max_us = window.latency.max;
+  p.backpressure_stalls = window.backpressure_stalls;
+  p.queue_depth_max = window.queue_depth_max;
+  p.view_lag_us_max = window.view_lag_us_max;
+  p.rejected_batches = window.rejected_batches;
+  const uint64_t slo_us = static_cast<uint64_t>(slo_ms * 1000.0);
+  // An undrained window means notifications were still owed at timeout:
+  // the missing tail can only make p99 worse, so it cannot pass.
+  p.slo_ok = window.drained && window.latency.count > 0 &&
+             window.latency.p99 <= slo_us;
+  return p;
+}
+
+StatusOr<LoadSection> RunSweep(LoadDriver* driver,
+                               const SweepOptions& options) {
+  if (options.steps < 1) {
+    return Status::InvalidArgument("sweep needs at least one step");
+  }
+  if (options.max_rate < options.min_rate) {
+    return Status::InvalidArgument("sweep max_rate below min_rate");
+  }
+  LoadSection section;
+  section.sweep = true;
+  section.slo_ms = options.slo_ms;
+  const double span = options.max_rate - options.min_rate;
+  for (int step = 0; step < options.steps; ++step) {
+    const double rate =
+        options.steps == 1
+            ? options.min_rate
+            : options.min_rate + span * step / (options.steps - 1);
+    auto window_or = driver->RunWindow(rate, options.step_duration_ms);
+    ITG_RETURN_IF_ERROR(window_or.status());
+    const LoadPoint p = ToLoadPoint(window_or.value(), options.slo_ms);
+    std::fprintf(stderr,
+                 "sweep: rate=%.1f achieved=%.1f p50=%lluus p99=%lluus "
+                 "stalls=%llu %s\n",
+                 p.offered_rate, p.achieved_rate,
+                 static_cast<unsigned long long>(p.p50_us),
+                 static_cast<unsigned long long>(p.p99_us),
+                 static_cast<unsigned long long>(p.backpressure_stalls),
+                 p.slo_ok ? "SLO-ok" : "SLO-miss");
+    section.points.push_back(p);
+  }
+  // Knee: highest offered rate meeting the SLO while keeping up with its
+  // own schedule.
+  for (const LoadPoint& p : section.points) {
+    if (p.slo_ok && KeepsUp(p) && (!section.knee_found ||
+                                   p.offered_rate > section.knee.offered_rate)) {
+      section.knee_found = true;
+      section.knee = p;
+    }
+  }
+  section.slo_verdict = section.knee_found ? "pass" : "fail";
+  return section;
+}
+
+}  // namespace load
+}  // namespace itg

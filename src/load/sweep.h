@@ -1,0 +1,43 @@
+// Capacity sweep: step the offered Δ-batch rate across a range, run one
+// open-loop window per step through LoadDriver, and find the knee — the
+// highest offered rate whose notify p99 still meets the SLO while the
+// schedule actually keeps up (achieved ≥ 90% of offered; a driver that
+// cannot hit its own schedule is already past saturation, whatever the
+// surviving samples claim).
+#ifndef ITG_LOAD_SWEEP_H_
+#define ITG_LOAD_SWEEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/run_report.h"
+#include "load/driver.h"
+
+namespace itg {
+namespace load {
+
+struct SweepOptions {
+  double min_rate = 20;
+  double max_rate = 200;
+  int steps = 5;
+  /// Per-step measurement window.
+  uint64_t step_duration_ms = 2000;
+  /// Notify p99 SLO in milliseconds.
+  double slo_ms = 50;
+};
+
+/// Converts one window's result to a report row, applying the SLO.
+LoadPoint ToLoadPoint(const WindowResult& window, double slo_ms);
+
+/// Runs the sweep (driver must be Setup() already). Points are appended
+/// in ascending rate order; knee/knee_found/slo_verdict are filled per
+/// the header comment. The returned section still needs the generator
+/// config (connections/arrival/...) stamped by the caller.
+StatusOr<LoadSection> RunSweep(LoadDriver* driver,
+                                        const SweepOptions& options);
+
+}  // namespace load
+}  // namespace itg
+
+#endif  // ITG_LOAD_SWEEP_H_

@@ -1,0 +1,148 @@
+// Unit tests of the load driver's latency recorder: log-linear bucket
+// resolution at 32 sub-buckets per octave, percentile agreement between
+// the live recorder and its snapshot, the HdrHistogram-style
+// coordinated-omission back-fill, and merge/reset semantics.
+#include "common/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace itg {
+namespace {
+
+TEST(LatencyRecorderTest, RecordTalliesCountSumMax) {
+  LatencyRecorder rec;
+  rec.Record(10);
+  rec.Record(20);
+  rec.Record(5);
+  EXPECT_EQ(rec.count(), 3u);
+  EXPECT_EQ(rec.sum(), 35u);
+  EXPECT_EQ(rec.max(), 20u);
+  EXPECT_EQ(rec.bucket_count(LatencyRecorder::BucketOf(10)), 1u);
+  EXPECT_EQ(rec.bucket_count(LatencyRecorder::BucketOf(5)), 1u);
+}
+
+TEST(LatencyRecorderTest, SubBucketResolutionIsFinerThanHistogram) {
+  // 32 sub-buckets per octave: values below 32 land in exact buckets,
+  // and [64, 128) splits into 32 buckets of width 2 — so 64 and 66 are
+  // distinguishable where the 8-sub-bucket Histogram lumps them.
+  for (uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(LatencyRecorder::BucketOf(v), static_cast<int>(v));
+  }
+  EXPECT_NE(LatencyRecorder::BucketOf(64), LatencyRecorder::BucketOf(66));
+  EXPECT_EQ(LatencyRecorder::BucketOf(64), LatencyRecorder::BucketOf(65));
+  // Relative bucket width bounds the percentile error at ~3.1%.
+  for (uint64_t v : {100u, 1000u, 54321u, 1u << 20}) {
+    const int b = LatencyRecorder::BucketOf(v);
+    const uint64_t lo = LatencyRecorder::BucketLowerBound(b);
+    const uint64_t hi = LatencyRecorder::BucketLowerBound(b + 1);
+    EXPECT_LE(lo, v);
+    EXPECT_GT(hi, v);
+    EXPECT_LE(hi - lo, lo / 32 + 1) << "value " << v;
+  }
+}
+
+TEST(LatencyRecorderTest, BucketRoundTrip) {
+  for (int b = 0; b < LatencyRecorder::kBuckets - 1; ++b) {
+    EXPECT_EQ(LatencyRecorder::BucketOf(LatencyRecorder::BucketLowerBound(b)),
+              b);
+  }
+  EXPECT_EQ(LatencyRecorder::BucketOf(~uint64_t{0}),
+            LatencyRecorder::kBuckets - 1);
+}
+
+TEST(LatencyRecorderTest, PercentileUpperBound) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.PercentileUpperBound(50), 0u);  // empty
+  for (int i = 0; i < 99; ++i) rec.Record(10);
+  rec.Record(10000);
+  // p50 falls in the exact bucket for 10: upper bound is 11.
+  EXPECT_EQ(rec.PercentileUpperBound(50), 11u);
+  // p99.9 hits the outlier's bucket; its bound still brackets the value.
+  EXPECT_GT(rec.PercentileUpperBound(99.9), 10000u * 31 / 32);
+  EXPECT_LE(rec.PercentileUpperBound(99.9), 10000u + 10000u / 32 + 1);
+}
+
+TEST(LatencyRecorderTest, CoordinatedOmissionBackfill) {
+  LatencyRecorder rec;
+  // A 10ms sample at a 1ms expected cadence back-fills the nine samples
+  // the stall suppressed: 10000, 9000, ..., 1000.
+  rec.RecordWithExpectedInterval(10000, 1000);
+  EXPECT_EQ(rec.count(), 10u);
+  EXPECT_EQ(rec.sum(), 55000u);
+  EXPECT_EQ(rec.max(), 10000u);
+
+  // Within-cadence samples record exactly once.
+  LatencyRecorder fast;
+  fast.RecordWithExpectedInterval(500, 1000);
+  EXPECT_EQ(fast.count(), 1u);
+  // interval 0 disables the correction.
+  fast.RecordWithExpectedInterval(10000, 0);
+  EXPECT_EQ(fast.count(), 2u);
+}
+
+TEST(LatencyRecorderTest, SnapshotAgreesWithLiveRecorder) {
+  LatencyRecorder rec;
+  const uint64_t values[] = {3, 3, 70, 70, 70, 900, 12345, 12345, 0, 64};
+  for (uint64_t v : values) rec.Record(v);
+  const LatencyRecorder::Snapshot snap = rec.Snap();
+  EXPECT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.max, 12345u);
+  EXPECT_EQ(snap.p50, rec.PercentileUpperBound(50));
+  EXPECT_EQ(snap.p90, rec.PercentileUpperBound(90));
+  EXPECT_EQ(snap.p99, rec.PercentileUpperBound(99));
+  EXPECT_EQ(snap.p999, rec.PercentileUpperBound(99.9));
+  uint64_t from_buckets = 0;
+  for (const auto& [lower, n] : snap.buckets) from_buckets += n;
+  EXPECT_EQ(from_buckets, snap.count);
+  EXPECT_DOUBLE_EQ(snap.mean(), static_cast<double>(snap.sum) / 10.0);
+}
+
+TEST(LatencyRecorderTest, SnapshotConsistentUnderConcurrentRecords) {
+  LatencyRecorder rec;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&rec, &stop, t] {
+      uint64_t v = static_cast<uint64_t>(t) * 1000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        rec.Record(v++ % 8192);
+      }
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    const LatencyRecorder::Snapshot snap = rec.Snap();
+    uint64_t from_buckets = 0;
+    for (const auto& [lower, n] : snap.buckets) from_buckets += n;
+    // The invariant Snap() promises: count derives from the exact bucket
+    // tallies read, so percentile ranks can never overrun the data.
+    EXPECT_EQ(from_buckets, snap.count);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : writers) w.join();
+}
+
+TEST(LatencyRecorderTest, MergeAndReset) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  a.Record(10);
+  a.Record(100);
+  b.Record(5000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 5110u);
+  EXPECT_EQ(a.max(), 5000u);
+  EXPECT_EQ(a.bucket_count(LatencyRecorder::BucketOf(5000)), 1u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.sum(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_EQ(a.PercentileUpperBound(99), 0u);
+}
+
+}  // namespace
+}  // namespace itg

@@ -1,0 +1,212 @@
+// Integration tests of the load driver (src/load/) against an
+// in-process serving daemon: a real Service + wire Server on an
+// ephemeral loopback port, with LoadDriver's generator mirroring ingest
+// validation off a shared edge-list file. Covers the correlator's
+// ack/delta race handling, a fixed-rate open-loop window end to end
+// (every acked batch must produce one notify sample per subscriber), and
+// a two-point sweep with knee detection.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/latency_recorder.h"
+#include "common/metrics_registry.h"
+#include "load/driver.h"
+#include "load/sweep.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace itg {
+namespace load {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ------------------------------------------------------------- Correlator
+
+TEST(CorrelatorTest, AckThenDeltaRecordsPerSubscriber) {
+  LatencyRecorder rec;
+  Correlator corr(&rec, /*fanout=*/2);
+  const Clock::time_point t0 = Clock::now();
+  corr.OnAck(42, t0);
+  EXPECT_EQ(corr.pending(), 1u);
+  corr.OnDelta(42, t0 + std::chrono::microseconds(300));
+  EXPECT_EQ(corr.pending(), 1u);  // one subscriber still owes a record
+  corr.OnDelta(42, t0 + std::chrono::microseconds(500));
+  EXPECT_EQ(corr.pending(), 0u);
+  EXPECT_EQ(rec.count(), 2u);
+  EXPECT_EQ(rec.max(), 500u);
+}
+
+TEST(CorrelatorTest, DeltaRacingAheadOfAckIsBuffered) {
+  LatencyRecorder rec;
+  Correlator corr(&rec, /*fanout=*/1);
+  const Clock::time_point t0 = Clock::now();
+  // The maintenance thread can push the delta to a subscriber before the
+  // ingester has read its ack off another socket.
+  corr.OnDelta(7, t0 + std::chrono::microseconds(250));
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(corr.pending(), 0u);  // not acked yet: not pending either
+  corr.OnAck(7, t0);
+  EXPECT_EQ(rec.count(), 1u);
+  EXPECT_EQ(corr.pending(), 0u);  // buffered arrival completed the trace
+  EXPECT_EQ(rec.max(), 250u);
+}
+
+TEST(CorrelatorTest, ZeroFanoutNeverPends) {
+  LatencyRecorder rec;
+  Correlator corr(&rec, /*fanout=*/0);
+  corr.OnAck(1, Clock::now());
+  EXPECT_EQ(corr.pending(), 0u);
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+// -------------------------------------------------- driver vs real daemon
+
+/// A star 0->{1..255} shared (via an edge-list file) between the service
+/// and the driver's validation mirror. A star keeps the diameter at 2 so
+/// incremental WCC converges in a few supersteps per batch (a chain
+/// would cost diameter-many supersteps and slow the suite 10x).
+class LoadDriverTest : public ::testing::Test {
+ protected:
+  static constexpr VertexId kVertices = 256;
+
+  void SetUp() override {
+    graph_file_ = ::testing::TempDir() + "/load_graph_" +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name() +
+                  ".txt";
+    std::ofstream out(graph_file_);
+    std::vector<Edge> edges;
+    for (VertexId v = 1; v < kVertices; ++v) {
+      edges.push_back({0, v});
+      out << 0 << " " << v << "\n";
+    }
+    out.close();
+
+    serve::ServiceOptions opt;
+    opt.max_queries = 4;
+    opt.ingest_queue_depth = 64;
+    opt.scratch_dir = ::testing::TempDir() + "/load_scratch";
+    opt.num_threads = 1;
+    opt.verify_on_register = false;
+    opt.registry = &registry_;
+    auto service_or = serve::Service::Create(kVertices, edges, opt);
+    ASSERT_TRUE(service_or.ok()) << service_or.status().ToString();
+    service_ = std::move(service_or).value();
+
+    server_ = std::make_unique<serve::Server>(service_.get());
+    serve::ServerOptions sopt;
+    sopt.port = 0;
+    ASSERT_TRUE(server_->Start(sopt).ok());
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    service_->Drain();
+  }
+
+  DriverOptions BaseOptions() const {
+    DriverOptions dopt;
+    dopt.port = server_->port();
+    dopt.ingesters = 2;
+    dopt.subscribers = 2;
+    dopt.program = "wcc";
+    dopt.graph = graph_file_;
+    dopt.ops_per_batch = 4;
+    dopt.seed = 7;
+    dopt.status_poll_ms = 20;
+    return dopt;
+  }
+
+  std::string graph_file_;
+  MetricsRegistry registry_;
+  std::unique_ptr<serve::Service> service_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+TEST_F(LoadDriverTest, FixedRateWindowProducesSamples) {
+  LoadDriver driver(BaseOptions());
+  ASSERT_TRUE(driver.Setup().ok());
+  auto result_or = driver.RunWindow(/*rate=*/100, /*duration_ms=*/600);
+  ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+  const WindowResult& r = result_or.value();
+  EXPECT_GT(r.batches, 10u);
+  EXPECT_TRUE(r.drained);
+  // Every acked batch owes exactly one ΔQ record per subscriber.
+  EXPECT_EQ(r.latency.count, r.batches * 2);
+  // Disjoint generator lanes mirror validation exactly: no rejections.
+  EXPECT_EQ(r.rejected_batches, 0u);
+  EXPECT_GT(r.achieved_rate, 0.0);
+  EXPECT_GT(r.latency.p99, 0u);
+  EXPECT_GE(r.latency.p99, r.latency.p50);
+  // p99 is a bucket upper bound; the tracked max can undershoot it by at
+  // most one bucket width (~1/32 relative).
+  EXPECT_GE(r.latency.max + r.latency.max / 32 + 1, r.latency.p99);
+  EXPECT_GE(r.queue_depth_max, 1u);
+  driver.Teardown();
+}
+
+TEST_F(LoadDriverTest, ConsecutiveWindowsReuseTheModel) {
+  LoadDriver driver(BaseOptions());
+  ASSERT_TRUE(driver.Setup().ok());
+  auto first_or = driver.RunWindow(80, 300);
+  ASSERT_TRUE(first_or.ok()) << first_or.status().ToString();
+  // A second window keeps inserting/deleting against the same mirrored
+  // edge model; any drift from the server's present-set would surface
+  // here as invalid_mutation rejections.
+  auto second_or = driver.RunWindow(80, 300);
+  ASSERT_TRUE(second_or.ok()) << second_or.status().ToString();
+  EXPECT_EQ(first_or.value().rejected_batches, 0u);
+  EXPECT_EQ(second_or.value().rejected_batches, 0u);
+  EXPECT_GT(second_or.value().batches, 0u);
+  driver.Teardown();
+}
+
+TEST_F(LoadDriverTest, SweepEmitsOrderedPointsAndVerdict) {
+  LoadDriver driver(BaseOptions());
+  ASSERT_TRUE(driver.Setup().ok());
+  SweepOptions sopt;
+  sopt.min_rate = 40;
+  sopt.max_rate = 80;
+  sopt.steps = 2;
+  sopt.step_duration_ms = 300;
+  sopt.slo_ms = 5000;  // generous: a laptop-scale chain graph is fast
+  auto section_or = RunSweep(&driver, sopt);
+  ASSERT_TRUE(section_or.ok()) << section_or.status().ToString();
+  const LoadSection& s = section_or.value();
+  ASSERT_EQ(s.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.points[0].offered_rate, 40.0);
+  EXPECT_DOUBLE_EQ(s.points[1].offered_rate, 80.0);
+  EXPECT_LT(s.points[0].offered_rate, s.points[1].offered_rate);
+  EXPECT_TRUE(s.sweep);
+  // Under a 5s SLO on this toy graph both points pass: the knee is the
+  // highest offered rate.
+  ASSERT_TRUE(s.knee_found);
+  EXPECT_DOUBLE_EQ(s.knee.offered_rate, 80.0);
+  EXPECT_EQ(s.slo_verdict, "pass");
+  driver.Teardown();
+}
+
+TEST_F(LoadDriverTest, UniformArrivalAlsoDrives) {
+  DriverOptions dopt = BaseOptions();
+  dopt.arrival = DriverOptions::Arrival::kUniform;
+  dopt.subscribers = 1;
+  LoadDriver driver(dopt);
+  ASSERT_TRUE(driver.Setup().ok());
+  auto result_or = driver.RunWindow(60, 400);
+  ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+  EXPECT_GT(result_or.value().batches, 5u);
+  EXPECT_EQ(result_or.value().latency.count, result_or.value().batches);
+  driver.Teardown();
+}
+
+}  // namespace
+}  // namespace load
+}  // namespace itg

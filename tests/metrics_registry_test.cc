@@ -1,11 +1,13 @@
-// Metrics registry: log-scale histogram bucketing, snapshots, merging,
-// and the Metrics compatibility facade on top of it.
+// Metrics registry: log-linear histogram bucketing, snapshots, merging,
+// the time-series ring, and the Metrics compatibility facade on top.
 #include "common/metrics_registry.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
@@ -32,16 +34,43 @@ TEST(GaugeTest, SetAddSigned) {
 }
 
 TEST(HistogramTest, BucketOf) {
-  EXPECT_EQ(Histogram::BucketOf(0), 0);
-  EXPECT_EQ(Histogram::BucketOf(1), 1);
-  EXPECT_EQ(Histogram::BucketOf(2), 2);
-  EXPECT_EQ(Histogram::BucketOf(3), 2);
-  EXPECT_EQ(Histogram::BucketOf(4), 3);
-  EXPECT_EQ(Histogram::BucketOf(7), 3);
-  EXPECT_EQ(Histogram::BucketOf(8), 4);
-  EXPECT_EQ(Histogram::BucketOf(1023), 10);
-  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+  // Values below kExact are their own bucket.
+  for (uint64_t v = 0; v < Histogram::kExact; ++v) {
+    EXPECT_EQ(Histogram::BucketOf(v), static_cast<int>(v));
+  }
+  // 8..15 stay exact too (first octave, 8 sub-buckets of width 1).
+  EXPECT_EQ(Histogram::BucketOf(8), 8);
+  EXPECT_EQ(Histogram::BucketOf(15), 15);
+  // Octave [16, 32) splits into sub-buckets of width 2.
+  EXPECT_EQ(Histogram::BucketOf(16), 16);
+  EXPECT_EQ(Histogram::BucketOf(17), 16);
+  EXPECT_EQ(Histogram::BucketOf(18), 17);
+  // 1023 is the last sub-bucket of [512, 1024); 1024 opens the next octave.
+  EXPECT_EQ(Histogram::BucketOf(1023), Histogram::BucketOf(1024) - 1);
   EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, SubBucketResolutionAtLoopbackLatencies) {
+  // The point of the log-linear refit: sub-100us latencies are
+  // distinguishable where pure power-of-two buckets lumped [64, 128).
+  EXPECT_NE(Histogram::BucketOf(70), Histogram::BucketOf(100));
+  EXPECT_NE(Histogram::BucketOf(64), Histogram::BucketOf(80));
+  EXPECT_NE(Histogram::BucketOf(96), Histogram::BucketOf(112));
+  // Relative bucket width stays bounded at 1/8 of the lower bound.
+  for (int b = Histogram::kExact; b < Histogram::kBuckets - 1; ++b) {
+    const uint64_t lo = Histogram::BucketLowerBound(b);
+    const uint64_t hi = Histogram::BucketUpperBound(b);
+    EXPECT_LE(hi - lo + 1, lo / 8 + 1) << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, BucketUpperBound) {
+  for (int b = 0; b < Histogram::kBuckets - 1; ++b) {
+    EXPECT_EQ(Histogram::BucketUpperBound(b),
+              Histogram::BucketLowerBound(b + 1) - 1)
+        << "bucket " << b;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1), UINT64_MAX);
 }
 
 TEST(HistogramTest, BucketBoundsRoundTrip) {
@@ -65,17 +94,17 @@ TEST(HistogramTest, RecordTallies) {
   EXPECT_EQ(h.sum(), 11u);
   EXPECT_EQ(h.bucket_count(0), 1u);  // the zero
   EXPECT_EQ(h.bucket_count(1), 1u);  // 1
-  EXPECT_EQ(h.bucket_count(3), 2u);  // 5 twice, in [4, 8)
+  EXPECT_EQ(h.bucket_count(5), 2u);  // 5 twice, exact bucket
 }
 
 TEST(HistogramTest, PercentileUpperBound) {
   Histogram h;
   EXPECT_EQ(h.PercentileUpperBound(50), 0u);
-  for (int i = 0; i < 90; ++i) h.Record(3);    // bucket 2: [2, 4)
-  for (int i = 0; i < 10; ++i) h.Record(100);  // bucket 7: [64, 128)
+  for (int i = 0; i < 90; ++i) h.Record(3);    // exact bucket 3
+  for (int i = 0; i < 10; ++i) h.Record(100);  // sub-bucket [96, 104)
   EXPECT_EQ(h.PercentileUpperBound(50), 4u);
   EXPECT_EQ(h.PercentileUpperBound(89), 4u);
-  EXPECT_EQ(h.PercentileUpperBound(99), 128u);
+  EXPECT_EQ(h.PercentileUpperBound(99), 104u);
 }
 
 TEST(HistogramTest, MergeAddsBucketwise) {
@@ -87,7 +116,7 @@ TEST(HistogramTest, MergeAddsBucketwise) {
   EXPECT_EQ(a.count(), 3u);
   EXPECT_EQ(a.sum(), 1002u);
   EXPECT_EQ(a.bucket_count(1), 2u);
-  EXPECT_EQ(a.bucket_count(10), 1u);
+  EXPECT_EQ(a.bucket_count(Histogram::BucketOf(1000)), 1u);
 }
 
 TEST(MetricsRegistryTest, GetOrCreateIsStable) {
@@ -113,8 +142,19 @@ TEST(MetricsRegistryTest, SnapshotReflectsValues) {
   EXPECT_EQ(h.sum, 12u);
   // Non-empty buckets carry (lower bound, count) pairs.
   ASSERT_EQ(h.buckets.size(), 1u);
-  EXPECT_EQ(h.buckets[0].first, 8u);  // 12 lands in [8, 16)
+  EXPECT_EQ(h.buckets[0].first, 12u);  // 12 is exact in the first octave
   EXPECT_EQ(h.buckets[0].second, 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotPercentileMatchesLiveHistogram) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat");
+  for (uint64_t v : {0u, 3u, 70u, 70u, 100u, 1000u, 123456u}) h->Record(v);
+  const auto snap = reg.Snap().histograms.at("lat");
+  for (double p : {0.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(snap.PercentileUpperBound(p), h->PercentileUpperBound(p))
+        << "p" << p;
+  }
 }
 
 TEST(MetricsRegistryTest, MergeCreatesAndAccumulates) {
@@ -132,7 +172,7 @@ TEST(MetricsRegistryTest, MergeCreatesAndAccumulates) {
   EXPECT_EQ(a.histogram("h")->count(), 2u);
   EXPECT_EQ(a.histogram("h")->sum(), 9u);
   EXPECT_EQ(a.histogram("h")->bucket_count(0), 1u);
-  EXPECT_EQ(a.histogram("h")->bucket_count(4), 1u);
+  EXPECT_EQ(a.histogram("h")->bucket_count(9), 1u);
 }
 
 TEST(MetricsRegistryTest, ResetKeepsRegistrations) {
@@ -155,7 +195,7 @@ TEST(MetricsRegistryTest, ToJsonShape) {
   EXPECT_NE(json.find("\"counters\":{\"c.one\":1}"), std::string::npos);
   EXPECT_NE(json.find("\"g.two\":2"), std::string::npos);
   EXPECT_NE(json.find("\"h.three\""), std::string::npos);
-  EXPECT_NE(json.find("\"buckets\":[[2,1]]"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[3,1]]"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, RemoveRetiresSeriesExactly) {
@@ -198,6 +238,75 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesDontLoseCounts) {
   });
   EXPECT_EQ(c->value(), kTasks);
   EXPECT_EQ(h->count(), kTasks);
+}
+
+TEST(MetricsRegistryTest, SnapshotConsistentUnderConcurrentRecords) {
+  // A Record() is three independent relaxed adds; a snapshot racing it
+  // must still satisfy Σ bucket counts == count (the invariant every
+  // report validator asserts), because Snap derives count from the
+  // bucket tallies it actually read.
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("hot");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      uint64_t v = static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h->Record(v++ % 4096);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto snap = reg.Snap().histograms.at("hot");
+    uint64_t total = 0;
+    for (const auto& [lower, n] : snap.buckets) total += n;
+    ASSERT_EQ(total, snap.count) << "snapshot " << i;
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  // Quiescent: the derived count agrees with the live counter.
+  EXPECT_EQ(reg.Snap().histograms.at("hot").count, h->count());
+}
+
+TEST(TimeSeriesRingTest, EvictsOldestAtCapacity) {
+  TimeSeriesRing ring(3);
+  EXPECT_EQ(ring.capacity(), 3u);
+  for (uint64_t t = 1; t <= 5; ++t) {
+    MetricsRegistry::Snapshot snap;
+    snap.counters["c"] = t;
+    ring.Push(t, std::move(snap));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.evicted(), 2u);
+  const auto samples = ring.Samples();
+  ASSERT_EQ(samples.size(), 3u);
+  // Oldest-first, with the two oldest samples gone.
+  EXPECT_EQ(samples[0].t_ms, 3u);
+  EXPECT_EQ(samples[1].t_ms, 4u);
+  EXPECT_EQ(samples[2].t_ms, 5u);
+  EXPECT_EQ(samples[0].snap.counters.at("c"), 3u);
+}
+
+TEST(TimeSeriesRingTest, ToJsonDigestsHistograms) {
+  TimeSeriesRing ring(8);
+  MetricsRegistry reg;
+  reg.counter("serve.ingest_batches")->Add(2);
+  reg.gauge("serve.queue_depth")->Set(5);
+  for (int i = 0; i < 10; ++i) reg.histogram("serve.delta_latency_us")->Record(70);
+  ring.Push(1722470400000ull, reg.Snap());
+  const std::string json = ring.ToJson(250);
+  EXPECT_NE(json.find("\"capacity\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"evicted\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"interval_ms\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"t_ms\":1722470400000"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.ingest_batches\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.queue_depth\":5"), std::string::npos);
+  // Histograms are digested to count/sum/p50/p99, not full buckets.
+  EXPECT_NE(json.find("\"count\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"buckets\""), std::string::npos);
 }
 
 TEST(MetricsFacadeTest, CountersLiveInRegistry) {

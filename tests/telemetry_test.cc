@@ -69,10 +69,10 @@ TEST(PrometheusTextTest, CountersAndGauges) {
 TEST(PrometheusTextTest, HistogramExposition) {
   MetricsRegistry::Snapshot snap;
   MetricsRegistry::HistogramSnapshot h;
-  // Log-scale buckets as the registry snapshots them: (lower bound, count)
-  // for non-empty buckets, ascending. Bucket lower bound 0 holds only the
-  // value 0; bucket lower bound L holds [L, 2L).
-  h.buckets = {{0, 3}, {1, 2}, {4, 5}};
+  // Log-linear buckets as the registry snapshots them: (lower bound,
+  // count) for non-empty buckets, ascending. Below Histogram::kExact the
+  // buckets are single-valued; 100 lands in the sub-bucket [96, 104).
+  h.buckets = {{0, 3}, {1, 2}, {4, 4}, {96, 1}};
   h.count = 10;
   h.sum = 123;
   snap.histograms["superstep.nanos"] = h;
@@ -80,13 +80,15 @@ TEST(PrometheusTextTest, HistogramExposition) {
 
   EXPECT_NE(text.find("# TYPE itg_superstep_nanos histogram\n"),
             std::string::npos);
-  // Upper bounds: the zero bucket is le="0"; [L, 2L) has inclusive upper
-  // bound 2L-1 (exact for integer-valued observations). Counts cumulate.
+  // `le` is the inclusive upper bound of each log-linear bucket (exact
+  // for integer-valued observations). Counts cumulate.
   EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"0\"} 3\n"),
             std::string::npos);
   EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"1\"} 5\n"),
             std::string::npos);
-  EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"7\"} 10\n"),
+  EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"4\"} 9\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"103\"} 10\n"),
             std::string::npos);
   EXPECT_NE(text.find("itg_superstep_nanos_bucket{le=\"+Inf\"} 10\n"),
             std::string::npos);
@@ -135,6 +137,39 @@ TEST(TelemetryServerTest, HandleRoutesWithoutSockets) {
   EXPECT_EQ(server.Handle("/").status, 200);
   EXPECT_NE(server.Handle("/").body.find("/metrics"), std::string::npos);
   EXPECT_EQ(server.Handle("/no-such").status, 404);
+  // Without sampling enabled there is no time-series ring to serve.
+  EXPECT_EQ(server.timeseries(), nullptr);
+  EXPECT_EQ(server.Handle("/timeseriesz").status, 404);
+}
+
+TEST(TelemetryServerTest, TimeseriesSamplerFillsRing) {
+  MetricsRegistry reg;
+  reg.counter("ts.test")->Add(7);
+  for (int i = 0; i < 5; ++i) reg.histogram("ts.lat")->Record(100);
+  TelemetryServer server(&reg);
+  TelemetryOptions options;
+  options.port = 0;
+  options.timeseries_interval_ms = 5;
+  options.timeseries_capacity = 4;
+  ASSERT_TRUE(server.Start(options).ok());
+  ASSERT_NE(server.timeseries(), nullptr);
+
+  // The sampler pushes one snapshot immediately, then every interval;
+  // wait until the ring has wrapped so eviction is exercised live.
+  int polls = 0;
+  while (server.timeseries()->evicted() == 0 && polls++ < 2000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(server.timeseries()->evicted(), 0u);
+  EXPECT_EQ(server.timeseries()->size(), 4u);
+
+  TelemetryServer::Response resp = server.Handle("/timeseriesz");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"interval_ms\":5"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"ts.test\":7"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"p99\":"), std::string::npos);
+  server.Stop();
 }
 
 // ---------------------------------------------------- socket round trip ----

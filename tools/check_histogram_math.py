@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Cross-language histogram agreement check.
+
+Runs `example_itg_loadgen --histogram-selftest`, which records
+deterministic value sets into the C++ LatencyRecorder and prints every
+resulting bucket and percentile as JSON. This script replays the same
+values through tools/histogram_math.py and requires bit-for-bit
+agreement on bucket indices, bucket lower bounds, and percentile upper
+bounds — the guarantee that lets Python validators (trace_summary.py,
+serve_client.py) recompute percentiles from a report's sparse buckets
+and compare them against the numbers the C++ side wrote.
+
+Usage: check_histogram_math.py --loadgen <example_itg_loadgen>
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+import histogram_math as hm
+
+
+def fail(msg):
+    print(f"check_histogram_math: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--loadgen", required=True)
+    args = parser.parse_args()
+
+    proc = subprocess.run([args.loadgen, "--histogram-selftest"],
+                          capture_output=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"selftest exited rc {proc.returncode}: "
+             f"{proc.stderr.decode('utf-8', errors='replace')}")
+    doc = json.loads(proc.stdout.decode("utf-8"))
+    sub_bits = doc["sub_bits"]
+    cases = doc["cases"]
+    if not cases:
+        fail("selftest emitted no cases")
+
+    for idx, case in enumerate(cases):
+        values = case["values"]
+        # Rebuild the sparse bucket array in Python.
+        tallies = {}
+        for v in values:
+            b = hm.bucket_of(v, sub_bits)
+            tallies[b] = tallies.get(b, 0) + 1
+        want_buckets = [[hm.bucket_lower_bound(b, sub_bits), n]
+                        for b, n in sorted(tallies.items())]
+        got_buckets = [list(map(int, pair)) for pair in case["buckets"]]
+        if got_buckets != want_buckets:
+            fail(f"case {idx}: bucket mismatch\n  C++:    {got_buckets}\n"
+                 f"  Python: {want_buckets}")
+
+        sparse = [(lower, n) for lower, n in want_buckets]
+        for p_str, got in case["percentiles"].items():
+            p = float(p_str)
+            want = hm.percentile_upper_bound(sparse, p, sub_bits)
+            if int(got) != want:
+                fail(f"case {idx}: p{p} mismatch: C++ {got}, Python {want}")
+
+    print(f"check_histogram_math: OK ({len(cases)} cases, "
+          f"sub_bits={sub_bits})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Log-linear histogram math shared by the Python tooling.
+
+This is the Python mirror of the C++ `itg::loglin` helpers
+(src/common/metrics_registry.h): values below 2^sub_bits land in exact
+unit buckets, and every power-of-two octave above splits into 2^sub_bits
+linear sub-buckets, bounding the relative bucket width at 2^-sub_bits.
+The serving daemon's `Histogram` uses sub_bits=3; the load driver's
+`LatencyRecorder` uses sub_bits=5.
+
+Percentile semantics match `HistogramSnapshot::PercentileUpperBound` /
+`LatencyRecorder::PercentileUpperBound` exactly — same rank rule (p/100
+of the total, truncated, clamped to total-1), same exclusive
+upper-bound answer, same 2^64-1 sentinel for the unbounded last bucket —
+so a Python validator recomputing percentiles from a report's sparse
+`buckets` array must agree bit-for-bit with the numbers the C++ side
+wrote. tools/check_histogram_math.py enforces that agreement in ctest
+against `example_itg_loadgen --histogram-selftest`.
+
+Consumers: serve_client.py (latency mode), trace_summary.py (schema-v7
+report validation), check_histogram_math.py.
+"""
+
+UINT64_MAX = (1 << 64) - 1
+
+# The daemon-side Histogram (metrics_registry.h) and the load driver's
+# LatencyRecorder (latency_recorder.h) respectively.
+HISTOGRAM_SUB_BITS = 3
+RECORDER_SUB_BITS = 5
+
+
+def num_buckets(sub_bits):
+    """Total bucket count: exact buckets + (64 - sub_bits) octaves."""
+    return (1 << sub_bits) + (64 - sub_bits) * (1 << sub_bits)
+
+
+def bucket_of(value, sub_bits):
+    """Bucket index holding `value` (a non-negative int < 2^64)."""
+    exact = 1 << sub_bits
+    if value < exact:
+        return value
+    p = value.bit_length() - 1
+    sub = (value >> (p - sub_bits)) & (exact - 1)
+    return exact + (p - sub_bits) * exact + sub
+
+
+def bucket_lower_bound(b, sub_bits):
+    """Smallest value mapping to bucket `b` (inverse of bucket_of)."""
+    exact = 1 << sub_bits
+    if b <= 0:
+        return 0
+    if b < exact:
+        return b
+    i = b - exact
+    p = i // exact + sub_bits
+    sub = i % exact
+    return (exact + sub) << (p - sub_bits)
+
+
+def bucket_upper_bound(b, sub_bits):
+    """Largest value mapping to bucket `b` (inclusive); 2^64-1 for the
+    last bucket."""
+    if b + 1 >= num_buckets(sub_bits):
+        return UINT64_MAX
+    return bucket_lower_bound(b + 1, sub_bits) - 1
+
+
+def percentile_upper_bound(buckets, p, sub_bits):
+    """Exclusive upper bound of the bucket holding the p-th percentile.
+
+    `buckets` is the sparse [(lower_bound, count), ...] representation
+    the C++ snapshots and run reports emit (ascending lower bounds).
+    Returns 0 for empty input and 2^64-1 when the percentile falls in
+    the unbounded last bucket — exactly like the C++ helpers.
+    """
+    total = sum(n for _, n in buckets)
+    if total == 0:
+        return 0
+    p = min(max(p, 0.0), 100.0)
+    rank = int(p / 100.0 * total)
+    if rank >= total:
+        rank = total - 1
+    seen = 0
+    for lower, n in buckets:
+        seen += n
+        if seen > rank:
+            b = bucket_of(lower, sub_bits)
+            if b + 1 >= num_buckets(sub_bits):
+                return UINT64_MAX
+            return bucket_lower_bound(b + 1, sub_bits)
+    return UINT64_MAX

@@ -1,0 +1,107 @@
+# ctest driver for the serving load-harness smoke test (see top-level
+# CMakeLists.txt): spawns example_itg_serve with the /timeseriesz sampler
+# enabled and drives it with example_itg_loadgen --sweep — concurrent
+# ingest + subscriber connections on an open-loop Poisson schedule, the
+# coordinated-omission-safe intended-send -> notify latency recorder, and
+# knee detection against a (deliberately generous) p99 SLO. The two
+# processes run as one execute_process pipeline: the loadgen polls the
+# daemon's portfile, runs the sweep, sends the shutdown op, and both must
+# exit 0 (the loadgen exits 3 on an SLO-verdict failure).
+#
+# Afterwards the loadgen's schema-v7 run report must pass full
+# trace_summary.py validation (the "load" section: a nonzero,
+# strictly-rate-ordered capacity curve with a knee consistent with the
+# verdict, plus the spliced server time-series ring), the daemon's own
+# report must pass too (its v7 per-query percentile stamps are
+# recomputed from the buckets bit-for-bit), and report_diff.py must
+# accept the curve against the committed bench/BENCH_serve_baseline.json
+# (verdict or knee regressions gate).
+#
+# Inputs: -DITG_SERVE=<binary> -DITG_LOADGEN=<binary>
+#         -DPython3_EXECUTABLE=<python3>
+#         -DTRACE_SUMMARY=<trace_summary.py>
+#         -DREPORT_DIFF=<report_diff.py> -DBASELINE=<baseline json>
+#         -DWORK_DIR=<scratch>
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# The daemon publishes its telemetry port through the env portfile; the
+# loadgen reads it back via --telemetry-portfile to scrape /timeseriesz.
+set(ENV{ITG_TELEMETRY_PORTFILE} ${WORK_DIR}/telemetry.port)
+set(ENV{ITG_THREADS} 1)
+
+# The daemon's stdout is redirected to a log file (not the pipe): it
+# prints its drain summary after the loadgen has exited, and a closed
+# pipe would SIGPIPE it before the run report gets written.
+execute_process(
+  COMMAND sh -c "exec ${ITG_SERVE} --graph rmat:12 --port 0 \
+          --portfile ${WORK_DIR}/serve.port \
+          --telemetry-port 0 --timeseries-ms 25 --no-verify \
+          --scratch ${WORK_DIR}/scratch \
+          --metrics-json ${WORK_DIR}/serve_report.json \
+          > ${WORK_DIR}/serve.log 2>&1"
+  COMMAND ${ITG_LOADGEN} --portfile ${WORK_DIR}/serve.port
+          --graph rmat:12 --program wcc
+          --connections 2 --subscribers 2 --ops-per-batch 4
+          --sweep --min-rate 30 --max-rate 90 --steps 3 --step-ms 1200
+          --slo-ms 30000 --seed 11
+          --telemetry-portfile ${WORK_DIR}/telemetry.port
+          --metrics-json ${WORK_DIR}/load_report.json
+          --shutdown
+  RESULTS_VARIABLE rcs
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+message(STATUS "serve|loadgen pipeline output:\n${out}\n${err}")
+foreach(rc ${rcs})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serve/loadgen pipeline rcs: ${rcs}\n${err}")
+  endif()
+endforeach()
+
+# The report must actually carry the load section and a passing verdict
+# (trace_summary only validates the section when present).
+file(READ ${WORK_DIR}/load_report.json load_report)
+string(FIND "${load_report}" "\"load\":{" load_at)
+if(load_at EQUAL -1)
+  message(FATAL_ERROR "loadgen report has no load section")
+endif()
+string(FIND "${load_report}" "\"slo_verdict\":\"pass\"" verdict_at)
+if(verdict_at EQUAL -1)
+  message(FATAL_ERROR "loadgen report verdict is not pass under a 30s SLO")
+endif()
+string(FIND "${load_report}" "\"server_timeseries\":" series_at)
+if(series_at EQUAL -1)
+  message(FATAL_ERROR
+          "loadgen report did not splice the /timeseriesz server ring")
+endif()
+
+# Full schema validation of both reports: the loadgen's v7 load section
+# and the daemon's v7 serving section (percentiles recomputed from the
+# buckets must agree bit-for-bit).
+foreach(report load_report.json serve_report.json)
+  execute_process(
+    COMMAND ${Python3_EXECUTABLE} ${TRACE_SUMMARY}
+            --report ${WORK_DIR}/${report}
+    RESULT_VARIABLE summary_rc
+    OUTPUT_VARIABLE summary_out
+    ERROR_VARIABLE summary_err)
+  message(STATUS "trace_summary ${report}:\n${summary_out}")
+  if(NOT summary_rc EQUAL 0)
+    message(FATAL_ERROR
+            "trace_summary.py --report ${report} failed "
+            "(${summary_rc}):\n${summary_err}")
+  endif()
+endforeach()
+
+# Capacity-curve regression gate against the committed baseline.
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${REPORT_DIFF}
+          ${BASELINE} ${WORK_DIR}/load_report.json --verbose
+  RESULT_VARIABLE diff_rc
+  OUTPUT_VARIABLE diff_out
+  ERROR_VARIABLE diff_err)
+message(STATUS "report_diff output:\n${diff_out}")
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "report_diff.py failed (${diff_rc}):\n${diff_err}")
+endif()

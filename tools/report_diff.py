@@ -13,6 +13,13 @@ versions only add sections (v3 per-machine barrier_wait_nanos and a
 top-level "memory" map, v4 state digests and the "audit" section), none
 of which are gated.
 
+The v7 "load" section (itg_loadgen capacity curves) is diffed
+structurally: a candidate whose SLO verdict drops from "pass" to "fail",
+whose knee disappears, or whose knee rate falls below baseline/R is a
+regression. The latency percentiles themselves are measured wall-clock
+numbers — noisy across machines — so they are reported (--verbose, per
+matching offered rate) but never gated.
+
 Only *deterministic work metrics* are gated — counters that are
 bit-identical across thread counts and machines for the same program,
 graph and mutation stream:
@@ -121,6 +128,10 @@ class Diff:
             print(f"  (info) {where} {metric}: {old} -> {new} "
                   f"({ratio:.2f}x, not gated)")
 
+    def structural(self, where, msg):
+        """A non-numeric regression (lost capability, flipped verdict)."""
+        self.regressions.append((where, msg, None, None, None))
+
 
 def diff_operators(diff, run_name, old_run, new_run):
     old_ops = {op["id"]: op for op in old_run.get("operators", [])}
@@ -171,6 +182,56 @@ def diff_runs(diff, name, old_run, new_run):
     diff_supersteps(diff, name, old_run, new_run)
 
 
+def diff_load(diff, old_doc, new_doc, max_regress):
+    """Structural gate over the v7 load section (capacity curves)."""
+    old_load = old_doc.get("load")
+    new_load = new_doc.get("load")
+    if new_load is None and old_load is None:
+        return
+    if old_load is None:
+        print("  (info) load: new section, no baseline")
+        return
+    if new_load is None:
+        diff.structural("load", "section dropped from new report")
+        return
+
+    old_verdict = old_load.get("slo_verdict")
+    new_verdict = new_load.get("slo_verdict")
+    if old_verdict == "pass" and new_verdict != "pass":
+        diff.structural("load", f"slo_verdict pass -> {new_verdict!r}")
+    old_knee = old_load.get("knee", {})
+    new_knee = new_load.get("knee", {})
+    if old_knee.get("found") and not new_knee.get("found"):
+        diff.structural("load", "knee found in baseline, lost in candidate")
+    elif old_knee.get("found") and new_knee.get("found"):
+        old_rate = old_knee.get("offered_rate", 0.0)
+        new_rate = new_knee.get("offered_rate", 0.0)
+        # Capacity shrinking by more than the gate ratio is a regression;
+        # the knee moving UP is an improvement, never gated.
+        if old_rate > 0 and new_rate < old_rate / max_regress:
+            diff.structural(
+                "load", f"knee rate {old_rate:g}/s -> {new_rate:g}/s "
+                        f"(below baseline/{max_regress:g})")
+        diff.info("load", "knee.offered_rate", old_rate, new_rate)
+        diff.info("load", "knee.p99", old_knee.get("p99", 0),
+                  new_knee.get("p99", 0))
+
+    old_points = {p["offered_rate"]: p for p in old_load.get("points", [])}
+    for p in new_load.get("points", []):
+        base = old_points.get(p["offered_rate"])
+        label = f"load rate {p['offered_rate']:g}/s"
+        if base is None:
+            if diff.verbose:
+                print(f"  (info) {label}: no baseline point")
+            continue
+        for metric in ("p50", "p99", "p999", "achieved_rate",
+                       "queue_depth_max", "backpressure_stalls"):
+            diff.info(label, metric, base.get(metric, 0), p.get(metric, 0))
+        if base.get("slo_ok") and not p.get("slo_ok"):
+            print(f"  (info) {label}: slo_ok true -> false "
+                  f"(point-level, verdict gates)")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff run reports; exit 1 on work-metric regressions.")
@@ -206,6 +267,7 @@ def main():
     for name in old_runs:
         if name not in new_runs:
             print(f"  (info) run {name!r}: dropped from new report")
+    diff_load(diff, old_doc, new_doc, args.max_regress)
 
     print(f"  {diff.compared} gated metrics compared, "
           f"{diff.improvements} improved, "
@@ -213,9 +275,12 @@ def main():
     if diff.regressions:
         print()
         for where, metric, old, new, ratio in diff.regressions:
-            print(f"  REGRESSION {where} {metric}: "
-                  f"{old} -> {new} ({ratio:.2f}x > "
-                  f"{args.max_regress:g}x gate)")
+            if ratio is None:
+                print(f"  REGRESSION {where}: {metric}")
+            else:
+                print(f"  REGRESSION {where} {metric}: "
+                      f"{old} -> {new} ({ratio:.2f}x > "
+                      f"{args.max_regress:g}x gate)")
         sys.exit(1)
     print("  OK: no gated metric regressed")
 

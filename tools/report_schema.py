@@ -15,9 +15,14 @@ Version history:
   6  pipeline observability: serving gains per-stage "stage_latency_us"
      percentile rows and "slow_batches"; per-query rows gain
      "lag_batches" / "lag_us" staleness fields
+  7  load observability: serving query rows gain "p50"/"p95"/"p99"/
+     "p999" delta-latency percentile fields (recomputable from the
+     buckets via tools/histogram_math.py); new optional "load" section
+     (itg_loadgen capacity curves: per-rate points, knee, SLO verdict,
+     spliced /timeseriesz server ring)
 """
 
 MIN_SCHEMA = 1
-MAX_SCHEMA = 6
+MAX_SCHEMA = 7
 
 SCHEMA_RANGE = range(MIN_SCHEMA, MAX_SCHEMA + 1)

@@ -30,8 +30,10 @@ docs/SERVING.md:
      state_digest to be bit-identical to each streamed view's digest —
      the serving daemon is the batch pipeline, made continuous,
   8. sends the shutdown op, waits for a clean exit, and validates the
-     run report's schema v6 "serving" section (stage latency rows,
-     slow-batch counter, per-query lag),
+     run report's "serving" section (stage latency rows, slow-batch
+     counter, per-query lag; schema 6..MAX_SCHEMA accepted, and from v7
+     the stamped delta-latency percentiles are cross-checked against a
+     recomputation from the buckets via tools/histogram_math.py),
   9. separately: spawns the batch driver in --watch mode, SIGINTs it,
      and requires a clean rc-0 exit with a written report (the shared
      clean-stop path).
@@ -60,7 +62,12 @@ import struct
 import subprocess
 import sys
 import time
+import urllib.error
 import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import histogram_math as hm  # noqa: E402
+from report_schema import MAX_SCHEMA  # noqa: E402
 
 MASK = (1 << 64) - 1
 
@@ -316,9 +323,10 @@ def batch_digest(lnga_binary, workdir, program, graph, mutations, deadline,
 def check_report(path, batches, queries=2):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    expect(doc.get("schema_version") == 6,
-           f"daemon report schema_version {doc.get('schema_version')}, "
-           f"want 6")
+    version = doc.get("schema_version")
+    expect(isinstance(version, int) and 6 <= version <= MAX_SCHEMA,
+           f"daemon report schema_version {version!r}, "
+           f"want 6..{MAX_SCHEMA}")
     serving = doc.get("serving")
     expect(isinstance(serving, dict), "daemon report has no serving section")
     expect(serving.get("standing_queries") == queries,
@@ -352,6 +360,18 @@ def check_report(path, batches, queries=2):
                f"{hist.get('count')}, want {batches}")
         expect(isinstance(hist.get("buckets"), list) and hist["buckets"],
                f"serving row {name!r} has no latency buckets")
+        if version >= 7:
+            # The v7 percentile stamps must be exactly what the buckets
+            # imply (histogram_math.py is the Python mirror of the C++
+            # helper that computed them).
+            sparse = [(int(b[0]), int(b[1])) for b in hist["buckets"]]
+            for field, p in (("p50", 50.0), ("p95", 95.0),
+                             ("p99", 99.0), ("p999", 99.9)):
+                want = hm.percentile_upper_bound(sparse, p,
+                                                 hm.HISTOGRAM_SUB_BITS)
+                expect(hist.get(field) == want,
+                       f"serving row {name!r} {field} {hist.get(field)} "
+                       f"disagrees with its buckets (want {want})")
         # Per-view stage rows exist, and the view is fully caught up
         # after the drain that precedes report writing.
         for stage in (f"view_run.{name}", f"stream_flush.{name}"):
@@ -398,10 +418,22 @@ def check_sigint_watch(lnga_binary, workdir, deadline, env):
 # ---------------------------------------------------------- latency mode ----
 
 def scrape(url, deadline):
-    req = urllib.request.Request(url)
-    with urllib.request.urlopen(
-            req, timeout=max(0.5, deadline - time.monotonic())) as resp:
-        return resp.read().decode("utf-8", errors="replace")
+    """GET `url`, retrying transient connect failures until `deadline`
+    (telemetry_client.py's idiom): the telemetry listener can lag the
+    portfile write by a beat, and a scrape racing it must not flake."""
+    while True:
+        try:
+            req = urllib.request.Request(url)
+            with urllib.request.urlopen(
+                    req,
+                    timeout=max(0.5, deadline - time.monotonic())) as resp:
+                return resp.read().decode("utf-8", errors="replace")
+        except urllib.error.HTTPError as e:
+            fail(f"scrape {url}: HTTP {e.code}")
+        except (urllib.error.URLError, ConnectionError, OSError) as e:
+            if time.monotonic() >= deadline:
+                fail(f"scrape {url} failed past deadline: {e}")
+            time.sleep(0.05)
 
 
 def parse_prometheus(text):
@@ -561,7 +593,8 @@ def run_latency_mode(args):
         # (shared clock reads at every boundary); only µs truncation may
         # leak, bounded well under 16us per batch per stage boundary.
         stage_sum = sum(row["sum"] for row in serving["stage_latency_us"])
-        e2e_sum = serving["queries"][0]["delta_latency_us"]["sum"]
+        e2e = serving["queries"][0]["delta_latency_us"]
+        e2e_sum = e2e["sum"]
         tolerance = 16 * n
         expect(abs(stage_sum - e2e_sum) <= tolerance,
                f"stage latency sums {stage_sum}us do not tile the "
@@ -569,8 +602,16 @@ def run_latency_mode(args):
                f"(tolerance {tolerance}us)")
         expect(serving["slow_batches"] == 0,
                f"report slow_batches {serving['slow_batches']}, want 0")
-        print(f"serve_client: run report v6 OK; stage sums {stage_sum}us "
-              f"tile end-to-end {e2e_sum}us (±{tolerance}us)")
+        # The v7 percentile stamps (already cross-checked against the
+        # buckets in check_report) must be ordered and live: a quiescent
+        # pipeline that streamed n deltas has a nonzero tail.
+        expect(e2e["p50"] <= e2e["p95"] <= e2e["p99"] <= e2e["p999"],
+               f"report percentiles not monotone: {e2e}")
+        expect(e2e["p99"] > 0, "report p99 is zero after streaming deltas")
+        print(f"serve_client: run report v7 OK; stage sums {stage_sum}us "
+              f"tile end-to-end {e2e_sum}us (±{tolerance}us); delta "
+              f"latency p50 {e2e['p50']}us p99 {e2e['p99']}us "
+              f"p99.9 {e2e['p999']}us")
         expect(os.path.exists(trace),
                f"daemon wrote no ITG_TRACE file at {trace}")
     finally:
@@ -729,7 +770,7 @@ def main():
                f"daemon rc {proc.returncode} after shutdown op:\n"
                f"{out.decode('utf-8', errors='replace')}")
         serving = check_report(report, len(batches))
-        print(f"serve_client: daemon drained cleanly; run report v6 OK "
+        print(f"serve_client: daemon drained cleanly; run report OK "
               f"(serving={json.dumps({k: serving[k] for k in ('standing_queries', 'ingest_batches', 'backpressure_stalls')})})")
     finally:
         for conn in conns:

@@ -26,7 +26,11 @@ version 3 adds per-machine barrier_wait_nanos and a top-level "memory"
 section of per-structure current/peak byte counts, version 4 adds state
 digests and the drift auditor's "audit" section, version 5 the serving
 daemon's "serving" section, version 6 the serving pipeline's per-stage
-latency rows, slow-batch counter and per-query staleness fields).
+latency rows, slow-batch counter and per-query staleness fields,
+version 7 per-query delta-latency percentile fields — cross-checked
+here against a recomputation from the sparse buckets via
+tools/histogram_math.py — and the optional "load" section holding
+itg_loadgen's capacity curve, knee and SLO verdict).
 Validates the schema and prints a short digest. Exits non-zero on any schema violation, so it
 doubles as the ctest smoke check.
 """
@@ -37,6 +41,7 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import histogram_math as hm  # noqa: E402
 from report_schema import MAX_SCHEMA, MIN_SCHEMA, SCHEMA_RANGE  # noqa: E402
 
 
@@ -388,6 +393,89 @@ def validate_serving(serving, version):
         expect(sum(b[1] for b in buckets) == hist["count"],
                f"{where}.delta_latency_us bucket counts do not sum to "
                f"count {hist['count']}")
+        if version >= 7:
+            # v7 stamps the percentiles next to the buckets; they must be
+            # recomputable from the buckets bit-for-bit (histogram_math is
+            # the Python mirror of the C++ helper that wrote them).
+            sparse = [(int(b[0]), int(b[1])) for b in buckets]
+            for field, p in (("p50", 50.0), ("p95", 95.0),
+                             ("p99", 99.0), ("p999", 99.9)):
+                expect(is_uint(hist.get(field)),
+                       f"{where}.delta_latency_us.{field} is not a "
+                       f"non-negative integer")
+                want = hm.percentile_upper_bound(sparse, p,
+                                                 hm.HISTOGRAM_SUB_BITS)
+                expect(hist[field] == want,
+                       f"{where}.delta_latency_us.{field} is "
+                       f"{hist[field]} but the buckets say {want}")
+        else:
+            expect(all(f not in hist
+                       for f in ("p50", "p95", "p99", "p999")),
+                   f"{where}: v7 percentile fields in a pre-v7 report")
+
+
+LOAD_POINT_UINTS = ("batches", "samples", "p50", "p90", "p99", "p999",
+                    "max", "backpressure_stalls", "queue_depth_max",
+                    "view_lag_us_max", "rejected_batches")
+
+
+def validate_load_point(point, where):
+    expect(isinstance(point, dict), f"{where} is not an object")
+    for field in ("offered_rate", "achieved_rate"):
+        expect(is_num(point.get(field)) and point[field] >= 0,
+               f"{where}.{field} is not a non-negative number")
+    for field in LOAD_POINT_UINTS:
+        expect(is_uint(point.get(field)),
+               f"{where}.{field} is not a non-negative integer")
+    expect(isinstance(point.get("slo_ok"), bool), f"{where}.slo_ok missing")
+    expect(point["p50"] <= point["p99"] <= point["p999"],
+           f"{where}: percentiles not monotone")
+
+
+def validate_load(load):
+    """Validates the optional v7 "load" section (itg_loadgen capacity
+    curve: per-offered-rate points, the detected knee, SLO verdict and
+    the spliced /timeseriesz server ring)."""
+    expect(isinstance(load, dict), "load is not an object")
+    for field in ("connections", "subscribers", "ops_per_batch"):
+        expect(is_uint(load.get(field)),
+               f"load.{field} is not a non-negative integer")
+    expect(load.get("arrival") in ("poisson", "uniform"),
+           f"load.arrival {load.get('arrival')!r} is not poisson|uniform")
+    expect(is_num(load.get("slo_ms")) and load["slo_ms"] > 0,
+           "load.slo_ms is not a positive number")
+    expect(isinstance(load.get("sweep"), bool), "load.sweep missing")
+    points = load.get("points")
+    expect(isinstance(points, list) and points, "load.points missing/empty")
+    for j, point in enumerate(points):
+        validate_load_point(point, f"load.points[{j}]")
+    for j in range(1, len(points)):
+        expect(points[j - 1]["offered_rate"] < points[j]["offered_rate"],
+               f"load.points offered rates not strictly increasing at [{j}]")
+    knee = load.get("knee")
+    expect(isinstance(knee, dict) and isinstance(knee.get("found"), bool),
+           "load.knee malformed")
+    if knee["found"]:
+        validate_load_point(knee, "load.knee")
+        expect(knee["slo_ok"], "load.knee marked found but not slo_ok")
+        expect(any(p["offered_rate"] == knee["offered_rate"]
+                   for p in points),
+               "load.knee offered_rate not among the sweep points")
+    verdict = load.get("slo_verdict")
+    expect(verdict in ("pass", "fail"),
+           f"load.slo_verdict {verdict!r} is not pass|fail")
+    expect((verdict == "pass") == knee["found"],
+           "load.slo_verdict inconsistent with knee.found")
+    series = load.get("server_timeseries")
+    if series is not None:
+        expect(isinstance(series, dict)
+               and is_uint(series.get("capacity"))
+               and is_uint(series.get("evicted"))
+               and isinstance(series.get("samples"), list),
+               "load.server_timeseries malformed")
+        for j, s in enumerate(series["samples"]):
+            expect(isinstance(s, dict) and is_uint(s.get("t_ms")),
+                   f"load.server_timeseries.samples[{j}] malformed")
 
 
 def validate_report(path):
@@ -506,6 +594,13 @@ def validate_report(path):
     else:
         expect(serving is None, "v5 serving section in a pre-v5 report")
 
+    load = doc.get("load")
+    if version >= 7:
+        if load is not None:
+            validate_load(load)
+    else:
+        expect(load is None, "v7 load section in a pre-v7 report")
+
     print(f"report: {path}")
     print(f"  binary: {doc['binary']}, {len(runs)} runs, "
           f"{len(results)} results, {len(metrics['counters'])} counters, "
@@ -551,6 +646,22 @@ def validate_report(path):
                   f"{row['runs']} runs, digest {row['digest']}, "
                   f"budget {row['budget_used_bytes']}/{row['budget_bytes']} B, "
                   f"mean delta latency {mean:.0f}us{lag}")
+    if load:
+        mode = "sweep" if load["sweep"] else "fixed rate"
+        print(f"  load: {mode}, {len(load['points'])} points, "
+              f"{load['connections']} ingesters / "
+              f"{load['subscribers']} subscribers, {load['arrival']} "
+              f"arrivals, SLO p99<={load['slo_ms']:g}ms -> "
+              f"{load['slo_verdict']}")
+        for p in load["points"]:
+            ok = "ok" if p["slo_ok"] else "VIOLATED"
+            print(f"    rate {p['offered_rate']:g}/s "
+                  f"(achieved {p['achieved_rate']:.1f}/s): "
+                  f"{p['batches']} batches, p50 {p['p50']}us "
+                  f"p99 {p['p99']}us p99.9 {p['p999']}us, SLO {ok}")
+        if load["knee"]["found"]:
+            print(f"    knee: {load['knee']['offered_rate']:g}/s "
+                  f"(p99 {load['knee']['p99']}us)")
     print("  schema: OK")
 
 
