@@ -13,7 +13,8 @@
 // and the `shutdown` op both trip the clean-stop flag; the daemon then
 // drains the ingest queue through every standing view, finishes the
 // in-flight supersteps, writes the run report (--metrics-json, schema
-// v7 `serving` section), and exits 0.
+// v8: `serving` section plus per-view `resources` attribution), and
+// exits 0.
 #include <unistd.h>
 
 #include <algorithm>
@@ -132,7 +133,7 @@ std::vector<Edge> LoadGraph(const std::string& graph,
   return edges;
 }
 
-/// The v7 `serving` section, assembled from the drained service's final
+/// The `serving` section (v7 shape), assembled from the drained service's final
 /// status rows plus the serve.* histograms in the registry: per-query
 /// latency + staleness, per-stage latency percentiles, slow batches.
 ServingSection BuildServingSection(Service* service) {

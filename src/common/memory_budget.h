@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/metrics_registry.h"
+#include "common/resource_scope.h"
 #include "common/status.h"
 
 namespace itg {
@@ -75,7 +76,12 @@ class MemoryBudget {
 
   /// Charges `n` bytes. Returns OutOfMemory if the budget would be
   /// exceeded (the charge is still recorded so callers can report usage).
+  /// Also attributes the allocation to the calling thread's current
+  /// ResourceContext (`resource.<ctx>.bytes_alloc`, cumulative — releases
+  /// are not subtracted: attribution answers "who allocated", while the
+  /// budget's own used/peak track the net level).
   Status Charge(uint64_t n) {
+    ChargeCurrentBytesAlloc(n);
     uint64_t used = used_bytes_.fetch_add(n, std::memory_order_relaxed) + n;
     uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
     while (used > peak &&

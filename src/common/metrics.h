@@ -38,6 +38,9 @@ struct MetricsSnapshot {
   uint64_t page_reads = 0;
   uint64_t steals = 0;
   std::array<uint64_t, kMaxTrackedThreads> thread_cpu_nanos{};
+  /// CPU executed inline on pool callers (the sequential ParallelFor
+  /// fast path) — deliberately not part of any per-worker lane.
+  uint64_t caller_cpu_nanos = 0;
 };
 
 class Metrics {
@@ -58,6 +61,12 @@ class Metrics {
     thread_cpu_nanos_[ClampThread(thread)].fetch_add(
         n, std::memory_order_relaxed);
   }
+  /// Caller-lane CPU: inline (sequential fast path) execution on the
+  /// thread that called ParallelFor, kept out of the per-worker meters
+  /// so busy-meter skew reflects only real parallel batches.
+  void AddCallerCpuNanos(uint64_t n) {
+    caller_cpu_nanos_.fetch_add(n, std::memory_order_relaxed);
+  }
   void AddSteals(uint64_t n) { steals_->Add(n); }
 
   uint64_t read_bytes() const { return read_bytes_->value(); }
@@ -68,6 +77,9 @@ class Metrics {
   uint64_t thread_cpu_nanos(int thread) const {
     return thread_cpu_nanos_[ClampThread(thread)].load(
         std::memory_order_relaxed);
+  }
+  uint64_t caller_cpu_nanos() const {
+    return caller_cpu_nanos_.load(std::memory_order_relaxed);
   }
   uint64_t steals() const { return steals_->value(); }
 
@@ -90,6 +102,7 @@ class Metrics {
     for (int t = 0; t < kMaxTrackedThreads; ++t) {
       snap.thread_cpu_nanos[static_cast<size_t>(t)] = thread_cpu_nanos(t);
     }
+    snap.caller_cpu_nanos = caller_cpu_nanos();
     return snap;
   }
 
@@ -98,6 +111,7 @@ class Metrics {
   void Reset() {
     registry_.Reset();
     for (auto& n : thread_cpu_nanos_) n.store(0, std::memory_order_relaxed);
+    caller_cpu_nanos_.store(0, std::memory_order_relaxed);
   }
 
   /// Merges another machine's meters into this one (used when collapsing
@@ -109,6 +123,8 @@ class Metrics {
       thread_cpu_nanos_[static_cast<size_t>(t)].fetch_add(
           other.thread_cpu_nanos(t), std::memory_order_relaxed);
     }
+    caller_cpu_nanos_.fetch_add(other.caller_cpu_nanos(),
+                                std::memory_order_relaxed);
   }
 
   std::string ToString() const;
@@ -128,6 +144,7 @@ class Metrics {
   Counter* page_reads_;
   Counter* steals_;
   std::array<std::atomic<uint64_t>, kMaxTrackedThreads> thread_cpu_nanos_{};
+  std::atomic<uint64_t> caller_cpu_nanos_{0};
 };
 
 /// The process-wide metrics sink.

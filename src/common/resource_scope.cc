@@ -1,0 +1,79 @@
+#include "common/resource_scope.h"
+
+#include <ctime>
+
+namespace itg {
+
+namespace {
+
+/// The thread's attribution lane: the current context plus the thread-CPU
+/// reading at the instant it (re)became current. CPU is charged lazily —
+/// only at scope boundaries — so steady-state attributed execution costs
+/// nothing per unit of work, and the charge at each boundary is exact.
+struct ThreadLane {
+  ResourceContext* ctx = nullptr;
+  uint64_t cpu_base = 0;
+};
+
+thread_local ThreadLane t_lane;
+
+}  // namespace
+
+uint64_t ThreadCpuNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+ResourceContext::ResourceContext(const std::string& name,
+                                 MetricsRegistry* registry)
+    : name_(name) {
+  MetricsRegistry& reg = registry != nullptr ? *registry : GlobalRegistry();
+  const std::string prefix = "resource." + name;
+  cpu_nanos_ = reg.counter(prefix + ".cpu_nanos");
+  pages_read_ = reg.counter(prefix + ".pages_read");
+  bytes_alloc_ = reg.counter(prefix + ".bytes_alloc");
+}
+
+std::vector<std::string> ResourceContext::SeriesNamesFor(
+    const std::string& name) {
+  const std::string prefix = "resource." + name;
+  return {prefix + ".cpu_nanos", prefix + ".pages_read",
+          prefix + ".bytes_alloc"};
+}
+
+ResourceContext* CurrentResourceContext() { return t_lane.ctx; }
+
+void ChargeCurrentPagesRead(uint64_t pages) {
+  if (t_lane.ctx != nullptr) t_lane.ctx->ChargePagesRead(pages);
+}
+
+void ChargeCurrentBytesAlloc(uint64_t bytes) {
+  if (t_lane.ctx != nullptr) t_lane.ctx->ChargeBytesAlloc(bytes);
+}
+
+ResourceScope::ResourceScope(ResourceContext* ctx) {
+  ThreadLane& lane = t_lane;
+  if (ctx == nullptr && lane.ctx == nullptr) return;  // free fast path
+  active_ = true;
+  prev_ = lane.ctx;
+  const uint64_t now = ThreadCpuNanos();
+  // Suspend the outer context: charge it up to this instant so the inner
+  // scope's CPU is never billed twice.
+  if (lane.ctx != nullptr) lane.ctx->ChargeCpu(now - lane.cpu_base);
+  lane.ctx = ctx;
+  lane.cpu_base = now;
+}
+
+ResourceScope::~ResourceScope() {
+  if (!active_) return;
+  ThreadLane& lane = t_lane;
+  const uint64_t now = ThreadCpuNanos();
+  if (lane.ctx != nullptr) lane.ctx->ChargeCpu(now - lane.cpu_base);
+  // Resume the outer context with a fresh baseline.
+  lane.ctx = prev_;
+  lane.cpu_base = now;
+}
+
+}  // namespace itg

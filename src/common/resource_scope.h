@@ -1,0 +1,113 @@
+#ifndef ITG_COMMON_RESOURCE_SCOPE_H_
+#define ITG_COMMON_RESOURCE_SCOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics_registry.h"
+
+namespace itg {
+
+/// Per-context resource attribution: "who spent the CPU, who paid for the
+/// page reads, who allocated" — the observability layer under the
+/// multi-query serving work, where N standing views share one process and
+/// aggregate meters can no longer answer which view is the expensive one.
+///
+/// A ResourceContext names a chargeable principal (a standing-query id, a
+/// serve pipeline stage, a harness phase) and owns three monotonic
+/// registry series:
+///
+///   resource.<name>.cpu_nanos    thread-CPU nanos executed on its behalf
+///   resource.<name>.pages_read   buffer-pool misses charged to it
+///   resource.<name>.bytes_alloc  bytes charged to memory budgets while
+///                                it was the current context
+///
+/// Charging is steered by a thread-local *current context* managed by the
+/// RAII ResourceScope. Scopes nest with suspend semantics: entering an
+/// inner scope charges the outer context's CPU up to that instant and
+/// re-baselines on exit, so every CPU nanosecond is charged to exactly one
+/// context (exclusive self time, never double-counted). The buffer pool
+/// and MemoryBudget charge page reads / allocation bytes to whatever
+/// context is current on the calling thread; ThreadPool::ParallelFor
+/// captures the caller's context and re-establishes it on every worker for
+/// the duration of the batch, so worker CPU is billed to the query that
+/// scheduled the work.
+///
+/// When no context is current (and none is being entered) a ResourceScope
+/// is free: no clock read, no atomics — instrumentation can stay in hot
+/// paths unconditionally.
+
+/// CPU time consumed by the calling thread
+/// (`clock_gettime(CLOCK_THREAD_CPUTIME_ID)`). Meters built on this bill
+/// only time actually executed: time a thread spends descheduled on an
+/// oversubscribed host — or blocked on a lock or condition variable — is
+/// not counted as work.
+uint64_t ThreadCpuNanos();
+
+class ResourceContext {
+ public:
+  /// Binds the three `resource.<name>.*` series in `registry`
+  /// (`GlobalRegistry()` when null). The context must not outlive the
+  /// registry, and the registry must not remove the series while any
+  /// context still holds them (see SeriesNames / MetricsRegistry::Remove*).
+  explicit ResourceContext(const std::string& name,
+                           MetricsRegistry* registry = nullptr);
+
+  ResourceContext(const ResourceContext&) = delete;
+  ResourceContext& operator=(const ResourceContext&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void ChargeCpu(uint64_t nanos) { cpu_nanos_->Add(nanos); }
+  void ChargePagesRead(uint64_t pages) { pages_read_->Add(pages); }
+  void ChargeBytesAlloc(uint64_t bytes) { bytes_alloc_->Add(bytes); }
+
+  uint64_t cpu_nanos() const { return cpu_nanos_->value(); }
+  uint64_t pages_read() const { return pages_read_->value(); }
+  uint64_t bytes_alloc() const { return bytes_alloc_->value(); }
+
+  /// The exact registry series this context feeds, for retirement of
+  /// dynamically named contexts (the serving layer removes a view's
+  /// series on deregister — after destroying the context, since removal
+  /// dangles the cached counter handles).
+  std::vector<std::string> SeriesNames() const {
+    return SeriesNamesFor(name_);
+  }
+  static std::vector<std::string> SeriesNamesFor(const std::string& name);
+
+ private:
+  std::string name_;
+  Counter* cpu_nanos_;
+  Counter* pages_read_;
+  Counter* bytes_alloc_;
+};
+
+/// The calling thread's current context (null when unattributed).
+ResourceContext* CurrentResourceContext();
+
+/// Charge page reads / allocation bytes to the calling thread's current
+/// context; no-ops when unattributed. One relaxed fetch_add when attributed.
+void ChargeCurrentPagesRead(uint64_t pages);
+void ChargeCurrentBytesAlloc(uint64_t bytes);
+
+/// RAII: makes `ctx` the calling thread's current context for the scope's
+/// lifetime. Entering with null while a context is current *suspends*
+/// attribution (the outer context is charged up to the suspend point);
+/// entering with null while nothing is current is free.
+class ResourceScope {
+ public:
+  explicit ResourceScope(ResourceContext* ctx);
+  ~ResourceScope();
+
+  ResourceScope(const ResourceScope&) = delete;
+  ResourceScope& operator=(const ResourceScope&) = delete;
+
+ private:
+  ResourceContext* prev_ = nullptr;
+  bool active_ = false;
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_RESOURCE_SCOPE_H_

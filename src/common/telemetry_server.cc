@@ -8,9 +8,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/wall_profiler.h"
 
 namespace itg {
 
@@ -63,6 +65,20 @@ void AppendDouble(double v, std::string* out) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   out->append(buf);
+}
+
+// `seconds=N` from a /profilez query string; default 1, clamped to
+// [0, 30] (0 = render the current accumulation without capturing —
+// useful when ITG_PROFILE has the profiler running for the whole
+// process). The clamp keeps a scrape from parking the accept thread
+// (connections are handled sequentially) for minutes.
+uint64_t ProfileSeconds(const std::string& query) {
+  uint64_t seconds = 1;
+  const size_t pos = query.find("seconds=");
+  if (pos != std::string::npos) {
+    seconds = std::strtoull(query.c_str() + pos + 8, nullptr, 10);
+  }
+  return seconds > 30 ? 30 : seconds;
 }
 
 }  // namespace
@@ -203,6 +219,43 @@ std::string RenderStatusz(const LiveStatus::Snapshot& live,
   }
   out.push_back(']');
 
+  // Per-context resource attribution: every counter triple
+  // resource.<ctx>.{cpu_nanos,pages_read,bytes_alloc} collapses into one
+  // JSON object — "who is eating my CPU" at a glance.
+  out.append(",\"resources\":{");
+  {
+    bool first_ctx = true;
+    constexpr std::string_view kResPrefix = "resource.";
+    constexpr std::string_view kCpuSuffix = ".cpu_nanos";
+    for (const auto& [name, value] : metrics.counters) {
+      if (name.rfind(kResPrefix, 0) != 0) continue;
+      if (name.size() <= kResPrefix.size() + kCpuSuffix.size() ||
+          name.compare(name.size() - kCpuSuffix.size(), kCpuSuffix.size(),
+                       kCpuSuffix) != 0) {
+        continue;
+      }
+      const std::string ctx = name.substr(
+          kResPrefix.size(),
+          name.size() - kResPrefix.size() - kCpuSuffix.size());
+      auto counter_or_zero = [&](const std::string& series) -> uint64_t {
+        const auto it = metrics.counters.find(series);
+        return it != metrics.counters.end() ? it->second : 0;
+      };
+      if (!first_ctx) out.push_back(',');
+      first_ctx = false;
+      AppendJson(ctx, &out);
+      out.append(":{\"cpu_nanos\":").append(std::to_string(value));
+      out.append(",\"pages_read\":")
+          .append(std::to_string(
+              counter_or_zero("resource." + ctx + ".pages_read")));
+      out.append(",\"bytes_alloc\":")
+          .append(std::to_string(
+              counter_or_zero("resource." + ctx + ".bytes_alloc")));
+      out.append("}");
+    }
+  }
+  out.push_back('}');
+
   // Per-structure memory: every gauge pair mem.<name>.bytes /
   // mem.<name>.peak_bytes collapses into one JSON object.
   out.append(",\"memory\":{");
@@ -328,10 +381,8 @@ void TelemetryServer::HandleConnection(int fd) {
       if (end != nullptr) path.assign(sp + 1, end);
     }
   }
-  // Strip a query string: /metrics?foo=1 routes like /metrics.
-  const size_t q = path.find('?');
-  if (q != std::string::npos) path.resize(q);
-
+  // The query string is passed through: Handle routes on the path before
+  // '?' and /profilez reads its capture window from `seconds=N`.
   const Response resp = Handle(path);
   const char* reason = resp.status == 200   ? "OK"
                        : resp.status == 404 ? "Not Found"
@@ -363,7 +414,15 @@ void TelemetryServer::HandleConnection(int fd) {
 }
 
 TelemetryServer::Response TelemetryServer::Handle(
-    const std::string& path) const {
+    const std::string& full_path) const {
+  // Split the route from the query string: /metrics?foo=1 routes like
+  // /metrics; /profilez?seconds=N consumes its query below.
+  std::string path = full_path;
+  std::string query;
+  if (const size_t q = full_path.find('?'); q != std::string::npos) {
+    path.resize(q);
+    query = full_path.substr(q + 1);
+  }
   Response resp;
   if (path == "/metrics") {
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -387,6 +446,23 @@ TelemetryServer::Response TelemetryServer::Handle(
     resp.content_type = "application/json";
     resp.body = timeseries_->ToJson(options_.timeseries_interval_ms);
     resp.body.push_back('\n');
+  } else if (path == "/profilez") {
+    // Timed wall-profile capture: start the sampler, hold the connection
+    // for the window, stop, and render folded stacks. When the profiler
+    // is already running (ITG_PROFILE, or a concurrent scrape), the
+    // accumulation is shared: this scrape waits its window and renders
+    // without stopping the owner. Blocking the accept thread is fine —
+    // scrapes are rare and the window is clamped to 30 s.
+    WallProfiler& prof = WallProfiler::Global();
+    const uint64_t seconds = ProfileSeconds(query);
+    const bool owned = !prof.running();
+    if (owned && seconds > 0) {
+      prof.Reset();
+      prof.Start();
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    if (owned && seconds > 0) prof.Stop();
+    resp.body = prof.Render();
   } else if (path == "/") {
     resp.body =
         "itg telemetry\n"
@@ -394,7 +470,9 @@ TelemetryServer::Response TelemetryServer::Handle(
         "  /statusz      live engine state (JSON)\n"
         "  /healthz      stall watchdog health\n"
         "  /timeseriesz  periodic registry snapshots (when sampling "
-        "is enabled)\n";
+        "is enabled)\n"
+        "  /profilez     folded wall-profile stacks (?seconds=N capture "
+        "window)\n";
   } else {
     resp.status = 404;
     resp.body = "not found\n";

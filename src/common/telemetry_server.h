@@ -59,6 +59,12 @@ struct TelemetryOptions {
 ///                 while a superstep is past the watchdog deadline.
 ///   GET /timeseriesz  JSON ring of periodic registry snapshots (404
 ///                 unless TelemetryOptions::timeseries_interval_ms > 0).
+///   GET /profilez JSON-free folded wall-profile: runs the sampling
+///                 profiler (common/wall_profiler.h) for `?seconds=N`
+///                 (default 1, clamped to 30) and returns collapsed
+///                 stacks plus a '#'-commented top table. Piggybacks on
+///                 an already-running profiler (ITG_PROFILE) without
+///                 stopping it.
 ///
 /// Socket plumbing lives in SocketListener (shared with the serving
 /// layer); this class is routing + rendering. Connections are handled

@@ -1,29 +1,20 @@
 #include "common/thread_pool.h"
 
-#include <ctime>
 
 #include <algorithm>
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/resource_scope.h"
 #include "common/trace.h"
 
+// The busy meters use ThreadCpuNanos (common/resource_scope.h) rather
+// than wall clock so that, on a host with fewer cores than workers, time
+// a worker spends descheduled inside a task is not billed as work — the
+// per-batch max over workers then models the parallel section's wall
+// time with one core per worker.
+
 namespace itg {
-namespace {
-
-/// CPU time consumed by the calling thread. The busy meters use this
-/// rather than wall clock so that, on a host with fewer cores than
-/// workers, time a worker spends descheduled inside a task is not
-/// billed as work — the per-batch max over workers then models the
-/// parallel section's wall time with one core per worker.
-uint64_t ThreadCpuNanos() {
-  timespec ts;
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
-         static_cast<uint64_t>(ts.tv_nsec);
-}
-
-}  // namespace
 
 ThreadPool::ThreadPool(int num_threads, Metrics* metrics)
     : num_threads_(std::max(1, num_threads)), metrics_(metrics) {
@@ -42,7 +33,7 @@ ThreadPool::ThreadPool(int num_threads, Metrics* metrics)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<TimedMutex> lock(mu_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -61,14 +52,14 @@ int ThreadPool::DefaultThreads() {
 }
 
 uint64_t ThreadPool::total_busy_nanos() const {
-  uint64_t total = 0;
+  uint64_t total = caller_busy_nanos_;
   for (uint64_t n : busy_nanos_) total += n;
   return total;
 }
 
 bool ThreadPool::PopOwn(int w, size_t* task) {
   WorkerQueue& q = *queues_[static_cast<size_t>(w)];
-  std::lock_guard<std::mutex> lock(q.mu);
+  std::lock_guard<TimedMutex> lock(q.mu);
   if (q.tasks.empty()) return false;
   *task = q.tasks.front();
   q.tasks.pop_front();
@@ -81,7 +72,7 @@ bool ThreadPool::StealTask(int w, size_t* task) {
   for (int i = 1; i < num_threads_; ++i) {
     int victim = (w + i) % num_threads_;
     WorkerQueue& q = *queues_[static_cast<size_t>(victim)];
-    std::lock_guard<std::mutex> lock(q.mu);
+    std::lock_guard<TimedMutex> lock(q.mu);
     if (q.tasks.empty()) continue;
     *task = q.tasks.back();
     q.tasks.pop_back();
@@ -93,6 +84,11 @@ bool ThreadPool::StealTask(int w, size_t* task) {
 }
 
 void ThreadPool::RunTasks(int w) {
+  // Bill this worker's share of the batch to the scheduling query's
+  // context. On the caller (worker 0) the context is typically already
+  // current — re-entering is still correct (suspend/resume with disjoint
+  // intervals), and a null context costs nothing.
+  ResourceScope resources(batch_ctx_);
   uint64_t busy = 0;
   uint64_t longest = 0;
   while (true) {
@@ -117,14 +113,14 @@ void ThreadPool::WorkerLoop(int w) {
   uint64_t seen_epoch = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<TimedMutex> lock(mu_);
       wake_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
       if (stop_) return;
       seen_epoch = epoch_;
     }
     RunTasks(w);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<TimedMutex> lock(mu_);
       ++drained_;
       if (drained_ == num_threads_) done_cv_.notify_all();
     }
@@ -134,17 +130,21 @@ void ThreadPool::WorkerLoop(int w) {
 void ThreadPool::ParallelFor(size_t num_tasks, const TaskFn& fn) {
   if (num_tasks == 0) return;
   if (num_threads_ == 1 || num_tasks == 1) {
-    // Sequential fast path: no handoff, still metered.
+    // Sequential fast path: no handoff, still metered — into the caller
+    // lane, not worker 0's meter, so inline execution is attributed to
+    // the thread that actually ran it. The caller's own ResourceScope
+    // (if any) keeps accruing, so no attribution plumbing is needed here.
     const uint64_t cpu0 = ThreadCpuNanos();
     for (size_t i = 0; i < num_tasks; ++i) fn(i, 0);
     uint64_t nanos = ThreadCpuNanos() - cpu0;
-    busy_nanos_[0] += nanos;
+    caller_busy_nanos_ += nanos;
     critical_nanos_ += nanos;
-    if (metrics_ != nullptr) metrics_->AddThreadCpuNanos(0, nanos);
+    if (metrics_ != nullptr) metrics_->AddCallerCpuNanos(nanos);
     return;
   }
 
   fn_ = &fn;
+  batch_ctx_ = CurrentResourceContext();
   std::fill(batch_busy_.begin(), batch_busy_.end(), 0);
   std::fill(batch_longest_.begin(), batch_longest_.end(), 0);
   const uint64_t steals0 = steals_.load(std::memory_order_relaxed);
@@ -157,13 +157,13 @@ void ThreadPool::ParallelFor(size_t num_tasks, const TaskFn& fn) {
     size_t begin = std::min(num_tasks, static_cast<size_t>(w) * per);
     size_t end = std::min(num_tasks, begin + per);
     WorkerQueue& q = *queues_[static_cast<size_t>(w)];
-    std::lock_guard<std::mutex> lock(q.mu);
+    std::lock_guard<TimedMutex> lock(q.mu);
     ITG_CHECK(q.tasks.empty());
     for (size_t i = begin; i < end; ++i) q.tasks.push_back(i);
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<TimedMutex> lock(mu_);
     ++epoch_;
     drained_ = 0;
   }
@@ -175,7 +175,7 @@ void ThreadPool::ParallelFor(size_t num_tasks, const TaskFn& fn) {
   // barrier — not merely when all tasks finished — so no straggler can
   // observe the next batch's queues or task function.
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<TimedMutex> lock(mu_);
     ++drained_;
     done_cv_.wait(lock, [&] { return drained_ == num_threads_; });
   }
@@ -203,6 +203,7 @@ void ThreadPool::ParallelFor(size_t num_tasks, const TaskFn& fn) {
     if (stolen > 0) metrics_->AddSteals(stolen);
   }
   fn_ = nullptr;
+  batch_ctx_ = nullptr;
 }
 
 }  // namespace itg

@@ -12,8 +12,11 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/timed_mutex.h"
 
 namespace itg {
+
+class ResourceContext;
 
 /// A small work-stealing thread pool for data-parallel BSP supersteps
 /// (the paper's "evaluate non-conflicting walks in parallel", §6.2).
@@ -39,7 +42,15 @@ namespace itg {
 /// reports as thread scaling on single-core containers, where real
 /// wall-clock speedup is unobservable. When a Metrics sink is attached,
 /// per-worker busy nanos and steals are also pushed there after every
-/// batch.
+/// batch. The sequential fast path (pool of 1 / single task) is metered
+/// into a dedicated *caller lane* (`caller_busy_nanos()`,
+/// `Metrics::AddCallerCpuNanos`) rather than worker 0's meter, so inline
+/// execution cannot masquerade as worker-0 skew.
+///
+/// Attribution: ParallelFor captures the calling thread's current
+/// ResourceContext (common/resource_scope.h) and re-establishes it on
+/// every worker for the batch, so per-query CPU attribution survives the
+/// handoff into the pool.
 ///
 /// ParallelFor is not reentrant and must only be called from the thread
 /// that owns the pool (one in-flight batch at a time). Task functions
@@ -67,7 +78,12 @@ class ThreadPool {
   uint64_t steals() const { return steals_; }
   /// Cumulative busy (thread-CPU) nanos of worker `w` across batches.
   uint64_t busy_nanos(int w) const { return busy_nanos_[static_cast<size_t>(w)]; }
-  /// Cumulative busy nanos summed over all workers.
+  /// Busy nanos executed inline on the calling thread by the sequential
+  /// fast path (pool of 1, or a single task). Kept out of the per-worker
+  /// lanes: worker 0's meter reflects only its share of real parallel
+  /// batches, so busy-meter skew analysis is not polluted by inline runs.
+  uint64_t caller_busy_nanos() const { return caller_busy_nanos_; }
+  /// Cumulative busy nanos summed over all workers plus the caller lane.
   uint64_t total_busy_nanos() const;
   /// Sum over batches of the modeled per-batch makespan (Brent's bound
   /// `total/k + longest task`, capped at total): the wall time of the
@@ -81,7 +97,9 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
+    // Timed so deal/steal contention shows up as
+    // `contention.pool.queue.wait_us` in /metrics.
+    TimedMutex mu{"pool.queue"};
     std::deque<size_t> tasks;
   };
 
@@ -98,13 +116,21 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
+  // Epoch/barrier mutex; timed (`contention.pool.barrier.wait_us`), so
+  // the condition variables must be the _any flavor.
+  TimedMutex mu_{"pool.barrier"};
+  std::condition_variable_any wake_cv_;
+  std::condition_variable_any done_cv_;
   uint64_t epoch_ = 0;
   bool stop_ = false;
 
   const TaskFn* fn_ = nullptr;
+  // The caller's resource context at ParallelFor entry, re-established on
+  // every worker for the batch so worker CPU (and any page reads or
+  // allocations inside tasks) is charged to the scheduling query. Written
+  // by the caller before the epoch bump, read by workers after observing
+  // the new epoch.
+  ResourceContext* batch_ctx_ = nullptr;
   // Workers that have finished draining the current batch (guarded by
   // mu_); the batch barrier is drained_ == num_threads_, so no straggler
   // can ever observe the next batch's queues or task function.
@@ -118,6 +144,7 @@ class ThreadPool {
   std::vector<uint64_t> batch_longest_;
   // Cumulative counters, updated by the caller between batches.
   std::vector<uint64_t> busy_nanos_;
+  uint64_t caller_busy_nanos_ = 0;
   uint64_t critical_nanos_ = 0;
 };
 

@@ -1,0 +1,65 @@
+#ifndef ITG_COMMON_TIMED_MUTEX_H_
+#define ITG_COMMON_TIMED_MUTEX_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/metrics_registry.h"
+
+namespace itg {
+
+/// A drop-in std::mutex replacement that makes lock contention visible:
+/// every *contended* acquisition (the uncontended try_lock fast path wins
+/// → nothing is recorded) times the wall-clock wait and records it, in
+/// microseconds, into a `contention.<site>.wait_us` log-linear histogram.
+/// The histogram count is therefore "contended acquisitions" and the sum
+/// is total lock-wait time at that site — the cross-query interference
+/// signal the ROADMAP's MVCC multi-query work needs on day one.
+///
+/// BasicLockable, so it composes with std::lock_guard / std::unique_lock;
+/// mutexes paired with condition variables must use
+/// std::condition_variable_any (the wait-side relock then also counts as
+/// a contended acquisition when it has to queue, which is exactly the
+/// wakeup-herd signal one wants to see).
+///
+/// Instrumented sites:
+///   contention.pool.queue         per-worker deque mutexes (deal/steal)
+///   contention.pool.barrier       thread-pool epoch/barrier mutex
+///   contention.buffer_pool        shared page-cache mutex
+///   contention.serve.ingest_queue serving-layer bounded ingest queue
+class TimedMutex {
+ public:
+  /// `site` names the series; the histogram lives in `registry`
+  /// (`GlobalRegistry()` when null) and must outlive the mutex.
+  explicit TimedMutex(const std::string& site,
+                      MetricsRegistry* registry = nullptr)
+      : wait_us_((registry != nullptr ? *registry : GlobalRegistry())
+                     .histogram("contention." + site + ".wait_us")) {}
+
+  TimedMutex(const TimedMutex&) = delete;
+  TimedMutex& operator=(const TimedMutex&) = delete;
+
+  void lock() {
+    if (mu_.try_lock()) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    wait_us_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(waited)
+            .count()));
+  }
+
+  bool try_lock() { return mu_.try_lock(); }
+
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+  Histogram* wait_us_;
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_TIMED_MUTEX_H_

@@ -1,6 +1,7 @@
 #include "common/trace.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +18,7 @@ namespace internal_trace {
 
 std::atomic<bool> g_enabled{false};
 std::atomic<bool> g_flight{false};
+std::atomic<bool> g_stacks{false};
 
 namespace {
 
@@ -35,11 +37,21 @@ namespace {
 // intentionally (like GlobalMetrics) so events survive thread exit and the
 // writer can run at process exit. Each buffer carries its own mutex so a
 // snapshot/export can run while other threads keep recording.
+// Stored frames of the live span stack; deeper nesting is still counted
+// in live_depth (so pushes and pops balance) but not sampled.
+constexpr int kMaxLiveDepth = 64;
+
 struct ThreadBuffer {
   std::mutex mu;
   std::vector<TraceEvent> events;
   std::string thread_name;
   int tid = 0;
+  // Live span stack for the sampling wall-profiler. Single writer (the
+  // owning thread); the sampler acquires live_depth and then reads the
+  // published frames. Frames are static string literals, so a racing
+  // sample can at worst be one frame stale — never invalid.
+  std::array<std::atomic<const char*>, kMaxLiveDepth> live_stack{};
+  std::atomic<int> live_depth{0};
 };
 
 struct Registry {
@@ -144,6 +156,23 @@ EnvInit g_env_init;
 
 uint64_t NowNanos() { return RawNanos() - Epoch(); }
 
+void PushLiveSpan(const char* name) {
+  ThreadBuffer* buf = GetThreadBuffer();
+  const int d = buf->live_depth.load(std::memory_order_relaxed);
+  if (d < kMaxLiveDepth) {
+    buf->live_stack[static_cast<size_t>(d)].store(name,
+                                                  std::memory_order_relaxed);
+  }
+  // Publish the frame before the depth that exposes it.
+  buf->live_depth.store(d + 1, std::memory_order_release);
+}
+
+void PopLiveSpan() {
+  ThreadBuffer* buf = GetThreadBuffer();
+  const int d = buf->live_depth.load(std::memory_order_relaxed);
+  if (d > 0) buf->live_depth.store(d - 1, std::memory_order_release);
+}
+
 void Emit(const TraceEvent& event, bool force_buffer) {
   ThreadBuffer* buf = GetThreadBuffer();
   if (g_enabled.load(std::memory_order_relaxed) || force_buffer) {
@@ -179,6 +208,41 @@ void Tracer::Enable() {
 
 void Tracer::Disable() {
   internal_trace::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::SetStacksEnabled(bool on) {
+  internal_trace::g_stacks.store(on, std::memory_order_relaxed);
+}
+
+std::vector<std::string> Tracer::SampleLiveStacks() {
+  std::vector<std::string> out;
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (ThreadBuffer* buf : r.buffers) {
+    int depth = buf->live_depth.load(std::memory_order_acquire);
+    if (depth <= 0) continue;  // idle threads don't produce samples
+    depth = std::min(depth, internal_trace::kMaxLiveDepth);
+    std::string folded;
+    {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      folded = buf->thread_name.empty() ? "tid-" + std::to_string(buf->tid)
+                                        : buf->thread_name;
+    }
+    for (int i = 0; i < depth; ++i) {
+      const char* frame =
+          buf->live_stack[static_cast<size_t>(i)].load(
+              std::memory_order_relaxed);
+      if (frame == nullptr) break;  // racing first push; take what we have
+      folded.push_back(';');
+      folded.append(frame);
+    }
+    out.push_back(std::move(folded));
+  }
+  return out;
+}
+
+int Tracer::LiveStackDepth() {
+  return GetThreadBuffer()->live_depth.load(std::memory_order_relaxed);
 }
 
 void Tracer::Reset() {
@@ -337,15 +401,24 @@ const std::string& Tracer::env_path() {
   return *path;
 }
 
-void TraceSpan::Begin(const char* name, const char* cat, int64_t arg) {
-  name_ = name;
-  cat_ = cat;
-  arg_ = arg;
-  buffered_ = Tracer::enabled();
-  t0_ = internal_trace::NowNanos();
+void TraceSpan::Begin(const char* name, const char* cat, int64_t arg,
+                      bool record, bool push) {
+  if (push) {
+    internal_trace::PushLiveSpan(name);
+    pushed_ = true;
+  }
+  if (record) {
+    name_ = name;
+    cat_ = cat;
+    arg_ = arg;
+    buffered_ = Tracer::enabled();
+    t0_ = internal_trace::NowNanos();
+  }
 }
 
 void TraceSpan::End() {
+  if (pushed_) internal_trace::PopLiveSpan();
+  if (name_ == nullptr) return;  // live-stack-only span, nothing buffered
   // If tracing was disabled mid-span, still record it: the begin was
   // observed, and a dangling begin would corrupt nesting in the export.
   uint64_t t1 = internal_trace::NowNanos();

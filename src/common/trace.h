@@ -26,6 +26,11 @@ namespace itg {
 // startup and writes the JSON file at process exit. Tests and tools can
 // instead drive the Enable/Disable/WriteTo API directly.
 //
+// Independently of buffered recording, the same TraceSpan RAII points can
+// maintain a *live* per-thread span stack (`Tracer::SetStacksEnabled`)
+// that the sampling wall-profiler (`common/wall_profiler.h`) walks at
+// ~97 Hz to produce folded stacks without any per-event buffering.
+//
 // Span names and categories must be string literals (or otherwise outlive
 // the tracer); buffers store the pointers, not copies.
 
@@ -47,6 +52,17 @@ extern std::atomic<bool> g_enabled;
 // the same instrumentation points, but routed to the bounded ring instead
 // of (or in addition to) the per-thread buffers.
 extern std::atomic<bool> g_flight;
+// Set while the wall-clock sampling profiler is attached: TraceSpan then
+// also maintains a live per-thread span *stack* (fixed-depth array of
+// name pointers) that Tracer::SampleLiveStacks() can walk from the
+// sampler thread without stopping the workers.
+extern std::atomic<bool> g_stacks;
+
+// Push/pop the calling thread's live span stack. Single-writer (the
+// owning thread); frames beyond the fixed depth are counted but not
+// stored, so pushes and pops always balance.
+void PushLiveSpan(const char* name);
+void PopLiveSpan();
 
 uint64_t NowNanos();
 // `force_buffer` records into the per-thread buffers even when buffered
@@ -85,6 +101,27 @@ class Tracer {
     return internal_trace::g_enabled.load(std::memory_order_relaxed) ||
            internal_trace::g_flight.load(std::memory_order_relaxed);
   }
+
+  // True while the sampling wall-profiler is attached: spans then also
+  // push their name onto a live per-thread stack (two relaxed stores) so
+  // the sampler can observe where every thread is *right now*. Off by
+  // default; when off the TraceSpan constructor stays one relaxed load
+  // per gate and touches no memory.
+  static bool stacks_enabled() {
+    return internal_trace::g_stacks.load(std::memory_order_relaxed);
+  }
+  static void SetStacksEnabled(bool on);
+
+  // One folded stack per thread whose live stack is non-empty, formatted
+  // "thread;outer;...;inner" (Brendan Gregg collapsed-stack frames). The
+  // walk is cooperative and lock-light: a racing push/pop can tear a
+  // sample (one frame off), never crash — frames are static string
+  // literals and the depth is published with release/acquire ordering.
+  static std::vector<std::string> SampleLiveStacks();
+
+  // Depth of the calling thread's live span stack (test hook for the
+  // zero-overhead-when-disabled assertion).
+  static int LiveStackDepth();
 
   // Starts/stops recording. Disable keeps already-buffered events so they
   // can still be inspected or written.
@@ -131,17 +168,20 @@ class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* cat = "engine",
                      int64_t arg = Tracer::kNoArg) {
-    if (Tracer::recording()) Begin(name, cat, arg);
+    const bool record = Tracer::recording();
+    const bool push = Tracer::stacks_enabled();
+    if (record || push) Begin(name, cat, arg, record, push);
   }
   ~TraceSpan() {
-    if (name_ != nullptr) End();
+    if (name_ != nullptr || pushed_) End();
   }
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
-  void Begin(const char* name, const char* cat, int64_t arg);
+  void Begin(const char* name, const char* cat, int64_t arg, bool record,
+             bool push);
   void End();
 
   const char* name_ = nullptr;
@@ -149,6 +189,10 @@ class TraceSpan {
   int64_t arg_ = 0;
   uint64_t t0_ = 0;
   bool buffered_ = false;  // buffered tracing was on when the span began
+  // The span pushed onto the live stack, so it must pop — tracked
+  // separately from name_ so toggling the profiler mid-span can neither
+  // leak a frame nor pop one it never pushed.
+  bool pushed_ = false;
 };
 
 // Point-in-time marker (an "i" instant event).

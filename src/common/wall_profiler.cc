@@ -1,0 +1,195 @@
+#include "common/wall_profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace itg {
+
+WallProfiler& WallProfiler::Global() {
+  static WallProfiler* p = new WallProfiler();
+  return *p;
+}
+
+void WallProfiler::Start(uint64_t hz) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (running_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> ctl(ctl_mu_);
+    stop_ = false;
+  }
+  // Spans begun from here on push onto the live stacks; spans already
+  // in flight are invisible until their next instance — acceptable for a
+  // sampler, and the price of a truly zero-cost disabled path.
+  Tracer::SetStacksEnabled(true);
+  running_.store(true, std::memory_order_relaxed);
+  sampler_ = std::thread([this, hz] { SamplerLoop(hz); });
+}
+
+void WallProfiler::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!running_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> ctl(ctl_mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  sampler_.join();
+  Tracer::SetStacksEnabled(false);
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void WallProfiler::Reset() {
+  std::lock_guard<std::mutex> data(data_mu_);
+  folded_.clear();
+  samples_ = 0;
+  empty_samples_ = 0;
+}
+
+uint64_t WallProfiler::samples() const {
+  std::lock_guard<std::mutex> data(data_mu_);
+  return samples_;
+}
+
+uint64_t WallProfiler::empty_samples() const {
+  std::lock_guard<std::mutex> data(data_mu_);
+  return empty_samples_;
+}
+
+std::map<std::string, uint64_t> WallProfiler::Folded() const {
+  std::lock_guard<std::mutex> data(data_mu_);
+  return folded_;
+}
+
+void WallProfiler::SamplerLoop(uint64_t hz) {
+  Tracer::SetThreadName("itg-profiler");
+  const auto period =
+      std::chrono::nanoseconds(1000000000ull / std::max<uint64_t>(1, hz));
+  std::unique_lock<std::mutex> ctl(ctl_mu_);
+  while (true) {
+    if (cv_.wait_for(ctl, period, [&] { return stop_; })) return;
+    ctl.unlock();
+    std::vector<std::string> stacks = Tracer::SampleLiveStacks();
+    {
+      std::lock_guard<std::mutex> data(data_mu_);
+      ++samples_;
+      if (stacks.empty()) ++empty_samples_;
+      for (std::string& s : stacks) ++folded_[std::move(s)];
+    }
+    ctl.lock();
+  }
+}
+
+std::string WallProfiler::FoldedText() const {
+  std::string out;
+  std::lock_guard<std::mutex> data(data_mu_);
+  for (const auto& [stack, count] : folded_) {
+    out.append(stack);
+    out.push_back(' ');
+    out.append(std::to_string(count));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string WallProfiler::Render(size_t top_n) const {
+  std::map<std::string, uint64_t> folded;
+  uint64_t samples = 0;
+  uint64_t empty = 0;
+  {
+    std::lock_guard<std::mutex> data(data_mu_);
+    folded = folded_;
+    samples = samples_;
+    empty = empty_samples_;
+  }
+  uint64_t stack_samples = 0;
+  // Rank leaf frames (the innermost span of each folded stack): where
+  // threads were actually executing when sampled.
+  std::map<std::string, uint64_t> leaves;
+  for (const auto& [stack, count] : folded) {
+    stack_samples += count;
+    const size_t semi = stack.rfind(';');
+    leaves[semi == std::string::npos ? stack : stack.substr(semi + 1)] +=
+        count;
+  }
+  std::vector<std::pair<std::string, uint64_t>> top(leaves.begin(),
+                                                    leaves.end());
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (top.size() > top_n) top.resize(top_n);
+
+  std::string out;
+  out.append("# itg wall profile: ticks=" + std::to_string(samples) +
+             " stack_samples=" + std::to_string(stack_samples) +
+             " empty_ticks=" + std::to_string(empty) +
+             " stacks=" + std::to_string(folded.size()) + "\n");
+  out.append("# top spans (leaf frame, by samples):\n");
+  for (const auto& [leaf, count] : top) {
+    const double pct =
+        stack_samples == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(count) /
+                  static_cast<double>(stack_samples);
+    char line[256];
+    std::snprintf(line, sizeof(line), "# %6.2f%% %8llu  %s\n", pct,
+                  static_cast<unsigned long long>(count), leaf.c_str());
+    out.append(line);
+  }
+  for (const auto& [stack, count] : folded) {
+    out.append(stack);
+    out.push_back(' ');
+    out.append(std::to_string(count));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+const std::string& ProfileEnvPath() {
+  static const std::string* path = [] {
+    const char* env = std::getenv("ITG_PROFILE");
+    return new std::string(env == nullptr ? "" : env);
+  }();
+  return *path;
+}
+
+void FlushEnvProfileAtExit() {
+  WallProfiler& prof = WallProfiler::Global();
+  prof.Stop();
+  const std::string& path = ProfileEnvPath();
+  const std::string out = prof.Render();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  bool ok = f != nullptr;
+  if (ok) {
+    ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    ok = (std::fclose(f) == 0) && ok;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "[itg] failed to write ITG_PROFILE file %s\n",
+                 path.c_str());
+  }
+}
+
+// Starts the profiler at startup when ITG_PROFILE names an output path;
+// with the variable unset this entire translation unit stays inert.
+struct ProfileEnvInit {
+  ProfileEnvInit() {
+    if (!ProfileEnvPath().empty()) {
+      WallProfiler::Global().Start();
+      std::atexit(FlushEnvProfileAtExit);
+    }
+  }
+};
+ProfileEnvInit g_profile_env_init;
+
+}  // namespace
+
+}  // namespace itg

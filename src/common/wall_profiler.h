@@ -1,0 +1,95 @@
+#ifndef ITG_COMMON_WALL_PROFILER_H_
+#define ITG_COMMON_WALL_PROFILER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace itg {
+
+/// Cooperative sampling wall-clock profiler. While started, a sampler
+/// thread walks every thread's live trace-span stack (the RAII stacks in
+/// `common/trace.h`, enabled on demand via `Tracer::SetStacksEnabled`) at
+/// a fixed rate and accumulates folded-stack counts — the Brendan Gregg
+/// collapsed format: `thread;outer;...;inner <samples>` — answering
+/// "where is wall time going" without per-event buffering or symbolizers.
+///
+/// The default rate is 97 Hz (prime, so it cannot phase-lock with
+/// millisecond-periodic work and systematically over/under-sample one
+/// span). Threads whose stack is empty at a tick contribute no sample;
+/// `empty_samples()` counts ticks where *no* thread was inside a span.
+///
+/// Off by default. When stopped, the only residue in instrumented code is
+/// one relaxed atomic load per TraceSpan construction — asserted
+/// bit-identical work fingerprints in parallel_determinism_test.cc.
+///
+/// Exposure: the `/profilez?seconds=N` telemetry endpoint runs a timed
+/// capture and renders `Render()`; `ITG_PROFILE=<path>` starts the
+/// profiler at process start and writes the folded stacks to `path` at
+/// exit; `tools/profile_summary.py` parses/validates either output.
+class WallProfiler {
+ public:
+  static constexpr uint64_t kDefaultHz = 97;
+
+  /// The process-wide profiler (leaked, like GlobalMetrics, so the
+  /// ITG_PROFILE atexit flush can always reach it).
+  static WallProfiler& Global();
+
+  /// Starts the sampler thread and enables the live span stacks. No-op if
+  /// already running. Accumulates into the existing folded counts; call
+  /// Reset() first for a fresh capture window.
+  void Start(uint64_t hz = kDefaultHz);
+
+  /// Stops and joins the sampler and disables the live stacks. No-op if
+  /// not running. Folded counts are kept for inspection.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// Drops all folded counts and sample tallies.
+  void Reset();
+
+  /// Sampler ticks taken so far (across Start/Stop cycles since Reset).
+  uint64_t samples() const;
+  /// Ticks at which no thread was inside any span.
+  uint64_t empty_samples() const;
+
+  /// Snapshot of the folded-stack counts.
+  std::map<std::string, uint64_t> Folded() const;
+
+  /// Pure collapsed-stack lines, `stack count\n`, suitable for
+  /// flamegraph.pl / speedscope.
+  std::string FoldedText() const;
+
+  /// Human-oriented report: '#'-prefixed header and top-table (leaf spans
+  /// ranked by samples) followed by the folded lines — so stripping
+  /// '#'-comments recovers the pure collapsed format.
+  std::string Render(size_t top_n = 10) const;
+
+ private:
+  WallProfiler() = default;
+
+  void SamplerLoop(uint64_t hz);
+
+  // Folded data (guarded by data_mu_; the sampler writes, readers snap).
+  mutable std::mutex data_mu_;
+  std::map<std::string, uint64_t> folded_;
+  uint64_t samples_ = 0;
+  uint64_t empty_samples_ = 0;
+
+  // Start/Stop lifecycle (serialized by lifecycle_mu_).
+  std::mutex lifecycle_mu_;
+  std::mutex ctl_mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread sampler_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace itg
+
+#endif  // ITG_COMMON_WALL_PROFILER_H_

@@ -19,17 +19,8 @@ namespace itg {
 
 namespace {
 
-/// CPU time of the calling thread (the superstep timeline's cpu column).
-uint64_t ThreadCpuNanos() {
-#if defined(CLOCK_THREAD_CPUTIME_ID)
-  timespec ts;
-  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
-    return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
-           static_cast<uint64_t>(ts.tv_nsec);
-  }
-#endif
-  return 0;
-}
+// The superstep timeline's cpu column uses the shared ThreadCpuNanos()
+// from common/resource_scope.h (via engine.h -> memory_budget.h).
 
 /// Marks a run live on GlobalLiveStatus for the enclosing scope; EndRun
 /// fires on every exit path, error returns included. A non-empty

@@ -69,7 +69,7 @@ void RunReport::AddResult(const std::string& name, double value) {
 std::string RunReport::ToJson() const {
   std::string out;
   out.reserve(4096);
-  out.append("{\"schema_version\":7,\"binary\":");
+  out.append("{\"schema_version\":8,\"binary\":");
   AppendJsonString(&out, binary_);
   out.append(",\"runs\":[");
   bool first = true;
@@ -233,6 +233,43 @@ std::string RunReport::ToJson() const {
                                           : value),
                 /*trailing_comma=*/false);
     out.push_back('}');
+  }
+  out.push_back('}');
+
+  // Schema v8: per-context resource attribution, collapsed from the
+  // resource.<ctx>.{cpu_nanos,pages_read,bytes_alloc} counter triples
+  // (common/resource_scope.h). Always present; empty when no
+  // ResourceContext was ever created.
+  out.append(",\"resources\":{");
+  {
+    const std::string prefix = "resource.";
+    const std::string cpu_suffix = ".cpu_nanos";
+    auto counter_or_zero = [&snap](const std::string& name) -> uint64_t {
+      const auto it = snap.counters.find(name);
+      return it != snap.counters.end() ? it->second : 0;
+    };
+    bool first_ctx = true;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      if (name.size() <= prefix.size() + cpu_suffix.size() ||
+          name.compare(name.size() - cpu_suffix.size(), cpu_suffix.size(),
+                       cpu_suffix) != 0) {
+        continue;
+      }
+      const std::string ctx = name.substr(
+          prefix.size(), name.size() - prefix.size() - cpu_suffix.size());
+      if (!first_ctx) out.push_back(',');
+      first_ctx = false;
+      AppendJsonString(&out, ctx);
+      out.append(":{");
+      AppendField(&out, "cpu_nanos", value);
+      AppendField(&out, "pages_read",
+                  counter_or_zero(prefix + ctx + ".pages_read"));
+      AppendField(&out, "bytes_alloc",
+                  counter_or_zero(prefix + ctx + ".bytes_alloc"),
+                  /*trailing_comma=*/false);
+      out.push_back('}');
+    }
   }
   out.push_back('}');
 

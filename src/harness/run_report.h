@@ -145,7 +145,7 @@ struct LoadSection {
 /// Machine-readable run report (the `--metrics-json=<path>` output of the
 /// bench and harness binaries).
 ///
-/// Schema (version 7, validated by tools/trace_summary.py and diffed by
+/// Schema (version 8, validated by tools/trace_summary.py and diffed by
 /// tools/report_diff.py; readers accept REPORT_SCHEMA_MIN..MAX):
 /// ```json
 /// {
@@ -180,6 +180,10 @@ struct LoadSection {
 ///                              "buckets": [[lower, count], ...]}}},
 ///   "buffer_pool": {"hits": 0, "misses": 0, "hit_rate": 0.0},
 ///   "memory": {"<struct>": {"bytes": 0, "peak_bytes": 0}, ...},  // v3
+///   "resources": {            // v8, always present (may be empty):
+///     "<ctx>": {"cpu_nanos": 0, "pages_read": 0, "bytes_alloc": 0},
+///     ...},                   // per-ResourceContext attribution totals,
+///                             // collapsed from resource.<ctx>.* counters
 ///   "audit": {                 // v4, present when SetAudit was called
 ///     "enabled": true, "every": 3, "tolerance": 1e-6,
 ///     "audits": 2, "digest_mismatches": 0, "last_verified": 3,

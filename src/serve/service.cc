@@ -63,6 +63,11 @@ StatusOr<std::unique_ptr<Service>> Service::Create(
   service->stage_queue_wait_ =
       reg->histogram("serve.stage_latency_us.queue_wait");
   service->stage_apply_ = reg->histogram("serve.stage_latency_us.apply");
+  // Built here (not at member init) because the contention histogram
+  // lives in the service's registry, resolved just above. Must precede
+  // the maintenance-thread spawn below.
+  service->queue_mu_ =
+      std::make_unique<TimedMutex>("serve.ingest_queue", reg);
   // Trace-id layout: a 31-bit per-process salt in bits 32..62, the batch
   // seq in the low 32 bits. Ids are therefore nonzero, unique per service
   // for 2^32 batches, visibly distinct from raw seqs, and fit in a
@@ -137,6 +142,7 @@ Response Service::Register(const Request& req, Response* snapshot_out) {
   sq.scratch_path = options_.scratch_dir + "/view_" + req.query;
   sq.num_threads = options_.num_threads;
   sq.verify_on_register = options_.verify_on_register;
+  sq.registry = registry_;
 
   auto query_or = StandingQuery::Create(primary_.get(), sq);
   if (!query_or.ok()) {
@@ -275,7 +281,7 @@ Response Service::Ingest(const Request& req) {
 
   size_t depth;
   {
-    std::unique_lock<std::mutex> ql(queue_mu_);
+    std::unique_lock<TimedMutex> ql(*queue_mu_);
     // Backpressure: block while the bounded queue is full. Tickets
     // (seq order) keep concurrently blocked producers from reordering
     // batches relative to the validation order above.
@@ -328,7 +334,7 @@ void Service::FillStatusLocked(Response* out) {
     out->queries.push_back(std::move(row));
   }
   {
-    std::lock_guard<std::mutex> ql(queue_mu_);
+    std::lock_guard<TimedMutex> ql(*queue_mu_);
     out->queue_depth = queue_.size() + (applying_ ? 1 : 0);
   }
   out->backpressure_stalls = backpressure_stalls_->value();
@@ -375,11 +381,15 @@ std::string Service::PipelineStatuszJson() {
     const auto& pl = query->pipeline();
     if (!first) out.push_back(',');
     first = false;
+    const ResourceContext* rc = query->resource_context();
     AppendJsonString(name, &out);
     out += ":{\"lag_batches\":" + std::to_string(pl.lag_batches_now) +
            ",\"lag_us\":" + std::to_string(pl.lag_us_now) +
            ",\"view_run\":" + hist_json(pl.view_run) +
-           ",\"stream_flush\":" + hist_json(pl.stream_flush) + "}";
+           ",\"stream_flush\":" + hist_json(pl.stream_flush) +
+           ",\"cpu_nanos\":" + std::to_string(rc->cpu_nanos()) +
+           ",\"pages_read\":" + std::to_string(rc->pages_read()) +
+           ",\"bytes_alloc\":" + std::to_string(rc->bytes_alloc()) + "}";
   }
   out += "}}";
   return out;
@@ -393,7 +403,7 @@ void Service::MaintenanceLoop() {
   for (;;) {
     PendingBatch batch;
     {
-      std::unique_lock<std::mutex> ql(queue_mu_);
+      std::unique_lock<TimedMutex> ql(*queue_mu_);
       queue_cv_.wait(ql, [&] {
         return stop_thread_ || (!queue_.empty() && !paused_);
       });
@@ -416,7 +426,7 @@ void Service::MaintenanceLoop() {
     }
     ApplyOneBatch(std::move(batch));
     {
-      std::lock_guard<std::mutex> ql(queue_mu_);
+      std::lock_guard<TimedMutex> ql(*queue_mu_);
       applying_ = false;
       queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     }
@@ -574,7 +584,7 @@ void Service::Drain() {
     }
   }
   {
-    std::unique_lock<std::mutex> ql(queue_mu_);
+    std::unique_lock<TimedMutex> ql(*queue_mu_);
     paused_ = false;
     // Wait for every issued ticket to be enqueued and every queued
     // batch to clear the in-flight window.
@@ -670,7 +680,7 @@ void Service::UpdateViewLagLocked(StandingQuery* query) {
 
 void Service::SetMaintenancePaused(bool paused) {
   {
-    std::lock_guard<std::mutex> ql(queue_mu_);
+    std::lock_guard<TimedMutex> ql(*queue_mu_);
     paused_ = paused;
   }
   queue_cv_.notify_all();

@@ -41,6 +41,7 @@
 
 #include "common/metrics_registry.h"
 #include "common/status.h"
+#include "common/timed_mutex.h"
 #include "common/types.h"
 #include "serve/protocol.h"
 #include "serve/standing_query.h"
@@ -199,9 +200,14 @@ class Service {
   std::unordered_set<Edge, EdgeHash> present_;
   bool draining_ = false;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;       // consumer wakeups
-  std::condition_variable space_cv_;       // producer wakeups (backpressure)
+  /// Guards the ingest queue. Timed (contention.serve.ingest_queue.*):
+  /// producers racing the maintenance thread for the queue — including
+  /// the condition-variable relock after a backpressure wakeup herd —
+  /// surface as wait_us samples. A pointer because the histogram lives
+  /// in registry_, which Create() resolves after construction.
+  std::unique_ptr<TimedMutex> queue_mu_;
+  std::condition_variable_any queue_cv_;   // consumer wakeups
+  std::condition_variable_any space_cv_;   // producer wakeups (backpressure)
   std::deque<PendingBatch> queue_;
   bool applying_ = false;  // a batch is between dequeue and fan-out
   bool paused_ = false;

@@ -16,6 +16,13 @@ StatusOr<std::unique_ptr<StandingQuery>> StandingQuery::Create(
   auto query = std::unique_ptr<StandingQuery>(new StandingQuery());
   query->options_ = options;
   query->budget_ = std::make_unique<MemoryBudget>(options.budget_bytes);
+  query->resource_ctx_ = std::make_unique<ResourceContext>(
+      "view." + options.name, options.registry);
+  // Everything below — compile, replication, the one-shot run, the
+  // registration audit — executes as this view, so its construction cost
+  // lands on resource.view.<name>.* (ParallelFor re-establishes the
+  // context on pool workers).
+  ResourceScope attribution(query->resource_ctx_.get());
 
   ITG_ASSIGN_OR_RETURN(query->program_, CompileProgram(options.source));
 
@@ -107,6 +114,10 @@ void StandingQuery::MirrorState() {
 
 Status StandingQuery::ApplyBatch(const std::vector<EdgeDelta>& batch,
                                  Response* out) {
+  // Maintenance runs as this view: incremental supersteps, ΔQ
+  // extraction, and any buffer-pool misses they trigger bill to
+  // resource.view.<name>.*.
+  ResourceScope attribution(resource_ctx_.get());
   std::vector<EdgeDelta> view_batch;
   const std::vector<EdgeDelta>* apply = &batch;
   if (options_.symmetric) {
@@ -201,13 +212,19 @@ void StandingQuery::FillRow(QueryRow* row) const {
 
 std::vector<std::string> StandingQuery::MetricSeriesNames() const {
   const std::string& n = options_.name;
-  return {
+  std::vector<std::string> names = {
       "serve.delta_latency_us." + n,
       "serve.stage_latency_us.view_run." + n,
       "serve.stage_latency_us.stream_flush." + n,
       "serve.view_lag_batches." + n,
       "serve.view_lag_us." + n,
   };
+  // The resource.view.<name>.* attribution counters retire with the
+  // view too (they are per-principal, and the principal is gone).
+  for (std::string& s : ResourceContext::SeriesNamesFor("view." + n)) {
+    names.push_back(std::move(s));
+  }
+  return names;
 }
 
 }  // namespace serve

@@ -31,6 +31,7 @@
 
 #include "common/memory_budget.h"
 #include "common/metrics_registry.h"
+#include "common/resource_scope.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "compiler/compiled_program.h"
@@ -62,6 +63,11 @@ struct StandingQueryOptions {
   /// After the registration one-shot, audit the view against a shadow
   /// replay (DriftAuditor::AuditNow) before admitting it.
   bool verify_on_register = true;
+  /// Registry for the view's `resource.view.<name>.*` attribution
+  /// counters (common/resource_scope.h); null = GlobalRegistry(). The
+  /// service passes its own registry so tests with private registries
+  /// see — and can retire — the per-view series.
+  MetricsRegistry* registry = nullptr;
 };
 
 /// A registered query: compiled program + store replica + resumable
@@ -126,9 +132,18 @@ class StandingQuery {
   PipelineStats& pipeline() { return pipeline_; }
   const PipelineStats& pipeline() const { return pipeline_; }
 
-  /// Names of the per-view registry series backing `pipeline()`; the
-  /// Service removes exactly these on deregister (metric retirement).
+  /// Names of the per-view registry series backing `pipeline()` and the
+  /// resource context; the Service removes exactly these on deregister
+  /// (metric retirement).
   std::vector<std::string> MetricSeriesNames() const;
+
+  /// The view's attribution principal: CPU / page reads / allocation
+  /// bytes spent maintaining this view are charged to
+  /// `resource.view.<name>.*` (scoped inside Create and ApplyBatch).
+  ResourceContext* resource_context() { return resource_ctx_.get(); }
+  const ResourceContext* resource_context() const {
+    return resource_ctx_.get();
+  }
 
  private:
   StandingQuery() = default;
@@ -142,6 +157,7 @@ class StandingQuery {
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<MemoryBudget> budget_;  // atomics make it unmovable
   uint64_t charged_bytes_ = 0;
+  std::unique_ptr<ResourceContext> resource_ctx_;
 
   std::vector<int> audited_;               // engine attribute ids
   std::vector<std::vector<double>> prev_;  // audited columns, last snapshot

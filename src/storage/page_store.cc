@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/resource_scope.h"
 
 namespace itg {
 
@@ -67,7 +68,7 @@ StatusOr<std::shared_ptr<const BufferPool::Page>> BufferPool::GetPage(
   // which also prevents two workers from double-reading the same page.
   // The underlying FILE* is a single cursor, so reads are serialized at
   // the store regardless.
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   auto it = cache_.find(id);
   if (it != cache_.end()) {
     ++hits_;
@@ -79,6 +80,10 @@ StatusOr<std::shared_ptr<const BufferPool::Page>> BufferPool::GetPage(
   }
   ++misses_;
   if (misses_counter_ != nullptr) misses_counter_->Increment();
+  // Attribute the miss (one kPageSize disk read) to whichever resource
+  // context scheduled this work — under multi-view serving, the view
+  // whose working set blew the cache is the one billed for the IO.
+  ChargeCurrentPagesRead(1);
   auto page = std::make_shared<Page>(kPageSize);
   ITG_RETURN_IF_ERROR(store_->ReadPage(id, page->data()));
   while (cache_.size() >= capacity_ && !lru_.empty()) {
@@ -94,7 +99,7 @@ StatusOr<std::shared_ptr<const BufferPool::Page>> BufferPool::GetPage(
 }
 
 void BufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   mem_gauge_.Add(-static_cast<int64_t>(cache_.size() * kPageSize));
   cache_.clear();
   lru_.clear();

@@ -13,6 +13,7 @@
 #include "common/memory_budget.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/timed_mutex.h"
 
 namespace itg {
 
@@ -108,11 +109,11 @@ class BufferPool {
 
   size_t capacity_pages() const { return capacity_; }
   uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<TimedMutex> lock(mu_);
     return hits_;
   }
   uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<TimedMutex> lock(mu_);
     return misses_;
   }
 
@@ -124,7 +125,10 @@ class BufferPool {
 
   PageStore* store_;
   size_t capacity_;
-  mutable std::mutex mu_;  // guards cache_, lru_, hits_, misses_
+  // Guards cache_, lru_, hits_, misses_. Timed: misses hold it across
+  // the disk read, so pool workers queueing behind a cold window show up
+  // as `contention.buffer_pool.wait_us`.
+  mutable TimedMutex mu_{"buffer_pool"};
   std::unordered_map<PageId, Entry> cache_;
   std::list<PageId> lru_;  // front = most recent
   uint64_t hits_ = 0;    // per-pool tallies (tests assert exact counts);

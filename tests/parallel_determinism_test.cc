@@ -17,6 +17,7 @@
 
 #include "algos/programs.h"
 #include "common/trace.h"
+#include "common/wall_profiler.h"
 #include "compiler/compiled_program.h"
 #include "engine/engine.h"
 #include "gen/rmat.h"
@@ -223,6 +224,29 @@ TEST(ParallelDeterminismTest, TracingDoesNotChangeResults) {
     Tracer::Reset();
     EXPECT_TRUE(traced == untraced)
         << "tracing changed results at threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, ProfilerDoesNotChangeResults) {
+  // The sampling wall-profiler must also be pure observation: with the
+  // sampler attached, TraceSpan additionally maintains the live span
+  // stacks, but the engine's work fingerprint (every attribute bit,
+  // every deterministic profile column) must match a sampler-free run —
+  // in both the sequential and the parallel executor.
+  for (int threads : {1, 4}) {
+    Fingerprint unprofiled =
+        RunPipeline(PageRankProgram(), false, 0.75, 10, threads,
+                    "unprofiled_t" + std::to_string(threads));
+    WallProfiler& prof = WallProfiler::Global();
+    prof.Reset();
+    prof.Start();
+    Fingerprint profiled =
+        RunPipeline(PageRankProgram(), false, 0.75, 10, threads,
+                    "profiled_t" + std::to_string(threads));
+    prof.Stop();
+    EXPECT_GT(prof.samples(), 0u) << "sampler never ticked";
+    EXPECT_TRUE(profiled == unprofiled)
+        << "profiling changed results at threads=" << threads;
   }
 }
 

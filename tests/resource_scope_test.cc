@@ -1,0 +1,234 @@
+// Per-context resource attribution (common/resource_scope.h): RAII
+// scopes charge thread-CPU, buffer-pool page reads and budget-charged
+// bytes to the current ResourceContext; scopes nest with suspend
+// semantics (exclusive self time); ThreadPool::ParallelFor propagates
+// the caller's context onto every worker, so two contexts scheduling
+// parallel batches split the pool's busy nanos between them.
+#include "common/resource_scope.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "common/metrics.h"
+#include "common/metrics_registry.h"
+#include "common/thread_pool.h"
+#include "storage/page_store.h"
+
+namespace itg {
+namespace {
+
+// Burns roughly `target_nanos` of thread CPU (not wall time, so a
+// descheduled test process does not overshoot the attribution math).
+void SpinCpu(uint64_t target_nanos) {
+  const uint64_t start = ThreadCpuNanos();
+  volatile uint64_t sink = 0;
+  while (ThreadCpuNanos() - start < target_nanos) {
+    uint64_t acc = sink;
+    for (int i = 0; i < 1000; ++i) acc += static_cast<uint64_t>(i);
+    sink = acc;
+  }
+}
+
+TEST(ResourceScopeTest, ChargesCpuToCurrentContext) {
+  MetricsRegistry reg;
+  ResourceContext ctx("q1", &reg);
+  constexpr uint64_t kSpin = 2'000'000;  // 2 ms
+  {
+    ResourceScope scope(&ctx);
+    SpinCpu(kSpin);
+  }
+  EXPECT_GE(ctx.cpu_nanos(), kSpin);
+  // The charge lands in the registry series, not just the accessors.
+  const auto snap = reg.Snap();
+  const auto it = snap.counters.find("resource.q1.cpu_nanos");
+  ASSERT_NE(it, snap.counters.end());
+  EXPECT_EQ(it->second, ctx.cpu_nanos());
+  EXPECT_EQ(ctx.pages_read(), 0u);
+  EXPECT_EQ(ctx.bytes_alloc(), 0u);
+}
+
+TEST(ResourceScopeTest, NoContextMeansNoCharging) {
+  MetricsRegistry reg;
+  ResourceContext ctx("idle", &reg);
+  EXPECT_EQ(CurrentResourceContext(), nullptr);
+  // Charging helpers are no-ops when unattributed.
+  ChargeCurrentPagesRead(5);
+  ChargeCurrentBytesAlloc(4096);
+  SpinCpu(200'000);
+  EXPECT_EQ(ctx.cpu_nanos(), 0u);
+  EXPECT_EQ(ctx.pages_read(), 0u);
+  EXPECT_EQ(ctx.bytes_alloc(), 0u);
+}
+
+TEST(ResourceScopeTest, NestedScopesChargeExclusiveSelfTime) {
+  MetricsRegistry reg;
+  ResourceContext outer("outer", &reg);
+  ResourceContext inner("inner", &reg);
+  constexpr uint64_t kSpin = 1'500'000;
+  {
+    ResourceScope outer_scope(&outer);
+    SpinCpu(kSpin);
+    uint64_t outer_at_suspend;
+    {
+      ResourceScope inner_scope(&inner);
+      // Entering the inner scope charged the outer context up to the
+      // suspend point; nothing the inner scope burns may leak into it.
+      outer_at_suspend = outer.cpu_nanos();
+      EXPECT_GE(outer_at_suspend, kSpin);
+      SpinCpu(kSpin);
+    }
+    EXPECT_EQ(outer.cpu_nanos(), outer_at_suspend)
+        << "inner scope's CPU was billed to the suspended outer context";
+    EXPECT_GE(inner.cpu_nanos(), kSpin);
+  }
+  // After the inner scope exits the outer context resumes with a fresh
+  // baseline and keeps accruing.
+  EXPECT_GE(outer.cpu_nanos(), kSpin);
+  // Every nanosecond went to exactly one context: the two exclusive
+  // totals cannot exceed the thread's combined spin plus scope overhead.
+  EXPECT_LT(outer.cpu_nanos() + inner.cpu_nanos(), 10 * kSpin);
+}
+
+TEST(ResourceScopeTest, NullScopeSuspendsAttribution) {
+  MetricsRegistry reg;
+  ResourceContext ctx("bg", &reg);
+  constexpr uint64_t kSpin = 1'000'000;
+  ResourceScope scope(&ctx);
+  SpinCpu(kSpin);
+  uint64_t at_suspend;
+  {
+    ResourceScope suspend(nullptr);
+    EXPECT_EQ(CurrentResourceContext(), nullptr);
+    at_suspend = ctx.cpu_nanos();
+    SpinCpu(kSpin);
+    ChargeCurrentBytesAlloc(1024);  // unattributed: dropped
+  }
+  EXPECT_EQ(CurrentResourceContext(), &ctx);
+  EXPECT_EQ(ctx.cpu_nanos(), at_suspend);
+  EXPECT_EQ(ctx.bytes_alloc(), 0u);
+}
+
+TEST(ResourceScopeTest, ParallelForSplitsPoolCpuBetweenContexts) {
+  // Two "queries" each schedule a CPU-heavy parallel batch. The pool
+  // re-establishes the scheduling context on every worker, so the two
+  // attribution totals must cover the pool's busy meters — within 5%,
+  // the slack being scope boundaries and pop/steal overhead that the
+  // context sees but the per-task busy meters do not.
+  MetricsRegistry reg;
+  ResourceContext ctx_a("query_a", &reg);
+  ResourceContext ctx_b("query_b", &reg);
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 64;
+  constexpr uint64_t kTaskSpin = 1'000'000;  // 64 ms of work per batch
+  {
+    ResourceScope scope(&ctx_a);
+    pool.ParallelFor(kTasks, [&](size_t, int) { SpinCpu(kTaskSpin); });
+  }
+  {
+    ResourceScope scope(&ctx_b);
+    pool.ParallelFor(kTasks, [&](size_t, int) { SpinCpu(kTaskSpin); });
+    pool.ParallelFor(kTasks, [&](size_t, int) { SpinCpu(kTaskSpin); });
+  }
+  EXPECT_GE(ctx_a.cpu_nanos(), kTasks * kTaskSpin);
+  EXPECT_GE(ctx_b.cpu_nanos(), 2 * kTasks * kTaskSpin);
+  const uint64_t attributed = ctx_a.cpu_nanos() + ctx_b.cpu_nanos();
+  const uint64_t busy = pool.total_busy_nanos();
+  EXPECT_GE(attributed, busy) << "worker CPU escaped attribution";
+  EXPECT_LE(attributed, busy + busy / 20)
+      << "attribution overhead exceeds 5% of pool busy nanos";
+  // And B's second batch kept the ratio: B carries about twice A.
+  EXPECT_GT(ctx_b.cpu_nanos(), ctx_a.cpu_nanos());
+}
+
+TEST(ResourceScopeTest, SequentialFastPathKeepsCallerAttribution) {
+  // A pool of 1 runs inline; the caller's scope simply keeps accruing —
+  // the batch is still fully attributed even though no worker handoff
+  // (and no batch_ctx_ capture) happens.
+  MetricsRegistry reg;
+  ResourceContext ctx("inline", &reg);
+  ThreadPool pool(1);
+  constexpr uint64_t kTaskSpin = 500'000;
+  {
+    ResourceScope scope(&ctx);
+    pool.ParallelFor(8, [&](size_t, int) { SpinCpu(kTaskSpin); });
+  }
+  EXPECT_GE(ctx.cpu_nanos(), 8 * kTaskSpin);
+  EXPECT_GE(ctx.cpu_nanos(), pool.caller_busy_nanos());
+}
+
+TEST(ResourceScopeTest, BufferPoolMissChargesPagesRead) {
+  Metrics metrics;
+  auto store_or = PageStore::Open(
+      ::testing::TempDir() + "/resource_scope_pages", &metrics);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+  std::vector<uint8_t> bytes(kPageSize, 0xab);
+  auto p0 = store->AppendPage(bytes.data(), bytes.size());
+  auto p1 = store->AppendPage(bytes.data(), bytes.size());
+  ASSERT_TRUE(p0.ok() && p1.ok());
+
+  BufferPool pool(store.get(), /*capacity_pages=*/4);
+  MetricsRegistry reg;
+  ResourceContext ctx("reader", &reg);
+  {
+    ResourceScope scope(&ctx);
+    ASSERT_TRUE(pool.GetPage(p0.value()).ok());  // miss -> charged
+    ASSERT_TRUE(pool.GetPage(p1.value()).ok());  // miss -> charged
+    ASSERT_TRUE(pool.GetPage(p0.value()).ok());  // hit -> free
+  }
+  EXPECT_EQ(ctx.pages_read(), 2u);
+  // A miss outside any scope is not charged anywhere.
+  pool.Clear();
+  ASSERT_TRUE(pool.GetPage(p0.value()).ok());
+  EXPECT_EQ(ctx.pages_read(), 2u);
+}
+
+TEST(ResourceScopeTest, MemoryBudgetChargeAttributesBytes) {
+  MemoryBudget budget;  // unlimited
+  MetricsRegistry reg;
+  ResourceContext ctx("allocator", &reg);
+  {
+    ResourceScope scope(&ctx);
+    EXPECT_TRUE(budget.Charge(1000).ok());
+    EXPECT_TRUE(budget.Charge(24).ok());
+    // bytes_alloc is cumulative "who allocated": releases do not
+    // subtract (the budget's own used/peak track the net level).
+    budget.Release(1000);
+    EXPECT_TRUE(budget.Charge(76).ok());
+  }
+  EXPECT_EQ(ctx.bytes_alloc(), 1100u);
+  EXPECT_EQ(budget.used_bytes(), 100u);
+}
+
+TEST(ResourceScopeTest, SeriesNamesMatchRegistryAndRetire) {
+  MetricsRegistry reg;
+  auto names = ResourceContext::SeriesNamesFor("view.q1");
+  ASSERT_EQ(names.size(), 3u);
+  {
+    ResourceContext ctx("view.q1", &reg);
+    ResourceScope scope(&ctx);
+    ChargeCurrentPagesRead(1);
+    EXPECT_EQ(ctx.SeriesNames(), names);
+    const auto snap = reg.Snap();
+    for (const std::string& name : names) {
+      EXPECT_TRUE(snap.counters.count(name)) << name;
+    }
+  }
+  // Retirement (after the context is gone — removal dangles its cached
+  // handles): every series the context fed must be removable, leaving
+  // no orphan behind.
+  for (const std::string& name : names) {
+    EXPECT_TRUE(reg.RemoveCounter(name)) << name;
+  }
+  const auto snap = reg.Snap();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(name.rfind("resource.", 0), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace itg

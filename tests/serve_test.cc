@@ -676,6 +676,13 @@ TEST_F(ServeServiceTest, DeregisterRetiresMetricSeries) {
   EXPECT_EQ(before.histograms.count("serve.delta_latency_us.q1"), 1u);
   EXPECT_EQ(before.histograms.count("serve.stage_latency_us.view_run.q1"), 1u);
   EXPECT_EQ(before.gauges.count("serve.view_lag_batches.q1"), 1u);
+  // The view's resource-attribution triple exists and has been billed
+  // real work (registration compiled the program; the batch applied).
+  EXPECT_EQ(before.counters.count("resource.view.q1.pages_read"), 1u);
+  EXPECT_EQ(before.counters.count("resource.view.q1.bytes_alloc"), 1u);
+  const auto cpu_it = before.counters.find("resource.view.q1.cpu_nanos");
+  ASSERT_NE(cpu_it, before.counters.end());
+  EXPECT_GT(cpu_it->second, 0u);
 
   Request dereg;
   dereg.op = RequestOp::kDeregister;
@@ -691,6 +698,17 @@ TEST_F(ServeServiceTest, DeregisterRetiresMetricSeries) {
             0u);
   EXPECT_EQ(after.gauges.count("serve.view_lag_batches.q1"), 0u);
   EXPECT_EQ(after.gauges.count("serve.view_lag_us.q1"), 0u);
+  // ...including the resource.view.q1.* attribution counters, and in
+  // fact any series naming the view: no orphans of any metric kind.
+  for (const auto& [name, value] : after.counters) {
+    EXPECT_EQ(name.find("q1"), std::string::npos) << name;
+  }
+  for (const auto& [name, value] : after.gauges) {
+    EXPECT_EQ(name.find("q1"), std::string::npos) << name;
+  }
+  for (const auto& [name, hist] : after.histograms) {
+    EXPECT_EQ(name.find("q1"), std::string::npos) << name;
+  }
   // The batch-level stage histograms are service-wide and stay.
   EXPECT_EQ(after.histograms.count("serve.stage_latency_us.apply"), 1u);
   service->Drain();

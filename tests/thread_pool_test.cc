@@ -89,12 +89,15 @@ TEST(ThreadPoolTest, StealsBalanceSkewedWork) {
     }
   });
   // Meters are monotone and consistent: critical path cannot exceed the
-  // total busy time, and the per-worker meters sum to the total.
+  // total busy time, and the per-worker meters plus the caller lane sum
+  // to the total. A multi-thread pool with many tasks never takes the
+  // sequential fast path, so the caller lane stays zero here.
   EXPECT_GT(pool.total_busy_nanos(), 0u);
   EXPECT_LE(pool.critical_nanos(), pool.total_busy_nanos());
   uint64_t sum = 0;
   for (int w = 0; w < pool.num_threads(); ++w) sum += pool.busy_nanos(w);
-  EXPECT_EQ(sum, pool.total_busy_nanos());
+  EXPECT_EQ(pool.caller_busy_nanos(), 0u);
+  EXPECT_EQ(sum + pool.caller_busy_nanos(), pool.total_busy_nanos());
 }
 
 TEST(ThreadPoolTest, MetricsSinkReceivesCounters) {
@@ -108,8 +111,31 @@ TEST(ThreadPoolTest, MetricsSinkReceivesCounters) {
     total += metrics.thread_cpu_nanos(t);
   }
   EXPECT_GT(total, 0u);
-  EXPECT_EQ(total, pool.total_busy_nanos());
+  EXPECT_EQ(total + metrics.caller_cpu_nanos(), pool.total_busy_nanos());
   EXPECT_EQ(metrics.steals(), pool.steals());
+}
+
+TEST(ThreadPoolTest, SequentialFastPathChargesCallerLane) {
+  // A pool of 1 (and a 1-task batch on any pool) runs inline on the
+  // calling thread; that CPU goes to the dedicated caller lane, not to
+  // worker 0's meter — inline execution must not masquerade as
+  // worker-0 skew in busy-meter analysis.
+  Metrics metrics;
+  ThreadPool pool(1, &metrics);
+  volatile uint64_t sink = 0;
+  pool.ParallelFor(8, [&](size_t task, int) {
+    uint64_t acc = 0;
+    for (uint64_t i = 0; i < 200000; ++i) acc += i * (task + 1);
+    sink = sink + acc;
+  });
+  EXPECT_EQ(pool.busy_nanos(0), 0u);
+  EXPECT_GT(pool.caller_busy_nanos(), 0u);
+  EXPECT_EQ(pool.caller_busy_nanos(), pool.total_busy_nanos());
+  EXPECT_EQ(metrics.caller_cpu_nanos(), pool.caller_busy_nanos());
+  EXPECT_EQ(metrics.thread_cpu_nanos(0), 0u);
+  // The fast path is still a "batch": the serial time is its own
+  // critical path.
+  EXPECT_EQ(pool.critical_nanos(), pool.total_busy_nanos());
 }
 
 TEST(ThreadPoolTest, DefaultThreadsHonorsEnv) {

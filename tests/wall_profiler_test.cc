@@ -1,0 +1,167 @@
+// The sampling wall-clock profiler (common/wall_profiler.h): lifecycle
+// idempotence, live-span-stack capture into folded counts, empty-tick
+// accounting, the Render() header invariants that profile_summary.py
+// validates, and the zero-residue guarantee when the sampler is off.
+#include "common/wall_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/trace.h"
+
+namespace itg {
+namespace {
+
+// Each test leaves the global profiler stopped and empty.
+class WallProfilerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    WallProfiler::Global().Stop();
+    WallProfiler::Global().Reset();
+  }
+};
+
+TEST_F(WallProfilerTest, StartStopIsIdempotentAndGatesLiveStacks) {
+  WallProfiler& prof = WallProfiler::Global();
+  EXPECT_FALSE(prof.running());
+  EXPECT_FALSE(Tracer::stacks_enabled());
+  prof.Start();
+  EXPECT_TRUE(prof.running());
+  EXPECT_TRUE(Tracer::stacks_enabled());
+  prof.Start();  // no-op: one sampler thread, still running
+  EXPECT_TRUE(prof.running());
+  prof.Stop();
+  EXPECT_FALSE(prof.running());
+  EXPECT_FALSE(Tracer::stacks_enabled());
+  prof.Stop();  // no-op
+  EXPECT_FALSE(prof.running());
+}
+
+TEST_F(WallProfilerTest, DisabledProfilerLeavesNoStackResidue) {
+  // With the sampler off, TraceSpan must not touch the live stack — the
+  // zero-overhead path parallel_determinism_test relies on.
+  ASSERT_FALSE(Tracer::stacks_enabled());
+  {
+    TraceSpan outer("wpt_outer", "test");
+    TraceSpan inner("wpt_inner", "test");
+    EXPECT_EQ(Tracer::LiveStackDepth(), 0);
+  }
+  EXPECT_EQ(Tracer::LiveStackDepth(), 0);
+}
+
+TEST_F(WallProfilerTest, LiveStackTracksSpanNesting) {
+  WallProfiler& prof = WallProfiler::Global();
+  prof.Start();
+  {
+    TraceSpan outer("wpt_outer", "test");
+    EXPECT_EQ(Tracer::LiveStackDepth(), 1);
+    {
+      TraceSpan inner("wpt_inner", "test");
+      EXPECT_EQ(Tracer::LiveStackDepth(), 2);
+    }
+    EXPECT_EQ(Tracer::LiveStackDepth(), 1);
+  }
+  EXPECT_EQ(Tracer::LiveStackDepth(), 0);
+  prof.Stop();
+}
+
+TEST_F(WallProfilerTest, SamplerCapturesNestedSpans) {
+  WallProfiler& prof = WallProfiler::Global();
+  prof.Reset();
+  prof.Start(/*hz=*/997);  // fast ticks keep the test short
+  bool seen = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!seen && std::chrono::steady_clock::now() < deadline) {
+    TraceSpan outer("wpt_outer", "test");
+    TraceSpan inner("wpt_inner", "test");
+    // Stay inside the spans long enough for a tick to land in them.
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    for (const auto& [stack, count] : prof.Folded()) {
+      if (stack.find("wpt_outer;wpt_inner") != std::string::npos &&
+          count > 0) {
+        seen = true;
+      }
+    }
+  }
+  prof.Stop();
+  EXPECT_TRUE(seen) << "sampler never caught the nested spans on-CPU:\n"
+                    << prof.FoldedText();
+  EXPECT_GT(prof.samples(), 0u);
+}
+
+TEST_F(WallProfilerTest, TicksWithNoLiveSpanCountAsEmpty) {
+  WallProfiler& prof = WallProfiler::Global();
+  prof.Reset();
+  prof.Start(/*hz=*/997);
+  // No thread enters a span; every tick is empty.
+  while (prof.samples() < 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  prof.Stop();
+  EXPECT_GE(prof.samples(), 5u);
+  EXPECT_EQ(prof.empty_samples(), prof.samples());
+  EXPECT_TRUE(prof.Folded().empty());
+}
+
+TEST_F(WallProfilerTest, RenderHeaderMatchesFoldedCounts) {
+  WallProfiler& prof = WallProfiler::Global();
+  prof.Reset();
+  prof.Start(/*hz=*/997);
+  {
+    TraceSpan span("wpt_render", "test");
+    while (prof.samples() < 10) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  prof.Stop();
+  const std::string render = prof.Render();
+  // The machine-readable header profile_summary.py parses.
+  EXPECT_EQ(render.rfind("# itg wall profile: ticks=", 0), 0u) << render;
+  uint64_t folded_sum = 0;
+  size_t folded_lines = 0;
+  for (const auto& [stack, count] : prof.Folded()) {
+    folded_sum += count;
+    ++folded_lines;
+    // Every folded line must appear verbatim after the '#' preamble.
+    EXPECT_NE(render.find("\n" + stack + " " + std::to_string(count)),
+              std::string::npos)
+        << stack;
+  }
+  EXPECT_NE(render.find("stack_samples=" + std::to_string(folded_sum)),
+            std::string::npos)
+      << render;
+  EXPECT_NE(render.find("stacks=" + std::to_string(folded_lines)),
+            std::string::npos)
+      << render;
+  EXPECT_NE(render.find("ticks=" + std::to_string(prof.samples())),
+            std::string::npos)
+      << render;
+}
+
+TEST_F(WallProfilerTest, ResetDropsCountsButNotLifecycle) {
+  WallProfiler& prof = WallProfiler::Global();
+  prof.Start(/*hz=*/997);
+  while (prof.samples() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  prof.Reset();  // mid-run reset: counts drop, the sampler keeps going
+  EXPECT_TRUE(prof.running());
+  while (prof.samples() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  prof.Stop();
+  prof.Reset();
+  EXPECT_EQ(prof.samples(), 0u);
+  EXPECT_EQ(prof.empty_samples(), 0u);
+  EXPECT_TRUE(prof.Folded().empty());
+}
+
+}  // namespace
+}  // namespace itg

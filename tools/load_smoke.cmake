@@ -8,11 +8,11 @@
 # daemon's portfile, runs the sweep, sends the shutdown op, and both must
 # exit 0 (the loadgen exits 3 on an SLO-verdict failure).
 #
-# Afterwards the loadgen's schema-v7 run report must pass full
+# Afterwards the loadgen's run report must pass full
 # trace_summary.py validation (the "load" section: a nonzero,
 # strictly-rate-ordered capacity curve with a knee consistent with the
 # verdict, plus the spliced server time-series ring), the daemon's own
-# report must pass too (its v7 per-query percentile stamps are
+# report must pass too (its per-query percentile stamps are
 # recomputed from the buckets bit-for-bit), and report_diff.py must
 # accept the curve against the committed bench/BENCH_serve_baseline.json
 # (verdict or knee regressions gate).
@@ -76,8 +76,8 @@ if(series_at EQUAL -1)
           "loadgen report did not splice the /timeseriesz server ring")
 endif()
 
-# Full schema validation of both reports: the loadgen's v7 load section
-# and the daemon's v7 serving section (percentiles recomputed from the
+# Full schema validation of both reports: the loadgen's load section
+# and the daemon's serving section (percentiles recomputed from the
 # buckets must agree bit-for-bit).
 foreach(report load_report.json serve_report.json)
   execute_process(

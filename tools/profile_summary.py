@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Parse, validate and summarize itg wall-profile output.
+
+Usage:
+  profile_summary.py <profile.folded> [--top N] [--require SUBSTR]...
+  profile_summary.py --fetch http://127.0.0.1:PORT/profilez?seconds=3 ...
+  ... | profile_summary.py -            # read from stdin
+
+Input is the output of the sampling wall profiler
+(src/common/wall_profiler.h), served at the telemetry endpoint
+GET /profilez and written to $ITG_PROFILE at exit:
+
+  # itg wall profile: ticks=291 stack_samples=288 empty_ticks=3 stacks=41
+  # top spans (leaf frame, by samples):
+  #  62.50%      180  engine.superstep
+  ...
+  serve;serve.apply;serve.view_run;engine.superstep 180
+  ...
+
+'#' lines are human-oriented commentary; every other non-empty line is
+one collapsed stack in Brendan Gregg's folded format — semicolon-joined
+frames (innermost last, thread name first) followed by a space and a
+sample count — so `grep -v '^#' | flamegraph.pl` renders a flame graph
+directly.
+
+Validation (any violation exits 1):
+  - every non-comment line is `frames... <count>` with count a positive
+    integer and at least one frame;
+  - when a header is present: stack_samples equals the folded counts'
+    sum, stacks equals the folded line count, and ticks >= empty_ticks
+    (one tick can yield several stacks — one per on-CPU thread — so
+    ticks and stack_samples are deliberately distinct tallies);
+  - each --require substring appears in at least one frame of at least
+    one sampled stack (e.g. --require serve. asserts the serve pipeline
+    was caught on-CPU).
+
+Prints a ranked leaf-frame table (--top, default 10) recomputed from the
+folded lines, independently of the '#' table the server rendered. Exits
+2 on I/O errors, 1 on validation failure, 0 otherwise.
+"""
+
+import argparse
+import sys
+import urllib.request
+
+
+def fail(msg):
+    print(f"profile_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_header(lines):
+    """Returns {ticks, stack_samples, empty_ticks, stacks} from the first
+    '# itg wall profile:' line, or None when the input has no header
+    (plain folded files are accepted)."""
+    for line in lines:
+        if not line.startswith("# itg wall profile:"):
+            continue
+        fields = {}
+        for tok in line.split(":", 1)[1].split():
+            if "=" not in tok:
+                fail(f"malformed header token {tok!r}")
+            key, _, value = tok.partition("=")
+            if not value.isdigit():
+                fail(f"malformed header value {tok!r}")
+            fields[key] = int(value)
+        for key in ("ticks", "stack_samples", "empty_ticks", "stacks"):
+            if key not in fields:
+                fail(f"header missing {key}=")
+        return fields
+    return None
+
+
+def parse_folded(lines):
+    """Returns [(frames tuple, count)] from the non-comment lines."""
+    stacks = []
+    for i, line in enumerate(lines, 1):
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        stack, sep, count = line.rpartition(" ")
+        if not sep or not count.isdigit() or int(count) <= 0:
+            fail(f"line {i}: not `frames... <count>`: {line!r}")
+        frames = tuple(f for f in stack.split(";") if f)
+        if not frames:
+            fail(f"line {i}: empty stack: {line!r}")
+        stacks.append((frames, int(count)))
+    return stacks
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate and summarize itg wall-profile output.")
+    parser.add_argument("path", nargs="?",
+                        help="folded profile file, or - for stdin")
+    parser.add_argument("--fetch", metavar="URL",
+                        help="scrape the profile from a live /profilez "
+                             "endpoint instead of a file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="leaf frames to rank (default 10)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="fail unless some sampled frame contains "
+                             "SUBSTR (repeatable)")
+    args = parser.parse_args()
+    if bool(args.path) == bool(args.fetch):
+        parser.error("need exactly one of <path> or --fetch")
+
+    if args.fetch:
+        try:
+            with urllib.request.urlopen(args.fetch, timeout=60) as resp:
+                text = resp.read().decode("utf-8", "replace")
+        except OSError as e:
+            print(f"profile_summary: cannot fetch {args.fetch}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+    elif args.path == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"profile_summary: cannot read {args.path}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    lines = text.splitlines()
+    header = parse_header(lines)
+    stacks = parse_folded(lines)
+
+    total = sum(count for _, count in stacks)
+    if header is not None:
+        if header["stack_samples"] != total:
+            fail(f"header stack_samples={header['stack_samples']} but "
+                 f"folded counts sum to {total}")
+        if header["stacks"] != len(stacks):
+            fail(f"header stacks={header['stacks']} but input has "
+                 f"{len(stacks)} folded lines")
+        if header["ticks"] < header["empty_ticks"]:
+            fail(f"header ticks={header['ticks']} below "
+                 f"empty_ticks={header['empty_ticks']}")
+
+    for want in args.require:
+        if not any(want in frame for frames, _ in stacks
+                   for frame in frames):
+            fail(f"no sampled frame contains {want!r} "
+                 f"({len(stacks)} stacks, {total} samples)")
+
+    # Leaf-frame ranking recomputed from the folded lines (the server's
+    # own '#' table is ignored — this is the independent check).
+    by_leaf = {}
+    for frames, count in stacks:
+        by_leaf[frames[-1]] = by_leaf.get(frames[-1], 0) + count
+
+    src = args.fetch or args.path
+    print(f"profile: {src}")
+    if header is not None:
+        print(f"  {header['ticks']} ticks, {total} stack samples, "
+              f"{header['empty_ticks']} empty ticks, "
+              f"{len(stacks)} distinct stacks")
+    else:
+        print(f"  {total} samples over {len(stacks)} distinct stacks "
+              f"(no header)")
+    print()
+    print(f"  {'%':>7} {'samples':>9}  leaf frame")
+    ranked = sorted(by_leaf.items(), key=lambda kv: (-kv[1], kv[0]))
+    for leaf, count in ranked[:args.top]:
+        pct = 100.0 * count / total if total else 0.0
+        print(f"  {pct:>6.2f}% {count:>9}  {leaf}")
+    print("  profile: OK")
+
+
+if __name__ == "__main__":
+    main()

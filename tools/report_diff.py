@@ -10,8 +10,9 @@ MAX_SCHEMA from tools/report_schema.py, see src/harness/run_report.h).
 Runs are matched by name; within a v2+ run, operators are matched by
 stable operator id. Versions may differ between the two files: later
 versions only add sections (v3 per-machine barrier_wait_nanos and a
-top-level "memory" map, v4 state digests and the "audit" section), none
-of which are gated.
+top-level "memory" map, v4 state digests and the "audit" section, v8 the
+per-context "resources" attribution map — measured CPU/IO/allocation
+totals, machine-dependent by nature), none of which are gated.
 
 The v7 "load" section (itg_loadgen capacity curves) is diffed
 structurally: a candidate whose SLO verdict drops from "pass" to "fail",

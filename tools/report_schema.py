@@ -20,9 +20,14 @@ Version history:
      buckets via tools/histogram_math.py); new optional "load" section
      (itg_loadgen capacity curves: per-rate points, knee, SLO verdict,
      spliced /timeseriesz server ring)
+  8  resource attribution: new always-present "resources" section —
+     one {"cpu_nanos","pages_read","bytes_alloc"} row per
+     ResourceContext (e.g. "view.<query>"), collapsed from the
+     resource.<ctx>.* counters (common/resource_scope.h); may be empty
+     when no context was ever created
 """
 
 MIN_SCHEMA = 1
-MAX_SCHEMA = 7
+MAX_SCHEMA = 8
 
 SCHEMA_RANGE = range(MIN_SCHEMA, MAX_SCHEMA + 1)

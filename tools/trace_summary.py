@@ -30,7 +30,9 @@ latency rows, slow-batch counter and per-query staleness fields,
 version 7 per-query delta-latency percentile fields — cross-checked
 here against a recomputation from the sparse buckets via
 tools/histogram_math.py — and the optional "load" section holding
-itg_loadgen's capacity curve, knee and SLO verdict).
+itg_loadgen's capacity curve, knee and SLO verdict, version 8 the
+always-present "resources" section of per-ResourceContext attribution
+rows cross-checked against the resource.<ctx>.* counters).
 Validates the schema and prints a short digest. Exits non-zero on any schema violation, so it
 doubles as the ctest smoke check.
 """
@@ -580,6 +582,27 @@ def validate_report(path):
     else:
         expect(memory is None, "v3 memory section in a pre-v3 report")
 
+    resources = doc.get("resources")
+    if version >= 8:
+        expect(isinstance(resources, dict),
+               "resources is not an object (v8)")
+        counters = metrics["counters"]
+        for ctx, entry in resources.items():
+            where = f"resources[{ctx!r}]"
+            expect(isinstance(entry, dict), f"{where} is not an object")
+            for field in ("cpu_nanos", "pages_read", "bytes_alloc"):
+                expect(is_uint(entry.get(field)),
+                       f"{where}.{field} is not a non-negative integer")
+                # The section is collapsed from the registry counters at
+                # the same snapshot, so the rows must agree with them
+                # exactly (a missing counter reads as 0).
+                want = counters.get(f"resource.{ctx}.{field}", 0)
+                expect(entry[field] == want,
+                       f"{where}.{field} is {entry[field]} but counter "
+                       f"resource.{ctx}.{field} says {want}")
+    else:
+        expect(resources is None, "v8 resources section in a pre-v8 report")
+
     audit = doc.get("audit")
     if version >= 4:
         if audit is not None:
@@ -626,6 +649,12 @@ def validate_report(path):
             f"{name} {entry['bytes']}B (peak {entry['peak_bytes']}B)"
             for name, entry in sorted(memory.items()))
         print(f"  memory: {parts}")
+    if resources:
+        parts = ", ".join(
+            f"{ctx} {entry['cpu_nanos']}ns cpu / {entry['pages_read']} pages"
+            f" / {entry['bytes_alloc']}B"
+            for ctx, entry in sorted(resources.items()))
+        print(f"  resources: {parts}")
     if serving:
         slow = (f", {serving['slow_batches']} slow batches"
                 if "slow_batches" in serving else "")
