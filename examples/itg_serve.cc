@@ -13,8 +13,14 @@
 // and the `shutdown` op both trip the clean-stop flag; the daemon then
 // drains the ingest queue through every standing view, finishes the
 // in-flight supersteps, writes the run report (--metrics-json, schema
-// v8: `serving` section plus per-view `resources` attribution), and
-// exits 0.
+// v9: `serving` section, per-view `resources` attribution, and the
+// alert engine's `alerts` section), and exits 0.
+//
+// Alerting (--alerts / --slo-ms) starts the SLO burn-rate alert engine
+// over the built-in serving rules plus any operator rule file; with
+// --incident-dir every firing alert (and watchdog trip / SIGUSR1)
+// writes a rate-limited incident bundle. See docs/SERVING.md
+// "Alerting & incident response".
 #include <unistd.h>
 
 #include <algorithm>
@@ -30,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/alert_engine.h"
 #include "common/clean_stop.h"
 #include "common/live_status.h"
 #include "common/metrics.h"
@@ -65,6 +72,15 @@ struct Args {
   uint64_t slow_batch_ms = 0;
   // /timeseriesz sampling interval (ms); 0 disables the sampler.
   uint64_t timeseries_ms = 0;
+  // Alerting: a rule file (--alerts / ITG_ALERTS) or an SLO target
+  // (--slo-ms > 0, enables the built-in burn-rate rule) turns the
+  // engine on; both unset leaves it entirely off (no evaluator thread).
+  std::string alerts_file;
+  double slo_ms = 0;
+  uint64_t alert_period_ms = 1000;
+  // Incident bundles are written under this directory (ITG_INCIDENT_DIR);
+  // empty leaves the reporter unconfigured.
+  std::string incident_dir;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -77,11 +93,13 @@ struct Args {
       "          [--scratch DIR] [--metrics-json <path>]\n"
       "          [--telemetry-port P] [--watchdog-ms N]\n"
       "          [--slow-batch-ms N] [--timeseries-ms N]\n"
+      "          [--alerts <rules file>] [--slo-ms MS]\n"
+      "          [--alert-period-ms N] [--incident-dir DIR]\n"
       "environment: ITG_SERVE_PORT, ITG_SERVE_PORTFILE,\n"
       "             ITG_SERVE_MAX_QUERIES, ITG_SERVE_MEMORY_BYTES,\n"
       "             ITG_SERVE_QUEUE_DEPTH, ITG_TELEMETRY_PORT,\n"
       "             ITG_WATCHDOG_MS, ITG_TELEMETRY_PORTFILE,\n"
-      "             ITG_TIMESERIES_MS\n"
+      "             ITG_TIMESERIES_MS, ITG_ALERTS, ITG_INCIDENT_DIR\n"
       "(protocol reference: docs/SERVING.md)\n",
       argv0);
   std::exit(2);
@@ -102,6 +120,12 @@ void EnvDefaults(Args* args) {
   }
   if (const char* p = std::getenv("ITG_SERVE_QUEUE_DEPTH")) {
     args->queue_depth = static_cast<size_t>(std::strtoull(p, nullptr, 10));
+  }
+  if (const char* p = std::getenv("ITG_ALERTS")) {
+    args->alerts_file = p;
+  }
+  if (const char* p = std::getenv("ITG_INCIDENT_DIR")) {
+    args->incident_dir = p;
   }
 }
 
@@ -228,6 +252,14 @@ int main(int argc, char** argv) {
       args.slow_batch_ms = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--timeseries-ms")) {
       args.timeseries_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--alerts")) {
+      args.alerts_file = next();
+    } else if (!std::strcmp(argv[i], "--slo-ms")) {
+      args.slo_ms = std::stod(next());
+    } else if (!std::strcmp(argv[i], "--alert-period-ms")) {
+      args.alert_period_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--incident-dir")) {
+      args.incident_dir = next();
     } else {
       Usage(argv[0]);
     }
@@ -266,6 +298,36 @@ int main(int argc, char** argv) {
   }
   auto service = std::move(service_or).value();
 
+  // Alerting: the rule file (if any) wins name collisions against the
+  // built-in serving defaults, so an operator can re-tune a default rule
+  // by redefining it. With neither --alerts nor --slo-ms the engine
+  // holds zero rules and Start() below never spawns a thread.
+  AlertEngine alert_engine;
+  const bool alerting = !args.alerts_file.empty() || args.slo_ms > 0;
+  if (alerting) {
+    if (!args.alerts_file.empty()) {
+      if (Status s = alert_engine.AddRulesFromFile(args.alerts_file);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 2;
+      }
+    }
+    std::vector<std::string> have;
+    for (const AlertStatus& st : alert_engine.Statuses()) {
+      have.push_back(st.name);
+    }
+    ServingAlertDefaults defaults;
+    defaults.ingest_queue_depth = args.queue_depth;
+    defaults.slo_ms = args.slo_ms;
+    defaults.memory_budget_bytes = args.memory_budget;
+    defaults.period_ms = args.alert_period_ms;
+    for (AlertRule& rule : DefaultServingAlertRules(defaults)) {
+      if (std::find(have.begin(), have.end(), rule.name) == have.end()) {
+        alert_engine.AddRule(std::move(rule));
+      }
+    }
+  }
+
   // Health plane: /statusz grows a "serving" member with the same
   // per-query rows as the `status` op; the stall watchdog covers the
   // standing views' supersteps because every view engine reports through
@@ -299,6 +361,7 @@ int main(int argc, char** argv) {
       telemetry = std::make_unique<TelemetryServer>();
       Service* svc = service.get();
       telemetry->set_statusz_extra([svc] { return svc->StatuszExtraJson(); });
+      if (alerting) telemetry->set_alert_engine(&alert_engine);
       if (Status s = telemetry->Start(topt); !s.ok()) {
         std::fprintf(stderr, "%s\n", s.ToString().c_str());
         return 1;
@@ -306,6 +369,30 @@ int main(int argc, char** argv) {
       std::printf("telemetry: http://127.0.0.1:%d/statusz\n",
                   telemetry->port());
     }
+  }
+
+  // Incident black box: every trigger path (alert firing, watchdog trip,
+  // SIGUSR1) shares this one reporter and its rate limiter.
+  if (!args.incident_dir.empty()) {
+    IncidentReporter::Options iopt;
+    iopt.dir = args.incident_dir;
+    Service* svc = service.get();
+    iopt.statusz_extra = [svc] { return svc->StatuszExtraJson(); };
+    if (telemetry && telemetry->timeseries() != nullptr) {
+      const TimeSeriesRing* ring = telemetry->timeseries();
+      iopt.timeseries_json = [ring] { return ring->ToJson(); };
+    }
+    IncidentReporter::Global().Configure(std::move(iopt));
+    std::printf("incidents: %s\n", args.incident_dir.c_str());
+  }
+  if (alerting) {
+    AlertEngine::Options aopt;
+    aopt.period_ms = args.alert_period_ms;
+    alert_engine.Start(aopt);
+    std::printf("alerting: %zu rules, period %llums%s\n",
+                alert_engine.rule_count(),
+                static_cast<unsigned long long>(args.alert_period_ms),
+                args.incident_dir.empty() ? " (no incident dir)" : "");
   }
 
   Server server(service.get());
@@ -329,12 +416,34 @@ int main(int argc, char** argv) {
   std::printf("serve: draining\n");
   std::fflush(stdout);
   service->Drain();
+  alert_engine.Stop();  // states in the report below are final
   const ServingSection serving = BuildServingSection(service.get());
   server.Stop();
   if (telemetry) telemetry->Stop();
 
   RunReport report("itg_serve");
   report.SetServing(serving);
+  if (alerting) {
+    AlertsSection alerts;
+    alerts.enabled = true;
+    alerts.period_ms = alert_engine.period_ms();
+    alerts.evaluations = alert_engine.evaluations();
+    alerts.bundles_written = IncidentReporter::Global().bundles_written();
+    alerts.bundles_suppressed =
+        IncidentReporter::Global().bundles_suppressed();
+    for (const AlertStatus& st : alert_engine.Statuses()) {
+      AlertRuleRow row;
+      row.name = st.name;
+      row.severity = AlertSeverityName(st.severity);
+      row.state = AlertStateName(st.state);
+      row.expr = st.expr;
+      row.fires = st.fires;
+      row.flaps = st.flaps;
+      row.last_value = st.value;
+      alerts.rules.push_back(std::move(row));
+    }
+    report.SetAlerts(alerts);
+  }
   if (Status s = report.MaybeWrite(args.metrics_json); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;

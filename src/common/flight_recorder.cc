@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/alert_engine.h"
 #include "common/logging.h"
 
 namespace itg {
@@ -24,7 +25,9 @@ static_assert(std::atomic<int>::is_always_lock_free,
 
 // CONTRACT: this handler must stay async-signal-safe. It may only store
 // to lock-free atomics — no allocation, no locks, no logging, no call
-// into FlightRecorder (whose ring is mutex-protected). The actual dump
+// into FlightRecorder (whose ring is mutex-protected) and certainly no
+// IncidentReporter::Capture (locks + file IO). The actual dump — log
+// dump AND, when a reporter is configured, the full incident bundle —
 // happens later, on the watchdog/telemetry thread, via PollSignalDump().
 void Sigusr1Handler(int /*signo*/) {
   g_dump_requested.store(1, std::memory_order_relaxed);
@@ -141,6 +144,11 @@ bool FlightRecorder::PollSignalDump() {
     return false;
   }
   DumpToLog("SIGUSR1", /*force=*/true);
+  // SIGUSR1 is the operator's "grab me a black box now" button: same
+  // bundle as an alert firing or a watchdog trip. We are on the poll
+  // thread here, not in the handler, so the file IO is fine.
+  IncidentReporter::Global().Capture("sigusr1", "info",
+                                     "operator-requested dump (SIGUSR1)");
   return true;
 }
 

@@ -1,7 +1,9 @@
 #include "common/stall_watchdog.h"
 
 #include <chrono>
+#include <string>
 
+#include "common/alert_engine.h"
 #include "common/flight_recorder.h"
 #include "common/live_status.h"
 #include "common/logging.h"
@@ -62,6 +64,15 @@ void StallWatchdog::CheckOnce() {
                 << options_.deadline_ms << "ms), query='" << snap.query
                 << "'";
   FlightRecorder::Global().DumpToLog("stall watchdog", /*force=*/true);
+  // A trip is an incident: capture the full black box (flight recorder,
+  // metrics, statusz, timeseries, profile) when a reporter is
+  // configured. No-op otherwise — the log dump above always happens.
+  IncidentReporter::Global().Capture(
+      "watchdog_stall", "critical",
+      "superstep " + std::to_string(snap.superstep) + " of " + snap.phase +
+          " open for " + std::to_string(age_nanos / 1'000'000) +
+          "ms (deadline " + std::to_string(options_.deadline_ms) +
+          "ms), query='" + snap.query + "'");
 }
 
 }  // namespace itg

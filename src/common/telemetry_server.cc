@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/alert_engine.h"
 #include "common/logging.h"
 #include "common/wall_profiler.h"
 
@@ -79,6 +81,19 @@ uint64_t ProfileSeconds(const std::string& query) {
     seconds = std::strtoull(query.c_str() + pos + 8, nullptr, 10);
   }
   return seconds > 30 ? 30 : seconds;
+}
+
+// Endpoint label for the telemetry self-metrics: "/metrics" -> "metrics",
+// "/" -> "index", anything unrouted -> "other" (so probing random paths
+// cannot mint unbounded series).
+std::string EndpointLabel(const std::string& path, int status) {
+  if (path == "/") return "index";
+  if (status == 404) return "other";
+  std::string label = path.substr(1);
+  for (char& c : label) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return label;
 }
 
 }  // namespace
@@ -423,10 +438,30 @@ TelemetryServer::Response TelemetryServer::Handle(
     path.resize(q);
     query = full_path.substr(q + 1);
   }
+  const auto scrape_start = std::chrono::steady_clock::now();
   Response resp;
   if (path == "/metrics") {
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
     resp.body = RenderPrometheusText(registry_->Snap());
+    // The Prometheus ALERTS convention: one series per rule currently
+    // pending or firing, value 1 (resolved/inactive rules emit nothing).
+    if (alert_engine_ != nullptr) {
+      std::string alerts;
+      for (const AlertStatus& st : alert_engine_->Statuses()) {
+        if (st.state != AlertState::kPending &&
+            st.state != AlertState::kFiring) {
+          continue;
+        }
+        alerts.append("ALERTS{alertname=\"").append(st.name);
+        alerts.append("\",severity=\"")
+            .append(AlertSeverityName(st.severity));
+        alerts.append("\",state=\"").append(AlertStateName(st.state));
+        alerts.append("\"} 1\n");
+      }
+      if (!alerts.empty()) {
+        resp.body.append("# TYPE ALERTS gauge\n").append(alerts);
+      }
+    }
   } else if (path == "/statusz") {
     resp.content_type = "application/json";
     resp.body = RenderStatusz(GlobalLiveStatus().Snap(), &watchdog_,
@@ -434,14 +469,41 @@ TelemetryServer::Response TelemetryServer::Handle(
                               statusz_extra_ ? statusz_extra_()
                                              : std::string());
   } else if (path == "/healthz") {
+    // Health aggregates the stall watchdog with critical firing alerts;
+    // the body names WHY it is unhealthy so an LB log or a curl tells
+    // the operator which subsystem to look at, not just "503".
     resp.content_type = "application/json";
-    const bool healthy = watchdog_.healthy();
-    resp.status = healthy ? 200 : 503;
-    resp.body = std::string("{\"status\":\"") +
-                (healthy ? "ok" : "stalled") +
-                "\",\"stalls_total\":" + std::to_string(watchdog_.trips()) +
-                ",\"watchdog_deadline_ms\":" +
-                std::to_string(watchdog_.deadline_ms()) + "}\n";
+    const bool stalled = !watchdog_.healthy();
+    std::vector<std::string> critical;
+    if (alert_engine_ != nullptr) critical = alert_engine_->CriticalFiring();
+    const char* status =
+        stalled ? "stalled" : (critical.empty() ? "ok" : "alerting");
+    resp.status = (stalled || !critical.empty()) ? 503 : 200;
+    resp.body = std::string("{\"status\":\"") + status + "\",\"reasons\":[";
+    bool first = true;
+    if (stalled) {
+      resp.body.append("\"watchdog: superstep past deadline\"");
+      first = false;
+    }
+    for (const std::string& name : critical) {
+      if (!first) resp.body.push_back(',');
+      first = false;
+      AppendJson("alert firing: " + name, &resp.body);
+    }
+    resp.body.append("],\"stalls_total\":")
+        .append(std::to_string(watchdog_.trips()));
+    resp.body.append(",\"critical_firing\":")
+        .append(std::to_string(critical.size()));
+    resp.body.append(",\"watchdog_deadline_ms\":")
+        .append(std::to_string(watchdog_.deadline_ms()))
+        .append("}\n");
+  } else if (path == "/alertz" && alert_engine_ != nullptr) {
+    if (query.find("format=text") != std::string::npos) {
+      resp.body = alert_engine_->ToText();
+    } else {
+      resp.content_type = "application/json";
+      resp.body = alert_engine_->ToJson();
+    }
   } else if (path == "/timeseriesz" && timeseries_ != nullptr) {
     resp.content_type = "application/json";
     resp.body = timeseries_->ToJson(options_.timeseries_interval_ms);
@@ -468,7 +530,9 @@ TelemetryServer::Response TelemetryServer::Handle(
         "itg telemetry\n"
         "  /metrics      Prometheus text exposition\n"
         "  /statusz      live engine state (JSON)\n"
-        "  /healthz      stall watchdog health\n"
+        "  /healthz      watchdog + critical-alert health (with reasons)\n"
+        "  /alertz       alert rule states (when an alert engine is "
+        "attached; ?format=text)\n"
         "  /timeseriesz  periodic registry snapshots (when sampling "
         "is enabled)\n"
         "  /profilez     folded wall-profile stacks (?seconds=N capture "
@@ -477,6 +541,21 @@ TelemetryServer::Response TelemetryServer::Handle(
     resp.status = 404;
     resp.body = "not found\n";
   }
+
+  // Self-observability: the cost of the observability plane itself.
+  // Recorded after rendering, so a /metrics scrape reports the plane's
+  // state as of the previous scrape — the usual Prometheus offset.
+  const uint64_t scrape_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - scrape_start)
+          .count());
+  const std::string endpoint = EndpointLabel(path, resp.status);
+  registry_->counter("telemetry.requests_total")->Increment();
+  registry_->counter("telemetry.requests." + endpoint)->Increment();
+  registry_->counter("telemetry.response_bytes")->Add(resp.body.size());
+  registry_->counter("telemetry.response_bytes." + endpoint)
+      ->Add(resp.body.size());
+  registry_->histogram("telemetry.scrape_latency_us")->Record(scrape_us);
   return resp;
 }
 

@@ -19,6 +19,8 @@
 
 namespace itg {
 
+class AlertEngine;
+
 /// Options for the embedded telemetry endpoint.
 struct TelemetryOptions {
   /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
@@ -55,8 +57,13 @@ struct TelemetryOptions {
 ///                 per-partition progress, watchdog and memory summary,
 ///                 plus any host-provided extra section (the serving
 ///                 daemon splices per-standing-query rows in here).
-///   GET /healthz  200 {"status":"ok"} normally; 503 {"status":"stalled"}
-///                 while a superstep is past the watchdog deadline.
+///   GET /healthz  200 {"status":"ok"} normally; 503 with status
+///                 "stalled" (superstep past the watchdog deadline) or
+///                 "alerting" (critical alert firing), and a `reasons`
+///                 array naming each cause.
+///   GET /alertz   alert-engine rule states (JSON; `?format=text` for
+///                 the human table). 404 until an engine is attached
+///                 with set_alert_engine().
 ///   GET /timeseriesz  JSON ring of periodic registry snapshots (404
 ///                 unless TelemetryOptions::timeseries_interval_ms > 0).
 ///   GET /profilez JSON-free folded wall-profile: runs the sampling
@@ -97,6 +104,14 @@ class TelemetryServer {
     statusz_extra_ = std::move(hook);
   }
 
+  /// Attaches an alert engine: enables /alertz, appends the Prometheus
+  /// `ALERTS{...}` series to /metrics, and folds critical firing alerts
+  /// into /healthz. The engine must outlive the server (or be detached
+  /// with nullptr first). Set before Start() or from a quiesced server.
+  void set_alert_engine(const AlertEngine* engine) {
+    alert_engine_ = engine;
+  }
+
   /// An HTTP response before serialization; exposed so unit tests can
   /// exercise routing without sockets.
   struct Response {
@@ -125,6 +140,7 @@ class TelemetryServer {
   StallWatchdog watchdog_;
   SocketListener listener_;
   std::function<std::string()> statusz_extra_;
+  const AlertEngine* alert_engine_ = nullptr;
   std::unique_ptr<TimeSeriesRing> timeseries_;
   std::thread sampler_;
   std::atomic<bool> sampler_stop_{false};

@@ -69,7 +69,7 @@ void RunReport::AddResult(const std::string& name, double value) {
 std::string RunReport::ToJson() const {
   std::string out;
   out.reserve(4096);
-  out.append("{\"schema_version\":8,\"binary\":");
+  out.append("{\"schema_version\":9,\"binary\":");
   AppendJsonString(&out, binary_);
   out.append(",\"runs\":[");
   bool first = true;
@@ -436,6 +436,38 @@ std::string RunReport::ToJson() const {
       out.append(load_.server_timeseries_json);
     }
     out.push_back('}');
+  }
+
+  // Schema v9: the alert engine's end-of-run summary (omitted unless
+  // attached).
+  if (has_alerts_) {
+    out.append(",\"alerts\":{\"enabled\":");
+    out.append(alerts_.enabled ? "true," : "false,");
+    AppendField(&out, "period_ms", alerts_.period_ms);
+    AppendField(&out, "evaluations", alerts_.evaluations);
+    AppendField(&out, "bundles_written", alerts_.bundles_written);
+    AppendField(&out, "bundles_suppressed", alerts_.bundles_suppressed);
+    out.append("\"rules\":[");
+    bool first_rule = true;
+    for (const AlertRuleRow& r : alerts_.rules) {
+      if (!first_rule) out.push_back(',');
+      first_rule = false;
+      out.append("{\"name\":");
+      AppendJsonString(&out, r.name);
+      out.append(",\"severity\":");
+      AppendJsonString(&out, r.severity);
+      out.append(",\"state\":");
+      AppendJsonString(&out, r.state);
+      out.push_back(',');
+      AppendField(&out, "fires", r.fires);
+      AppendField(&out, "flaps", r.flaps);
+      out.append("\"last_value\":");
+      AppendDouble(&out, r.last_value);
+      out.append(",\"expr\":");
+      AppendJsonString(&out, r.expr);
+      out.push_back('}');
+    }
+    out.append("]}");
   }
 
   out.push_back('}');

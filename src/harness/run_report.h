@@ -142,10 +142,34 @@ struct LoadSection {
   std::string server_timeseries_json;
 };
 
+/// One alert rule's final state in the v9 `alerts` section.
+struct AlertRuleRow {
+  std::string name;
+  std::string severity;  ///< info | warn | critical
+  std::string state;     ///< inactive | pending | firing | resolved
+  std::string expr;
+  uint64_t fires = 0;
+  uint64_t flaps = 0;
+  double last_value = 0;
+};
+
+/// The v9 `alerts` section: the alert engine's end-of-run summary
+/// (filled by examples/itg_serve.cc after Stop(), so states are final).
+/// report_diff.py fails gated runs whose section still contains a
+/// critical firing rule.
+struct AlertsSection {
+  bool enabled = false;
+  uint64_t period_ms = 0;
+  uint64_t evaluations = 0;
+  uint64_t bundles_written = 0;
+  uint64_t bundles_suppressed = 0;
+  std::vector<AlertRuleRow> rules;
+};
+
 /// Machine-readable run report (the `--metrics-json=<path>` output of the
 /// bench and harness binaries).
 ///
-/// Schema (version 8, validated by tools/trace_summary.py and diffed by
+/// Schema (version 9, validated by tools/trace_summary.py and diffed by
 /// tools/report_diff.py; readers accept REPORT_SCHEMA_MIN..MAX):
 /// ```json
 /// {
@@ -220,7 +244,16 @@ struct LoadSection {
 ///     "knee": {"found": true, "offered_rate": 400.0,
 ///              "achieved_rate": 396.0, "p99": 4100},
 ///     "slo_verdict": "pass",
-///     "server_timeseries": {...}}  // raw /timeseriesz dump, optional
+///     "server_timeseries": {...}},  // raw /timeseriesz dump, optional
+///   "alerts": {                 // v9, present when SetAlerts was called
+///     "enabled": true, "period_ms": 1000, "evaluations": 42,
+///     "bundles_written": 1, "bundles_suppressed": 0,
+///     "rules": [
+///       {"name": "serve_notify_p99_burn", "severity": "critical",
+///        "state": "resolved", "fires": 1, "flaps": 0,
+///        "last_value": 0.0,
+///        "expr": "burn(serve.delta_latency_us.*, slo=1000, ...)"},
+///       ...]}
 /// }
 /// ```
 ///
@@ -269,6 +302,13 @@ class RunReport {
     has_load_ = true;
   }
 
+  /// Attaches the alert engine's end-of-run summary; emitted as the v9
+  /// `alerts` section (omitted entirely when never called).
+  void SetAlerts(const AlertsSection& alerts) {
+    alerts_ = alerts;
+    has_alerts_ = true;
+  }
+
   std::string ToJson() const;
   Status WriteTo(const std::string& path) const;
 
@@ -300,6 +340,8 @@ class RunReport {
   ServingSection serving_;
   bool has_load_ = false;
   LoadSection load_;
+  bool has_alerts_ = false;
+  AlertsSection alerts_;
 };
 
 }  // namespace itg

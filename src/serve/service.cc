@@ -634,6 +634,7 @@ void Service::BindViewPipelineLocked(StandingQuery* query) {
       registry_->histogram("serve.stage_latency_us.stream_flush." + n);
   pl.lag_batches = registry_->gauge("serve.view_lag_batches." + n);
   pl.lag_us = registry_->gauge("serve.view_lag_us." + n);
+  pl.budget_used = registry_->gauge("serve.budget_used_bytes." + n);
   // The view replicated the primary at the last applied batch, so
   // anything still queued counts as lag until maintenance catches up.
   // The time reference starts at the newest ingest (lag_us reads 0
@@ -676,6 +677,7 @@ void Service::UpdateViewLagLocked(StandingQuery* query) {
   pl.lag_us_now = lag_us;
   pl.lag_batches->Set(static_cast<int64_t>(lag_batches));
   pl.lag_us->Set(static_cast<int64_t>(lag_us));
+  pl.budget_used->Set(static_cast<int64_t>(query->budget().used_bytes()));
 }
 
 void Service::SetMaintenancePaused(bool paused) {

@@ -218,6 +218,7 @@ std::vector<std::string> StandingQuery::MetricSeriesNames() const {
       "serve.stage_latency_us.stream_flush." + n,
       "serve.view_lag_batches." + n,
       "serve.view_lag_us." + n,
+      "serve.budget_used_bytes." + n,
   };
   // The resource.view.<name>.* attribution counters retire with the
   // view too (they are per-principal, and the principal is gone).

@@ -122,6 +122,7 @@ class StandingQuery {
     Histogram* stream_flush = nullptr;  // ...stream_flush.<name>
     Gauge* lag_batches = nullptr;       // serve.view_lag_batches.<name>
     Gauge* lag_us = nullptr;            // serve.view_lag_us.<name>
+    Gauge* budget_used = nullptr;       // serve.budget_used_bytes.<name>
     uint64_t applied_seq = 0;
     std::chrono::steady_clock::time_point applied_ingest_time{};
     // Last values pushed to the gauges; echoed into status rows and the

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/alert_engine.h"
 #include "common/flight_recorder.h"
 #include "common/live_status.h"
 #include "common/metrics_registry.h"
@@ -140,6 +141,86 @@ TEST(TelemetryServerTest, HandleRoutesWithoutSockets) {
   // Without sampling enabled there is no time-series ring to serve.
   EXPECT_EQ(server.timeseries(), nullptr);
   EXPECT_EQ(server.Handle("/timeseriesz").status, 404);
+}
+
+TEST(TelemetryServerTest, AlertzRoutingAndHealthzReasons) {
+  MetricsRegistry reg;
+  Gauge* g = reg.gauge("q.depth");
+  TelemetryServer server(&reg);
+  // No engine attached: /alertz is not served.
+  EXPECT_EQ(server.Handle("/alertz").status, 404);
+
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "deep_queue";
+  ASSERT_TRUE(ParseAlertExpr("gauge(q.depth) > 10", &rule).ok());
+  rule.severity = AlertSeverity::kCritical;
+  engine.AddRule(rule);
+  AlertEngine::Options options;
+  options.registry = &reg;
+  options.capture_incidents = false;
+  engine.ConfigureForTest(options);
+  server.set_alert_engine(&engine);
+
+  TelemetryServer::Response alertz = server.Handle("/alertz");
+  EXPECT_EQ(alertz.status, 200);
+  EXPECT_NE(alertz.content_type.find("application/json"),
+            std::string::npos);
+  EXPECT_NE(alertz.body.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(alertz.body.find("\"name\":\"deep_queue\""), std::string::npos);
+  EXPECT_NE(alertz.body.find("\"state\":\"inactive\""), std::string::npos);
+  TelemetryServer::Response text = server.Handle("/alertz?format=text");
+  EXPECT_EQ(text.status, 200);
+  EXPECT_NE(text.body.find("deep_queue"), std::string::npos);
+
+  // Healthy while nothing fires; no ALERTS series either (the block is
+  // only emitted when a rule is pending/firing).
+  TelemetryServer::Response healthz = server.Handle("/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(healthz.body.find("\"reasons\":[]"), std::string::npos);
+  EXPECT_EQ(server.Handle("/metrics").body.find("ALERTS{"),
+            std::string::npos);
+
+  g->Set(20);
+  engine.EvaluateOnceAt(1000);
+
+  // Firing critical rule: the ALERTS convention series appears on
+  // /metrics and /healthz flips to 503 naming the rule.
+  const std::string metrics = server.Handle("/metrics").body;
+  EXPECT_NE(metrics.find("# TYPE ALERTS gauge\n"), std::string::npos);
+  EXPECT_NE(metrics.find("ALERTS{alertname=\"deep_queue\","
+                         "severity=\"critical\",state=\"firing\"} 1\n"),
+            std::string::npos);
+  healthz = server.Handle("/healthz");
+  EXPECT_EQ(healthz.status, 503);
+  EXPECT_NE(healthz.body.find("\"status\":\"alerting\""),
+            std::string::npos);
+  EXPECT_NE(healthz.body.find("alert firing: deep_queue"),
+            std::string::npos);
+  EXPECT_NE(healthz.body.find("\"critical_firing\":1"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, SelfObservabilityMetrics) {
+  MetricsRegistry reg;
+  TelemetryServer server(&reg);
+  server.Handle("/metrics");
+  server.Handle("/statusz");
+  server.Handle("/statusz");
+  server.Handle("/no-such-endpoint");
+  EXPECT_EQ(reg.counter("telemetry.requests_total")->value(), 4u);
+  EXPECT_EQ(reg.counter("telemetry.requests.metrics")->value(), 1u);
+  EXPECT_EQ(reg.counter("telemetry.requests.statusz")->value(), 2u);
+  EXPECT_EQ(reg.counter("telemetry.requests.other")->value(), 1u);
+  EXPECT_GT(reg.counter("telemetry.response_bytes")->value(), 0u);
+  EXPECT_GT(reg.counter("telemetry.response_bytes.statusz")->value(), 0u);
+  EXPECT_EQ(reg.histogram("telemetry.scrape_latency_us")->count(), 4u);
+  // The self-metrics round-trip onto /metrics itself (next scrape).
+  const std::string metrics = server.Handle("/metrics").body;
+  EXPECT_NE(metrics.find("itg_telemetry_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("itg_telemetry_scrape_latency_us_count"),
+            std::string::npos);
 }
 
 TEST(TelemetryServerTest, TimeseriesSamplerFillsRing) {

@@ -108,7 +108,7 @@ execute_process(
   COMMAND ${Python3_EXECUTABLE} -c
 "import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc['schema_version'] == 8, doc['schema_version']
+assert doc['schema_version'] >= 8, doc['schema_version']
 views = {k: v for k, v in doc['resources'].items() if k.startswith('view.')}
 assert views, 'no view.* rows in the resources section'
 assert all(v['cpu_nanos'] > 0 for v in views.values()), views

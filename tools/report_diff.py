@@ -21,6 +21,11 @@ regression. The latency percentiles themselves are measured wall-clock
 numbers — noisy across machines — so they are reported (--verbose, per
 matching offered rate) but never gated.
 
+The v9 "alerts" section gates on end state only: a candidate report that
+still contains a *critical* rule in state "firing" at drain time failed
+to resolve its own incident and is a structural regression (warn/info
+rules and resolved critical fires are reported, never gated).
+
 Only *deterministic work metrics* are gated — counters that are
 bit-identical across thread counts and machines for the same program,
 graph and mutation stream:
@@ -233,6 +238,28 @@ def diff_load(diff, old_doc, new_doc, max_regress):
                   f"(point-level, verdict gates)")
 
 
+def diff_alerts(diff, new_doc):
+    """Structural gate over the v9 alerts section (candidate only: the
+    baseline's alert history is irrelevant, what matters is whether THIS
+    run ended with an unresolved critical incident)."""
+    alerts = new_doc.get("alerts")
+    if alerts is None:
+        return
+    for rule in alerts.get("rules", []):
+        name = rule.get("name", "?")
+        severity = rule.get("severity")
+        state = rule.get("state")
+        if severity == "critical" and state == "firing":
+            diff.structural(
+                "alerts", f"critical alert {name!r} still firing at drain "
+                          f"(fires={rule.get('fires', 0)}, "
+                          f"last_value={rule.get('last_value', 0)})")
+        elif rule.get("fires", 0) or state not in ("inactive", None):
+            print(f"  (info) alert {name!r} [{severity}] ended {state!r}, "
+                  f"fires={rule.get('fires', 0)}, "
+                  f"flaps={rule.get('flaps', 0)}")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff run reports; exit 1 on work-metric regressions.")
@@ -269,6 +296,7 @@ def main():
         if name not in new_runs:
             print(f"  (info) run {name!r}: dropped from new report")
     diff_load(diff, old_doc, new_doc, args.max_regress)
+    diff_alerts(diff, new_doc)
 
     print(f"  {diff.compared} gated metrics compared, "
           f"{diff.improvements} improved, "

@@ -25,9 +25,14 @@ Version history:
      ResourceContext (e.g. "view.<query>"), collapsed from the
      resource.<ctx>.* counters (common/resource_scope.h); may be empty
      when no context was ever created
+  9  alerting: new optional "alerts" section (common/alert_engine.h) —
+     engine totals (period_ms / evaluations / incident-bundle counts)
+     plus one {"name","severity","state","fires","flaps","last_value",
+     "expr"} row per rule, states final at drain time; report_diff.py
+     fails gated runs whose candidate still has a critical rule firing
 """
 
 MIN_SCHEMA = 1
-MAX_SCHEMA = 8
+MAX_SCHEMA = 9
 
 SCHEMA_RANGE = range(MIN_SCHEMA, MAX_SCHEMA + 1)

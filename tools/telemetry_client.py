@@ -219,6 +219,15 @@ def wait_for_stall(port, deadline):
                    f"503 /healthz without stalled status: {body}")
             expect(doc.get("stalls_total", 0) >= 1,
                    f"stalled /healthz with zero stalls_total: {body}")
+            # An unhealthy /healthz must say WHY: the reasons array names
+            # the failing subsystem (watchdog here; critical alerts when
+            # an alert engine is attached).
+            reasons = doc.get("reasons")
+            expect(isinstance(reasons, list) and reasons,
+                   f"503 /healthz without a reasons array: {body}")
+            expect(any("watchdog" in r for r in reasons),
+                   f"stalled /healthz reasons do not name the watchdog: "
+                   f"{reasons}")
             return doc
         expect(status == 200, f"/healthz returned {status}")
         time.sleep(0.05)

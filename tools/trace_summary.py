@@ -32,7 +32,9 @@ here against a recomputation from the sparse buckets via
 tools/histogram_math.py — and the optional "load" section holding
 itg_loadgen's capacity curve, knee and SLO verdict, version 8 the
 always-present "resources" section of per-ResourceContext attribution
-rows cross-checked against the resource.<ctx>.* counters).
+rows cross-checked against the resource.<ctx>.* counters, version 9
+the optional "alerts" section: the alert engine's end-of-run rule
+states, fire/flap tallies and incident-bundle counts).
 Validates the schema and prints a short digest. Exits non-zero on any schema violation, so it
 doubles as the ctest smoke check.
 """
@@ -480,6 +482,40 @@ def validate_load(load):
                    f"load.server_timeseries.samples[{j}] malformed")
 
 
+def validate_alerts(alerts):
+    """Validates the optional v9 "alerts" section (common/alert_engine.h
+    end-of-run summary: engine totals plus one row per rule)."""
+    expect(isinstance(alerts, dict), "alerts is not an object")
+    expect(isinstance(alerts.get("enabled"), bool), "alerts.enabled missing")
+    for field in ("period_ms", "evaluations", "bundles_written",
+                  "bundles_suppressed"):
+        expect(is_uint(alerts.get(field)),
+               f"alerts.{field} is not a non-negative integer")
+    rules = alerts.get("rules")
+    expect(isinstance(rules, list), "alerts.rules is not a list")
+    names = set()
+    for j, rule in enumerate(rules):
+        where = f"alerts.rules[{j}]"
+        expect(isinstance(rule, dict), f"{where} is not an object")
+        name = rule.get("name")
+        expect(isinstance(name, str) and name, f"{where}.name missing")
+        expect(name not in names, f"{where}: duplicate rule name {name!r}")
+        names.add(name)
+        expect(rule.get("severity") in ("info", "warn", "critical"),
+               f"{where}.severity {rule.get('severity')!r} is not "
+               f"info|warn|critical")
+        expect(rule.get("state") in ("inactive", "pending", "firing",
+                                     "resolved"),
+               f"{where}.state {rule.get('state')!r} is not a valid state")
+        for field in ("fires", "flaps"):
+            expect(is_uint(rule.get(field)),
+                   f"{where}.{field} is not a non-negative integer")
+        expect(is_num(rule.get("last_value")),
+               f"{where}.last_value is not a number")
+        expect(isinstance(rule.get("expr"), str) and rule["expr"],
+               f"{where}.expr missing")
+
+
 def validate_report(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -624,6 +660,13 @@ def validate_report(path):
     else:
         expect(load is None, "v7 load section in a pre-v7 report")
 
+    alerts = doc.get("alerts")
+    if version >= 9:
+        if alerts is not None:
+            validate_alerts(alerts)
+    else:
+        expect(alerts is None, "v9 alerts section in a pre-v9 report")
+
     print(f"report: {path}")
     print(f"  binary: {doc['binary']}, {len(runs)} runs, "
           f"{len(results)} results, {len(metrics['counters'])} counters, "
@@ -691,6 +734,18 @@ def validate_report(path):
         if load["knee"]["found"]:
             print(f"    knee: {load['knee']['offered_rate']:g}/s "
                   f"(p99 {load['knee']['p99']}us)")
+    if alerts:
+        print(f"  alerts: {len(alerts['rules'])} rules, "
+              f"{alerts['evaluations']} evaluations every "
+              f"{alerts['period_ms']}ms, "
+              f"{alerts['bundles_written']} bundles written "
+              f"({alerts['bundles_suppressed']} suppressed)")
+        for rule in alerts["rules"]:
+            if rule["fires"] or rule["state"] != "inactive":
+                print(f"    {rule['name']} [{rule['severity']}]: "
+                      f"{rule['state']}, fires={rule['fires']}, "
+                      f"flaps={rule['flaps']}, "
+                      f"last_value={rule['last_value']:g}")
     print("  schema: OK")
 
 
